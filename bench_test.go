@@ -1,0 +1,451 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment at paper scale on
+// the simulated cluster (or evaluates the analytical model) and reports the
+// headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. The corpus, indexes and question
+// profiles are built once and shared across benchmarks.
+package main
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"distqa/internal/core"
+	"distqa/internal/experiments"
+	"distqa/internal/model"
+	"distqa/internal/sched"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+)
+
+// env returns the shared paper-scale environment, built on first use.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv = experiments.Paper()
+		// Benchmarks run each experiment once per iteration; a single
+		// replication per iteration keeps iterations comparable.
+		benchEnv.Replications = 1
+	})
+	return benchEnv
+}
+
+// BenchmarkTable1 regenerates the example-answers table (sequential
+// pipeline over representative questions of each answer type).
+func BenchmarkTable1(b *testing.B) {
+	e := env(b)
+	e.Engine() // build outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1(e)
+		if len(t.Rows) < 3 {
+			b.Fatalf("table1 rows = %d", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the module-time profile over both collections
+// and reports the TREC-9-like AP share (paper: 69.7 %).
+func BenchmarkTable2(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Engine8()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2(e)
+		if len(t.Rows) != 5 {
+			b.Fatalf("table2 rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.ReportMetric(parsePct(b, t.Rows[4][2]), "AP-share-%")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the resource weights (paper: QA 0.79/0.21,
+// PR 0.20/0.80, AP 1.00/0.00).
+func BenchmarkTable3(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table3(e)
+		if i == 0 {
+			b.ReportMetric(parseF(b, t.Rows[1][2]), "PR-disk-weight")
+		}
+	}
+}
+
+// BenchmarkTable4 evaluates the analytical processor limits (paper corner:
+// N=93 at 1 Gbps net / 100 Mbps disk).
+func BenchmarkTable4(b *testing.B) {
+	p := model.TREC9IntraParams()
+	for i := 0; i < b.N; i++ {
+		rows := model.Table4(p)
+		if len(rows) != 16 {
+			b.Fatal("table4 size")
+		}
+		if i == 0 {
+			b.ReportMetric(float64(p.NMax(1*model.Gbps, 100*model.Mbps)), "NMax-1G-100M")
+		}
+	}
+}
+
+// BenchmarkTable5 runs the high-load strategy comparison and reports the
+// DQA-over-DNS throughput ratio at the largest cluster (paper: ~1.5x).
+func BenchmarkTable5(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	nodes := e.MaxNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dns := experiments.HighLoadOne(e, nodes, core.DNS)
+		dqa := experiments.HighLoadOne(e, nodes, core.DQA)
+		if i == 0 && dns.Throughput > 0 {
+			b.ReportMetric(dqa.Throughput/dns.Throughput, "DQA/DNS-throughput")
+		}
+	}
+}
+
+// BenchmarkTable6 reports the DQA-under-DNS latency ratio (paper: ~0.8x).
+func BenchmarkTable6(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	nodes := e.MaxNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dns := experiments.HighLoadOne(e, nodes, core.DNS)
+		dqa := experiments.HighLoadOne(e, nodes, core.DQA)
+		if i == 0 && dns.Latency.Mean > 0 {
+			b.ReportMetric(dqa.Latency.Mean/dns.Latency.Mean, "DQA/DNS-latency")
+		}
+	}
+}
+
+// BenchmarkTable7 reports dispatcher activity: embedded-dispatcher
+// migrations per question under DQA (paper: ~0.4-0.45).
+func BenchmarkTable7(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	nodes := e.MaxNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dqa := experiments.HighLoadOne(e, nodes, core.DQA)
+		if i == 0 && dqa.Questions > 0 {
+			b.ReportMetric(float64(dqa.Stats.PRMigrations+dqa.Stats.APMigrations)/
+				float64(2*dqa.Questions), "embedded-migrations/question")
+		}
+	}
+}
+
+// BenchmarkTable8 runs the low-load module-time series and reports the
+// response-time speedup at the largest cluster (paper: 7.48 at 12p).
+func BenchmarkTable8(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs := experiments.LowLoadSeries(e)
+		if i == 0 {
+			last := runs[len(runs)-1]
+			b.ReportMetric(runs[0].Response/last.Response, "response-speedup")
+		}
+	}
+}
+
+// BenchmarkTable9 reports the distribution overhead fraction (paper: <3%).
+func BenchmarkTable9(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runs := experiments.LowLoadSeries(e)
+		if i == 0 {
+			last := runs[len(runs)-1]
+			b.ReportMetric(100*last.Overhead.Total()/last.Response, "overhead-%")
+		}
+	}
+}
+
+// BenchmarkTable10 reports measured/analytical speedup agreement at 4
+// processors (paper: 3.67/3.84 ≈ 0.96).
+func BenchmarkTable10(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tabs := experiments.Tables8910(e)
+		if i == 0 {
+			row := tabs[2].Rows[0]
+			analytical := parseF(b, row[1])
+			measured := parseF(b, row[2])
+			if analytical > 0 {
+				b.ReportMetric(measured/analytical, "measured/analytical-4p")
+			}
+		}
+	}
+}
+
+// BenchmarkTable11 runs the partitioner comparison and reports the
+// RECV-over-SEND AP speedup ratio at 4 processors (paper: 3.73/2.71 ≈ 1.38).
+func BenchmarkTable11(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table11(e)
+		if i == 0 {
+			send := parseF(b, t.Rows[0][1])
+			recv := parseF(b, t.Rows[0][3])
+			if send > 0 {
+				b.ReportMetric(recv/send, "RECV/SEND-4p")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 runs the three trace experiments (SEND/ISEND/RECV AP
+// partitioning of one complex question on 4 nodes).
+func BenchmarkFigure7(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"SEND", "ISEND", "RECV"} {
+			log, res, err := experiments.Figure7Trace(e, name)
+			if err != nil || log.Len() == 0 {
+				b.Fatalf("%s: %v", name, err)
+			}
+			if i == 0 && name == "RECV" {
+				b.ReportMetric(res.Times.AP, "RECV-AP-seconds")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8 evaluates the inter-question analytical model and
+// reports the 1000-processor 1 Gbps efficiency (paper: ≈0.9).
+func BenchmarkFigure8(b *testing.B) {
+	p := model.TREC9InterParams()
+	for i := 0; i < b.N; i++ {
+		curves := model.Figure8(p)
+		if len(curves) != 3 {
+			b.Fatal("figure8 curves")
+		}
+	}
+	b.ReportMetric(p.SystemEfficiency(1000, 1*model.Gbps), "efficiency-1000p-1G")
+}
+
+// BenchmarkFigure9 evaluates both intra-question sweeps and reports the
+// 90-processor speedup at 1 Gbps net / 100 Mbps disk.
+func BenchmarkFigure9(b *testing.B) {
+	p := model.TREC9IntraParams()
+	for i := 0; i < b.N; i++ {
+		if len(model.Figure9a(p)) != 4 || len(model.Figure9b(p)) != 4 {
+			b.Fatal("figure9 curves")
+		}
+	}
+	b.ReportMetric(p.QuestionSpeedup(90, 1*model.Gbps, 100*model.Mbps), "speedup-90p")
+}
+
+// BenchmarkFigure10 runs the RECV chunk-size sweep and reports the best
+// 8-processor speedup across chunk sizes.
+func BenchmarkFigure10(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Figure10(e)
+		if i == 0 {
+			best := 0.0
+			for _, row := range t.Rows {
+				if v := parseF(b, row[2]); v > best {
+					best = v
+				}
+			}
+			b.ReportMetric(best, "best-8p-speedup")
+		}
+	}
+}
+
+// BenchmarkSequentialQuestion measures the raw host-side cost of answering
+// one question with the sequential pipeline (no simulation).
+func BenchmarkSequentialQuestion(b *testing.B) {
+	e := env(b)
+	eng := e.Engine()
+	qs := e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs.Questions[i%qs.Len()]
+		res := eng.AnswerSequential(q.Text)
+		if res.Retrieved == 0 {
+			b.Fatal("no paragraphs retrieved")
+		}
+	}
+}
+
+// BenchmarkPartitioners measures the scheduling machinery itself: a full
+// meta-schedule + RECV distribution round over synthetic loads (no pipeline
+// work), isolating the scheduler's own overhead.
+func BenchmarkPartitioners(b *testing.B) {
+	loads := make([]sched.LoadInfo, 12)
+	for i := range loads {
+		loads[i] = sched.LoadInfo{Node: i, CPU: float64(i % 3)}
+	}
+	items := make([]int, 880)
+	for i := range items {
+		items[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		targets := sched.MetaSchedule(loads, sched.APWeights.Load, sched.APUnderloaded, i)
+		if len(targets) == 0 {
+			b.Fatal("no targets")
+		}
+	}
+	_ = items
+}
+
+func parseF(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("bad cell %q: %v", s, err)
+	}
+	return v
+}
+
+func parsePct(b *testing.B, s string) float64 {
+	b.Helper()
+	var v float64
+	if _, err := fmtSscanf(s, &v); err != nil {
+		b.Fatalf("bad pct cell %q: %v", s, err)
+	}
+	return v
+}
+
+// fmtSscanf extracts the leading float from strings like "69.7 %".
+func fmtSscanf(s string, v *float64) (int, error) {
+	end := 0
+	for end < len(s) && (s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	f, err := strconv.ParseFloat(s[:end], 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}
+
+// BenchmarkAblationAdmission sweeps the per-node admission limit (a design
+// knob the paper fixes at 4) and reports the throughput at the paper's
+// operating point.
+func BenchmarkAblationAdmission(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationAdmission(e)
+		if i == 0 {
+			for _, row := range t.Rows {
+				if row[0] == "4" {
+					b.ReportMetric(parseF(b, row[1]), "throughput-cap4")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkAblationBroadcast sweeps the load-broadcast interval.
+func BenchmarkAblationBroadcast(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationBroadcast(e)
+		if len(t.Rows) != 6 {
+			b.Fatal("broadcast ablation rows")
+		}
+	}
+}
+
+// BenchmarkAblationAPThreshold sweeps the Equation 8 under-load threshold.
+func BenchmarkAblationAPThreshold(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationAPThreshold(e)
+		if len(t.Rows) != 4 {
+			b.Fatal("threshold ablation rows")
+		}
+	}
+}
+
+// BenchmarkScaling runs the beyond-testbed scaling experiment and reports
+// the largest cluster's efficiency.
+func BenchmarkScaling(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Scaling(e)
+		if i == 0 {
+			last := t.Rows[len(t.Rows)-1]
+			b.ReportMetric(parseF(b, last[3]), "efficiency-max-nodes")
+		}
+	}
+}
+
+// BenchmarkPredictive runs the workload-prediction extension comparison and
+// reports the predictive-over-base throughput ratio at the mid cluster.
+func BenchmarkPredictive(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := experiments.Predictive(e)
+		if len(t.Rows) == 0 {
+			b.Fatal("no predictive rows")
+		}
+	}
+}
+
+// BenchmarkComparators runs the gradient-model comparison and reports the
+// DQA-over-GRADIENT throughput ratio at the largest cluster.
+func BenchmarkComparators(b *testing.B) {
+	e := env(b)
+	e.Engine()
+	e.Questions()
+	nodes := e.MaxNodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grad := experiments.HighLoadOne(e, nodes, core.GRADIENT)
+		dqa := experiments.HighLoadOne(e, nodes, core.DQA)
+		if i == 0 && grad.Throughput > 0 {
+			b.ReportMetric(dqa.Throughput/grad.Throughput, "DQA/GRADIENT-throughput")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command qaask answers ad-hoc questions with the sequential pipeline —
+// the quickest way to poke at the Q/A substrate itself.
+//
+//	qaask -collection tiny -list 5          # show plantable questions
+//	qaask -collection tiny -q "Where is the Lake Zanuth?"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/qa"
+)
+
+func main() {
+	collection := flag.String("collection", "tiny", "collection config: tiny, trec8like or trec9like")
+	question := flag.String("q", "", "question to answer")
+	list := flag.Int("list", 0, "list this many planted questions (with ground truth) and exit")
+	flag.Parse()
+
+	var cfg corpus.Config
+	switch *collection {
+	case "tiny":
+		cfg = corpus.Tiny()
+	case "trec8like":
+		cfg = corpus.TREC8Like()
+	case "trec9like":
+		cfg = corpus.TREC9Like()
+	default:
+		fmt.Fprintf(os.Stderr, "qaask: unknown collection %q\n", *collection)
+		os.Exit(2)
+	}
+	coll := corpus.Generate(cfg)
+	engine := qa.NewEngine(coll, index.BuildAll(coll))
+
+	if *list > 0 {
+		n := *list
+		if n > len(coll.Facts) {
+			n = len(coll.Facts)
+		}
+		for _, f := range coll.Facts[:n] {
+			fmt.Printf("%-70s → %s\n", f.Question, f.Answer)
+		}
+		return
+	}
+	if *question == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res := engine.AnswerSequential(*question)
+	nom := res.Costs.Nominal(1.0, 25e6)
+	fmt.Printf("retrieved %d paragraphs, %d accepted; 2001-hardware time %.1f s (QP %.1f / PR %.1f / PS %.1f / AP %.1f)\n\n",
+		res.Retrieved, res.Accepted, nom.Total, nom.QP, nom.PR, nom.PS, nom.AP)
+	if len(res.Answers) == 0 {
+		fmt.Println("no answers found")
+		return
+	}
+	for i, a := range res.Answers {
+		fmt.Printf("%d. %s (%s, score %.2f)\n   ... %s ...\n", i+1, a.Text, a.Type, a.Score, a.Snippet)
+	}
+}

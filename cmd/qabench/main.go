@@ -1,0 +1,60 @@
+// Command qabench regenerates the paper's evaluation tables and figures on
+// the simulated cluster.
+//
+// Usage:
+//
+//	qabench                 # run every experiment at paper scale
+//	qabench -exp table5     # one experiment (see -list)
+//	qabench -scale small    # fast, down-scaled environment
+//	qabench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"distqa/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	scale := flag.String("scale", "paper", "environment scale: paper or small")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	var env *experiments.Env
+	switch *scale {
+	case "paper":
+		env = experiments.Paper()
+	case "small":
+		env = experiments.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "qabench: unknown scale %q (want paper or small)\n", *scale)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var tables []experiments.Table
+	if *exp == "all" {
+		tables = experiments.All(env)
+	} else {
+		var err error
+		tables, err = experiments.Run(env, *exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qabench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

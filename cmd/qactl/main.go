@@ -1,0 +1,59 @@
+// Command qactl is the operator client for a live Q/A cluster: ask
+// questions and inspect node status.
+//
+//	qactl -node 127.0.0.1:7101 -ask "Where is the Taj Mahal?"
+//	qactl -node 127.0.0.1:7101 -status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distqa/internal/live"
+)
+
+func main() {
+	node := flag.String("node", "127.0.0.1:7101", "any cluster node address")
+	ask := flag.String("ask", "", "question to ask")
+	status := flag.Bool("status", false, "print node status")
+	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
+	flag.Parse()
+
+	switch {
+	case *ask != "":
+		resp, err := live.Ask(*node, *ask, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
+		where := resp.ServedBy
+		if resp.Forwarded {
+			where += " (migrated by the question dispatcher)"
+		}
+		fmt.Printf("served by %s, AP workers: %d, %.1f ms\n", where, resp.APPeers, resp.ElapsedMS)
+		if len(resp.Answers) == 0 {
+			fmt.Println("no answers")
+			return
+		}
+		for i, a := range resp.Answers {
+			fmt.Printf("%d. %s (%s, score %.2f)\n   ... %s ...\n", i+1, a.Text, a.Type, a.Score, a.Snippet)
+		}
+	case *status:
+		st, err := live.QueryStatus(*node, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("node %s: collection %s (%d paragraphs), %d running / %d queued, up %v\n",
+			st.Addr, st.Collection, st.Paragraphs, st.Questions, st.Queued, st.Uptime.Round(time.Second))
+		for _, p := range st.Peers {
+			fmt.Printf("  peer %s: %d running / %d queued / %d AP sub-tasks (heard %v ago)\n",
+				p.Addr, p.Questions, p.Queued, p.APTasks, time.Since(p.Sent).Round(time.Millisecond))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,57 @@
+// Command qamodel evaluates the paper's analytical performance model
+// (Section 5): the inter-question speedup of Equation 23 (Figure 8), the
+// intra-question speedup of Equation 36 (Figure 9), and the practical
+// processor limits of Equation 34 (Table 4). It needs no corpus or
+// simulation, so it runs instantly.
+//
+// Usage:
+//
+//	qamodel                   # Table 4 and all figures
+//	qamodel -exp fig8         # one of: table4, fig8, fig9a, fig9b
+//	qamodel -n 128 -net 1e9 -disk 1e8   # evaluate one point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distqa/internal/experiments"
+	"distqa/internal/model"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "table4, fig8, fig9a, fig9b or all")
+	n := flag.Int("n", 0, "evaluate the model at this processor count (0 = tables)")
+	net := flag.Float64("net", 100e6, "network bandwidth in bits/second")
+	disk := flag.Float64("disk", 200e6, "disk bandwidth in bits/second")
+	flag.Parse()
+
+	if *n > 0 {
+		inter := model.TREC9InterParams()
+		intra := model.TREC9IntraParams()
+		fmt.Printf("processors: %d, network %.0f Mbps, disk %.0f Mbps\n", *n, *net/1e6, *disk/1e6)
+		fmt.Printf("system speedup (Eq. 23):   %.2f (efficiency %.3f)\n",
+			inter.SystemSpeedup(*n, *net), inter.SystemEfficiency(*n, *net))
+		fmt.Printf("question speedup (Eq. 36): %.2f\n", intra.QuestionSpeedup(*n, *net, *disk))
+		fmt.Printf("practical limit (Eq. 34):  N_max = %d (speedup %.2f)\n",
+			intra.NMax(*net, *disk), intra.SpeedupAtNMax(*net, *disk))
+		return
+	}
+
+	env := experiments.Paper()
+	ids := []string{"table4", "fig8", "fig9a", "fig9b"}
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		tables, err := experiments.Run(env, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qamodel: %v\n", err)
+			os.Exit(2)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+}

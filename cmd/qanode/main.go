@@ -1,0 +1,110 @@
+// Command qanode runs one live distributed-Q/A node: it generates its
+// replica of the synthetic collection, indexes it, listens for questions
+// and sub-tasks over TCP, and heartbeats its load to its peers.
+//
+// Start a three-node cluster on one machine:
+//
+//	qanode -addr 127.0.0.1:7101 -peers 127.0.0.1:7102,127.0.0.1:7103 &
+//	qanode -addr 127.0.0.1:7102 -peers 127.0.0.1:7101,127.0.0.1:7103 &
+//	qanode -addr 127.0.0.1:7103 -peers 127.0.0.1:7101,127.0.0.1:7102 &
+//
+// then query it with qactl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/live"
+	"distqa/internal/qa"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7101", "TCP listen address")
+	peers := flag.String("peers", "", "comma-separated peer addresses")
+	collection := flag.String("collection", "tiny", "collection config: tiny, trec8like or trec9like")
+	maxConcurrent := flag.Int("max-concurrent", 4, "admission limit (simultaneous questions)")
+	cacheDir := flag.String("cache-dir", "", "directory for index snapshots (skip re-indexing on restart)")
+	flag.Parse()
+
+	var cfg corpus.Config
+	switch *collection {
+	case "tiny":
+		cfg = corpus.Tiny()
+	case "trec8like":
+		cfg = corpus.TREC8Like()
+	case "trec9like":
+		cfg = corpus.TREC9Like()
+	default:
+		fmt.Fprintf(os.Stderr, "qanode: unknown collection %q\n", *collection)
+		os.Exit(2)
+	}
+
+	nodeCfg := live.NodeConfig{
+		Addr:          *addr,
+		Corpus:        cfg,
+		MaxConcurrent: *maxConcurrent,
+	}
+	if *peers != "" {
+		nodeCfg.Peers = strings.Split(*peers, ",")
+	}
+
+	fmt.Printf("qanode: building %s collection replica...\n", *collection)
+	if *cacheDir != "" {
+		engine, err := engineWithCache(cfg, *cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qanode: %v\n", err)
+			os.Exit(1)
+		}
+		nodeCfg.Engine = engine
+	}
+	node, err := live.StartNode(nodeCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qanode: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("qanode: serving on %s (%d peers configured)\n", node.Addr(), len(nodeCfg.Peers))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("qanode: shutting down")
+	node.Close()
+}
+
+// engineWithCache builds the engine, loading the index snapshot from
+// cacheDir when one matches the collection and writing one otherwise.
+func engineWithCache(cfg corpus.Config, cacheDir string) (*qa.Engine, error) {
+	coll := corpus.Generate(cfg)
+	path := filepath.Join(cacheDir, fmt.Sprintf("%s-%d.idx", cfg.Name, cfg.Seed))
+	if f, err := os.Open(path); err == nil {
+		set, err := index.Load(f, coll)
+		f.Close()
+		if err == nil {
+			fmt.Printf("qanode: loaded index snapshot %s\n", path)
+			return qa.NewEngine(coll, set), nil
+		}
+		fmt.Printf("qanode: stale snapshot %s (%v); rebuilding\n", path, err)
+	}
+	set := index.BuildAll(coll)
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := set.Save(f); err != nil {
+		return nil, err
+	}
+	fmt.Printf("qanode: wrote index snapshot %s\n", path)
+	return qa.NewEngine(coll, set), nil
+}

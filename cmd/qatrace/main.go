@@ -1,0 +1,52 @@
+// Command qatrace reproduces the paper's Figure 7: per-node scheduling
+// traces of one complex question on a homogeneous 4-processor system, with
+// RECV partitioning for paragraph retrieval/scoring and a selectable
+// strategy for answer processing.
+//
+// Usage:
+//
+//	qatrace             # all three AP strategies (Figure 7 a, b, c)
+//	qatrace -ap ISEND   # one strategy
+//	qatrace -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distqa/internal/experiments"
+)
+
+func main() {
+	ap := flag.String("ap", "all", "AP partitioning strategy: SEND, ISEND, RECV or all")
+	scale := flag.String("scale", "paper", "environment scale: paper or small")
+	flag.Parse()
+
+	var env *experiments.Env
+	switch *scale {
+	case "paper":
+		env = experiments.Paper()
+	case "small":
+		env = experiments.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "qatrace: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	names := []string{"SEND", "ISEND", "RECV"}
+	if *ap != "all" {
+		names = []string{*ap}
+	}
+	for _, name := range names {
+		fmt.Printf("=== Figure 7: RECV for PR/PS, %s for AP ===\n", name)
+		log, res, err := experiments.Figure7Trace(env, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qatrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(log.String())
+		fmt.Printf("--- question %d: %d paragraphs accepted, AP time %.2f s, response %.2f s\n\n",
+			res.ID, res.Accepted, res.Times.AP, res.Latency())
+	}
+}

@@ -1,0 +1,3 @@
+module distqa
+
+go 1.22

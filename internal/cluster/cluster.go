@@ -1,0 +1,281 @@
+// Package cluster models the machines of the distributed Q/A testbed: nodes
+// with a processor-sharing CPU, a processor-sharing disk, and a fixed amount
+// of physical memory. The defaults reproduce the paper's experimental
+// platform (Section 6): 500 MHz Pentium III class nodes with 256 MB of RAM
+// and a commodity IDE disk, connected by 100 Mbps Ethernet (the network
+// itself lives in package simnet).
+//
+// Memory is modelled explicitly because it drives one of the paper's central
+// observations (Section 2.2): a question needs 25-40 MB of dynamic memory,
+// and more than four simultaneous questions push a 256 MB node into page
+// swapping, collapsing throughput. When allocations exceed physical memory,
+// the node's CPU and disk are slowed by a thrash factor proportional to the
+// oversubscription.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"distqa/internal/vtime"
+)
+
+// Hardware describes the capabilities of a node. All rates are in base units
+// per virtual second.
+type Hardware struct {
+	// CPUPower is the relative CPU speed: 1.0 means one "standard CPU
+	// second" of work per second. The cost model in package qa expresses CPU
+	// demand in standard CPU seconds (calibrated to the paper's 500 MHz
+	// Pentium III), so CPUPower 1.0 reproduces the testbed.
+	CPUPower float64
+	// DiskBandwidth is the sustained disk transfer rate in bytes/second.
+	DiskBandwidth float64
+	// MemoryMB is the physical memory in megabytes.
+	MemoryMB float64
+	// ThrashSlope controls how hard the node degrades once memory is
+	// oversubscribed: the speed factor applied to CPU and disk is
+	// 1/(1+ThrashSlope*over) where over = used/MemoryMB - 1.
+	ThrashSlope float64
+}
+
+// TestbedHardware returns the paper's experimental node profile:
+// 500 MHz Pentium III, 256 MB RAM, ~25 MB/s sustained disk reads.
+func TestbedHardware() Hardware {
+	return Hardware{
+		CPUPower:      1.0,
+		DiskBandwidth: 25e6,
+		MemoryMB:      256,
+		ThrashSlope:   8,
+	}
+}
+
+// Node is one simulated machine.
+type Node struct {
+	id   int
+	name string
+	sim  *vtime.Sim
+	hw   Hardware
+
+	CPU  *vtime.PS
+	Disk *vtime.PS
+
+	memUsed float64
+	failed  bool
+
+	// onFail callbacks run when the node fails (used to error out transfers
+	// and drop it from monitor tables).
+	onFail []func()
+}
+
+// New creates a node with the given id and hardware profile.
+func New(sim *vtime.Sim, id int, hw Hardware) *Node {
+	if hw.CPUPower <= 0 || hw.DiskBandwidth <= 0 || hw.MemoryMB <= 0 {
+		panic("cluster: invalid hardware profile")
+	}
+	// Display names are 1-based like the paper's Figure 7 traces (N1..N4).
+	name := fmt.Sprintf("N%d", id+1)
+	return &Node{
+		id:   id,
+		name: name,
+		sim:  sim,
+		hw:   hw,
+		CPU:  vtime.NewPS(sim, name+".cpu", hw.CPUPower),
+		Disk: vtime.NewPS(sim, name+".disk", hw.DiskBandwidth),
+	}
+}
+
+// ID returns the node id (unique within a cluster, 0-based).
+func (n *Node) ID() int { return n.id }
+
+// Name returns the node's display name (N1, N2, ... style, matching the
+// traces in Figure 7 of the paper).
+func (n *Node) Name() string { return n.name }
+
+// Hardware returns the node's hardware profile.
+func (n *Node) Hardware() Hardware { return n.hw }
+
+// Sim returns the simulation the node belongs to.
+func (n *Node) Sim() *vtime.Sim { return n.sim }
+
+// ErrFailed is returned by resource use on a crashed node.
+var ErrFailed = errors.New("cluster: node failed")
+
+// UseCPU blocks p until seconds of standard CPU work have been served by the
+// node's processor-sharing CPU. It returns ErrFailed if the node crashes
+// before the work completes.
+func (n *Node) UseCPU(p *vtime.Proc, seconds float64) error {
+	if !n.CPU.Use(p, seconds) {
+		return ErrFailed
+	}
+	return nil
+}
+
+// UseDisk blocks p until bytes have been read from (or written to) the
+// node's processor-sharing disk. It returns ErrFailed if the node crashes
+// before the transfer completes.
+func (n *Node) UseDisk(p *vtime.Proc, bytes float64) error {
+	if !n.Disk.Use(p, bytes) {
+		return ErrFailed
+	}
+	return nil
+}
+
+// Alloc reserves mb megabytes of memory for the duration of a task. It never
+// blocks: like a 2001 Linux box, the node happily overcommits and starts
+// thrashing instead. Call the returned release function when the task ends.
+func (n *Node) Alloc(mb float64) (release func()) {
+	if mb < 0 {
+		mb = 0
+	}
+	n.memUsed += mb
+	n.applyThrash()
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		n.memUsed -= mb
+		if n.memUsed < 0 {
+			n.memUsed = 0
+		}
+		n.applyThrash()
+	}
+}
+
+// MemUsedMB reports current memory reservations in MB.
+func (n *Node) MemUsedMB() float64 { return n.memUsed }
+
+// Oversubscribed reports whether reservations exceed physical memory.
+func (n *Node) Oversubscribed() bool { return n.memUsed > n.hw.MemoryMB }
+
+// applyThrash recomputes the CPU/disk speed factor from memory pressure.
+func (n *Node) applyThrash() {
+	if n.failed {
+		return
+	}
+	speed := 1.0
+	if over := n.memUsed/n.hw.MemoryMB - 1; over > 0 {
+		speed = 1 / (1 + n.hw.ThrashSlope*over)
+	}
+	n.CPU.SetSpeed(speed)
+	n.Disk.SetSpeed(speed)
+}
+
+// Fail marks the node as crashed: its resources stall and registered
+// failure callbacks run. Work in flight on the node never completes, which
+// is how partitioner failure recovery gets exercised.
+func (n *Node) Fail() {
+	if n.failed {
+		return
+	}
+	n.failed = true
+	n.CPU.AbortAll()
+	n.Disk.AbortAll()
+	for _, fn := range n.onFail {
+		fn()
+	}
+	n.onFail = nil
+}
+
+// Failed reports whether the node has crashed.
+func (n *Node) Failed() bool { return n.failed }
+
+// OnFail registers a callback invoked when the node fails. If the node has
+// already failed the callback runs immediately.
+func (n *Node) OnFail(fn func()) {
+	if n.failed {
+		fn()
+		return
+	}
+	n.onFail = append(n.onFail, fn)
+}
+
+// LoadSample is a point-in-time reading of a node's resource loads, in
+// run-queue style units: the average number of jobs concurrently active on
+// the resource over the sampling window (0 = idle, 1 = exactly busy,
+// >1 = contended). The paper's load functions (Equations 1-3) combine these
+// with per-module resource weights.
+type LoadSample struct {
+	Node int
+	Time float64
+	CPU  float64
+	Disk float64
+}
+
+// LoadMeter converts the cumulative job-seconds integrals of a node's
+// resources into windowed load averages. Each call to Sample reads the load
+// over the interval since the previous call.
+type LoadMeter struct {
+	node         *Node
+	lastTime     float64
+	lastCPUJobs  float64
+	lastDiskJobs float64
+}
+
+// NewLoadMeter creates a meter positioned at the current virtual time.
+func NewLoadMeter(n *Node) *LoadMeter {
+	return &LoadMeter{
+		node:         n,
+		lastTime:     n.sim.Now(),
+		lastCPUJobs:  n.CPU.JobSeconds(),
+		lastDiskJobs: n.Disk.JobSeconds(),
+	}
+}
+
+// Sample returns the load averages since the previous Sample call. A window
+// of zero duration returns the instantaneous active-job counts.
+func (m *LoadMeter) Sample() LoadSample {
+	now := m.node.sim.Now()
+	cpuJobs := m.node.CPU.JobSeconds()
+	diskJobs := m.node.Disk.JobSeconds()
+	dt := now - m.lastTime
+	s := LoadSample{Node: m.node.id, Time: now}
+	if dt > 0 {
+		s.CPU = (cpuJobs - m.lastCPUJobs) / dt
+		s.Disk = (diskJobs - m.lastDiskJobs) / dt
+	} else {
+		s.CPU = float64(m.node.CPU.Active())
+		s.Disk = float64(m.node.Disk.Active())
+	}
+	m.lastTime = now
+	m.lastCPUJobs = cpuJobs
+	m.lastDiskJobs = diskJobs
+	return s
+}
+
+// Cluster is a set of nodes sharing one simulation.
+type Cluster struct {
+	sim   *vtime.Sim
+	nodes []*Node
+}
+
+// NewCluster creates n homogeneous nodes with the given hardware profile.
+func NewCluster(sim *vtime.Sim, n int, hw Hardware) *Cluster {
+	c := &Cluster{sim: sim}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, New(sim, i, hw))
+	}
+	return c
+}
+
+// Nodes returns the cluster's nodes in id order. The slice must not be
+// modified.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns the node with the given id.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Len returns the number of nodes.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// Sim returns the underlying simulation.
+func (c *Cluster) Sim() *vtime.Sim { return c.sim }
+
+// Add appends a new node with the given hardware (dynamic pool join,
+// Section 3.1 of the paper).
+func (c *Cluster) Add(hw Hardware) *Node {
+	n := New(c.sim, len(c.nodes), hw)
+	c.nodes = append(c.nodes, n)
+	return n
+}

@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distqa/internal/vtime"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestCPUTiming(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	var end float64
+	sim.Spawn("w", func(p *vtime.Proc) {
+		n.UseCPU(p, 10)
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 10) {
+		t.Fatalf("end = %v, want 10", end)
+	}
+}
+
+func TestDiskTiming(t *testing.T) {
+	sim := vtime.NewSim()
+	hw := TestbedHardware()
+	n := New(sim, 0, hw)
+	var end float64
+	sim.Spawn("w", func(p *vtime.Proc) {
+		n.UseDisk(p, 50e6) // 50 MB at 25 MB/s → 2 s
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 2) {
+		t.Fatalf("end = %v, want 2", end)
+	}
+}
+
+func TestHeterogeneousCPUPower(t *testing.T) {
+	sim := vtime.NewSim()
+	hw := TestbedHardware()
+	hw.CPUPower = 2.0
+	n := New(sim, 0, hw)
+	var end float64
+	sim.Spawn("w", func(p *vtime.Proc) {
+		n.UseCPU(p, 10)
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 5) {
+		t.Fatalf("end = %v, want 5 on a 2x CPU", end)
+	}
+}
+
+func TestMemoryThrashSlowdown(t *testing.T) {
+	// A job that takes 10 s with free memory must take strictly longer when
+	// memory is oversubscribed 2x for the duration.
+	run := func(allocMB float64) float64 {
+		sim := vtime.NewSim()
+		n := New(sim, 0, TestbedHardware())
+		release := n.Alloc(allocMB)
+		defer release()
+		var end float64
+		sim.Spawn("w", func(p *vtime.Proc) {
+			n.UseCPU(p, 10)
+			end = p.Now()
+		})
+		sim.Run()
+		return end
+	}
+	fast := run(100) // under 256 MB
+	slow := run(512) // 2x oversubscribed
+	if !almostEqual(fast, 10) {
+		t.Fatalf("fast = %v, want 10", fast)
+	}
+	if slow <= fast*1.5 {
+		t.Fatalf("slow = %v, want significant thrash slowdown vs %v", slow, fast)
+	}
+}
+
+func TestThrashRecoversAfterRelease(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	release := n.Alloc(512)
+	var end float64
+	sim.Spawn("w", func(p *vtime.Proc) {
+		n.UseCPU(p, 10)
+		end = p.Now()
+	})
+	// Free the memory at t=1: the rest of the job runs at full speed.
+	sim.After(1, release)
+	sim.Run()
+	// Thrash speed at 2x oversubscription with slope 8: 1/(1+8) = 1/9.
+	// t=0..1 serves 1/9 CPU-s; remaining 10-1/9 at full speed.
+	want := 1 + (10 - 1.0/9)
+	if !almostEqual(end, want) {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	if n.MemUsedMB() != 0 {
+		t.Fatalf("memUsed = %v, want 0", n.MemUsedMB())
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	r1 := n.Alloc(100)
+	r2 := n.Alloc(50)
+	r1()
+	r1() // double release must not corrupt accounting
+	if !almostEqual(n.MemUsedMB(), 50) {
+		t.Fatalf("memUsed = %v, want 50", n.MemUsedMB())
+	}
+	r2()
+	if n.MemUsedMB() != 0 {
+		t.Fatalf("memUsed = %v, want 0", n.MemUsedMB())
+	}
+}
+
+func TestFailAbortsInFlightWork(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	var err error
+	var when float64
+	sim.Spawn("w", func(p *vtime.Proc) {
+		err = n.UseCPU(p, 10)
+		when = p.Now()
+	})
+	sim.After(1, n.Fail)
+	sim.Run()
+	if err == nil {
+		t.Fatal("work should abort with error on node failure")
+	}
+	if !almostEqual(when, 1) {
+		t.Fatalf("abort observed at %v, want 1 (failure time)", when)
+	}
+	if !n.Failed() {
+		t.Fatal("node should report failed")
+	}
+	// New work on a failed node errors immediately.
+	var err2 error
+	sim.Spawn("w2", func(p *vtime.Proc) { err2 = n.UseCPU(p, 1) })
+	sim.Run()
+	if err2 == nil {
+		t.Fatal("work on failed node should error")
+	}
+}
+
+func TestOnFailCallbacks(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	calls := 0
+	n.OnFail(func() { calls++ })
+	n.Fail()
+	n.Fail() // idempotent
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	// Registering after failure fires immediately.
+	n.OnFail(func() { calls++ })
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestLoadMeterIdle(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	m := NewLoadMeter(n)
+	sim.Spawn("clock", func(p *vtime.Proc) { p.Sleep(5) })
+	sim.Run()
+	s := m.Sample()
+	if s.CPU != 0 || s.Disk != 0 {
+		t.Fatalf("idle load = %+v, want zeros", s)
+	}
+}
+
+func TestLoadMeterSingleJob(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	m := NewLoadMeter(n)
+	sim.Spawn("w", func(p *vtime.Proc) { n.UseCPU(p, 5) })
+	sim.RunUntil(5)
+	s := m.Sample()
+	if !almostEqual(s.CPU, 1) {
+		t.Fatalf("cpu load = %v, want 1 (one job busy the whole window)", s.CPU)
+	}
+	sim.Shutdown()
+}
+
+func TestLoadMeterContention(t *testing.T) {
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	m := NewLoadMeter(n)
+	for i := 0; i < 3; i++ {
+		sim.Spawn("w", func(p *vtime.Proc) { n.UseCPU(p, 100) })
+	}
+	sim.RunUntil(10)
+	s := m.Sample()
+	if !almostEqual(s.CPU, 3) {
+		t.Fatalf("cpu load = %v, want 3 under three concurrent jobs", s.CPU)
+	}
+	sim.Shutdown()
+}
+
+func TestLoadMeterWindows(t *testing.T) {
+	// Load must reflect only the window since the previous sample.
+	sim := vtime.NewSim()
+	n := New(sim, 0, TestbedHardware())
+	m := NewLoadMeter(n)
+	sim.Spawn("w", func(p *vtime.Proc) {
+		p.Sleep(5)
+		n.UseCPU(p, 5)
+	})
+	sim.RunUntil(5)
+	s := m.Sample()
+	if !almostEqual(s.CPU, 0) {
+		t.Fatalf("first window load = %v, want 0", s.CPU)
+	}
+	sim.RunUntil(10)
+	s = m.Sample()
+	if !almostEqual(s.CPU, 1) {
+		t.Fatalf("second window load = %v, want 1", s.CPU)
+	}
+	sim.Shutdown()
+}
+
+func TestClusterConstruction(t *testing.T) {
+	sim := vtime.NewSim()
+	c := NewCluster(sim, 12, TestbedHardware())
+	if c.Len() != 12 {
+		t.Fatalf("len = %d, want 12", c.Len())
+	}
+	for i, n := range c.Nodes() {
+		if n.ID() != i {
+			t.Fatalf("node %d has id %d", i, n.ID())
+		}
+	}
+	added := c.Add(TestbedHardware())
+	if added.ID() != 12 || c.Len() != 13 {
+		t.Fatalf("dynamic join broken: id=%d len=%d", added.ID(), c.Len())
+	}
+}
+
+// Property: total CPU work served across any concurrent mix equals the sum of
+// demands, and memory accounting returns to zero after all releases.
+func TestWorkAndMemoryConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim := vtime.NewSim()
+		n := New(sim, 0, TestbedHardware())
+		jobs := 1 + rng.Intn(8)
+		total := 0.0
+		for i := 0; i < jobs; i++ {
+			work := 0.5 + rng.Float64()*4
+			mem := 10 + rng.Float64()*80
+			delay := rng.Float64() * 3
+			total += work
+			sim.Spawn("w", func(p *vtime.Proc) {
+				p.Sleep(delay)
+				release := n.Alloc(mem)
+				n.UseCPU(p, work)
+				release()
+			})
+		}
+		sim.Run()
+		return almostEqual(n.CPU.Served(), total) && math.Abs(n.MemUsedMB()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

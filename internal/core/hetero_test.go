@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"distqa/internal/cluster"
+	"distqa/internal/sched"
+)
+
+// TestCPUPowerScaling: the same question on a cluster with half-speed CPUs
+// must take correspondingly longer (the CPU-dominated AP stage scales with
+// Hardware.CPUPower) while producing hardware-independent answers.
+func TestCPUPowerScaling(t *testing.T) {
+	f := mostComplexFact(t)
+	cfg := DefaultConfig(4, DQA)
+	cfg.APPartitioner = sched.NewRECV(3)
+	sys := NewSystem(cfg, testEngine)
+	t.Cleanup(sys.Shutdown)
+	res := sys.Submit(warm, 0, f.Question)
+	sys.RunToCompletion()
+	if res.Err != nil {
+		t.Fatalf("failed: %v", res.Err)
+	}
+
+	hw := cluster.TestbedHardware()
+	hw.CPUPower = 0.5 // everyone slow...
+	cfg2 := DefaultConfig(4, DQA)
+	cfg2.Hardware = hw
+	cfg2.APPartitioner = sched.NewRECV(3)
+	sys2 := NewSystem(cfg2, testEngine)
+	t.Cleanup(sys2.Shutdown)
+	res2 := sys2.Submit(warm, 0, f.Question)
+	sys2.RunToCompletion()
+	if res2.Err != nil {
+		t.Fatalf("slow cluster failed: %v", res2.Err)
+	}
+	// Halving CPU power must lengthen the (CPU-dominated) response.
+	if res2.Latency() <= res.Latency()*1.3 {
+		t.Errorf("half-speed CPUs gave latency %.2f vs %.2f; CPU scaling broken",
+			res2.Latency(), res.Latency())
+	}
+	// Answers must be hardware-independent.
+	if len(res.Answers) > 0 && len(res2.Answers) > 0 && res.Answers[0].Text != res2.Answers[0].Text {
+		t.Errorf("hardware changed the answers: %q vs %q", res.Answers[0].Text, res2.Answers[0].Text)
+	}
+}
+
+// TestRandomNonHomeFailures is a property test: killing any random non-home
+// node mid-question never loses the question and never changes the top
+// answer (partitioner failure recovery, Section 4.1).
+func TestRandomNonHomeFailures(t *testing.T) {
+	f := mostComplexFact(t)
+	seq := testEngine.AnswerSequential(f.Question)
+	if len(seq.Answers) == 0 {
+		t.Skip("no sequential answer to compare")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		victim := 1 + rng.Intn(3) // never the home node 0
+		when := warm + rng.Float64()*8
+		cfg := DefaultConfig(4, DQA)
+		cfg.APPartitioner = sched.NewRECV(4)
+		sys := NewSystem(cfg, testEngine)
+		res := sys.SubmitToNode(warm, trial, f.Question, 0)
+		sys.Sim.After(when, func() { sys.Cluster.Node(victim).Fail() })
+		sys.RunToCompletion()
+		if res.Err != nil {
+			t.Errorf("trial %d (kill N%d at %.1f): question lost: %v", trial, victim+1, when, res.Err)
+		} else if len(res.Answers) == 0 {
+			t.Errorf("trial %d: no answers", trial)
+		} else if res.Answers[0].Text != seq.Answers[0].Text {
+			t.Errorf("trial %d: top answer %q differs from sequential %q",
+				trial, res.Answers[0].Text, seq.Answers[0].Text)
+		}
+		sys.Shutdown()
+	}
+}
+
+// TestCascadingFailures: two of four nodes die during a question; the
+// remaining pair must still finish it.
+func TestCascadingFailures(t *testing.T) {
+	f := mostComplexFact(t)
+	cfg := DefaultConfig(4, DQA)
+	cfg.APPartitioner = sched.NewRECV(4)
+	sys := NewSystem(cfg, testEngine)
+	t.Cleanup(sys.Shutdown)
+	res := sys.SubmitToNode(warm, 0, f.Question, 0)
+	sys.Sim.After(warm+2, func() { sys.Cluster.Node(2).Fail() })
+	sys.Sim.After(warm+4, func() { sys.Cluster.Node(3).Fail() })
+	sys.RunToCompletion()
+	if res.Err != nil {
+		t.Fatalf("question lost after cascading failures: %v", res.Err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers after cascading failures")
+	}
+}
+
+// TestQueueObservedByDispatcher: a saturated node's admission queue must be
+// visible in its load broadcasts and drive question migration.
+func TestQueueObservedByDispatcher(t *testing.T) {
+	sys := newSystem(t, 2, INTER)
+	// Node 0 gets a pile of questions; later arrivals should divert to 1.
+	for i := 0; i < 8; i++ {
+		sys.SubmitToNode(warm+float64(i)*0.5, i, testColl.Facts[i%len(testColl.Facts)].Question, 0)
+	}
+	sys.RunToCompletion()
+	if sys.Stats().QAMigrations == 0 {
+		t.Fatal("queue buildup did not trigger any migration")
+	}
+	onNode1 := 0
+	for _, r := range sys.Results() {
+		if r.HomeNode == 1 {
+			onNode1++
+		}
+	}
+	if onNode1 == 0 {
+		t.Fatal("no question ended up on the idle node")
+	}
+}
+
+// TestDynamicNodeJoin: a node added mid-run starts broadcasting, enters the
+// pool, and receives partitioned sub-task work — Section 3.1's "a processor
+// automatically joins the pool when it starts broadcasting load
+// information".
+func TestDynamicNodeJoin(t *testing.T) {
+	f := mostComplexFact(t)
+	cfg := DefaultConfig(2, DQA)
+	cfg.APPartitioner = sched.NewRECV(3)
+	sys := NewSystem(cfg, testEngine)
+	t.Cleanup(sys.Shutdown)
+	// The node joins at t=3; the question arrives at t=6, well after the
+	// joiner's first broadcasts.
+	sys.Sim.After(3.0, func() { sys.AddNode(cluster.Hardware{}) })
+	res := sys.Submit(6.0, 0, f.Question)
+	sys.RunToCompletion()
+	if res.Err != nil {
+		t.Fatalf("failed: %v", res.Err)
+	}
+	if res.APNodes < 3 {
+		t.Errorf("AP used %d nodes; the joined node was not adopted", res.APNodes)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+}
+
+// TestGradientStrategy: the gradient comparator must migrate questions off
+// an overloaded node toward lighter ring regions and still answer them all.
+func TestGradientStrategy(t *testing.T) {
+	cfg := DefaultConfig(4, GRADIENT)
+	cfg.APPartitioner = sched.NewRECV(5)
+	sys := NewSystem(cfg, testEngine)
+	t.Cleanup(sys.Shutdown)
+	// Pile questions on node 0 so a gradient forms.
+	for i := 0; i < 8; i++ {
+		sys.SubmitToNode(warm+float64(i)*0.5, i, testColl.Facts[i%len(testColl.Facts)].Question, 0)
+	}
+	sys.RunToCompletion()
+	if sys.Stats().QAMigrations == 0 {
+		t.Fatal("gradient strategy never migrated despite hotspot")
+	}
+	for _, r := range sys.Results() {
+		if r.Err != nil {
+			t.Fatalf("question %d failed: %v", r.ID, r.Err)
+		}
+		if r.PRNodes != 1 || r.APNodes != 1 {
+			t.Fatalf("gradient must not partition modules: %+v", r)
+		}
+	}
+	if GRADIENT.String() != "GRADIENT" {
+		t.Fatal("strategy name")
+	}
+}

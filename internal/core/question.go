@@ -1,0 +1,185 @@
+package core
+
+import (
+	"distqa/internal/cluster"
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+	"distqa/internal/sched"
+	"distqa/internal/vtime"
+)
+
+// questionWireBytes is S_q, the size of a question on the wire.
+func questionWireBytes(question string) float64 {
+	return float64(len(question) + 32)
+}
+
+// node is shorthand for the cluster node with the given id.
+func (s *System) node(id int) *cluster.Node { return s.Cluster.Node(id) }
+
+// charge blocks p while node id serves the given cost. Disk and CPU demand
+// are interleaved in slices, the way a real read-then-process loop
+// alternates between I/O waits and computation; this also keeps the load
+// monitors' one-second samples representative of the module's true resource
+// mix instead of catching an all-CPU or all-disk phase.
+func (s *System) charge(p *vtime.Proc, id int, cost qa.Cost) error {
+	n := s.node(id)
+	const slices = 4
+	for i := 0; i < slices; i++ {
+		if cost.DiskBytes > 0 {
+			if err := n.UseDisk(p, cost.DiskBytes/slices); err != nil {
+				return err
+			}
+		}
+		if cost.CPUSeconds > 0 {
+			if err := n.UseCPU(p, cost.CPUSeconds/slices); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// answer drives one question through the distributed architecture: DNS
+// placement (already decided), the question dispatcher, QP, the PR stage,
+// PO, the AP stage and final answer sorting.
+func (s *System) answer(p *vtime.Proc, res *QuestionResult) {
+	home := res.DNSNode
+
+	// Workload prediction (optional extension): size this question in
+	// average-question units from index statistics, before any placement.
+	units := 1.0
+	if s.cfg.Predictive {
+		est := s.Engine.EstimateCost(nlp.AnalyzeQuestion(res.Question))
+		hw := s.cfg.Hardware
+		units = est.NominalSeconds(hw.CPUPower, hw.DiskBandwidth) / s.cfg.ReferenceNominal
+		if units < 0.25 {
+			units = 0.25
+		}
+		if units > 4 {
+			units = 4
+		}
+	}
+
+	// Scheduling point 1: the question dispatcher (INTER and DQA migrate
+	// to the globally least-loaded node if the gap exceeds one question's
+	// workload, Section 3.1; GRADIENT instead diffuses the question hop by
+	// hop along the ring toward the nearest lightly-loaded region).
+	switch {
+	case s.cfg.Strategy == GRADIENT:
+		for hop := 0; hop < 3; hop++ {
+			loads := s.monitors[home].Table()
+			target, migrate := sched.PickGradientTarget(home, s.Cluster.Len(), loads)
+			if !migrate {
+				break
+			}
+			t0 := p.Now()
+			err := s.Net.Transfer(p, s.node(home), s.node(target), questionWireBytes(res.Question))
+			res.Overhead.Migration += p.Now() - t0
+			if err != nil {
+				break
+			}
+			s.stats.QAMigrations++
+			res.Migrated = true
+			s.tracef(p, home, res.ID, "gradient migrated question to %s", s.node(target).Name())
+			s.monitors[home].BumpQueue(target, units)
+			home = target
+		}
+	case s.cfg.Strategy >= INTER:
+		loads := s.monitors[home].Table()
+		target, migrate := sched.PickQuestionNode(home, loads, res.ID)
+		if migrate {
+			t0 := p.Now()
+			err := s.Net.Transfer(p, s.node(home), s.node(target), questionWireBytes(res.Question))
+			res.Overhead.Migration += p.Now() - t0
+			if err == nil {
+				s.stats.QAMigrations++
+				res.Migrated = true
+				s.tracef(p, home, res.ID, "question dispatcher migrated question to %s", s.node(target).Name())
+				// Optimistic local update: this node's next dispatch
+				// decisions must see the queue slot it just committed.
+				s.monitors[home].BumpQueue(target, units)
+				home = target
+			}
+		}
+	}
+	res.HomeNode = home
+
+	// Admission: a node serves at most MaxConcurrent simultaneous questions
+	// (the paper's full-load threshold); excess questions queue FIFO. Under
+	// prediction the backlog is accounted in workload units.
+	s.queuedUnits[home] += units
+	s.admission[home].Acquire(p)
+	s.queuedUnits[home] -= units
+	if s.queuedUnits[home] < 0 {
+		s.queuedUnits[home] = 0
+	}
+	defer s.admission[home].Release()
+
+	res.StartTime = p.Now()
+	homeNode := s.node(home)
+	s.tracef(p, home, res.ID, "Q/A task started")
+
+	// The Q/A task's base memory footprint lives on the home node for the
+	// question's lifetime.
+	releaseBase := homeNode.Alloc(s.Engine.Cost.MemBaseMB)
+	defer releaseBase()
+
+	fail := func(err error) {
+		res.Err = err
+		res.DoneTime = p.Now()
+		s.stats.Failed++
+		s.tracef(p, home, res.ID, "question failed: %v", err)
+	}
+
+	// Question Processing on the home node.
+	analysis, qpCost := s.Engine.QuestionProcessing(res.Question)
+	t0 := p.Now()
+	if err := homeNode.UseCPU(p, qpCost.CPUSeconds); err != nil {
+		fail(err)
+		return
+	}
+	res.Times.QP = p.Now() - t0
+
+	// Scheduling point 2: paragraph retrieval (+ co-located scoring).
+	scored, err := s.runPRStage(p, res, home, analysis)
+	if err != nil {
+		fail(err)
+		return
+	}
+	res.Retrieved = len(scored)
+
+	// Paragraph Ordering: centralized on the home node (Section 3.2).
+	accepted, poCost := s.Engine.OrderParagraphs(scored)
+	t0 = p.Now()
+	if err := homeNode.UseCPU(p, poCost.CPUSeconds); err != nil {
+		fail(err)
+		return
+	}
+	res.Times.PO = p.Now() - t0
+	res.Accepted = len(accepted)
+
+	// The accepted paragraphs now occupy home memory until the question
+	// completes (25-40 MB per question, Section 6.1).
+	releaseParas := homeNode.Alloc(s.Engine.Cost.MemPerParagraphMB * float64(len(accepted)))
+	defer releaseParas()
+
+	// Scheduling point 3: answer processing.
+	groups, err := s.runAPStage(p, res, home, analysis, accepted)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// Answer merging and sorting on the home node.
+	final, sortCost := s.Engine.MergeAnswerSets(groups)
+	t0 = p.Now()
+	if err := homeNode.UseCPU(p, sortCost.CPUSeconds); err != nil {
+		fail(err)
+		return
+	}
+	res.Overhead.AnswerSort = p.Now() - t0
+
+	res.Answers = final
+	res.DoneTime = p.Now()
+	s.tracef(p, home, res.ID, "question answered in %.2f sec (%d answers)", res.Latency(), len(final))
+}

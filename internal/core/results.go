@@ -1,0 +1,114 @@
+package core
+
+import "distqa/internal/qa"
+
+// ModuleTimes are per-module observed latencies in virtual seconds — the
+// rows of the paper's Table 8. For partitioned modules the time is the
+// maximum across the parallel sub-tasks (the module's contribution to the
+// question's critical path), excluding distribution overhead.
+type ModuleTimes struct {
+	QP, PR, PS, PO, AP float64
+}
+
+// Total sums the module times.
+func (m ModuleTimes) Total() float64 { return m.QP + m.PR + m.PS + m.PO + m.AP }
+
+// Overheads are the measured distribution overhead components per question,
+// in virtual seconds — the columns of the paper's Table 9.
+type Overheads struct {
+	// KeywordSend is time spent shipping keywords to remote PR sub-tasks.
+	KeywordSend float64
+	// ParagraphRecv is time receiving paragraphs from remote PS modules
+	// plus the paragraph-merging disk reads.
+	ParagraphRecv float64
+	// ParagraphSend is time shipping accepted paragraphs to remote AP
+	// sub-tasks.
+	ParagraphSend float64
+	// AnswerRecv is time receiving answers from remote AP sub-tasks.
+	AnswerRecv float64
+	// AnswerSort is the final answer sorting time.
+	AnswerSort float64
+	// Migration is time spent moving whole questions between nodes
+	// (question-dispatcher migrations).
+	Migration float64
+}
+
+// Total sums the overhead components.
+func (o Overheads) Total() float64 {
+	return o.KeywordSend + o.ParagraphRecv + o.ParagraphSend + o.AnswerRecv + o.AnswerSort + o.Migration
+}
+
+// QuestionResult records the lifecycle of one question through the
+// distributed system.
+type QuestionResult struct {
+	ID       int
+	Question string
+
+	// DNSNode is the initial round-robin assignment; HomeNode is where the
+	// Q/A task actually ran after the question dispatcher's decision.
+	DNSNode  int
+	HomeNode int
+
+	// SubmitTime is the arrival time; StartTime is when the Q/A task began
+	// on its home node; DoneTime is when the final answers were ready.
+	SubmitTime float64
+	StartTime  float64
+	DoneTime   float64
+
+	// Answers is the final answer set.
+	Answers []qa.Answer
+	// Retrieved and Accepted are the PR output and PO output sizes.
+	Retrieved int
+	Accepted  int
+
+	// Migrated reports a question-dispatcher migration; PRMoved/APMoved
+	// report embedded-dispatcher disagreements (Table 7); PRNodes/APNodes
+	// are the distinct node counts used by each stage.
+	Migrated bool
+	PRMoved  bool
+	APMoved  bool
+	PRNodes  int
+	APNodes  int
+
+	// Times are the observed module latencies (Table 8).
+	Times ModuleTimes
+	// Overhead is the measured distribution overhead (Table 9).
+	Overhead Overheads
+
+	// Err is non-nil if the question was lost (home node crash with no
+	// recovery path).
+	Err error
+}
+
+// Latency is the response time observed by the user.
+func (r *QuestionResult) Latency() float64 { return r.DoneTime - r.SubmitTime }
+
+// Correct reports whether any of the returned answers matches expected
+// (case-insensitive); a helper for accuracy accounting in experiments.
+func (r *QuestionResult) Correct(expected string) bool {
+	for _, a := range r.Answers {
+		if equalFold(a.Text, expected) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+	"distqa/internal/sched"
+	"distqa/internal/vtime"
+)
+
+// runPRStage executes paragraph retrieval and scoring. Under DQA the stage
+// is meta-scheduled and partitioned (one sub-collection per item); under DNS
+// and INTER it runs sequentially on the home node, iterating over the
+// sub-collections exactly like the sequential Falcon.
+func (s *System) runPRStage(p *vtime.Proc, res *QuestionResult, home int, analysis nlp.QuestionAnalysis) ([]qa.ScoredParagraph, error) {
+	nSubs := s.Engine.Set.Len()
+	perNodePR := make(map[int]float64)
+	perNodePS := make(map[int]float64)
+	nodesUsed := make(map[int]bool)
+	var collected []qa.ScoredParagraph
+
+	if s.cfg.Strategy != DQA {
+		// Sequential PR+PS on the home node.
+		for sub := 0; sub < nSubs; sub++ {
+			rs, prCost := s.Engine.RetrieveSub(analysis, sub)
+			t0 := p.Now()
+			if err := s.charge(p, home, prCost); err != nil {
+				return nil, err
+			}
+			perNodePR[home] += p.Now() - t0
+			scored, psCost := s.Engine.ScoreParagraphs(analysis, rs)
+			t0 = p.Now()
+			if err := s.charge(p, home, psCost); err != nil {
+				return nil, err
+			}
+			perNodePS[home] += p.Now() - t0
+			collected = append(collected, scored...)
+		}
+		res.PRNodes = 1
+		res.Times.PR = perNodePR[home]
+		res.Times.PS = perNodePS[home]
+		return collected, nil
+	}
+
+	// DQA: the PR dispatcher meta-schedules against the disk-weighted load
+	// function and partitions the sub-collection set.
+	homeNode := s.node(home)
+	sel := s.dispatchSelector(home, sched.PRWeights, s.prUnderloaded, res.ID)
+	items := make([]int, nSubs)
+	for i := range items {
+		items[i] = i
+	}
+	run := func(w *vtime.Proc, node int, subs []int) error {
+		remote := s.node(node)
+		// Ship the keywords to the remote paragraph retrieval engine.
+		t0 := w.Now()
+		if err := s.Net.Transfer(w, homeNode, remote, qa.KeywordsWireBytes(analysis.Keywords)); err != nil {
+			return err
+		}
+		res.Overhead.KeywordSend += w.Now() - t0
+		var local []qa.ScoredParagraph
+		for _, sub := range subs {
+			rs, prCost := s.Engine.RetrieveSub(analysis, sub)
+			t1 := w.Now()
+			if err := s.charge(w, node, prCost); err != nil {
+				return err
+			}
+			perNodePR[node] += w.Now() - t1
+			scored, psCost := s.Engine.ScoreParagraphs(analysis, rs)
+			t1 = w.Now()
+			if err := s.charge(w, node, psCost); err != nil {
+				return err
+			}
+			perNodePS[node] += w.Now() - t1
+			local = append(local, scored...)
+			s.tracef(w, node, res.ID, "finished sub-collection %d (%d paragraphs)", sub, len(scored))
+		}
+		// Return the paragraphs and merge them on the home node (the
+		// paragraph-merging module reads them from disk, Equation 27).
+		bytes := qa.ParagraphSetWireBytes(local)
+		t2 := w.Now()
+		if err := s.Net.Transfer(w, remote, homeNode, bytes); err != nil {
+			return err
+		}
+		if err := homeNode.UseDisk(w, bytes); err != nil {
+			return err
+		}
+		res.Overhead.ParagraphRecv += w.Now() - t2
+		collected = append(collected, local...)
+		nodesUsed[node] = true
+		return nil
+	}
+	if err := s.cfg.PRPartitioner.Distribute(p, sel, items, run); err != nil {
+		return nil, err
+	}
+	res.PRNodes = len(nodesUsed)
+	if res.PRNodes > 1 {
+		s.stats.PRPartitioned++
+	}
+	for n := range nodesUsed {
+		if n != home {
+			res.PRMoved = true
+		}
+	}
+	if res.PRMoved {
+		s.stats.PRMigrations++
+		s.tracef(p, home, res.ID, "PR dispatcher used %d node(s) off the home node", res.PRNodes)
+	}
+	res.Times.PR = maxVal(perNodePR)
+	res.Times.PS = maxVal(perNodePS)
+	return collected, nil
+}
+
+// runAPStage executes answer processing over the accepted paragraphs. Under
+// DQA the AP dispatcher meta-schedules against the CPU-weighted load
+// function and partitions the ranked paragraph array; otherwise AP runs
+// sequentially on the home node.
+func (s *System) runAPStage(p *vtime.Proc, res *QuestionResult, home int, analysis nlp.QuestionAnalysis, accepted []qa.ScoredParagraph) ([][]qa.Answer, error) {
+	if len(accepted) == 0 {
+		return nil, nil
+	}
+	perNodeAP := make(map[int]float64)
+	nodesUsed := make(map[int]bool)
+	var groups [][]qa.Answer
+
+	if s.cfg.Strategy != DQA {
+		answers, apCost := s.Engine.ExtractAnswers(analysis, accepted)
+		t0 := p.Now()
+		if err := s.charge(p, home, apCost); err != nil {
+			return nil, err
+		}
+		perNodeAP[home] += p.Now() - t0
+		res.APNodes = 1
+		res.Times.AP = perNodeAP[home]
+		return [][]qa.Answer{answers}, nil
+	}
+
+	homeNode := s.node(home)
+	sel := s.dispatchSelector(home, sched.APWeights, s.apUnderloaded, res.ID)
+	items := make([]int, len(accepted))
+	for i := range items {
+		items[i] = i
+	}
+	run := func(w *vtime.Proc, node int, idxs []int) error {
+		remote := s.node(node)
+		paras := make([]qa.ScoredParagraph, len(idxs))
+		for i, idx := range idxs {
+			paras[i] = accepted[idx]
+		}
+		// Ship the paragraph subset to the remote AP module.
+		bytes := qa.ParagraphSetWireBytes(paras)
+		t0 := w.Now()
+		if err := s.Net.Transfer(w, homeNode, remote, bytes); err != nil {
+			return err
+		}
+		res.Overhead.ParagraphSend += w.Now() - t0
+		// The remote AP sub-task holds its paragraph subset in memory.
+		release := remote.Alloc(s.Engine.Cost.MemPerParagraphMB * float64(len(paras)))
+		defer release()
+		answers, apCost := s.Engine.ExtractAnswers(analysis, paras)
+		t1 := w.Now()
+		if err := s.charge(w, node, apCost); err != nil {
+			return err
+		}
+		perNodeAP[node] += w.Now() - t1
+		// Each AP sub-task returns its local best N_a answers; the home
+		// node reads them from disk during answer merging (Equation 19).
+		abytes := qa.AnswerSetWireBytes(answers)
+		t2 := w.Now()
+		if err := s.Net.Transfer(w, remote, homeNode, abytes); err != nil {
+			return err
+		}
+		if err := homeNode.UseDisk(w, abytes); err != nil {
+			return err
+		}
+		res.Overhead.AnswerRecv += w.Now() - t2
+		groups = append(groups, answers)
+		nodesUsed[node] = true
+		s.tracef(w, node, res.ID, "finished AP sub-task (%d paragraphs, %d answers)", len(paras), len(answers))
+		return nil
+	}
+	if err := s.cfg.APPartitioner.Distribute(p, sel, items, run); err != nil {
+		return nil, err
+	}
+	res.APNodes = len(nodesUsed)
+	if res.APNodes > 1 {
+		s.stats.APPartitioned++
+	}
+	for n := range nodesUsed {
+		if n != home {
+			res.APMoved = true
+		}
+	}
+	if res.APMoved {
+		s.stats.APMigrations++
+		s.tracef(p, home, res.ID, "AP dispatcher used %d node(s) off the home node", res.APNodes)
+	}
+	res.Times.AP = maxVal(perNodeAP)
+	return groups, nil
+}
+
+// subtaskWorkload is the load one whole dispatched module adds to a node —
+// the embedded dispatchers' anti-useless-migration threshold, mirroring the
+// question dispatcher's rule (Section 3.1): when no node is under-loaded,
+// the module moves off the home node only if the load gap justifies it.
+const subtaskWorkload = 1.0
+
+// dispatchSelector builds the meta-scheduling selector for an embedded
+// dispatcher: Figure 4 selection, plus the marginal-move guard on the
+// single-node fallback, plus an optimistic local table bump so several
+// decisions within one broadcast interval do not herd onto the same node.
+func (s *System) dispatchSelector(home int, w sched.Weights, under func(sched.LoadInfo) bool, salt int) sched.Selector {
+	mon := s.monitors[home]
+	return func() []sched.WeightedNode {
+		tbl := mon.Table()
+		// The load averages include the dispatching question's own recent
+		// activity on its home node (it was running QP/PR/PO there during
+		// the sampling window). Discount one job's worth so the question
+		// does not evict itself from its own home.
+		for i := range tbl {
+			if tbl[i].Node == home {
+				tbl[i].CPU = maxf(0, tbl[i].CPU-1)
+				tbl[i].Disk = maxf(0, tbl[i].Disk-1)
+			}
+		}
+		targets := sched.MetaSchedule(tbl, w.Load, under, salt)
+		if len(targets) == 1 && targets[0].Node != home {
+			var homeLoad, bestLoad float64
+			haveHome := false
+			for _, li := range tbl {
+				if li.Node == home {
+					homeLoad = w.Load(li)
+					haveHome = true
+				}
+				if li.Node == targets[0].Node {
+					bestLoad = w.Load(li)
+				}
+			}
+			if haveHome && homeLoad-bestLoad <= subtaskWorkload {
+				targets[0].Node = home
+			}
+		}
+		for _, t := range targets {
+			mon.Bump(t.Node, w.CPU*t.Weight, w.Disk*t.Weight)
+		}
+		return targets
+	}
+}
+
+// prUnderloaded / apUnderloaded evaluate the configured Equation 7/8
+// thresholds.
+func (s *System) prUnderloaded(li sched.LoadInfo) bool {
+	return sched.PRWeights.Load(li) < s.cfg.PRUnderload
+}
+
+func (s *System) apUnderloaded(li sched.LoadInfo) bool {
+	return sched.APWeights.Load(li) < s.cfg.APUnderload
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxVal(m map[int]float64) float64 {
+	max := 0.0
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,301 @@
+// Package core implements the paper's contribution: the distributed
+// question/answering architecture of Sections 3-4. It combines the
+// sequential pipeline (package qa), the cluster and network simulators
+// (packages cluster, simnet, vtime) and the scheduling machinery (package
+// sched) into a system with three scheduling points:
+//
+//  1. the question dispatcher, which corrects the DNS round-robin placement
+//     by migrating whole questions away from overloaded nodes;
+//  2. the PR dispatcher, which meta-schedules and partitions paragraph
+//     retrieval across under-loaded nodes (disk-weighted);
+//  3. the AP dispatcher, which meta-schedules and partitions answer
+//     processing (CPU-weighted).
+//
+// The three load-balancing strategies compared in Section 6.1 are ablations
+// of each other: DNS uses only round-robin placement, INTER adds the
+// question dispatcher, and DQA adds the two embedded dispatchers with task
+// partitioning.
+package core
+
+import (
+	"fmt"
+
+	"distqa/internal/cluster"
+	"distqa/internal/qa"
+	"distqa/internal/sched"
+	"distqa/internal/simnet"
+	"distqa/internal/trace"
+	"distqa/internal/vtime"
+)
+
+// Strategy selects the load-balancing model (Section 6.1).
+type Strategy int
+
+const (
+	// DNS emulates plain round-robin DNS name-to-address mapping.
+	DNS Strategy = iota
+	// GRADIENT balances whole questions with the classical gradient model
+	// (Lin & Keller) on a logical ring — the related-work comparator of
+	// Section 1.4, implemented for comparison; not part of the paper's
+	// evaluation ladder.
+	GRADIENT
+	// INTER adds the question dispatcher before the Q/A task.
+	INTER
+	// DQA adds the PR and AP dispatchers with task partitioning — the
+	// paper's full architecture.
+	DQA
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case DNS:
+		return "DNS"
+	case GRADIENT:
+		return "GRADIENT"
+	case INTER:
+		return "INTER"
+	case DQA:
+		return "DQA"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config describes a distributed Q/A deployment.
+type Config struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Strategy is the load-balancing model.
+	Strategy Strategy
+	// Hardware is the per-node profile (defaults to the paper's testbed).
+	Hardware cluster.Hardware
+	// Net is the interconnection fabric (defaults to 100 Mbps Ethernet).
+	Net simnet.Config
+	// PRPartitioner partitions paragraph retrieval under DQA. The paper
+	// uses RECV with one sub-collection per chunk (Section 4.1.3: weight-
+	// based partitioning is "virtually inapplicable" for PR).
+	PRPartitioner sched.Partitioner
+	// APPartitioner partitions answer processing under DQA. The paper's
+	// best performer is RECV with 40-paragraph chunks (Figure 10).
+	APPartitioner sched.Partitioner
+	// MaxConcurrent is the per-node admission limit: a node runs at most
+	// this many simultaneous questions and queues the rest (the paper
+	// considers a node fully loaded at 4 simultaneous questions,
+	// Section 6.1). Zero selects the default of 4.
+	MaxConcurrent int
+	// MonitorInterval is the load-broadcast period in virtual seconds
+	// (default sched.BroadcastInterval = 1 s) — the staleness ablation knob.
+	MonitorInterval float64
+	// Predictive enables workload prediction (qa.Engine.EstimateCost): the
+	// admission queue is reported in predicted-workload units instead of
+	// question counts, so dispatchers see a queue of two heavy questions as
+	// heavier than one of two light ones. This is the paper's footnote-1
+	// future work ("dynamic task workload detection"), built on the
+	// document-frequency heuristic its Section 1.4 discusses.
+	Predictive bool
+	// ReferenceNominal normalises predictions into average-question units
+	// (default 100 s, the TREC-9-like mean).
+	ReferenceNominal float64
+	// PRUnderload / APUnderload override the Equation 7/8 under-load
+	// thresholds (zero selects the sched package defaults) — the
+	// partitioning-aggressiveness ablation knob.
+	PRUnderload float64
+	APUnderload float64
+	// Trace, when non-nil, records Figure 7 style scheduling events.
+	Trace *trace.Log
+}
+
+// DefaultConfig returns the paper's testbed deployment for n nodes under
+// the given strategy.
+func DefaultConfig(n int, strategy Strategy) Config {
+	return Config{
+		Nodes:         n,
+		Strategy:      strategy,
+		Hardware:      cluster.TestbedHardware(),
+		Net:           simnet.Testbed(),
+		PRPartitioner: sched.NewRECV(1),
+		APPartitioner: sched.NewRECV(40),
+		MaxConcurrent: 4,
+	}
+}
+
+// Stats counts dispatcher activity — the raw data of Table 7.
+type Stats struct {
+	// QAMigrations counts questions the question dispatcher moved away
+	// from their DNS-assigned node.
+	QAMigrations int
+	// PRMigrations counts questions whose PR dispatcher placed work on a
+	// node other than the one chosen by the question dispatcher.
+	PRMigrations int
+	// APMigrations counts questions whose AP dispatcher disagreed likewise.
+	APMigrations int
+	// PRPartitioned / APPartitioned count questions whose module was split
+	// across more than one node (intra-question parallelism engaged).
+	PRPartitioned int
+	APPartitioned int
+	// Failed counts questions lost to node crashes.
+	Failed int
+}
+
+// System is one simulated deployment of the distributed Q/A architecture.
+type System struct {
+	Sim     *vtime.Sim
+	Cluster *cluster.Cluster
+	Net     *simnet.Network
+	Engine  *qa.Engine
+
+	cfg         Config
+	monitors    []*sched.Monitor
+	admission   []*vtime.Sem
+	queuedUnits []float64
+	rrNext      int
+	stats       Stats
+
+	pending *vtime.Group
+	results []*QuestionResult
+}
+
+// NewSystem builds a deployment of cfg over a fresh simulation, sharing the
+// given pipeline engine (every node holds a copy of the collection, as on
+// the paper's testbed).
+func NewSystem(cfg Config, engine *qa.Engine) *System {
+	if cfg.Nodes <= 0 {
+		panic("core: config needs at least one node")
+	}
+	if cfg.Hardware == (cluster.Hardware{}) {
+		cfg.Hardware = cluster.TestbedHardware()
+	}
+	if cfg.Net == (simnet.Config{}) {
+		cfg.Net = simnet.Testbed()
+	}
+	if cfg.PRPartitioner == nil {
+		cfg.PRPartitioner = sched.NewRECV(1)
+	}
+	if cfg.APPartitioner == nil {
+		cfg.APPartitioner = sched.NewRECV(40)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	sim := vtime.NewSim()
+	sys := &System{
+		Sim:     sim,
+		Cluster: cluster.NewCluster(sim, cfg.Nodes, cfg.Hardware),
+		Net:     simnet.New(sim, cfg.Net),
+		Engine:  engine,
+		cfg:     cfg,
+		pending: vtime.NewGroup(sim),
+	}
+	if cfg.PRUnderload <= 0 {
+		cfg.PRUnderload = sched.PRUnderloadThreshold
+	}
+	if cfg.APUnderload <= 0 {
+		cfg.APUnderload = sched.APUnderloadThreshold
+	}
+	if cfg.ReferenceNominal <= 0 {
+		cfg.ReferenceNominal = 100
+	}
+	sys.cfg = cfg
+	sys.queuedUnits = make([]float64, cfg.Nodes)
+	for _, n := range sys.Cluster.Nodes() {
+		id := n.ID()
+		mon := sched.StartMonitorInterval(n, sys.Net, cfg.MonitorInterval)
+		sem := vtime.NewSem(sim, cfg.MaxConcurrent)
+		mon.SetQueueProbe(sys.queueProbe(id, sem))
+		sys.monitors = append(sys.monitors, mon)
+		sys.admission = append(sys.admission, sem)
+	}
+	return sys
+}
+
+// queueProbe reports a node's admission backlog: question count normally,
+// predicted-workload units under Config.Predictive.
+func (s *System) queueProbe(id int, sem *vtime.Sem) func() float64 {
+	return func() float64 {
+		if s.cfg.Predictive {
+			return s.queuedUnits[id]
+		}
+		return float64(sem.Waiting())
+	}
+}
+
+// Config returns the deployment configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns dispatcher activity counters.
+func (s *System) Stats() Stats { return s.stats }
+
+// Results returns the per-question results recorded so far, in completion
+// order.
+func (s *System) Results() []*QuestionResult { return s.results }
+
+// Monitor returns node i's load monitor.
+func (s *System) Monitor(i int) *sched.Monitor { return s.monitors[i] }
+
+// AddNode grows the cluster by one node with the given hardware (zero value
+// selects the configured profile) — the paper's dynamic pool join: the new
+// node starts broadcasting load and the dispatchers begin using it for
+// migrations and partitions; the DNS round-robin mapping, true to its
+// nature, keeps serving the original address list.
+func (s *System) AddNode(hw cluster.Hardware) int {
+	if hw == (cluster.Hardware{}) {
+		hw = s.cfg.Hardware
+	}
+	n := s.Cluster.Add(hw)
+	mon := sched.StartMonitorInterval(n, s.Net, s.cfg.MonitorInterval)
+	sem := vtime.NewSem(s.Sim, s.cfg.MaxConcurrent)
+	s.queuedUnits = append(s.queuedUnits, 0)
+	mon.SetQueueProbe(s.queueProbe(n.ID(), sem))
+	s.monitors = append(s.monitors, mon)
+	s.admission = append(s.admission, sem)
+	return n.ID()
+}
+
+// Submit schedules a question to arrive at the given virtual time; the DNS
+// round-robin mapping assigns its initial node (Section 3.1). It returns the
+// result record, which is filled in as the question progresses.
+func (s *System) Submit(at float64, id int, question string) *QuestionResult {
+	node := s.rrNext % s.cfg.Nodes
+	s.rrNext++
+	return s.SubmitToNode(at, id, question, node)
+}
+
+// SubmitToNode schedules a question to arrive at a specific node, bypassing
+// the DNS mapping (used by tests and by the Figure 7 trace driver).
+func (s *System) SubmitToNode(at float64, id int, question string, node int) *QuestionResult {
+	res := &QuestionResult{ID: id, Question: question, SubmitTime: at, DNSNode: node, HomeNode: node}
+	s.pending.Add(1)
+	s.Sim.After(at, func() {
+		s.Sim.Spawn(fmt.Sprintf("q%d", id), func(p *vtime.Proc) {
+			defer s.pending.Done()
+			s.answer(p, res)
+			s.results = append(s.results, res)
+		})
+	})
+	return res
+}
+
+// RunToCompletion advances the simulation until every submitted question has
+// completed (or failed), then stops the monitors and returns.
+func (s *System) RunToCompletion() {
+	done := false
+	s.Sim.Spawn("completion-watch", func(p *vtime.Proc) {
+		p.Yield() // let same-time submissions register first
+		s.pending.Wait(p)
+		done = true
+		s.Sim.Stop()
+	})
+	s.Sim.Run()
+	if !done {
+		panic("core: simulation drained without completing all questions")
+	}
+}
+
+// Shutdown releases simulation resources (parked monitor goroutines).
+func (s *System) Shutdown() { s.Sim.Shutdown() }
+
+// tracef records a scheduling event if tracing is enabled.
+func (s *System) tracef(p *vtime.Proc, node int, q int, format string, args ...any) {
+	s.cfg.Trace.Add(p.Now(), s.Cluster.Node(node).Name(), q, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,250 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"distqa/internal/nlp"
+)
+
+func tinyColl(t *testing.T) *Collection {
+	t.Helper()
+	return Generate(Tiny())
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Tiny())
+	b := Generate(Tiny())
+	if a.RealBytes() != b.RealBytes() {
+		t.Fatalf("sizes differ: %d vs %d", a.RealBytes(), b.RealBytes())
+	}
+	if len(a.Facts) != len(b.Facts) {
+		t.Fatalf("fact counts differ")
+	}
+	for i := range a.Facts {
+		if a.Facts[i].Question != b.Facts[i].Question || a.Facts[i].Answer != b.Facts[i].Answer {
+			t.Fatalf("fact %d differs: %+v vs %+v", i, a.Facts[i], b.Facts[i])
+		}
+	}
+	for i := range a.paragraphs {
+		if a.paragraphs[i].Text != b.paragraphs[i].Text {
+			t.Fatalf("paragraph %d text differs", i)
+		}
+	}
+}
+
+func TestCollectionStructure(t *testing.T) {
+	c := tinyColl(t)
+	cfg := c.Cfg
+	if len(c.Subs) != cfg.SubCollections {
+		t.Fatalf("subs = %d, want %d", len(c.Subs), cfg.SubCollections)
+	}
+	seen := map[int]bool{}
+	for si, sub := range c.Subs {
+		if sub.ID != si {
+			t.Fatalf("sub %d has id %d", si, sub.ID)
+		}
+		if len(sub.Docs) != cfg.DocsPerSub {
+			t.Fatalf("sub %d has %d docs, want %d", si, len(sub.Docs), cfg.DocsPerSub)
+		}
+		for _, doc := range sub.Docs {
+			if doc.Sub != si {
+				t.Fatalf("doc %d claims sub %d, in sub %d", doc.ID, doc.Sub, si)
+			}
+			if len(doc.Paragraphs) < cfg.ParagraphsPerDoc[0] || len(doc.Paragraphs) > cfg.ParagraphsPerDoc[1] {
+				t.Fatalf("doc %d has %d paragraphs", doc.ID, len(doc.Paragraphs))
+			}
+			for pi, p := range doc.Paragraphs {
+				if p.Index != pi || p.DocID != doc.ID || p.Sub != si {
+					t.Fatalf("paragraph linkage broken: %+v", p)
+				}
+				if seen[p.ID] {
+					t.Fatalf("duplicate paragraph id %d", p.ID)
+				}
+				seen[p.ID] = true
+				if c.Paragraph(p.ID) != p {
+					t.Fatalf("Paragraph(%d) lookup broken", p.ID)
+				}
+			}
+		}
+	}
+	if len(seen) != len(c.Paragraphs()) {
+		t.Fatalf("paragraph index inconsistent: %d vs %d", len(seen), len(c.Paragraphs()))
+	}
+}
+
+func TestParagraphsTokenizedAndTagged(t *testing.T) {
+	c := tinyColl(t)
+	withEntities := 0
+	for _, p := range c.Paragraphs() {
+		if len(p.Tokens) == 0 {
+			t.Fatalf("paragraph %d has no tokens: %q", p.ID, p.Text)
+		}
+		if p.RealBytes != len(p.Text) {
+			t.Fatalf("paragraph %d byte count mismatch", p.ID)
+		}
+		if len(p.Entities) > 0 {
+			withEntities++
+		}
+	}
+	if frac := float64(withEntities) / float64(len(c.Paragraphs())); frac < 0.2 {
+		t.Fatalf("only %.0f%% of paragraphs have entities; NER or noise injection broken", frac*100)
+	}
+}
+
+func TestGoldParagraphSupportsFact(t *testing.T) {
+	c := tinyColl(t)
+	for _, f := range c.Facts {
+		gold := c.Paragraph(f.GoldParagraph)
+		text := strings.ToLower(gold.Text)
+		if !strings.Contains(text, strings.ToLower(f.Answer)) {
+			t.Errorf("fact %d: gold paragraph missing answer %q", f.ID, f.Answer)
+		}
+		for _, w := range f.TopicWords {
+			if !strings.Contains(text, strings.ToLower(w)) {
+				t.Errorf("fact %d: gold paragraph missing topic word %q", f.ID, w)
+			}
+		}
+		// The gold paragraph's entity list must include an entity of the
+		// answer type whose text matches the answer.
+		found := false
+		for _, e := range gold.Entities {
+			if e.Type == f.AnswerType && strings.EqualFold(e.Text, f.Answer) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fact %d (%s): NER did not tag answer %q in gold paragraph %q",
+				f.ID, f.AnswerType, f.Answer, gold.Text)
+		}
+	}
+}
+
+func TestQuestionClassifiesToAnswerType(t *testing.T) {
+	c := tinyColl(t)
+	mismatches := 0
+	for _, f := range c.Facts {
+		a := nlp.AnalyzeQuestion(f.Question)
+		if a.AnswerType != f.AnswerType {
+			mismatches++
+			t.Logf("fact %d: question %q classified %v, want %v", f.ID, f.Question, a.AnswerType, f.AnswerType)
+		}
+		if len(a.Keywords) == 0 {
+			t.Errorf("fact %d: no keywords from %q", f.ID, f.Question)
+		}
+	}
+	if mismatches > 0 {
+		t.Errorf("%d/%d generated questions misclassified", mismatches, len(c.Facts))
+	}
+}
+
+func TestVirtualScale(t *testing.T) {
+	c := tinyColl(t)
+	if got, want := c.VirtualBytes(), c.Cfg.TargetVirtualBytes; got < want*0.99 || got > want*1.01 {
+		t.Fatalf("virtual bytes = %g, want ≈ %g", got, want)
+	}
+	total := 0.0
+	for s := range c.Subs {
+		total += c.SubVirtualBytes(s)
+	}
+	if total < c.VirtualBytes()*0.99 || total > c.VirtualBytes()*1.01 {
+		t.Fatalf("sub-collection virtual sizes don't sum: %g vs %g", total, c.VirtualBytes())
+	}
+}
+
+func TestTopicSkewCreatesFrequencyVariance(t *testing.T) {
+	// A topic word's occurrence count must vary across sub-collections —
+	// that variance is what defeats static PR partitioning in the paper.
+	c := tinyColl(t)
+	// Count occurrences of each fact's first topic word per sub-collection.
+	varied := 0
+	for _, f := range c.Facts {
+		w := strings.ToLower(f.TopicWords[0])
+		counts := make([]int, len(c.Subs))
+		for _, p := range c.Paragraphs() {
+			for _, tok := range p.Tokens {
+				if tok.Text == w {
+					counts[p.Sub]++
+				}
+			}
+		}
+		min, max := counts[0], counts[0]
+		for _, n := range counts {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		if max >= 2*min+2 {
+			varied++
+		}
+	}
+	if varied < len(c.Facts)/4 {
+		t.Fatalf("only %d/%d topic words show cross-sub-collection skew", varied, len(c.Facts))
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	c := tinyColl(t)
+	st := c.Stats()
+	if st.Subs != len(c.Subs) || st.Facts != len(c.Facts) {
+		t.Fatalf("stats mismatch: %+v", st)
+	}
+	if st.Paragraphs == 0 || st.Docs == 0 || st.RealBytes == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+}
+
+func TestDistinctSeedsGiveDistinctCorpora(t *testing.T) {
+	cfg := Tiny()
+	a := Generate(cfg)
+	cfg.Seed = 43
+	b := Generate(cfg)
+	if a.Paragraphs()[0].Text == b.Paragraphs()[0].Text {
+		t.Fatal("different seeds produced identical text")
+	}
+}
+
+func TestVocabularyProperties(t *testing.T) {
+	c := tinyColl(t)
+	g := newGenerator(c.Cfg)
+	seen := map[string]bool{}
+	for _, w := range g.vocab {
+		if len(w) < 4 {
+			t.Fatalf("vocabulary word %q too short", w)
+		}
+		if seen[w] {
+			t.Fatalf("duplicate vocabulary word %q", w)
+		}
+		if nlp.IsStopword(w) {
+			t.Fatalf("stopword %q in vocabulary", w)
+		}
+		seen[w] = true
+	}
+	if len(g.vocab) != c.Cfg.VocabularySize {
+		t.Fatalf("vocab size %d, want %d", len(g.vocab), c.Cfg.VocabularySize)
+	}
+}
+
+func TestGazetteerCoversFactAnswers(t *testing.T) {
+	c := tinyColl(t)
+	for _, f := range c.Facts {
+		switch f.AnswerType {
+		case nlp.Date, nlp.Quantity, nlp.Money:
+			continue // pattern-recognised, not gazetteer-backed
+		}
+		ents := c.Gazetteer.Recognize(nlp.Tokenize("x " + f.Answer + " y"))
+		ok := false
+		for _, e := range ents {
+			if e.Type == f.AnswerType && strings.EqualFold(e.Text, f.Answer) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("gazetteer cannot recognise fact answer %q (%v)", f.Answer, f.AnswerType)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"distqa/internal/nlp"
+)
+
+// factTemplate describes how to phrase one answer type's questions and
+// supporting sentences.
+type factTemplate struct {
+	typ nlp.EntityType
+	// question formats the question from the subject phrase.
+	question func(subject string) string
+	// gold formats the full-support sentence from subject and answer.
+	gold func(subject, answer string) string
+	// verb is the template's content verb; partial paragraphs include it
+	// with 50 % probability, mimicking real paraphrase variation.
+	verb string
+}
+
+var factTemplates = []factTemplate{
+	{
+		typ:      nlp.Location,
+		question: func(s string) string { return fmt.Sprintf("Where is the %s?", s) },
+		gold: func(s, a string) string {
+			return fmt.Sprintf("The famous %s is located in %s.", s, a)
+		},
+		verb: "located",
+	},
+	{
+		typ:      nlp.Person,
+		question: func(s string) string { return fmt.Sprintf("Who discovered the %s?", s) },
+		gold: func(s, a string) string {
+			return fmt.Sprintf("%s discovered the %s after years of work.", a, s)
+		},
+		verb: "discovered",
+	},
+	{
+		typ:      nlp.Date,
+		question: func(s string) string { return fmt.Sprintf("What year did the %s begin?", s) },
+		gold: func(s, a string) string {
+			return fmt.Sprintf("The %s began in %s according to records.", s, a)
+		},
+		verb: "began",
+	},
+	{
+		typ:      nlp.Quantity,
+		question: func(s string) string { return fmt.Sprintf("How many %s were counted?", s) },
+		gold: func(s, a string) string {
+			return fmt.Sprintf("Officials counted %s %s during the survey.", a, s)
+		},
+		verb: "counted",
+	},
+	{
+		typ:      nlp.Money,
+		question: func(s string) string { return fmt.Sprintf("How much did the %s cost?", s) },
+		gold: func(s, a string) string {
+			return fmt.Sprintf("The %s cost %s to complete.", s, a)
+		},
+		verb: "cost",
+	},
+	{
+		typ:      nlp.Organization,
+		question: func(s string) string { return fmt.Sprintf("What company built the %s?", s) },
+		gold: func(s, a string) string {
+			return fmt.Sprintf("%s built the %s over a decade.", a, s)
+		},
+		verb: "built",
+	},
+	{
+		typ:      nlp.Disease,
+		question: func(s string) string { return fmt.Sprintf("What disease is associated with the %s?", s) },
+		gold: func(s, a string) string {
+			return fmt.Sprintf("Doctors associated %s with the %s.", a, s)
+		},
+		verb: "associated",
+	},
+}
+
+// plantFact creates fact f: it picks a template, topic words and an answer,
+// appends the gold sentence to one paragraph and partial-support sentences
+// to many others.
+func (g *generator) plantFact(f int) Fact {
+	cfg := g.cfg
+
+	// Nationality questions have a different shape (the subject is a
+	// person, as in the paper's Q.176); interleave them every 8th fact.
+	if f%8 == 7 {
+		return g.plantNationalityFact(f)
+	}
+	tmpl := factTemplates[f%len(factTemplates)]
+
+	k := randRange(g.rng, cfg.KeywordsPerFact)
+	topics := g.pickTopicWords(k)
+	subject := strings.Join(topics, " ")
+
+	answer := g.makeAnswer(tmpl.typ)
+	question := tmpl.question(subject)
+	gold := tmpl.gold(subject, answer)
+
+	goldPara := g.randomParagraph()
+	goldPara.Text = strings.TrimSpace(goldPara.Text + " " + gold)
+	echoes := g.plantEchoes(subject, answer)
+
+	partials := randRange(g.rng, cfg.PartialsPerFact)
+	for i := 0; i < partials; i++ {
+		g.plantPartial(tmpl, topics)
+	}
+
+	return Fact{
+		ID:             f,
+		Question:       question,
+		AnswerType:     tmpl.typ,
+		Answer:         answer,
+		TopicWords:     topics,
+		GoldParagraph:  goldPara.ID,
+		EchoParagraphs: echoes,
+		Partials:       partials,
+	}
+}
+
+// plantEchoes plants two paraphrased restatements of the fact in other
+// paragraphs. Real collections repeat true facts across documents — that
+// redundancy is precisely what the answer-sorting h7 heuristic exploits, so
+// the synthetic corpus must reproduce it for the pipeline's accuracy to be
+// meaningful.
+func (g *generator) plantEchoes(subject, answer string) []int {
+	templates := []string{
+		"Records about the %s point to %s.",
+		"Most accounts link the %s with %s.",
+	}
+	out := make([]int, 0, len(templates))
+	for _, tpl := range templates {
+		p := g.randomParagraph()
+		p.Text = strings.TrimSpace(p.Text + " " + fmt.Sprintf(tpl, subject, answer))
+		out = append(out, p.ID)
+	}
+	return out
+}
+
+// plantNationalityFact handles "What is the nationality of <PERSON>?".
+func (g *generator) plantNationalityFact(f int) Fact {
+	cfg := g.cfg
+	person := g.randomEntityOf(nlp.Person)
+	answer := g.randomEntityOf(nlp.Nationality)
+	topic := g.pickTopicWords(1)[0]
+	question := fmt.Sprintf("What is the nationality of %s?", person)
+	gold := fmt.Sprintf("The %s born %s spoke about the %s at length.", answer, person, topic)
+
+	goldPara := g.randomParagraph()
+	goldPara.Text = strings.TrimSpace(goldPara.Text + " " + gold)
+	echoes := g.plantEchoes(person, answer)
+
+	partials := randRange(g.rng, cfg.PartialsPerFact)
+	for i := 0; i < partials; i++ {
+		p := g.randomParagraph()
+		var b strings.Builder
+		b.WriteString(capitalize(person))
+		b.WriteString(" appeared near the ")
+		b.WriteString(strings.Join(g.backgroundWords(p.Sub, 2), " "))
+		if g.rng.Float64() < cfg.DistractorRate {
+			b.WriteString(" alongside members of the ")
+			b.WriteString(g.randomEntityOf(nlp.Nationality))
+			b.WriteString(" delegation")
+		}
+		b.WriteString(".")
+		p.Text = strings.TrimSpace(p.Text + " " + b.String())
+	}
+	return Fact{
+		ID:             f,
+		Question:       question,
+		AnswerType:     nlp.Nationality,
+		Answer:         answer,
+		TopicWords:     append(nlp.Words(person), topic),
+		GoldParagraph:  goldPara.ID,
+		EchoParagraphs: echoes,
+		Partials:       partials,
+	}
+}
+
+// plantPartial appends a partial-support sentence (a keyword subset, the
+// template verb half the time, and occasionally a same-type distractor
+// entity) to a random paragraph.
+//
+// Each partial draws a quality in [0,1) that shapes the sentence the way
+// editorial quality shapes real text: high-quality partials keep the topic
+// words adjacent (high keyword-proximity score, so the Paragraph Ordering
+// module ranks them first) and are dense with named entities (expensive for
+// answer processing). This is the rank/granularity correlation the paper
+// observes in Section 4.1.3 — "the paragraph ranking performed by the PO
+// module provides also a good ranking of the paragraph processing
+// complexity" — which is what makes ISEND effective and SEND unbalanced.
+func (g *generator) plantPartial(tmpl factTemplate, topics []string) {
+	cfg := g.cfg
+	p := g.randomParagraph()
+	quality := g.rng.Float64()
+	// With FullPartialRate the partial carries all topic words (retrieved
+	// by the strict Boolean AND); otherwise a subset of at least half.
+	n := len(topics)
+	if g.rng.Float64() >= cfg.FullPartialRate {
+		min := (len(topics) + 1) / 2
+		n = min
+		if len(topics) > min {
+			n += g.rng.Intn(len(topics) - min)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Reports mention the ")
+	gap := int((1 - quality) * 5) // low quality scatters the keywords
+	for i, w := range topics[:n] {
+		if i > 0 {
+			for k := 0; k < gap; k++ {
+				b.WriteString(g.backgroundWords(p.Sub, 1)[0])
+				b.WriteString(" ")
+			}
+		}
+		b.WriteString(w)
+		b.WriteString(" ")
+	}
+	if g.rng.Float64() < 0.5 {
+		b.WriteString(tmpl.verb)
+	}
+	if g.rng.Float64() < cfg.DistractorRate {
+		// Spurious co-occurrences sit in looser apposition than true
+		// support, which is what lets the window distance heuristic (h3)
+		// separate them from the gold answers.
+		b.WriteString(" near the far side of ")
+		b.WriteString(g.makeAnswer(tmpl.typ))
+	}
+	// Entity density scales with quality (no accuracy impact: other-type
+	// entities are dropped by the answer-type filter).
+	if g.rng.Float64() < quality {
+		b.WriteString(" beside ")
+		b.WriteString(g.entityOfOtherType(tmpl.typ))
+	}
+	if g.rng.Float64() < quality*0.3 {
+		b.WriteString(" and ")
+		b.WriteString(g.entityOfOtherType(tmpl.typ))
+	}
+	b.WriteString(".")
+	// High-quality coverage returns to its subject: topic words recur, and
+	// answer processing pays for each extra (candidate, occurrence) window.
+	for _, w := range topics[:n] {
+		if g.rng.Float64() < quality*0.7 {
+			b.WriteString(" The ")
+			b.WriteString(w)
+			b.WriteString(" drew attention.")
+		}
+	}
+	p.Text = strings.TrimSpace(p.Text + " " + b.String())
+}
+
+// makeAnswer produces an answer string of the given type. Gazetteer-backed
+// types draw a name; pattern types synthesise a matching surface form.
+func (g *generator) makeAnswer(typ nlp.EntityType) string {
+	switch typ {
+	case nlp.Date:
+		return fmt.Sprintf("%d", 1900+g.rng.Intn(100))
+	case nlp.Quantity:
+		// Three-digit counts: four-digit values starting with 1 or 2 would
+		// be recognised as years by the NER date pattern.
+		return fmt.Sprintf("%d", 100+g.rng.Intn(900))
+	case nlp.Money:
+		return fmt.Sprintf("%d dollars", 1000+g.rng.Intn(900000))
+	default:
+		return g.randomEntityOf(typ)
+	}
+}
+
+// pickTopicWords samples n distinct mid-to-low-frequency vocabulary words.
+func (g *generator) pickTopicWords(n int) []string {
+	lo := len(g.vocab) / 3
+	seen := make(map[string]bool, n)
+	var out []string
+	for len(out) < n {
+		w := g.vocab[lo+g.rng.Intn(len(g.vocab)-lo)]
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+// entityOfOtherType draws a gazetteer entity whose type differs from typ.
+func (g *generator) entityOfOtherType(typ nlp.EntityType) string {
+	types := []nlp.EntityType{nlp.Person, nlp.Location, nlp.Organization, nlp.Disease, nlp.Nationality}
+	for {
+		t := types[g.rng.Intn(len(types))]
+		if t != typ {
+			return g.randomEntityOf(t)
+		}
+	}
+}
+
+func (g *generator) randomParagraph() *Paragraph {
+	return g.coll.paragraphs[g.rng.Intn(len(g.coll.paragraphs))]
+}

@@ -1,0 +1,111 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+
+	"distqa/internal/nlp"
+)
+
+// Syllable inventories for synthetic word and name generation. Vocabulary
+// words and entity names draw from disjoint syllable families so that a
+// planted entity rarely collides with a background word, the same way real
+// proper nouns are mostly disjoint from common vocabulary.
+var (
+	wordOnsets  = []string{"b", "br", "c", "cl", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pl", "r", "s", "st", "t", "tr", "v", "w", "z", "sh", "th"}
+	wordNuclei  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou", "io"}
+	wordCodas   = []string{"", "n", "r", "l", "s", "t", "m", "nd", "rt", "st", "x"}
+	nameOnsets  = []string{"Bal", "Cor", "Dan", "El", "Far", "Gor", "Hal", "Is", "Jor", "Kal", "Lor", "Mar", "Nor", "Or", "Pel", "Quin", "Ros", "Sal", "Tor", "Ul", "Var", "Wen", "Yor", "Zan"}
+	nameMiddles = []string{"a", "e", "i", "o", "u", "an", "en", "in", "on", "ar", "er", "or", "al", "el", "il"}
+	nameEndings = []string{"d", "da", "dor", "la", "lan", "mir", "na", "nia", "ria", "ros", "s", "sa", "th", "thia", "ton", "va", "vin"}
+)
+
+// makeVocabulary generates n distinct lower-case content words, ordered by
+// intended frequency rank (rank 0 = most frequent under the Zipf sampler).
+func makeVocabulary(rng *rand.Rand, n int) []string {
+	seen := make(map[string]bool, n)
+	words := make([]string, 0, n)
+	for len(words) < n {
+		var b strings.Builder
+		syllables := 2 + rng.Intn(2)
+		for s := 0; s < syllables; s++ {
+			b.WriteString(wordOnsets[rng.Intn(len(wordOnsets))])
+			b.WriteString(wordNuclei[rng.Intn(len(wordNuclei))])
+			b.WriteString(wordCodas[rng.Intn(len(wordCodas))])
+		}
+		w := b.String()
+		if len(w) < 4 || seen[w] || nlp.IsStopword(w) {
+			continue
+		}
+		seen[w] = true
+		words = append(words, w)
+	}
+	return words
+}
+
+// makeName generates a capitalized proper-noun-like word.
+func makeName(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString(nameOnsets[rng.Intn(len(nameOnsets))])
+	if rng.Float64() < 0.6 {
+		b.WriteString(nameMiddles[rng.Intn(len(nameMiddles))])
+	}
+	b.WriteString(nameEndings[rng.Intn(len(nameEndings))])
+	return b.String()
+}
+
+// makeEntityNames builds the per-type gazetteer name lists. The counts are
+// sized so questions have plenty of same-type distractors, exercising the
+// answer-window heuristics rather than letting type filtering alone pick the
+// answer.
+func makeEntityNames(rng *rand.Rand) map[nlp.EntityType][]string {
+	uniq := func(n int, gen func() string) []string {
+		seen := make(map[string]bool, n)
+		var out []string
+		for len(out) < n {
+			name := gen()
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			out = append(out, name)
+		}
+		return out
+	}
+	firstNames := uniq(48, func() string { return makeName(rng) })
+	lastNames := uniq(96, func() string { return makeName(rng) })
+
+	names := map[nlp.EntityType][]string{}
+	names[nlp.Person] = uniq(160, func() string {
+		return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+	})
+	names[nlp.Location] = uniq(140, func() string {
+		base := makeName(rng)
+		switch rng.Intn(4) {
+		case 0:
+			return "Lake " + base
+		case 1:
+			return "Port " + base
+		case 2:
+			return base + " Valley"
+		default:
+			return base
+		}
+	})
+	names[nlp.Organization] = uniq(100, func() string {
+		base := makeName(rng)
+		suffixes := []string{"Corporation", "Institute", "University", "Company", "Laboratories"}
+		return base + " " + suffixes[rng.Intn(len(suffixes))]
+	})
+	names[nlp.Disease] = uniq(80, func() string {
+		base := makeName(rng)
+		suffixes := []string{"Syndrome", "Disease", "Fever", "Disorder"}
+		return base + " " + suffixes[rng.Intn(len(suffixes))]
+	})
+	names[nlp.Nationality] = uniq(80, func() string {
+		base := makeName(rng)
+		suffixes := []string{"ian", "ish", "ese", "ic"}
+		return base + suffixes[rng.Intn(len(suffixes))]
+	})
+	return names
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distqa/internal/core"
+	"distqa/internal/metrics"
+	"distqa/internal/sched"
+	"distqa/internal/workload"
+)
+
+// This file holds the ablation studies for the design choices DESIGN.md
+// §6 calls out — knobs the paper fixes implicitly whose values matter:
+// the per-node admission limit, the load-broadcast interval (staleness),
+// and the AP under-load threshold (partitioning aggressiveness). Each
+// ablation runs the high-load DQA workload with one knob swept and
+// everything else at paper defaults.
+
+// ablationRun executes one high-load DQA run with a customised config.
+func ablationRun(env *Env, nodes int, mutate func(*core.Config)) HighLoadRun {
+	eng := env.Engine()
+	n := env.QPerNode * nodes
+	qs := env.Questions().Pick(env.Seed, n)
+	arrivals := workload.PaperArrivals(env.Seed, n, Warm)
+
+	cfg := core.DefaultConfig(nodes, core.DQA)
+	cfg.APPartitioner = sched.NewRECV(env.APChunk)
+	mutate(&cfg)
+	sys := core.NewSystem(cfg, eng)
+	defer sys.Shutdown()
+	for i, q := range qs {
+		sys.Submit(arrivals[i], q.ID, q.Text)
+	}
+	sys.RunToCompletion()
+
+	run := HighLoadRun{Strategy: core.DQA, Nodes: nodes, Questions: n, Stats: sys.Stats()}
+	var lats []float64
+	first, last := arrivals[0], 0.0
+	for _, r := range sys.Results() {
+		if r.Err != nil {
+			continue
+		}
+		lats = append(lats, r.Latency())
+		if r.DoneTime > last {
+			last = r.DoneTime
+		}
+	}
+	run.Makespan = last - first
+	run.Throughput = metrics.ThroughputPerMinute(len(lats), run.Makespan)
+	run.Latency = metrics.Summarize(lats)
+	return run
+}
+
+// AblationAdmission sweeps the per-node admission limit. The paper fixes
+// "fully loaded" at 4 simultaneous questions; this shows the trade-off that
+// choice sits on: tight caps serialize (queueing latency), loose caps
+// oversubscribe memory (thrash).
+func AblationAdmission(env *Env) Table {
+	t := Table{
+		ID:     "ablation-admission",
+		Title:  "Ablation: per-node admission limit (DQA, high load)",
+		Header: []string{"MaxConcurrent", "Throughput (q/min)", "Avg latency (s)", "P90 latency (s)"},
+	}
+	nodes := midNodes(env)
+	for _, cap := range []int{1, 2, 4, 8, 16} {
+		cap := cap
+		r := ablationRun(env, nodes, func(c *core.Config) { c.MaxConcurrent = cap })
+		t.AddRow(fmt.Sprintf("%d", cap), f2(r.Throughput), f1(r.Latency.Mean), f1(r.Latency.P90))
+	}
+	t.Note("paper's operating point: 4 (Section 6.1); expect degradation on both sides")
+	t.Note("%d-node cluster, %d questions", nodes, env.QPerNode*nodes)
+	return t
+}
+
+// AblationBroadcast sweeps the load monitors' broadcast interval. All
+// dispatcher decisions act on information up to one interval stale; longer
+// intervals cheapen monitoring but degrade placement.
+func AblationBroadcast(env *Env) Table {
+	t := Table{
+		ID:     "ablation-broadcast",
+		Title:  "Ablation: load-broadcast interval (DQA, high load)",
+		Header: []string{"Interval (s)", "Throughput (q/min)", "Avg latency (s)", "QA/PR/AP migrations"},
+	}
+	nodes := midNodes(env)
+	for _, iv := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		iv := iv
+		r := ablationRun(env, nodes, func(c *core.Config) { c.MonitorInterval = iv })
+		t.AddRow(fmt.Sprintf("%.2f", iv), f2(r.Throughput), f1(r.Latency.Mean),
+			fmt.Sprintf("%d/%d/%d", r.Stats.QAMigrations, r.Stats.PRMigrations, r.Stats.APMigrations))
+	}
+	t.Note("paper's operating point: 1 s (Section 3.1)")
+	return t
+}
+
+// AblationAPThreshold sweeps the AP under-load threshold of Equation 8.
+// Low thresholds suppress partitioning (favouring throughput); high
+// thresholds partition aggressively (favouring response time) — the
+// trade-off Section 4.2 discusses.
+func AblationAPThreshold(env *Env) Table {
+	t := Table{
+		ID:     "ablation-apthreshold",
+		Title:  "Ablation: AP under-load threshold (DQA, high load)",
+		Header: []string{"Threshold", "Throughput (q/min)", "Avg latency (s)", "AP partitioned"},
+	}
+	nodes := midNodes(env)
+	for _, th := range []float64{0.5, 1.05, 2, 4} {
+		th := th
+		r := ablationRun(env, nodes, func(c *core.Config) { c.APUnderload = th })
+		t.AddRow(fmt.Sprintf("%.2f", th), f2(r.Throughput), f1(r.Latency.Mean),
+			fmt.Sprintf("%d", r.Stats.APPartitioned))
+	}
+	t.Note("paper's operating point: the load of a single AP sub-task (≈1), favouring throughput (Section 4.2)")
+	return t
+}
+
+// midNodes picks the middle configured cluster size for ablations.
+func midNodes(env *Env) int {
+	if len(env.Nodes) == 0 {
+		return 4
+	}
+	return env.Nodes[len(env.Nodes)/2]
+}
+
+// Ablations runs all three sweeps.
+func Ablations(env *Env) []Table {
+	return []Table{AblationAdmission(env), AblationBroadcast(env), AblationAPThreshold(env)}
+}

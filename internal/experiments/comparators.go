@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distqa/internal/core"
+)
+
+// Comparators extends the paper's Table 5/6 ladder with the classical
+// gradient model (Lin & Keller) that its related work cites: whole-question
+// balancing by hop-wise diffusion on a logical ring, using only neighbour
+// proximities, against the paper's broadcast-table designs.
+func Comparators(env *Env) Table {
+	t := Table{
+		ID:     "comparators",
+		Title:  "Extension: gradient model vs the paper's strategies (high load)",
+		Header: []string{"Processors", "DNS", "GRADIENT", "INTER", "DQA", "(throughput q/min)"},
+	}
+	strategies := []core.Strategy{core.DNS, core.GRADIENT, core.INTER, core.DQA}
+	for _, nodes := range env.Nodes {
+		row := []string{fmt.Sprintf("%d", nodes)}
+		for _, strat := range strategies {
+			r := runHighLoad(env, nodes, strat)
+			row = append(row, f2(r.Throughput))
+		}
+		row = append(row, "")
+		t.AddRow(row...)
+	}
+	t.Note("the gradient model sees only ring neighbours; the paper's dispatchers see the full broadcast load table")
+	return t
+}

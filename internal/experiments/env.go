@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 2, 4, 5 and 6). Each experiment returns a Table —
+// rows of formatted cells plus the paper's reference values — that the
+// qabench/qamodel commands print and the benchmark harness exercises.
+//
+// Two environments are provided: Paper() runs at the paper's scale
+// (TREC-9-like 3 GB virtual collection, 4/8/12-node clusters, 8 questions
+// per node) and Small() is a down-scaled variant for unit tests.
+package experiments
+
+import (
+	"sync"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/qa"
+	"distqa/internal/workload"
+)
+
+// Warm is the virtual time of the first question submission; monitors have
+// broadcast at least once by then (a production system's monitors run long
+// before any question arrives).
+const Warm = 2.0
+
+// Env carries the experiment configuration and caches the expensive
+// artifacts (corpora, indexes, question profiles).
+type Env struct {
+	// Corpus9 is the main evaluation collection (TREC-9 stand-in);
+	// Corpus8 is the TREC-8 stand-in used by Table 2.
+	Corpus9 corpus.Config
+	Corpus8 corpus.Config
+	// Nodes are the cluster sizes of the load-balancing experiments.
+	Nodes []int
+	// QPerNode is the high-load multiplier (the paper starts 8·N questions).
+	QPerNode int
+	// ComplexCount is how many complex questions the low-load experiments
+	// use (the paper used 307 TREC questions; the synthetic set is smaller).
+	ComplexCount int
+	// APChunk is the RECV chunk size for answer processing (Figure 10's
+	// optimum, 40 paragraphs).
+	APChunk int
+	// Fig10Chunks is the chunk-size sweep of Figure 10.
+	Fig10Chunks []int
+	// Seed drives question selection and arrival gaps.
+	Seed int64
+	// Replications is how many independent question/arrival draws the
+	// high-load experiments average over.
+	Replications int
+
+	mu        sync.Mutex
+	engine9   *qa.Engine
+	engine8   *qa.Engine
+	profiled  *workload.Set
+	profiled8 *workload.Set
+}
+
+// Paper returns the full-scale environment.
+func Paper() *Env {
+	return &Env{
+		Corpus9:      corpus.TREC9Like(),
+		Corpus8:      corpus.TREC8Like(),
+		Nodes:        []int{4, 8, 12},
+		QPerNode:     8,
+		ComplexCount: 48,
+		APChunk:      40,
+		Fig10Chunks:  []int{5, 10, 20, 40, 60, 80, 100},
+		Seed:         20010901,
+		Replications: 3,
+	}
+}
+
+// Small returns a fast environment for unit tests: tiny corpus, two cluster
+// sizes, fewer questions, proportionally smaller chunks.
+func Small() *Env {
+	tiny8 := corpus.Tiny()
+	tiny8.Seed = 43
+	tiny8.Name = "tiny8"
+	tiny8.PartialsPerFact = [2]int{3, 12}
+	tiny8.TargetVirtualBytes = 30e6
+	return &Env{
+		Corpus9:      corpus.Tiny(),
+		Corpus8:      tiny8,
+		Nodes:        []int{2, 4},
+		QPerNode:     3,
+		ComplexCount: 6,
+		APChunk:      5,
+		Fig10Chunks:  []int{2, 5, 10},
+		Seed:         42,
+		Replications: 2,
+	}
+}
+
+// Engine returns the pipeline engine over the main collection, built once.
+func (e *Env) Engine() *qa.Engine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.engine9 == nil {
+		c := corpus.Generate(e.Corpus9)
+		e.engine9 = qa.NewEngine(c, index.BuildAll(c))
+	}
+	return e.engine9
+}
+
+// Engine8 returns the engine over the TREC-8 stand-in collection.
+func (e *Env) Engine8() *qa.Engine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.engine8 == nil {
+		c := corpus.Generate(e.Corpus8)
+		e.engine8 = qa.NewEngine(c, index.BuildAll(c))
+	}
+	return e.engine8
+}
+
+// Questions returns the profiled question set over the main collection.
+func (e *Env) Questions() workload.Set {
+	eng := e.Engine()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.profiled == nil {
+		s := workload.FromCollection(eng.Coll).Profile(eng)
+		e.profiled = &s
+	}
+	return *e.profiled
+}
+
+// Questions8 returns the profiled question set over the TREC-8 stand-in.
+func (e *Env) Questions8() workload.Set {
+	eng := e.Engine8()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.profiled8 == nil {
+		s := workload.FromCollection(eng.Coll).Profile(eng)
+		e.profiled8 = &s
+	}
+	return *e.profiled8
+}
+
+// Complex returns the ComplexCount most complex questions — the Section 6.2
+// population ("questions with at least 20 paragraphs allocated to each AP
+// module").
+func (e *Env) Complex() workload.Set {
+	return e.Questions().TopComplex(e.ComplexCount)
+}
+
+// MaxNodes returns the largest configured cluster size.
+func (e *Env) MaxNodes() int {
+	max := 0
+	for _, n := range e.Nodes {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}

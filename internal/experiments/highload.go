@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distqa/internal/core"
+	"distqa/internal/metrics"
+	"distqa/internal/sched"
+	"distqa/internal/workload"
+)
+
+// HighLoadRun is the outcome of one (strategy, cluster-size) high-load run
+// — the raw material of Tables 5, 6 and 7.
+type HighLoadRun struct {
+	Strategy   core.Strategy
+	Nodes      int
+	Questions  int
+	Makespan   float64
+	Throughput float64 // questions/minute
+	Latency    metrics.Summary
+	Stats      core.Stats
+}
+
+// runHighLoadOnce executes one replication of the paper's Section 6.1
+// protocol: start QPerNode·N questions (twice the per-node full-load
+// threshold of 4) at inter-arrival gaps uniform in [0, 2) seconds,
+// identical question sequence and arrival times for every strategy.
+func runHighLoadOnce(env *Env, nodes int, strategy core.Strategy, seed int64) HighLoadRun {
+	eng := env.Engine()
+	n := env.QPerNode * nodes
+	qs := env.Questions().Pick(seed, n)
+	arrivals := workload.PaperArrivals(seed, n, Warm)
+
+	cfg := core.DefaultConfig(nodes, strategy)
+	cfg.APPartitioner = sched.NewRECV(env.APChunk)
+	sys := core.NewSystem(cfg, eng)
+	defer sys.Shutdown()
+	for i, q := range qs {
+		sys.Submit(arrivals[i], q.ID, q.Text)
+	}
+	sys.RunToCompletion()
+
+	run := HighLoadRun{Strategy: strategy, Nodes: nodes, Questions: n, Stats: sys.Stats()}
+	var lats []float64
+	first, last := arrivals[0], 0.0
+	for _, r := range sys.Results() {
+		if r.Err != nil {
+			continue
+		}
+		lats = append(lats, r.Latency())
+		if r.DoneTime > last {
+			last = r.DoneTime
+		}
+	}
+	run.Makespan = last - first
+	run.Throughput = metrics.ThroughputPerMinute(len(lats), run.Makespan)
+	run.Latency = metrics.Summarize(lats)
+	return run
+}
+
+// runHighLoad averages Replications independent question/arrival draws.
+// The paper reports single runs; replication tames the tail noise a 32-96
+// question makespan inevitably carries (documented in EXPERIMENTS.md).
+func runHighLoad(env *Env, nodes int, strategy core.Strategy) HighLoadRun {
+	reps := env.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	agg := HighLoadRun{Strategy: strategy, Nodes: nodes}
+	for rep := 0; rep < reps; rep++ {
+		r := runHighLoadOnce(env, nodes, strategy, env.Seed+int64(rep)*1009)
+		agg.Questions = r.Questions
+		agg.Makespan += r.Makespan / float64(reps)
+		agg.Throughput += r.Throughput / float64(reps)
+		agg.Latency.Mean += r.Latency.Mean / float64(reps)
+		agg.Stats.QAMigrations += r.Stats.QAMigrations
+		agg.Stats.PRMigrations += r.Stats.PRMigrations
+		agg.Stats.APMigrations += r.Stats.APMigrations
+		agg.Stats.PRPartitioned += r.Stats.PRPartitioned
+		agg.Stats.APPartitioned += r.Stats.APPartitioned
+		agg.Stats.Failed += r.Stats.Failed
+	}
+	agg.Stats.QAMigrations /= reps
+	agg.Stats.PRMigrations /= reps
+	agg.Stats.APMigrations /= reps
+	agg.Stats.PRPartitioned /= reps
+	agg.Stats.APPartitioned /= reps
+	return agg
+}
+
+// HighLoadMatrix runs every (strategy, size) combination once, caching
+// within the call.
+func HighLoadMatrix(env *Env) []HighLoadRun {
+	var out []HighLoadRun
+	for _, nodes := range env.Nodes {
+		for _, strat := range []core.Strategy{core.DNS, core.INTER, core.DQA} {
+			out = append(out, runHighLoad(env, nodes, strat))
+		}
+	}
+	return out
+}
+
+// Table5 reproduces the paper's Table 5: system throughput in
+// questions/minute for the three load-balancing strategies.
+func Table5(env *Env) Table {
+	return table5And6(env, HighLoadMatrix(env))[0]
+}
+
+// Table6 reproduces the paper's Table 6: average question response times.
+func Table6(env *Env) Table {
+	return table5And6(env, HighLoadMatrix(env))[1]
+}
+
+// Tables567 runs the high-load matrix once and derives Tables 5, 6 and 7
+// from it (they share the same runs, as in the paper).
+func Tables567(env *Env) []Table {
+	runs := HighLoadMatrix(env)
+	out := table5And6(env, runs)
+	return append(out, table7(env, runs))
+}
+
+func table5And6(env *Env, runs []HighLoadRun) []Table {
+	t5 := Table{
+		ID:     "table5",
+		Title:  "System throughput (questions/minute)",
+		Header: []string{"Processors", "DNS", "INTER", "DQA"},
+	}
+	t6 := Table{
+		ID:     "table6",
+		Title:  "Average question response times (seconds)",
+		Header: []string{"Processors", "DNS", "INTER", "DQA"},
+	}
+	byKey := indexRuns(runs)
+	for _, nodes := range env.Nodes {
+		var thr, lat []string
+		for _, strat := range []core.Strategy{core.DNS, core.INTER, core.DQA} {
+			r := byKey[key{nodes, strat}]
+			thr = append(thr, f2(r.Throughput))
+			lat = append(lat, f2(r.Latency.Mean))
+		}
+		t5.AddRow(append([]string{fmt.Sprintf("%d processors", nodes)}, thr...)...)
+		t6.AddRow(append([]string{fmt.Sprintf("%d processors", nodes)}, lat...)...)
+	}
+	t5.Note("paper: 4p 2.64/3.45/4.18, 8p 5.04/5.52/7.77, 12p 7.89/9.71/12.09; expect DQA > INTER > DNS")
+	t6.Note("paper: 4p 143.9/122.5/111.9, 8p 135.3/118.8/113.5, 12p 132.5/115.3/106.0; expect DQA < INTER < DNS")
+	t5.Note("workload: %d questions per processor, arrival gaps U[0,2)s", env.QPerNode)
+	return []Table{t5, t6}
+}
+
+func table7(env *Env, runs []HighLoadRun) Table {
+	t := Table{
+		ID:     "table7",
+		Title:  "Number of migrated questions at the three scheduling points",
+		Header: []string{"Workload", "INTER", "DQA"},
+	}
+	byKey := indexRuns(runs)
+	for _, nodes := range env.Nodes {
+		inter := byKey[key{nodes, core.INTER}].Stats
+		dqa := byKey[key{nodes, core.DQA}].Stats
+		label := fmt.Sprintf("%d questions (%d processors)", env.QPerNode*nodes, nodes)
+		t.AddRow(label, fmt.Sprintf("QA: %d", inter.QAMigrations), fmt.Sprintf("QA: %d", dqa.QAMigrations))
+		t.AddRow("", "", fmt.Sprintf("PR: %d", dqa.PRMigrations))
+		t.AddRow("", "", fmt.Sprintf("AP: %d", dqa.APMigrations))
+	}
+	t.Note("paper (32q/4p): INTER QA:8; DQA QA:17 PR:10 AP:10 — PR/AP dispatchers stay active")
+	t.Note("paper (96q/12p): INTER QA:23; DQA QA:37 PR:43 AP:41")
+	return t
+}
+
+type key struct {
+	nodes    int
+	strategy core.Strategy
+}
+
+func indexRuns(runs []HighLoadRun) map[key]HighLoadRun {
+	m := make(map[key]HighLoadRun, len(runs))
+	for _, r := range runs {
+		m[key{r.Nodes, r.Strategy}] = r
+	}
+	return m
+}
+
+// HighLoadOne exposes a single high-load run for calibration and tooling.
+func HighLoadOne(env *Env, nodes int, strategy core.Strategy) HighLoadRun {
+	return runHighLoadOnce(env, nodes, strategy, env.Seed)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distqa/internal/model"
+)
+
+// Table4 renders the analytical Table 4: practical upper limits on the
+// number of processors (Equation 34) and the corresponding speedups, across
+// the disk × network bandwidth grid.
+func Table4(env *Env) Table {
+	t := Table{
+		ID:     "table4",
+		Title:  "Practical upper limits on the number of processors and the corresponding speedups",
+		Header: []string{"disk \\ net", "1 Mbps", "10 Mbps", "100 Mbps", "1 Gbps"},
+	}
+	rows := model.Table4(model.TREC9IntraParams())
+	labels := []string{"100 Mbps", "250 Mbps", "500 Mbps", "1 Gbps"}
+	for d := 0; d < 4; d++ {
+		nRow := []string{labels[d]}
+		sRow := []string{""}
+		for c := 0; c < 4; c++ {
+			cell := rows[d*4+c]
+			nRow = append(nRow, fmt.Sprintf("N = %d", cell.NMax))
+			sRow = append(sRow, fmt.Sprintf("S = %.2f", cell.Speedup))
+		}
+		t.AddRow(nRow...)
+		t.AddRow(sRow...)
+	}
+	t.Note("paper corners: (1Mbps,100Mbps) N=17 S=8.65; (1Gbps,100Mbps) N=93 S=47.73; (1Mbps,1Gbps) N=11 S=5.59; (1Gbps,1Gbps) N=60 S=31.34")
+	t.Note("parameters re-derived from the paper's stated TREC-9 profile; see internal/model package comment")
+	return t
+}
+
+// curveTable renders model curves at selected processor counts.
+func curveTable(id, title string, curves []model.Curve, at []int) Table {
+	t := Table{ID: id, Title: title}
+	t.Header = []string{"Processors"}
+	for _, c := range curves {
+		t.Header = append(t.Header, c.Label)
+	}
+	for _, n := range at {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, c := range curves {
+			row = append(row, f2(sampleCurve(c, n)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func sampleCurve(c model.Curve, n int) float64 {
+	for i, cn := range c.N {
+		if cn >= n {
+			return c.Y[i]
+		}
+	}
+	return c.Y[len(c.Y)-1]
+}
+
+// Figure8 renders the analytical system speedup for various network
+// bandwidths (the paper's Figure 8(a)).
+func Figure8(env *Env) Table {
+	t := curveTable("fig8", "Analytical system speedup for various network bandwidths",
+		model.Figure8(model.TREC9InterParams()),
+		[]int{1, 100, 200, 400, 600, 800, 1000})
+	t.Note("paper: efficiency ≈ 0.9 at 1000 processors on 1 Gbps; 10 Mbps collapses at scale")
+	return t
+}
+
+// Figure9a renders the analytical question speedup for a 1 Gbps disk and
+// various network bandwidths (Figure 9(a)).
+func Figure9a(env *Env) Table {
+	t := curveTable("fig9a", "Analytical question speedup: disk 1 Gbps, network swept",
+		model.Figure9a(model.TREC9IntraParams()),
+		[]int{1, 20, 40, 80, 120, 160, 200})
+	t.Note("speedup increases with network bandwidth (Figure 9(a))")
+	return t
+}
+
+// Figure9b renders the analytical question speedup for a 1 Gbps network and
+// various disk bandwidths (Figure 9(b)).
+func Figure9b(env *Env) Table {
+	t := curveTable("fig9b", "Analytical question speedup: network 1 Gbps, disk swept",
+		model.Figure9b(model.TREC9IntraParams()),
+		[]int{1, 20, 40, 80, 120, 160, 200})
+	t.Note("speedup decreases as disk bandwidth increases (Figure 9(b)): faster disks shrink the parallelizable PR share")
+	return t
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distqa/internal/core"
+)
+
+// Predictive evaluates the paper's footnote-1 future work: dynamic task
+// workload detection. The extension sizes each question from index
+// statistics (qa.Engine.EstimateCost — the Cahoon/McKinley document-
+// frequency heuristic the paper's Section 1.4 discusses and dismisses for
+// Q/A) and accounts admission backlogs in predicted-workload units, so the
+// question dispatcher sees a queue of heavy questions as heavier than a
+// queue of light ones.
+func Predictive(env *Env) Table {
+	t := Table{
+		ID:     "predictive",
+		Title:  "Extension: workload prediction at the question dispatcher (DQA, high load)",
+		Header: []string{"Processors", "Throughput base/pred (q/min)", "Avg latency base/pred (s)", "P90 latency base/pred (s)"},
+	}
+	for _, nodes := range env.Nodes {
+		base := ablationRun(env, nodes, func(c *core.Config) {})
+		pred := ablationRun(env, nodes, func(c *core.Config) { c.Predictive = true })
+		t.AddRow(fmt.Sprintf("%d", nodes),
+			fmt.Sprintf("%s / %s", f2(base.Throughput), f2(pred.Throughput)),
+			fmt.Sprintf("%s / %s", f1(base.Latency.Mean), f1(pred.Latency.Mean)),
+			fmt.Sprintf("%s / %s", f1(base.Latency.P90), f1(pred.Latency.P90)))
+	}
+	t.Note("the paper (Section 1.4) judged query-statistics cost prediction inapplicable to Q/A; the prediction's rank correlation with true cost is ≈0.7 here (see qa.EstimateCost tests)")
+	return t
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one or more tables for an experiment id.
+type Runner func(*Env) []Table
+
+// registry maps experiment ids to their runners. Shared-run experiments
+// (table5/6/7 and table8/9/10) are grouped so a single invocation reuses
+// the same simulations, exactly like the paper's shared measurement runs.
+var registry = map[string]Runner{
+	"table1":  single(Table1),
+	"table2":  single(Table2),
+	"table3":  single(Table3),
+	"table4":  single(Table4),
+	"table5":  Tables567,
+	"table6":  Tables567,
+	"table7":  Tables567,
+	"table8":  Tables8910,
+	"table9":  Tables8910,
+	"table10": Tables8910,
+	"table11": single(Table11),
+	"fig7":    single(Figure7),
+	"fig8":    single(Figure8),
+	"fig9a":   single(Figure9a),
+	"fig9b":   single(Figure9b),
+	"fig10":   single(Figure10),
+	// Ablations of the design knobs DESIGN.md §6 documents (not in the
+	// paper; run with `qabench -exp ablations`).
+	"ablations": Ablations,
+	// Scaling beyond the paper's 12-node testbed.
+	"scaling": single(Scaling),
+	// The footnote-1 future work: workload prediction at the dispatcher.
+	"predictive": single(Predictive),
+	// The related-work gradient model as a fourth strategy.
+	"comparators": single(Comparators),
+}
+
+func single(f func(*Env) Table) Runner {
+	return func(e *Env) []Table { return []Table{f(e)} }
+}
+
+// IDs lists the known experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(env *Env, id string) ([]Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(env), nil
+}
+
+// All runs every experiment once, deduplicating the grouped runners, and
+// returns the tables in presentation order.
+func All(env *Env) []Table {
+	var out []Table
+	out = append(out, Table1(env))
+	out = append(out, Table2(env))
+	out = append(out, Table3(env))
+	out = append(out, Table4(env))
+	out = append(out, Tables567(env)...)
+	out = append(out, Tables8910(env)...)
+	out = append(out, Table11(env))
+	out = append(out, Figure7(env))
+	out = append(out, Figure8(env))
+	out = append(out, Figure9a(env))
+	out = append(out, Figure9b(env))
+	out = append(out, Figure10(env))
+	return out
+}
+
+// AllWithAblations appends the ablation sweeps to the paper experiments.
+func AllWithAblations(env *Env) []Table {
+	return append(All(env), Ablations(env)...)
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distqa/internal/core"
+	"distqa/internal/model"
+)
+
+// Scaling extends the paper's evaluation beyond its 12-node testbed: it runs
+// the high-load DQA workload at growing cluster sizes and compares the
+// measured throughput scaling against the analytical inter-question model
+// of Equation 23 (which the paper could only evaluate analytically,
+// Figure 8). The simulated cluster carries the full protocol — monitors,
+// dispatchers, admission, partitioning — so this is the paper's "large
+// number of processors" claim exercised end to end.
+func Scaling(env *Env) Table {
+	t := Table{
+		ID:     "scaling",
+		Title:  "DQA throughput scaling beyond the testbed (measured vs Eq. 23)",
+		Header: []string{"Processors", "Throughput (q/min)", "Speedup", "Efficiency", "Model efficiency (Eq. 23)"},
+	}
+	sizes := scalingSizes(env)
+	inter := model.TREC9InterParams()
+	var base float64
+	for _, n := range sizes {
+		r := runHighLoad(env, n, core.DQA)
+		if base == 0 && r.Throughput > 0 {
+			base = r.Throughput / float64(sizes[0])
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.Throughput / base
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			f2(r.Throughput),
+			f2(speedup),
+			f2(speedup/float64(n)),
+			f2(inter.SystemEfficiency(n, 100*model.Mbps)))
+	}
+	t.Note("measured efficiency is relative to the smallest cluster's per-node throughput")
+	t.Note("the model's 100 Mbps curve is the comparable analytical prediction (Figure 8)")
+	return t
+}
+
+// scalingSizes doubles from the smallest configured size up to 4x the
+// largest (capped for simulation cost).
+func scalingSizes(env *Env) []int {
+	lo := env.Nodes[0]
+	hi := env.MaxNodes() * 4
+	if hi > 48 {
+		hi = 48
+	}
+	var out []int
+	for n := lo; n <= hi; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}

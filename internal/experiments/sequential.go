@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"distqa/internal/cluster"
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+	"distqa/internal/workload"
+)
+
+// testbedDiskBW converts disk bytes to nominal seconds on the testbed.
+var testbedDiskBW = cluster.TestbedHardware().DiskBandwidth
+
+// Table1 reproduces the paper's Table 1: example answers returned by the
+// Q/A system, one per representative answer type, with the answer shown in
+// its text context.
+func Table1(env *Env) Table {
+	t := Table{
+		ID:     "table1",
+		Title:  "Examples of answers returned by the Q/A system",
+		Header: []string{"Question", "Expected", "Format", "Answer (in context)"},
+	}
+	eng := env.Engine()
+	want := []nlp.EntityType{nlp.Disease, nlp.Location, nlp.Nationality, nlp.Person}
+	seen := map[nlp.EntityType]bool{}
+	qs := workload.FromCollection(eng.Coll)
+	for _, q := range qs.Questions {
+		if seen[q.Type] || !containsType(want, q.Type) {
+			continue
+		}
+		res := eng.AnswerSequential(q.Text)
+		if len(res.Answers) == 0 {
+			t.AddRow(q.Text, q.Expected, "", "(no answer)")
+		} else if len(seen) < 2 {
+			// The paper shows the first two examples in the 50-byte short
+			// format and the rest in the 250-byte long format.
+			t.AddRow(q.Text, q.Expected, "(short)", eng.ShortAnswer(res.Answers[0]))
+		} else {
+			t.AddRow(q.Text, q.Expected, "(long)", eng.LongAnswer(res.Answers[0]))
+		}
+		seen[q.Type] = true
+		if len(seen) == len(want) {
+			break
+		}
+	}
+	t.Note("paper shows TREC-9 questions (Tourette's Syndrome, Hollywood Cemetery, Taj Mahal, Polish-born Pope); the synthetic corpus plants equivalent typed facts")
+	return t
+}
+
+func containsType(ts []nlp.EntityType, t nlp.EntityType) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleProfile accumulates module costs over a question set.
+type moduleProfile struct {
+	costs qa.ModuleCosts
+	n     int
+	retr  int
+	acc   int
+}
+
+func profileSet(eng *qa.Engine, qs workload.Set) moduleProfile {
+	var p moduleProfile
+	for _, q := range qs.Questions {
+		r := eng.AnswerSequential(q.Text)
+		p.costs.QP = p.costs.QP.Add(r.Costs.QP)
+		p.costs.PR = p.costs.PR.Add(r.Costs.PR)
+		p.costs.PS = p.costs.PS.Add(r.Costs.PS)
+		p.costs.PO = p.costs.PO.Add(r.Costs.PO)
+		p.costs.AP = p.costs.AP.Add(r.Costs.AP)
+		p.costs.Sort = p.costs.Sort.Add(r.Costs.Sort)
+		p.retr += r.Retrieved
+		p.acc += r.Accepted
+		p.n++
+	}
+	return p
+}
+
+// Table2 reproduces the paper's Table 2: the percentage of the sequential
+// Q/A task time spent in each module, for the TREC-8-like and TREC-9-like
+// collections, with the iterative-granularity annotations.
+func Table2(env *Env) Table {
+	t := Table{
+		ID:     "table2",
+		Title:  "Analysis of Q/A modules (% of task time)",
+		Header: []string{"Module", "TREC-8-like", "TREC-9-like", "Iterative?", "Granularity", "Paper (T8/T9)"},
+	}
+	p8 := profileSet(env.Engine8(), workload.FromCollection(env.Engine8().Coll))
+	p9 := profileSet(env.Engine(), workload.FromCollection(env.Engine().Coll))
+	n8 := p8.costs.Nominal(1.0, testbedDiskBW)
+	n9 := p9.costs.Nominal(1.0, testbedDiskBW)
+	rows := []struct {
+		name   string
+		v8, v9 float64
+		iter   string
+		gran   string
+		paper  string
+	}{
+		{"QP", n8.QP, n9.QP, "No", "", "1.1 %/1.2 %"},
+		{"PR", n8.PR, n9.PR, "Yes", "Collection", "44.4 %/26.5 %"},
+		{"PS", n8.PS, n9.PS, "Yes", "Paragraph", "5.4 %/2.2 %"},
+		{"PO", n8.PO, n9.PO, "No", "", "0.1 %/0.1 %"},
+		{"AP", n8.AP, n9.AP, "Yes", "Paragraph", "48.7 %/69.7 %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, pct(r.v8/n8.Total), pct(r.v9/n9.Total), r.iter, r.gran, r.paper)
+	}
+	t.Note("avg sequential question: %.1f s (TREC-8-like, paper 48 s), %.1f s (TREC-9-like, paper 94 s)",
+		n8.Total/float64(p8.n), n9.Total/float64(p9.n))
+	t.Note("avg paragraphs retrieved/accepted: %d/%d (TREC-9-like)", p9.retr/p9.n, p9.acc/p9.n)
+	return t
+}
+
+// Table3 reproduces the paper's Table 3: the resource weights (fraction of
+// module execution time spent on CPU vs disk) measured for the question
+// set, which parameterise the load functions of Equations 4-6.
+func Table3(env *Env) Table {
+	t := Table{
+		ID:     "table3",
+		Title:  "Average resource weights measured for the question set",
+		Header: []string{"Load function", "CPU", "DISK", "Paper (CPU/DISK)"},
+	}
+	p := profileSet(env.Engine(), workload.FromCollection(env.Engine().Coll))
+	split := func(c qa.Cost) (cpu, disk float64) {
+		cpuT := c.CPUSeconds
+		diskT := c.DiskBytes / testbedDiskBW
+		total := cpuT + diskT
+		if total == 0 {
+			return 0, 0
+		}
+		return cpuT / total, diskT / total
+	}
+	qaCPU, qaDisk := split(p.costs.Total())
+	prCPU, prDisk := split(p.costs.PR)
+	apCPU, apDisk := split(p.costs.AP.Add(p.costs.Sort))
+	t.AddRow("QA", f2(qaCPU), f2(qaDisk), "0.79/0.21")
+	t.AddRow("PR", f2(prCPU), f2(prDisk), "0.20/0.80")
+	t.AddRow("AP", f2(apCPU), f2(apDisk), "1.00/0.00")
+	t.Note("weights feed the dispatcher load functions (Equations 4-6); package sched ships the paper's values as defaults")
+	return t
+}
+
+// MeasuredWeights returns the Table 3 weights in sched-usable form, for
+// callers that want to configure dispatchers from measurement rather than
+// the paper's constants.
+func MeasuredWeights(env *Env) (qaW, prW, apW [2]float64) {
+	p := profileSet(env.Engine(), workload.FromCollection(env.Engine().Coll))
+	split := func(c qa.Cost) [2]float64 {
+		cpuT := c.CPUSeconds
+		diskT := c.DiskBytes / testbedDiskBW
+		total := cpuT + diskT
+		if total == 0 {
+			return [2]float64{}
+		}
+		return [2]float64{cpuT / total, diskT / total}
+	}
+	return split(p.costs.Total()), split(p.costs.PR), split(p.costs.AP)
+}

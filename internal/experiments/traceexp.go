@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distqa/internal/core"
+	"distqa/internal/sched"
+	"distqa/internal/trace"
+)
+
+// Figure7Trace runs one complex question on a homogeneous 4-processor DQA
+// system with RECV partitioning for PR/PS and the named partitioner for AP,
+// returning the scheduling trace — the paper's Figure 7 (a), (b) or (c) for
+// apPartitioner SEND, ISEND or RECV respectively.
+func Figure7Trace(env *Env, apName string) (*trace.Log, *core.QuestionResult, error) {
+	var ap sched.Partitioner
+	switch apName {
+	case "SEND":
+		ap = sched.NewSEND()
+	case "ISEND":
+		ap = sched.NewISEND()
+	case "RECV":
+		ap = sched.NewRECV(env.APChunk)
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown AP partitioner %q (want SEND, ISEND or RECV)", apName)
+	}
+	qs := env.Complex()
+	if qs.Len() == 0 {
+		return nil, nil, fmt.Errorf("experiments: no complex questions available")
+	}
+	q := qs.Questions[0]
+
+	cfg := core.DefaultConfig(4, core.DQA)
+	cfg.APPartitioner = ap
+	cfg.Trace = trace.New()
+	sys := core.NewSystem(cfg, env.Engine())
+	defer sys.Shutdown()
+	res := sys.SubmitToNode(Warm, q.ID, q.Text, 0)
+	sys.RunToCompletion()
+	return cfg.Trace, res, res.Err
+}
+
+// Figure7 renders condensed trace statistics for the three AP partitioning
+// strategies (the full traces are printed by cmd/qatrace).
+func Figure7(env *Env) Table {
+	t := Table{
+		ID:     "fig7",
+		Title:  "System traces with RECV for PR/PS and SEND/ISEND/RECV for AP (condensed)",
+		Header: []string{"AP strategy", "Trace events", "PR nodes", "AP nodes", "AP time (s)", "Response (s)"},
+	}
+	for _, name := range []string{"SEND", "ISEND", "RECV"} {
+		log, res, err := Figure7Trace(env, name)
+		if err != nil {
+			t.AddRow(name, fmt.Sprintf("error: %v", err), "", "", "", "")
+			continue
+		}
+		t.AddRow(name,
+			fmt.Sprintf("%d", log.Len()),
+			fmt.Sprintf("%d", res.PRNodes),
+			fmt.Sprintf("%d", res.APNodes),
+			f2(res.Times.AP),
+			f2(res.Latency()))
+	}
+	t.Note("paper (q226): SEND sub-tasks spread over >60 s; ISEND finishes within a 6 s window; RECV best — run cmd/qatrace for the full per-node event log")
+	return t
+}

@@ -1,0 +1,244 @@
+// Package index implements the Boolean information-retrieval substrate the
+// paper's Paragraph Retrieval module is built on (the paper used a Boolean
+// IR system built on top of NIST's Zprise). Each sub-collection is indexed
+// separately — the unit of PR partitioning — and retrieval reports the
+// virtual disk traffic it generated so the simulator can charge it.
+//
+// Retrieval follows Falcon's shape: a Boolean AND of the question keywords
+// over the document index, relaxed by dropping the most restrictive keyword
+// while too few documents match, followed by a post-processing phase that
+// extracts from the matched documents the paragraphs containing enough of
+// the original keywords. Documents and paragraphs are NOT ranked here; that
+// is the job of the downstream Paragraph Scoring module (the paper is
+// explicit that its Boolean IR returns unranked paragraphs).
+package index
+
+import (
+	"sort"
+
+	"distqa/internal/corpus"
+)
+
+// MinDocs is the relaxation target: while fewer documents match, the most
+// restrictive keyword is dropped (until a single keyword remains).
+const MinDocs = 10
+
+// Index is the inverted index of one sub-collection.
+type Index struct {
+	coll *corpus.Collection
+	sub  int
+
+	// postings maps a stem to the sorted list of local doc offsets.
+	postings map[string][]int32
+	docs     []*corpus.Document
+
+	// paraStems caches, per paragraph (by global paragraph id), the distinct
+	// stems it contains mapped to occurrence counts.
+	paraStems map[int]map[string]int
+
+	indexBytes int // real bytes of the postings structures
+}
+
+// Build constructs the inverted index for sub-collection sub.
+func Build(c *corpus.Collection, sub int) *Index {
+	ix := &Index{
+		coll:      c,
+		sub:       sub,
+		postings:  make(map[string][]int32),
+		docs:      c.Subs[sub].Docs,
+		paraStems: make(map[int]map[string]int),
+	}
+	for local, doc := range ix.docs {
+		seen := make(map[string]bool)
+		for _, p := range doc.Paragraphs {
+			counts := make(map[string]int, len(p.Tokens))
+			for _, t := range p.Tokens {
+				if t.Stem == "" {
+					continue
+				}
+				counts[t.Stem]++
+				if !seen[t.Stem] {
+					seen[t.Stem] = true
+					ix.postings[t.Stem] = append(ix.postings[t.Stem], int32(local))
+				}
+			}
+			ix.paraStems[p.ID] = counts
+		}
+	}
+	for stem, list := range ix.postings {
+		ix.indexBytes += len(stem) + 4*len(list)
+	}
+	return ix
+}
+
+// Sub returns the sub-collection id this index covers.
+func (ix *Index) Sub() int { return ix.sub }
+
+// Terms reports the number of distinct indexed stems.
+func (ix *Index) Terms() int { return len(ix.postings) }
+
+// IndexBytes reports the real size of the postings structures.
+func (ix *Index) IndexBytes() int { return ix.indexBytes }
+
+// DocFreq reports how many documents of this sub-collection contain stem.
+func (ix *Index) DocFreq(stem string) int { return len(ix.postings[stem]) }
+
+// Retrieved is one paragraph extracted by retrieval, with the number of
+// distinct query keywords it contains.
+type Retrieved struct {
+	Para    *corpus.Paragraph
+	Matched int
+}
+
+// Stats describes the work one retrieval performed, for virtual cost
+// accounting.
+type Stats struct {
+	// KeywordsUsed is the number of keywords remaining after relaxation.
+	KeywordsUsed int
+	// DocsMatched is the number of documents satisfying the Boolean query.
+	DocsMatched int
+	// ParagraphsScanned counts paragraphs examined during extraction.
+	ParagraphsScanned int
+	// RealBytesTouched is the real text + postings bytes this retrieval
+	// read; multiply by the collection scale for virtual disk traffic.
+	RealBytesTouched int
+}
+
+// RetrieveParagraphs runs the Boolean query for the given keyword stems and
+// extracts matching paragraphs from the matching documents. A paragraph
+// qualifies if it contains at least half (rounded up) of the original
+// keywords.
+func (ix *Index) RetrieveParagraphs(keywords []string) ([]Retrieved, Stats) {
+	var st Stats
+	if len(keywords) == 0 {
+		return nil, st
+	}
+	// Deduplicate while preserving order.
+	kws := dedup(keywords)
+
+	// Charge postings reads for every keyword we look at.
+	for _, k := range kws {
+		st.RealBytesTouched += len(k) + 4*ix.DocFreq(k)
+	}
+
+	// Boolean AND with relaxation: drop the most restrictive (lowest
+	// document frequency) keyword while too few documents match.
+	active := append([]string(nil), kws...)
+	var docs []int32
+	for {
+		docs = ix.intersect(active)
+		if len(docs) >= MinDocs || len(active) <= 1 {
+			break
+		}
+		drop := 0
+		for i := 1; i < len(active); i++ {
+			if ix.DocFreq(active[i]) < ix.DocFreq(active[drop]) {
+				drop = i
+			}
+		}
+		active = append(active[:drop], active[drop+1:]...)
+	}
+	st.KeywordsUsed = len(active)
+	st.DocsMatched = len(docs)
+
+	// Paragraph extraction from matched documents.
+	need := (len(kws) + 1) / 2
+	if need < 1 {
+		need = 1
+	}
+	var out []Retrieved
+	for _, local := range docs {
+		doc := ix.docs[local]
+		st.RealBytesTouched += doc.RealBytes
+		for _, p := range doc.Paragraphs {
+			st.ParagraphsScanned++
+			counts := ix.paraStems[p.ID]
+			matched := 0
+			for _, k := range kws {
+				if counts[k] > 0 {
+					matched++
+				}
+			}
+			if matched >= need {
+				out = append(out, Retrieved{Para: p, Matched: matched})
+			}
+		}
+	}
+	return out, st
+}
+
+// intersect returns the sorted doc offsets containing every stem in kws.
+func (ix *Index) intersect(kws []string) []int32 {
+	if len(kws) == 0 {
+		return nil
+	}
+	// Start from the shortest postings list.
+	lists := make([][]int32, len(kws))
+	for i, k := range kws {
+		lists[i] = ix.postings[k]
+		if len(lists[i]) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	result := lists[0]
+	for _, list := range lists[1:] {
+		result = intersectSorted(result, list)
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	return result
+}
+
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func dedup(ws []string) []string {
+	seen := make(map[string]bool, len(ws))
+	var out []string
+	for _, w := range ws {
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+// Set is the full collection's index: one Index per sub-collection.
+type Set struct {
+	Coll    *corpus.Collection
+	Indexes []*Index
+}
+
+// BuildAll indexes every sub-collection of c.
+func BuildAll(c *corpus.Collection) *Set {
+	s := &Set{Coll: c}
+	for i := range c.Subs {
+		s.Indexes = append(s.Indexes, Build(c, i))
+	}
+	return s
+}
+
+// Sub returns the index of sub-collection i.
+func (s *Set) Sub(i int) *Index { return s.Indexes[i] }
+
+// Len returns the number of sub-collections.
+func (s *Set) Len() int { return len(s.Indexes) }

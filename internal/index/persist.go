@@ -1,0 +1,87 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"distqa/internal/corpus"
+)
+
+// snapshot is the serialised form of a Set. The collection itself is not
+// stored — it regenerates deterministically from its Config — but its
+// identity is, so a snapshot can never be bound to the wrong collection.
+type snapshot struct {
+	// Identity of the collection the indexes were built from.
+	CollectionName string
+	CollectionSeed int64
+	Paragraphs     int
+	Indexes        []indexSnapshot
+}
+
+type indexSnapshot struct {
+	Sub        int
+	Postings   map[string][]int32
+	ParaStems  map[int]map[string]int
+	IndexBytes int
+}
+
+// Save serialises the index set to w. Together with the collection's
+// corpus.Config (which regenerates the collection bit-for-bit), a snapshot
+// lets a node come up without paying the indexing cost.
+func (s *Set) Save(w io.Writer) error {
+	snap := snapshot{
+		CollectionName: s.Coll.Name,
+		CollectionSeed: s.Coll.Cfg.Seed,
+		Paragraphs:     len(s.Coll.Paragraphs()),
+	}
+	for _, ix := range s.Indexes {
+		snap.Indexes = append(snap.Indexes, indexSnapshot{
+			Sub:        ix.sub,
+			Postings:   ix.postings,
+			ParaStems:  ix.paraStems,
+			IndexBytes: ix.indexBytes,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("index: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserialises an index set from r and binds it to c. It fails if the
+// snapshot was built from a different collection (name, seed or paragraph
+// count mismatch) or covers a different number of sub-collections.
+func Load(r io.Reader, c *corpus.Collection) (*Set, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	if snap.CollectionName != c.Name || snap.CollectionSeed != c.Cfg.Seed {
+		return nil, fmt.Errorf("index: snapshot is for collection %q (seed %d), not %q (seed %d)",
+			snap.CollectionName, snap.CollectionSeed, c.Name, c.Cfg.Seed)
+	}
+	if snap.Paragraphs != len(c.Paragraphs()) {
+		return nil, fmt.Errorf("index: snapshot covers %d paragraphs, collection has %d",
+			snap.Paragraphs, len(c.Paragraphs()))
+	}
+	if len(snap.Indexes) != len(c.Subs) {
+		return nil, fmt.Errorf("index: snapshot has %d sub-collection indexes, collection has %d",
+			len(snap.Indexes), len(c.Subs))
+	}
+	set := &Set{Coll: c}
+	for i, is := range snap.Indexes {
+		if is.Sub != i {
+			return nil, fmt.Errorf("index: snapshot sub-collection %d out of order (got %d)", i, is.Sub)
+		}
+		set.Indexes = append(set.Indexes, &Index{
+			coll:       c,
+			sub:        is.Sub,
+			postings:   is.Postings,
+			docs:       c.Subs[is.Sub].Docs,
+			paraStems:  is.ParaStems,
+			indexBytes: is.IndexBytes,
+		})
+	}
+	return set, nil
+}

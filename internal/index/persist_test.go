@@ -1,0 +1,81 @@
+package index
+
+import (
+	"bytes"
+	"testing"
+
+	"distqa/internal/corpus"
+	"distqa/internal/nlp"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := BuildAll(testColl)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(&buf, testColl)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("len = %d, want %d", loaded.Len(), orig.Len())
+	}
+	// Retrieval over the loaded set must be identical to the original.
+	for _, f := range testColl.Facts[:8] {
+		a := nlp.AnalyzeQuestion(f.Question)
+		for sub := 0; sub < orig.Len(); sub++ {
+			r1, s1 := orig.Sub(sub).RetrieveParagraphs(a.Keywords)
+			r2, s2 := loaded.Sub(sub).RetrieveParagraphs(a.Keywords)
+			if len(r1) != len(r2) || s1 != s2 {
+				t.Fatalf("fact %d sub %d: results differ after reload (%d/%d, %+v/%+v)",
+					f.ID, sub, len(r1), len(r2), s1, s2)
+			}
+			for i := range r1 {
+				if r1[i].Para.ID != r2[i].Para.ID || r1[i].Matched != r2[i].Matched {
+					t.Fatalf("fact %d sub %d: paragraph %d differs", f.ID, sub, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsWrongCollection(t *testing.T) {
+	orig := BuildAll(testColl)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	otherCfg := corpus.Tiny()
+	otherCfg.Seed = 777
+	other := corpus.Generate(otherCfg)
+	if _, err := Load(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("snapshot bound to a different collection should fail")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot")), testColl); err == nil {
+		t.Fatal("garbage input should fail to load")
+	}
+}
+
+func TestSnapshotStatsPreserved(t *testing.T) {
+	orig := BuildAll(testColl)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, testColl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig.Indexes {
+		if loaded.Sub(i).Terms() != orig.Sub(i).Terms() {
+			t.Fatalf("sub %d terms differ", i)
+		}
+		if loaded.Sub(i).IndexBytes() != orig.Sub(i).IndexBytes() {
+			t.Fatalf("sub %d index bytes differ", i)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+)
+
+func decode(conn net.Conn, v any) error { return gob.NewDecoder(conn).Decode(v) }
+func encode(conn net.Conn, v any) error { return gob.NewEncoder(conn).Encode(v) }
+
+// handleAsk drives a full question: question-dispatcher forwarding, local
+// QP/PR/PS/PO, AP partitioning across under-loaded peers, and answer
+// merging. It is the live counterpart of core.System.answer.
+func (n *Node) handleAsk(req *Request) *Response {
+	start := time.Now()
+
+	// Scheduling point 1: forward to a clearly less-loaded peer, once.
+	if !req.Forwarded {
+		if target, ok := n.pickLighterPeer(); ok {
+			fwd := *req
+			fwd.Forwarded = true
+			if resp, err := roundTrip(target, &fwd, n.cfg.RequestTimeout); err == nil {
+				resp.Forwarded = true
+				return resp
+			}
+			// The peer died between heartbeat and forward; serve locally.
+		}
+	}
+
+	// Admission: at most MaxConcurrent simultaneous questions.
+	n.mu.Lock()
+	n.queued++
+	n.mu.Unlock()
+	n.admit <- struct{}{}
+	n.mu.Lock()
+	n.queued--
+	n.questions++
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.questions--
+		n.mu.Unlock()
+		<-n.admit
+	}()
+
+	// QP locally; PR+PS partitioned across idle peers (scheduling point 2);
+	// PO centralized here.
+	analysis, _ := n.engine.QuestionProcessing(req.Question)
+	scored := n.partitionPR(analysis)
+	accepted, _ := n.engine.OrderParagraphs(scored)
+
+	// Scheduling point 3: partition AP across idle peers (plus ourselves).
+	groups, apPeers := n.partitionAP(analysis, accepted)
+	final, _ := n.engine.MergeAnswerSets(groups)
+
+	return &Response{
+		Answers:   final,
+		ServedBy:  n.Addr(),
+		APPeers:   apPeers,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+}
+
+// pickLighterPeer returns a peer whose committed load (running + queued)
+// is at least two questions below ours (the anti-useless-migration rule).
+func (n *Node) pickLighterPeer() (string, bool) {
+	self := n.loadReport()
+	selfLoad := self.Questions + self.Queued
+	best, bestLoad := "", selfLoad
+	for _, p := range n.freshPeers() {
+		if l := p.Questions + p.Queued; l < bestLoad {
+			best, bestLoad = p.Addr, l
+		}
+	}
+	if best != "" && selfLoad-bestLoad >= 2 {
+		return best, true
+	}
+	return "", false
+}
+
+// partitionPR distributes the sub-collections of paragraph retrieval (and
+// its co-located scoring) round-robin across this node and its idle peers.
+// A failed remote sub-task is retried locally — the receiver-controlled
+// recovery of Figure 6(b), simplified to one round.
+func (n *Node) partitionPR(analysis nlp.QuestionAnalysis) []qa.ScoredParagraph {
+	nSubs := n.engine.Set.Len()
+	var idle []string
+	for _, p := range n.freshPeers() {
+		if p.Questions == 0 && p.Queued == 0 && p.APTasks == 0 {
+			idle = append(idle, p.Addr)
+		}
+	}
+	workers := len(idle) + 1
+	if workers > nSubs {
+		workers = nSubs
+	}
+	// Deal sub-collections round-robin: worker 0 is this node.
+	assign := make([][]int, workers)
+	for sub := 0; sub < nSubs; sub++ {
+		assign[sub%workers] = append(assign[sub%workers], sub)
+	}
+
+	local := func(subs []int) []qa.ScoredParagraph {
+		var out []qa.ScoredParagraph
+		for _, sub := range subs {
+			rs, _ := n.engine.RetrieveSub(analysis, sub)
+			sc, _ := n.engine.ScoreParagraphs(analysis, rs)
+			out = append(out, sc...)
+		}
+		return out
+	}
+
+	results := make([][]qa.ScoredParagraph, workers)
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		i := i
+		addr := idle[i-1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := roundTrip(addr, &Request{
+				Kind:     kindPRSubtask,
+				Keywords: analysis.Keywords,
+				Subs:     assign[i],
+			}, n.cfg.RequestTimeout)
+			if err != nil {
+				results[i] = local(assign[i]) // failure recovery
+				return
+			}
+			paras, err := n.resolveRefs(resp.ParaRefs)
+			if err != nil {
+				results[i] = local(assign[i])
+				return
+			}
+			results[i] = paras
+		}()
+	}
+	results[0] = local(assign[0])
+	wg.Wait()
+	var all []qa.ScoredParagraph
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	return all
+}
+
+// partitionAP splits the accepted paragraphs between this node and its idle
+// peers with an interleaved (ISEND-style) split — the accepted array is
+// rank-ordered, so interleaving equalises granularity. Failed remote
+// sub-tasks are re-processed locally, the live analogue of the
+// sender-controlled recovery of Figure 5(c).
+func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredParagraph) ([][]qa.Answer, int) {
+	var idle []string
+	for _, p := range n.freshPeers() {
+		if p.Questions == 0 && p.Queued == 0 && p.APTasks == 0 {
+			idle = append(idle, p.Addr)
+		}
+	}
+	workers := len(idle) + 1
+	if len(accepted) < 2*workers {
+		workers = 1 // not worth distributing
+	}
+	if workers == 1 {
+		answers, _ := n.engine.ExtractAnswers(analysis, accepted)
+		return [][]qa.Answer{answers}, 1
+	}
+
+	parts := make([][]qa.ScoredParagraph, workers)
+	for i, sp := range accepted {
+		parts[i%workers] = append(parts[i%workers], sp)
+	}
+
+	groups := make([][]qa.Answer, workers)
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		i := i
+		addr := idle[i-1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			refs := make([]ParaRef, len(parts[i]))
+			for k, sp := range parts[i] {
+				refs[k] = ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score}
+			}
+			resp, err := roundTrip(addr, &Request{
+				Kind:       kindAPSubtask,
+				Keywords:   analysis.Keywords,
+				AnswerType: int(analysis.AnswerType),
+				ParaRefs:   refs,
+			}, n.cfg.RequestTimeout)
+			if err != nil {
+				// Failure recovery: process the partition locally.
+				answers, _ := n.engine.ExtractAnswers(analysis, parts[i])
+				groups[i] = answers
+				return
+			}
+			groups[i] = resp.Answers
+		}()
+	}
+	answers, _ := n.engine.ExtractAnswers(analysis, parts[0])
+	groups[0] = answers
+	wg.Wait()
+	return groups, workers
+}
+
+// Ask sends a question to any node of a live cluster and returns the
+// response (the client side used by cmd/qactl and the examples).
+func Ask(addr, question string, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return roundTrip(addr, &Request{Kind: kindAsk, Question: question}, timeout)
+}
+
+// QueryStatus fetches a node's status.
+func QueryStatus(addr string, timeout time.Duration) (*Status, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	resp, err := roundTrip(addr, &Request{Kind: kindStatus}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, fmt.Errorf("live: %s returned no status", addr)
+	}
+	return resp.Status, nil
+}

@@ -1,0 +1,263 @@
+package live
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/qa"
+)
+
+var (
+	liveColl   = corpus.Generate(corpus.Tiny())
+	liveEngine = qa.NewEngine(liveColl, index.BuildAll(liveColl))
+)
+
+// startCluster spins up n nodes on loopback sharing one engine replica and
+// wires them as peers.
+func startCluster(t *testing.T, n int) []*Node {
+	t.Helper()
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		node, err := StartNode(NodeConfig{
+			Addr:           "127.0.0.1:0",
+			Engine:         liveEngine,
+			HeartbeatEvery: 50 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes = append(nodes, node)
+		t.Cleanup(node.Close)
+	}
+	// Full mesh.
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				a.AddPeer(b.Addr())
+			}
+		}
+	}
+	return nodes
+}
+
+func waitForPeers(t *testing.T, node *Node, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(node.freshPeers()) >= want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("node %s saw %d peers, want %d", node.Addr(), len(node.freshPeers()), want)
+}
+
+func TestSingleNodeAnswersQuestion(t *testing.T) {
+	nodes := startCluster(t, 1)
+	f := liveColl.Facts[1]
+	resp, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("ask: %v", err)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	// The live node must agree with the sequential pipeline.
+	seq := liveEngine.AnswerSequential(f.Question)
+	if !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+		t.Fatalf("live answer %q differs from sequential %q", resp.Answers[0].Text, seq.Answers[0].Text)
+	}
+	if resp.ServedBy != nodes[0].Addr() {
+		t.Fatalf("served by %s, want %s", resp.ServedBy, nodes[0].Addr())
+	}
+}
+
+func TestClusterPartitionsAP(t *testing.T) {
+	nodes := startCluster(t, 3)
+	waitForPeers(t, nodes[0], 2)
+	// Use the most complex fact so distribution engages.
+	best := liveColl.Facts[0]
+	bestAcc := 0
+	for _, f := range liveColl.Facts {
+		if r := liveEngine.AnswerSequential(f.Question); r.Accepted > bestAcc {
+			bestAcc, best = r.Accepted, f
+		}
+	}
+	resp, err := Ask(nodes[0].Addr(), best.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("ask: %v", err)
+	}
+	if resp.APPeers < 2 {
+		t.Fatalf("AP used %d workers, want ≥ 2 on an idle 3-node cluster", resp.APPeers)
+	}
+	seq := liveEngine.AnswerSequential(best.Question)
+	if len(seq.Answers) > 0 && !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+		t.Fatalf("partitioned answer %q differs from sequential %q", resp.Answers[0].Text, seq.Answers[0].Text)
+	}
+}
+
+func TestStatusAndHeartbeats(t *testing.T) {
+	nodes := startCluster(t, 2)
+	waitForPeers(t, nodes[0], 1)
+	st, err := QueryStatus(nodes[0].Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Paragraphs != len(liveColl.Paragraphs()) {
+		t.Fatalf("paragraphs = %d, want %d", st.Paragraphs, len(liveColl.Paragraphs()))
+	}
+	if len(st.Peers) < 1 {
+		t.Fatal("no peers in status")
+	}
+	if st.Uptime <= 0 {
+		t.Fatal("bad uptime")
+	}
+}
+
+func TestPRSubtaskRPC(t *testing.T) {
+	nodes := startCluster(t, 1)
+	f := liveColl.Facts[2]
+	analysis, _ := liveEngine.QuestionProcessing(f.Question)
+	resp, err := roundTrip(nodes[0].Addr(), &Request{
+		Kind:     kindPRSubtask,
+		Keywords: analysis.Keywords,
+		Subs:     []int{0, 1},
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("pr subtask: %v", err)
+	}
+	// Cross-check against a local run of the same sub-collections.
+	want := 0
+	for _, sub := range []int{0, 1} {
+		rs, _ := liveEngine.RetrieveSub(analysis, sub)
+		want += len(rs)
+	}
+	if len(resp.ParaRefs) != want {
+		t.Fatalf("got %d paragraph refs, want %d", len(resp.ParaRefs), want)
+	}
+}
+
+func TestAPSubtaskRejectsBadRefs(t *testing.T) {
+	nodes := startCluster(t, 1)
+	_, err := roundTrip(nodes[0].Addr(), &Request{
+		Kind:     kindAPSubtask,
+		Keywords: []string{"x"},
+		ParaRefs: []ParaRef{{ID: 1 << 30}},
+	}, 5*time.Second)
+	if err == nil {
+		t.Fatal("out-of-range paragraph ref should error")
+	}
+}
+
+func TestFailedPeerRecovery(t *testing.T) {
+	nodes := startCluster(t, 3)
+	waitForPeers(t, nodes[0], 2)
+	// Kill one peer; questions must still be answered (remote AP sub-tasks
+	// fail over to local processing).
+	nodes[2].Close()
+	f := liveColl.Facts[3]
+	resp, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("ask after peer failure: %v", err)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers after peer failure")
+	}
+	seq := liveEngine.AnswerSequential(f.Question)
+	if len(seq.Answers) > 0 && !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+		t.Fatalf("answer changed after failure: %q vs %q", resp.Answers[0].Text, seq.Answers[0].Text)
+	}
+}
+
+func TestConcurrentQuestions(t *testing.T) {
+	nodes := startCluster(t, 2)
+	waitForPeers(t, nodes[0], 1)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := liveColl.Facts[i%len(liveColl.Facts)]
+			resp, err := Ask(nodes[i%2].Addr(), f.Question, 20*time.Second)
+			if err == nil && len(resp.Answers) == 0 {
+				err = errEmpty
+			}
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("question %d: %v", i, err)
+		}
+	}
+}
+
+var errEmpty = errStr("no answers")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+func TestQuestionForwarding(t *testing.T) {
+	// Saturate one node (admission limit 1) with simultaneous questions:
+	// the question dispatcher must forward some of them to the idle peer.
+	engine := liveEngine
+	a, err := StartNode(NodeConfig{
+		Addr: "127.0.0.1:0", Engine: engine,
+		MaxConcurrent: 1, HeartbeatEvery: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	bNode, err := StartNode(NodeConfig{
+		Addr: "127.0.0.1:0", Engine: engine,
+		MaxConcurrent: 1, HeartbeatEvery: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bNode.Close)
+	a.AddPeer(bNode.Addr())
+	bNode.AddPeer(a.Addr())
+	waitForPeers(t, a, 1)
+
+	var wg sync.WaitGroup
+	forwarded := make([]bool, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := liveColl.Facts[i%len(liveColl.Facts)]
+			resp, err := Ask(a.Addr(), f.Question, 30*time.Second)
+			if err == nil {
+				forwarded[i] = resp.Forwarded
+			}
+		}()
+	}
+	wg.Wait()
+	any := false
+	for _, f := range forwarded {
+		any = any || f
+	}
+	if !any {
+		t.Error("no question was forwarded off the saturated node")
+	}
+}
+
+func TestUnknownRequestKind(t *testing.T) {
+	nodes := startCluster(t, 1)
+	_, err := roundTrip(nodes[0].Addr(), &Request{Kind: "bogus"}, 2*time.Second)
+	if err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}

@@ -1,0 +1,302 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+)
+
+// NodeConfig configures one live node.
+type NodeConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// Peers are the other nodes' addresses. Peers may also be learned from
+	// incoming heartbeats (dynamic pool join, Section 3.1 of the paper).
+	Peers []string
+	// Corpus is the shared collection configuration; every node generates
+	// an identical replica from it.
+	Corpus corpus.Config
+	// Engine optionally supplies a pre-built engine sharing a collection
+	// replica across nodes in the same process (tests, demos). When set,
+	// Corpus is ignored.
+	Engine *qa.Engine
+	// MaxConcurrent is the admission limit (default 4, the paper's
+	// full-load threshold).
+	MaxConcurrent int
+	// HeartbeatEvery is the load-broadcast period (default 500 ms).
+	HeartbeatEvery time.Duration
+	// RequestTimeout bounds each remote call (default 30 s).
+	RequestTimeout time.Duration
+}
+
+// Node is a running live Q/A node.
+type Node struct {
+	cfg      NodeConfig
+	engine   *qa.Engine
+	listener net.Listener
+	started  time.Time
+
+	mu         sync.Mutex
+	peers      map[string]LoadReport
+	knownPeers map[string]bool
+	questions  int
+	queued     int
+	apTasks    int
+
+	admit     chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// StartNode builds the collection replica (unless an engine is supplied),
+// starts listening and begins heartbeating.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	engine := cfg.Engine
+	if engine == nil {
+		coll := corpus.Generate(cfg.Corpus)
+		engine = qa.NewEngine(coll, index.BuildAll(coll))
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
+	}
+	n := &Node{
+		cfg:        cfg,
+		engine:     engine,
+		listener:   ln,
+		started:    time.Now(),
+		peers:      make(map[string]LoadReport),
+		knownPeers: make(map[string]bool),
+		admit:      make(chan struct{}, cfg.MaxConcurrent),
+		done:       make(chan struct{}),
+	}
+	for _, a := range cfg.Peers {
+		n.knownPeers[a] = true
+	}
+	n.wg.Add(2)
+	go n.serve()
+	go n.heartbeatLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() string { return n.listener.Addr().String() }
+
+// Close stops the node. It is idempotent.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.listener.Close()
+		n.wg.Wait()
+	})
+}
+
+// serve accepts connections until closed.
+func (n *Node) serve() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handle(conn)
+		}()
+	}
+}
+
+// heartbeatLoop periodically reports load to every known peer.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+		}
+		report := n.loadReport()
+		for _, addr := range n.peerAddrs() {
+			addr := addr
+			go roundTrip(addr, &Request{Kind: kindHeartbeat, Load: report}, n.cfg.HeartbeatEvery*2) //nolint:errcheck
+		}
+	}
+}
+
+// AddPeer registers another node's address (peers are also learned
+// automatically from incoming heartbeats).
+func (n *Node) AddPeer(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.knownPeers[addr] = true
+}
+
+// peerAddrs merges configured and learned peers.
+func (n *Node) peerAddrs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	set := make(map[string]bool)
+	for a := range n.knownPeers {
+		set[a] = true
+	}
+	for a := range n.peers {
+		set[a] = true
+	}
+	delete(set, n.Addr())
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (n *Node) loadReport() LoadReport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return LoadReport{
+		Addr:      n.Addr(),
+		Questions: n.questions,
+		Queued:    n.queued,
+		APTasks:   n.apTasks,
+		Sent:      time.Now(),
+	}
+}
+
+// freshPeers returns peer reports younger than three heartbeats (the
+// paper's stale-node eviction).
+func (n *Node) freshPeers() []LoadReport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cutoff := time.Now().Add(-3 * n.cfg.HeartbeatEvery)
+	var out []LoadReport
+	for _, r := range n.peers {
+		if r.Sent.After(cutoff) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// handle serves a single connection.
+func (n *Node) handle(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(n.cfg.RequestTimeout))
+	var req Request
+	if err := decode(conn, &req); err != nil {
+		return
+	}
+	var resp *Response
+	switch req.Kind {
+	case kindHeartbeat:
+		n.mu.Lock()
+		n.peers[req.Load.Addr] = req.Load
+		n.mu.Unlock()
+		resp = &Response{}
+	case kindStatus:
+		resp = n.handleStatus()
+	case kindPRSubtask:
+		resp = n.handlePRSubtask(&req)
+	case kindAPSubtask:
+		resp = n.handleAPSubtask(&req)
+	case kindAsk:
+		resp = n.handleAsk(&req)
+	default:
+		resp = &Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+	}
+	encode(conn, resp) //nolint:errcheck
+}
+
+func (n *Node) handleStatus() *Response {
+	n.mu.Lock()
+	questions, queued := n.questions, n.queued
+	n.mu.Unlock()
+	return &Response{Status: &Status{
+		Addr:       n.Addr(),
+		Collection: n.engine.Coll.Name,
+		Paragraphs: len(n.engine.Coll.Paragraphs()),
+		Questions:  questions,
+		Queued:     queued,
+		Peers:      n.freshPeers(),
+		Uptime:     time.Since(n.started),
+	}}
+}
+
+// handlePRSubtask retrieves and scores paragraphs from the given
+// sub-collections, returning references into the shared replica.
+func (n *Node) handlePRSubtask(req *Request) *Response {
+	analysis := nlp.QuestionAnalysis{Keywords: req.Keywords}
+	var refs []ParaRef
+	for _, sub := range req.Subs {
+		if sub < 0 || sub >= n.engine.Set.Len() {
+			return &Response{Err: fmt.Sprintf("sub-collection %d out of range", sub)}
+		}
+		rs, _ := n.engine.RetrieveSub(analysis, sub)
+		scored, _ := n.engine.ScoreParagraphs(analysis, rs)
+		for _, sp := range scored {
+			refs = append(refs, ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score})
+		}
+	}
+	return &Response{ParaRefs: refs}
+}
+
+// handleAPSubtask runs answer processing over the referenced paragraphs.
+func (n *Node) handleAPSubtask(req *Request) *Response {
+	n.mu.Lock()
+	n.apTasks++
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.apTasks--
+		n.mu.Unlock()
+	}()
+	analysis := nlp.QuestionAnalysis{
+		Keywords:   req.Keywords,
+		AnswerType: nlp.EntityType(req.AnswerType),
+	}
+	paras, err := n.resolveRefs(req.ParaRefs)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	answers, _ := n.engine.ExtractAnswers(analysis, paras)
+	return &Response{Answers: answers}
+}
+
+// resolveRefs maps paragraph references back to replica paragraphs.
+func (n *Node) resolveRefs(refs []ParaRef) ([]qa.ScoredParagraph, error) {
+	all := n.engine.Coll.Paragraphs()
+	out := make([]qa.ScoredParagraph, 0, len(refs))
+	for _, r := range refs {
+		if r.ID < 0 || r.ID >= len(all) {
+			return nil, fmt.Errorf("paragraph ref %d out of range", r.ID)
+		}
+		out = append(out, qa.ScoredParagraph{Para: all[r.ID], Matched: r.Matched, Score: r.Score})
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+// Package live is a real-socket implementation of the distributed Q/A
+// architecture: node daemons over TCP with gob-encoded requests, periodic
+// load heartbeats, question-dispatcher forwarding, and answer-processing
+// partitioning across peers. It shares the pipeline (package qa) with the
+// simulator; the difference is that here the concurrency, the network and
+// the failures are real.
+//
+// Every node holds a replica of the collection (generated deterministically
+// from the shared corpus configuration), mirroring the paper's testbed where
+// each machine had a copy of the TREC collection. Paragraphs therefore
+// travel as (id, score) references rather than full text.
+//
+// The live cluster is for demonstrations and integration tests
+// (cmd/qanode, cmd/qactl, examples/livecluster); the performance
+// experiments use the virtual-time simulator, whose 2001-hardware cost
+// model is what the paper's numbers depend on.
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"distqa/internal/qa"
+)
+
+// Wire message kinds.
+const (
+	kindAsk       = "ask"       // full question
+	kindAPSubtask = "apSubtask" // remote answer processing
+	kindPRSubtask = "prSubtask" // remote paragraph retrieval + scoring
+	kindHeartbeat = "heartbeat" // load exchange
+	kindStatus    = "status"    // operator status query
+)
+
+// Request is the single request envelope.
+type Request struct {
+	Kind string
+	// Ask
+	Question string
+	// Forwarded marks a question already migrated once (no re-forwarding,
+	// preventing routing loops).
+	Forwarded bool
+	// PRSubtask
+	Keywords []string
+	Subs     []int
+	// APSubtask
+	AnswerType int
+	ParaRefs   []ParaRef
+	// Heartbeat
+	Load LoadReport
+}
+
+// ParaRef identifies a scored paragraph in the shared collection replica.
+type ParaRef struct {
+	ID      int
+	Matched int
+	Score   float64
+}
+
+// LoadReport is a node's heartbeat payload.
+type LoadReport struct {
+	Addr      string
+	Questions int // questions currently executing
+	Queued    int // questions waiting for admission
+	APTasks   int // remote AP sub-tasks executing
+	Sent      time.Time
+}
+
+// Response is the single response envelope.
+type Response struct {
+	Err     string
+	Answers []qa.Answer
+	// PRSubtask result.
+	ParaRefs []ParaRef
+	// Status result.
+	Status *Status
+	// Ask result metadata.
+	ServedBy  string
+	Forwarded bool
+	APPeers   int
+	ElapsedMS float64
+}
+
+// Status describes a node for operators (cmd/qactl).
+type Status struct {
+	Addr       string
+	Collection string
+	Paragraphs int
+	Questions  int
+	Queued     int
+	Peers      []LoadReport
+	Uptime     time.Duration
+}
+
+// roundTrip sends one request and decodes one response over a fresh
+// connection (the protocol is deliberately connection-per-request, like the
+// paper's era of simple TCP services).
+func roundTrip(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := gob.NewEncoder(conn).Encode(req); err != nil {
+		return nil, fmt.Errorf("live: encode to %s: %w", addr, err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("live: decode from %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return &resp, fmt.Errorf("live: remote %s: %s", addr, resp.Err)
+	}
+	return &resp, nil
+}

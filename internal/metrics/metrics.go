@@ -1,0 +1,86 @@
+// Package metrics provides the summary statistics the experiment harness
+// reports: latency distributions, throughput, and speedup helpers.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	Stddev float64
+}
+
+// Summarize computes summary statistics over xs (which it does not modify).
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.Count)
+	varsum := 0.0
+	for _, x := range sorted {
+		d := x - s.Mean
+		varsum += d * d
+	}
+	s.Stddev = math.Sqrt(varsum / float64(s.Count))
+	return s
+}
+
+// percentile interpolates the p-quantile of a sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= len(sorted) {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ThroughputPerMinute converts a completed-question count and a makespan in
+// virtual seconds into the paper's questions/minute metric (Table 5).
+func ThroughputPerMinute(completed int, makespanSeconds float64) float64 {
+	if makespanSeconds <= 0 {
+		return 0
+	}
+	return float64(completed) / makespanSeconds * 60
+}
+
+// Speedup is T1/TN, guarding division by zero.
+func Speedup(t1, tn float64) float64 {
+	if tn <= 0 {
+		return 0
+	}
+	return t1 / tn
+}
+
+// Efficiency is speedup divided by processor count.
+func Efficiency(speedup float64, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return speedup / float64(n)
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.P50 != 7 || s.P90 != 7 || s.Stddev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := ThroughputPerMinute(96, 480); got != 12 {
+		t.Fatalf("throughput = %v, want 12", got)
+	}
+	if got := ThroughputPerMinute(5, 0); got != 0 {
+		t.Fatal("zero makespan must not divide")
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if Speedup(100, 25) != 4 {
+		t.Fatal("speedup")
+	}
+	if Speedup(100, 0) != 0 {
+		t.Fatal("speedup zero guard")
+	}
+	if Efficiency(4, 8) != 0.5 {
+		t.Fatal("efficiency")
+	}
+	if Efficiency(4, 0) != 0 {
+		t.Fatal("efficiency zero guard")
+	}
+}
+
+// Property: Min ≤ P50 ≤ P90 ≤ Max and Min ≤ Mean ≤ Max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package model implements the paper's analytical performance model
+// (Section 5): the inter-question parallelism model (Equations 9-23,
+// Figure 8) and the intra-question parallelism model (Equations 24-36,
+// Figure 9, Table 4), plus the practical processor limit of Equation 34.
+//
+// Parameter provenance. The paper plots Figure 8/9 and Table 4 from TREC-9
+// measurements (its Figure 8(b) parameter table is unreadable in the
+// available scan), so the defaults here are re-derived from the quantities
+// the paper does state: T ≈ 94 s per sequential TREC-9 question split
+// 1.2 % QP / 26.5 % PR / 2.2 % PS / 0.1 % PO / 69.7 % AP (Table 2), ~1450
+// retrieved and ~880 accepted paragraphs of ~250 bytes (Section 4.1.3,
+// Figure 7), N_a = 5 answers of ~250 bytes, 64-byte load packets at 1 Hz,
+// and Q = 8 questions per processor with the Table 7 migration rates. With
+// these inputs the model reproduces the paper's headline analytical
+// results: efficiency ≈ 0.9 at 1000 processors on a 1 Gbps network
+// (Figure 8) and a practical intra-question limit of ~11-95 processors with
+// speedups ~6-48 across the Table 4 bandwidth grid.
+package model
+
+import "math"
+
+// ---------------------------------------------------------------------------
+// Inter-question parallelism (Section 5.1)
+
+// InterParams parameterises the system speedup model of Equation 23.
+type InterParams struct {
+	// T is the average sequential question time in seconds.
+	T float64
+	// Q is the average number of questions per processor.
+	Q float64
+	// TLoad is t_load, the CPU cost of one local load measurement.
+	TLoad float64
+	// SLoad is S_load, the load broadcast packet size in bytes.
+	SLoad float64
+	// SQ is S_q, the question size in bytes.
+	SQ float64
+	// SA is S_a, the answer size in bytes; NA is N_a, answers per question.
+	SA float64
+	NA float64
+	// SPara is S_para, the average paragraph size in bytes.
+	SPara float64
+	// NP and NPA are N_p (retrieved) and N_pa (accepted) paragraph counts.
+	NP  float64
+	NPA float64
+	// PQA, PPR, PAP are the migration probabilities at the three
+	// dispatching points; PNet is the probability a task uses the network.
+	PQA  float64
+	PPR  float64
+	PAP  float64
+	PNet float64
+	// BMem is the local memory bandwidth in bytes/second.
+	BMem float64
+	// DispatchCPU is the per-node cost of one dispatcher table scan
+	// (Equation 15's linear factor).
+	DispatchCPU float64
+}
+
+// TREC9InterParams returns the re-derived Figure 8 parameter set.
+func TREC9InterParams() InterParams {
+	return InterParams{
+		T:           94,
+		Q:           8,
+		TLoad:       0.01,
+		SLoad:       64,
+		SQ:          100,
+		SA:          250,
+		NA:          5,
+		SPara:       250,
+		NP:          1450,
+		NPA:         880,
+		PQA:         0.40, // Table 7: 17/32 … 37/96
+		PPR:         0.42,
+		PAP:         0.41,
+		PNet:        0.75,
+		BMem:        800e6,
+		DispatchCPU: 20e-6,
+	}
+}
+
+// MonitorOverhead is Equation 14: per-question load monitoring overhead for
+// an N-processor system with network bandwidth netBps (bits/second).
+func (p InterParams) MonitorOverhead(n int, netBps float64) float64 {
+	bnet := netBps / 8
+	perSecond := p.TLoad + float64(n)*p.SLoad/bnet + float64(n)*p.SLoad/p.BMem
+	return p.T * perSecond
+}
+
+// DispatchOverhead is Equation 15: the three dispatchers each scan a load
+// table that grows linearly with N.
+func (p InterParams) DispatchOverhead(n int) float64 {
+	return 3 * p.DispatchCPU * float64(n)
+}
+
+// MigrationOverhead is Equation 20: expected per-question migration cost.
+// The available per-flow network bandwidth is B_net/(N·p_net·Q), so the
+// per-byte cost grows linearly with system size.
+func (p InterParams) MigrationOverhead(n int, netBps float64) float64 {
+	bnet := netBps / 8
+	bytes := p.PQA*(p.SQ+p.NA*p.SA) + p.PPR*p.NP*p.SPara + p.PAP*p.NPA*p.SPara
+	perByte := float64(n) * p.PNet * p.Q / bnet
+	return bytes * perByte
+}
+
+// SystemSpeedup is Equation 23: the N-processor throughput speedup over the
+// sequential system when all three dispatchers run but partitioning is
+// disabled (high-load regime).
+func (p InterParams) SystemSpeedup(n int, netBps float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	overhead := p.MonitorOverhead(n, netBps) + p.DispatchOverhead(n) + p.MigrationOverhead(n, netBps)
+	return float64(n) * p.T / (p.T + overhead)
+}
+
+// SystemEfficiency is speedup divided by N.
+func (p InterParams) SystemEfficiency(n int, netBps float64) float64 {
+	return p.SystemSpeedup(n, netBps) / float64(n)
+}
+
+// ---------------------------------------------------------------------------
+// Intra-question parallelism (Section 5.2)
+
+// IntraParams parameterises the individual-question speedup model of
+// Equations 24-36. Module times are expressed so the model responds to disk
+// bandwidth the way the paper's does: PR time is PRBytes/B_disk.
+type IntraParams struct {
+	// TQP and TPO are the inherently sequential module times (Equation 25).
+	TQP float64
+	TPO float64
+	// TPS and TAP are the parallelizable CPU module times.
+	TPS float64
+	TAP float64
+	// PRBytes is the disk traffic of the PR module, so t_pr = PRBytes/B_disk.
+	PRBytes float64
+	// TransferBytes is the partitioning network traffic of Equations 27+29:
+	// (N_p + N_pa)·S_para.
+	TransferBytes float64
+	// MergeBytes is the partitioning disk traffic (paragraph merging reads
+	// plus answer-set reads), charged at B_disk.
+	MergeBytes float64
+}
+
+// TREC9IntraParams returns the re-derived Figure 9 / Table 4 parameters.
+func TREC9IntraParams() IntraParams {
+	return IntraParams{
+		TQP:           0.84,
+		TPO:           0.10,
+		TPS:           2.1,
+		TAP:           65.5,
+		PRBytes:       311e6, // t_pr = 24.9 s at 100 Mbps disk
+		TransferBytes: (1450 + 880) * 250,
+		MergeBytes:    (1450 + 880) * 250,
+	}
+}
+
+// TPar is Equation 32: the parallelizable fraction T_PR + T_PS + T_AP.
+func (p IntraParams) TPar(diskBps float64) float64 {
+	return p.PRBytes/(diskBps/8) + p.TPS + p.TAP
+}
+
+// TSeq is Equation 33: the sequential fraction — QP, PO, and the
+// partitioning overhead of Equations 27 and 29.
+func (p IntraParams) TSeq(netBps, diskBps float64) float64 {
+	return p.TQP + p.TPO + p.TransferBytes/(netBps/8) + p.MergeBytes/(diskBps/8)
+}
+
+// T1 is Equation 24: the sequential question time.
+func (p IntraParams) T1(diskBps float64) float64 {
+	return p.TQP + p.TPO + p.TPar(diskBps)
+}
+
+// TN is Equation 31: the N-processor question time.
+func (p IntraParams) TN(n int, netBps, diskBps float64) float64 {
+	return p.TSeq(netBps, diskBps) + p.TPar(diskBps)/float64(n)
+}
+
+// QuestionSpeedup is Equation 35/36.
+func (p IntraParams) QuestionSpeedup(n int, netBps, diskBps float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return p.T1(diskBps) / p.TN(n, netBps, diskBps)
+}
+
+// NMax is Equation 34: the practical upper limit on processors — the point
+// where the constant part of T_N equals the shrinking parallel part, beyond
+// which added processors mostly buy overhead.
+func (p IntraParams) NMax(netBps, diskBps float64) int {
+	n := p.TPar(diskBps) / p.TSeq(netBps, diskBps)
+	if n < 1 {
+		return 1
+	}
+	return int(math.Floor(n))
+}
+
+// SpeedupAtNMax is the speedup at the practical limit (the paper's Table 4
+// S values); by construction it is T1/(2·TSeq) up to integer rounding.
+func (p IntraParams) SpeedupAtNMax(netBps, diskBps float64) float64 {
+	return p.QuestionSpeedup(p.NMax(netBps, diskBps), netBps, diskBps)
+}
+
+// ---------------------------------------------------------------------------
+// Analytical speedup from measured module times (Table 10's first column)
+
+// Measured carries per-module times measured on the 1-processor system plus
+// the partitioning traffic, for computing the analytical speedup the
+// experiments compare against (Table 10).
+type Measured struct {
+	TQP, TPR, TPS, TPO, TAP float64
+	// NetBytes and DiskBytes are the per-question partitioning traffic.
+	NetBytes  float64
+	DiskBytes float64
+}
+
+// Speedup evaluates Equations 31/35 directly from measured times.
+func (m Measured) Speedup(n int, netBps, diskBps float64) float64 {
+	tpar := m.TPR + m.TPS + m.TAP
+	tseq := m.TQP + m.TPO + m.NetBytes/(netBps/8) + m.DiskBytes/(diskBps/8)
+	t1 := m.TQP + m.TPO + tpar
+	return t1 / (tseq + tpar/float64(n))
+}

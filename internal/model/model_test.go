@@ -1,0 +1,216 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSystemSpeedupHeadline(t *testing.T) {
+	// The paper's headline analytical results (Section 5.1): efficiency
+	// ≈ 0.9 for 1000 processors on a 1 Gbps network, and decent efficiency
+	// for 100 processors on 100 Mbps.
+	p := TREC9InterParams()
+	eff1000 := p.SystemEfficiency(1000, 1*Gbps)
+	if eff1000 < 0.82 || eff1000 > 0.97 {
+		t.Errorf("efficiency(1000, 1Gbps) = %.3f, want ≈ 0.9", eff1000)
+	}
+	eff100 := p.SystemEfficiency(100, 100*Mbps)
+	if eff100 < 0.75 || eff100 > 0.98 {
+		t.Errorf("efficiency(100, 100Mbps) = %.3f, want ≈ 0.8+", eff100)
+	}
+	// A slow network must collapse efficiency at scale.
+	if e := p.SystemEfficiency(1000, 10*Mbps); e > 0.5 {
+		t.Errorf("efficiency(1000, 10Mbps) = %.3f, should collapse", e)
+	}
+}
+
+func TestSystemSpeedupMonotonicInBandwidth(t *testing.T) {
+	p := TREC9InterParams()
+	for _, n := range []int{10, 100, 500, 1000} {
+		s10 := p.SystemSpeedup(n, 10*Mbps)
+		s100 := p.SystemSpeedup(n, 100*Mbps)
+		s1000 := p.SystemSpeedup(n, 1*Gbps)
+		if !(s10 <= s100 && s100 <= s1000) {
+			t.Errorf("n=%d: speedup not monotone in bandwidth: %f %f %f", n, s10, s100, s1000)
+		}
+	}
+}
+
+func TestSystemSpeedupBelowLinear(t *testing.T) {
+	f := func(nRaw uint16, netIdx uint8) bool {
+		n := 1 + int(nRaw)%2000
+		nets := []float64{1 * Mbps, 10 * Mbps, 100 * Mbps, 1 * Gbps}
+		net := nets[int(netIdx)%len(nets)]
+		p := TREC9InterParams()
+		s := p.SystemSpeedup(n, net)
+		return s > 0 && s <= float64(n)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraSpeedupShape(t *testing.T) {
+	p := TREC9IntraParams()
+	// Speedup grows with N then saturates: S(90) >> S(4), S asymptote below
+	// T1/TSeq.
+	s4 := p.QuestionSpeedup(4, 1*Gbps, 100*Mbps)
+	s90 := p.QuestionSpeedup(90, 1*Gbps, 100*Mbps)
+	if s4 < 3 || s4 > 4 {
+		t.Errorf("S(4) = %.2f, want ≈ 3.8 (near-linear at small N)", s4)
+	}
+	if s90 <= s4*5 {
+		t.Errorf("S(90) = %.2f should far exceed S(4) = %.2f", s90, s4)
+	}
+	limit := p.T1(100*Mbps) / p.TSeq(1*Gbps, 100*Mbps)
+	for _, n := range []int{10, 100, 1000} {
+		if s := p.QuestionSpeedup(n, 1*Gbps, 100*Mbps); s >= limit {
+			t.Errorf("S(%d) = %.2f exceeds asymptote %.2f", n, s, limit)
+		}
+	}
+}
+
+func TestSpeedupDecreasesWithDiskBandwidth(t *testing.T) {
+	// The paper's counter-intuitive Figure 9(b) result: faster disks lower
+	// the question speedup, because the parallelizable PR time shrinks while
+	// the distribution overhead stays.
+	p := TREC9IntraParams()
+	for _, n := range []int{20, 60, 100} {
+		slow := p.QuestionSpeedup(n, 1*Gbps, 100*Mbps)
+		fast := p.QuestionSpeedup(n, 1*Gbps, 1*Gbps)
+		if fast >= slow {
+			t.Errorf("n=%d: speedup with fast disk (%.2f) should be below slow disk (%.2f)", n, fast, slow)
+		}
+	}
+}
+
+func TestNMaxTable4Corners(t *testing.T) {
+	// Paper Table 4 corners: N ranges from ~11 (slow net, fast disk) to
+	// ~93 (fast net, slow disk); speedups from ~5.6 to ~47.7. Allow modest
+	// tolerance — the paper's exact parameter table is unreadable and the
+	// values here are re-derived (see package comment).
+	p := TREC9IntraParams()
+	cases := []struct {
+		net, disk    float64
+		nLo, nHi     int
+		sLo, sHi     float64
+		paperN       int
+		paperSpeedup float64
+	}{
+		{1 * Mbps, 100 * Mbps, 14, 21, 7.0, 10.5, 17, 8.65},
+		{1 * Gbps, 100 * Mbps, 80, 110, 40, 56, 93, 47.73},
+		{1 * Mbps, 1 * Gbps, 9, 16, 4.5, 8.0, 11, 5.59},
+		{1 * Gbps, 1 * Gbps, 55, 90, 28, 45, 60, 31.34},
+	}
+	for _, c := range cases {
+		n := p.NMax(c.net, c.disk)
+		s := p.SpeedupAtNMax(c.net, c.disk)
+		if n < c.nLo || n > c.nHi {
+			t.Errorf("NMax(net=%.0g, disk=%.0g) = %d, want in [%d,%d] (paper %d)",
+				c.net, c.disk, n, c.nLo, c.nHi, c.paperN)
+		}
+		if s < c.sLo || s > c.sHi {
+			t.Errorf("S@NMax(net=%.0g, disk=%.0g) = %.2f, want in [%.1f,%.1f] (paper %.2f)",
+				c.net, c.disk, s, c.sLo, c.sHi, c.paperSpeedup)
+		}
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	rows := Table4(TREC9IntraParams())
+	if len(rows) != 16 {
+		t.Fatalf("Table 4 has %d rows, want 16", len(rows))
+	}
+	// Along each disk row, NMax must grow with network bandwidth.
+	for d := 0; d < 4; d++ {
+		for i := 1; i < 4; i++ {
+			prev, cur := rows[d*4+i-1], rows[d*4+i]
+			if cur.NMax < prev.NMax {
+				t.Errorf("NMax not monotone in net bandwidth: %+v -> %+v", prev, cur)
+			}
+		}
+	}
+	// Down each net column, NMax must fall with disk bandwidth.
+	for c := 0; c < 4; c++ {
+		for i := 1; i < 4; i++ {
+			prev, cur := rows[(i-1)*4+c], rows[i*4+c]
+			if cur.NMax > prev.NMax {
+				t.Errorf("NMax not decreasing in disk bandwidth: %+v -> %+v", prev, cur)
+			}
+		}
+	}
+}
+
+func TestFigureCurves(t *testing.T) {
+	f8 := Figure8(TREC9InterParams())
+	if len(f8) != 3 {
+		t.Fatalf("Figure 8 has %d curves", len(f8))
+	}
+	for _, c := range f8 {
+		if len(c.N) != len(c.Y) || len(c.N) < 100 {
+			t.Fatalf("curve %s malformed", c.Label)
+		}
+	}
+	// Faster network curve dominates at the right edge.
+	last := len(f8[0].Y) - 1
+	if !(f8[0].Y[last] < f8[1].Y[last] && f8[1].Y[last] < f8[2].Y[last]) {
+		t.Error("Figure 8 curves not ordered by bandwidth at N=1000")
+	}
+
+	f9a := Figure9a(TREC9IntraParams())
+	if len(f9a) != 4 {
+		t.Fatalf("Figure 9a has %d curves", len(f9a))
+	}
+	last = len(f9a[0].Y) - 1
+	if !(f9a[0].Y[last] < f9a[3].Y[last]) {
+		t.Error("Figure 9a: 1 Gbps net should beat 1 Mbps at N=200")
+	}
+
+	f9b := Figure9b(TREC9IntraParams())
+	if len(f9b) != 4 {
+		t.Fatalf("Figure 9b has %d curves", len(f9b))
+	}
+	if !(f9b[0].Y[last] > f9b[3].Y[last]) {
+		t.Error("Figure 9b: slow disk should show higher speedup than fast disk")
+	}
+}
+
+func TestMeasuredSpeedup(t *testing.T) {
+	// With the paper's Table 8 one-processor module times and testbed
+	// bandwidths, the analytical speedups should be near Table 10's
+	// analytical column (3.84 / 7.34 / 10.60).
+	m := Measured{
+		TQP: 0.81, TPR: 38.01, TPS: 2.06, TPO: 0.02, TAP: 117.55,
+		NetBytes:  (1450 + 880) * 250,
+		DiskBytes: (1450 + 880) * 250,
+	}
+	cases := []struct {
+		n     int
+		paper float64
+	}{
+		{4, 3.84}, {8, 7.34}, {12, 10.60},
+	}
+	for _, c := range cases {
+		got := m.Speedup(c.n, 100*Mbps, 200*Mbps)
+		if got < c.paper*0.85 || got > c.paper*1.15 {
+			t.Errorf("analytical speedup(%d) = %.2f, want ≈ %.2f (±15%%)", c.n, got, c.paper)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	p := TREC9IntraParams()
+	if p.QuestionSpeedup(0, Gbps, Gbps) != 0 {
+		t.Error("speedup at n=0 should be 0")
+	}
+	if p.NMax(1, 1) < 1 {
+		t.Error("NMax must be at least 1")
+	}
+	ip := TREC9InterParams()
+	if ip.SystemSpeedup(0, Gbps) != 0 {
+		t.Error("system speedup at n=0 should be 0")
+	}
+	if s := ip.SystemSpeedup(1, Gbps); s < 0.9 || s > 1.0 {
+		t.Errorf("S(1) = %.3f, want just under 1", s)
+	}
+}

@@ -1,0 +1,123 @@
+package model
+
+// Bandwidth constants for the paper's sweeps, in bits/second.
+const (
+	Mbps = 1e6
+	Gbps = 1e9
+)
+
+// Table4Row is one cell block of the paper's Table 4: for a (disk, net)
+// bandwidth pair, the practical processor limit and its speedup.
+type Table4Row struct {
+	DiskBps float64
+	NetBps  float64
+	NMax    int
+	Speedup float64
+}
+
+// Table4 computes the paper's Table 4 grid: disk bandwidths down the rows,
+// network bandwidths across the columns.
+func Table4(p IntraParams) []Table4Row {
+	disks := []float64{100 * Mbps, 250 * Mbps, 500 * Mbps, 1 * Gbps}
+	nets := []float64{1 * Mbps, 10 * Mbps, 100 * Mbps, 1 * Gbps}
+	var rows []Table4Row
+	for _, d := range disks {
+		for _, n := range nets {
+			rows = append(rows, Table4Row{
+				DiskBps: d,
+				NetBps:  n,
+				NMax:    p.NMax(n, d),
+				Speedup: p.SpeedupAtNMax(n, d),
+			})
+		}
+	}
+	return rows
+}
+
+// Curve is one plotted series: speedup as a function of processor count.
+type Curve struct {
+	Label string
+	N     []int
+	Y     []float64
+}
+
+// Figure8 computes the analytical system speedup curves of Figure 8(a):
+// processors 1..1000 for 10 Mbps, 100 Mbps and 1 Gbps networks.
+func Figure8(p InterParams) []Curve {
+	nets := []struct {
+		label string
+		bps   float64
+	}{
+		{"10 Mbps", 10 * Mbps},
+		{"100 Mbps", 100 * Mbps},
+		{"1 Gbps", 1 * Gbps},
+	}
+	ns := sweep(1000)
+	var curves []Curve
+	for _, net := range nets {
+		c := Curve{Label: net.label, N: ns}
+		for _, n := range ns {
+			c.Y = append(c.Y, p.SystemSpeedup(n, net.bps))
+		}
+		curves = append(curves, c)
+	}
+	return curves
+}
+
+// Figure9a computes the question speedup curves of Figure 9(a): disk fixed
+// at 1 Gbps, network swept over 1 Mbps - 1 Gbps, processors 1..200.
+func Figure9a(p IntraParams) []Curve {
+	nets := []struct {
+		label string
+		bps   float64
+	}{
+		{"1 Mbps", 1 * Mbps},
+		{"10 Mbps", 10 * Mbps},
+		{"100 Mbps", 100 * Mbps},
+		{"1 Gbps", 1 * Gbps},
+	}
+	ns := sweep(200)
+	var curves []Curve
+	for _, net := range nets {
+		c := Curve{Label: net.label, N: ns}
+		for _, n := range ns {
+			c.Y = append(c.Y, p.QuestionSpeedup(n, net.bps, 1*Gbps))
+		}
+		curves = append(curves, c)
+	}
+	return curves
+}
+
+// Figure9b computes the question speedup curves of Figure 9(b): network
+// fixed at 1 Gbps, disk swept over 100 Mbps - 1 Gbps.
+func Figure9b(p IntraParams) []Curve {
+	disks := []struct {
+		label string
+		bps   float64
+	}{
+		{"100 Mbps", 100 * Mbps},
+		{"250 Mbps", 250 * Mbps},
+		{"500 Mbps", 500 * Mbps},
+		{"1 Gbps", 1 * Gbps},
+	}
+	ns := sweep(200)
+	var curves []Curve
+	for _, d := range disks {
+		c := Curve{Label: d.label, N: ns}
+		for _, n := range ns {
+			c.Y = append(c.Y, p.QuestionSpeedup(n, 1*Gbps, d.bps))
+		}
+		curves = append(curves, c)
+	}
+	return curves
+}
+
+// sweep returns 1 and every multiple of 5 up to max — enough resolution for
+// the paper's plots without drowning text output.
+func sweep(max int) []int {
+	ns := []int{1}
+	for n := 5; n <= max; n += 5 {
+		ns = append(ns, n)
+	}
+	return ns
+}

@@ -1,0 +1,139 @@
+package nlp
+
+import "strings"
+
+// QuestionAnalysis is the output of question classification: the expected
+// answer type plus the content keywords to hand to paragraph retrieval.
+// This mirrors the two goals of Falcon's Question Processing module
+// (Section 1.1 of the paper): extract semantic information (the answer
+// type) and select the retrieval keywords.
+type QuestionAnalysis struct {
+	AnswerType EntityType
+	// Keywords are stemmed content words in question order, deduplicated.
+	Keywords []string
+	// Tokens is the full normalised token stream of the question.
+	Tokens []Token
+}
+
+// classRule maps a trigger phrase in the question to an answer type. Rules
+// are checked in order; the first match wins.
+type classRule struct {
+	phrase string
+	typ    EntityType
+}
+
+var classRules = []classRule{
+	// Specific "what ..." constructions must precede the generic wh-rules.
+	{"what is the nationality", Nationality},
+	{"what nationality", Nationality},
+	{"what disease", Disease},
+	{"what is the name of the disease", Disease},
+	{"what illness", Disease},
+	{"what syndrome", Disease},
+	{"what company", Organization},
+	{"what organization", Organization},
+	{"what city", Location},
+	{"what country", Location},
+	{"what state", Location},
+	{"what place", Location},
+	{"what year", Date},
+	{"what date", Date},
+	{"what time", Date},
+	{"how much money", Money},
+	{"how much", Money},
+	{"how many", Quantity},
+	{"how long", Quantity},
+	{"how far", Quantity},
+	{"how old", Quantity},
+	{"who", Person},
+	{"whom", Person},
+	{"whose", Person},
+	{"where", Location},
+	{"when", Date},
+}
+
+// Head-noun cues used for bare "what is ..." questions.
+var headNounTypes = map[string]EntityType{
+	"disease":      Disease,
+	"illness":      Disease,
+	"syndrome":     Disease,
+	"nationality":  Nationality,
+	"city":         Location,
+	"country":      Location,
+	"capital":      Location,
+	"state":        Location,
+	"river":        Location,
+	"mountain":     Location,
+	"place":        Location,
+	"location":     Location,
+	"company":      Organization,
+	"corporation":  Organization,
+	"organization": Organization,
+	"agency":       Organization,
+	"year":         Date,
+	"date":         Date,
+	"president":    Person,
+	"actor":        Person,
+	"actress":      Person,
+	"author":       Person,
+	"inventor":     Person,
+	"scientist":    Person,
+	"population":   Quantity,
+	"height":       Quantity,
+	"number":       Quantity,
+	"cost":         Money,
+	"price":        Money,
+}
+
+// AnalyzeQuestion classifies the expected answer type and selects retrieval
+// keywords for a natural-language question.
+func AnalyzeQuestion(question string) QuestionAnalysis {
+	lower := strings.ToLower(question)
+	tokens := Tokenize(question)
+
+	typ := UnknownEntity
+	for _, rule := range classRules {
+		if strings.Contains(lower, rule.phrase) {
+			typ = rule.typ
+			break
+		}
+	}
+	if typ == UnknownEntity {
+		// Fall back on head-noun cues anywhere in the question.
+		for _, t := range tokens {
+			if ht, ok := headNounTypes[t.Text]; ok {
+				typ = ht
+				break
+			}
+		}
+	}
+
+	// Keyword selection: content words, stemmed, deduplicated, dropping the
+	// interrogative machinery that survives stopword filtering.
+	seen := make(map[string]bool)
+	var keywords []string
+	for _, t := range ContentWords(tokens) {
+		if questionMachinery[t.Text] {
+			continue
+		}
+		if seen[t.Stem] {
+			continue
+		}
+		seen[t.Stem] = true
+		keywords = append(keywords, t.Stem)
+	}
+	return QuestionAnalysis{AnswerType: typ, Keywords: keywords, Tokens: tokens}
+}
+
+// questionMachinery lists words that carry the question form rather than its
+// content; they never make useful retrieval keywords.
+var questionMachinery = map[string]bool{
+	"what": true, "whats": true, "many": true, "much": true, "long": true,
+	"far": true, "old": true, "kind": true, "type": true,
+	"first": true, "rare": true,
+	// Type head nouns name the expected answer class (already captured by
+	// question classification), not retrievable content.
+	"nationality": true, "disease": true, "illness": true, "syndrome": true,
+	"company": true, "organization": true, "year": true, "date": true,
+	"city": true, "country": true, "place": true, "money": true,
+}

@@ -1,0 +1,127 @@
+// Package qa implements the sequential Falcon-style question/answering
+// pipeline of the paper's Figure 1 — Question Processing (QP), Paragraph
+// Retrieval (PR), Paragraph Scoring (PS), Paragraph Ordering (PO) and
+// Answer Processing (AP) — over the synthetic corpus and Boolean index
+// substrates.
+//
+// Every module does real work (real retrieval, real scoring, real answer
+// windows with verifiable answers) and reports a Cost: the virtual CPU
+// seconds and disk bytes that work represents on the paper's 2001 hardware.
+// The distributed engine (package core) charges those costs to simulated
+// nodes; the constants are calibrated so a sequential TREC-9-like question
+// reproduces the paper's profile (Section 2.2, Table 2, Table 8): ~1 % QP,
+// ~25 % PR (disk-bound), ~2 % PS, ~0.1 % PO, ~70 % AP (CPU-bound).
+package qa
+
+// Cost is the resource demand of one module execution, in the simulator's
+// units: standard CPU seconds (500 MHz Pentium III), virtual disk bytes,
+// and megabytes of dynamic memory held while the module runs.
+type Cost struct {
+	CPUSeconds float64
+	DiskBytes  float64
+	MemMB      float64
+}
+
+// Add returns the component-wise sum of two costs (memory takes the max,
+// since allocations coexist rather than accumulate across modules).
+func (c Cost) Add(o Cost) Cost {
+	m := c.MemMB
+	if o.MemMB > m {
+		m = o.MemMB
+	}
+	return Cost{
+		CPUSeconds: c.CPUSeconds + o.CPUSeconds,
+		DiskBytes:  c.DiskBytes + o.DiskBytes,
+		MemMB:      m,
+	}
+}
+
+// NominalSeconds converts the cost to wall-clock seconds on an idle node
+// with the given CPU power (standard-seconds/second) and disk bandwidth
+// (bytes/second), assuming no overlap of CPU and I/O — the sequential
+// execution model of the paper's Falcon.
+func (c Cost) NominalSeconds(cpuPower, diskBW float64) float64 {
+	return c.CPUSeconds/cpuPower + c.DiskBytes/diskBW
+}
+
+// CostModel holds the calibration constants mapping real work performed by
+// the pipeline to virtual resource demand. The defaults reproduce the
+// paper's timing profile; see EXPERIMENTS.md for the calibration record.
+type CostModel struct {
+	// Question Processing: parsing and classification (Falcon used a full
+	// syntactic parse, hence the substantial constant).
+	QPBaseCPU     float64
+	QPPerTokenCPU float64
+
+	// Paragraph Retrieval. Disk traffic per sub-collection is
+	//   PRScanFraction × (sub-collection virtual bytes)      (index scan)
+	// + PRTouchedFactor × (touched real bytes × scale)       (doc reads)
+	// and CPU is PRCPUPerDiskByte × the disk bytes (postings merging),
+	// keeping PR ≈ 20 % CPU / 80 % disk as measured in Table 3.
+	PRScanFraction   float64
+	PRTouchedFactor  float64
+	PRCPUPerDiskByte float64
+
+	// Paragraph Scoring: light surface heuristics.
+	PSPerParagraphCPU float64
+	PSPerTokenCPU     float64
+
+	// Paragraph Ordering: centralized sort + threshold filter.
+	POBaseCPU         float64
+	POPerParagraphCPU float64
+
+	// Answer Processing: NER + window construction + 7 heuristics. The
+	// dominant term; all CPU (Table 3: 1.00/0.00). Window construction is
+	// charged per candidate × matched keyword, so keyword-rich (highly
+	// ranked) paragraphs cost more — the granularity/rank correlation that
+	// makes SEND partitioning unbalanced and ISEND effective
+	// (Section 4.1.3 of the paper).
+	APPerParagraphCPU float64
+	APPerTokenCPU     float64
+	APPerCandidateCPU float64
+	APPerWindowCPU    float64
+	// APSubtaskBaseCPU is charged once per AP invocation (loading the
+	// question context and initialising the extraction state), the
+	// per-chunk overhead that makes very small RECV chunks expensive
+	// (Figure 10's left slope).
+	APSubtaskBaseCPU float64
+
+	// Answer merging/sorting.
+	SortBaseCPU      float64
+	SortPerAnswerCPU float64
+
+	// Memory model: a question holds MemBaseMB plus MemPerParagraphMB per
+	// accepted paragraph (25-40 MB per the paper, Section 6.1).
+	MemBaseMB         float64
+	MemPerParagraphMB float64
+}
+
+// DefaultCostModel returns the paper-calibrated constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		QPBaseCPU:     0.78,
+		QPPerTokenCPU: 0.004,
+
+		PRScanFraction:   0.08,
+		PRTouchedFactor:  0.8,
+		PRCPUPerDiskByte: 0.25 / 25e6, // CPU ≈ 25 % of nominal disk time
+
+		PSPerParagraphCPU: 0.008,
+		PSPerTokenCPU:     0.00002,
+
+		POBaseCPU:         0.045,
+		POPerParagraphCPU: 0.0001,
+
+		APPerParagraphCPU: 0.020,
+		APPerTokenCPU:     0.0005,
+		APPerCandidateCPU: 0.0013,
+		APPerWindowCPU:    0.0035,
+		APSubtaskBaseCPU:  0.15,
+
+		SortBaseCPU:      0.002,
+		SortPerAnswerCPU: 0.00002,
+
+		MemBaseMB:         25,
+		MemPerParagraphMB: 0.03,
+	}
+}

@@ -1,0 +1,521 @@
+package qa
+
+import (
+	"sort"
+	"strings"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/nlp"
+)
+
+// Params are the pipeline's tunables (Falcon's thresholds).
+type Params struct {
+	// AcceptThreshold is the minimum paragraph score the Paragraph Ordering
+	// module lets through to Answer Processing.
+	AcceptThreshold float64
+	// MaxAccepted caps the paragraphs passed to Answer Processing.
+	MaxAccepted int
+	// AnswersRequested is N_a, the number of answers returned to the user.
+	AnswersRequested int
+	// ShortAnswerBytes and LongAnswerBytes are the TREC answer formats.
+	ShortAnswerBytes int
+	LongAnswerBytes  int
+}
+
+// DefaultParams mirrors the paper's TREC setting: 5 answers per question,
+// 50-byte short answers, 250-byte long answers.
+func DefaultParams() Params {
+	return Params{
+		AcceptThreshold:  3.0,
+		MaxAccepted:      1000,
+		AnswersRequested: 5,
+		ShortAnswerBytes: 50,
+		LongAnswerBytes:  250,
+	}
+}
+
+// Engine binds the pipeline to one collection and its indexes. Engines are
+// read-only after construction and safe for concurrent use; every simulated
+// node holds the same Engine, modelling the paper's "each node has a copy of
+// the collection".
+type Engine struct {
+	Coll   *corpus.Collection
+	Set    *index.Set
+	Cost   CostModel
+	Params Params
+}
+
+// NewEngine builds an engine with default cost model and parameters.
+func NewEngine(c *corpus.Collection, s *index.Set) *Engine {
+	return &Engine{Coll: c, Set: s, Cost: DefaultCostModel(), Params: DefaultParams()}
+}
+
+// ScoredParagraph is a paragraph with its PS relevance score.
+type ScoredParagraph struct {
+	Para *corpus.Paragraph
+	// Matched is the number of distinct question keywords present.
+	Matched int
+	// Score is the PS heuristic combination.
+	Score float64
+}
+
+// Answer is one extracted answer with its provenance.
+type Answer struct {
+	// Text is the candidate answer entity's surface form.
+	Text string
+	// Type is the entity class.
+	Type nlp.EntityType
+	// Score is the combined AP heuristic score (redundancy applied during
+	// answer sorting).
+	Score float64
+	// ParaID is the source paragraph.
+	ParaID int
+	// WindowStart/WindowEnd are token positions of the answer window.
+	WindowStart, WindowEnd int
+	// CandStart/CandEnd are the candidate entity's token positions within
+	// the paragraph (the span byte-capped rendering must preserve).
+	CandStart, CandEnd int
+	// Snippet is the answer-in-context text span.
+	Snippet string
+}
+
+// ---------------------------------------------------------------------------
+// Question Processing (QP)
+
+// QuestionProcessing classifies the question and selects keywords.
+func (e *Engine) QuestionProcessing(question string) (nlp.QuestionAnalysis, Cost) {
+	a := nlp.AnalyzeQuestion(question)
+	cost := Cost{
+		CPUSeconds: e.Cost.QPBaseCPU + e.Cost.QPPerTokenCPU*float64(len(a.Tokens)),
+		MemMB:      e.Cost.MemBaseMB,
+	}
+	return a, cost
+}
+
+// ---------------------------------------------------------------------------
+// Paragraph Retrieval (PR) — iterative over sub-collections
+
+// RetrieveSub runs Boolean retrieval plus paragraph extraction over one
+// sub-collection. This is the PR module's iteration unit (Table 2:
+// granularity "Collection").
+func (e *Engine) RetrieveSub(a nlp.QuestionAnalysis, sub int) ([]index.Retrieved, Cost) {
+	rs, st := e.Set.Sub(sub).RetrieveParagraphs(a.Keywords)
+	disk := e.Cost.PRScanFraction*e.Coll.SubVirtualBytes(sub) +
+		e.Cost.PRTouchedFactor*e.Coll.VirtualBytesOf(float64(st.RealBytesTouched))
+	cost := Cost{
+		CPUSeconds: e.Cost.PRCPUPerDiskByte * disk,
+		DiskBytes:  disk,
+		MemMB:      e.Cost.MemBaseMB,
+	}
+	return rs, cost
+}
+
+// RetrieveAll runs PR over every sub-collection (the sequential system's
+// behaviour) and returns the concatenated paragraphs with the summed cost.
+func (e *Engine) RetrieveAll(a nlp.QuestionAnalysis) ([]index.Retrieved, Cost) {
+	var out []index.Retrieved
+	var cost Cost
+	for sub := 0; sub < e.Set.Len(); sub++ {
+		rs, c := e.RetrieveSub(a, sub)
+		out = append(out, rs...)
+		cost = cost.Add(c)
+	}
+	return out, cost
+}
+
+// ---------------------------------------------------------------------------
+// Paragraph Scoring (PS) — iterative over paragraphs
+
+// ScoreParagraphs applies the three surface-text heuristics of the LASSO/
+// Falcon paragraph scorer to each retrieved paragraph: keyword coverage,
+// keyword proximity, and question-order preservation.
+func (e *Engine) ScoreParagraphs(a nlp.QuestionAnalysis, rs []index.Retrieved) ([]ScoredParagraph, Cost) {
+	out := make([]ScoredParagraph, 0, len(rs))
+	cost := Cost{MemMB: e.Cost.MemBaseMB}
+	for _, r := range rs {
+		sp := e.scoreOne(a, r)
+		out = append(out, sp)
+		cost.CPUSeconds += e.Cost.PSPerParagraphCPU + e.Cost.PSPerTokenCPU*float64(len(r.Para.Tokens))
+	}
+	return out, cost
+}
+
+// scoreOne computes the PS heuristics for a single paragraph.
+func (e *Engine) scoreOne(a nlp.QuestionAnalysis, r index.Retrieved) ScoredParagraph {
+	positions := keywordPositions(a.Keywords, r.Para.Tokens)
+	matched := 0
+	first, last := -1, -1
+	order := 0
+	prevPos := -1
+	for _, kw := range a.Keywords {
+		ps := positions[kw]
+		if len(ps) == 0 {
+			continue
+		}
+		matched++
+		if first < 0 || ps[0] < first {
+			first = ps[0]
+		}
+		// Span over first occurrences: the tightest grouping determines
+		// relevance; later repetitions of a keyword do not dilute it.
+		if ps[0] > last {
+			last = ps[0]
+		}
+		// Order heuristic: does this keyword appear after the previous
+		// question keyword's first occurrence?
+		if prevPos >= 0 && ps[0] > prevPos {
+			order++
+		}
+		prevPos = ps[0]
+	}
+	score := 0.0
+	if matched > 0 {
+		span := last - first
+		score = 3*float64(matched) + float64(order) + 4/float64(1+span)
+	}
+	return ScoredParagraph{Para: r.Para, Matched: matched, Score: score}
+}
+
+// keywordPositions maps each keyword stem to its sorted token positions.
+func keywordPositions(keywords []string, tokens []nlp.Token) map[string][]int {
+	want := make(map[string]bool, len(keywords))
+	for _, k := range keywords {
+		want[k] = true
+	}
+	out := make(map[string][]int, len(keywords))
+	for _, t := range tokens {
+		if want[t.Stem] {
+			out[t.Stem] = append(out[t.Stem], t.Pos)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Paragraph Ordering (PO) — centralized, sequential
+
+// OrderParagraphs sorts scored paragraphs in descending rank order and
+// applies the acceptance threshold and cap. It is deliberately centralized
+// (Section 3.2): the filter must see all paragraphs to mimic the sequential
+// system's output exactly.
+func (e *Engine) OrderParagraphs(ps []ScoredParagraph) ([]ScoredParagraph, Cost) {
+	sorted := make([]ScoredParagraph, len(ps))
+	copy(sorted, ps)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		return sorted[i].Para.ID < sorted[j].Para.ID
+	})
+	accepted := make([]ScoredParagraph, 0, len(sorted))
+	for _, sp := range sorted {
+		if sp.Score < e.Params.AcceptThreshold {
+			break
+		}
+		accepted = append(accepted, sp)
+		if len(accepted) >= e.Params.MaxAccepted {
+			break
+		}
+	}
+	cost := Cost{
+		CPUSeconds: e.Cost.POBaseCPU + e.Cost.POPerParagraphCPU*float64(len(ps)),
+		MemMB:      e.Cost.MemBaseMB,
+	}
+	return accepted, cost
+}
+
+// ---------------------------------------------------------------------------
+// Answer Processing (AP) — iterative over paragraphs
+
+// ExtractAnswers runs candidate detection, answer-window construction and
+// the seven scoring heuristics over a set of accepted paragraphs, returning
+// the local best answers (at most AnswersRequested — each AP sub-task
+// returns N_a answers, Section 4.1).
+func (e *Engine) ExtractAnswers(a nlp.QuestionAnalysis, paras []ScoredParagraph) ([]Answer, Cost) {
+	var all []Answer
+	cost := Cost{
+		// Per-invocation startup: question context, extraction state.
+		CPUSeconds: e.Cost.APSubtaskBaseCPU,
+		MemMB:      e.Cost.MemBaseMB + e.Cost.MemPerParagraphMB*float64(len(paras)),
+	}
+	for _, sp := range paras {
+		answers, c := e.extractFromParagraph(a, sp)
+		all = append(all, answers...)
+		cost.CPUSeconds += c
+	}
+	sortAnswers(all)
+	if len(all) > e.Params.AnswersRequested {
+		all = all[:e.Params.AnswersRequested]
+	}
+	return all, cost
+}
+
+// extractFromParagraph finds typed candidates and builds scored windows.
+// The returned CPU seconds cover NER, parsing and window scoring for this
+// paragraph (Falcon's dominant cost).
+func (e *Engine) extractFromParagraph(a nlp.QuestionAnalysis, sp ScoredParagraph) ([]Answer, float64) {
+	para := sp.Para
+	cpu := e.Cost.APPerParagraphCPU + e.Cost.APPerTokenCPU*float64(len(para.Tokens))
+	positions := keywordPositions(a.Keywords, para.Tokens)
+	// Window construction touches every (candidate, keyword occurrence)
+	// combination, so keyword-rich paragraphs — exactly the ones the PO
+	// module ranks highest — are the most expensive to process (the
+	// rank/granularity correlation of Section 4.1.3).
+	occurrences := 0
+	for _, kw := range a.Keywords {
+		occurrences += len(positions[kw])
+	}
+	var out []Answer
+	for _, ent := range para.Entities {
+		// Falcon recognises and scores every entity before the answer-type
+		// filter, so each entity costs NER + window work regardless of
+		// whether it survives as a candidate.
+		cpu += e.Cost.APPerCandidateCPU + e.Cost.APPerWindowCPU*float64(occurrences)
+		if a.AnswerType != nlp.UnknownEntity && ent.Type != a.AnswerType {
+			continue
+		}
+		ans := e.buildWindow(a, para, sp, ent, positions)
+		out = append(out, ans)
+	}
+	return out, cpu
+}
+
+// buildWindow constructs the answer window around a candidate entity and
+// applies the seven heuristics (Section 2.1: frequency and distance metrics
+// requiring a candidate answer).
+func (e *Engine) buildWindow(a nlp.QuestionAnalysis, para *corpus.Paragraph, sp ScoredParagraph, ent nlp.Entity, positions map[string][]int) Answer {
+	candMid := (ent.Start + ent.End - 1) / 2
+	winStart, winEnd := ent.Start, ent.End-1
+
+	// For each present keyword take the occurrence nearest the candidate.
+	inWindow := 0
+	order := 0
+	nearest := 1 << 30
+	prev := -1
+	sameSentence := 0
+	for _, kw := range a.Keywords {
+		ps := positions[kw]
+		if len(ps) == 0 {
+			continue
+		}
+		best := ps[0]
+		for _, p := range ps {
+			if abs(p-candMid) < abs(best-candMid) {
+				best = p
+			}
+		}
+		inWindow++
+		if best < winStart {
+			winStart = best
+		}
+		if best > winEnd {
+			winEnd = best
+		}
+		if d := abs(best - candMid); d < nearest {
+			nearest = d
+		}
+		if prev >= 0 && best > prev {
+			order++
+		}
+		prev = best
+		if abs(best-candMid) <= 8 {
+			sameSentence++
+		}
+	}
+
+	span := winEnd - winStart
+	h1 := 3.0 * float64(inWindow)                 // keywords in window
+	h2 := 2.0 / float64(1+span)                   // window compactness
+	h3 := 2.0 / float64(1+nearestOrZero(nearest)) // candidate-keyword distance
+	h4 := 0.5 * float64(order)                    // order preservation
+	h5 := 0.5 * float64(sameSentence)             // same-sentence bonus
+	h6 := 0.2 * sp.Score                          // paragraph score carry-in
+	// h7 (answer redundancy across paragraphs) is applied in sortAnswers /
+	// MergeAnswerSets, where cross-paragraph information exists.
+	score := h1 + h2 + h3 + h4 + h5 + h6
+
+	return Answer{
+		Text:        ent.Text,
+		Type:        ent.Type,
+		Score:       score,
+		ParaID:      para.ID,
+		WindowStart: winStart,
+		WindowEnd:   winEnd + 1,
+		CandStart:   ent.Start,
+		CandEnd:     ent.End,
+		Snippet:     snippet(para, winStart, winEnd+1),
+	}
+}
+
+func nearestOrZero(n int) int {
+	if n == 1<<30 {
+		return 0
+	}
+	return n
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// snippet renders the window with a little context, the paper's
+// answer-in-text format (Table 1).
+func snippet(para *corpus.Paragraph, start, end int) string {
+	lo := start - 4
+	if lo < 0 {
+		lo = 0
+	}
+	hi := end + 4
+	if hi > len(para.Tokens) {
+		hi = len(para.Tokens)
+	}
+	words := make([]string, 0, hi-lo)
+	if lo > 0 {
+		words = append(words, "...")
+	}
+	for _, t := range para.Tokens[lo:hi] {
+		words = append(words, t.Text)
+	}
+	if hi < len(para.Tokens) {
+		words = append(words, "...")
+	}
+	return strings.Join(words, " ")
+}
+
+// AnswerInContext renders an answer in the TREC byte-capped format: the
+// text span around the answer window, grown symmetrically token by token
+// until the byte budget is reached (the paper's Table 1 shows the 50-byte
+// short and 250-byte long formats).
+func (e *Engine) AnswerInContext(a Answer, budgetBytes int) string {
+	para := e.Coll.Paragraph(a.ParaID)
+	toks := para.Tokens
+	if len(toks) == 0 {
+		return a.Text
+	}
+	lo, hi := a.WindowStart, a.WindowEnd
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(toks) {
+		hi = len(toks)
+	}
+	if lo >= hi {
+		lo, hi = 0, 1
+	}
+	size := func(lo, hi int) int {
+		n := 0
+		for _, t := range toks[lo:hi] {
+			n += len(t.Text) + 1
+		}
+		return n
+	}
+	// If the whole window overflows the budget, collapse to the candidate
+	// span and grow from there — the answer itself must survive the cap.
+	if size(lo, hi) > budgetBytes && a.CandEnd > a.CandStart {
+		lo, hi = a.CandStart, a.CandEnd
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(toks) {
+			hi = len(toks)
+		}
+		if lo >= hi {
+			lo, hi = 0, 1
+		}
+	}
+	// Grow alternately left and right while the budget allows.
+	for {
+		grew := false
+		if lo > 0 && size(lo-1, hi) <= budgetBytes {
+			lo--
+			grew = true
+		}
+		if hi < len(toks) && size(lo, hi+1) <= budgetBytes {
+			hi++
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	words := make([]string, hi-lo)
+	for i, t := range toks[lo:hi] {
+		words[i] = t.Text
+	}
+	out := strings.Join(words, " ")
+	prefix, suffix := "", ""
+	if lo > 0 {
+		prefix = "... "
+	}
+	if hi < len(toks) {
+		suffix = " ..."
+	}
+	return prefix + out + suffix
+}
+
+// ShortAnswer renders the TREC 50-byte format.
+func (e *Engine) ShortAnswer(a Answer) string {
+	return e.AnswerInContext(a, e.Params.ShortAnswerBytes)
+}
+
+// LongAnswer renders the TREC 250-byte format.
+func (e *Engine) LongAnswer(a Answer) string {
+	return e.AnswerInContext(a, e.Params.LongAnswerBytes)
+}
+
+// ---------------------------------------------------------------------------
+// Answer merging and sorting
+
+// MergeAnswerSets combines the answer sets returned by (possibly remote) AP
+// sub-tasks, applies the redundancy heuristic (h7), deduplicates by answer
+// text, sorts globally, and returns the final top-N_a answers. This is the
+// paper's answer merging + answer sorting stage.
+func (e *Engine) MergeAnswerSets(groups [][]Answer) ([]Answer, Cost) {
+	var all []Answer
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	counts := make(map[string]int)
+	for _, a := range all {
+		counts[strings.ToLower(a.Text)]++
+	}
+	best := make(map[string]Answer)
+	for _, a := range all {
+		key := strings.ToLower(a.Text)
+		a.Score += 0.3 * float64(counts[key]-1) // h7: redundancy bonus
+		if cur, ok := best[key]; !ok || a.Score > cur.Score {
+			best[key] = a
+		}
+	}
+	merged := make([]Answer, 0, len(best))
+	for _, a := range best {
+		merged = append(merged, a)
+	}
+	sortAnswers(merged)
+	if len(merged) > e.Params.AnswersRequested {
+		merged = merged[:e.Params.AnswersRequested]
+	}
+	cost := Cost{
+		CPUSeconds: e.Cost.SortBaseCPU + e.Cost.SortPerAnswerCPU*float64(len(all)),
+		MemMB:      e.Cost.MemBaseMB,
+	}
+	return merged, cost
+}
+
+// sortAnswers orders answers by descending score with deterministic
+// tie-breaks.
+func sortAnswers(as []Answer) {
+	sort.SliceStable(as, func(i, j int) bool {
+		if as[i].Score != as[j].Score {
+			return as[i].Score > as[j].Score
+		}
+		if as[i].ParaID != as[j].ParaID {
+			return as[i].ParaID < as[j].ParaID
+		}
+		return as[i].Text < as[j].Text
+	})
+}

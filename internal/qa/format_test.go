@@ -1,0 +1,85 @@
+package qa
+
+import (
+	"strings"
+	"testing"
+)
+
+func firstAnswer(t *testing.T) Answer {
+	t.Helper()
+	for _, f := range testColl.Facts {
+		res := testEngine.AnswerSequential(f.Question)
+		if len(res.Answers) > 0 {
+			return res.Answers[0]
+		}
+	}
+	t.Fatal("no answers anywhere")
+	return Answer{}
+}
+
+func TestAnswerFormatsRespectBudget(t *testing.T) {
+	a := firstAnswer(t)
+	short := testEngine.ShortAnswer(a)
+	long := testEngine.LongAnswer(a)
+	trim := func(s string) string {
+		s = strings.TrimPrefix(s, "... ")
+		return strings.TrimSuffix(s, " ...")
+	}
+	if len(trim(short)) > testEngine.Params.ShortAnswerBytes+1 {
+		t.Fatalf("short answer %d bytes exceeds %d: %q", len(trim(short)), testEngine.Params.ShortAnswerBytes, short)
+	}
+	if len(trim(long)) > testEngine.Params.LongAnswerBytes+1 {
+		t.Fatalf("long answer %d bytes exceeds %d: %q", len(trim(long)), testEngine.Params.LongAnswerBytes, long)
+	}
+	if len(trim(long)) <= len(trim(short)) {
+		t.Fatalf("long answer (%d B) not longer than short (%d B)", len(trim(long)), len(trim(short)))
+	}
+}
+
+func TestLongAnswerContainsShortContext(t *testing.T) {
+	// The long format grows around the same window; the core of the short
+	// answer must appear within the long one.
+	a := firstAnswer(t)
+	short := strings.TrimSuffix(strings.TrimPrefix(testEngine.ShortAnswer(a), "... "), " ...")
+	long := testEngine.LongAnswer(a)
+	if short != "" && !strings.Contains(long, short) {
+		t.Fatalf("long answer %q does not contain short core %q", long, short)
+	}
+}
+
+func TestAnswerInContextDegenerateWindows(t *testing.T) {
+	a := firstAnswer(t)
+	// Budget smaller than any token still returns something sane.
+	if got := testEngine.AnswerInContext(a, 1); got == "" {
+		t.Fatal("tiny budget returned empty string")
+	}
+	// Corrupt window positions are clamped.
+	b := a
+	b.WindowStart, b.WindowEnd = -5, 1<<20
+	if got := testEngine.AnswerInContext(b, 50); got == "" {
+		t.Fatal("clamped window returned empty string")
+	}
+}
+
+func TestShortAnswersUsuallyContainTheAnswer(t *testing.T) {
+	hits, total := 0, 0
+	for _, f := range testColl.Facts {
+		res := testEngine.AnswerSequential(f.Question)
+		if len(res.Answers) == 0 {
+			continue
+		}
+		total++
+		short := testEngine.ShortAnswer(res.Answers[0])
+		// The candidate's first token should appear in its own short answer.
+		first := strings.ToLower(strings.Fields(res.Answers[0].Text)[0])
+		if strings.Contains(short, first) {
+			hits++
+		}
+	}
+	if total == 0 {
+		t.Skip("no answers")
+	}
+	if hits*10 < total*8 {
+		t.Fatalf("answer text missing from its short context in %d/%d cases", total-hits, total)
+	}
+}

@@ -1,0 +1,99 @@
+package qa
+
+import (
+	"sort"
+	"testing"
+
+	"distqa/internal/nlp"
+)
+
+// The prediction must rank questions by cost usefully: Spearman rank
+// correlation between predicted and actual nominal time above 0.5, and the
+// heavy half identified with decent precision. (The paper dismissed
+// DF-based prediction for Q/A; this quantifies how far simple statistics
+// actually get.)
+func TestEstimateCostRanksQuestions(t *testing.T) {
+	var pairs []predPair
+	for _, f := range testColl.Facts {
+		a := nlp.AnalyzeQuestion(f.Question)
+		est := testEngine.EstimateCost(a)
+		res := testEngine.AnswerSequential(f.Question)
+		actual := res.Costs.Total().NominalSeconds(1.0, 25e6)
+		pairs = append(pairs, predPair{est.NominalSeconds(1.0, 25e6), actual})
+	}
+	rho := spearman(pairs)
+	t.Logf("Spearman rank correlation: %.3f over %d questions", rho, len(pairs))
+	if rho < 0.5 {
+		t.Errorf("prediction rank correlation %.3f too weak to be useful", rho)
+	}
+	// Heavy-half precision: of the predicted-heaviest half, how many are in
+	// the actual-heaviest half?
+	n := len(pairs)
+	byPred := make([]int, n)
+	byActual := make([]int, n)
+	for i := range byPred {
+		byPred[i], byActual[i] = i, i
+	}
+	sort.Slice(byPred, func(i, j int) bool { return pairs[byPred[i]].predicted > pairs[byPred[j]].predicted })
+	sort.Slice(byActual, func(i, j int) bool { return pairs[byActual[i]].actual > pairs[byActual[j]].actual })
+	heavy := map[int]bool{}
+	for _, idx := range byActual[:n/2] {
+		heavy[idx] = true
+	}
+	hits := 0
+	for _, idx := range byPred[:n/2] {
+		if heavy[idx] {
+			hits++
+		}
+	}
+	t.Logf("heavy-half precision: %d/%d", hits, n/2)
+	if hits*10 < (n/2)*6 {
+		t.Errorf("heavy-half precision %d/%d below 60%%", hits, n/2)
+	}
+}
+
+func TestEstimateCostEmptyKeywords(t *testing.T) {
+	est := testEngine.EstimateCost(nlp.QuestionAnalysis{})
+	if est.CPUSeconds != 0 || est.DiskBytes != 0 {
+		t.Fatalf("empty keywords should predict zero: %+v", est)
+	}
+}
+
+func TestEstimateCostPositive(t *testing.T) {
+	f := testColl.Facts[0]
+	a := nlp.AnalyzeQuestion(f.Question)
+	est := testEngine.EstimateCost(a)
+	if est.CPUSeconds <= 0 || est.DiskBytes <= 0 || est.Paragraphs <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	if est.Paragraphs > float64(testEngine.Params.MaxAccepted) {
+		t.Fatalf("paragraph estimate above cap: %+v", est)
+	}
+}
+
+type predPair struct{ predicted, actual float64 }
+
+// spearman computes the rank correlation of predicted vs actual.
+func spearman(pairs []predPair) float64 {
+	n := len(pairs)
+	rankOf := func(get func(int) float64) []float64 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return get(idx[a]) < get(idx[b]) })
+		ranks := make([]float64, n)
+		for r, i := range idx {
+			ranks[i] = float64(r)
+		}
+		return ranks
+	}
+	rp := rankOf(func(i int) float64 { return pairs[i].predicted })
+	ra := rankOf(func(i int) float64 { return pairs[i].actual })
+	var d2 float64
+	for i := 0; i < n; i++ {
+		d := rp[i] - ra[i]
+		d2 += d * d
+	}
+	return 1 - 6*d2/(float64(n)*(float64(n)*float64(n)-1))
+}

@@ -1,0 +1,164 @@
+package qa
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"distqa/internal/index"
+)
+
+// Property: OrderParagraphs output is sorted, thresholded, capped and a
+// sub-multiset of its input, for arbitrary scored inputs.
+func TestOrderParagraphsProperties(t *testing.T) {
+	paras := testColl.Paragraphs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60)
+		in := make([]ScoredParagraph, n)
+		for i := range in {
+			in[i] = ScoredParagraph{
+				Para:    paras[rng.Intn(len(paras))],
+				Matched: rng.Intn(4),
+				Score:   rng.Float64() * 12,
+			}
+		}
+		out, _ := testEngine.OrderParagraphs(in)
+		if len(out) > testEngine.Params.MaxAccepted {
+			return false
+		}
+		seen := map[int]int{}
+		for _, sp := range in {
+			seen[sp.Para.ID]++
+		}
+		for i, sp := range out {
+			if sp.Score < testEngine.Params.AcceptThreshold {
+				return false
+			}
+			if i > 0 && out[i-1].Score < sp.Score {
+				return false
+			}
+			if seen[sp.Para.ID] == 0 {
+				return false // invented a paragraph
+			}
+			seen[sp.Para.ID]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MergeAnswerSets never returns duplicate answer texts, never
+// returns more than AnswersRequested, and its output scores are sorted.
+func TestMergeAnswerSetsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nGroups := rng.Intn(6)
+		groups := make([][]Answer, nGroups)
+		names := []string{"Alpha", "Beta", "Gamma", "Delta", "Epsilon"}
+		for g := range groups {
+			for k := 0; k < rng.Intn(8); k++ {
+				groups[g] = append(groups[g], Answer{
+					Text:   names[rng.Intn(len(names))],
+					Score:  rng.Float64() * 10,
+					ParaID: rng.Intn(100),
+				})
+			}
+		}
+		out, _ := testEngine.MergeAnswerSets(groups)
+		if len(out) > testEngine.Params.AnswersRequested {
+			return false
+		}
+		seen := map[string]bool{}
+		for i, a := range out {
+			key := strings.ToLower(a.Text)
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			if i > 0 && out[i-1].Score < a.Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the partitioned AP + merge path returns the same top answer as
+// the sequential path for any split granularity.
+func TestPartitionInvariantAnyGranularity(t *testing.T) {
+	f := testColl.Facts[0]
+	a, _ := testEngine.QuestionProcessing(f.Question)
+	retrieved, _ := testEngine.RetrieveAll(a)
+	scored, _ := testEngine.ScoreParagraphs(a, retrieved)
+	accepted, _ := testEngine.OrderParagraphs(scored)
+	if len(accepted) < 4 {
+		t.Skip("too few accepted paragraphs")
+	}
+	seq, _ := testEngine.ExtractAnswers(a, accepted)
+	want, _ := testEngine.MergeAnswerSets([][]Answer{seq})
+	for _, step := range []int{1, 2, 3, 5, 7, 11, len(accepted)} {
+		var groups [][]Answer
+		for i := 0; i < len(accepted); i += step {
+			hi := i + step
+			if hi > len(accepted) {
+				hi = len(accepted)
+			}
+			g, _ := testEngine.ExtractAnswers(a, accepted[i:hi])
+			groups = append(groups, g)
+		}
+		got, _ := testEngine.MergeAnswerSets(groups)
+		if len(want) == 0 {
+			continue
+		}
+		if len(got) == 0 || !strings.EqualFold(got[0].Text, want[0].Text) {
+			t.Fatalf("step %d: top answer %v differs from sequential %q", step, got, want[0].Text)
+		}
+	}
+}
+
+// Property: retrieval cost accounting is deterministic and additive —
+// running the same question twice charges identical costs.
+func TestCostDeterminism(t *testing.T) {
+	for _, f := range testColl.Facts[:6] {
+		r1 := testEngine.AnswerSequential(f.Question)
+		r2 := testEngine.AnswerSequential(f.Question)
+		if r1.Costs != r2.Costs {
+			t.Fatalf("fact %d: costs differ between runs:\n%+v\n%+v", f.ID, r1.Costs, r2.Costs)
+		}
+	}
+}
+
+// Engines built from a loaded index snapshot must answer identically.
+func TestEngineOverLoadedIndex(t *testing.T) {
+	// Round-trip through the persistence layer.
+	snap := index.BuildAll(testColl)
+	var buf bytes.Buffer
+	if err := snap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := index.Load(&buf, testColl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewEngine(testColl, loaded)
+	for _, f := range testColl.Facts[:5] {
+		r1 := testEngine.AnswerSequential(f.Question)
+		r2 := e2.AnswerSequential(f.Question)
+		if len(r1.Answers) != len(r2.Answers) {
+			t.Fatalf("fact %d: answer counts differ", f.ID)
+		}
+		for i := range r1.Answers {
+			if r1.Answers[i].Text != r2.Answers[i].Text {
+				t.Fatalf("fact %d: answer %d differs", f.ID, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package qa
+
+// ModuleCosts holds the per-module resource demand of one question, in the
+// order of the paper's Figure 1.
+type ModuleCosts struct {
+	QP, PR, PS, PO, AP, Sort Cost
+}
+
+// Total sums the module costs.
+func (m ModuleCosts) Total() Cost {
+	return m.QP.Add(m.PR).Add(m.PS).Add(m.PO).Add(m.AP).Add(m.Sort)
+}
+
+// NominalSeconds maps the per-module costs to sequential wall-clock seconds
+// on an idle node (CPU power in standard-seconds/second, disk bandwidth in
+// bytes/second).
+type NominalSeconds struct {
+	QP, PR, PS, PO, AP, Total float64
+}
+
+// Nominal computes per-module nominal times.
+func (m ModuleCosts) Nominal(cpuPower, diskBW float64) NominalSeconds {
+	n := NominalSeconds{
+		QP: m.QP.NominalSeconds(cpuPower, diskBW),
+		PR: m.PR.NominalSeconds(cpuPower, diskBW),
+		PS: m.PS.NominalSeconds(cpuPower, diskBW),
+		PO: m.PO.NominalSeconds(cpuPower, diskBW),
+		AP: m.AP.Add(m.Sort).NominalSeconds(cpuPower, diskBW),
+	}
+	n.Total = n.QP + n.PR + n.PS + n.PO + n.AP
+	return n
+}
+
+// Result is the outcome of answering one question sequentially.
+type Result struct {
+	Question string
+	Answers  []Answer
+	// Retrieved is the paragraph count output by PR.
+	Retrieved int
+	// Accepted is the paragraph count passed to AP by PO.
+	Accepted int
+	// Costs holds the per-module resource demand.
+	Costs ModuleCosts
+}
+
+// AnswerSequential runs the complete sequential pipeline (Figure 1) and
+// reports results plus per-module costs. It performs no virtual-time
+// charging itself; callers either ignore the costs (functional use) or
+// charge them to simulated nodes (package core).
+func (e *Engine) AnswerSequential(question string) Result {
+	var res Result
+	res.Question = question
+
+	analysis, qpCost := e.QuestionProcessing(question)
+	res.Costs.QP = qpCost
+
+	retrieved, prCost := e.RetrieveAll(analysis)
+	res.Costs.PR = prCost
+	res.Retrieved = len(retrieved)
+
+	scored, psCost := e.ScoreParagraphs(analysis, retrieved)
+	res.Costs.PS = psCost
+
+	accepted, poCost := e.OrderParagraphs(scored)
+	res.Costs.PO = poCost
+	res.Accepted = len(accepted)
+
+	answers, apCost := e.ExtractAnswers(analysis, accepted)
+	res.Costs.AP = apCost
+
+	final, sortCost := e.MergeAnswerSets([][]Answer{answers})
+	res.Costs.Sort = sortCost
+	res.Answers = final
+	return res
+}
+
+// ParagraphWireBytes is the real byte size of a scored paragraph on the
+// wire (text plus a small header), used for migration and partitioning
+// transfer costs (the analytical model's S_para).
+func ParagraphWireBytes(sp ScoredParagraph) float64 {
+	return float64(sp.Para.RealBytes) + 16
+}
+
+// ParagraphSetWireBytes sums the wire size of a paragraph set.
+func ParagraphSetWireBytes(sps []ScoredParagraph) float64 {
+	total := 0.0
+	for _, sp := range sps {
+		total += ParagraphWireBytes(sp)
+	}
+	return total
+}
+
+// AnswerWireBytes is the wire size of an answer (the analytical model's
+// S_a; the paper uses the 250-byte long-answer format).
+func AnswerWireBytes(a Answer) float64 {
+	return float64(len(a.Snippet) + len(a.Text) + 24)
+}
+
+// AnswerSetWireBytes sums answer wire sizes.
+func AnswerSetWireBytes(as []Answer) float64 {
+	total := 0.0
+	for _, a := range as {
+		total += AnswerWireBytes(a)
+	}
+	return total
+}
+
+// KeywordsWireBytes is the wire size of a question's keyword set (the
+// analytical model's N_k × S_kw).
+func KeywordsWireBytes(keywords []string) float64 {
+	total := 8.0
+	for _, k := range keywords {
+		total += float64(len(k) + 1)
+	}
+	return total
+}

@@ -1,0 +1,173 @@
+package sched
+
+// Weights are the resource weights of a load function (Equations 1-3): the
+// fraction of a task's execution time spent on each resource. The defaults
+// below are the paper's Table 3 measurements for the TREC-9 question set;
+// experiments/table3 re-measures them on this implementation.
+type Weights struct {
+	CPU  float64
+	Disk float64
+}
+
+// The paper's Table 3 weights.
+var (
+	// QAWeights drives the question dispatcher (Equation 1/4).
+	QAWeights = Weights{CPU: 0.79, Disk: 0.21}
+	// PRWeights drives the paragraph-retrieval dispatcher (Equation 2/5).
+	PRWeights = Weights{CPU: 0.20, Disk: 0.80}
+	// APWeights drives the answer-processing dispatcher (Equation 3/6).
+	APWeights = Weights{CPU: 1.00, Disk: 0.00}
+)
+
+// Load evaluates the weighted load function for one node's load info.
+func (w Weights) Load(li LoadInfo) float64 {
+	return w.CPU*li.CPU + w.Disk*li.Disk
+}
+
+// Under-load thresholds (Equations 7-8): a node is under-loaded for a module
+// when its weighted load is below the load observed when a single sub-task
+// of that module runs alone on the node (Section 4.2). A lone PR sub-task
+// saturates the disk (load ≈ 0.2·0.25 + 0.8·1.0); a lone AP sub-task
+// saturates the CPU (load ≈ 1.0).
+// The AP threshold carries a small tolerance above the single-sub-task load
+// of 1.0: the broadcast load averages are one-second windows, so a node that
+// merely finished a burst at the window edge reads exactly 1.0 and must not
+// be excluded from partitioning.
+const (
+	PRUnderloadThreshold = 0.85
+	APUnderloadThreshold = 1.05
+)
+
+// PRUnderloaded is the paragraph-retrieval under-load condition.
+func PRUnderloaded(li LoadInfo) bool {
+	return PRWeights.Load(li) < PRUnderloadThreshold
+}
+
+// APUnderloaded is the answer-processing under-load condition.
+func APUnderloaded(li LoadInfo) bool {
+	return APWeights.Load(li) < APUnderloadThreshold
+}
+
+// QuestionWorkload is the average load one question adds to a node, used by
+// the question dispatcher's anti-thrash rule: a question migrates only if
+// the load gap between source and destination exceeds one question's worth
+// (Section 3.1). In QuestionLoad units a queued question contributes
+// exactly 1 and a running one ≈ 0.8, so one question's workload is ≈ 1.
+const QuestionWorkload = 1.0
+
+// TieBand treats loads within this margin as equal. Stale load tables make
+// exact minima meaningless; dispatchers rotate deterministically among
+// near-minimal nodes (by question id) instead of herding every decision
+// made within one broadcast interval onto the same lowest-id node.
+const TieBand = 0.5
+
+// QuestionLoad is the load the question dispatcher compares: the weighted
+// resource load of Equation 4 plus the admission-queue backlog (each queued
+// question is one question's worth of committed future load).
+func QuestionLoad(li LoadInfo) float64 {
+	return QAWeights.Load(li) + li.Queue
+}
+
+// PickQuestionNode implements the question dispatcher's policy: select the
+// node with the smallest Q/A load (rotating among near-minimal nodes by the
+// salt, typically the question id); migrate only if the gap to the current
+// node exceeds QuestionWorkload. It returns the chosen node and whether
+// that constitutes a migration.
+func PickQuestionNode(self int, loads []LoadInfo, salt int) (target int, migrate bool) {
+	if len(loads) == 0 {
+		return self, false
+	}
+	var selfLoad float64
+	haveSelf := false
+	for _, li := range loads {
+		if li.Node == self {
+			selfLoad = QuestionLoad(li)
+			haveSelf = true
+		}
+	}
+	best, bestLoad := pickMin(loads, QuestionLoad, salt)
+	if best < 0 || best == self || !haveSelf {
+		return self, false
+	}
+	if selfLoad-bestLoad > QuestionWorkload {
+		return best, true
+	}
+	return self, false
+}
+
+// pickMin returns a node whose load is within TieBand of the minimum,
+// rotating among the candidates by salt, together with that node's load.
+func pickMin(loads []LoadInfo, loadFn func(LoadInfo) float64, salt int) (int, float64) {
+	if len(loads) == 0 {
+		return -1, 0
+	}
+	min := loadFn(loads[0])
+	for _, li := range loads[1:] {
+		if l := loadFn(li); l < min {
+			min = l
+		}
+	}
+	var cand []LoadInfo
+	for _, li := range loads {
+		if loadFn(li) <= min+TieBand {
+			cand = append(cand, li)
+		}
+	}
+	if salt < 0 {
+		salt = -salt
+	}
+	chosen := cand[salt%len(cand)]
+	return chosen.Node, loadFn(chosen)
+}
+
+// WeightedNode is one processor selected by the meta-scheduler with its
+// normalized share of the task.
+type WeightedNode struct {
+	Node   int
+	Weight float64
+}
+
+// MetaSchedule implements the meta-scheduling algorithm of Figure 4,
+// steps 1-4: select all under-loaded processors (or the single least-loaded
+// one if none, rotating among near-minimal nodes by salt), then weight each
+// selected processor by its available capacity and normalize. Step 5 — the
+// actual partitioning — is performed by the partitioners in this package.
+func MetaSchedule(loads []LoadInfo, loadFn func(LoadInfo) float64, underloaded func(LoadInfo) bool, salt int) []WeightedNode {
+	if len(loads) == 0 {
+		return nil
+	}
+	// Step 1: all under-loaded processors.
+	var selected []LoadInfo
+	for _, li := range loads {
+		if underloaded(li) {
+			selected = append(selected, li)
+		}
+	}
+	// Step 2: fall back to the least-loaded processor.
+	if len(selected) == 0 {
+		node, _ := pickMin(loads, loadFn, salt)
+		return []WeightedNode{{Node: node, Weight: 1}}
+	}
+	// Step 3: unnormalized weights. The most-loaded selected processor must
+	// still receive a positive share, so weights are measured as headroom
+	// against (max observed load + one sub-task's worth).
+	maxLoad := loadFn(selected[0])
+	for _, li := range selected[1:] {
+		if l := loadFn(li); l > maxLoad {
+			maxLoad = l
+		}
+	}
+	ref := maxLoad + 1
+	total := 0.0
+	raw := make([]float64, len(selected))
+	for i, li := range selected {
+		raw[i] = ref - loadFn(li)
+		total += raw[i]
+	}
+	// Step 4: normalize.
+	out := make([]WeightedNode, len(selected))
+	for i, li := range selected {
+		out[i] = WeightedNode{Node: li.Node, Weight: raw[i] / total}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package sched implements the paper's distributed scheduling machinery:
+// per-node load monitors with periodic broadcast (Section 3.1), the
+// resource-weighted load functions of Equations 1-3, the meta-scheduling
+// algorithm of Figure 4, the question-dispatcher migration policy, and the
+// three partitioning algorithms SEND, ISEND and RECV of Figures 5-6 with
+// their failure-recovery strategies.
+package sched
+
+import (
+	"distqa/internal/cluster"
+	"distqa/internal/simnet"
+	"distqa/internal/vtime"
+)
+
+// Monitoring constants (Section 3.1 and the analytical model's parameters).
+const (
+	// BroadcastInterval is how often each load monitor samples and
+	// broadcasts, in virtual seconds.
+	BroadcastInterval = 1.0
+	// StaleAfter is the silence interval after which a node is dropped
+	// from the system pool.
+	StaleAfter = 3.0
+	// LoadPacketBytes is S_load, the broadcast packet size.
+	LoadPacketBytes = 64
+	// LoadMeasureCPU is t_load, the CPU cost of inspecting the kernel for
+	// local load information, charged once per broadcast interval.
+	LoadMeasureCPU = 0.010
+)
+
+// LoadInfo is one node's load broadcast: run-queue style CPU and disk load
+// averages over the last broadcast interval, plus the number of questions
+// waiting in the node's admission queue (a node runs at most a fixed number
+// of simultaneous questions — the paper's "fully-loaded at 4" observation —
+// and queues the rest).
+type LoadInfo struct {
+	Node  int
+	Time  float64
+	CPU   float64
+	Disk  float64
+	Queue float64
+}
+
+// Monitor is the per-node load monitoring process. It periodically samples
+// the local node, broadcasts the sample, and accumulates the samples
+// broadcast by every other monitor, giving each node a full (slightly
+// stale) view of system load — the paper's distributed load management.
+type Monitor struct {
+	node     *cluster.Node
+	net      *simnet.Network
+	meter    *cluster.LoadMeter
+	sim      *vtime.Sim
+	table    map[int]LoadInfo
+	interval float64
+	// queueProbe reports the node's admission-queue length at sample time.
+	queueProbe func() float64
+}
+
+// StartMonitor creates a monitor for node and spawns its broadcast process
+// with the default BroadcastInterval.
+func StartMonitor(node *cluster.Node, net *simnet.Network) *Monitor {
+	return StartMonitorInterval(node, net, BroadcastInterval)
+}
+
+// StartMonitorInterval creates a monitor broadcasting every interval
+// seconds — the staleness ablation knob. Stale-node eviction scales with
+// the interval (3 missed broadcasts).
+func StartMonitorInterval(node *cluster.Node, net *simnet.Network, interval float64) *Monitor {
+	if interval <= 0 {
+		interval = BroadcastInterval
+	}
+	m := &Monitor{
+		node:     node,
+		net:      net,
+		meter:    cluster.NewLoadMeter(node),
+		sim:      node.Sim(),
+		table:    make(map[int]LoadInfo),
+		interval: interval,
+	}
+	// A node always knows its own load immediately, before any broadcast
+	// round trips; seed the table so dispatchers can schedule from t=0.
+	m.table[node.ID()] = LoadInfo{Node: node.ID(), Time: node.Sim().Now()}
+	net.Subscribe(func(from int, payload any) {
+		if li, ok := payload.(LoadInfo); ok && !m.node.Failed() {
+			m.table[li.Node] = li
+		}
+	})
+	node.Sim().Spawn(node.Name()+".monitor", m.run)
+	return m
+}
+
+// run is the monitor main loop.
+func (m *Monitor) run(p *vtime.Proc) {
+	for !m.node.Failed() {
+		p.Sleep(m.interval)
+		if m.node.Failed() {
+			return
+		}
+		sample := m.meter.Sample()
+		m.node.UseCPU(p, LoadMeasureCPU)
+		// Blend the window average with the instantaneous run queue: the
+		// window alone makes a node that finished a burst moments ago look
+		// busy for a full broadcast period, which skews the meta-scheduler's
+		// partition weights.
+		cpu := 0.5*sample.CPU + 0.5*float64(m.node.CPU.Active())
+		disk := 0.5*sample.Disk + 0.5*float64(m.node.Disk.Active())
+		li := LoadInfo{Node: m.node.ID(), Time: p.Now(), CPU: cpu, Disk: disk}
+		if m.queueProbe != nil {
+			li.Queue = m.queueProbe()
+		}
+		m.table[li.Node] = li
+		m.net.Broadcast(p, m.node, LoadPacketBytes, li)
+	}
+}
+
+// staleAfter is the silence interval after which this monitor drops a node.
+func (m *Monitor) staleAfter() float64 {
+	if m.interval > BroadcastInterval {
+		return 3 * m.interval
+	}
+	return StaleAfter
+}
+
+// Table returns the current (non-stale) view of system load, including this
+// node itself, as a slice ordered by node id for determinism.
+func (m *Monitor) Table() []LoadInfo {
+	now := m.sim.Now()
+	maxNode := -1
+	for id := range m.table {
+		if id > maxNode {
+			maxNode = id
+		}
+	}
+	out := make([]LoadInfo, 0, len(m.table))
+	for id := 0; id <= maxNode; id++ {
+		li, ok := m.table[id]
+		if !ok {
+			continue
+		}
+		if now-li.Time > m.staleAfter() {
+			continue // node left the pool or crashed
+		}
+		out = append(out, li)
+	}
+	return out
+}
+
+// Lookup returns the last load info for a node and whether it is fresh.
+func (m *Monitor) Lookup(node int) (LoadInfo, bool) {
+	li, ok := m.table[node]
+	if !ok || m.sim.Now()-li.Time > m.staleAfter() {
+		return LoadInfo{}, false
+	}
+	return li, true
+}
+
+// NodeID returns the monitored node's id.
+func (m *Monitor) NodeID() int { return m.node.ID() }
+
+// SetQueueProbe installs the admission-queue length callback sampled at
+// each broadcast.
+func (m *Monitor) SetQueueProbe(fn func() float64) { m.queueProbe = fn }
+
+// BumpQueue optimistically adjusts the local view of a node's admission
+// queue after dispatching a question there (see Bump).
+func (m *Monitor) BumpQueue(node int, d float64) {
+	li, ok := m.table[node]
+	if !ok {
+		return
+	}
+	li.Queue += d
+	m.table[node] = li
+}
+
+// Bump optimistically adjusts this node's view of another node's load,
+// reflecting work this node just dispatched there before the next broadcast
+// confirms it. The adjustment is transient: the target's next broadcast
+// overwrites it with measured load (which by then includes the dispatched
+// work). Without this, a dispatcher making several decisions within one
+// broadcast interval herds them all onto the same momentarily-least-loaded
+// node.
+func (m *Monitor) Bump(node int, cpu, disk float64) {
+	li, ok := m.table[node]
+	if !ok {
+		return
+	}
+	li.CPU += cpu
+	li.Disk += disk
+	m.table[node] = li
+}

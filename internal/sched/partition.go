@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"errors"
+
+	"distqa/internal/vtime"
+)
+
+// ErrNoProcessors is returned when a partitioner cannot obtain any live
+// processor from its selector.
+var ErrNoProcessors = errors.New("sched: no processors available")
+
+// Runner executes one sub-task — the processing of a set of item indices —
+// on the given node. It returns a non-nil error if the node (or its network
+// path) failed before the sub-task completed; the items are then considered
+// unprocessed and the partitioner's recovery strategy re-distributes them.
+// Implementations live in package core (they ship inputs over the simulated
+// network and run the pipeline module remotely).
+type Runner func(p *vtime.Proc, node int, items []int) error
+
+// Selector re-runs the meta-scheduling algorithm against the current load
+// table, returning the processors (with normalized weights) the next
+// distribution round should use. Partitioners call it again after failures,
+// implementing the "jump to Step 1" recovery of Figure 5(c).
+type Selector func() []WeightedNode
+
+// retryBackoff spaces failure-recovery rounds so a crashed node has time to
+// fall out of the monitors' tables.
+const retryBackoff = 0.1
+
+// Partitioner is a partitioning algorithm for one iterative module.
+type Partitioner interface {
+	// Name returns the paper's identifier: SEND, ISEND or RECV.
+	Name() string
+	// Distribute processes all items across the processors produced by sel,
+	// using run to execute sub-tasks, and returns once every item has been
+	// processed (or ErrNoProcessors if the pool died entirely).
+	Distribute(p *vtime.Proc, sel Selector, items []int, run Runner) error
+}
+
+// ---------------------------------------------------------------------------
+// Sender-controlled algorithms (Figure 5)
+
+// sendPartitioner implements SEND (direct partitioning) and ISEND
+// (interleaved partitioning); they share the Figure 5(c) distribution and
+// recovery strategy and differ only in how the item array is split.
+type sendPartitioner struct {
+	name  string
+	split func(items []int, targets []WeightedNode) [][]int
+}
+
+// NewSEND returns the direct sender-controlled partitioner: partition i
+// receives the next W_i·n consecutive items (Figure 5(a)). It assumes
+// sub-task granularity does not vary widely across items.
+func NewSEND() Partitioner {
+	return &sendPartitioner{name: "SEND", split: splitConsecutive}
+}
+
+// NewISEND returns the interleaved sender-controlled partitioner: partitions
+// are built by weighted round-robin interleaving (Figure 5(b)), which
+// equalizes average granularity when items are sorted by decreasing
+// granularity — the case for the AP module, whose input is ranked by the
+// paragraph ordering module.
+func NewISEND() Partitioner {
+	return &sendPartitioner{name: "ISEND", split: splitInterleaved}
+}
+
+func (s *sendPartitioner) Name() string { return s.name }
+
+func (s *sendPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, run Runner) error {
+	remaining := items
+	for round := 0; len(remaining) > 0; round++ {
+		if round > 0 {
+			p.Sleep(retryBackoff)
+		}
+		targets := sel()
+		if len(targets) == 0 {
+			return ErrNoProcessors
+		}
+		parts := s.split(remaining, targets)
+		// Allocate each partition in parallel and wait for termination
+		// (Figure 5(c) steps 1-2), one monitoring process per partition.
+		group := vtime.NewGroup(p.Sim())
+		failed := make([][]int, len(parts))
+		for i := range parts {
+			if len(parts[i]) == 0 {
+				continue
+			}
+			i := i
+			node := targets[i].Node
+			part := parts[i]
+			group.Add(1)
+			p.Spawn("send-part", func(w *vtime.Proc) {
+				defer group.Done()
+				if err := run(w, node, part); err != nil {
+					failed[i] = part
+				}
+			})
+		}
+		group.Wait(p)
+		// Figure 5(c) step 4: concatenate unprocessed partitions and repeat.
+		remaining = nil
+		for _, f := range failed {
+			remaining = append(remaining, f...)
+		}
+	}
+	return nil
+}
+
+// splitConsecutive assigns the next round(W_i·n) consecutive items to
+// partition i (largest-remainder rounding so counts sum to n).
+func splitConsecutive(items []int, targets []WeightedNode) [][]int {
+	counts := apportion(len(items), targets)
+	parts := make([][]int, len(targets))
+	at := 0
+	for i, c := range counts {
+		parts[i] = items[at : at+c]
+		at += c
+	}
+	return parts
+}
+
+// splitInterleaved deals items one at a time to the partition whose
+// assigned share lags its weight the most (weighted round-robin), so each
+// partition still receives ≈ W_i·n items but interleaved across the ranked
+// item array.
+func splitInterleaved(items []int, targets []WeightedNode) [][]int {
+	counts := apportion(len(items), targets)
+	parts := make([][]int, len(targets))
+	credit := make([]float64, len(targets))
+	assigned := make([]int, len(targets))
+	for _, item := range items {
+		best := -1
+		for i := range targets {
+			if assigned[i] >= counts[i] {
+				continue
+			}
+			credit[i] += targets[i].Weight
+			if best < 0 || credit[i] > credit[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		credit[best] -= 1
+		parts[best] = append(parts[best], item)
+		assigned[best]++
+	}
+	return parts
+}
+
+// apportion converts normalized weights into integer counts summing to n
+// (largest remainder method; deterministic ties by index).
+func apportion(n int, targets []WeightedNode) []int {
+	counts := make([]int, len(targets))
+	rems := make([]float64, len(targets))
+	total := 0
+	for i, t := range targets {
+		exact := t.Weight * float64(n)
+		counts[i] = int(exact)
+		rems[i] = exact - float64(counts[i])
+		total += counts[i]
+	}
+	for total < n {
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i] > rems[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rems[best] = -1
+		total++
+	}
+	return counts
+}
+
+// ---------------------------------------------------------------------------
+// Receiver-controlled algorithm (Figure 6)
+
+// recvPartitioner implements RECV: the item array is divided into
+// equal-size chunks and the selected processors pull chunks one at a time
+// according to their own availability. Failure recovery returns the chunk
+// to the available set and removes the processor from the working set
+// (Figure 6(b)).
+type recvPartitioner struct {
+	chunkSize int
+}
+
+// NewRECV returns the receiver-controlled partitioner with the given chunk
+// size (in items). The paper's empirical optimum for the AP module is 40
+// paragraphs (Figure 10).
+func NewRECV(chunkSize int) Partitioner {
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	return &recvPartitioner{chunkSize: chunkSize}
+}
+
+func (r *recvPartitioner) Name() string { return "RECV" }
+
+func (r *recvPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, run Runner) error {
+	// Figure 6(a): divide into equal-size chunks. A trailing remainder
+	// shorter than half a chunk is folded into the last chunk ("chunk k
+	// extended to include the last item"); otherwise it forms its own.
+	var chunks [][]int
+	if len(items) > 0 {
+		n := (len(items) + r.chunkSize - 1) / r.chunkSize
+		if n > 1 && len(items)-(n-1)*r.chunkSize < (r.chunkSize+1)/2 {
+			n--
+		}
+		for i := 0; i < n; i++ {
+			lo := i * r.chunkSize
+			hi := lo + r.chunkSize
+			if i == n-1 {
+				hi = len(items)
+			}
+			chunks = append(chunks, items[lo:hi])
+		}
+	}
+	for round := 0; len(chunks) > 0; round++ {
+		if round > 0 {
+			p.Sleep(retryBackoff)
+		}
+		targets := sel()
+		if len(targets) == 0 {
+			return ErrNoProcessors
+		}
+		// Shared chunk queue; each worker pulls until the queue drains or
+		// its node fails.
+		queue := chunks
+		chunks = nil
+		pop := func() ([]int, bool) {
+			if len(queue) == 0 {
+				return nil, false
+			}
+			c := queue[0]
+			queue = queue[1:]
+			return c, true
+		}
+		var giveBack [][]int
+		group := vtime.NewGroup(p.Sim())
+		for _, t := range targets {
+			node := t.Node
+			group.Add(1)
+			p.Spawn("recv-worker", func(w *vtime.Proc) {
+				defer group.Done()
+				for {
+					chunk, ok := pop()
+					if !ok {
+						return
+					}
+					if err := run(w, node, chunk); err != nil {
+						// Figure 6(b) step iv.z: move the chunk back and
+						// leave the working processor set.
+						giveBack = append(giveBack, chunk)
+						return
+					}
+				}
+			})
+		}
+		group.Wait(p)
+		chunks = append(chunks, giveBack...)
+	}
+	return nil
+}

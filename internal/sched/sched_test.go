@@ -1,0 +1,624 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"distqa/internal/cluster"
+	"distqa/internal/simnet"
+	"distqa/internal/vtime"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+func fabric(n int) (*vtime.Sim, *cluster.Cluster, *simnet.Network) {
+	sim := vtime.NewSim()
+	c := cluster.NewCluster(sim, n, cluster.TestbedHardware())
+	net := simnet.New(sim, simnet.Testbed())
+	return sim, c, net
+}
+
+// --- Monitor -------------------------------------------------------------
+
+func TestMonitorsSeeEachOther(t *testing.T) {
+	sim, c, net := fabric(4)
+	var monitors []*Monitor
+	for _, n := range c.Nodes() {
+		monitors = append(monitors, StartMonitor(n, net))
+	}
+	sim.RunUntil(2.5)
+	for i, m := range monitors {
+		tbl := m.Table()
+		if len(tbl) != 4 {
+			t.Fatalf("monitor %d sees %d nodes, want 4", i, len(tbl))
+		}
+		for j, li := range tbl {
+			if li.Node != j {
+				t.Fatalf("table not ordered by node id: %+v", tbl)
+			}
+		}
+	}
+	sim.Shutdown()
+}
+
+func TestMonitorReportsLoad(t *testing.T) {
+	sim, c, net := fabric(2)
+	m0 := StartMonitor(c.Node(0), net)
+	StartMonitor(c.Node(1), net)
+	// Put three CPU jobs on node 1.
+	for i := 0; i < 3; i++ {
+		sim.Spawn("w", func(p *vtime.Proc) { c.Node(1).UseCPU(p, 100) })
+	}
+	sim.RunUntil(3.5)
+	li, ok := m0.Lookup(1)
+	if !ok {
+		t.Fatal("node 1 unknown to node 0")
+	}
+	if li.CPU < 2.5 {
+		t.Fatalf("node 1 CPU load = %v, want ≈ 3", li.CPU)
+	}
+	li0, _ := m0.Lookup(0)
+	if li0.CPU > 0.2 {
+		t.Fatalf("node 0 CPU load = %v, want ≈ 0 (monitor overhead only)", li0.CPU)
+	}
+	sim.Shutdown()
+}
+
+func TestFailedNodeDropsFromPool(t *testing.T) {
+	sim, c, net := fabric(3)
+	m0 := StartMonitor(c.Node(0), net)
+	StartMonitor(c.Node(1), net)
+	StartMonitor(c.Node(2), net)
+	sim.RunUntil(2.5)
+	if len(m0.Table()) != 3 {
+		t.Fatalf("expected 3 nodes before failure")
+	}
+	c.Node(2).Fail()
+	sim.RunUntil(7.0) // > StaleAfter past the last broadcast
+	tbl := m0.Table()
+	if len(tbl) != 2 {
+		t.Fatalf("failed node still in pool: %+v", tbl)
+	}
+	for _, li := range tbl {
+		if li.Node == 2 {
+			t.Fatalf("node 2 should have been dropped")
+		}
+	}
+	sim.Shutdown()
+}
+
+func TestDynamicJoin(t *testing.T) {
+	sim, c, net := fabric(2)
+	m0 := StartMonitor(c.Node(0), net)
+	StartMonitor(c.Node(1), net)
+	sim.RunUntil(2.5)
+	if len(m0.Table()) != 2 {
+		t.Fatal("setup failed")
+	}
+	// A node joins the pool simply by broadcasting (Section 3.1).
+	n2 := c.Add(cluster.TestbedHardware())
+	StartMonitor(n2, net)
+	sim.RunUntil(5.0)
+	if len(m0.Table()) != 3 {
+		t.Fatalf("joined node not visible: %+v", m0.Table())
+	}
+	sim.Shutdown()
+}
+
+// --- Load functions and policies ------------------------------------------
+
+func TestWeightsLoad(t *testing.T) {
+	li := LoadInfo{CPU: 2, Disk: 1}
+	if got := QAWeights.Load(li); !almostEqual(got, 0.79*2+0.21*1) {
+		t.Fatalf("QA load = %v", got)
+	}
+	if got := PRWeights.Load(li); !almostEqual(got, 0.2*2+0.8*1) {
+		t.Fatalf("PR load = %v", got)
+	}
+	if got := APWeights.Load(li); !almostEqual(got, 2) {
+		t.Fatalf("AP load = %v", got)
+	}
+}
+
+func TestUnderloadConditions(t *testing.T) {
+	idle := LoadInfo{}
+	if !PRUnderloaded(idle) || !APUnderloaded(idle) {
+		t.Fatal("idle node must be under-loaded for both modules")
+	}
+	// A node solidly busier than one AP sub-task is not under-loaded; the
+	// threshold carries a small sampling tolerance above 1.0 (see load.go).
+	oneAP := LoadInfo{CPU: 1.2}
+	if APUnderloaded(oneAP) {
+		t.Fatal("a node busier than one AP sub-task is not AP-under-loaded (Eq. 8)")
+	}
+	onePR := LoadInfo{CPU: 0.25, Disk: 1.0}
+	if PRUnderloaded(onePR) {
+		t.Fatal("a node running one PR sub-task is not PR-under-loaded (Eq. 7)")
+	}
+	halfBusy := LoadInfo{CPU: 0.4, Disk: 0.2}
+	if !APUnderloaded(halfBusy) || !PRUnderloaded(halfBusy) {
+		t.Fatal("lightly loaded node must be under-loaded")
+	}
+}
+
+func TestPickQuestionNode(t *testing.T) {
+	loads := []LoadInfo{
+		{Node: 0, CPU: 4, Disk: 2},
+		{Node: 1, CPU: 0.5, Disk: 0.1},
+		{Node: 2, CPU: 2, Disk: 1},
+	}
+	target, migrate := PickQuestionNode(0, loads, 0)
+	if !migrate || target != 1 {
+		t.Fatalf("overloaded node should migrate to 1: got %d %v", target, migrate)
+	}
+	// Small gap: no migration (anti-thrash rule).
+	loads2 := []LoadInfo{
+		{Node: 0, CPU: 1.0},
+		{Node: 1, CPU: 0.5},
+	}
+	target, migrate = PickQuestionNode(0, loads2, 0)
+	if migrate || target != 0 {
+		t.Fatalf("small gap should not migrate: got %d %v", target, migrate)
+	}
+	// Already least loaded.
+	target, migrate = PickQuestionNode(1, loads, 0)
+	if migrate || target != 1 {
+		t.Fatalf("least-loaded node should stay: got %d %v", target, migrate)
+	}
+	// Empty table.
+	if target, migrate = PickQuestionNode(3, nil, 0); migrate || target != 3 {
+		t.Fatal("empty table must keep the question local")
+	}
+}
+
+// --- Meta-scheduler --------------------------------------------------------
+
+func TestMetaScheduleSelectsUnderloaded(t *testing.T) {
+	loads := []LoadInfo{
+		{Node: 0, CPU: 0.1},
+		{Node: 1, CPU: 2.0},
+		{Node: 2, CPU: 0.5},
+	}
+	sel := MetaSchedule(loads, APWeights.Load, APUnderloaded, 0)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d nodes, want 2 (0 and 2)", len(sel))
+	}
+	total := 0.0
+	byNode := map[int]float64{}
+	for _, wn := range sel {
+		total += wn.Weight
+		byNode[wn.Node] = wn.Weight
+	}
+	if !almostEqual(total, 1) {
+		t.Fatalf("weights sum to %v", total)
+	}
+	if byNode[0] <= byNode[2] {
+		t.Fatalf("less-loaded node 0 should get more weight: %v", byNode)
+	}
+	if _, ok := byNode[1]; ok {
+		t.Fatal("overloaded node 1 selected")
+	}
+}
+
+func TestMetaScheduleFallbackToLeastLoaded(t *testing.T) {
+	loads := []LoadInfo{
+		{Node: 0, CPU: 3.0},
+		{Node: 1, CPU: 2.0},
+		{Node: 2, CPU: 4.0},
+	}
+	sel := MetaSchedule(loads, APWeights.Load, APUnderloaded, 0)
+	if len(sel) != 1 || sel[0].Node != 1 || !almostEqual(sel[0].Weight, 1) {
+		t.Fatalf("fallback broken: %+v", sel)
+	}
+}
+
+func TestMetaScheduleEmpty(t *testing.T) {
+	if sel := MetaSchedule(nil, APWeights.Load, APUnderloaded, 0); sel != nil {
+		t.Fatalf("empty loads should select nothing, got %+v", sel)
+	}
+}
+
+// Property: weights are positive and normalized for any load table.
+func TestMetaScheduleNormalizationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		loads := make([]LoadInfo, n)
+		for i := range loads {
+			loads[i] = LoadInfo{Node: i, CPU: rng.Float64() * 4, Disk: rng.Float64() * 4}
+		}
+		sel := MetaSchedule(loads, APWeights.Load, APUnderloaded, 0)
+		if len(sel) == 0 {
+			return false
+		}
+		total := 0.0
+		for _, wn := range sel {
+			if wn.Weight <= 0 {
+				return false
+			}
+			total += wn.Weight
+		}
+		return almostEqual(total, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Partitioners ----------------------------------------------------------
+
+// recorder is a Runner capturing assignments in virtual time.
+type recorder struct {
+	mu        []assignment
+	perItem   float64 // virtual seconds per item
+	failNodes map[int]bool
+	failOnce  map[int]bool
+}
+
+type assignment struct {
+	node  int
+	items []int
+}
+
+func (r *recorder) run(p *vtime.Proc, node int, items []int) error {
+	if r.failNodes[node] {
+		return errors.New("node failed")
+	}
+	if r.failOnce[node] {
+		delete(r.failOnce, node)
+		return errors.New("node failed transiently")
+	}
+	if r.perItem > 0 {
+		p.Sleep(r.perItem * float64(len(items)))
+	}
+	r.mu = append(r.mu, assignment{node: node, items: append([]int(nil), items...)})
+	return nil
+}
+
+func (r *recorder) processed() []int {
+	var all []int
+	for _, a := range r.mu {
+		all = append(all, a.items...)
+	}
+	sort.Ints(all)
+	return all
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func staticSel(ws ...WeightedNode) Selector {
+	return func() []WeightedNode { return ws }
+}
+
+func runPartitionTest(t *testing.T, part Partitioner, sel Selector, items []int, rec *recorder) error {
+	t.Helper()
+	sim := vtime.NewSim()
+	var err error
+	sim.Spawn("driver", func(p *vtime.Proc) {
+		err = part.Distribute(p, sel, items, rec.run)
+	})
+	sim.Run()
+	return err
+}
+
+func TestSENDConsecutiveWeighted(t *testing.T) {
+	rec := &recorder{}
+	sel := staticSel(WeightedNode{0, 0.5}, WeightedNode{1, 0.25}, WeightedNode{2, 0.25})
+	if err := runPartitionTest(t, NewSEND(), sel, seq(8), rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.processed(); len(got) != 8 {
+		t.Fatalf("processed %d items, want 8", len(got))
+	}
+	byNode := map[int][]int{}
+	for _, a := range rec.mu {
+		byNode[a.node] = append(byNode[a.node], a.items...)
+	}
+	if len(byNode[0]) != 4 || len(byNode[1]) != 2 || len(byNode[2]) != 2 {
+		t.Fatalf("weighted split broken: %v", byNode)
+	}
+	// SEND partitions are consecutive runs.
+	for node, items := range byNode {
+		for i := 1; i < len(items); i++ {
+			if items[i] != items[i-1]+1 {
+				t.Fatalf("node %d items not consecutive: %v", node, items)
+			}
+		}
+	}
+}
+
+func TestISENDInterleaves(t *testing.T) {
+	rec := &recorder{}
+	sel := staticSel(WeightedNode{0, 0.5}, WeightedNode{1, 0.5})
+	if err := runPartitionTest(t, NewISEND(), sel, seq(8), rec); err != nil {
+		t.Fatal(err)
+	}
+	byNode := map[int][]int{}
+	for _, a := range rec.mu {
+		byNode[a.node] = append(byNode[a.node], a.items...)
+	}
+	if len(byNode[0]) != 4 || len(byNode[1]) != 4 {
+		t.Fatalf("counts wrong: %v", byNode)
+	}
+	// With equal weights the deal alternates: node0 gets even ranks.
+	for node, items := range byNode {
+		consecutive := 0
+		for i := 1; i < len(items); i++ {
+			if items[i] == items[i-1]+1 {
+				consecutive++
+			}
+		}
+		if consecutive == len(items)-1 {
+			t.Fatalf("node %d items fully consecutive — not interleaved: %v", node, items)
+		}
+	}
+	if got := rec.processed(); len(got) != 8 {
+		t.Fatalf("processed %d items", len(got))
+	}
+}
+
+func TestRECVPullsByAvailability(t *testing.T) {
+	// Node 0 is fast, node 1 slow: with receiver control node 0 must
+	// process more chunks.
+	sim := vtime.NewSim()
+	rec := struct{ counts map[int]int }{counts: map[int]int{}}
+	run := func(p *vtime.Proc, node int, items []int) error {
+		d := 1.0
+		if node == 1 {
+			d = 4.0
+		}
+		p.Sleep(d)
+		rec.counts[node] += len(items)
+		return nil
+	}
+	var err error
+	sim.Spawn("driver", func(p *vtime.Proc) {
+		err = NewRECV(2).Distribute(p, staticSel(WeightedNode{0, 0.5}, WeightedNode{1, 0.5}), seq(20), run)
+	})
+	sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.counts[0]+rec.counts[1] != 20 {
+		t.Fatalf("items lost: %v", rec.counts)
+	}
+	if rec.counts[0] <= rec.counts[1] {
+		t.Fatalf("fast node should process more: %v", rec.counts)
+	}
+}
+
+func TestRECVChunkRemainder(t *testing.T) {
+	rec := &recorder{}
+	if err := runPartitionTest(t, NewRECV(4), staticSel(WeightedNode{0, 1}), seq(10), rec); err != nil {
+		t.Fatal(err)
+	}
+	// 10 items, chunk 4 → chunks of 4, 4, 2 (remainder ≥ half a chunk
+	// stands alone).
+	if len(rec.mu) != 3 {
+		t.Fatalf("chunks = %d, want 3: %+v", len(rec.mu), rec.mu)
+	}
+	sizes := []int{len(rec.mu[0].items), len(rec.mu[1].items), len(rec.mu[2].items)}
+	if sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 2 {
+		t.Fatalf("chunk sizes %v, want [4 4 2]", sizes)
+	}
+
+	// 9 items, chunk 4 → remainder 1 < half a chunk folds into the last:
+	// chunks of 4, 5.
+	rec2 := &recorder{}
+	if err := runPartitionTest(t, NewRECV(4), staticSel(WeightedNode{0, 1}), seq(9), rec2); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.mu) != 2 || len(rec2.mu[0].items) != 4 || len(rec2.mu[1].items) != 5 {
+		t.Fatalf("fold-in broken: %+v", rec2.mu)
+	}
+}
+
+func TestPartitionersHandleEmptyItems(t *testing.T) {
+	for _, part := range []Partitioner{NewSEND(), NewISEND(), NewRECV(5)} {
+		rec := &recorder{}
+		if err := runPartitionTest(t, part, staticSel(WeightedNode{0, 1}), nil, rec); err != nil {
+			t.Fatalf("%s: %v", part.Name(), err)
+		}
+		if len(rec.mu) != 0 {
+			t.Fatalf("%s ran sub-tasks for empty input", part.Name())
+		}
+	}
+}
+
+func TestFailureRecoverySenderControlled(t *testing.T) {
+	for _, part := range []Partitioner{NewSEND(), NewISEND()} {
+		rec := &recorder{failOnce: map[int]bool{1: true}}
+		calls := 0
+		sel := func() []WeightedNode {
+			calls++
+			if calls == 1 {
+				return []WeightedNode{{0, 0.5}, {1, 0.5}}
+			}
+			return []WeightedNode{{0, 1}} // node 1 dropped after failure
+		}
+		if err := runPartitionTest(t, part, sel, seq(10), rec); err != nil {
+			t.Fatalf("%s: %v", part.Name(), err)
+		}
+		if got := rec.processed(); len(got) != 10 {
+			t.Fatalf("%s: processed %d items after failure, want 10", part.Name(), len(got))
+		}
+		if calls < 2 {
+			t.Fatalf("%s: recovery did not re-select processors", part.Name())
+		}
+	}
+}
+
+func TestFailureRecoveryRECV(t *testing.T) {
+	rec := &recorder{failNodes: map[int]bool{1: true}}
+	if err := runPartitionTest(t, NewRECV(2),
+		staticSel(WeightedNode{0, 0.5}, WeightedNode{1, 0.5}), seq(10), rec); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.processed(); len(got) != 10 {
+		t.Fatalf("processed %d items, want 10", len(got))
+	}
+	for _, a := range rec.mu {
+		if a.node == 1 {
+			t.Fatal("failed node processed a chunk")
+		}
+	}
+}
+
+func TestAllProcessorsDead(t *testing.T) {
+	for _, part := range []Partitioner{NewSEND(), NewISEND(), NewRECV(2)} {
+		rec := &recorder{failNodes: map[int]bool{0: true}}
+		calls := 0
+		sel := func() []WeightedNode {
+			calls++
+			if calls == 1 {
+				return []WeightedNode{{0, 1}}
+			}
+			return nil
+		}
+		err := runPartitionTest(t, part, sel, seq(4), rec)
+		if !errors.Is(err, ErrNoProcessors) {
+			t.Fatalf("%s: err = %v, want ErrNoProcessors", part.Name(), err)
+		}
+	}
+}
+
+// Property: every partitioner processes each item exactly once for random
+// weights and random transient failures.
+func TestPartitionExactlyOnceProperty(t *testing.T) {
+	parts := []func() Partitioner{
+		NewSEND, NewISEND, func() Partitioner { return NewRECV(3) },
+	}
+	f := func(seed int64, which uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		part := parts[int(which)%len(parts)]()
+		nNodes := 1 + rng.Intn(5)
+		nItems := rng.Intn(40)
+		var ws []WeightedNode
+		total := 0.0
+		raw := make([]float64, nNodes)
+		for i := range raw {
+			raw[i] = 0.1 + rng.Float64()
+			total += raw[i]
+		}
+		for i, r := range raw {
+			ws = append(ws, WeightedNode{Node: i, Weight: r / total})
+		}
+		failOnce := map[int]bool{}
+		if nNodes > 1 && rng.Float64() < 0.5 {
+			failOnce[rng.Intn(nNodes)] = true
+		}
+		rec := &recorder{failOnce: failOnce, perItem: 0.01}
+		err := runPartitionTest(t, part, staticSel(ws...), seq(nItems), rec)
+		if err != nil {
+			return false
+		}
+		got := rec.processed()
+		if len(got) != nItems {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApportionSums(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100)
+		k := 1 + rng.Intn(8)
+		var ws []WeightedNode
+		total := 0.0
+		raw := make([]float64, k)
+		for i := range raw {
+			raw[i] = 0.05 + rng.Float64()
+			total += raw[i]
+		}
+		for i, r := range raw {
+			ws = append(ws, WeightedNode{Node: i, Weight: r / total})
+		}
+		counts := apportion(n, ws)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Gradient model ---------------------------------------------------------
+
+func TestGradientProximity(t *testing.T) {
+	// Ring of 6; node 3 light. Proximities: 3,2,1,0,1,2.
+	loads := []LoadInfo{
+		{Node: 0, CPU: 3}, {Node: 1, CPU: 3}, {Node: 2, CPU: 3},
+		{Node: 3, CPU: 0.2}, {Node: 4, CPU: 3}, {Node: 5, CPU: 3},
+	}
+	prox := GradientProximity(6, loads)
+	want := []int{3, 2, 1, 0, 1, 2}
+	for i := range want {
+		if prox[i] != want[i] {
+			t.Fatalf("prox = %v, want %v", prox, want)
+		}
+	}
+}
+
+func TestGradientProximityNoLightNodes(t *testing.T) {
+	loads := []LoadInfo{{Node: 0, CPU: 5}, {Node: 1, CPU: 5}}
+	prox := GradientProximity(2, loads)
+	for _, p := range prox {
+		if p < gradientInfinity {
+			t.Fatalf("no light node, but proximity %v", prox)
+		}
+	}
+}
+
+func TestPickGradientTarget(t *testing.T) {
+	loads := []LoadInfo{
+		{Node: 0, CPU: 4, Queue: 3}, // overloaded self
+		{Node: 1, CPU: 3},
+		{Node: 2, CPU: 0.1}, // light
+		{Node: 3, CPU: 3},
+	}
+	target, migrate := PickGradientTarget(0, 4, loads)
+	if !migrate {
+		t.Fatal("overloaded node next to a gradient should migrate")
+	}
+	// Both neighbours (1 and 3) are one hop from node 2 on a 4-ring;
+	// either is a valid downhill step.
+	if target != 1 && target != 3 {
+		t.Fatalf("target = %d, want a neighbour of 0", target)
+	}
+	// A light node itself must not migrate.
+	if _, m := PickGradientTarget(2, 4, loads); m {
+		t.Fatal("light node migrated")
+	}
+	// Single node cannot migrate.
+	if _, m := PickGradientTarget(0, 1, loads); m {
+		t.Fatal("single-node ring migrated")
+	}
+}

@@ -1,0 +1,178 @@
+// Package simnet models the testbed's interconnection network: a shared-
+// medium (star-configuration Ethernet in the paper, Section 6) link whose
+// bandwidth is divided among concurrent transfers, plus a small fixed
+// per-message latency. Transfers to or from failed nodes error out, which is
+// how the distributed Q/A system observes "TCP errors" and triggers the
+// partitioners' failure recovery (Section 4.1.1).
+//
+// Besides point-to-point transfers the network carries the load monitors'
+// periodic broadcasts: a broadcast charges one packet's worth of bandwidth
+// (it is a shared medium) and delivers the payload to every listener.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+
+	"distqa/internal/cluster"
+	"distqa/internal/vtime"
+)
+
+// ErrNodeFailed is returned by transfers whose source or destination node
+// crashed before or during the transfer. It stands in for the TCP reset the
+// real system would observe.
+var ErrNodeFailed = errors.New("simnet: peer node failed")
+
+// Config describes the network fabric.
+type Config struct {
+	// BandwidthBps is the shared medium capacity in bits per second
+	// (100e6 for the paper's testbed Ethernet).
+	BandwidthBps float64
+	// LatencySec is the fixed per-message latency in seconds.
+	LatencySec float64
+	// LoopbackBps is the effective bandwidth for same-node "transfers"
+	// (memory copies). The analytical model's B_mem. Zero disables charging.
+	LoopbackBps float64
+}
+
+// Testbed returns the paper's network profile: 100 Mbps switched Ethernet
+// with ~0.2 ms latency, and an 800 MB/s memory bus for local copies.
+func Testbed() Config {
+	return Config{
+		BandwidthBps: 100e6,
+		LatencySec:   0.0002,
+		LoopbackBps:  800e6 * 8,
+	}
+}
+
+// Network is the simulated fabric connecting a cluster's nodes.
+type Network struct {
+	sim  *vtime.Sim
+	cfg  Config
+	link *vtime.PS // shared medium, capacity in bytes/second
+
+	listeners []func(from int, payload any)
+
+	// Traffic accounting.
+	bytesSent  float64
+	msgsSent   int
+	broadcasts int
+}
+
+// New creates a network over the given simulation.
+func New(sim *vtime.Sim, cfg Config) *Network {
+	if cfg.BandwidthBps <= 0 {
+		panic("simnet: bandwidth must be positive")
+	}
+	return &Network{
+		sim:  sim,
+		cfg:  cfg,
+		link: vtime.NewPS(sim, "net", cfg.BandwidthBps/8),
+	}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Transfer moves size bytes from node src to node dst, blocking p for the
+// transmission time (bandwidth shared with concurrent transfers, plus fixed
+// latency). Same-node transfers are charged to the loopback (memory) path.
+// It returns ErrNodeFailed if either endpoint has crashed; the bandwidth for
+// the partial transfer is still consumed, as it would be on a real wire.
+func (n *Network) Transfer(p *vtime.Proc, src, dst *cluster.Node, size float64) error {
+	if src.Failed() || dst.Failed() {
+		return fmt.Errorf("transfer %s->%s: %w", src.Name(), dst.Name(), ErrNodeFailed)
+	}
+	if size < 0 {
+		size = 0
+	}
+	if src == dst {
+		if n.cfg.LoopbackBps > 0 && size > 0 {
+			p.Sleep(size * 8 / n.cfg.LoopbackBps)
+		}
+		if src.Failed() {
+			return fmt.Errorf("transfer %s->%s: %w", src.Name(), dst.Name(), ErrNodeFailed)
+		}
+		return nil
+	}
+	n.msgsSent++
+	n.bytesSent += size
+	n.link.Use(p, size)
+	if n.cfg.LatencySec > 0 {
+		p.Sleep(n.cfg.LatencySec)
+	}
+	if src.Failed() || dst.Failed() {
+		return fmt.Errorf("transfer %s->%s: %w", src.Name(), dst.Name(), ErrNodeFailed)
+	}
+	return nil
+}
+
+// Subscribe registers a listener invoked (in the scheduler context — it must
+// not block) for every Broadcast. The load monitors use this as their
+// receive path.
+func (n *Network) Subscribe(fn func(from int, payload any)) {
+	n.listeners = append(n.listeners, fn)
+}
+
+// Broadcast sends payload from node src to every subscriber, charging one
+// packet of the given size against the shared medium. Listeners on failed
+// nodes are the listeners' own problem: delivery is fabric-level.
+func (n *Network) Broadcast(p *vtime.Proc, src *cluster.Node, size float64, payload any) {
+	if src.Failed() {
+		return
+	}
+	n.broadcasts++
+	n.bytesSent += size
+	n.link.Use(p, size)
+	if n.cfg.LatencySec > 0 {
+		p.Sleep(n.cfg.LatencySec)
+	}
+	from := src.ID()
+	for _, fn := range n.listeners {
+		fn(from, payload)
+	}
+}
+
+// BytesSent reports the cumulative payload bytes offered to the medium.
+func (n *Network) BytesSent() float64 { return n.bytesSent }
+
+// MessagesSent reports the number of point-to-point transfers initiated.
+func (n *Network) MessagesSent() int { return n.msgsSent }
+
+// Broadcasts reports the number of broadcasts sent.
+func (n *Network) Broadcasts() int { return n.broadcasts }
+
+// Utilization reports the cumulative busy fraction of the medium since the
+// start of the simulation.
+func (n *Network) Utilization() float64 {
+	if now := n.sim.Now(); now > 0 {
+		return n.link.BusyTime() / now
+	}
+	return 0
+}
+
+// Mailbox is an addressed message queue: the per-node, per-service inbox the
+// distributed Q/A system's RPC layer is built on.
+type Mailbox struct {
+	q *vtime.Queue
+}
+
+// NewMailbox creates an empty mailbox.
+func NewMailbox(sim *vtime.Sim) *Mailbox {
+	return &Mailbox{q: vtime.NewQueue(sim)}
+}
+
+// Deliver enqueues a message without charging network time (the caller is
+// expected to have paid via Transfer).
+func (m *Mailbox) Deliver(msg any) { m.q.Put(msg) }
+
+// Receive blocks until a message is available.
+func (m *Mailbox) Receive(p *vtime.Proc) any { return m.q.Get(p) }
+
+// ReceiveTimeout blocks up to d seconds; ok=false on timeout.
+func (m *Mailbox) ReceiveTimeout(p *vtime.Proc, d float64) (any, bool) {
+	return m.q.GetTimeout(p, d)
+}
+
+// Len reports queued messages.
+func (m *Mailbox) Len() int { return m.q.Len() }

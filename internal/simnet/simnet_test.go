@@ -1,0 +1,238 @@
+package simnet
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"distqa/internal/cluster"
+	"distqa/internal/vtime"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+func testFabric(nNodes int) (*vtime.Sim, *cluster.Cluster, *Network) {
+	sim := vtime.NewSim()
+	c := cluster.NewCluster(sim, nNodes, cluster.TestbedHardware())
+	cfg := Config{BandwidthBps: 100e6, LatencySec: 0} // latency 0 keeps math exact
+	return sim, c, New(sim, cfg)
+}
+
+func TestTransferTiming(t *testing.T) {
+	sim, c, net := testFabric(2)
+	var end float64
+	sim.Spawn("tx", func(p *vtime.Proc) {
+		// 12.5 MB over 100 Mbps (=12.5 MB/s) → 1 s.
+		if err := net.Transfer(p, c.Node(0), c.Node(1), 12.5e6); err != nil {
+			t.Errorf("transfer: %v", err)
+		}
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 1) {
+		t.Fatalf("end = %v, want 1", end)
+	}
+	if net.MessagesSent() != 1 {
+		t.Fatalf("msgs = %d, want 1", net.MessagesSent())
+	}
+}
+
+func TestSharedMediumHalvesThroughput(t *testing.T) {
+	sim, c, net := testFabric(4)
+	ends := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn("tx", func(p *vtime.Proc) {
+			if err := net.Transfer(p, c.Node(i), c.Node(i+2), 12.5e6); err != nil {
+				t.Errorf("transfer: %v", err)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	sim.Run()
+	for i, e := range ends {
+		if !almostEqual(e, 2) {
+			t.Fatalf("ends[%d] = %v, want 2 (two concurrent transfers share the wire)", i, e)
+		}
+	}
+}
+
+func TestLatencyAdds(t *testing.T) {
+	sim := vtime.NewSim()
+	c := cluster.NewCluster(sim, 2, cluster.TestbedHardware())
+	net := New(sim, Config{BandwidthBps: 100e6, LatencySec: 0.5})
+	var end float64
+	sim.Spawn("tx", func(p *vtime.Proc) {
+		net.Transfer(p, c.Node(0), c.Node(1), 12.5e6)
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 1.5) {
+		t.Fatalf("end = %v, want 1.5", end)
+	}
+}
+
+func TestLoopbackIsCheap(t *testing.T) {
+	sim := vtime.NewSim()
+	c := cluster.NewCluster(sim, 1, cluster.TestbedHardware())
+	net := New(sim, Config{BandwidthBps: 100e6, LatencySec: 0.1, LoopbackBps: 800e6 * 8})
+	var end float64
+	sim.Spawn("tx", func(p *vtime.Proc) {
+		net.Transfer(p, c.Node(0), c.Node(0), 8e6) // 8 MB at 800 MB/s = 10 ms
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 0.01) {
+		t.Fatalf("end = %v, want 0.01 (loopback skips wire and latency)", end)
+	}
+	if net.MessagesSent() != 0 {
+		t.Fatalf("loopback must not count as a wire message")
+	}
+}
+
+func TestTransferToFailedNode(t *testing.T) {
+	sim, c, net := testFabric(2)
+	c.Node(1).Fail()
+	var err error
+	sim.Spawn("tx", func(p *vtime.Proc) {
+		err = net.Transfer(p, c.Node(0), c.Node(1), 1000)
+	})
+	sim.Run()
+	if !errors.Is(err, ErrNodeFailed) {
+		t.Fatalf("err = %v, want ErrNodeFailed", err)
+	}
+}
+
+func TestFailureDuringTransfer(t *testing.T) {
+	sim, c, net := testFabric(2)
+	var err error
+	sim.Spawn("tx", func(p *vtime.Proc) {
+		err = net.Transfer(p, c.Node(0), c.Node(1), 12.5e6) // takes 1 s
+	})
+	sim.After(0.5, c.Node(1).Fail)
+	sim.Run()
+	if !errors.Is(err, ErrNodeFailed) {
+		t.Fatalf("err = %v, want ErrNodeFailed for mid-transfer crash", err)
+	}
+}
+
+func TestBroadcastReachesAllSubscribers(t *testing.T) {
+	sim, c, net := testFabric(3)
+	got := map[int][]int{} // receiver -> senders seen
+	for i := 0; i < 3; i++ {
+		i := i
+		net.Subscribe(func(from int, payload any) {
+			got[i] = append(got[i], from)
+		})
+	}
+	sim.Spawn("bcast", func(p *vtime.Proc) {
+		net.Broadcast(p, c.Node(1), 64, "load")
+	})
+	sim.Run()
+	for i := 0; i < 3; i++ {
+		if len(got[i]) != 1 || got[i][0] != 1 {
+			t.Fatalf("receiver %d saw %v, want [1]", i, got[i])
+		}
+	}
+	if net.Broadcasts() != 1 {
+		t.Fatalf("broadcasts = %d, want 1", net.Broadcasts())
+	}
+}
+
+func TestBroadcastFromFailedNodeDropped(t *testing.T) {
+	sim, c, net := testFabric(2)
+	seen := 0
+	net.Subscribe(func(from int, payload any) { seen++ })
+	c.Node(0).Fail()
+	sim.Spawn("bcast", func(p *vtime.Proc) {
+		net.Broadcast(p, c.Node(0), 64, "load")
+	})
+	sim.Run()
+	if seen != 0 {
+		t.Fatalf("broadcast from failed node delivered %d times", seen)
+	}
+}
+
+func TestMailboxOrdering(t *testing.T) {
+	sim := vtime.NewSim()
+	mb := NewMailbox(sim)
+	var got []int
+	sim.Spawn("rx", func(p *vtime.Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Receive(p).(int))
+		}
+	})
+	sim.Spawn("tx", func(p *vtime.Proc) {
+		for i := 0; i < 3; i++ {
+			mb.Deliver(i)
+			p.Sleep(1)
+		}
+	})
+	sim.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMailboxTimeout(t *testing.T) {
+	sim := vtime.NewSim()
+	mb := NewMailbox(sim)
+	var ok bool
+	sim.Spawn("rx", func(p *vtime.Proc) {
+		_, ok = mb.ReceiveTimeout(p, 2)
+	})
+	sim.Run()
+	if ok {
+		t.Fatal("expected timeout")
+	}
+}
+
+// Property: for any set of concurrent transfers, the total bytes accounted
+// equals the sum of sizes, and the last completion time is at least
+// totalBytes/bandwidth (work conservation on the shared medium).
+func TestNetworkWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sim := vtime.NewSim()
+		c := cluster.NewCluster(sim, 4, cluster.TestbedHardware())
+		net := New(sim, Config{BandwidthBps: 8e6}) // 1 MB/s
+		n := 1 + rng.Intn(10)
+		total := 0.0
+		var lastEnd float64
+		var firstStart = math.Inf(1)
+		for i := 0; i < n; i++ {
+			size := 1e3 + rng.Float64()*1e6
+			start := rng.Float64() * 2
+			src, dst := rng.Intn(4), rng.Intn(4)
+			if src == dst {
+				dst = (dst + 1) % 4
+			}
+			if start < firstStart {
+				firstStart = start
+			}
+			total += size
+			sim.Spawn("tx", func(p *vtime.Proc) {
+				p.Sleep(start)
+				net.Transfer(p, c.Node(src), c.Node(dst), size)
+				if p.Now() > lastEnd {
+					lastEnd = p.Now()
+				}
+			})
+		}
+		sim.Run()
+		if !almostEqual(net.BytesSent(), total) {
+			return false
+		}
+		minTime := firstStart + total/1e6
+		return lastEnd+1e-6 >= minTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package trace records timestamped scheduling events, reproducing the
+// system traces of the paper's Figure 7 (node, virtual time, event text).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one trace line.
+type Event struct {
+	// Time is the virtual time in seconds.
+	Time float64
+	// Node is the display name of the node the event happened on.
+	Node string
+	// Question is the question id the event belongs to (-1 if none).
+	Question int
+	// Text is the human-readable event description.
+	Text string
+}
+
+// Log is an append-only event log. A nil *Log is valid and records nothing,
+// so tracing can be compiled into the hot path without conditionals.
+type Log struct {
+	events []Event
+}
+
+// New creates an empty log.
+func New() *Log { return &Log{} }
+
+// Add records an event. No-op on a nil log.
+func (l *Log) Add(time float64, node string, question int, format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{
+		Time:     time,
+		Node:     node,
+		Question: question,
+		Text:     fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the recorded events in order.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.events)
+}
+
+// Filter returns the events satisfying keep, in order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range l.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the log in the paper's Figure 7 style:
+//
+//	[  12.34] N2  q226 started paragraph retrieval on sub-collection 3
+func (l *Log) String() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	q := ""
+	if e.Question >= 0 {
+		q = fmt.Sprintf(" q%d", e.Question)
+	}
+	return fmt.Sprintf("[%8.2f] %-4s%s %s", e.Time, e.Node, q, e.Text)
+}
+
+// Count returns how many events contain the given substring — convenient
+// for assertions and for the migration counting of Table 7.
+func (l *Log) Count(substr string) int {
+	n := 0
+	for _, e := range l.Events() {
+		if strings.Contains(e.Text, substr) {
+			n++
+		}
+	}
+	return n
+}

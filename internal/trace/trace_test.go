@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogRecordsInOrder(t *testing.T) {
+	l := New()
+	l.Add(1.5, "N1", 226, "started question")
+	l.Add(2.0, "N2", 226, "received %d paragraphs", 512)
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	es := l.Events()
+	if es[0].Text != "started question" || es[1].Text != "received 512 paragraphs" {
+		t.Fatalf("events = %+v", es)
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(1, "N1", 0, "ignored")
+	if l.Len() != 0 || l.Events() != nil || l.Count("x") != 0 {
+		t.Fatal("nil log should record nothing")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	l := New()
+	l.Add(12.34, "N2", 226, "finished sub-collection 3")
+	s := l.String()
+	for _, want := range []string{"12.34", "N2", "q226", "finished sub-collection 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("format %q missing %q", s, want)
+		}
+	}
+	l2 := New()
+	l2.Add(1, "N1", -1, "system event")
+	if strings.Contains(l2.String(), "q-1") {
+		t.Fatal("question -1 should not render")
+	}
+}
+
+func TestCountAndFilter(t *testing.T) {
+	l := New()
+	l.Add(1, "N1", 1, "migrated question to N2")
+	l.Add(2, "N2", 1, "started PR")
+	l.Add(3, "N2", 2, "migrated question to N3")
+	if got := l.Count("migrated"); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	only2 := l.Filter(func(e Event) bool { return e.Question == 2 })
+	if len(only2) != 1 || only2[0].Node != "N2" {
+		t.Fatalf("Filter = %+v", only2)
+	}
+}

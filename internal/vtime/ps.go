@@ -1,0 +1,248 @@
+package vtime
+
+import "math"
+
+// PS is a processor-sharing resource: a device with a fixed service capacity
+// (units of work per virtual second) divided equally among all jobs currently
+// in service. It models CPUs (capacity = 1 cpu-second/second per core) and
+// disks (capacity = bytes/second) under concurrent load: with n active jobs
+// each proceeds at capacity/n, exactly the behaviour responsible for the
+// paper's "four simultaneous questions cause disk overload" observation.
+//
+// A speed factor below 1 uniformly slows the device; the cluster package uses
+// it to model page-thrashing when memory is oversubscribed.
+//
+// PS also keeps two running integrals used by load monitors:
+//
+//   - busy time: seconds during which at least one job was in service
+//     (utilisation = Δbusy/Δt, in [0,1]);
+//   - job seconds: ∫ n(t) dt, whose window average is the run-queue style
+//     load figure (≥ 0, exceeding 1 under contention) used by the paper's
+//     load functions.
+type PS struct {
+	sim      *Sim
+	name     string
+	capacity float64
+	speed    float64
+	jobs     map[*psJob]struct{}
+	last     float64 // virtual time of the last settle
+	next     Handle  // pending completion event
+	hasNext  bool
+
+	busyTime   float64
+	jobSeconds float64
+	served     float64 // total work units completed
+	failed     bool
+}
+
+type psJob struct {
+	p         *Proc
+	amount    float64 // original demand, for the relative completion test
+	remaining float64
+	aborted   bool
+}
+
+// done reports whether the job's remaining work is negligible. The test is
+// relative to the original amount: jobs range from milliseconds of CPU to
+// hundreds of megabytes of disk, so no absolute epsilon fits all.
+func (j *psJob) done() bool {
+	return j.remaining <= psEpsilon*j.amount
+}
+
+// NewPS creates a processor-sharing resource with the given capacity in work
+// units per virtual second.
+func NewPS(sim *Sim, name string, capacity float64) *PS {
+	if capacity <= 0 {
+		panic("vtime: PS capacity must be positive")
+	}
+	return &PS{
+		sim:      sim,
+		name:     name,
+		capacity: capacity,
+		speed:    1,
+		jobs:     make(map[*psJob]struct{}),
+		last:     sim.Now(),
+	}
+}
+
+// Name returns the resource name.
+func (r *PS) Name() string { return r.name }
+
+// Capacity returns the nominal capacity in units per second.
+func (r *PS) Capacity() float64 { return r.capacity }
+
+// rate is the per-job service rate right now.
+func (r *PS) rate() float64 {
+	if len(r.jobs) == 0 {
+		return 0
+	}
+	return r.capacity * r.speed / float64(len(r.jobs))
+}
+
+// settle advances internal accounting from r.last to the current time.
+func (r *PS) settle() {
+	now := r.sim.Now()
+	dt := now - r.last
+	if dt < 0 {
+		dt = 0
+	}
+	if n := len(r.jobs); n > 0 && dt > 0 {
+		perJob := dt * r.rate()
+		for j := range r.jobs {
+			j.remaining -= perJob
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+		r.busyTime += dt
+		r.jobSeconds += dt * float64(n)
+		r.served += perJob * float64(n)
+	}
+	r.last = now
+}
+
+const psEpsilon = 1e-9
+
+// reschedule cancels any pending completion event and schedules the next one.
+func (r *PS) reschedule() {
+	if r.hasNext {
+		r.next.Cancel()
+		r.hasNext = false
+	}
+	if len(r.jobs) == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for j := range r.jobs {
+		if j.remaining < minRem {
+			minRem = j.remaining
+		}
+	}
+	eff := r.capacity * r.speed
+	if eff <= 0 {
+		return // fully stalled; completion rescheduled when speed recovers
+	}
+	dt := minRem * float64(len(r.jobs)) / eff
+	r.next = r.sim.After(dt, r.complete)
+	r.hasNext = true
+}
+
+// complete fires when the job(s) with the least remaining work finish.
+func (r *PS) complete() {
+	r.hasNext = false
+	r.settle()
+	var done []*psJob
+	for j := range r.jobs {
+		if j.done() {
+			done = append(done, j)
+		}
+	}
+	if len(done) == 0 && len(r.jobs) > 0 {
+		// Floating-point slack left the minimum job marginally unfinished;
+		// force-complete it to guarantee progress.
+		var min *psJob
+		for j := range r.jobs {
+			if min == nil || j.remaining < min.remaining ||
+				(j.remaining == min.remaining && j.p.id < min.p.id) {
+				min = j
+			}
+		}
+		min.remaining = 0
+		done = append(done, min)
+	}
+	sortJobs(done)
+	for _, j := range done {
+		delete(r.jobs, j)
+		j.p.wake()
+	}
+	r.reschedule()
+}
+
+// sortJobs orders jobs by owner process id so that simultaneous completions
+// wake deterministically despite map iteration order.
+func sortJobs(js []*psJob) {
+	for i := 1; i < len(js); i++ {
+		for k := i; k > 0 && js[k].p.id < js[k-1].p.id; k-- {
+			js[k], js[k-1] = js[k-1], js[k]
+		}
+	}
+}
+
+// Use blocks the calling process until amount units of work have been served
+// by the resource under processor sharing. Zero or negative amounts return
+// immediately (after a yield, to preserve event ordering). It reports false
+// if the job was aborted by AbortAll (device failure) before completing.
+func (r *PS) Use(p *Proc, amount float64) bool {
+	if r.failed {
+		p.Yield()
+		return false
+	}
+	if amount <= 0 {
+		p.Yield()
+		return true
+	}
+	r.settle()
+	j := &psJob{p: p, amount: amount, remaining: amount}
+	r.jobs[j] = struct{}{}
+	r.reschedule()
+	p.park()
+	return !j.aborted
+}
+
+// AbortAll marks the resource as failed: every in-service job is woken with
+// a failure result and future Use calls fail immediately. This models a
+// device (node) crash; the distributed system observes it as a sub-task
+// error and triggers partitioner failure recovery.
+func (r *PS) AbortAll() {
+	r.settle()
+	r.failed = true
+	var all []*psJob
+	for j := range r.jobs {
+		all = append(all, j)
+	}
+	sortJobs(all)
+	for _, j := range all {
+		j.aborted = true
+		delete(r.jobs, j)
+		j.p.wake()
+	}
+	r.reschedule()
+}
+
+// Failed reports whether AbortAll has been called.
+func (r *PS) Failed() bool { return r.failed }
+
+// SetSpeed changes the speed factor (1 = nominal). Used to model thrashing.
+func (r *PS) SetSpeed(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	r.settle()
+	r.speed = f
+	r.reschedule()
+}
+
+// Speed returns the current speed factor.
+func (r *PS) Speed() float64 { return r.speed }
+
+// Active reports the number of jobs currently in service.
+func (r *PS) Active() int { return len(r.jobs) }
+
+// BusyTime returns the cumulative seconds during which the resource served at
+// least one job, settled to the current virtual time.
+func (r *PS) BusyTime() float64 {
+	r.settle()
+	return r.busyTime
+}
+
+// JobSeconds returns the cumulative ∫ n(t) dt, settled to the current time.
+func (r *PS) JobSeconds() float64 {
+	r.settle()
+	return r.jobSeconds
+}
+
+// Served returns the total work units completed so far.
+func (r *PS) Served() float64 {
+	r.settle()
+	return r.served
+}

@@ -1,0 +1,293 @@
+// Package vtime implements a deterministic virtual-time discrete-event
+// simulation kernel. Simulated processes run as goroutines, but exactly one
+// goroutine (either the scheduler or a single process) executes at any
+// moment, so the simulation is fully deterministic: events at equal virtual
+// times fire in creation order, and no real-time data races can influence
+// results.
+//
+// The kernel provides the primitives the cluster simulator is built from:
+// processes (Proc), timers (Sleep), condition signalling (Cond), FIFO
+// queues (Queue), wait groups (Group), and processor-sharing resources (PS).
+//
+// Virtual time is a float64 number of seconds since the start of the
+// simulation.
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Sim is a single simulation instance. A Sim is not safe for concurrent use
+// from multiple host goroutines; all interaction happens either before Run
+// (spawning the initial processes) or from within simulated processes.
+type Sim struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // handed to the scheduler by a parking process
+	procs   map[*Proc]struct{}
+	current *Proc
+	stopped bool
+	nprocs  int // total processes ever spawned, for naming
+}
+
+// event is a scheduled occurrence. If p is non-nil the event resumes that
+// process; otherwise fn is invoked in the scheduler goroutine (and must not
+// block).
+type event struct {
+	at        float64
+	seq       uint64
+	p         *Proc
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// NewSim creates an empty simulation positioned at virtual time zero.
+func NewSim() *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// schedule inserts an event at absolute virtual time at.
+func (s *Sim) schedule(at float64, p *Proc, fn func()) Handle {
+	if at < s.now {
+		at = s.now
+	}
+	if math.IsNaN(at) {
+		panic("vtime: scheduling event at NaN time")
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, p: p, fn: fn}
+	heap.Push(&s.events, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run in the scheduler context d seconds from now.
+// fn must not block; it typically mutates state and wakes processes.
+func (s *Sim) After(d float64, fn func()) Handle {
+	return s.schedule(s.now+d, nil, fn)
+}
+
+// Spawn creates a new simulated process executing fn and schedules it to
+// start at the current virtual time. It may be called before Run or from
+// within a running process.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	if s.stopped {
+		return nil
+	}
+	s.nprocs++
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", s.nprocs)
+	}
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		id:     s.nprocs,
+		resume: make(chan struct{}),
+	}
+	s.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first activation
+		if p.killed {
+			delete(s.procs, p)
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errKilled {
+					// Shutdown poison: exit silently without yielding;
+					// the scheduler is not waiting for us.
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn(p)
+		p.done = true
+		delete(s.procs, p)
+		s.yield <- struct{}{}
+	}()
+	s.schedule(s.now, p, nil)
+	return p
+}
+
+// runOne pops and fires the next event. It reports false when no events
+// remain.
+func (s *Sim) runOne() bool {
+	for s.events.Len() > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < s.now {
+			panic("vtime: event queue went backwards")
+		}
+		s.now = ev.at
+		if ev.p != nil {
+			if ev.p.done || ev.p.killed {
+				continue
+			}
+			s.current = ev.p
+			ev.p.resume <- struct{}{}
+			<-s.yield
+			s.current = nil
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. Simulations
+// containing perpetual processes (for example load monitors) never drain;
+// use RunUntil for those.
+func (s *Sim) Run() {
+	for !s.stopped && s.runOne() {
+	}
+}
+
+// RunUntil executes events with virtual time ≤ t, then advances the clock to
+// exactly t. Events scheduled beyond t remain queued.
+func (s *Sim) RunUntil(t float64) {
+	for !s.stopped && s.events.Len() > 0 && s.events[0].at <= t {
+		s.runOne()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}
+
+// Stop halts the simulation: Run/RunUntil return after the in-flight event
+// completes, and no further events fire. May be called from a process or an
+// event callback.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Sim) Stopped() bool { return s.stopped }
+
+// Shutdown terminates all parked processes so their goroutines exit. It must
+// be called from the host goroutine after Run/RunUntil returns. The Sim is
+// unusable afterwards.
+func (s *Sim) Shutdown() {
+	s.stopped = true
+	for p := range s.procs {
+		if p == s.current {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+	}
+	s.procs = map[*Proc]struct{}{}
+}
+
+// PendingEvents reports the number of queued (possibly cancelled) events.
+func (s *Sim) PendingEvents() int { return s.events.Len() }
+
+// errKilled is the panic sentinel used to unwind poisoned processes.
+var errKilled = new(int)
+
+// Proc is a simulated process. All its methods must be called from the
+// process's own goroutine (i.e. from within the function passed to Spawn),
+// except Name/ID which are safe anywhere.
+type Proc struct {
+	sim    *Sim
+	name   string
+	id     int
+	resume chan struct{}
+	done   bool
+	killed bool
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the unique process id (1-based, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Sim returns the simulation this process belongs to.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() float64 { return p.sim.now }
+
+// park suspends the process until some event resumes it.
+func (p *Proc) park() {
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// wake schedules the process to resume at the current virtual time.
+// It is invoked by synchronisation primitives, never by the process itself.
+func (p *Proc) wake() Handle {
+	return p.sim.schedule(p.sim.now, p, nil)
+}
+
+// Sleep suspends the process for d virtual seconds. Negative durations are
+// treated as zero (the process still yields, letting same-time events run).
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, p, nil)
+	p.park()
+}
+
+// Yield lets all other runnable same-time events execute before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Spawn starts a child process in the same simulation.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.sim.Spawn(name, fn)
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

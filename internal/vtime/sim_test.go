@@ -1,0 +1,483 @@
+package vtime
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestSleepAdvancesClock(t *testing.T) {
+	sim := NewSim()
+	var end float64
+	sim.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(2.5)
+		p.Sleep(1.5)
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 4.0) {
+		t.Fatalf("end = %v, want 4.0", end)
+	}
+	if !almostEqual(sim.Now(), 4.0) {
+		t.Fatalf("sim.Now() = %v, want 4.0", sim.Now())
+	}
+}
+
+func TestSpawnOrderIsDeterministic(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		sim := NewSim()
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			sim.Spawn("p", func(p *Proc) {
+				order = append(order, i)
+				p.Sleep(1)
+				order = append(order, 100+i)
+			})
+		}
+		sim.Run()
+		for i := 0; i < 10; i++ {
+			if order[i] != i {
+				t.Fatalf("trial %d: first wave order[%d]=%d", trial, i, order[i])
+			}
+			if order[10+i] != 100+i {
+				t.Fatalf("trial %d: second wave order[%d]=%d", trial, 10+i, order[10+i])
+			}
+		}
+	}
+}
+
+func TestAfterCallbackAndCancel(t *testing.T) {
+	sim := NewSim()
+	fired := 0
+	sim.After(1, func() { fired++ })
+	h := sim.After(2, func() { fired += 10 })
+	h.Cancel()
+	sim.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if !almostEqual(sim.Now(), 1) {
+		t.Fatalf("now = %v, want 1 (cancelled event should not advance clock)", sim.Now())
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	sim := NewSim()
+	var ticks []float64
+	sim.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+			ticks = append(ticks, p.Now())
+		}
+	})
+	sim.RunUntil(5.5)
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	if !almostEqual(sim.Now(), 5.5) {
+		t.Fatalf("now = %v, want 5.5", sim.Now())
+	}
+	sim.RunUntil(7.0)
+	if len(ticks) != 7 {
+		t.Fatalf("after second RunUntil got %d ticks, want 7", len(ticks))
+	}
+	sim.Shutdown()
+}
+
+func TestStopHaltsSimulation(t *testing.T) {
+	sim := NewSim()
+	count := 0
+	sim.Spawn("p", func(p *Proc) {
+		for {
+			p.Sleep(1)
+			count++
+			if count == 3 {
+				sim.Stop()
+				// The process keeps control until it parks again.
+			}
+		}
+	})
+	sim.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	sim.Shutdown()
+}
+
+func TestCondFIFOSignal(t *testing.T) {
+	sim := NewSim()
+	cond := NewCond(sim)
+	var woken []int
+	for i := 0; i < 3; i++ {
+		i := i
+		sim.Spawn("waiter", func(p *Proc) {
+			cond.Wait(p)
+			woken = append(woken, i)
+		})
+	}
+	sim.Spawn("signaler", func(p *Proc) {
+		p.Sleep(1)
+		if cond.Waiters() != 3 {
+			t.Errorf("waiters = %d, want 3", cond.Waiters())
+		}
+		cond.Signal()
+		p.Sleep(1)
+		cond.Broadcast()
+	})
+	sim.Run()
+	if len(woken) != 3 || woken[0] != 0 || woken[1] != 1 || woken[2] != 2 {
+		t.Fatalf("woken = %v, want [0 1 2]", woken)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	sim := NewSim()
+	q := NewQueue(sim)
+	var got []int
+	sim.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	sim.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+			q.Put(i)
+		}
+	})
+	sim.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	sim := NewSim()
+	q := NewQueue(sim)
+	var gotOK, timedOut bool
+	var when float64
+	sim.Spawn("consumer", func(p *Proc) {
+		_, ok := q.GetTimeout(p, 2)
+		timedOut = !ok
+		when = p.Now()
+		v, ok := q.GetTimeout(p, 10)
+		gotOK = ok && v.(int) == 42
+	})
+	sim.Spawn("producer", func(p *Proc) {
+		p.Sleep(5)
+		q.Put(42)
+	})
+	sim.Run()
+	if !timedOut {
+		t.Fatal("first GetTimeout should have timed out")
+	}
+	if !almostEqual(when, 2) {
+		t.Fatalf("timeout at %v, want 2", when)
+	}
+	if !gotOK {
+		t.Fatal("second GetTimeout should have received 42")
+	}
+}
+
+func TestGroupWait(t *testing.T) {
+	sim := NewSim()
+	g := NewGroup(sim)
+	g.Add(3)
+	var joined float64 = -1
+	sim.Spawn("joiner", func(p *Proc) {
+		g.Wait(p)
+		joined = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		d := float64(i)
+		sim.Spawn("worker", func(p *Proc) {
+			p.Sleep(d)
+			g.Done()
+		})
+	}
+	sim.Run()
+	if !almostEqual(joined, 3) {
+		t.Fatalf("joined at %v, want 3", joined)
+	}
+}
+
+func TestPSSingleJobTiming(t *testing.T) {
+	sim := NewSim()
+	cpu := NewPS(sim, "cpu", 2.0) // 2 units/sec
+	var end float64
+	sim.Spawn("job", func(p *Proc) {
+		cpu.Use(p, 10)
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 5) {
+		t.Fatalf("end = %v, want 5", end)
+	}
+	if !almostEqual(cpu.BusyTime(), 5) {
+		t.Fatalf("busy = %v, want 5", cpu.BusyTime())
+	}
+	if !almostEqual(cpu.Served(), 10) {
+		t.Fatalf("served = %v, want 10", cpu.Served())
+	}
+}
+
+func TestPSFairSharing(t *testing.T) {
+	// Two equal jobs sharing a unit-capacity resource each take twice as long.
+	sim := NewSim()
+	cpu := NewPS(sim, "cpu", 1.0)
+	ends := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		sim.Spawn("job", func(p *Proc) {
+			cpu.Use(p, 3)
+			ends[i] = p.Now()
+		})
+	}
+	sim.Run()
+	for i, e := range ends {
+		if !almostEqual(e, 6) {
+			t.Fatalf("ends[%d] = %v, want 6", i, e)
+		}
+	}
+	if !almostEqual(cpu.JobSeconds(), 12) {
+		t.Fatalf("jobSeconds = %v, want 12", cpu.JobSeconds())
+	}
+}
+
+func TestPSUnequalJobs(t *testing.T) {
+	// Job A needs 1 unit, job B needs 3. Shared until A leaves at t=2
+	// (each got 1 unit), then B runs alone for its remaining 2 → ends t=4.
+	sim := NewSim()
+	cpu := NewPS(sim, "cpu", 1.0)
+	var endA, endB float64
+	sim.Spawn("A", func(p *Proc) {
+		cpu.Use(p, 1)
+		endA = p.Now()
+	})
+	sim.Spawn("B", func(p *Proc) {
+		cpu.Use(p, 3)
+		endB = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(endA, 2) {
+		t.Fatalf("endA = %v, want 2", endA)
+	}
+	if !almostEqual(endB, 4) {
+		t.Fatalf("endB = %v, want 4", endB)
+	}
+}
+
+func TestPSLateArrival(t *testing.T) {
+	// A (4 units) starts at t=0 alone; B (2 units) arrives at t=2.
+	// t=0..2: A alone, serves 2, 2 left. t=2..: share 0.5 each.
+	// B finishes its 2 units at t=6; A finishes its remaining 2 at t=6 too.
+	sim := NewSim()
+	cpu := NewPS(sim, "cpu", 1.0)
+	var endA, endB float64
+	sim.Spawn("A", func(p *Proc) {
+		cpu.Use(p, 4)
+		endA = p.Now()
+	})
+	sim.Spawn("B", func(p *Proc) {
+		p.Sleep(2)
+		cpu.Use(p, 2)
+		endB = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(endA, 6) {
+		t.Fatalf("endA = %v, want 6", endA)
+	}
+	if !almostEqual(endB, 6) {
+		t.Fatalf("endB = %v, want 6", endB)
+	}
+}
+
+func TestPSSpeedChange(t *testing.T) {
+	// Unit job on unit resource, but at t=1 the speed halves → remaining 0.5
+	// units take 1 more second. Total 2 s... wait: t=0..1 serves 1*1=1? Use 2
+	// units so: t=0..1 serves 1, speed 0.5 → remaining 1 takes 2 s → end 3.
+	sim := NewSim()
+	cpu := NewPS(sim, "cpu", 1.0)
+	var end float64
+	sim.Spawn("job", func(p *Proc) {
+		cpu.Use(p, 2)
+		end = p.Now()
+	})
+	sim.After(1, func() { cpu.SetSpeed(0.5) })
+	sim.Run()
+	if !almostEqual(end, 3) {
+		t.Fatalf("end = %v, want 3", end)
+	}
+}
+
+func TestPSStallAndRecover(t *testing.T) {
+	sim := NewSim()
+	cpu := NewPS(sim, "cpu", 1.0)
+	var end float64
+	sim.Spawn("job", func(p *Proc) {
+		cpu.Use(p, 2)
+		end = p.Now()
+	})
+	sim.After(1, func() { cpu.SetSpeed(0) })
+	sim.After(5, func() { cpu.SetSpeed(1) })
+	sim.Run()
+	// 1 unit served by t=1, stalled until t=5, remaining 1 unit → end t=6.
+	if !almostEqual(end, 6) {
+		t.Fatalf("end = %v, want 6", end)
+	}
+}
+
+func TestPSZeroAmountReturnsImmediately(t *testing.T) {
+	sim := NewSim()
+	cpu := NewPS(sim, "cpu", 1.0)
+	var end float64
+	sim.Spawn("job", func(p *Proc) {
+		cpu.Use(p, 0)
+		cpu.Use(p, -5)
+		end = p.Now()
+	})
+	sim.Run()
+	if !almostEqual(end, 0) {
+		t.Fatalf("end = %v, want 0", end)
+	}
+}
+
+// TestPSConservation is a property test: for any set of jobs with arbitrary
+// arrival offsets and sizes, total served work equals the sum of job sizes,
+// and every job's completion time is at least its arrival + size/capacity.
+func TestPSConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		sim := NewSim()
+		cpu := NewPS(sim, "cpu", 1+rng.Float64()*4)
+		type jobSpec struct{ arrive, size, end float64 }
+		jobs := make([]*jobSpec, n)
+		total := 0.0
+		for i := range jobs {
+			js := &jobSpec{arrive: rng.Float64() * 10, size: 0.1 + rng.Float64()*5}
+			jobs[i] = js
+			total += js.size
+			sim.Spawn("j", func(p *Proc) {
+				p.Sleep(js.arrive)
+				cpu.Use(p, js.size)
+				js.end = p.Now()
+			})
+		}
+		sim.Run()
+		if !almostEqual(cpu.Served(), total) {
+			t.Logf("served %v != total %v", cpu.Served(), total)
+			return false
+		}
+		for _, js := range jobs {
+			min := js.arrive + js.size/cpu.Capacity()
+			if js.end+1e-6 < min {
+				t.Logf("job finished at %v before lower bound %v", js.end, min)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPSOrderPreservation: jobs of equal size arriving at distinct times must
+// finish in arrival order under processor sharing.
+func TestPSOrderPreservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		sim := NewSim()
+		cpu := NewPS(sim, "cpu", 1)
+		arrivals := make([]float64, n)
+		ends := make([]float64, n)
+		for i := range arrivals {
+			arrivals[i] = rng.Float64() * 20
+		}
+		sort.Float64s(arrivals)
+		for i := 0; i < n; i++ {
+			i := i
+			sim.Spawn("j", func(p *Proc) {
+				p.Sleep(arrivals[i])
+				cpu.Use(p, 2)
+				ends[i] = p.Now()
+			})
+		}
+		sim.Run()
+		for i := 1; i < n; i++ {
+			if ends[i]+1e-9 < ends[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdownReleasesParkedProcs(t *testing.T) {
+	sim := NewSim()
+	cond := NewCond(sim)
+	for i := 0; i < 5; i++ {
+		sim.Spawn("stuck", func(p *Proc) {
+			cond.Wait(p) // never signalled
+			t.Error("process should never resume normally")
+		})
+	}
+	sim.RunUntil(10)
+	sim.Shutdown()
+	if len(sim.procs) != 0 {
+		t.Fatalf("%d procs alive after Shutdown", len(sim.procs))
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	sim := NewSim()
+	var childEnd float64
+	sim.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		p.Spawn("child", func(c *Proc) {
+			c.Sleep(2)
+			childEnd = c.Now()
+		})
+		p.Sleep(5)
+	})
+	sim.Run()
+	if !almostEqual(childEnd, 3) {
+		t.Fatalf("childEnd = %v, want 3", childEnd)
+	}
+}
+
+func TestYieldOrdering(t *testing.T) {
+	sim := NewSim()
+	var order []string
+	sim.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	sim.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+		p.Yield()
+		order = append(order, "b2")
+	})
+	sim.Run()
+	want := []string{"a1", "b1", "a2", "b2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

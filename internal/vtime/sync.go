@@ -1,0 +1,203 @@
+package vtime
+
+// Cond is a virtual-time condition variable. Processes block in Wait and are
+// released, in FIFO order, by Signal or Broadcast. Unlike sync.Cond there is
+// no associated lock: the simulation is single-threaded, so state inspected
+// before Wait cannot change until the process parks.
+type Cond struct {
+	sim     *Sim
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable bound to sim.
+func NewCond(sim *Sim) *Cond { return &Cond{sim: sim} }
+
+// Wait parks the calling process until a Signal or Broadcast releases it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal releases the longest-waiting process, if any. The release is
+// scheduled at the current virtual time, so the woken process runs after the
+// caller next yields.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.wake()
+}
+
+// Broadcast releases every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		p.wake()
+	}
+	c.waiters = nil
+}
+
+// Waiters reports how many processes are blocked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Queue is an unbounded FIFO mailbox carrying arbitrary values between
+// simulated processes. Put never blocks; Get blocks until an item is
+// available.
+type Queue struct {
+	sim   *Sim
+	items []any
+	cond  *Cond
+}
+
+// NewQueue creates an empty queue bound to sim.
+func NewQueue(sim *Sim) *Queue {
+	return &Queue{sim: sim, cond: NewCond(sim)}
+}
+
+// Put appends v and wakes one waiting consumer. Callable from processes and
+// from event callbacks.
+func (q *Queue) Put(v any) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Get removes and returns the oldest item, blocking the calling process
+// while the queue is empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking. The second
+// result reports whether an item was available.
+func (q *Queue) TryGet() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// GetTimeout behaves like Get but gives up after d virtual seconds, returning
+// ok=false on timeout.
+func (q *Queue) GetTimeout(p *Proc, d float64) (any, bool) {
+	if v, ok := q.TryGet(); ok {
+		return v, true
+	}
+	deadline := q.sim.now + d
+	expired := false
+	h := q.sim.schedule(deadline, nil, func() {
+		expired = true
+		// Force a pass through the wait loop: wake p only if it is still a
+		// waiter on the condition.
+		for i, w := range q.cond.waiters {
+			if w == p {
+				q.cond.waiters = append(q.cond.waiters[:i], q.cond.waiters[i+1:]...)
+				p.wake()
+				break
+			}
+		}
+	})
+	defer h.Cancel()
+	for len(q.items) == 0 {
+		if expired {
+			return nil, false
+		}
+		q.cond.Wait(p)
+		if expired && len(q.items) == 0 {
+			return nil, false
+		}
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Sem is a FIFO counting semaphore in virtual time: Acquire blocks while no
+// permits are free and earlier waiters are served strictly first (Release
+// hands its permit directly to the longest waiter, so late arrivals cannot
+// barge).
+type Sem struct {
+	free int
+	cond *Cond
+}
+
+// NewSem creates a semaphore with n permits.
+func NewSem(sim *Sim, n int) *Sem {
+	if n < 1 {
+		panic("vtime: semaphore needs at least one permit")
+	}
+	return &Sem{free: n, cond: NewCond(sim)}
+}
+
+// Acquire blocks the calling process until a permit is available and all
+// earlier (un-served) waiters have been handed theirs.
+func (s *Sem) Acquire(p *Proc) {
+	if s.free > 0 && s.cond.Waiters() == 0 {
+		s.free--
+		return
+	}
+	s.cond.Wait(p)
+	// The permit was handed over by Release; do not touch free.
+}
+
+// Release returns a permit, waking the longest waiter if any. Waiters that
+// were already signalled (but have not resumed yet) hold their hand-off, so
+// the permit goes to the next un-signalled waiter or back to the pool.
+func (s *Sem) Release() {
+	if s.cond.Waiters() > 0 {
+		s.cond.Signal() // direct hand-off
+		return
+	}
+	s.free++
+}
+
+// Waiting reports how many processes are queued for a permit.
+func (s *Sem) Waiting() int { return s.cond.Waiters() }
+
+// Free reports the currently unclaimed permits.
+func (s *Sem) Free() int { return s.free }
+
+// Group is a virtual-time wait group: Wait blocks until the counter returns
+// to zero.
+type Group struct {
+	n    int
+	cond *Cond
+}
+
+// NewGroup creates a group with counter zero.
+func NewGroup(sim *Sim) *Group { return &Group{cond: NewCond(sim)} }
+
+// Add increments the counter by delta (which may be negative). A counter
+// reaching zero releases all waiters.
+func (g *Group) Add(delta int) {
+	g.n += delta
+	if g.n < 0 {
+		panic("vtime: negative Group counter")
+	}
+	if g.n == 0 {
+		g.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (g *Group) Done() { g.Add(-1) }
+
+// Wait blocks the calling process until the counter is zero.
+func (g *Group) Wait(p *Proc) {
+	for g.n > 0 {
+		g.cond.Wait(p)
+	}
+}
+
+// Count reports the current counter value.
+func (g *Group) Count() int { return g.n }

@@ -1,0 +1,135 @@
+// Package workload builds question sets and arrival processes for the
+// experiments: the TREC-like factual questions generated with the synthetic
+// corpus, the paper's high-load arrival process (Section 6.1: 8·N questions
+// starting at intervals uniform in [0, 2] seconds), and the complex-question
+// filter of Section 6.2 (questions with at least 20 paragraphs per AP module
+// on the full cluster).
+package workload
+
+import (
+	"math/rand"
+
+	"distqa/internal/corpus"
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+)
+
+// Question is one askable question with its ground truth.
+type Question struct {
+	ID       int
+	Text     string
+	Expected string
+	Type     nlp.EntityType
+	FactID   int
+	// Accepted is the sequential pipeline's accepted-paragraph count, a
+	// complexity measure (filled by Profile).
+	Accepted int
+}
+
+// Set is an ordered collection of questions.
+type Set struct {
+	Questions []Question
+}
+
+// FromCollection derives the question set from a corpus's planted facts.
+func FromCollection(c *corpus.Collection) Set {
+	var s Set
+	for _, f := range c.Facts {
+		s.Questions = append(s.Questions, Question{
+			ID:       f.ID,
+			Text:     f.Question,
+			Expected: f.Answer,
+			Type:     f.AnswerType,
+			FactID:   f.ID,
+		})
+	}
+	return s
+}
+
+// Profile fills each question's Accepted count by running the sequential
+// pipeline once per question. The engine is read-only so this is safe to do
+// outside any simulation.
+func (s Set) Profile(e *qa.Engine) Set {
+	out := Set{Questions: append([]Question(nil), s.Questions...)}
+	for i := range out.Questions {
+		res := e.AnswerSequential(out.Questions[i].Text)
+		out.Questions[i].Accepted = res.Accepted
+	}
+	return out
+}
+
+// Complex returns the questions with at least minAccepted accepted
+// paragraphs — the paper's Section 6.2 selection ("questions which have at
+// least 20 paragraphs allocated to each AP module" on an N-node system is
+// minAccepted = 20·N). Call Profile first.
+func (s Set) Complex(minAccepted int) Set {
+	var out Set
+	for _, q := range s.Questions {
+		if q.Accepted >= minAccepted {
+			out.Questions = append(out.Questions, q)
+		}
+	}
+	return out
+}
+
+// TopComplex returns the n most complex questions (by accepted paragraphs,
+// ties by id). Call Profile first.
+func (s Set) TopComplex(n int) Set {
+	qs := append([]Question(nil), s.Questions...)
+	for i := 1; i < len(qs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := qs[j], qs[j-1]
+			if a.Accepted > b.Accepted || (a.Accepted == b.Accepted && a.ID < b.ID) {
+				qs[j], qs[j-1] = qs[j-1], qs[j]
+			} else {
+				break
+			}
+		}
+	}
+	if n > len(qs) {
+		n = len(qs)
+	}
+	return Set{Questions: qs[:n]}
+}
+
+// Len returns the question count.
+func (s Set) Len() int { return len(s.Questions) }
+
+// Pick returns n questions cycling through the set in a seeded shuffle,
+// reproducing "questions selected randomly from the TREC-8 and TREC-9
+// question set … the same questions and the same startup sequence for all
+// tests" (Section 6.1).
+func (s Set) Pick(seed int64, n int) []Question {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(s.Questions))
+	out := make([]Question, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.Questions[idx[i%len(idx)]]
+	}
+	return out
+}
+
+// PaperArrivals returns n arrival times starting at start, with successive
+// inter-arrival gaps uniform in [0, 2) seconds — the paper's high-load
+// startup sequence.
+func PaperArrivals(seed int64, n int, start float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	at := start
+	for i := range out {
+		out[i] = at
+		at += rng.Float64() * 2
+	}
+	return out
+}
+
+// OneAtATime returns n arrival times spaced far enough apart (gap seconds)
+// that each question completes before the next arrives — the Section 6.2
+// low-load measurement protocol.
+func OneAtATime(n int, start, gap float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*gap
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/qa"
+)
+
+var (
+	testColl   = corpus.Generate(corpus.Tiny())
+	testEngine = qa.NewEngine(testColl, index.BuildAll(testColl))
+)
+
+func TestFromCollection(t *testing.T) {
+	s := FromCollection(testColl)
+	if s.Len() != len(testColl.Facts) {
+		t.Fatalf("len = %d, want %d", s.Len(), len(testColl.Facts))
+	}
+	for i, q := range s.Questions {
+		f := testColl.Facts[i]
+		if q.Text != f.Question || q.Expected != f.Answer || q.Type != f.AnswerType {
+			t.Fatalf("question %d mismatch: %+v vs %+v", i, q, f)
+		}
+	}
+}
+
+func TestProfileAndComplex(t *testing.T) {
+	s := FromCollection(testColl).Profile(testEngine)
+	anyAccepted := false
+	for _, q := range s.Questions {
+		if q.Accepted > 0 {
+			anyAccepted = true
+		}
+	}
+	if !anyAccepted {
+		t.Fatal("profiling produced no accepted counts")
+	}
+	med := s.Questions[len(s.Questions)/2].Accepted
+	c := s.Complex(med)
+	if c.Len() == 0 || c.Len() == s.Len() {
+		t.Fatalf("complex filter degenerate: %d of %d", c.Len(), s.Len())
+	}
+	for _, q := range c.Questions {
+		if q.Accepted < med {
+			t.Fatalf("complex question below threshold: %+v", q)
+		}
+	}
+}
+
+func TestTopComplex(t *testing.T) {
+	s := FromCollection(testColl).Profile(testEngine)
+	top := s.TopComplex(5)
+	if top.Len() != 5 {
+		t.Fatalf("top = %d", top.Len())
+	}
+	for i := 1; i < top.Len(); i++ {
+		if top.Questions[i].Accepted > top.Questions[i-1].Accepted {
+			t.Fatal("TopComplex not sorted")
+		}
+	}
+	// Asking for more than available caps at the set size.
+	if s.TopComplex(10000).Len() != s.Len() {
+		t.Fatal("TopComplex overflow not capped")
+	}
+}
+
+func TestPickDeterministicAndCycling(t *testing.T) {
+	s := FromCollection(testColl)
+	a := s.Pick(1, 50)
+	b := s.Pick(1, 50)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("Pick not deterministic")
+		}
+	}
+	c := s.Pick(2, 50)
+	same := true
+	for i := range a {
+		if a[i].ID != c[i].ID {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical picks")
+	}
+	if len(s.Pick(1, 3*s.Len())) != 3*s.Len() {
+		t.Fatal("Pick should cycle beyond set size")
+	}
+}
+
+func TestPaperArrivals(t *testing.T) {
+	a := PaperArrivals(7, 32, 2.0)
+	if len(a) != 32 || a[0] != 2.0 {
+		t.Fatalf("arrivals = %v", a[:3])
+	}
+	for i := 1; i < len(a); i++ {
+		gap := a[i] - a[i-1]
+		if gap < 0 || gap >= 2 {
+			t.Fatalf("gap %d = %v, want in [0,2)", i, gap)
+		}
+	}
+	b := PaperArrivals(7, 32, 2.0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("arrivals not deterministic")
+		}
+	}
+}
+
+func TestOneAtATime(t *testing.T) {
+	a := OneAtATime(5, 2, 300)
+	if len(a) != 5 || a[0] != 2 || a[4] != 2+4*300 {
+		t.Fatalf("arrivals = %v", a)
+	}
+}
