@@ -7,6 +7,7 @@
 //	qabench -exp table5     # one experiment (see -list)
 //	qabench -scale small    # fast, down-scaled environment
 //	qabench -list           # list experiment ids
+//	qabench -stage-metrics  # also print wall-clock p50/p90/p99 per Q/A stage
 package main
 
 import (
@@ -17,12 +18,14 @@ import (
 	"time"
 
 	"distqa/internal/experiments"
+	"distqa/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
 	scale := flag.String("scale", "paper", "environment scale: paper or small")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	stageMetrics := flag.Bool("stage-metrics", false, "record wall-clock per-stage latency histograms and print p50/p90/p99")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +44,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var stageReg *obs.Registry
+	if *stageMetrics {
+		// A private registry keeps the bench histograms clear of the live
+		// cluster's; the observer hooks every stage of the shared engines.
+		stageReg = obs.NewRegistry()
+		observer := stageReg.StageObserver("qa_stage_seconds")
+		env.Engine().Observer = observer
+		env.Engine8().Observer = observer
+	}
+
 	start := time.Now()
 	var tables []experiments.Table
 	if *exp == "all" {
@@ -56,5 +69,26 @@ func main() {
 	for _, t := range tables {
 		fmt.Println(t.String())
 	}
+	if stageReg != nil {
+		printStageMetrics(stageReg)
+	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// printStageMetrics renders the wall-clock latency quantiles of each pipeline
+// stage recorded during the run (real execution time of the module code, not
+// the simulator's virtual cost model).
+func printStageMetrics(reg *obs.Registry) {
+	fmt.Println("wall-clock stage latency (real module execution, not virtual cost):")
+	fmt.Printf("  %-6s %10s %12s %12s %12s\n", "stage", "calls", "p50 ms", "p90 ms", "p99 ms")
+	for _, stage := range []string{obs.StageQP, obs.StagePR, obs.StagePS, obs.StagePO, obs.StageAP, obs.StageMerge} {
+		h := reg.Histogram("qa_stage_seconds", obs.Labels{"stage": stage}, obs.LatencyBuckets())
+		if h.Count() == 0 {
+			continue
+		}
+		s := h.Snapshot()
+		fmt.Printf("  %-6s %10d %12.3f %12.3f %12.3f\n",
+			stage, h.Count(), s.P50()*1000, s.P90()*1000, s.P99()*1000)
+	}
+	fmt.Println()
 }

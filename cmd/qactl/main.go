@@ -1,23 +1,29 @@
 // Command qactl is the operator client for a live Q/A cluster: ask
-// questions and inspect node status.
+// questions, inspect node status, and scrape node metrics.
 //
 //	qactl -node 127.0.0.1:7101 -ask "Where is the Taj Mahal?"
+//	qactl -node 127.0.0.1:7101 -ask "..." -spans   # print the span tree
 //	qactl -node 127.0.0.1:7101 -status
+//	qactl -node 127.0.0.1:7101 -metrics            # Prometheus text
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"distqa/internal/live"
+	"distqa/internal/obs"
 )
 
 func main() {
 	node := flag.String("node", "127.0.0.1:7101", "any cluster node address")
 	ask := flag.String("ask", "", "question to ask")
+	spans := flag.Bool("spans", false, "with -ask: print the question's cross-node span tree")
 	status := flag.Bool("status", false, "print node status")
+	metrics := flag.Bool("metrics", false, "print node metrics (Prometheus text exposition)")
 	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
 	flag.Parse()
 
@@ -35,10 +41,13 @@ func main() {
 		fmt.Printf("served by %s, AP workers: %d, %.1f ms\n", where, resp.APPeers, resp.ElapsedMS)
 		if len(resp.Answers) == 0 {
 			fmt.Println("no answers")
-			return
 		}
 		for i, a := range resp.Answers {
 			fmt.Printf("%d. %s (%s, score %.2f)\n   ... %s ...\n", i+1, a.Text, a.Type, a.Score, a.Snippet)
+		}
+		if *spans {
+			fmt.Println("\nspan tree:")
+			printSpanTree(resp.Spans)
 		}
 	case *status:
 		st, err := live.QueryStatus(*node, *timeout)
@@ -48,12 +57,69 @@ func main() {
 		}
 		fmt.Printf("node %s: collection %s (%d paragraphs), %d running / %d queued, up %v\n",
 			st.Addr, st.Collection, st.Paragraphs, st.Questions, st.Queued, st.Uptime.Round(time.Second))
+		m := st.Metrics
+		fmt.Printf("  served %d questions (%d forwarded away, %d migrated here)\n",
+			m.QuestionsServed, m.ForwardsOut, m.ForwardsIn)
+		fmt.Printf("  sub-tasks: PR %d sent / %d received, AP %d sent / %d received\n",
+			m.PRSubtasksSent, m.PRSubtasksReceived, m.APSubtasksSent, m.APSubtasksReceived)
+		fmt.Printf("  heartbeats: %d sent / %d received, %d remote-call failures\n",
+			m.HeartbeatsSent, m.HeartbeatsReceived, m.RequestFailures)
 		for _, p := range st.Peers {
 			fmt.Printf("  peer %s: %d running / %d queued / %d AP sub-tasks (heard %v ago)\n",
 				p.Addr, p.Questions, p.Queued, p.APTasks, time.Since(p.Sent).Round(time.Millisecond))
 		}
+	case *metrics:
+		text, err := live.QueryMetrics(*node, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// printSpanTree renders the question's spans as an indented tree, remote
+// nodes and stage durations inline:
+//
+//	ask q=...  [127.0.0.1:7102]  52.1ms
+//	  stage:QP  [127.0.0.1:7102]  0.3ms
+//	  partition:AP  [127.0.0.1:7102]  31.0ms
+//	    ap-subtask  [127.0.0.1:7103]  28.9ms
+func printSpanTree(spans []obs.Span) {
+	children := make(map[int64][]obs.Span)
+	byID := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	var roots []obs.Span
+	for _, s := range spans {
+		if s.Parent != 0 && byID[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	sortSpans(roots)
+	var walk func(s obs.Span, depth int)
+	walk = func(s obs.Span, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%s  [%s]  %.1fms\n", s.Name, s.Node, float64(s.Duration().Microseconds())/1000)
+		kids := children[s.ID]
+		sortSpans(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+func sortSpans(ss []obs.Span) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].Start.Before(ss[j].Start) })
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 	"distqa/internal/corpus"
 	"distqa/internal/index"
 	"distqa/internal/live"
+	"distqa/internal/obs"
 	"distqa/internal/qa"
 )
 
@@ -32,6 +34,7 @@ func main() {
 	collection := flag.String("collection", "tiny", "collection config: tiny, trec8like or trec9like")
 	maxConcurrent := flag.Int("max-concurrent", 4, "admission limit (simultaneous questions)")
 	cacheDir := flag.String("cache-dir", "", "directory for index snapshots (skip re-indexing on restart)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address serving /metrics (Prometheus text) and /spans (Chrome trace-event JSON); empty disables")
 	flag.Parse()
 
 	var cfg corpus.Config
@@ -71,6 +74,24 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("qanode: serving on %s (%d peers configured)\n", node.Addr(), len(nodeCfg.Peers))
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			node.WriteMetricsText(w) //nolint:errcheck
+		})
+		mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			obs.WriteChromeJSON(w, obs.ChromeFromSpans(node.Spans().Snapshot())) //nolint:errcheck
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "qanode: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("qanode: metrics on http://%s/metrics, span trace on http://%s/spans\n", *metricsAddr, *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -8,6 +8,7 @@
 //	qatrace             # all three AP strategies (Figure 7 a, b, c)
 //	qatrace -ap ISEND   # one strategy
 //	qatrace -scale small
+//	qatrace -format chrome > fig7.json   # open in chrome://tracing / Perfetto
 package main
 
 import (
@@ -16,11 +17,13 @@ import (
 	"os"
 
 	"distqa/internal/experiments"
+	"distqa/internal/obs"
 )
 
 func main() {
 	ap := flag.String("ap", "all", "AP partitioning strategy: SEND, ISEND, RECV or all")
 	scale := flag.String("scale", "paper", "environment scale: paper or small")
+	format := flag.String("format", "text", "output format: text (Figure 7 lines) or chrome (trace-event JSON)")
 	flag.Parse()
 
 	var env *experiments.Env
@@ -33,20 +36,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qatrace: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	if *format != "text" && *format != "chrome" {
+		fmt.Fprintf(os.Stderr, "qatrace: unknown format %q\n", *format)
+		os.Exit(2)
+	}
 
 	names := []string{"SEND", "ISEND", "RECV"}
 	if *ap != "all" {
 		names = []string{*ap}
 	}
-	for _, name := range names {
-		fmt.Printf("=== Figure 7: RECV for PR/PS, %s for AP ===\n", name)
+	// In chrome format each strategy becomes one trace "process" so all
+	// requested runs land in a single JSON document with per-strategy rows.
+	var chrome []obs.ChromeEvent
+	for pid, name := range names {
+		if *format == "text" {
+			fmt.Printf("=== Figure 7: RECV for PR/PS, %s for AP ===\n", name)
+		}
 		log, res, err := experiments.Figure7Trace(env, name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qatrace: %v\n", err)
 			os.Exit(1)
 		}
+		if *format == "chrome" {
+			chrome = append(chrome, obs.ChromeEvent{
+				Name: "process_name", Ph: "M", PID: pid,
+				Args: map[string]any{"name": fmt.Sprintf("AP=%s", name)},
+			})
+			for _, ev := range log.ChromeEvents() {
+				ev.PID = pid
+				chrome = append(chrome, ev)
+			}
+			continue
+		}
 		fmt.Print(log.String())
 		fmt.Printf("--- question %d: %d paragraphs accepted, AP time %.2f s, response %.2f s\n\n",
 			res.ID, res.Accepted, res.Times.AP, res.Latency())
+	}
+	if *format == "chrome" {
+		if err := obs.WriteChromeJSON(os.Stdout, chrome); err != nil {
+			fmt.Fprintf(os.Stderr, "qatrace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

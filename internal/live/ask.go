@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"distqa/internal/index"
 	"distqa/internal/nlp"
+	"distqa/internal/obs"
 	"distqa/internal/qa"
 )
 
@@ -17,19 +19,44 @@ func encode(conn net.Conn, v any) error { return gob.NewEncoder(conn).Encode(v) 
 // handleAsk drives a full question: question-dispatcher forwarding, local
 // QP/PR/PS/PO, AP partitioning across under-loaded peers, and answer
 // merging. It is the live counterpart of core.System.answer.
+//
+// Observability: the whole question runs under one span tree. The root
+// "ask" span joins req.Span when the question was forwarded here (so the
+// originating node's tree continues on this node); every pipeline stage and
+// every remote sub-task becomes a child span, and the completed tree —
+// including spans recorded on *other* nodes and shipped back in sub-task
+// responses — travels to the client in Response.Spans.
 func (n *Node) handleAsk(req *Request) *Response {
 	start := time.Now()
+	root := n.spans.StartSpan("ask", "", req.Span)
+	ctx := root.Context()
+	if req.Forwarded {
+		n.nm.forwardsIn.Inc()
+	}
 
 	// Scheduling point 1: forward to a clearly less-loaded peer, once.
 	if !req.Forwarded {
 		if target, ok := n.pickLighterPeer(); ok {
 			fwd := *req
 			fwd.Forwarded = true
+			fwdSpan := n.spans.StartSpan("forward", "", ctx)
+			fwd.Span = fwdSpan.Context()
 			if resp, err := roundTrip(target, &fwd, n.cfg.RequestTimeout); err == nil {
+				n.nm.forwardsOut.Inc()
 				resp.Forwarded = true
+				// Adopt the remote tree locally (for this node's span view),
+				// close our spans, and ship the full tree to the client.
+				for _, s := range resp.Spans {
+					n.spans.Record(s)
+				}
+				fs := fwdSpan.End()
+				rs := root.End()
+				resp.Spans = append(resp.Spans, fs, rs)
 				return resp
 			}
 			// The peer died between heartbeat and forward; serve locally.
+			n.nm.failForward.Inc()
+			fwdSpan.End()
 		}
 	}
 
@@ -37,33 +64,55 @@ func (n *Node) handleAsk(req *Request) *Response {
 	n.mu.Lock()
 	n.queued++
 	n.mu.Unlock()
+	n.nm.queueDepth.Inc()
 	n.admit <- struct{}{}
 	n.mu.Lock()
 	n.queued--
 	n.questions++
 	n.mu.Unlock()
+	n.nm.queueDepth.Dec()
+	n.nm.active.Inc()
 	defer func() {
 		n.mu.Lock()
 		n.questions--
 		n.mu.Unlock()
+		n.nm.active.Dec()
 		<-n.admit
 	}()
 
 	// QP locally; PR+PS partitioned across idle peers (scheduling point 2);
 	// PO centralized here.
+	qpSpan := n.spans.StartSpan("stage:QP", obs.StageQP, ctx)
 	analysis, _ := n.engine.QuestionProcessing(req.Question)
-	scored := n.partitionPR(analysis)
+	qpSpan.End()
+
+	prPart := n.spans.StartSpan("partition:PR", "", ctx)
+	scored := n.partitionPR(analysis, prPart.Context())
+	prPart.End()
+
+	poSpan := n.spans.StartSpan("stage:PO", obs.StagePO, ctx)
 	accepted, _ := n.engine.OrderParagraphs(scored)
+	poSpan.End()
 
 	// Scheduling point 3: partition AP across idle peers (plus ourselves).
-	groups, apPeers := n.partitionAP(analysis, accepted)
+	apPart := n.spans.StartSpan("partition:AP", "", ctx)
+	groups, apPeers := n.partitionAP(analysis, accepted, apPart.Context())
+	apPart.End()
+
+	mergeSpan := n.spans.StartSpan("stage:MERGE", obs.StageMerge, ctx)
 	final, _ := n.engine.MergeAnswerSets(groups)
+	mergeSpan.End()
+
+	n.nm.questions.Inc()
+	n.nm.askSeconds.Observe(time.Since(start).Seconds())
+	rs := root.End()
 
 	return &Response{
 		Answers:   final,
 		ServedBy:  n.Addr(),
 		APPeers:   apPeers,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Spans:     n.spans.ByQID(rs.QID),
 	}
 }
 
@@ -87,8 +136,10 @@ func (n *Node) pickLighterPeer() (string, bool) {
 // partitionPR distributes the sub-collections of paragraph retrieval (and
 // its co-located scoring) round-robin across this node and its idle peers.
 // A failed remote sub-task is retried locally — the receiver-controlled
-// recovery of Figure 6(b), simplified to one round.
-func (n *Node) partitionPR(analysis nlp.QuestionAnalysis) []qa.ScoredParagraph {
+// recovery of Figure 6(b), simplified to one round. Local work records
+// stage:PR/stage:PS spans; remote work ships its pr-subtask spans back and
+// they are adopted under the same parent.
+func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext) []qa.ScoredParagraph {
 	nSubs := n.engine.Set.Len()
 	var idle []string
 	for _, p := range n.freshPeers() {
@@ -107,13 +158,17 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis) []qa.ScoredParagraph {
 	}
 
 	local := func(subs []int) []qa.ScoredParagraph {
-		var out []qa.ScoredParagraph
+		prSpan := n.spans.StartSpan("stage:PR", obs.StagePR, parent)
+		var rs []index.Retrieved
 		for _, sub := range subs {
-			rs, _ := n.engine.RetrieveSub(analysis, sub)
-			sc, _ := n.engine.ScoreParagraphs(analysis, rs)
-			out = append(out, sc...)
+			r, _ := n.engine.RetrieveSub(analysis, sub)
+			rs = append(rs, r...)
 		}
-		return out
+		prSpan.End()
+		psSpan := n.spans.StartSpan("stage:PS", obs.StagePS, parent)
+		sc, _ := n.engine.ScoreParagraphs(analysis, rs)
+		psSpan.End()
+		return sc
 	}
 
 	results := make([][]qa.ScoredParagraph, workers)
@@ -124,19 +179,26 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis) []qa.ScoredParagraph {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			n.nm.prSent.Inc()
 			resp, err := roundTrip(addr, &Request{
 				Kind:     kindPRSubtask,
+				Span:     parent,
 				Keywords: analysis.Keywords,
 				Subs:     assign[i],
 			}, n.cfg.RequestTimeout)
 			if err != nil {
+				n.nm.failPR.Inc()
 				results[i] = local(assign[i]) // failure recovery
 				return
 			}
 			paras, err := n.resolveRefs(resp.ParaRefs)
 			if err != nil {
+				n.nm.failPR.Inc()
 				results[i] = local(assign[i])
 				return
+			}
+			for _, s := range resp.Spans {
+				n.spans.Record(s)
 			}
 			results[i] = paras
 		}()
@@ -154,8 +216,9 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis) []qa.ScoredParagraph {
 // peers with an interleaved (ISEND-style) split — the accepted array is
 // rank-ordered, so interleaving equalises granularity. Failed remote
 // sub-tasks are re-processed locally, the live analogue of the
-// sender-controlled recovery of Figure 5(c).
-func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredParagraph) ([][]qa.Answer, int) {
+// sender-controlled recovery of Figure 5(c). Remote ap-subtask spans carry
+// the originating question's ID and come back in the sub-task response.
+func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredParagraph, parent obs.SpanContext) ([][]qa.Answer, int) {
 	var idle []string
 	for _, p := range n.freshPeers() {
 		if p.Questions == 0 && p.Queued == 0 && p.APTasks == 0 {
@@ -166,9 +229,14 @@ func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredPa
 	if len(accepted) < 2*workers {
 		workers = 1 // not worth distributing
 	}
+	localAP := func(paras []qa.ScoredParagraph) []qa.Answer {
+		span := n.spans.StartSpan("stage:AP", obs.StageAP, parent)
+		answers, _ := n.engine.ExtractAnswers(analysis, paras)
+		span.End()
+		return answers
+	}
 	if workers == 1 {
-		answers, _ := n.engine.ExtractAnswers(analysis, accepted)
-		return [][]qa.Answer{answers}, 1
+		return [][]qa.Answer{localAP(accepted)}, 1
 	}
 
 	parts := make([][]qa.ScoredParagraph, workers)
@@ -188,23 +256,27 @@ func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredPa
 			for k, sp := range parts[i] {
 				refs[k] = ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score}
 			}
+			n.nm.apSent.Inc()
 			resp, err := roundTrip(addr, &Request{
 				Kind:       kindAPSubtask,
+				Span:       parent,
 				Keywords:   analysis.Keywords,
 				AnswerType: int(analysis.AnswerType),
 				ParaRefs:   refs,
 			}, n.cfg.RequestTimeout)
 			if err != nil {
 				// Failure recovery: process the partition locally.
-				answers, _ := n.engine.ExtractAnswers(analysis, parts[i])
-				groups[i] = answers
+				n.nm.failAP.Inc()
+				groups[i] = localAP(parts[i])
 				return
+			}
+			for _, s := range resp.Spans {
+				n.spans.Record(s)
 			}
 			groups[i] = resp.Answers
 		}()
 	}
-	answers, _ := n.engine.ExtractAnswers(analysis, parts[0])
-	groups[0] = answers
+	groups[0] = localAP(parts[0])
 	wg.Wait()
 	return groups, workers
 }
@@ -231,4 +303,19 @@ func QueryStatus(addr string, timeout time.Duration) (*Status, error) {
 		return nil, fmt.Errorf("live: %s returned no status", addr)
 	}
 	return resp.Status, nil
+}
+
+// QueryMetrics fetches a node's metrics in the Prometheus text exposition
+// format over the TCP status protocol (the transport behind
+// `qactl -metrics`; the same text is served by qanode's -metrics-addr HTTP
+// endpoint).
+func QueryMetrics(addr string, timeout time.Duration) (string, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	resp, err := roundTrip(addr, &Request{Kind: kindMetrics}, timeout)
+	if err != nil {
+		return "", err
+	}
+	return resp.MetricsText, nil
 }

@@ -1,0 +1,112 @@
+package live
+
+import (
+	"io"
+	"time"
+
+	"distqa/internal/obs"
+)
+
+// nodeMetrics caches the node's hot-path metric handles so instrumented code
+// never goes through the registry's map lookups.
+type nodeMetrics struct {
+	reg *obs.Registry
+
+	questions   *obs.Counter // live_questions_total
+	forwardsOut *obs.Counter // live_forwards_total{direction="out"}
+	forwardsIn  *obs.Counter // live_forwards_total{direction="in"}
+	prSent      *obs.Counter // live_subtasks_total{kind="pr",direction="sent"}
+	prRecv      *obs.Counter // live_subtasks_total{kind="pr",direction="received"}
+	apSent      *obs.Counter // live_subtasks_total{kind="ap",direction="sent"}
+	apRecv      *obs.Counter // live_subtasks_total{kind="ap",direction="received"}
+	hbSent      *obs.Counter // live_heartbeats_total{direction="sent"}
+	hbRecv      *obs.Counter // live_heartbeats_total{direction="received"}
+
+	failForward *obs.Counter // live_request_failures_total{op="forward"}
+	failPR      *obs.Counter // live_request_failures_total{op="pr"}
+	failAP      *obs.Counter // live_request_failures_total{op="ap"}
+	failHB      *obs.Counter // live_request_failures_total{op="heartbeat"}
+
+	active     *obs.Gauge // live_questions_active
+	queueDepth *obs.Gauge // live_admission_queue_depth
+	peers      *obs.Gauge // live_peers (refreshed at scrape time)
+	uptime     *obs.Gauge // live_uptime_seconds (refreshed at scrape time)
+
+	askSeconds *obs.Histogram            // live_ask_seconds
+	stages     map[string]*obs.Histogram // qa_stage_seconds{stage=...}
+}
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	m := &nodeMetrics{reg: reg}
+	m.questions = reg.Counter("live_questions_total", nil)
+	m.forwardsOut = reg.Counter("live_forwards_total", obs.Labels{"direction": "out"})
+	m.forwardsIn = reg.Counter("live_forwards_total", obs.Labels{"direction": "in"})
+	m.prSent = reg.Counter("live_subtasks_total", obs.Labels{"kind": "pr", "direction": "sent"})
+	m.prRecv = reg.Counter("live_subtasks_total", obs.Labels{"kind": "pr", "direction": "received"})
+	m.apSent = reg.Counter("live_subtasks_total", obs.Labels{"kind": "ap", "direction": "sent"})
+	m.apRecv = reg.Counter("live_subtasks_total", obs.Labels{"kind": "ap", "direction": "received"})
+	m.hbSent = reg.Counter("live_heartbeats_total", obs.Labels{"direction": "sent"})
+	m.hbRecv = reg.Counter("live_heartbeats_total", obs.Labels{"direction": "received"})
+	m.failForward = reg.Counter("live_request_failures_total", obs.Labels{"op": "forward"})
+	m.failPR = reg.Counter("live_request_failures_total", obs.Labels{"op": "pr"})
+	m.failAP = reg.Counter("live_request_failures_total", obs.Labels{"op": "ap"})
+	m.failHB = reg.Counter("live_request_failures_total", obs.Labels{"op": "heartbeat"})
+	m.active = reg.Gauge("live_questions_active", nil)
+	m.queueDepth = reg.Gauge("live_admission_queue_depth", nil)
+	m.peers = reg.Gauge("live_peers", nil)
+	m.uptime = reg.Gauge("live_uptime_seconds", nil)
+	m.askSeconds = reg.Histogram("live_ask_seconds", nil, obs.LatencyBuckets())
+	m.stages = make(map[string]*obs.Histogram, 6)
+	for _, stage := range []string{obs.StageQP, obs.StagePR, obs.StagePS, obs.StagePO, obs.StageAP, obs.StageMerge} {
+		m.stages[stage] = reg.Histogram("qa_stage_seconds", obs.Labels{"stage": stage}, obs.LatencyBuckets())
+	}
+	return m
+}
+
+// observeSpan feeds the per-stage latency histograms from completed spans —
+// the recorder's OnEnd hook, so every stage executed on this node (locally
+// or as a remote sub-task) lands in qa_stage_seconds{stage=...}.
+func (m *nodeMetrics) observeSpan(s obs.Span) {
+	if s.Stage == "" {
+		return
+	}
+	h, ok := m.stages[s.Stage]
+	if !ok {
+		h = m.reg.Histogram("qa_stage_seconds", obs.Labels{"stage": s.Stage}, obs.LatencyBuckets())
+	}
+	h.Observe(s.Duration().Seconds())
+}
+
+// Metrics returns the node's metrics registry (for embedding into HTTP
+// servers or tests).
+func (n *Node) Metrics() *obs.Registry { return n.obs }
+
+// Spans returns the node's span recorder.
+func (n *Node) Spans() *obs.Recorder { return n.spans }
+
+// WriteMetricsText refreshes the scrape-time gauges (uptime, fresh peer
+// count) and renders the registry in the Prometheus text format.
+func (n *Node) WriteMetricsText(w io.Writer) error {
+	n.nm.uptime.Set(int64(time.Since(n.started).Seconds()))
+	n.nm.peers.Set(int64(len(n.freshPeers())))
+	return n.obs.WriteText(w)
+}
+
+// statusMetrics snapshots the counters for the Status payload.
+func (n *Node) statusMetrics() StatusMetrics {
+	failures := n.nm.failForward.Value() + n.nm.failPR.Value() +
+		n.nm.failAP.Value() + n.nm.failHB.Value()
+	return StatusMetrics{
+		UptimeSeconds:      time.Since(n.started).Seconds(),
+		QuestionsServed:    n.nm.questions.Value(),
+		ForwardsOut:        n.nm.forwardsOut.Value(),
+		ForwardsIn:         n.nm.forwardsIn.Value(),
+		PRSubtasksSent:     n.nm.prSent.Value(),
+		PRSubtasksReceived: n.nm.prRecv.Value(),
+		APSubtasksSent:     n.nm.apSent.Value(),
+		APSubtasksReceived: n.nm.apRecv.Value(),
+		HeartbeatsSent:     n.nm.hbSent.Value(),
+		HeartbeatsReceived: n.nm.hbRecv.Value(),
+		RequestFailures:    failures,
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"distqa/internal/corpus"
 	"distqa/internal/index"
 	"distqa/internal/nlp"
+	"distqa/internal/obs"
 	"distqa/internal/qa"
 )
 
@@ -42,6 +44,12 @@ type Node struct {
 	engine   *qa.Engine
 	listener net.Listener
 	started  time.Time
+
+	// Observability: per-node metrics registry, cached metric handles and
+	// the span recorder (stamped with this node's address).
+	obs   *obs.Registry
+	nm    *nodeMetrics
+	spans *obs.Recorder
 
 	mu         sync.Mutex
 	peers      map[string]LoadReport
@@ -77,16 +85,23 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
 	}
+	reg := obs.NewRegistry()
 	n := &Node{
 		cfg:        cfg,
 		engine:     engine,
 		listener:   ln,
 		started:    time.Now(),
+		obs:        reg,
+		nm:         newNodeMetrics(reg),
+		spans:      obs.NewRecorder(ln.Addr().String(), 0),
 		peers:      make(map[string]LoadReport),
 		knownPeers: make(map[string]bool),
 		admit:      make(chan struct{}, cfg.MaxConcurrent),
 		done:       make(chan struct{}),
 	}
+	// Every stage span completed on this node (local stages and remote
+	// sub-tasks alike) feeds the per-stage latency histograms.
+	n.spans.OnEnd = n.nm.observeSpan
 	for _, a := range cfg.Peers {
 		n.knownPeers[a] = true
 	}
@@ -143,7 +158,12 @@ func (n *Node) heartbeatLoop() {
 		report := n.loadReport()
 		for _, addr := range n.peerAddrs() {
 			addr := addr
-			go roundTrip(addr, &Request{Kind: kindHeartbeat, Load: report}, n.cfg.HeartbeatEvery*2) //nolint:errcheck
+			go func() {
+				n.nm.hbSent.Inc()
+				if _, err := roundTrip(addr, &Request{Kind: kindHeartbeat, Load: report}, n.cfg.HeartbeatEvery*2); err != nil {
+					n.nm.failHB.Inc()
+				}
+			}()
 		}
 	}
 }
@@ -215,12 +235,15 @@ func (n *Node) handle(conn net.Conn) {
 	var resp *Response
 	switch req.Kind {
 	case kindHeartbeat:
+		n.nm.hbRecv.Inc()
 		n.mu.Lock()
 		n.peers[req.Load.Addr] = req.Load
 		n.mu.Unlock()
 		resp = &Response{}
 	case kindStatus:
 		resp = n.handleStatus()
+	case kindMetrics:
+		resp = n.handleMetrics()
 	case kindPRSubtask:
 		resp = n.handlePRSubtask(&req)
 	case kindAPSubtask:
@@ -245,12 +268,27 @@ func (n *Node) handleStatus() *Response {
 		Queued:     queued,
 		Peers:      n.freshPeers(),
 		Uptime:     time.Since(n.started),
+		Metrics:    n.statusMetrics(),
 	}}
 }
 
+// handleMetrics renders the node's registry in the Prometheus text format —
+// the TCP twin of the qanode -metrics-addr HTTP endpoint, used by
+// `qactl -metrics`.
+func (n *Node) handleMetrics() *Response {
+	var b strings.Builder
+	if err := n.WriteMetricsText(&b); err != nil {
+		return &Response{Err: err.Error()}
+	}
+	return &Response{MetricsText: b.String()}
+}
+
 // handlePRSubtask retrieves and scores paragraphs from the given
-// sub-collections, returning references into the shared replica.
+// sub-collections, returning references into the shared replica. The
+// resulting span joins the originating question's tree via req.Span.
 func (n *Node) handlePRSubtask(req *Request) *Response {
+	n.nm.prRecv.Inc()
+	span := n.spans.StartSpan("pr-subtask", obs.StagePR, req.Span)
 	analysis := nlp.QuestionAnalysis{Keywords: req.Keywords}
 	var refs []ParaRef
 	for _, sub := range req.Subs {
@@ -263,11 +301,12 @@ func (n *Node) handlePRSubtask(req *Request) *Response {
 			refs = append(refs, ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score})
 		}
 	}
-	return &Response{ParaRefs: refs}
+	return &Response{ParaRefs: refs, Spans: []obs.Span{span.End()}}
 }
 
 // handleAPSubtask runs answer processing over the referenced paragraphs.
 func (n *Node) handleAPSubtask(req *Request) *Response {
+	n.nm.apRecv.Inc()
 	n.mu.Lock()
 	n.apTasks++
 	n.mu.Unlock()
@@ -276,6 +315,7 @@ func (n *Node) handleAPSubtask(req *Request) *Response {
 		n.apTasks--
 		n.mu.Unlock()
 	}()
+	span := n.spans.StartSpan("ap-subtask", obs.StageAP, req.Span)
 	analysis := nlp.QuestionAnalysis{
 		Keywords:   req.Keywords,
 		AnswerType: nlp.EntityType(req.AnswerType),
@@ -285,7 +325,7 @@ func (n *Node) handleAPSubtask(req *Request) *Response {
 		return &Response{Err: err.Error()}
 	}
 	answers, _ := n.engine.ExtractAnswers(analysis, paras)
-	return &Response{Answers: answers}
+	return &Response{Answers: answers, Spans: []obs.Span{span.End()}}
 }
 
 // resolveRefs maps paragraph references back to replica paragraphs.

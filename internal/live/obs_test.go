@@ -1,0 +1,277 @@
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// expositionLine matches one Prometheus text-format sample line:
+// name{labels} value.
+var expositionLine = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+// TestMetricsExposition asks one question and checks that the node's metrics
+// endpoint serves well-formed Prometheus text covering the instrumented
+// subsystems (the issue's acceptance bar: at least 10 distinct metrics).
+func TestMetricsExposition(t *testing.T) {
+	nodes := startCluster(t, 2)
+	waitForPeers(t, nodes[0], 1)
+	f := liveColl.Facts[1]
+	if _, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second); err != nil {
+		t.Fatalf("ask: %v", err)
+	}
+
+	text, err := QueryMetrics(nodes[0].Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+
+	families := make(map[string]bool)
+	values := make(map[string]float64) // full series (name+labels) -> value
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				families[fields[2]] = true
+			}
+			continue
+		}
+		m := expositionLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.Replace(m[3], "+Inf", "Inf", 1), 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		values[m[1]+m[2]] = v
+	}
+
+	if len(families) < 10 {
+		t.Fatalf("only %d metric families exposed, want >= 10:\n%s", len(families), text)
+	}
+	for _, want := range []string{
+		"live_questions_total", "live_forwards_total", "live_subtasks_total",
+		"live_heartbeats_total", "live_request_failures_total",
+		"live_questions_active", "live_admission_queue_depth",
+		"live_peers", "live_uptime_seconds",
+		"live_ask_seconds", "qa_stage_seconds",
+	} {
+		if !families[want] {
+			t.Errorf("family %q missing from exposition", want)
+		}
+	}
+	if v := values["live_questions_total"]; v < 1 {
+		t.Errorf("live_questions_total = %v, want >= 1", v)
+	}
+	if v := values[`live_ask_seconds_count`]; v < 1 {
+		t.Errorf("live_ask_seconds_count = %v, want >= 1", v)
+	}
+	if v := values[`qa_stage_seconds_count{stage="QP"}`]; v < 1 {
+		t.Errorf(`qa_stage_seconds_count{stage="QP"} = %v, want >= 1`, v)
+	}
+	// Histogram bucket series must be cumulative and end at +Inf == count.
+	if inf, cnt := values[`live_ask_seconds_bucket{le="+Inf"}`], values["live_ask_seconds_count"]; inf != cnt {
+		t.Errorf("+Inf bucket %v != count %v", inf, cnt)
+	}
+}
+
+// TestCrossNodeSpanTree is the issue's acceptance scenario: a question asked
+// on a saturated node is forwarded to an idle peer, which partitions PR work
+// to a third node — and the resulting span tree, returned with the answer,
+// is a single tree under one question ID with spans from several nodes.
+func TestCrossNodeSpanTree(t *testing.T) {
+	mk := func() *Node {
+		n, err := StartNode(NodeConfig{
+			Addr: "127.0.0.1:0", Engine: liveEngine,
+			HeartbeatEvery: 30 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		return n
+	}
+	a, b, c := mk(), mk(), mk()
+	for _, x := range []*Node{a, b, c} {
+		for _, y := range []*Node{a, b, c} {
+			if x != y {
+				x.AddPeer(y.Addr())
+			}
+		}
+	}
+
+	// Saturate node a so the question dispatcher must migrate (its load is
+	// >= 2 questions above the idle peers').
+	a.mu.Lock()
+	a.questions = 3
+	a.mu.Unlock()
+
+	// Wait until the saturation has been heartbeat to b and c, and a has
+	// fresh reports of both idle peers.
+	sawBusy := func(n *Node) bool {
+		for _, p := range n.freshPeers() {
+			if p.Addr == a.Addr() && p.Questions >= 3 {
+				return true
+			}
+		}
+		return false
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if sawBusy(b) && sawBusy(c) && len(a.freshPeers()) >= 2 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !sawBusy(b) || !sawBusy(c) {
+		t.Fatal("peers never observed the saturated node's load")
+	}
+
+	// Use the most complex fact so PR (and possibly AP) partitioning engages.
+	best := liveColl.Facts[0]
+	bestAcc := 0
+	for _, f := range liveColl.Facts {
+		if r := liveEngine.AnswerSequential(f.Question); r.Accepted > bestAcc {
+			bestAcc, best = r.Accepted, f
+		}
+	}
+
+	resp, err := Ask(a.Addr(), best.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("ask: %v", err)
+	}
+	if !resp.Forwarded {
+		t.Fatal("question was not forwarded off the saturated node")
+	}
+	if len(resp.Spans) == 0 {
+		t.Fatal("no spans returned")
+	}
+
+	// One question ID across every span.
+	qid := resp.Spans[0].QID
+	ids := make(map[int64]bool, len(resp.Spans))
+	nodesSeen := make(map[string]bool)
+	names := make(map[string]int)
+	for _, s := range resp.Spans {
+		if s.QID != qid {
+			t.Fatalf("span %s carries QID %d, want %d", s.Name, s.QID, qid)
+		}
+		ids[s.ID] = true
+		nodesSeen[s.Node] = true
+		names[s.Name]++
+	}
+	if len(nodesSeen) < 3 {
+		t.Errorf("spans cover %d nodes, want 3 (forward origin, server, PR worker): %v", len(nodesSeen), nodesSeen)
+	}
+	// Single tree: exactly one root, every other parent resolvable.
+	roots := 0
+	for _, s := range resp.Spans {
+		if s.Parent == 0 {
+			roots++
+			if s.Name != "ask" || s.Node != a.Addr() {
+				t.Errorf("root span is %q on %s, want \"ask\" on %s", s.Name, s.Node, a.Addr())
+			}
+		} else if !ids[s.Parent] {
+			t.Errorf("span %q (node %s) has dangling parent %d", s.Name, s.Node, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%d root spans, want exactly 1", roots)
+	}
+	for _, want := range []string{"ask", "forward", "stage:QP", "partition:PR", "pr-subtask", "stage:PO", "partition:AP", "stage:MERGE"} {
+		if names[want] == 0 {
+			t.Errorf("span %q missing from tree (have %v)", want, names)
+		}
+	}
+	// The remote pr-subtask must have run on the third node, not on the
+	// node that served the ask.
+	var servedBy string
+	for _, s := range resp.Spans {
+		if s.Name == "ask" && s.Parent != 0 {
+			servedBy = s.Node
+		}
+	}
+	if servedBy != resp.ServedBy {
+		t.Errorf("forwarded ask span on %s, response says served by %s", servedBy, resp.ServedBy)
+	}
+	for _, s := range resp.Spans {
+		if s.Name == "pr-subtask" && (s.Node == servedBy || s.Node == a.Addr()) {
+			t.Errorf("pr-subtask ran on %s, expected the idle third node", s.Node)
+		}
+	}
+}
+
+// TestStatusMetricsGobRoundTrip checks that the extended Status payload
+// (including the metrics snapshot) survives the wire encoding unchanged.
+func TestStatusMetricsGobRoundTrip(t *testing.T) {
+	in := Status{
+		Addr:       "10.0.0.1:7101",
+		Collection: "tiny",
+		Paragraphs: 1234,
+		Questions:  2,
+		Queued:     1,
+		Uptime:     90 * time.Second,
+		Metrics: StatusMetrics{
+			UptimeSeconds:      90.5,
+			QuestionsServed:    17,
+			ForwardsOut:        3,
+			ForwardsIn:         2,
+			PRSubtasksSent:     8,
+			PRSubtasksReceived: 6,
+			APSubtasksSent:     9,
+			APSubtasksReceived: 7,
+			HeartbeatsSent:     100,
+			HeartbeatsReceived: 99,
+			RequestFailures:    1,
+		},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Response{Status: &in}); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out Response
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Status == nil {
+		t.Fatal("status lost in round trip")
+	}
+	if !reflect.DeepEqual(in, *out.Status) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, *out.Status)
+	}
+}
+
+// TestLiveStatusCarriesMetrics exercises the server side: after one ask the
+// status response must report it in the metrics snapshot.
+func TestLiveStatusCarriesMetrics(t *testing.T) {
+	nodes := startCluster(t, 2)
+	waitForPeers(t, nodes[0], 1)
+	f := liveColl.Facts[2]
+	if _, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second); err != nil {
+		t.Fatalf("ask: %v", err)
+	}
+	st, err := QueryStatus(nodes[0].Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Metrics.QuestionsServed < 1 {
+		t.Errorf("QuestionsServed = %d, want >= 1", st.Metrics.QuestionsServed)
+	}
+	if st.Metrics.HeartbeatsSent < 1 || st.Metrics.HeartbeatsReceived < 1 {
+		t.Errorf("heartbeat counters not moving: %+v", st.Metrics)
+	}
+	if st.Metrics.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %f", st.Metrics.UptimeSeconds)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"net"
 	"time"
 
+	"distqa/internal/obs"
 	"distqa/internal/qa"
 )
 
@@ -32,11 +33,16 @@ const (
 	kindPRSubtask = "prSubtask" // remote paragraph retrieval + scoring
 	kindHeartbeat = "heartbeat" // load exchange
 	kindStatus    = "status"    // operator status query
+	kindMetrics   = "metrics"   // operator metrics scrape (Prometheus text)
 )
 
 // Request is the single request envelope.
 type Request struct {
 	Kind string
+	// Span is the observability context: the originating question's ID and
+	// the parent span, propagated so remote sub-task spans (and forwarded
+	// questions) join the originating question's span tree across nodes.
+	Span obs.SpanContext
 	// Ask
 	Question string
 	// Forwarded marks a question already migrated once (no re-forwarding,
@@ -76,6 +82,13 @@ type Response struct {
 	ParaRefs []ParaRef
 	// Status result.
 	Status *Status
+	// Metrics result: Prometheus-style text exposition of the node's
+	// registry (kindMetrics).
+	MetricsText string
+	// Spans are the completed spans this request produced on the serving
+	// node (and, for asks, the remote sub-task spans it adopted) — the
+	// question's cross-node span tree travels back with the answer.
+	Spans []obs.Span
 	// Ask result metadata.
 	ServedBy  string
 	Forwarded bool
@@ -92,6 +105,24 @@ type Status struct {
 	Queued     int
 	Peers      []LoadReport
 	Uptime     time.Duration
+	// Metrics is the node's cumulative metrics snapshot.
+	Metrics StatusMetrics
+}
+
+// StatusMetrics is the counter snapshot carried in Status (and rendered by
+// qactl status): lifetime totals since the node started.
+type StatusMetrics struct {
+	UptimeSeconds      float64
+	QuestionsServed    int64 // asks completed locally
+	ForwardsOut        int64 // questions migrated away by the dispatcher
+	ForwardsIn         int64 // migrated questions served here
+	PRSubtasksSent     int64
+	PRSubtasksReceived int64
+	APSubtasksSent     int64
+	APSubtasksReceived int64
+	HeartbeatsSent     int64
+	HeartbeatsReceived int64
+	RequestFailures    int64 // remote calls that errored or timed out
 }
 
 // roundTrip sends one request and decodes one response over a fresh

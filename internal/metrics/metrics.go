@@ -15,6 +15,7 @@ type Summary struct {
 	Max    float64
 	P50    float64
 	P90    float64
+	P99    float64
 	Stddev float64
 }
 
@@ -31,6 +32,7 @@ func Summarize(xs []float64) Summary {
 	s.Max = sorted[len(sorted)-1]
 	s.P50 = percentile(sorted, 0.50)
 	s.P90 = percentile(sorted, 0.90)
+	s.P99 = percentile(sorted, 0.99)
 	sum := 0.0
 	for _, x := range sorted {
 		sum += x

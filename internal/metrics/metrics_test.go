@@ -22,8 +22,26 @@ func TestSummarizeEmptyAndSingle(t *testing.T) {
 		t.Fatalf("empty summary = %+v", s)
 	}
 	s := Summarize([]float64{7})
-	if s.Mean != 7 || s.P50 != 7 || s.P90 != 7 || s.Stddev != 0 {
+	if s.Mean != 7 || s.P50 != 7 || s.P90 != 7 || s.P99 != 7 || s.Stddev != 0 {
 		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+// TestP99SmallSampleInterpolation pins the tail-percentile interpolation at
+// small sample sizes: for {1..5}, the 0.99-quantile position is 0.99·4 =
+// 3.96, i.e. 4·0.04 + 5·0.96 = 4.96; for a pair {10, 20} it is 10 + 0.99·10.
+func TestP99SmallSampleInterpolation(t *testing.T) {
+	s := Summarize([]float64{5, 3, 1, 4, 2}) // unsorted on purpose
+	if math.Abs(s.P99-4.96) > 1e-9 {
+		t.Fatalf("P99 of {1..5} = %v, want 4.96", s.P99)
+	}
+	s = Summarize([]float64{20, 10})
+	if math.Abs(s.P99-19.9) > 1e-9 {
+		t.Fatalf("P99 of {10,20} = %v, want 19.9", s.P99)
+	}
+	// P99 sits between P90 and Max.
+	if !(s.P90 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("ordering violated: %+v", s)
 	}
 }
 
@@ -69,8 +87,8 @@ func TestSummaryOrderingProperty(t *testing.T) {
 			xs[i] = rng.NormFloat64() * 100
 		}
 		s := Summarize(xs)
-		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.Max &&
-			s.Min <= s.Mean && s.Mean <= s.Max
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one event in the Chrome trace-event JSON format, loadable
+// in chrome://tracing and Perfetto. Timestamps and durations are in
+// microseconds.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"` // "X" complete, "i" instant, "M" metadata
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace container.
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON writes events as a Chrome trace-event JSON object.
+func WriteChromeJSON(w io.Writer, events []ChromeEvent) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// ChromeFromSpans converts completed spans to complete ("X") trace events.
+// Each distinct node becomes one thread (tid), named via metadata events, so
+// a cross-node question renders as one tree spread over per-node rows.
+// Timestamps are relative to the earliest span start.
+func ChromeFromSpans(spans []Span) []ChromeEvent {
+	if len(spans) == 0 {
+		return nil
+	}
+	epoch := spans[0].Start
+	for _, s := range spans[1:] {
+		if s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	// Stable node -> tid mapping.
+	nodes := make(map[string]int)
+	var names []string
+	for _, s := range spans {
+		if _, ok := nodes[s.Node]; !ok {
+			nodes[s.Node] = 0
+			names = append(names, s.Node)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		nodes[n] = i
+	}
+	out := make([]ChromeEvent, 0, len(spans)+len(names))
+	for _, n := range names {
+		out = append(out, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: nodes[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, s := range spans {
+		dur := float64(s.End.Sub(s.Start).Microseconds())
+		if dur < 0 {
+			dur = 0
+		}
+		out = append(out, ChromeEvent{
+			Name: s.Name,
+			Cat:  "qa",
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch).Microseconds()),
+			Dur:  dur,
+			PID:  0,
+			TID:  nodes[s.Node],
+			Args: map[string]any{
+				"qid":    s.QID,
+				"span":   s.ID,
+				"parent": s.Parent,
+				"stage":  s.Stage,
+				"node":   s.Node,
+			},
+		})
+	}
+	return out
+}
+
+// VirtualEvent is a node-attributed instant at a virtual time in seconds —
+// the shape of internal/trace's simulator events, mirrored here so the leaf
+// obs package does not import trace.
+type VirtualEvent struct {
+	Seconds  float64
+	Node     string
+	Question int
+	Text     string
+}
+
+// ChromeFromVirtual converts virtual-time instants (e.g. the simulator's
+// Figure-7 trace log) to instant ("i") trace events; virtual seconds map to
+// trace microseconds via 1 s = 1e6 us. Each node becomes one named thread.
+func ChromeFromVirtual(events []VirtualEvent) []ChromeEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	nodes := make(map[string]int)
+	var names []string
+	for _, e := range events {
+		if _, ok := nodes[e.Node]; !ok {
+			nodes[e.Node] = 0
+			names = append(names, e.Node)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		nodes[n] = i
+	}
+	out := make([]ChromeEvent, 0, len(events)+len(names))
+	for _, n := range names {
+		out = append(out, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: nodes[n],
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, e := range events {
+		args := map[string]any{"node": e.Node}
+		if e.Question >= 0 {
+			args["question"] = e.Question
+		}
+		out = append(out, ChromeEvent{
+			Name: e.Text,
+			Cat:  "sim",
+			Ph:   "i",
+			S:    "t",
+			TS:   e.Seconds * 1e6,
+			PID:  0,
+			TID:  nodes[e.Node],
+			Args: args,
+		})
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChromeFromSpansValidJSON pins the Chrome trace-event export: the
+// output is valid JSON, every complete event has consistent ts/dur (dur ≥ 0,
+// ts ≥ 0 relative to the earliest span), and node → thread metadata exists.
+func TestChromeFromSpansValidJSON(t *testing.T) {
+	t0 := time.Now()
+	spans := []Span{
+		{QID: 1, ID: 10, Name: "ask", Node: "a", Start: t0, End: t0.Add(50 * time.Millisecond)},
+		{QID: 1, ID: 11, Parent: 10, Name: "stage:PR", Stage: StagePR, Node: "a",
+			Start: t0.Add(time.Millisecond), End: t0.Add(20 * time.Millisecond)},
+		{QID: 1, ID: 12, Parent: 10, Name: "ap-subtask", Stage: StageAP, Node: "b",
+			Start: t0.Add(25 * time.Millisecond), End: t0.Add(45 * time.Millisecond)},
+	}
+	events := ChromeFromSpans(spans)
+	var buf bytes.Buffer
+	if err := WriteChromeJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	var complete, meta int
+	tids := make(map[int]bool)
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete++
+			if e.TS < 0 {
+				t.Fatalf("event %q ts = %v < 0", e.Name, e.TS)
+			}
+			if e.Dur < 0 {
+				t.Fatalf("event %q dur = %v < 0", e.Name, e.Dur)
+			}
+			tids[e.TID] = true
+			if e.Args["qid"] == nil {
+				t.Fatalf("event %q missing qid arg", e.Name)
+			}
+		case "M":
+			meta++
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	if meta != 2 { // two nodes → two thread_name records
+		t.Fatalf("metadata events = %d, want 2", meta)
+	}
+	if len(tids) != 2 {
+		t.Fatalf("threads = %d, want 2 (one per node)", len(tids))
+	}
+	// The root span starts at the epoch.
+	for _, e := range parsed.TraceEvents {
+		if e.Name == "ask" && e.TS != 0 {
+			t.Fatalf("root ts = %v, want 0", e.TS)
+		}
+		if e.Name == "ap-subtask" && e.TS != 25000 {
+			t.Fatalf("ap-subtask ts = %v, want 25000 us", e.TS)
+		}
+	}
+}
+
+// TestChromeFromVirtualMonotone checks virtual-time events convert with
+// monotonically consistent timestamps (1 virtual second = 1e6 us).
+func TestChromeFromVirtualMonotone(t *testing.T) {
+	events := []VirtualEvent{
+		{Seconds: 0.5, Node: "N1", Question: 226, Text: "started QP"},
+		{Seconds: 1.25, Node: "N2", Question: 226, Text: "started PR"},
+		{Seconds: 3.75, Node: "N1", Question: -1, Text: "load broadcast"},
+	}
+	ces := ChromeFromVirtual(events)
+	var buf bytes.Buffer
+	if err := WriteChromeJSON(&buf, ces); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+	prev := -1.0
+	for _, e := range ces {
+		if e.Ph != "i" {
+			continue
+		}
+		if e.TS < prev {
+			t.Fatalf("timestamps regressed: %v after %v", e.TS, prev)
+		}
+		prev = e.TS
+	}
+	// 1.25 virtual seconds → 1.25e6 us.
+	found := false
+	for _, e := range ces {
+		if e.Name == "started PR" && e.TS == 1.25e6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("virtual seconds not scaled to microseconds")
+	}
+	// The question-less system event must not carry a question arg.
+	for _, e := range ces {
+		if e.Name == "load broadcast" {
+			if _, ok := e.Args["question"]; ok {
+				t.Fatal("question -1 must not be exported")
+			}
+		}
+	}
+}
+
+func TestChromeEmptyInputs(t *testing.T) {
+	if ChromeFromSpans(nil) != nil {
+		t.Fatal("empty spans must yield no events")
+	}
+	if ChromeFromVirtual(nil) != nil {
+		t.Fatal("empty virtual events must yield no events")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("empty trace must still be valid JSON")
+	}
+}

@@ -1,0 +1,424 @@
+// Package obs is the repo's dependency-free observability layer: a metrics
+// registry (atomic counters, gauges and fixed-bucket latency histograms with
+// percentile snapshots), per-question per-stage spans whose context is
+// propagated across nodes, and exporters (Prometheus-style text exposition,
+// Chrome trace-event JSON).
+//
+// The paper's entire contribution is measured behaviour — per-module times
+// (Table 2), load traces (Figure 7), speedup curves (Figures 8-9). Package
+// obs gives the live cluster (internal/live) and the simulator's scheduling
+// machinery (internal/sched) the same kind of visibility at runtime:
+// per-stage latencies, forward/partition/timeout counters, and question span
+// trees that cross node boundaries.
+//
+// Everything here is safe for concurrent use and cheap enough for hot paths:
+// a counter increment is one atomic add, a histogram observation is two
+// atomic adds plus a CAS loop on the sum.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are metric labels. Callers pass plain maps; the registry
+// canonicalizes them (sorted by key) for identity and exposition.
+type Labels map[string]string
+
+// canonical renders labels as `{k1="v1",k2="v2"}` with sorted keys, or ""
+// when empty — used both as a map key and in the text exposition.
+func (ls Labels) canonical() string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, ls[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (n must be non-negative for Prometheus
+// semantics; this is not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer gauge (queue depths, active requests, peer counts).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Bucket bounds are upper bounds in
+// ascending order; an implicit +Inf bucket catches the overflow. All methods
+// are safe for concurrent use.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// newHistogram builds a histogram with the given ascending upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Bounds []float64 // upper bounds (exclusive of the implicit +Inf)
+	Counts []int64   // per-bucket counts, len(Bounds)+1
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's state. The per-bucket reads are not one
+// atomic transaction, so a snapshot taken during heavy concurrent writes can
+// be off by in-flight observations — fine for monitoring.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing the target rank. Returns 0 for an empty
+// histogram. Observations in the +Inf bucket clamp to the largest bound.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			if i >= len(s.Bounds) { // +Inf bucket
+				if len(s.Bounds) == 0 {
+					return 0
+				}
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Bounds[i]
+			if c == 0 {
+				return hi
+			}
+			// Linear interpolation within the bucket.
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+	}
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// P50, P90 and P99 are quantile shorthands.
+func (s HistSnapshot) P50() float64 { return s.Quantile(0.50) }
+func (s HistSnapshot) P90() float64 { return s.Quantile(0.90) }
+func (s HistSnapshot) P99() float64 { return s.Quantile(0.99) }
+
+// LatencyBuckets returns the default latency bucket bounds in seconds,
+// spanning 0.5 ms to 60 s — wide enough for a QP stage (sub-millisecond) and
+// a cold TREC-9-like AP stage (tens of seconds).
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+	}
+}
+
+// metric identity inside the registry: family name + canonical labels.
+type metricKey struct {
+	name   string
+	labels string
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type metricEntry struct {
+	key    metricKey
+	kind   metricKind
+	labels Labels
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Lookup methods create on first use and are
+// idempotent; call sites on hot paths should cache the returned pointer.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[metricKey]*metricEntry
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[metricKey]*metricEntry)}
+}
+
+// defaultRegistry is the process-global registry used by code without a
+// natural owner for one (package sched's simulator-side instrumentation).
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) lookup(name string, labels Labels, kind metricKind) *metricEntry {
+	key := metricKey{name: name, labels: labels.canonical()}
+	r.mu.RLock()
+	e, ok := r.metrics[key]
+	r.mu.RUnlock()
+	if ok {
+		return e
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok = r.metrics[key]; ok {
+		return e
+	}
+	e = &metricEntry{key: key, kind: kind, labels: labels}
+	r.metrics[key] = e
+	return e
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+// labels may be nil.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	e := r.lookup(name, labels, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	e := r.lookup(name, labels, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// Histogram returns the histogram for name+labels with the given bucket
+// bounds, creating it on first use (bounds are fixed at creation; later
+// callers get the existing histogram regardless of the bounds they pass).
+func (r *Registry) Histogram(name string, labels Labels, bounds []float64) *Histogram {
+	e := r.lookup(name, labels, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.h == nil {
+		if len(bounds) == 0 {
+			bounds = LatencyBuckets()
+		}
+		e.h = newHistogram(bounds)
+	}
+	return e.h
+}
+
+// stageObserver adapts a registry histogram family to the structural
+// StageObserver interface used by qa.Engine: each stage gets its own
+// histogram `metric{stage="..."}`.
+type stageObserver struct {
+	reg    *Registry
+	metric string
+
+	mu    sync.Mutex
+	cache map[string]*Histogram
+}
+
+// ObserveStage records one stage duration in seconds.
+func (o *stageObserver) ObserveStage(stage string, seconds float64) {
+	o.mu.Lock()
+	h, ok := o.cache[stage]
+	if !ok {
+		h = o.reg.Histogram(o.metric, Labels{"stage": stage}, LatencyBuckets())
+		o.cache[stage] = h
+	}
+	o.mu.Unlock()
+	h.Observe(seconds)
+}
+
+// StageObserver returns an adapter that records per-stage durations into
+// latency histograms `metric{stage="..."}` of this registry. It satisfies
+// qa.StageObserver structurally, keeping package qa free of obs imports.
+func (r *Registry) StageObserver(metric string) *stageObserver {
+	return &stageObserver{reg: r, metric: metric, cache: make(map[string]*Histogram)}
+}
+
+// WriteText renders the registry in the Prometheus text exposition format,
+// deterministically ordered by family name then label set:
+//
+//	# TYPE live_questions_total counter
+//	live_questions_total 12
+//	# TYPE qa_stage_seconds histogram
+//	qa_stage_seconds_bucket{stage="QP",le="0.001"} 4
+//	qa_stage_seconds_sum{stage="QP"} 0.0123
+//	qa_stage_seconds_count{stage="QP"} 5
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	entries := make([]*metricEntry, 0, len(r.metrics))
+	for _, e := range r.metrics {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key.name != entries[j].key.name {
+			return entries[i].key.name < entries[j].key.name
+		}
+		return entries[i].key.labels < entries[j].key.labels
+	})
+	var b strings.Builder
+	lastFamily := ""
+	for _, e := range entries {
+		if e.key.name != lastFamily {
+			lastFamily = e.key.name
+			fmt.Fprintf(&b, "# TYPE %s %s\n", e.key.name, typeName(e.kind))
+		}
+		switch e.kind {
+		case kindCounter:
+			if e.c != nil {
+				fmt.Fprintf(&b, "%s%s %d\n", e.key.name, e.key.labels, e.c.Value())
+			}
+		case kindGauge:
+			if e.g != nil {
+				fmt.Fprintf(&b, "%s%s %d\n", e.key.name, e.key.labels, e.g.Value())
+			}
+		case kindHistogram:
+			if e.h != nil {
+				writeHistText(&b, e)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// writeHistText renders one histogram's _bucket/_sum/_count series, merging
+// the `le` label into the existing label set.
+func writeHistText(b *strings.Builder, e *metricEntry) {
+	s := e.h.Snapshot()
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", e.key.name, withLE(e.labels, formatBound(bound)), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", e.key.name, withLE(e.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", e.key.name, e.key.labels, s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", e.key.name, e.key.labels, s.Count)
+}
+
+// withLE returns the canonical label string with le added.
+func withLE(labels Labels, le string) string {
+	merged := make(Labels, len(labels)+1)
+	for k, v := range labels {
+		merged[k] = v
+	}
+	merged["le"] = le
+	return merged.canonical()
+}
+
+// formatBound renders a bucket bound the way Prometheus does.
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("questions_total", nil)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels returns the same counter.
+	if r.Counter("questions_total", nil) != c {
+		t.Fatal("counter identity lost")
+	}
+	// Different labels → different counter.
+	if r.Counter("questions_total", Labels{"node": "a"}) == c {
+		t.Fatal("labelled counter must be distinct")
+	}
+
+	g := r.Gauge("queue_depth", nil)
+	g.Set(7)
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramObserveAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil, []float64{0.1, 0.2, 0.4, 0.8})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.15) // all in (0.1, 0.2]
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-15) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	// All mass in one bucket: quantiles interpolate within (0.1, 0.2].
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		v := s.Quantile(q)
+		if v <= 0.1 || v > 0.2 {
+			t.Fatalf("q%.2f = %v, want in (0.1, 0.2]", q, v)
+		}
+	}
+	if s.P99() < s.P90() || s.P90() < s.P50() {
+		t.Fatal("quantiles must be monotone")
+	}
+	// Overflow lands in +Inf and clamps to the top bound.
+	h.Observe(10)
+	if got := h.Snapshot().Quantile(0.9999); got != 0.8 {
+		t.Fatalf("overflow quantile = %v, want clamp to 0.8", got)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", nil).Inc()
+				r.Histogram("h", Labels{"stage": "AP"}, nil).Observe(0.01)
+				r.Gauge("g", nil).Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", nil).Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", Labels{"stage": "AP"}, nil).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+// expositionLine matches `name{labels} value` or `name value` with a
+// numeric value — the shape every line of the text format must have.
+var expositionLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf)$`)
+
+// TestWriteTextGolden pins the exposition format: every non-comment line
+// parses as (name, labels, numeric value), families are ordered, and
+// histogram series carry cumulative bucket counts.
+func TestWriteTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("live_questions_total", nil).Add(3)
+	r.Gauge("live_queue_depth", nil).Set(2)
+	h := r.Histogram("qa_stage_seconds", Labels{"stage": "QP"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	wantLines := map[string]float64{
+		"live_questions_total":                          3,
+		"live_queue_depth":                              2,
+		`qa_stage_seconds_bucket{le="0.1",stage="QP"}`:  1,
+		`qa_stage_seconds_bucket{le="1",stage="QP"}`:    2,
+		`qa_stage_seconds_bucket{le="+Inf",stage="QP"}`: 3,
+		`qa_stage_seconds_count{stage="QP"}`:            3,
+	}
+	got := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# TYPE ") {
+				t.Fatalf("unexpected comment line %q", line)
+			}
+			continue
+		}
+		m := expositionLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %q does not parse as name{labels} value", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("line %q: bad value: %v", line, err)
+		}
+		got[m[1]+m[2]] = v
+	}
+	for k, want := range wantLines {
+		if got[k] != want {
+			t.Fatalf("series %s = %v, want %v\nfull text:\n%s", k, got[k], want, text)
+		}
+	}
+	// Sum line present and ≈ 5.55.
+	if math.Abs(got[`qa_stage_seconds_sum{stage="QP"}`]-5.55) > 1e-9 {
+		t.Fatalf("sum series = %v", got[`qa_stage_seconds_sum{stage="QP"}`])
+	}
+	// TYPE headers present once per family.
+	for _, family := range []string{"live_questions_total counter", "live_queue_depth gauge", "qa_stage_seconds histogram"} {
+		if strings.Count(text, "# TYPE "+family) != 1 {
+			t.Fatalf("missing or duplicated TYPE header for %s:\n%s", family, text)
+		}
+	}
+}
+
+func TestStageObserverFeedsHistograms(t *testing.T) {
+	r := NewRegistry()
+	o := r.StageObserver("qa_stage_seconds")
+	o.ObserveStage("QP", 0.001)
+	o.ObserveStage("AP", 0.2)
+	o.ObserveStage("AP", 0.3)
+	if got := r.Histogram("qa_stage_seconds", Labels{"stage": "AP"}, nil).Count(); got != 2 {
+		t.Fatalf("AP observations = %d, want 2", got)
+	}
+	if got := r.Histogram("qa_stage_seconds", Labels{"stage": "QP"}, nil).Count(); got != 1 {
+		t.Fatalf("QP observations = %d, want 1", got)
+	}
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeLocal(t *testing.T) {
+	rec := NewRecorder("n1", 0)
+	root := rec.StartSpan("ask", "", SpanContext{})
+	if root.Context().QID == 0 {
+		t.Fatal("root must mint a QID")
+	}
+	child := rec.StartSpan("stage:QP", StageQP, root.Context())
+	if child.Context().QID != root.Context().QID {
+		t.Fatal("child must inherit QID")
+	}
+	cs := child.End()
+	rs := root.End()
+	if cs.Parent != rs.ID {
+		t.Fatalf("child parent = %d, want %d", cs.Parent, rs.ID)
+	}
+	spans := rec.ByQID(rs.QID)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	for _, s := range spans {
+		if s.Node != "n1" {
+			t.Fatalf("span node = %q", s.Node)
+		}
+		if s.End.Before(s.Start) {
+			t.Fatal("span ends before it starts")
+		}
+	}
+}
+
+func TestSpanContextPropagatesAcrossRecorders(t *testing.T) {
+	// Two recorders model two nodes; the context travels "over the wire".
+	a := NewRecorder("nodeA", 0)
+	b := NewRecorder("nodeB", 0)
+	root := a.StartSpan("ask", "", SpanContext{})
+	wire := root.Context() // what live.Request carries
+	remote := b.StartSpan("ap-subtask", StageAP, wire)
+	rs := remote.End()
+	root.End()
+	if rs.QID != root.Context().QID {
+		t.Fatal("remote span lost the originating QID")
+	}
+	if rs.Parent != wire.Span {
+		t.Fatal("remote span lost the parent link")
+	}
+	if rs.Node != "nodeB" {
+		t.Fatalf("remote span node = %q", rs.Node)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	sp := r.StartSpan("x", "", SpanContext{})
+	sp.End()
+	r.Record(Span{})
+	if r.Len() != 0 || r.Snapshot() != nil || r.ByQID(1) != nil {
+		t.Fatal("nil recorder must record nothing")
+	}
+}
+
+func TestRecorderRingBounds(t *testing.T) {
+	rec := NewRecorder("n", 4)
+	for i := 0; i < 10; i++ {
+		rec.Record(Span{QID: int64(i + 1), ID: NewID(), Start: time.Now()})
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("ring len = %d, want 4", rec.Len())
+	}
+	// The survivors are the 4 most recent.
+	seen := make(map[int64]bool)
+	for _, s := range rec.Snapshot() {
+		seen[s.QID] = true
+	}
+	for qid := int64(7); qid <= 10; qid++ {
+		if !seen[qid] {
+			t.Fatalf("recent span %d evicted; kept %v", qid, seen)
+		}
+	}
+}
+
+func TestRecorderOnEndHookAndConcurrency(t *testing.T) {
+	rec := NewRecorder("n", 0)
+	var mu sync.Mutex
+	byStage := make(map[string]int)
+	rec.OnEnd = func(s Span) {
+		mu.Lock()
+		byStage[s.Stage]++
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				rec.StartSpan("stage:AP", StageAP, SpanContext{QID: 1}).End()
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if byStage[StageAP] != 800 {
+		t.Fatalf("OnEnd saw %d AP spans, want 800", byStage[StageAP])
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := make(map[int64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewID()
+		if seen[id] {
+			t.Fatal("duplicate ID")
+		}
+		seen[id] = true
+	}
+}

@@ -3,11 +3,20 @@ package qa
 import (
 	"sort"
 	"strings"
+	"time"
 
 	"distqa/internal/corpus"
 	"distqa/internal/index"
 	"distqa/internal/nlp"
 )
+
+// StageObserver receives the wall-clock duration of each pipeline stage the
+// engine executes. It is satisfied structurally by obs.Registry's
+// StageObserver adapter (package qa stays free of obs imports); stage names
+// are the paper's module abbreviations: QP, PR, PS, PO, AP, MERGE.
+type StageObserver interface {
+	ObserveStage(stage string, seconds float64)
+}
 
 // Params are the pipeline's tunables (Falcon's thresholds).
 type Params struct {
@@ -44,6 +53,19 @@ type Engine struct {
 	Set    *index.Set
 	Cost   CostModel
 	Params Params
+	// Observer, when non-nil, receives the wall-clock duration of every
+	// stage execution. Set it before the engine is shared between
+	// goroutines; a nil observer costs one predictable branch per stage.
+	Observer StageObserver
+}
+
+// observe reports a completed stage to the observer. Call via
+// `defer e.observe(stage, time.Now())` — the start time is captured when
+// the defer statement executes, the report when the stage returns.
+func (e *Engine) observe(stage string, start time.Time) {
+	if e.Observer != nil {
+		e.Observer.ObserveStage(stage, time.Since(start).Seconds())
+	}
 }
 
 // NewEngine builds an engine with default cost model and parameters.
@@ -85,6 +107,7 @@ type Answer struct {
 
 // QuestionProcessing classifies the question and selects keywords.
 func (e *Engine) QuestionProcessing(question string) (nlp.QuestionAnalysis, Cost) {
+	defer e.observe("QP", time.Now())
 	a := nlp.AnalyzeQuestion(question)
 	cost := Cost{
 		CPUSeconds: e.Cost.QPBaseCPU + e.Cost.QPPerTokenCPU*float64(len(a.Tokens)),
@@ -100,6 +123,7 @@ func (e *Engine) QuestionProcessing(question string) (nlp.QuestionAnalysis, Cost
 // sub-collection. This is the PR module's iteration unit (Table 2:
 // granularity "Collection").
 func (e *Engine) RetrieveSub(a nlp.QuestionAnalysis, sub int) ([]index.Retrieved, Cost) {
+	defer e.observe("PR", time.Now())
 	rs, st := e.Set.Sub(sub).RetrieveParagraphs(a.Keywords)
 	disk := e.Cost.PRScanFraction*e.Coll.SubVirtualBytes(sub) +
 		e.Cost.PRTouchedFactor*e.Coll.VirtualBytesOf(float64(st.RealBytesTouched))
@@ -131,6 +155,7 @@ func (e *Engine) RetrieveAll(a nlp.QuestionAnalysis) ([]index.Retrieved, Cost) {
 // Falcon paragraph scorer to each retrieved paragraph: keyword coverage,
 // keyword proximity, and question-order preservation.
 func (e *Engine) ScoreParagraphs(a nlp.QuestionAnalysis, rs []index.Retrieved) ([]ScoredParagraph, Cost) {
+	defer e.observe("PS", time.Now())
 	out := make([]ScoredParagraph, 0, len(rs))
 	cost := Cost{MemMB: e.Cost.MemBaseMB}
 	for _, r := range rs {
@@ -200,6 +225,7 @@ func keywordPositions(keywords []string, tokens []nlp.Token) map[string][]int {
 // (Section 3.2): the filter must see all paragraphs to mimic the sequential
 // system's output exactly.
 func (e *Engine) OrderParagraphs(ps []ScoredParagraph) ([]ScoredParagraph, Cost) {
+	defer e.observe("PO", time.Now())
 	sorted := make([]ScoredParagraph, len(ps))
 	copy(sorted, ps)
 	sort.SliceStable(sorted, func(i, j int) bool {
@@ -233,6 +259,7 @@ func (e *Engine) OrderParagraphs(ps []ScoredParagraph) ([]ScoredParagraph, Cost)
 // the local best answers (at most AnswersRequested — each AP sub-task
 // returns N_a answers, Section 4.1).
 func (e *Engine) ExtractAnswers(a nlp.QuestionAnalysis, paras []ScoredParagraph) ([]Answer, Cost) {
+	defer e.observe("AP", time.Now())
 	var all []Answer
 	cost := Cost{
 		// Per-invocation startup: question context, extraction state.
@@ -475,6 +502,7 @@ func (e *Engine) LongAnswer(a Answer) string {
 // text, sorts globally, and returns the final top-N_a answers. This is the
 // paper's answer merging + answer sorting stage.
 func (e *Engine) MergeAnswerSets(groups [][]Answer) ([]Answer, Cost) {
+	defer e.observe("MERGE", time.Now())
 	var all []Answer
 	for _, g := range groups {
 		all = append(all, g...)

@@ -1,0 +1,43 @@
+package qa
+
+import (
+	"testing"
+
+	"distqa/internal/index"
+	"distqa/internal/obs"
+)
+
+// TestEngineStageObserver checks that a full sequential run reports every
+// pipeline stage to the observer, via the obs.Registry adapter (which must
+// satisfy qa.StageObserver structurally).
+func TestEngineStageObserver(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewEngine(testColl, index.BuildAll(testColl))
+	var observer StageObserver = reg.StageObserver("qa_stage_seconds")
+	e.Observer = observer
+
+	res := e.AnswerSequential(testColl.Facts[0].Question)
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, stage := range []string{"QP", "PR", "PS", "PO", "AP", "MERGE"} {
+		h := reg.Histogram("qa_stage_seconds", obs.Labels{"stage": stage}, nil)
+		if h.Count() == 0 {
+			t.Errorf("stage %s not observed", stage)
+		}
+	}
+	// PR iterates per sub-collection: at least as many observations as subs.
+	pr := reg.Histogram("qa_stage_seconds", obs.Labels{"stage": "PR"}, nil)
+	if got := pr.Count(); got < int64(e.Set.Len()) {
+		t.Errorf("PR observations = %d, want >= %d", got, e.Set.Len())
+	}
+}
+
+// TestNilObserverIsFree ensures the unobserved hot path stays allocation-
+// and panic-free.
+func TestNilObserverIsFree(t *testing.T) {
+	res := testEngine.AnswerSequential(testColl.Facts[1].Question)
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+}

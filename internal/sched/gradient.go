@@ -95,5 +95,6 @@ func PickGradientTarget(self, n int, loads []LoadInfo) (target int, migrate bool
 	if best == self {
 		return self, false
 	}
+	gradientMigrationsTotal.Inc()
 	return best, true
 }

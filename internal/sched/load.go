@@ -90,6 +90,7 @@ func PickQuestionNode(self int, loads []LoadInfo, salt int) (target int, migrate
 		return self, false
 	}
 	if selfLoad-bestLoad > QuestionWorkload {
+		migrationsTotal.Inc()
 		return best, true
 	}
 	return self, false
@@ -136,6 +137,7 @@ func MetaSchedule(loads []LoadInfo, loadFn func(LoadInfo) float64, underloaded f
 	if len(loads) == 0 {
 		return nil
 	}
+	metaScheduleCalls.Inc()
 	// Step 1: all under-loaded processors.
 	var selected []LoadInfo
 	for _, li := range loads {
@@ -145,6 +147,7 @@ func MetaSchedule(loads []LoadInfo, loadFn func(LoadInfo) float64, underloaded f
 	}
 	// Step 2: fall back to the least-loaded processor.
 	if len(selected) == 0 {
+		metaScheduleFallbacks.Inc()
 		node, _ := pickMin(loads, loadFn, salt)
 		return []WeightedNode{{Node: node, Weight: 1}}
 	}

@@ -1,0 +1,40 @@
+package sched
+
+import "distqa/internal/obs"
+
+// Simulator-side scheduling metrics, registered on the process-global
+// registry (obs.Default()): package sched has no long-lived object to hang
+// a registry off — partitioners and dispatch policies are values and pure
+// functions — so its counters are global, like the simulator itself.
+//
+// Counter families:
+//
+//	sched_question_migrations_total            dispatcher migrations (Eq. 4)
+//	sched_gradient_migrations_total            gradient-model migrations
+//	sched_metaschedule_calls_total             meta-scheduler invocations
+//	sched_metaschedule_fallbacks_total         rounds with no under-loaded node
+//	sched_partition_rounds_total{algo}         distribution rounds (>1 ⇒ recovery)
+//	sched_partition_subtasks_total{algo}       sub-tasks dispatched
+//	sched_partition_recoveries_total{algo}     failed partitions/chunks re-queued
+var (
+	migrationsTotal         = obs.Default().Counter("sched_question_migrations_total", nil)
+	gradientMigrationsTotal = obs.Default().Counter("sched_gradient_migrations_total", nil)
+	metaScheduleCalls       = obs.Default().Counter("sched_metaschedule_calls_total", nil)
+	metaScheduleFallbacks   = obs.Default().Counter("sched_metaschedule_fallbacks_total", nil)
+)
+
+// partitionMetrics caches one partitioner's counter handles.
+type partitionMetrics struct {
+	rounds     *obs.Counter
+	subtasks   *obs.Counter
+	recoveries *obs.Counter
+}
+
+func newPartitionMetrics(algo string) partitionMetrics {
+	labels := obs.Labels{"algo": algo}
+	return partitionMetrics{
+		rounds:     obs.Default().Counter("sched_partition_rounds_total", labels),
+		subtasks:   obs.Default().Counter("sched_partition_subtasks_total", labels),
+		recoveries: obs.Default().Counter("sched_partition_recoveries_total", labels),
+	}
+}

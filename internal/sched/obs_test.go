@@ -1,0 +1,54 @@
+package sched
+
+import (
+	"testing"
+
+	"distqa/internal/obs"
+)
+
+// TestDispatcherMigrationCounter checks that the question-dispatcher policy
+// increments the global migration counter exactly when it migrates.
+func TestDispatcherMigrationCounter(t *testing.T) {
+	before := obs.Default().Counter("sched_question_migrations_total", nil).Value()
+	loads := []LoadInfo{
+		{Node: 0, CPU: 3, Disk: 1, Queue: 2}, // self: heavily loaded
+		{Node: 1, CPU: 0, Disk: 0, Queue: 0}, // idle peer
+	}
+	if _, migrate := PickQuestionNode(0, loads, 0); !migrate {
+		t.Fatal("expected a migration")
+	}
+	after := obs.Default().Counter("sched_question_migrations_total", nil).Value()
+	if after != before+1 {
+		t.Fatalf("migration counter moved %d, want +1", after-before)
+	}
+	// Balanced load: no migration, no count.
+	balanced := []LoadInfo{{Node: 0, CPU: 1}, {Node: 1, CPU: 1}}
+	if _, migrate := PickQuestionNode(0, balanced, 0); migrate {
+		t.Fatal("unexpected migration")
+	}
+	if got := obs.Default().Counter("sched_question_migrations_total", nil).Value(); got != after {
+		t.Fatalf("counter moved on non-migration: %d -> %d", after, got)
+	}
+}
+
+// TestMetaScheduleCounters checks invocation and fallback counting.
+func TestMetaScheduleCounters(t *testing.T) {
+	calls := obs.Default().Counter("sched_metaschedule_calls_total", nil)
+	fallbacks := obs.Default().Counter("sched_metaschedule_fallbacks_total", nil)
+	c0, f0 := calls.Value(), fallbacks.Value()
+
+	// All nodes overloaded → fallback path.
+	overloaded := []LoadInfo{{Node: 0, CPU: 5}, {Node: 1, CPU: 5}}
+	MetaSchedule(overloaded, APWeights.Load, APUnderloaded, 0)
+	if calls.Value() != c0+1 || fallbacks.Value() != f0+1 {
+		t.Fatalf("overloaded call: calls %d->%d, fallbacks %d->%d",
+			c0, calls.Value(), f0, fallbacks.Value())
+	}
+	// Idle pool → no fallback.
+	idle := []LoadInfo{{Node: 0}, {Node: 1}}
+	MetaSchedule(idle, APWeights.Load, APUnderloaded, 0)
+	if calls.Value() != c0+2 || fallbacks.Value() != f0+1 {
+		t.Fatalf("idle call: calls %d->%d, fallbacks %d->%d",
+			c0, calls.Value(), f0, fallbacks.Value())
+	}
+}

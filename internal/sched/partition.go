@@ -47,13 +47,14 @@ type Partitioner interface {
 type sendPartitioner struct {
 	name  string
 	split func(items []int, targets []WeightedNode) [][]int
+	pm    partitionMetrics
 }
 
 // NewSEND returns the direct sender-controlled partitioner: partition i
 // receives the next W_i·n consecutive items (Figure 5(a)). It assumes
 // sub-task granularity does not vary widely across items.
 func NewSEND() Partitioner {
-	return &sendPartitioner{name: "SEND", split: splitConsecutive}
+	return &sendPartitioner{name: "SEND", split: splitConsecutive, pm: newPartitionMetrics("SEND")}
 }
 
 // NewISEND returns the interleaved sender-controlled partitioner: partitions
@@ -62,7 +63,7 @@ func NewSEND() Partitioner {
 // granularity — the case for the AP module, whose input is ranked by the
 // paragraph ordering module.
 func NewISEND() Partitioner {
-	return &sendPartitioner{name: "ISEND", split: splitInterleaved}
+	return &sendPartitioner{name: "ISEND", split: splitInterleaved, pm: newPartitionMetrics("ISEND")}
 }
 
 func (s *sendPartitioner) Name() string { return s.name }
@@ -77,6 +78,7 @@ func (s *sendPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, r
 		if len(targets) == 0 {
 			return ErrNoProcessors
 		}
+		s.pm.rounds.Inc()
 		parts := s.split(remaining, targets)
 		// Allocate each partition in parallel and wait for termination
 		// (Figure 5(c) steps 1-2), one monitoring process per partition.
@@ -89,10 +91,12 @@ func (s *sendPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, r
 			i := i
 			node := targets[i].Node
 			part := parts[i]
+			s.pm.subtasks.Inc()
 			group.Add(1)
 			p.Spawn("send-part", func(w *vtime.Proc) {
 				defer group.Done()
 				if err := run(w, node, part); err != nil {
+					s.pm.recoveries.Inc()
 					failed[i] = part
 				}
 			})
@@ -186,6 +190,7 @@ func apportion(n int, targets []WeightedNode) []int {
 // (Figure 6(b)).
 type recvPartitioner struct {
 	chunkSize int
+	pm        partitionMetrics
 }
 
 // NewRECV returns the receiver-controlled partitioner with the given chunk
@@ -195,7 +200,7 @@ func NewRECV(chunkSize int) Partitioner {
 	if chunkSize < 1 {
 		chunkSize = 1
 	}
-	return &recvPartitioner{chunkSize: chunkSize}
+	return &recvPartitioner{chunkSize: chunkSize, pm: newPartitionMetrics("RECV")}
 }
 
 func (r *recvPartitioner) Name() string { return "RECV" }
@@ -227,6 +232,7 @@ func (r *recvPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, r
 		if len(targets) == 0 {
 			return ErrNoProcessors
 		}
+		r.pm.rounds.Inc()
 		// Shared chunk queue; each worker pulls until the queue drains or
 		// its node fails.
 		queue := chunks
@@ -251,9 +257,11 @@ func (r *recvPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, r
 					if !ok {
 						return
 					}
+					r.pm.subtasks.Inc()
 					if err := run(w, node, chunk); err != nil {
 						// Figure 6(b) step iv.z: move the chunk back and
 						// leave the working processor set.
+						r.pm.recoveries.Inc()
 						giveBack = append(giveBack, chunk)
 						return
 					}

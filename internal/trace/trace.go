@@ -5,6 +5,9 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
+
+	"distqa/internal/obs"
 )
 
 // Event is one trace line.
@@ -20,8 +23,12 @@ type Event struct {
 }
 
 // Log is an append-only event log. A nil *Log is valid and records nothing,
-// so tracing can be compiled into the hot path without conditionals.
+// so tracing can be compiled into the hot path without conditionals. All
+// methods are safe for concurrent use: the single-goroutine simulator is the
+// original caller, but the live cluster and parallel simulator drivers may
+// append from many goroutines at once.
 type Log struct {
+	mu     sync.Mutex
 	events []Event
 }
 
@@ -33,20 +40,29 @@ func (l *Log) Add(time float64, node string, question int, format string, args .
 	if l == nil {
 		return
 	}
-	l.events = append(l.events, Event{
+	e := Event{
 		Time:     time,
 		Node:     node,
 		Question: question,
 		Text:     fmt.Sprintf(format, args...),
-	})
+	}
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
 }
 
-// Events returns the recorded events in order.
+// Events returns a copy of the recorded events in order (a copy, so callers
+// can iterate while other goroutines keep appending).
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
-	return l.events
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) == 0 {
+		return nil
+	}
+	return append([]Event(nil), l.events...)
 }
 
 // Len reports the number of recorded events.
@@ -54,6 +70,8 @@ func (l *Log) Len() int {
 	if l == nil {
 		return 0
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return len(l.events)
 }
 
@@ -99,4 +117,21 @@ func (l *Log) Count(substr string) int {
 		}
 	}
 	return n
+}
+
+// ChromeEvents converts the log to Chrome trace-event records (one thread
+// per node, virtual seconds as trace microseconds), so a Figure-7 simulator
+// run opens in chrome://tracing or Perfetto via cmd/qatrace -format=chrome.
+func (l *Log) ChromeEvents() []obs.ChromeEvent {
+	events := l.Events()
+	ves := make([]obs.VirtualEvent, len(events))
+	for i, e := range events {
+		ves[i] = obs.VirtualEvent{
+			Seconds:  e.Time,
+			Node:     e.Node,
+			Question: e.Question,
+			Text:     e.Text,
+		}
+	}
+	return obs.ChromeFromVirtual(ves)
 }

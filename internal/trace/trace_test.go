@@ -1,8 +1,13 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
+
+	"distqa/internal/obs"
 )
 
 func TestLogRecordsInOrder(t *testing.T) {
@@ -39,6 +44,72 @@ func TestStringFormat(t *testing.T) {
 	l2.Add(1, "N1", -1, "system event")
 	if strings.Contains(l2.String(), "q-1") {
 		t.Fatal("question -1 should not render")
+	}
+}
+
+// TestConcurrentAdd exercises the log from many goroutines at once — the
+// live cluster and parallel simulator drivers share one log, so Add/Events/
+// Count must be safe under `go test -race`.
+func TestConcurrentAdd(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 200
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Add(float64(i), "N1", w, "event %d from writer %d", i, w)
+				// Interleave reads with writes: these must not race.
+				_ = l.Len()
+				_ = l.Count("event")
+				for range l.Events() {
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Len(); got != writers*perWriter {
+		t.Fatalf("len = %d, want %d", got, writers*perWriter)
+	}
+	if got := l.Count("event"); got != writers*perWriter {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestEventsReturnsCopy pins that Events is a snapshot: appending after the
+// call must not alter a previously returned slice.
+func TestEventsReturnsCopy(t *testing.T) {
+	l := New()
+	l.Add(1, "N1", 1, "first")
+	snap := l.Events()
+	l.Add(2, "N2", 2, "second")
+	if len(snap) != 1 || snap[0].Text != "first" {
+		t.Fatalf("snapshot mutated: %+v", snap)
+	}
+}
+
+func TestChromeEvents(t *testing.T) {
+	l := New()
+	l.Add(0.5, "N1", 226, "started QP")
+	l.Add(2.0, "N2", 226, "started PR on sub-collection 3")
+	ces := l.ChromeEvents()
+	var buf bytes.Buffer
+	if err := obs.WriteChromeJSON(&buf, ces); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("chrome export is not valid JSON")
+	}
+	instants := 0
+	for _, e := range ces {
+		if e.Ph == "i" {
+			instants++
+		}
+	}
+	if instants != 2 {
+		t.Fatalf("instant events = %d, want 2", instants)
 	}
 }
 
