@@ -8,6 +8,7 @@
 //	qabench -scale small    # fast, down-scaled environment
 //	qabench -list           # list experiment ids
 //	qabench -stage-metrics  # also print wall-clock p50/p90/p99 per Q/A stage
+//	qabench -perf           # run the hot-path benchmark suite → BENCH_pr2.json
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 	"strings"
 	"time"
 
+	"distqa/internal/corpus"
 	"distqa/internal/experiments"
 	"distqa/internal/obs"
+	"distqa/internal/perf"
 )
 
 func main() {
@@ -26,7 +29,15 @@ func main() {
 	scale := flag.String("scale", "paper", "environment scale: paper or small")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	stageMetrics := flag.Bool("stage-metrics", false, "record wall-clock per-stage latency histograms and print p50/p90/p99")
+	perfMode := flag.Bool("perf", false, "run the hot-path benchmark suite instead of the experiments")
+	perfOut := flag.String("perf-out", "BENCH_pr2.json", "perf mode: output file for the JSON report")
+	perfBudget := flag.Duration("perf-budget", time.Second, "perf mode: measuring time per benchmark")
+	perfScale := flag.String("perf-scale", "tiny", "perf mode: corpus scale (tiny or trec8)")
 	flag.Parse()
+
+	if *perfMode {
+		os.Exit(runPerf(*perfOut, *perfBudget, *perfScale))
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
@@ -73,6 +84,39 @@ func main() {
 		printStageMetrics(stageReg)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runPerf executes the hot-path benchmark suite (internal/perf) and writes
+// the machine-readable report to out, printing a human summary to stdout.
+func runPerf(out string, budget time.Duration, scale string) int {
+	cfg := perf.SuiteConfig{Budget: budget, Log: os.Stderr}
+	switch scale {
+	case "tiny":
+		cfg.Corpus = corpus.Tiny()
+	case "trec8":
+		cfg.Corpus = corpus.TREC8Like()
+	default:
+		fmt.Fprintf(os.Stderr, "qabench: unknown -perf-scale %q (want tiny or trec8)\n", scale)
+		return 2
+	}
+	report, err := perf.RunSuite(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qabench: perf: %v\n", err)
+		return 1
+	}
+	report.WriteText(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qabench: perf: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	if err := report.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "qabench: perf: write %s: %v\n", out, err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", out)
+	return 0
 }
 
 // printStageMetrics renders the wall-clock latency quantiles of each pipeline

@@ -64,6 +64,8 @@ func main() {
 			m.PRSubtasksSent, m.PRSubtasksReceived, m.APSubtasksSent, m.APSubtasksReceived)
 		fmt.Printf("  heartbeats: %d sent / %d received, %d remote-call failures\n",
 			m.HeartbeatsSent, m.HeartbeatsReceived, m.RequestFailures)
+		fmt.Printf("  conn pool: %d hits / %d misses, %d evictions, %d redials, %d open\n",
+			m.PoolHits, m.PoolMisses, m.PoolEvictions, m.PoolRedials, m.PoolOpenConns)
 		for _, p := range st.Peers {
 			fmt.Printf("  peer %s: %d running / %d queued / %d AP sub-tasks (heard %v ago)\n",
 				p.Addr, p.Questions, p.Queued, p.APTasks, time.Since(p.Sent).Round(time.Millisecond))

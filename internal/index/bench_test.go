@@ -1,0 +1,84 @@
+package index
+
+import (
+	"testing"
+
+	"distqa/internal/nlp"
+)
+
+// benchKeywords analyzes a rotating slice of corpus questions so retrieval
+// benchmarks exercise realistic keyword sets rather than one hot query.
+func benchKeywords(n int) [][]string {
+	var out [][]string
+	for i := 0; i < n; i++ {
+		f := testColl.Facts[i%len(testColl.Facts)]
+		a := nlp.AnalyzeQuestion(f.Question)
+		out = append(out, a.Keywords)
+	}
+	return out
+}
+
+// BenchmarkRetrieveUncached measures the full Boolean relaxation +
+// extraction path with the memo cache disabled — every call pays the
+// intersection loop.
+func BenchmarkRetrieveUncached(b *testing.B) {
+	ix := Build(testColl, 0)
+	ix.SetRelaxCacheCap(0)
+	kws := benchKeywords(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.RetrieveParagraphs(kws[i%len(kws)])
+	}
+}
+
+// BenchmarkRetrieveCached measures the same workload with the relaxation
+// LRU warm: the Boolean phase is a map hit, only extraction runs.
+func BenchmarkRetrieveCached(b *testing.B) {
+	ix := Build(testColl, 0)
+	kws := benchKeywords(32)
+	for _, k := range kws {
+		ix.RetrieveParagraphs(k) // warm the cache
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.RetrieveParagraphs(kws[i%len(kws)])
+	}
+}
+
+// synthetic sorted postings for intersection micro-benchmarks.
+func synthList(n, stride int32) []int32 {
+	out := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		out[i] = i * stride
+	}
+	return out
+}
+
+// BenchmarkIntersectMerge exercises the linear-merge branch (similar-length
+// lists, below the gallop ratio).
+func BenchmarkIntersectMerge(b *testing.B) {
+	a := synthList(4096, 2)
+	c := synthList(4096, 3)
+	var dst []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = intersectInto(dst[:0], a, c)
+	}
+}
+
+// BenchmarkIntersectGallop exercises the galloping branch: a short list
+// against one ≥16× longer, where exponential probing skips most of the
+// long list.
+func BenchmarkIntersectGallop(b *testing.B) {
+	a := synthList(64, 1024)
+	c := synthList(65536, 1)
+	var dst []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = intersectInto(dst[:0], a, c)
+	}
+}

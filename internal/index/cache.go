@@ -1,0 +1,95 @@
+package index
+
+import (
+	"container/list"
+	"sync"
+)
+
+// defaultRelaxCacheCap is the per-index LRU capacity for memoized Boolean
+// relaxation results. Question keyword sets repeat heavily in practice
+// (popular questions, PR sub-tasks for the same question fanned across
+// nodes, retries after failures), and one entry is small — the surviving
+// keyword list plus the matched doc offsets.
+const defaultRelaxCacheCap = 256
+
+// relaxCache is a mutex-guarded LRU of relaxation results keyed by the
+// canonical (deduplicated, query-ordered) keyword set. Cached slices are
+// immutable by convention; readers share them without copying.
+type relaxCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type relaxCacheEntry struct {
+	key string
+	val relaxResult
+}
+
+func newRelaxCache(capacity int) *relaxCache {
+	return &relaxCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
+	}
+}
+
+// get looks the key up, refreshing its recency on a hit. Taking the key as
+// bytes keeps the hot path allocation-free: the map index expression
+// m[string(key)] does not materialize the string.
+func (c *relaxCache) get(key []byte) (relaxResult, bool) {
+	if c == nil || c.cap <= 0 {
+		return relaxResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[string(key)]
+	if !ok {
+		return relaxResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*relaxCacheEntry).val, true
+}
+
+// put inserts or refreshes a result, evicting the least recently used entry
+// beyond capacity.
+func (c *relaxCache) put(key []byte, val relaxResult) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[string(key)]; ok {
+		el.Value.(*relaxCacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	owned := string(key)
+	c.m[owned] = c.ll.PushFront(&relaxCacheEntry{key: owned, val: val})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*relaxCacheEntry).key)
+	}
+}
+
+// Len reports the number of cached relaxation results (tests, benchmarks).
+func (c *relaxCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// SetRelaxCacheCap resizes (or, with n <= 0, disables) this index's
+// relaxation cache, dropping all current entries. Benchmarks use it to
+// measure the uncached Boolean path; production indexes keep the default.
+func (ix *Index) SetRelaxCacheCap(n int) {
+	ix.cache = newRelaxCache(n)
+}
+
+// RelaxCacheLen reports the current number of memoized relaxation results.
+func (ix *Index) RelaxCacheLen() int { return ix.cache.Len() }

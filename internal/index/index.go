@@ -15,6 +15,7 @@ package index
 
 import (
 	"sort"
+	"sync"
 
 	"distqa/internal/corpus"
 )
@@ -37,6 +38,9 @@ type Index struct {
 	paraStems map[int]map[string]int
 
 	indexBytes int // real bytes of the postings structures
+
+	// cache memoizes Boolean relaxation results per keyword set (cache.go).
+	cache *relaxCache
 }
 
 // Build constructs the inverted index for sub-collection sub.
@@ -47,6 +51,7 @@ func Build(c *corpus.Collection, sub int) *Index {
 		postings:  make(map[string][]int32),
 		docs:      c.Subs[sub].Docs,
 		paraStems: make(map[int]map[string]int),
+		cache:     newRelaxCache(defaultRelaxCacheCap),
 	}
 	for local, doc := range ix.docs {
 		seen := make(map[string]bool)
@@ -108,38 +113,40 @@ type Stats struct {
 // extracts matching paragraphs from the matching documents. A paragraph
 // qualifies if it contains at least half (rounded up) of the original
 // keywords.
+//
+// The Boolean-with-relaxation phase runs on sorted postings with a
+// merge/galloping intersection over pooled scratch buffers, and its result
+// is memoized in a small per-index LRU keyed by the (deduplicated, ordered)
+// keyword set — repeated and near-identical questions skip the relaxation
+// loop entirely. The reported Stats are byte-identical whether the result
+// came from the cache or a fresh evaluation: the virtual disk charge models
+// the reads the Boolean engine logically performs, not host-side memoization
+// luck, so the simulator's cost accounting stays reproducible.
 func (ix *Index) RetrieveParagraphs(keywords []string) ([]Retrieved, Stats) {
 	var st Stats
 	if len(keywords) == 0 {
 		return nil, st
 	}
 	// Deduplicate while preserving order.
-	kws := dedup(keywords)
+	sc := scratchPool.Get().(*scratch)
+	kws := dedupInto(sc.kws[:0], keywords)
+	sc.kws = kws
 
 	// Charge postings reads for every keyword we look at.
 	for _, k := range kws {
 		st.RealBytesTouched += len(k) + 4*ix.DocFreq(k)
 	}
 
-	// Boolean AND with relaxation: drop the most restrictive (lowest
-	// document frequency) keyword while too few documents match.
-	active := append([]string(nil), kws...)
-	var docs []int32
-	for {
-		docs = ix.intersect(active)
-		if len(docs) >= MinDocs || len(active) <= 1 {
-			break
-		}
-		drop := 0
-		for i := 1; i < len(active); i++ {
-			if ix.DocFreq(active[i]) < ix.DocFreq(active[drop]) {
-				drop = i
-			}
-		}
-		active = append(active[:drop], active[drop+1:]...)
+	// Boolean AND with relaxation, memoized per keyword set.
+	key := cacheKey(sc.key[:0], kws)
+	sc.key = key
+	rr, ok := ix.cache.get(key)
+	if !ok {
+		rr = ix.relax(kws, sc)
+		ix.cache.put(key, rr)
 	}
-	st.KeywordsUsed = len(active)
-	st.DocsMatched = len(docs)
+	st.KeywordsUsed = len(rr.active)
+	st.DocsMatched = len(rr.docs)
 
 	// Paragraph extraction from matched documents.
 	need := (len(kws) + 1) / 2
@@ -147,7 +154,7 @@ func (ix *Index) RetrieveParagraphs(keywords []string) ([]Retrieved, Stats) {
 		need = 1
 	}
 	var out []Retrieved
-	for _, local := range docs {
+	for _, local := range rr.docs {
 		doc := ix.docs[local]
 		st.RealBytesTouched += doc.RealBytes
 		for _, p := range doc.Paragraphs {
@@ -164,35 +171,118 @@ func (ix *Index) RetrieveParagraphs(keywords []string) ([]Retrieved, Stats) {
 			}
 		}
 	}
+	scratchPool.Put(sc)
 	return out, st
 }
 
+// relaxResult is one memoized Boolean evaluation: the keywords surviving
+// relaxation (in query order) and the matching local doc offsets. Both
+// slices are owned by the cache and must be treated as immutable.
+type relaxResult struct {
+	active []string
+	docs   []int32
+}
+
+// relax runs the Boolean AND with relaxation: drop the most restrictive
+// (lowest document frequency) keyword while too few documents match.
+func (ix *Index) relax(kws []string, sc *scratch) relaxResult {
+	active := append(sc.active[:0], kws...)
+	var docs []int32
+	for {
+		docs = ix.intersect(active, sc)
+		if len(docs) >= MinDocs || len(active) <= 1 {
+			break
+		}
+		drop := 0
+		for i := 1; i < len(active); i++ {
+			if ix.DocFreq(active[i]) < ix.DocFreq(active[drop]) {
+				drop = i
+			}
+		}
+		active = append(active[:drop], active[drop+1:]...)
+	}
+	sc.active = active[:0]
+	// Copy out of the scratch buffers: the returned result outlives this
+	// call (it is cached), the scratch does not.
+	return relaxResult{
+		active: append([]string(nil), active...),
+		docs:   append([]int32(nil), docs...),
+	}
+}
+
+// scratch holds the per-retrieval working buffers, pooled so steady-state
+// retrieval performs no intersection allocations.
+type scratch struct {
+	kws    []string
+	active []string
+	key    []byte
+	lists  [][]int32
+	bufA   []int32
+	bufB   []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // intersect returns the sorted doc offsets containing every stem in kws.
-func (ix *Index) intersect(kws []string) []int32 {
+// The result may alias sc's buffers or a postings list; callers must copy
+// it before sc is reused.
+func (ix *Index) intersect(kws []string, sc *scratch) []int32 {
 	if len(kws) == 0 {
 		return nil
 	}
-	// Start from the shortest postings list.
-	lists := make([][]int32, len(kws))
-	for i, k := range kws {
-		lists[i] = ix.postings[k]
-		if len(lists[i]) == 0 {
+	sc.lists = sc.lists[:0]
+	for _, k := range kws {
+		l := ix.postings[k]
+		if len(l) == 0 {
 			return nil
 		}
+		sc.lists = append(sc.lists, l)
 	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	result := lists[0]
-	for _, list := range lists[1:] {
-		result = intersectSorted(result, list)
+	// Intersect in ascending length order: the running result can only
+	// shrink, so starting small bounds every later merge.
+	sort.Slice(sc.lists, func(i, j int) bool { return len(sc.lists[i]) < len(sc.lists[j]) })
+	result := sc.lists[0]
+	a, b := sc.bufA, sc.bufB
+	for _, list := range sc.lists[1:] {
+		a = intersectInto(a[:0], result, list)
+		result = a
+		a, b = b, a
 		if len(result) == 0 {
-			return nil
+			break
 		}
 	}
+	sc.bufA, sc.bufB = a, b
 	return result
 }
 
-func intersectSorted(a, b []int32) []int32 {
-	var out []int32
+// gallopRatio is the length skew at which the intersection switches from a
+// linear merge to galloping search in the longer list.
+const gallopRatio = 16
+
+// intersectInto appends the intersection of sorted lists a and b to dst
+// (len(a) <= len(b) is assumed by the galloping branch's profitability, not
+// required for correctness).
+func intersectInto(dst, a, b []int32) []int32 {
+	if len(a) == 0 || len(b) == 0 {
+		return dst
+	}
+	if len(b) >= gallopRatio*len(a) {
+		// Galloping: for each element of the short list, exponential-probe
+		// then binary-search the long list — O(len(a)·log(len(b)/len(a)))
+		// instead of O(len(a)+len(b)).
+		j := 0
+		for _, x := range a {
+			j += gallop(b[j:], x)
+			if j >= len(b) {
+				break
+			}
+			if b[j] == x {
+				dst = append(dst, x)
+				j++
+			}
+		}
+		return dst
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -201,25 +291,73 @@ func intersectSorted(a, b []int32) []int32 {
 		case a[i] > b[j]:
 			j++
 		default:
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 			j++
 		}
 	}
-	return out
+	return dst
 }
 
-func dedup(ws []string) []string {
-	seen := make(map[string]bool, len(ws))
-	var out []string
+// gallop returns the index of the first element of sorted s that is >= x,
+// probing exponentially from the front and binary-searching the bracketed
+// range.
+func gallop(s []int32, x int32) int {
+	hi := 1
+	for hi < len(s) && s[hi-1] < x {
+		hi <<= 1
+	}
+	lo := hi >> 1
+	if hi > len(s) {
+		hi = len(s)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// dedupInto appends the distinct non-empty keywords to dst in first-seen
+// order. Question keyword sets are small (a handful of stems), so a linear
+// scan beats allocating a set per query.
+func dedupInto(dst, ws []string) []string {
 	for _, w := range ws {
-		if w == "" || seen[w] {
+		if w == "" {
 			continue
 		}
-		seen[w] = true
-		out = append(out, w)
+		seen := false
+		for _, d := range dst {
+			if d == w {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, w)
+		}
 	}
-	return out
+	return dst
+}
+
+// dedup returns the distinct non-empty keywords in first-seen order
+// (allocating convenience wrapper around dedupInto).
+func dedup(ws []string) []string { return dedupInto(nil, ws) }
+
+// cacheKey appends the canonical cache key of an ordered keyword set to dst
+// (keywords joined by a separator that cannot appear in a stem).
+func cacheKey(dst []byte, kws []string) []byte {
+	for i, k := range kws {
+		if i > 0 {
+			dst = append(dst, 0x1f)
+		}
+		dst = append(dst, k...)
+	}
+	return dst
 }
 
 // Set is the full collection's index: one Index per sub-collection.

@@ -184,7 +184,7 @@ func TestIntersectSortedProperty(t *testing.T) {
 	f := func(a, b []int32) bool {
 		sa := sortedUnique(a)
 		sb := sortedUnique(b)
-		got := intersectSorted(sa, sb)
+		got := intersectInto(nil, sa, sb)
 		inB := map[int32]bool{}
 		for _, x := range sb {
 			inB[x] = true

@@ -81,6 +81,7 @@ func Load(r io.Reader, c *corpus.Collection) (*Set, error) {
 			docs:       c.Subs[is.Sub].Docs,
 			paraStems:  is.ParaStems,
 			indexBytes: is.IndexBytes,
+			cache:      newRelaxCache(defaultRelaxCacheCap),
 		})
 	}
 	return set, nil

@@ -1,9 +1,7 @@
 package live
 
 import (
-	"encoding/gob"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
@@ -12,9 +10,6 @@ import (
 	"distqa/internal/obs"
 	"distqa/internal/qa"
 )
-
-func decode(conn net.Conn, v any) error { return gob.NewDecoder(conn).Decode(v) }
-func encode(conn net.Conn, v any) error { return gob.NewEncoder(conn).Encode(v) }
 
 // handleAsk drives a full question: question-dispatcher forwarding, local
 // QP/PR/PS/PO, AP partitioning across under-loaded peers, and answer
@@ -41,7 +36,7 @@ func (n *Node) handleAsk(req *Request) *Response {
 			fwd.Forwarded = true
 			fwdSpan := n.spans.StartSpan("forward", "", ctx)
 			fwd.Span = fwdSpan.Context()
-			if resp, err := roundTrip(target, &fwd, n.cfg.RequestTimeout); err == nil {
+			if resp, err := n.pool.Call(target, &fwd, n.cfg.RequestTimeout); err == nil {
 				n.nm.forwardsOut.Inc()
 				resp.Forwarded = true
 				// Adopt the remote tree locally (for this node's span view),
@@ -180,7 +175,7 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext
 		go func() {
 			defer wg.Done()
 			n.nm.prSent.Inc()
-			resp, err := roundTrip(addr, &Request{
+			resp, err := n.pool.Call(addr, &Request{
 				Kind:     kindPRSubtask,
 				Span:     parent,
 				Keywords: analysis.Keywords,
@@ -257,7 +252,7 @@ func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredPa
 				refs[k] = ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score}
 			}
 			n.nm.apSent.Inc()
-			resp, err := roundTrip(addr, &Request{
+			resp, err := n.pool.Call(addr, &Request{
 				Kind:       kindAPSubtask,
 				Span:       parent,
 				Keywords:   analysis.Keywords,

@@ -1,0 +1,75 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// startBenchNode starts one node on loopback backed by the shared test
+// engine, for RPC micro-benchmarks.
+func startBenchNode(b *testing.B) *Node {
+	b.Helper()
+	node, err := StartNode(NodeConfig{
+		Addr:           "127.0.0.1:0",
+		Engine:         liveEngine,
+		HeartbeatEvery: time.Hour, // keep the benchmark wire quiet
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		b.Fatalf("start node: %v", err)
+	}
+	b.Cleanup(node.Close)
+	return node
+}
+
+// BenchmarkRPCRoundTripOneShot measures the legacy connection-per-request
+// path: TCP dial + fresh gob encoder/decoder (type descriptors retransmitted)
+// per call.
+func BenchmarkRPCRoundTripOneShot(b *testing.B) {
+	node := startBenchNode(b)
+	req := &Request{Kind: kindStatus}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := roundTrip(node.Addr(), req, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCRoundTripPooled measures the pooled path: persistent
+// connection, reused gob streams, per-call deadlines only.
+func BenchmarkRPCRoundTripPooled(b *testing.B) {
+	node := startBenchNode(b)
+	pool := NewPool(PoolConfig{})
+	b.Cleanup(pool.Close)
+	req := &Request{Kind: kindStatus}
+	// Warm one connection so b.N==1 runs measure steady state.
+	if _, err := pool.Call(node.Addr(), req, 5*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Call(node.Addr(), req, 5*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAskPooledCluster measures an end-to-end distributed question on a
+// two-node cluster whose inter-node traffic rides the pool.
+func BenchmarkAskPooledCluster(b *testing.B) {
+	a := startBenchNode(b)
+	c := startBenchNode(b)
+	a.AddPeer(c.Addr())
+	c.AddPeer(a.Addr())
+	q := liveColl.Facts[0].Question
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Ask(a.Addr(), q, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -27,6 +27,15 @@ type nodeMetrics struct {
 	failAP      *obs.Counter // live_request_failures_total{op="ap"}
 	failHB      *obs.Counter // live_request_failures_total{op="heartbeat"}
 
+	// Connection-pool instrumentation. These are the same counters the
+	// node's Pool increments (registry lookups are idempotent), cached here
+	// for the Status snapshot.
+	poolHits      *obs.Counter // live_pool_hits
+	poolMisses    *obs.Counter // live_pool_misses
+	poolEvictions *obs.Counter // live_pool_evictions
+	poolRedials   *obs.Counter // live_pool_redials
+	poolOpen      *obs.Gauge   // live_pool_open_conns
+
 	active     *obs.Gauge // live_questions_active
 	queueDepth *obs.Gauge // live_admission_queue_depth
 	peers      *obs.Gauge // live_peers (refreshed at scrape time)
@@ -51,6 +60,11 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	m.failPR = reg.Counter("live_request_failures_total", obs.Labels{"op": "pr"})
 	m.failAP = reg.Counter("live_request_failures_total", obs.Labels{"op": "ap"})
 	m.failHB = reg.Counter("live_request_failures_total", obs.Labels{"op": "heartbeat"})
+	m.poolHits = reg.Counter("live_pool_hits", nil)
+	m.poolMisses = reg.Counter("live_pool_misses", nil)
+	m.poolEvictions = reg.Counter("live_pool_evictions", nil)
+	m.poolRedials = reg.Counter("live_pool_redials", nil)
+	m.poolOpen = reg.Gauge("live_pool_open_conns", nil)
 	m.active = reg.Gauge("live_questions_active", nil)
 	m.queueDepth = reg.Gauge("live_admission_queue_depth", nil)
 	m.peers = reg.Gauge("live_peers", nil)
@@ -108,5 +122,10 @@ func (n *Node) statusMetrics() StatusMetrics {
 		HeartbeatsSent:     n.nm.hbSent.Value(),
 		HeartbeatsReceived: n.nm.hbRecv.Value(),
 		RequestFailures:    failures,
+		PoolHits:           n.nm.poolHits.Value(),
+		PoolMisses:         n.nm.poolMisses.Value(),
+		PoolEvictions:      n.nm.poolEvictions.Value(),
+		PoolRedials:        n.nm.poolRedials.Value(),
+		PoolOpenConns:      n.nm.poolOpen.Value(),
 	}
 }

@@ -1,8 +1,10 @@
 package live
 
 import (
+	"encoding/gob"
 	"fmt"
 	"net"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -51,12 +53,21 @@ type Node struct {
 	nm    *nodeMetrics
 	spans *obs.Recorder
 
+	// pool holds persistent gob connections to peers; heartbeats, forwards
+	// and PR/AP sub-task traffic all ride it.
+	pool *Pool
+
 	mu         sync.Mutex
 	peers      map[string]LoadReport
 	knownPeers map[string]bool
 	questions  int
 	queued     int
 	apTasks    int
+
+	// connMu guards the set of accepted keep-alive connections so Close can
+	// unblock handler goroutines parked in a decode.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	admit     chan struct{}
 	done      chan struct{}
@@ -80,6 +91,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if engine == nil {
 		coll := corpus.Generate(cfg.Corpus)
 		engine = qa.NewEngine(coll, index.BuildAll(coll))
+		// A live node owns its replica and serves real traffic: exploit the
+		// host's cores for PR/PS fan-out (byte-identical results either way).
+		engine.Workers = runtime.GOMAXPROCS(0)
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -94,8 +108,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		obs:        reg,
 		nm:         newNodeMetrics(reg),
 		spans:      obs.NewRecorder(ln.Addr().String(), 0),
+		pool:       NewPool(PoolConfig{Registry: reg}),
 		peers:      make(map[string]LoadReport),
 		knownPeers: make(map[string]bool),
+		conns:      make(map[net.Conn]struct{}),
 		admit:      make(chan struct{}, cfg.MaxConcurrent),
 		done:       make(chan struct{}),
 	}
@@ -119,9 +135,20 @@ func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		close(n.done)
 		n.listener.Close()
+		n.pool.Close()
+		// Force-close accepted keep-alive connections so handler goroutines
+		// parked in a decode unblock instead of waiting out the idle timeout.
+		n.connMu.Lock()
+		for c := range n.conns {
+			c.Close()
+		}
+		n.connMu.Unlock()
 		n.wg.Wait()
 	})
 }
+
+// Pool returns the node's peer connection pool (tests, benchmarks).
+func (n *Node) Pool() *Pool { return n.pool }
 
 // serve accepts connections until closed.
 func (n *Node) serve() {
@@ -136,9 +163,17 @@ func (n *Node) serve() {
 				continue
 			}
 		}
+		n.connMu.Lock()
+		n.conns[conn] = struct{}{}
+		n.connMu.Unlock()
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
+			defer func() {
+				n.connMu.Lock()
+				delete(n.conns, conn)
+				n.connMu.Unlock()
+			}()
 			n.handle(conn)
 		}()
 	}
@@ -160,11 +195,12 @@ func (n *Node) heartbeatLoop() {
 			addr := addr
 			go func() {
 				n.nm.hbSent.Inc()
-				if _, err := roundTrip(addr, &Request{Kind: kindHeartbeat, Load: report}, n.cfg.HeartbeatEvery*2); err != nil {
+				if _, err := n.pool.Call(addr, &Request{Kind: kindHeartbeat, Load: report}, n.cfg.HeartbeatEvery*2); err != nil {
 					n.nm.failHB.Inc()
 				}
 			}()
 		}
+		n.pool.EvictIdle()
 	}
 }
 
@@ -224,36 +260,62 @@ func (n *Node) freshPeers() []LoadReport {
 	return out
 }
 
-// handle serves a single connection.
+// handle serves one connection as a keep-alive request/response loop: the
+// gob encoder/decoder pair persists across requests, matching the client
+// pool's reused streams so type descriptors travel once per connection, not
+// once per call. One-shot clients (roundTrip) are served identically — they
+// close after the first response and the next decode returns EOF.
 func (n *Node) handle(conn net.Conn) {
 	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(n.cfg.RequestTimeout))
-	var req Request
-	if err := decode(conn, &req); err != nil {
-		return
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		// Wait up to the keep-alive idle timeout for the next request; the
+		// client pool's shorter IdleTTL normally retires the conn first.
+		if err := conn.SetReadDeadline(time.Now().Add(serverIdleTimeout)); err != nil {
+			return
+		}
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		// Fresh per-request deadline bounding handling plus response write.
+		conn.SetDeadline(time.Now().Add(n.cfg.RequestTimeout)) //nolint:errcheck
+		resp := n.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		conn.SetDeadline(time.Time{}) //nolint:errcheck
+		select {
+		case <-n.done:
+			return
+		default:
+		}
 	}
-	var resp *Response
+}
+
+// dispatch routes one decoded request to its handler.
+func (n *Node) dispatch(req *Request) *Response {
 	switch req.Kind {
 	case kindHeartbeat:
 		n.nm.hbRecv.Inc()
 		n.mu.Lock()
 		n.peers[req.Load.Addr] = req.Load
 		n.mu.Unlock()
-		resp = &Response{}
+		return &Response{}
 	case kindStatus:
-		resp = n.handleStatus()
+		return n.handleStatus()
 	case kindMetrics:
-		resp = n.handleMetrics()
+		return n.handleMetrics()
 	case kindPRSubtask:
-		resp = n.handlePRSubtask(&req)
+		return n.handlePRSubtask(req)
 	case kindAPSubtask:
-		resp = n.handleAPSubtask(&req)
+		return n.handleAPSubtask(req)
 	case kindAsk:
-		resp = n.handleAsk(&req)
+		return n.handleAsk(req)
 	default:
-		resp = &Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
+		return &Response{Err: fmt.Sprintf("unknown request kind %q", req.Kind)}
 	}
-	encode(conn, resp) //nolint:errcheck
 }
 
 func (n *Node) handleStatus() *Response {

@@ -1,0 +1,354 @@
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"distqa/internal/obs"
+)
+
+// Pool defaults. The idle TTL is deliberately shorter than the server's
+// keep-alive timeout (serverIdleTimeout) so that under normal operation the
+// *client* retires an aging connection before the server does — stale-conn
+// redials stay the exception (peer restarts, crashes), not the steady state.
+const (
+	// DefaultMaxIdlePerPeer bounds the idle connections cached per peer.
+	DefaultMaxIdlePerPeer = 4
+	// DefaultIdleTTL is how long an idle pooled connection stays usable.
+	DefaultIdleTTL = 30 * time.Second
+	// serverIdleTimeout is how long a node keeps an idle keep-alive
+	// connection open waiting for its next request (see Node.handle).
+	serverIdleTimeout = 2 * time.Minute
+)
+
+// PoolConfig configures a Pool. The zero value gets defaults.
+type PoolConfig struct {
+	// MaxIdlePerPeer bounds the idle connections kept per peer address
+	// (default DefaultMaxIdlePerPeer). Connections returned beyond the cap
+	// are closed and counted as evictions.
+	MaxIdlePerPeer int
+	// IdleTTL is the maximum idle age of a pooled connection; older
+	// connections are evicted lazily on acquire and by EvictIdle (default
+	// DefaultIdleTTL).
+	IdleTTL time.Duration
+	// Registry optionally receives the pool metrics (live_pool_hits,
+	// live_pool_misses, live_pool_evictions, live_pool_redials,
+	// live_pool_open_conns). When nil the counters still exist but are
+	// private to the pool.
+	Registry *obs.Registry
+}
+
+// poolMetrics are the pool's instrumentation handles. All fields are always
+// non-nil: standalone counters when no registry was supplied.
+type poolMetrics struct {
+	hits      *obs.Counter // live_pool_hits
+	misses    *obs.Counter // live_pool_misses
+	evictions *obs.Counter // live_pool_evictions
+	redials   *obs.Counter // live_pool_redials
+	open      *obs.Gauge   // live_pool_open_conns
+}
+
+func newPoolMetrics(reg *obs.Registry) *poolMetrics {
+	if reg == nil {
+		return &poolMetrics{
+			hits:      &obs.Counter{},
+			misses:    &obs.Counter{},
+			evictions: &obs.Counter{},
+			redials:   &obs.Counter{},
+			open:      &obs.Gauge{},
+		}
+	}
+	return &poolMetrics{
+		hits:      reg.Counter("live_pool_hits", nil),
+		misses:    reg.Counter("live_pool_misses", nil),
+		evictions: reg.Counter("live_pool_evictions", nil),
+		redials:   reg.Counter("live_pool_redials", nil),
+		open:      reg.Gauge("live_pool_open_conns", nil),
+	}
+}
+
+// pooledConn is one persistent connection with its gob streams. Reusing the
+// encoder/decoder pair is the point of the pool: gob retransmits type
+// descriptors on every new stream, so a fresh connection pays the TCP
+// handshake *and* re-sends the wire types of Request/Response (several
+// hundred bytes) before any payload moves.
+type pooledConn struct {
+	conn     net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	lastUsed time.Time
+	calls    int
+}
+
+// do performs one request/response exchange. Deadlines are set fresh per
+// call — a write deadline before the encode, a read deadline before the
+// decode — and cleared before the connection can go back to the pool, so a
+// reused connection never inherits an expired deadline from a previous call
+// (the bug the old single-absolute-deadline roundTrip would have caused
+// under reuse).
+func (pc *pooledConn) do(req *Request, timeout time.Duration) (*Response, error) {
+	if err := pc.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := pc.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	if err := pc.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := pc.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	if err := pc.conn.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	pc.calls++
+	pc.lastUsed = time.Now()
+	return &resp, nil
+}
+
+// Pool is a per-peer persistent connection pool for the live wire protocol.
+// It amortizes TCP dials and gob type-descriptor retransmission across
+// calls, detects stale connections (peer restarted, server-side idle close)
+// and transparently redials once, and falls back to one-shot dialing when
+// closed. Safe for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+	m   *poolMetrics
+
+	mu     sync.Mutex
+	idle   map[string][]*pooledConn
+	closed bool
+}
+
+// NewPool builds a pool with the given configuration.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.MaxIdlePerPeer <= 0 {
+		cfg.MaxIdlePerPeer = DefaultMaxIdlePerPeer
+	}
+	if cfg.IdleTTL <= 0 {
+		cfg.IdleTTL = DefaultIdleTTL
+	}
+	return &Pool{
+		cfg:  cfg,
+		m:    newPoolMetrics(cfg.Registry),
+		idle: make(map[string][]*pooledConn),
+	}
+}
+
+// Call sends one request to addr and decodes one response, reusing a pooled
+// connection when available. A transport error on a *reused* connection is
+// treated as staleness and retried exactly once on a fresh dial; every
+// request kind in the protocol is idempotent (pure reads over the shared
+// replica, or load reports where the freshest value wins), so the retry is
+// safe even if the peer processed the first attempt. A remote application
+// error (Response.Err) leaves the connection healthy and pooled.
+func (p *Pool) Call(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		// Graceful fallback: a closed pool (node shutting down, or a caller
+		// that never wanted pooling) degrades to the one-shot protocol.
+		return roundTrip(addr, req, timeout)
+	}
+
+	pc, reused, err := p.acquire(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := pc.do(req, timeout)
+	if err != nil && reused {
+		// Stale pooled connection: the peer restarted, closed us while idle,
+		// or speaks the one-shot protocol. One transparent redial.
+		p.discard(pc)
+		p.m.redials.Inc()
+		pc, err = p.dialPooled(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		resp, err = pc.do(req, timeout)
+	}
+	if err != nil {
+		p.discard(pc)
+		return nil, fmt.Errorf("live: call %s: %w", addr, err)
+	}
+	p.release(addr, pc)
+	if resp.Err != "" {
+		return resp, fmt.Errorf("live: remote %s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// Ask sends a question through the pool (the pooled analogue of Ask).
+func (p *Pool) Ask(addr, question string, timeout time.Duration) (*Response, error) {
+	return p.Call(addr, &Request{Kind: kindAsk, Question: question}, timeout)
+}
+
+// QueryStatus fetches a node's status through the pool.
+func (p *Pool) QueryStatus(addr string, timeout time.Duration) (*Status, error) {
+	resp, err := p.Call(addr, &Request{Kind: kindStatus}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, fmt.Errorf("live: %s returned no status", addr)
+	}
+	return resp.Status, nil
+}
+
+// acquire pops the most recently used healthy idle connection for addr
+// (counted as a hit), or dials a new one (a miss). Expired idle connections
+// encountered on the way are evicted.
+func (p *Pool) acquire(addr string, timeout time.Duration) (*pooledConn, bool, error) {
+	cutoff := time.Now().Add(-p.cfg.IdleTTL)
+	var pc *pooledConn
+	var expired []*pooledConn
+	p.mu.Lock()
+	list := p.idle[addr]
+	for len(list) > 0 {
+		cand := list[len(list)-1]
+		list = list[:len(list)-1]
+		if cand.lastUsed.Before(cutoff) {
+			expired = append(expired, cand)
+			continue
+		}
+		pc = cand
+		break
+	}
+	if len(list) == 0 {
+		delete(p.idle, addr)
+	} else {
+		p.idle[addr] = list
+	}
+	p.mu.Unlock()
+	for _, e := range expired {
+		p.m.evictions.Inc()
+		p.discard(e)
+	}
+	if pc != nil {
+		p.m.hits.Inc()
+		return pc, true, nil
+	}
+	p.m.misses.Inc()
+	fresh, err := p.dialPooled(addr, timeout)
+	return fresh, false, err
+}
+
+// dialPooled opens a new tracked connection with fresh gob streams.
+func (p *Pool) dialPooled(addr string, timeout time.Duration) (*pooledConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %s: %w", addr, err)
+	}
+	p.m.open.Inc()
+	return &pooledConn{
+		conn:     conn,
+		enc:      gob.NewEncoder(conn),
+		dec:      gob.NewDecoder(conn),
+		lastUsed: time.Now(),
+	}, nil
+}
+
+// release returns a healthy connection to the pool, discarding it instead
+// when the pool is closed or the per-peer idle cap is reached.
+func (p *Pool) release(addr string, pc *pooledConn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.discard(pc)
+		return
+	}
+	if len(p.idle[addr]) >= p.cfg.MaxIdlePerPeer {
+		p.mu.Unlock()
+		p.m.evictions.Inc()
+		p.discard(pc)
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], pc)
+	p.mu.Unlock()
+}
+
+// discard closes a connection and decrements the open gauge. Each pooled
+// connection passes through discard exactly once at end of life.
+func (p *Pool) discard(pc *pooledConn) {
+	pc.conn.Close()
+	p.m.open.Dec()
+}
+
+// EvictIdle closes idle connections older than the idle TTL. Nodes call it
+// from their heartbeat loop so pools of quiescent peers shrink without
+// waiting for the next acquire.
+func (p *Pool) EvictIdle() {
+	cutoff := time.Now().Add(-p.cfg.IdleTTL)
+	var expired []*pooledConn
+	p.mu.Lock()
+	for addr, list := range p.idle {
+		keep := list[:0]
+		for _, pc := range list {
+			if pc.lastUsed.Before(cutoff) {
+				expired = append(expired, pc)
+			} else {
+				keep = append(keep, pc)
+			}
+		}
+		if len(keep) == 0 {
+			delete(p.idle, addr)
+		} else {
+			p.idle[addr] = keep
+		}
+	}
+	p.mu.Unlock()
+	for _, pc := range expired {
+		p.m.evictions.Inc()
+		p.discard(pc)
+	}
+}
+
+// Close closes all idle connections and switches the pool to one-shot
+// fallback mode. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	var all []*pooledConn
+	for _, list := range p.idle {
+		all = append(all, list...)
+	}
+	p.idle = make(map[string][]*pooledConn)
+	p.mu.Unlock()
+	for _, pc := range all {
+		p.discard(pc)
+	}
+}
+
+// Stats snapshots the pool counters (also exported as metrics when the pool
+// was built with a registry).
+type PoolStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Redials   int64
+	OpenConns int64
+}
+
+// Stats returns the pool's cumulative counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Hits:      p.m.hits.Value(),
+		Misses:    p.m.misses.Value(),
+		Evictions: p.m.evictions.Value(),
+		Redials:   p.m.redials.Value(),
+		OpenConns: p.m.open.Value(),
+	}
+}

@@ -1,0 +1,249 @@
+package live
+
+import (
+	"encoding/gob"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingProxy forwards TCP connections to backend, counting accepts — the
+// observable number of connections a client actually opened.
+type countingProxy struct {
+	ln      net.Listener
+	accepts atomic.Int64
+	done    chan struct{}
+}
+
+func startCountingProxy(t *testing.T, backend string) *countingProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &countingProxy{ln: ln, done: make(chan struct{})}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			p.accepts.Add(1)
+			go func(c net.Conn) {
+				defer c.Close()
+				b, err := net.Dial("tcp", backend)
+				if err != nil {
+					return
+				}
+				defer b.Close()
+				go io.Copy(b, c) //nolint:errcheck
+				io.Copy(c, b)    //nolint:errcheck
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *countingProxy) addr() string { return p.ln.Addr().String() }
+
+// TestPoolConcurrentReuse hammers one peer with cap-many goroutines × many
+// calls each and asserts the pool opened at most pool-cap connections in
+// total: after the initial burst every call must reuse a pooled stream.
+// This test is run under -race in CI.
+func TestPoolConcurrentReuse(t *testing.T) {
+	nodes := startCluster(t, 1)
+	proxy := startCountingProxy(t, nodes[0].Addr())
+
+	const (
+		goroutines = DefaultMaxIdlePerPeer // 4
+		calls      = 25
+	)
+	pool := NewPool(PoolConfig{})
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				if _, err := pool.QueryStatus(proxy.addr(), 5*time.Second); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if got := proxy.accepts.Load(); got > goroutines {
+		t.Fatalf("pool opened %d connections for %d×%d calls, want ≤ %d (per-peer cap)",
+			got, goroutines, calls, goroutines)
+	}
+	st := pool.Stats()
+	total := int64(goroutines * calls)
+	if st.Hits+st.Misses != total {
+		t.Fatalf("hits(%d)+misses(%d) != calls(%d)", st.Hits, st.Misses, total)
+	}
+	if st.Misses > goroutines {
+		t.Fatalf("pool missed %d times, want ≤ %d", st.Misses, goroutines)
+	}
+	if st.Redials != 0 {
+		t.Fatalf("unexpected redials: %d", st.Redials)
+	}
+}
+
+// startOneShotServer serves the wire protocol connection-per-request style:
+// one decode, one encode, close. Against a pooled client every reused
+// connection is stale by construction, forcing the transparent redial path.
+func startOneShotServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				var req Request
+				if err := gob.NewDecoder(c).Decode(&req); err != nil {
+					return
+				}
+				gob.NewEncoder(c).Encode(&Response{ServedBy: "oneshot"}) //nolint:errcheck
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestPoolStaleConnRedial kills the server side of the connection after
+// every response (a one-shot server — equivalent to a peer closing a pooled
+// conn mid-idle). Every call after the first picks up a dead pooled conn;
+// the pool must detect it and transparently redial, and every call must
+// still succeed.
+func TestPoolStaleConnRedial(t *testing.T) {
+	addr := startOneShotServer(t)
+	pool := NewPool(PoolConfig{})
+	defer pool.Close()
+
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		resp, err := pool.Call(addr, &Request{Kind: kindStatus}, 5*time.Second)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if resp.ServedBy != "oneshot" {
+			t.Fatalf("call %d: served by %q", i, resp.ServedBy)
+		}
+		// Give the server's close a moment to land so the staleness is
+		// visible to the next call rather than racing the response.
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := pool.Stats()
+	if st.Redials == 0 {
+		t.Fatal("no redials recorded against a one-shot server")
+	}
+	if st.Redials > calls-1 {
+		t.Fatalf("redials = %d, want ≤ %d", st.Redials, calls-1)
+	}
+}
+
+// TestPoolNoInheritedDeadline is the regression test for the deadline bug:
+// a call with a short timeout, an idle gap longer than that timeout, then a
+// second call. If per-call deadlines were not cleared before pooling, the
+// reused connection would fail instantly on the expired deadline and force
+// a redial.
+func TestPoolNoInheritedDeadline(t *testing.T) {
+	nodes := startCluster(t, 1)
+	pool := NewPool(PoolConfig{})
+	defer pool.Close()
+
+	if _, err := pool.QueryStatus(nodes[0].Addr(), 200*time.Millisecond); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	time.Sleep(400 * time.Millisecond) // idle past the first call's deadline
+	if _, err := pool.QueryStatus(nodes[0].Addr(), 5*time.Second); err != nil {
+		t.Fatalf("second call on pooled conn: %v", err)
+	}
+	st := pool.Stats()
+	if st.Redials != 0 {
+		t.Fatalf("pooled conn needed %d redials after idle gap; inherited deadline?", st.Redials)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("second call should be a pool hit, stats: %+v", st)
+	}
+}
+
+// TestPoolClosedFallsBackToOneShot verifies the graceful degradation: a
+// closed pool still completes calls via fresh one-shot dials.
+func TestPoolClosedFallsBackToOneShot(t *testing.T) {
+	nodes := startCluster(t, 1)
+	pool := NewPool(PoolConfig{})
+	pool.Close()
+	if _, err := pool.QueryStatus(nodes[0].Addr(), 5*time.Second); err != nil {
+		t.Fatalf("closed-pool fallback: %v", err)
+	}
+	if open := pool.Stats().OpenConns; open != 0 {
+		t.Fatalf("closed pool holds %d conns", open)
+	}
+}
+
+// TestPoolIdleEviction ages pooled connections past the TTL and checks that
+// EvictIdle closes them and the gauge drops to zero.
+func TestPoolIdleEviction(t *testing.T) {
+	nodes := startCluster(t, 1)
+	pool := NewPool(PoolConfig{IdleTTL: 50 * time.Millisecond})
+	defer pool.Close()
+	if _, err := pool.QueryStatus(nodes[0].Addr(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if open := pool.Stats().OpenConns; open != 1 {
+		t.Fatalf("open conns = %d, want 1", open)
+	}
+	time.Sleep(100 * time.Millisecond)
+	pool.EvictIdle()
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after TTL expiry")
+	}
+	if st.OpenConns != 0 {
+		t.Fatalf("open conns = %d after eviction, want 0", st.OpenConns)
+	}
+}
+
+// TestHeartbeatsRideThePool checks that steady-state heartbeat traffic
+// reuses pooled connections (hits accumulate) instead of dialing per beat.
+func TestHeartbeatsRideThePool(t *testing.T) {
+	nodes := startCluster(t, 2)
+	waitForPeers(t, nodes[0], 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[0].Pool().Stats().Hits >= 3 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := nodes[0].Pool().Stats()
+	if st.Hits < 3 {
+		t.Fatalf("heartbeats did not reuse pooled conns: %+v", st)
+	}
+	if st.Misses > 2*st.Hits {
+		t.Fatalf("pool mostly missing on heartbeat path: %+v", st)
+	}
+}

@@ -123,11 +123,24 @@ type StatusMetrics struct {
 	HeartbeatsSent     int64
 	HeartbeatsReceived int64
 	RequestFailures    int64 // remote calls that errored or timed out
+	// Connection-pool counters (live_pool_* metrics): persistent-connection
+	// reuse on this node's outbound RPC path.
+	PoolHits      int64
+	PoolMisses    int64
+	PoolEvictions int64
+	PoolRedials   int64
+	PoolOpenConns int64
 }
 
 // roundTrip sends one request and decodes one response over a fresh
-// connection (the protocol is deliberately connection-per-request, like the
-// paper's era of simple TCP services).
+// connection. This is the pool-less *fallback* path of the protocol: normal
+// node-to-node traffic (heartbeats, forwards, PR/AP sub-tasks) rides the
+// per-peer persistent connection pool (pool.go), which reuses gob
+// encoder/decoder streams to amortize the TCP handshake and gob's
+// per-stream type-descriptor retransmission. One-shot dialing remains for
+// CLI clients that make a single call (qactl, examples) and as the graceful
+// degradation used by closed pools; the keep-alive server loop (Node.handle)
+// serves both styles on the same port.
 func roundTrip(addr string, req *Request, timeout time.Duration) (*Response, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {

@@ -1,0 +1,171 @@
+// Package perf is the machine-readable benchmark harness behind
+// `qabench -perf`. It runs the hot-path benchmarks this PR optimised —
+// pooled vs one-shot RPC, cached vs uncached Boolean retrieval, parallel vs
+// sequential PR/PS — with a small time-budgeted runner (the shape of
+// testing.B, without importing the testing package into a binary) and emits
+// a JSON report (BENCH_pr2.json) that successive runs can diff.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// Schema identifies the report layout for downstream tooling.
+const Schema = "distqa-perf/1"
+
+// Benchmark is one measured operation.
+type Benchmark struct {
+	// Name identifies the benchmark (stable across runs; diff key).
+	Name string `json:"name"`
+	// Ops is the number of iterations actually timed.
+	Ops int `json:"ops"`
+	// NsPerOp is the mean wall-clock nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is the reciprocal throughput (1e9 / NsPerOp).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp is the mean heap allocations per iteration (from
+	// runtime.MemStats deltas, so GC noise is possible on tiny budgets).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is the mean heap bytes allocated per iteration.
+	BytesPerOp float64 `json:"bytes_per_op"`
+}
+
+// Comparison pairs a baseline benchmark with its optimised candidate.
+type Comparison struct {
+	// Name labels the comparison (e.g. "rpc: pooled vs one-shot").
+	Name string `json:"name"`
+	// Baseline and Candidate are Benchmark names in the same report.
+	Baseline  string `json:"baseline"`
+	Candidate string `json:"candidate"`
+	// Speedup is baseline NsPerOp / candidate NsPerOp (>1 means the
+	// candidate is faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the full perf run output.
+type Report struct {
+	Schema      string       `json:"schema"`
+	GeneratedAt time.Time    `json:"generated_at"`
+	GoVersion   string       `json:"go_version"`
+	GOOS        string       `json:"goos"`
+	GOARCH      string       `json:"goarch"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Benchmarks  []Benchmark  `json:"benchmarks"`
+	Comparisons []Comparison `json:"comparisons"`
+}
+
+// NewReport returns a Report stamped with the current environment.
+func NewReport() *Report {
+	return &Report{
+		Schema:      Schema,
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// Run measures fn under name for roughly budget wall-clock time: a warm-up
+// call, a calibration pass to size the batch, then timed batches until the
+// budget is spent. Allocation figures come from runtime.MemStats deltas
+// around the timed region.
+func (r *Report) Run(name string, budget time.Duration, fn func()) Benchmark {
+	fn() // warm-up: page in code paths, fill pools/caches' first slots
+
+	// Calibrate: grow the batch until one batch takes ≥ ~1/16 of budget.
+	batch := 1
+	for {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			fn()
+		}
+		if d := time.Since(start); d >= budget/16 || batch >= 1<<20 {
+			break
+		}
+		batch *= 2
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ops := 0
+	var elapsed time.Duration
+	for elapsed < budget {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			fn()
+		}
+		elapsed += time.Since(start)
+		ops += batch
+	}
+	runtime.ReadMemStats(&after)
+
+	b := Benchmark{
+		Name:    name,
+		Ops:     ops,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+	}
+	if b.NsPerOp > 0 {
+		b.OpsPerSec = 1e9 / b.NsPerOp
+	}
+	b.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+	b.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	r.Benchmarks = append(r.Benchmarks, b)
+	return b
+}
+
+// Compare records a baseline/candidate pair. Unknown names are an error so
+// a typo cannot silently produce an empty comparison.
+func (r *Report) Compare(name, baseline, candidate string) error {
+	b, okB := r.find(baseline)
+	c, okC := r.find(candidate)
+	if !okB || !okC {
+		return fmt.Errorf("perf: comparison %q references unknown benchmark (baseline %q: %v, candidate %q: %v)",
+			name, baseline, okB, candidate, okC)
+	}
+	sp := 0.0
+	if c.NsPerOp > 0 {
+		sp = b.NsPerOp / c.NsPerOp
+	}
+	r.Comparisons = append(r.Comparisons, Comparison{
+		Name: name, Baseline: baseline, Candidate: candidate, Speedup: sp,
+	})
+	return nil
+}
+
+func (r *Report) find(name string) (Benchmark, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders a human-readable summary table.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "perf report (%s, %s/%s, GOMAXPROCS=%d)\n",
+		r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS)
+	fmt.Fprintf(w, "  %-22s %12s %14s %12s %12s\n", "benchmark", "ops", "ns/op", "allocs/op", "ops/sec")
+	for _, b := range r.Benchmarks {
+		fmt.Fprintf(w, "  %-22s %12d %14.0f %12.1f %12.0f\n",
+			b.Name, b.Ops, b.NsPerOp, b.AllocsPerOp, b.OpsPerSec)
+	}
+	if len(r.Comparisons) > 0 {
+		fmt.Fprintln(w, "  speedups:")
+		for _, c := range r.Comparisons {
+			fmt.Fprintf(w, "    %-32s %6.2fx\n", c.Name, c.Speedup)
+		}
+	}
+}

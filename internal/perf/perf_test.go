@@ -1,0 +1,74 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestRunAndCompare(t *testing.T) {
+	r := NewReport()
+	b := r.Run("noop", 10*time.Millisecond, func() {})
+	if b.Ops <= 0 || b.NsPerOp < 0 {
+		t.Fatalf("bad benchmark: %+v", b)
+	}
+	r.Run("sleepy", 10*time.Millisecond, func() { time.Sleep(100 * time.Microsecond) })
+	if err := r.Compare("noop vs sleepy", "sleepy", "noop"); err != nil {
+		t.Fatal(err)
+	}
+	if sp := r.Comparisons[0].Speedup; sp <= 1 {
+		t.Fatalf("noop should beat sleepy, speedup = %f", sp)
+	}
+	if err := r.Compare("bad", "nope", "noop"); err == nil {
+		t.Fatal("comparison against unknown benchmark did not error")
+	}
+}
+
+func TestReportRoundTrips(t *testing.T) {
+	r := NewReport()
+	r.Run("noop", time.Millisecond, func() {})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Benchmarks) != 1 || got.Benchmarks[0].Name != "noop" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+// TestSuiteSmoke runs the full standard suite with a minimal budget — the
+// same code path `qabench -perf` takes — and checks every expected
+// benchmark and comparison is present.
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite smoke test skipped in -short mode")
+	}
+	report, err := RunSuite(SuiteConfig{Budget: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"rpc_oneshot", "rpc_pooled",
+		"retrieve_uncached", "retrieve_cached",
+		"pr_ps_sequential", "pr_ps_parallel",
+		"ask_sequential", "ask_parallel",
+	}
+	for _, name := range want {
+		if _, ok := report.find(name); !ok {
+			t.Fatalf("suite report missing benchmark %q", name)
+		}
+	}
+	if len(report.Comparisons) != 4 {
+		t.Fatalf("comparisons = %d, want 4", len(report.Comparisons))
+	}
+	for _, c := range report.Comparisons {
+		if c.Speedup <= 0 {
+			t.Fatalf("comparison %q has non-positive speedup", c.Name)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// The standard suite: the four baseline/candidate pairs proving out this
+// PR's hot-path optimisations, runnable from qabench -perf.
+package perf
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/live"
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+)
+
+// SuiteConfig tunes the standard suite.
+type SuiteConfig struct {
+	// Corpus is the collection configuration benchmarked against
+	// (default corpus.Tiny(); use corpus.TREC8Like() for paper scale).
+	Corpus corpus.Config
+	// Budget is the wall-clock measuring time per benchmark (default 1s).
+	Budget time.Duration
+	// Workers is the parallel engine's fan-out (default 8).
+	Workers int
+	// Log, when non-nil, receives progress lines as the suite runs.
+	Log io.Writer
+}
+
+func (c *SuiteConfig) defaults() {
+	if c.Corpus.SubCollections == 0 {
+		c.Corpus = corpus.Tiny()
+	}
+	if c.Budget <= 0 {
+		c.Budget = time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+}
+
+func (c *SuiteConfig) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format, args...)
+	}
+}
+
+// RunSuite executes the standard benchmark suite and returns its report:
+//
+//	rpc_oneshot / rpc_pooled           — connection-per-request vs pooled gob RPC
+//	retrieve_uncached / retrieve_cached — Boolean retrieval without/with relaxation memo
+//	pr_ps_sequential / pr_ps_parallel   — retrieval+scoring stages, 1 vs N workers
+//	ask_sequential / ask_parallel       — full pipeline, 1 vs N workers
+func RunSuite(cfg SuiteConfig) (*Report, error) {
+	cfg.defaults()
+	r := NewReport()
+
+	cfg.logf("building collection %q and indexes...\n", cfg.Corpus.Name)
+	coll := corpus.Generate(cfg.Corpus)
+	set := index.BuildAll(coll)
+	seq := qa.NewEngine(coll, set)
+	par := *seq
+	par.Workers = cfg.Workers
+
+	questions := make([]string, 0, 8)
+	analyses := make([]nlp.QuestionAnalysis, 0, 8)
+	for i := 0; i < 8 && i < len(coll.Facts); i++ {
+		questions = append(questions, coll.Facts[i].Question)
+		analyses = append(analyses, nlp.AnalyzeQuestion(coll.Facts[i].Question))
+	}
+	if len(questions) == 0 {
+		return nil, fmt.Errorf("perf: collection %q has no fact questions", coll.Name)
+	}
+
+	// --- RPC: one-shot vs pooled, against a real node on loopback.
+	cfg.logf("starting loopback node for RPC benchmarks...\n")
+	node, err := live.StartNode(live.NodeConfig{
+		Addr:           "127.0.0.1:0",
+		Engine:         seq,
+		HeartbeatEvery: time.Hour, // keep the wire quiet while measuring
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: start node: %w", err)
+	}
+	defer node.Close()
+
+	cfg.logf("bench rpc_oneshot...\n")
+	r.Run("rpc_oneshot", cfg.Budget, func() {
+		if _, err := live.QueryStatus(node.Addr(), 5*time.Second); err != nil {
+			panic(fmt.Sprintf("rpc_oneshot: %v", err))
+		}
+	})
+	pool := live.NewPool(live.PoolConfig{})
+	defer pool.Close()
+	cfg.logf("bench rpc_pooled...\n")
+	r.Run("rpc_pooled", cfg.Budget, func() {
+		if _, err := pool.QueryStatus(node.Addr(), 5*time.Second); err != nil {
+			panic(fmt.Sprintf("rpc_pooled: %v", err))
+		}
+	})
+
+	// --- Boolean retrieval: relaxation memo off vs on. A dedicated index
+	// pair keeps cache state out of the engine benchmarks below.
+	uncachedIx := index.Build(coll, 0)
+	uncachedIx.SetRelaxCacheCap(0)
+	cachedIx := index.Build(coll, 0)
+	for _, a := range analyses {
+		cachedIx.RetrieveParagraphs(a.Keywords) // warm the memo
+	}
+	i := 0
+	cfg.logf("bench retrieve_uncached...\n")
+	r.Run("retrieve_uncached", cfg.Budget, func() {
+		uncachedIx.RetrieveParagraphs(analyses[i%len(analyses)].Keywords)
+		i++
+	})
+	i = 0
+	cfg.logf("bench retrieve_cached...\n")
+	r.Run("retrieve_cached", cfg.Budget, func() {
+		cachedIx.RetrieveParagraphs(analyses[i%len(analyses)].Keywords)
+		i++
+	})
+
+	// --- PR+PS stages and full pipeline: sequential vs parallel engine.
+	stage := func(e *qa.Engine) func() {
+		j := 0
+		return func() {
+			a := analyses[j%len(analyses)]
+			rs, _ := e.RetrieveAll(a)
+			e.ScoreParagraphs(a, rs)
+			j++
+		}
+	}
+	cfg.logf("bench pr_ps_sequential...\n")
+	r.Run("pr_ps_sequential", cfg.Budget, stage(seq))
+	cfg.logf("bench pr_ps_parallel...\n")
+	r.Run("pr_ps_parallel", cfg.Budget, stage(&par))
+
+	ask := func(e *qa.Engine) func() {
+		j := 0
+		return func() {
+			e.AnswerSequential(questions[j%len(questions)])
+			j++
+		}
+	}
+	cfg.logf("bench ask_sequential...\n")
+	r.Run("ask_sequential", cfg.Budget, ask(seq))
+	cfg.logf("bench ask_parallel...\n")
+	r.Run("ask_parallel", cfg.Budget, ask(&par))
+
+	for _, c := range []struct{ name, base, cand string }{
+		{"rpc: pooled vs one-shot", "rpc_oneshot", "rpc_pooled"},
+		{"retrieval: memo vs cold", "retrieve_uncached", "retrieve_cached"},
+		{"pr+ps: parallel vs sequential", "pr_ps_sequential", "pr_ps_parallel"},
+		{"ask: parallel vs sequential", "ask_sequential", "ask_parallel"},
+	} {
+		if err := r.Compare(c.name, c.base, c.cand); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,51 @@
+package qa
+
+import (
+	"testing"
+
+	"distqa/internal/nlp"
+)
+
+// benchStages runs the PR + PS stages for a rotating set of questions on e.
+func benchStages(b *testing.B, e *Engine) {
+	b.Helper()
+	var analyses []nlp.QuestionAnalysis
+	for _, f := range testColl.Facts[:8] {
+		analyses = append(analyses, nlp.AnalyzeQuestion(f.Question))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := analyses[i%len(analyses)]
+		rs, _ := e.RetrieveAll(a)
+		e.ScoreParagraphs(a, rs)
+	}
+}
+
+// BenchmarkPRPSSequential measures paragraph retrieval + scoring with the
+// single-threaded engine (the simulator's configuration).
+func BenchmarkPRPSSequential(b *testing.B) { benchStages(b, testEngine) }
+
+// BenchmarkPRPSParallel measures the same stages with intra-node fan-out
+// across sub-collection indexes and paragraph chunks.
+func BenchmarkPRPSParallel(b *testing.B) { benchStages(b, newParallelEngine(8)) }
+
+func benchAnswer(b *testing.B, e *Engine) {
+	b.Helper()
+	qs := make([]string, 0, 8)
+	for _, f := range testColl.Facts[:8] {
+		qs = append(qs, f.Question)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AnswerSequential(qs[i%len(qs)])
+	}
+}
+
+// BenchmarkAskSequential measures the full QA pipeline single-threaded.
+func BenchmarkAskSequential(b *testing.B) { benchAnswer(b, testEngine) }
+
+// BenchmarkAskParallel measures the full pipeline with Workers=8; answers
+// are byte-identical to the sequential path (see parallel_test.go).
+func BenchmarkAskParallel(b *testing.B) { benchAnswer(b, newParallelEngine(8)) }

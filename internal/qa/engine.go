@@ -57,6 +57,13 @@ type Engine struct {
 	// stage execution. Set it before the engine is shared between
 	// goroutines; a nil observer costs one predictable branch per stage.
 	Observer StageObserver
+	// Workers, when > 1, bounds the worker pool used to fan Paragraph
+	// Retrieval out across sub-collection indexes and Paragraph Scoring
+	// across paragraph chunks (see parallel.go). 0 or 1 runs sequentially.
+	// Answers and virtual-cost accounting are byte-identical either way;
+	// set it before the engine is shared between goroutines (typically to
+	// runtime.GOMAXPROCS(0) on serving nodes, 0 in the simulator).
+	Workers int
 }
 
 // observe reports a completed stage to the observer. Call via
@@ -137,7 +144,13 @@ func (e *Engine) RetrieveSub(a nlp.QuestionAnalysis, sub int) ([]index.Retrieved
 
 // RetrieveAll runs PR over every sub-collection (the sequential system's
 // behaviour) and returns the concatenated paragraphs with the summed cost.
+// With Engine.Workers > 1 the sub-collections are retrieved by a bounded
+// worker pool; the merge order and cost accounting are byte-identical to
+// the sequential loop.
 func (e *Engine) RetrieveAll(a nlp.QuestionAnalysis) ([]index.Retrieved, Cost) {
+	if w := e.workers(); w > 1 && e.Set.Len() > 1 {
+		return e.retrieveAllParallel(a, w)
+	}
 	var out []index.Retrieved
 	var cost Cost
 	for sub := 0; sub < e.Set.Len(); sub++ {
@@ -153,9 +166,14 @@ func (e *Engine) RetrieveAll(a nlp.QuestionAnalysis) ([]index.Retrieved, Cost) {
 
 // ScoreParagraphs applies the three surface-text heuristics of the LASSO/
 // Falcon paragraph scorer to each retrieved paragraph: keyword coverage,
-// keyword proximity, and question-order preservation.
+// keyword proximity, and question-order preservation. With Engine.Workers
+// > 1 large paragraph sets are scored by a bounded worker pool in
+// contiguous chunks, with byte-identical output and cost accounting.
 func (e *Engine) ScoreParagraphs(a nlp.QuestionAnalysis, rs []index.Retrieved) ([]ScoredParagraph, Cost) {
 	defer e.observe("PS", time.Now())
+	if w := e.workers(); w > 1 && len(rs) >= psParallelMin {
+		return e.scoreParagraphsParallel(a, rs, w)
+	}
 	out := make([]ScoredParagraph, 0, len(rs))
 	cost := Cost{MemMB: e.Cost.MemBaseMB}
 	for _, r := range rs {
