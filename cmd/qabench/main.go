@@ -9,6 +9,7 @@
 //	qabench -list           # list experiment ids
 //	qabench -stage-metrics  # also print wall-clock p50/p90/p99 per Q/A stage
 //	qabench -perf           # run the hot-path benchmark suite → BENCH_pr2.json
+//	qabench -chaos          # run a seeded fault schedule against a live loopback cluster
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"distqa/internal/chaos"
 	"distqa/internal/corpus"
 	"distqa/internal/experiments"
 	"distqa/internal/obs"
@@ -33,7 +35,16 @@ func main() {
 	perfOut := flag.String("perf-out", "BENCH_pr2.json", "perf mode: output file for the JSON report")
 	perfBudget := flag.Duration("perf-budget", time.Second, "perf mode: measuring time per benchmark")
 	perfScale := flag.String("perf-scale", "tiny", "perf mode: corpus scale (tiny or trec8)")
+	chaosMode := flag.Bool("chaos", false, "run a seeded fault schedule against a live loopback cluster instead of the experiments")
+	chaosSeed := flag.Int64("seed", 1, "chaos mode: schedule seed (same seed => byte-identical event log)")
+	chaosNodes := flag.Int("nodes", 4, "chaos mode: cluster size")
+	chaosQuestions := flag.Int("chaos-questions", 12, "chaos mode: questions to ask across the schedule")
+	chaosScenario := flag.String("chaos-scenario", chaos.ScenarioMixed, "chaos mode: scenario (crash, blackout, partition, mixed)")
 	flag.Parse()
+
+	if *chaosMode {
+		os.Exit(runChaos(*chaosSeed, *chaosNodes, *chaosQuestions, *chaosScenario))
+	}
 
 	if *perfMode {
 		os.Exit(runPerf(*perfOut, *perfBudget, *perfScale))
@@ -84,6 +95,37 @@ func main() {
 		printStageMetrics(stageReg)
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runChaos executes one seeded chaos schedule against a live loopback
+// cluster (internal/chaos) and exits non-zero if any question missed the
+// planted answer or any fault-tolerance expectation was violated.
+func runChaos(seed int64, nodes, questions int, scenario string) int {
+	switch scenario {
+	case chaos.ScenarioCrash, chaos.ScenarioBlackout, chaos.ScenarioPartition, chaos.ScenarioMixed:
+	default:
+		fmt.Fprintf(os.Stderr, "qabench: unknown -chaos-scenario %q (want crash, blackout, partition or mixed)\n", scenario)
+		return 2
+	}
+	res, err := chaos.Run(chaos.Config{
+		Seed:      seed,
+		Nodes:     nodes,
+		Questions: questions,
+		Scenario:  scenario,
+		Out:       os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qabench: chaos: %v\n", err)
+		return 1
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			fmt.Fprintf(os.Stderr, "qabench: chaos: FAIL: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Println("chaos: OK")
+	return 0
 }
 
 // runPerf executes the hot-path benchmark suite (internal/perf) and writes

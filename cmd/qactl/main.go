@@ -64,11 +64,17 @@ func main() {
 			m.PRSubtasksSent, m.PRSubtasksReceived, m.APSubtasksSent, m.APSubtasksReceived)
 		fmt.Printf("  heartbeats: %d sent / %d received, %d remote-call failures\n",
 			m.HeartbeatsSent, m.HeartbeatsReceived, m.RequestFailures)
+		fmt.Printf("  fault tolerance: %d retries, %d breaker trips, %d re-admissions\n",
+			m.Retries, m.BreakerTrips, m.Readmissions)
 		fmt.Printf("  conn pool: %d hits / %d misses, %d evictions, %d redials, %d open\n",
 			m.PoolHits, m.PoolMisses, m.PoolEvictions, m.PoolRedials, m.PoolOpenConns)
 		for _, p := range st.Peers {
 			fmt.Printf("  peer %s: %d running / %d queued / %d AP sub-tasks (heard %v ago)\n",
 				p.Addr, p.Questions, p.Queued, p.APTasks, time.Since(p.Sent).Round(time.Millisecond))
+		}
+		for _, ph := range st.PeerHealth {
+			fmt.Printf("  health %s: %s (last beat %v ago), breaker %s, %d blamed failures, %d re-admissions\n",
+				ph.Addr, ph.State, ph.SinceBeat.Round(time.Millisecond), ph.Breaker, ph.Failures, ph.Readmissions)
 		}
 	case *metrics:
 		text, err := live.QueryMetrics(*node, *timeout)

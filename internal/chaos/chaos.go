@@ -1,0 +1,562 @@
+// Package chaos is the fault-tolerance proving ground for the live cluster:
+// it boots a multi-node loopback cluster sharing one collection replica,
+// runs a seeded fault schedule against it (node crash mid-question,
+// heartbeat blackout, asymmetric partition, rolling restart), and asserts
+// that every question still returns the planted answer — the paper's claim
+// that the distributed design "degrades gracefully" under failures, made
+// executable.
+//
+// Determinism: the event log records the *planned* schedule (node indexes,
+// question indexes, per-question correctness flags), never wall-clock times
+// or ephemeral port numbers, so the same seed reproduces a byte-identical
+// log. Counters that depend on goroutine interleaving (retries, breaker
+// trips) are reported separately and excluded from the log.
+//
+// The harness runs behind `qabench -chaos` and inside the CI race smoke.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"distqa/internal/corpus"
+	"distqa/internal/fault"
+	"distqa/internal/index"
+	"distqa/internal/live"
+	"distqa/internal/qa"
+)
+
+// Scenario names accepted by Config.Scenario.
+const (
+	ScenarioCrash     = "crash"     // kill a node mid-question, restart it later
+	ScenarioBlackout  = "blackout"  // drop one node's outbound heartbeats, then lift
+	ScenarioPartition = "partition" // asymmetric link drop between two nodes
+	ScenarioMixed     = "mixed"     // all of the above in one run (default)
+)
+
+// Config parameterises one chaos run.
+type Config struct {
+	Seed      int64         // drives the injector, node retry jitter and victim picks
+	Nodes     int           // cluster size (>= 2; default 3)
+	Questions int           // questions to ask across the schedule (default 12)
+	Scenario  string        // one of the Scenario* constants (default mixed)
+	Heartbeat time.Duration // node heartbeat period (default 25ms)
+	Timeout   time.Duration // per-question client timeout (default 30s)
+	// Out, when non-nil, receives live narration (the event log as it is
+	// written plus the informational counter summary).
+	Out io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes < 2 {
+		c.Nodes = 3
+	}
+	if c.Questions <= 0 {
+		c.Questions = 12
+	}
+	if c.Scenario == "" {
+		c.Scenario = ScenarioMixed
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 25 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// Result is the outcome of one chaos run.
+type Result struct {
+	// Log is the deterministic event log: planned schedule plus per-question
+	// correctness. Same seed + config => byte-identical log.
+	Log []string
+	// Asked / Correct count questions issued and answered with the planted
+	// answer.
+	Asked, Correct int
+	// Failures lists every violated expectation (empty on a clean run).
+	Failures []string
+	// Metrics aggregates the fault-tolerance counters across nodes at the end
+	// of the run. Interleaving-dependent: informational, NOT part of Log.
+	Metrics Counters
+}
+
+// Counters is the cross-node sum of fault-tolerance metrics.
+type Counters struct {
+	Retries      int64
+	BreakerTrips int64
+	Readmissions int64
+	Forwards     int64
+	Failures     int64 // remote calls that errored (live_request_failures)
+	Injected     int64 // faults the injector actually fired
+}
+
+// OK reports whether the run met every expectation.
+func (r *Result) OK() bool { return len(r.Failures) == 0 && r.Asked == r.Correct }
+
+// EventLog renders the deterministic log as one string (the artifact the
+// determinism test compares byte-for-byte).
+func (r *Result) EventLog() string { return strings.Join(r.Log, "\n") + "\n" }
+
+// Shared engine: one Tiny replica for every node of every run (the live
+// cluster's "each machine holds a copy of the collection" model). Building
+// it once keeps repeated runs (determinism tests, CI smoke) fast.
+var (
+	engineOnce sync.Once
+	chaosColl  *corpus.Collection
+	chaosEng   *qa.Engine
+)
+
+func sharedEngine() (*corpus.Collection, *qa.Engine) {
+	engineOnce.Do(func() {
+		chaosColl = corpus.Generate(corpus.Tiny())
+		chaosEng = qa.NewEngine(chaosColl, index.BuildAll(chaosColl))
+	})
+	return chaosColl, chaosEng
+}
+
+// event is one planned schedule entry, fired just before question At.
+type event struct {
+	At   int
+	Kind string // "crashMid", "restart", "blackout", "lift", "partition", "heal"
+	Node int    // victim node index
+	Peer int    // second node (partition target)
+}
+
+// run carries the mutable state of one chaos execution.
+type run struct {
+	cfg    Config
+	inj    *fault.Injector
+	eng    *qa.Engine
+	coll   *corpus.Collection
+	nodes  []*live.Node
+	addrs  []string // index -> address (stable across restarts)
+	alive  []bool
+	res    *Result
+	ruleID map[string]int // active injector rules by tag
+	// crashed remembers the node actually killed by the last crashMid event
+	// (the planned victim shifts deterministically if it would have been the
+	// serving node), so the paired restart event revives the right node.
+	crashed int
+}
+
+func (r *run) logf(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	r.res.Log = append(r.res.Log, line)
+	if r.cfg.Out != nil {
+		fmt.Fprintln(r.cfg.Out, line)
+	}
+}
+
+func (r *run) failf(format string, args ...any) {
+	r.res.Failures = append(r.res.Failures, fmt.Sprintf(format, args...))
+}
+
+// Run executes one seeded chaos schedule and returns its result. It only
+// returns an error for setup problems (cannot bind sockets); expectation
+// violations are reported in Result.Failures.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	coll, eng := sharedEngine()
+	r := &run{
+		cfg:    cfg,
+		inj:    fault.New(cfg.Seed),
+		eng:    eng,
+		coll:   coll,
+		res:     &Result{},
+		ruleID:  make(map[string]int),
+		crashed: -1,
+	}
+	defer func() {
+		for i, n := range r.nodes {
+			if r.alive[i] && n != nil {
+				n.Close()
+			}
+		}
+	}()
+
+	r.logf("chaos seed=%d nodes=%d questions=%d scenario=%s", cfg.Seed, cfg.Nodes, cfg.Questions, cfg.Scenario)
+
+	// Boot the cluster.
+	r.nodes = make([]*live.Node, cfg.Nodes)
+	r.addrs = make([]string, cfg.Nodes)
+	r.alive = make([]bool, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		n, err := r.startNode(i, "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		r.nodes[i] = n
+		r.addrs[i] = n.Addr()
+		r.alive[i] = true
+	}
+	for i, a := range r.nodes {
+		for j := range r.nodes {
+			if i != j {
+				a.AddPeer(r.addrs[j])
+			}
+		}
+	}
+	r.waitMesh()
+
+	// Build and execute the schedule.
+	schedule := buildSchedule(cfg, rand.New(rand.NewSource(cfg.Seed)))
+	cursor := 0
+	for q := 0; q < cfg.Questions; q++ {
+		var mid *event
+		for _, ev := range schedule {
+			if ev.At != q {
+				continue
+			}
+			if ev.Kind == "crashMid" {
+				ev := ev
+				mid = &ev // fires while this question is in flight
+				continue
+			}
+			r.fire(ev)
+		}
+		fact := r.coll.Facts[q%len(r.coll.Facts)]
+		target := r.nextAlive(&cursor)
+		if mid != nil {
+			r.askWithMidCrash(q, target, *mid, fact.Question)
+		} else {
+			r.ask(q, target, fact.Question)
+		}
+	}
+
+	r.logf("summary asked=%d correct=%d failures=%d", r.res.Asked, r.res.Correct, len(r.res.Failures))
+	r.collectCounters()
+	return r.res, nil
+}
+
+// startNode boots node i on addr (0 = ephemeral) with chaos-tuned timings.
+func (r *run) startNode(i int, addr string) (*live.Node, error) {
+	return live.StartNode(live.NodeConfig{
+		Addr:           addr,
+		Engine:         r.eng,
+		HeartbeatEvery: r.cfg.Heartbeat,
+		RequestTimeout: 2 * time.Second,
+		Seed:           r.cfg.Seed + int64(i) + 1,
+		Fault:          r.inj,
+		Retry: live.RetryPolicy{
+			MaxAttempts: 2,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  80 * time.Millisecond,
+			Budget:      5 * time.Second,
+		},
+		Breaker: live.BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         4 * r.cfg.Heartbeat,
+		},
+	})
+}
+
+// waitMesh blocks until every node has heard a heartbeat from every peer.
+func (r *run) waitMesh() {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ready := true
+		for i, n := range r.nodes {
+			if !r.alive[i] {
+				continue
+			}
+			st, err := live.QueryStatus(n.Addr(), time.Second)
+			if err != nil || len(st.Peers) < r.cfg.Nodes-1 {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return
+		}
+		time.Sleep(r.cfg.Heartbeat)
+	}
+	r.failf("cluster mesh did not form within 10s")
+}
+
+// nextAlive picks the next planned-alive node round-robin.
+func (r *run) nextAlive(cursor *int) int {
+	for range r.nodes {
+		i := *cursor % len(r.nodes)
+		*cursor++
+		if r.alive[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// ask issues question q at node target and checks the answer against the
+// sequential reference pipeline.
+func (r *run) ask(q, target int, question string) {
+	r.res.Asked++
+	ok := r.check(target, question)
+	r.logf("[q %d] node=%d ok=%v", q, target, ok)
+	if ok {
+		r.res.Correct++
+	} else {
+		r.failf("question %d at node %d: wrong or missing answer", q, target)
+	}
+}
+
+// askWithMidCrash issues question q, then kills the victim while the
+// question is in flight — the acceptance scenario: the serving node's
+// PR/AP sub-tasks (or its forward) lose a peer mid-flight and must degrade
+// to local execution without corrupting the answer.
+func (r *run) askWithMidCrash(q, target int, ev event, question string) {
+	victim := ev.Node
+	if victim == target {
+		victim = (victim + 1) % len(r.nodes) // never kill the serving node
+	}
+	r.crashed = victim
+	// Stretch the question across the crash: delay every message the serving
+	// node sends the victim, so the victim dies while a sub-task (or its
+	// connection) to it is genuinely in flight.
+	slow := r.inj.Add(fault.Rule{From: r.addrs[target], To: r.addrs[victim], Delay: 4 * r.cfg.Heartbeat})
+	defer r.inj.Remove(slow)
+	r.res.Asked++
+	done := make(chan bool, 1)
+	go func() { done <- r.check(target, question) }()
+	// Give the ask a moment to enter its distributed phase, then kill.
+	time.Sleep(2 * r.cfg.Heartbeat)
+	r.logf("[q %d] crash node=%d mid-question", q, victim)
+	if r.alive[victim] {
+		r.nodes[victim].Close()
+		r.alive[victim] = false
+	}
+	ok := <-done
+	r.logf("[q %d] node=%d ok=%v", q, target, ok)
+	if ok {
+		r.res.Correct++
+	} else {
+		r.failf("question %d at node %d (mid-question crash of %d): wrong or missing answer", q, target, victim)
+	}
+}
+
+// check asks one question and compares the top answer with the sequential
+// pipeline's (the correctness oracle every live test uses).
+func (r *run) check(target int, question string) bool {
+	resp, err := live.Ask(r.addrs[target], question, r.cfg.Timeout)
+	if err != nil || len(resp.Answers) == 0 {
+		return false
+	}
+	want := r.eng.AnswerSequential(question)
+	if len(want.Answers) == 0 {
+		return false
+	}
+	return strings.EqualFold(resp.Answers[0].Text, want.Answers[0].Text)
+}
+
+// fire executes one schedule event.
+func (r *run) fire(ev event) {
+	switch ev.Kind {
+	case "restart":
+		if r.crashed >= 0 {
+			ev.Node, r.crashed = r.crashed, -1
+		}
+		r.logf("[q %d] restart node=%d", ev.At, ev.Node)
+		if r.alive[ev.Node] {
+			return
+		}
+		// Same address: peers re-admit it via the failure detector once its
+		// heartbeats resume. The OS may hold the port briefly; retry.
+		var n *live.Node
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			n, err = r.startNode(ev.Node, r.addrs[ev.Node])
+			if err == nil {
+				break
+			}
+			time.Sleep(40 * time.Millisecond)
+		}
+		if err != nil {
+			r.failf("restart node %d on %s: %v", ev.Node, r.addrs[ev.Node], err)
+			return
+		}
+		for j := range r.nodes {
+			if j != ev.Node {
+				n.AddPeer(r.addrs[j])
+			}
+		}
+		r.nodes[ev.Node] = n
+		r.alive[ev.Node] = true
+		r.awaitReadmission(ev.Node)
+
+	case "blackout":
+		r.logf("[q %d] blackout heartbeats from node=%d", ev.At, ev.Node)
+		id := r.inj.Add(fault.Rule{From: r.addrs[ev.Node], Op: fault.OpHeartbeat, Drop: true})
+		r.ruleID[fmt.Sprintf("blackout-%d", ev.Node)] = id
+		// Hold the window open past the detector's dead threshold, then
+		// assert the gating guarantee: every peer must have demoted the
+		// silent node out of its candidate set.
+		r.settle()
+		gated := true
+		for j, m := range r.nodes {
+			if j == ev.Node || !r.alive[j] {
+				continue
+			}
+			if m.PeerState(r.addrs[ev.Node]) == live.PeerAlive {
+				gated = false
+			}
+		}
+		r.logf("[check] blackout node=%d gated=%v", ev.Node, gated)
+		if !gated {
+			r.failf("blackout: node %d still admitted by a peer after %v of silence", ev.Node, r.settleWindow())
+		}
+
+	case "lift":
+		r.logf("[q %d] lift blackout node=%d", ev.At, ev.Node)
+		if id, ok := r.ruleID[fmt.Sprintf("blackout-%d", ev.Node)]; ok {
+			r.inj.Remove(id)
+		}
+		r.awaitReadmission(ev.Node)
+
+	case "partition":
+		r.logf("[q %d] partition node=%d -/-> node=%d", ev.At, ev.Node, ev.Peer)
+		id := r.inj.Add(fault.Rule{From: r.addrs[ev.Node], To: r.addrs[ev.Peer], Drop: true, Sever: true})
+		r.ruleID[fmt.Sprintf("part-%d-%d", ev.Node, ev.Peer)] = id
+		if r.alive[ev.Node] && r.alive[ev.Peer] {
+			// Asymmetry check: the deaf side must demote the silent side
+			// while the silent side still hears the deaf side.
+			r.settle()
+			farGated := r.nodes[ev.Peer].PeerState(r.addrs[ev.Node]) != live.PeerAlive
+			nearAlive := r.nodes[ev.Node].PeerState(r.addrs[ev.Peer]) == live.PeerAlive
+			r.logf("[check] partition far_gated=%v near_alive=%v", farGated, nearAlive)
+			if !farGated {
+				r.failf("partition: node %d still admits silent node %d", ev.Peer, ev.Node)
+			}
+		} else {
+			r.logf("[check] partition skipped (node down)")
+		}
+
+	case "heal":
+		r.logf("[q %d] heal partition node=%d -> node=%d", ev.At, ev.Node, ev.Peer)
+		if id, ok := r.ruleID[fmt.Sprintf("part-%d-%d", ev.Node, ev.Peer)]; ok {
+			r.inj.Remove(id)
+		}
+		// The partitioned side went suspect/dead on the far side; the
+		// detector must re-admit it once heartbeats flow again.
+		if r.alive[ev.Node] {
+			r.awaitReadmission(ev.Node)
+		}
+	}
+}
+
+// settleWindow is how long a fault window is held open so the failure
+// detector can cross its dead threshold (DeadAfter defaults to 6 missed
+// beats; 8 adds slack for scheduling jitter).
+func (r *run) settleWindow() time.Duration { return 8 * r.cfg.Heartbeat }
+
+func (r *run) settle() { time.Sleep(r.settleWindow()) }
+
+// awaitReadmission blocks until every other live node's failure detector
+// reports the node alive again — the detector-gating guarantee, asserted at
+// runtime (a violation becomes a Failure).
+func (r *run) awaitReadmission(i int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for j, m := range r.nodes {
+			if j == i || !r.alive[j] {
+				continue
+			}
+			if m.PeerState(r.addrs[i]) != live.PeerAlive {
+				all = false
+				break
+			}
+		}
+		if all {
+			r.logf("[event] node=%d re-admitted by all peers", i)
+			return
+		}
+		time.Sleep(r.cfg.Heartbeat)
+	}
+	r.failf("node %d was not re-admitted within 10s", i)
+}
+
+// collectCounters sums the fault-tolerance counters across surviving nodes
+// (informational; excluded from the deterministic log).
+func (r *run) collectCounters() {
+	var c Counters
+	for i, n := range r.nodes {
+		if !r.alive[i] || n == nil {
+			continue
+		}
+		st, err := live.QueryStatus(n.Addr(), 2*time.Second)
+		if err != nil {
+			continue
+		}
+		c.Retries += st.Metrics.Retries
+		c.BreakerTrips += st.Metrics.BreakerTrips
+		c.Readmissions += st.Metrics.Readmissions
+		c.Forwards += st.Metrics.ForwardsOut
+		c.Failures += st.Metrics.RequestFailures
+	}
+	stats := r.inj.Stats()
+	c.Injected = stats.Dropped + stats.Delayed + stats.Duplicated
+	r.res.Metrics = c
+	if r.cfg.Out != nil {
+		fmt.Fprintf(r.cfg.Out, "counters (informational): retries=%d breaker_trips=%d readmissions=%d forwards=%d request_failures=%d injected=%d\n",
+			c.Retries, c.BreakerTrips, c.Readmissions, c.Forwards, c.Failures, c.Injected)
+	}
+}
+
+// buildSchedule plans the fault events for a scenario. Victim choices come
+// from the seeded rng, so different seeds exercise different victims while
+// the same seed replays the same plan.
+func buildSchedule(cfg Config, rng *rand.Rand) []event {
+	q := cfg.Questions
+	pick := func(exclude int) int {
+		for {
+			v := rng.Intn(cfg.Nodes)
+			if v != exclude {
+				return v
+			}
+		}
+	}
+	at := func(frac float64) int {
+		i := int(frac * float64(q))
+		if i >= q {
+			i = q - 1
+		}
+		return i
+	}
+	switch cfg.Scenario {
+	case ScenarioCrash:
+		v := pick(-1)
+		return []event{
+			{At: at(0.25), Kind: "crashMid", Node: v},
+			{At: at(0.70), Kind: "restart", Node: v},
+		}
+	case ScenarioBlackout:
+		v := pick(-1)
+		return []event{
+			{At: at(0.25), Kind: "blackout", Node: v},
+			{At: at(0.70), Kind: "lift", Node: v},
+		}
+	case ScenarioPartition:
+		a := pick(-1)
+		b := pick(a)
+		return []event{
+			{At: at(0.25), Kind: "partition", Node: a, Peer: b},
+			{At: at(0.70), Kind: "heal", Node: a, Peer: b},
+		}
+	default: // mixed: phases are disjoint so each recovery completes cleanly
+		v1 := pick(-1)
+		a := pick(-1)
+		b := pick(a)
+		v2 := pick(v1)
+		return []event{
+			{At: at(0.10), Kind: "blackout", Node: v1},
+			{At: at(0.25), Kind: "lift", Node: v1},
+			{At: at(0.40), Kind: "partition", Node: a, Peer: b},
+			{At: at(0.55), Kind: "heal", Node: a, Peer: b},
+			{At: at(0.70), Kind: "crashMid", Node: v2},
+			{At: at(0.90), Kind: "restart", Node: v2},
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package fault is the repo's fault-injection seam: a deterministic,
+// seeded Injector that decides — per (source, destination, operation)
+// message — whether to drop it, delay it, duplicate its delivery, or sever
+// the underlying connection.
+//
+// The same Injector type drives both halves of the codebase:
+//
+//   - internal/live wires it into the per-peer connection pool, so real
+//     TCP/gob traffic between loopback nodes can be dropped, delayed,
+//     duplicated or severed per peer and per request kind (heartbeat,
+//     forward, pr, ap, ...);
+//   - internal/simnet wires it into Transfer/Broadcast, so the virtual-time
+//     simulator sees the same fault vocabulary as asymmetric partitions,
+//     message loss and delivery duplication — fully deterministic under the
+//     simulator's virtual clock.
+//
+// Determinism: all pseudo-randomness (probabilistic rules) comes from one
+// mutex-guarded rand.Rand seeded at construction. Given the same seed and
+// the same sequence of Decide calls, an Injector produces the same sequence
+// of decisions. Rules that always fire (Prob 0 or 1) never consume
+// randomness, so purely scripted schedules are deterministic regardless of
+// call interleaving.
+//
+// The paper's partitioners (Figures 5-6) specify failure recovery — "a
+// failed remote sub-task is retried locally" — and this package exists to
+// prove that recovery actually works: the chaos harness (internal/chaos,
+// `qabench -chaos`) builds its seeded fault schedules on top of it.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Operation names shared by the live cluster and the simulator. A rule with
+// Op == "" matches any operation.
+const (
+	OpHeartbeat = "heartbeat" // live load-report exchange
+	OpForward   = "forward"   // live question-dispatcher migration
+	OpAsk       = "ask"       // live client question (same wire kind as forward)
+	OpPR        = "pr"        // live paragraph-retrieval sub-task
+	OpAP        = "ap"        // live answer-processing sub-task
+	OpStatus    = "status"    // live operator status query
+	OpTransfer  = "transfer"  // simnet point-to-point transfer
+	OpBroadcast = "broadcast" // simnet load-monitor broadcast
+)
+
+// Decision is the injector's verdict for one message.
+type Decision struct {
+	// Drop fails the message: the live pool returns a transport error
+	// without touching the socket; simnet reports the transfer as failed.
+	Drop bool
+	// Delay stalls the message before it is sent. The live pool sleeps in
+	// wall-clock time; simnet sleeps in virtual time.
+	Delay time.Duration
+	// Duplicate delivers the message twice. Live requests are re-sent (every
+	// protocol op is idempotent); simnet broadcasts are delivered to each
+	// listener twice.
+	Duplicate bool
+	// Sever additionally tears down the underlying transport: the live pool
+	// closes every pooled connection to the destination before failing the
+	// call, modelling a TCP reset rather than silent loss.
+	Sever bool
+}
+
+// Faulty reports whether the decision perturbs the message at all.
+func (d Decision) Faulty() bool {
+	return d.Drop || d.Sever || d.Duplicate || d.Delay > 0
+}
+
+// Rule matches messages and describes the fault to inject. Zero-valued
+// match fields are wildcards.
+type Rule struct {
+	// From / To match the message's source / destination identity (live:
+	// node addresses; simnet: node names like "N2"). Empty matches any.
+	From, To string
+	// Op matches the operation (Op* constants). Empty matches any.
+	Op string
+	// Prob is the per-message firing probability. Values <= 0 or >= 1 mean
+	// "always" and consume no randomness.
+	Prob float64
+	// MaxHits disables the rule after it has fired that many times
+	// (0 = unlimited) — "drop the next 3 heartbeats" style schedules.
+	MaxHits int
+
+	// The fault applied when the rule fires.
+	Drop      bool
+	Delay     time.Duration
+	Duplicate bool
+	Sever     bool
+}
+
+func (r Rule) matches(from, to, op string) bool {
+	if r.From != "" && r.From != from {
+		return false
+	}
+	if r.To != "" && r.To != to {
+		return false
+	}
+	if r.Op != "" && r.Op != op {
+		return false
+	}
+	return true
+}
+
+// activeRule is a registered rule with identity and hit accounting.
+type activeRule struct {
+	Rule
+	id   int
+	hits int
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Decisions  int64 // Decide calls observed
+	Dropped    int64
+	Delayed    int64
+	Duplicated int64
+	Severed    int64
+}
+
+// Injector decides faults for messages. The zero value and the nil pointer
+// are both valid "inject nothing" injectors, so call sites need no
+// conditionals. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*activeRule
+	next  int
+	stats Stats
+}
+
+// New returns an Injector whose probabilistic rules draw from a rand.Rand
+// seeded with seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add registers a rule and returns its id (for Remove). Rules are evaluated
+// in insertion order; the first match wins.
+func (in *Injector) Add(r Rule) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.next++
+	in.rules = append(in.rules, &activeRule{Rule: r, id: in.next})
+	return in.next
+}
+
+// Remove deletes the rule with the given id. Removing an unknown id is a
+// no-op (the rule may have expired via MaxHits).
+func (in *Injector) Remove(id int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.rules {
+		if r.id == id {
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clear removes every rule.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+}
+
+// Decide returns the fault decision for one message from -> to carrying op.
+// A nil Injector (or one with no matching rule) returns the zero Decision.
+func (in *Injector) Decide(from, to, op string) Decision {
+	if in == nil {
+		return Decision{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stats.Decisions++
+	for i := 0; i < len(in.rules); i++ {
+		r := in.rules[i]
+		if !r.matches(from, to, op) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 {
+			if in.rng == nil {
+				in.rng = rand.New(rand.NewSource(0))
+			}
+			if in.rng.Float64() >= r.Prob {
+				continue
+			}
+		}
+		r.hits++
+		if r.MaxHits > 0 && r.hits >= r.MaxHits {
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+		}
+		d := Decision{Drop: r.Drop, Delay: r.Delay, Duplicate: r.Duplicate, Sever: r.Sever}
+		if d.Drop || d.Sever {
+			in.stats.Dropped++
+		}
+		if d.Sever {
+			in.stats.Severed++
+		}
+		if d.Delay > 0 {
+			in.stats.Delayed++
+		}
+		if d.Duplicate {
+			in.stats.Duplicated++
+		}
+		return d
+	}
+	return Decision{}
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Rules returns a human-readable description of the active rules, sorted by
+// id — used by the chaos harness's event log.
+func (in *Injector) Rules() []string {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rules := make([]*activeRule, len(in.rules))
+	copy(rules, in.rules)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].id < rules[j].id })
+	out := make([]string, 0, len(rules))
+	for _, r := range rules {
+		out = append(out, r.describe())
+	}
+	return out
+}
+
+func (r *activeRule) describe() string {
+	var kinds []string
+	if r.Drop {
+		kinds = append(kinds, "drop")
+	}
+	if r.Sever {
+		kinds = append(kinds, "sever")
+	}
+	if r.Duplicate {
+		kinds = append(kinds, "dup")
+	}
+	if r.Delay > 0 {
+		kinds = append(kinds, fmt.Sprintf("delay=%s", r.Delay))
+	}
+	if len(kinds) == 0 {
+		kinds = append(kinds, "noop")
+	}
+	from, to, op := r.From, r.To, r.Op
+	if from == "" {
+		from = "*"
+	}
+	if to == "" {
+		to = "*"
+	}
+	if op == "" {
+		op = "*"
+	}
+	return fmt.Sprintf("#%d %s %s->%s op=%s", r.id, strings.Join(kinds, "+"), from, to, op)
+}

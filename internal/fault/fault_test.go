@@ -1,0 +1,140 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if d := in.Decide("a", "b", OpHeartbeat); d.Faulty() {
+		t.Fatalf("nil injector injected %+v", d)
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector stats %+v", s)
+	}
+	if r := in.Rules(); r != nil {
+		t.Fatalf("nil injector rules %v", r)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{From: "a", To: "b", Op: OpHeartbeat, Drop: true})
+	if d := in.Decide("a", "b", OpHeartbeat); !d.Drop {
+		t.Fatal("exact match did not fire")
+	}
+	for _, tc := range [][3]string{
+		{"x", "b", OpHeartbeat}, // wrong source
+		{"a", "x", OpHeartbeat}, // wrong destination
+		{"a", "b", OpAP},        // wrong op
+	} {
+		if d := in.Decide(tc[0], tc[1], tc[2]); d.Faulty() {
+			t.Fatalf("rule fired for %v: %+v", tc, d)
+		}
+	}
+	// Wildcards.
+	in.Clear()
+	in.Add(Rule{To: "b", Delay: time.Millisecond})
+	if d := in.Decide("anyone", "b", OpAP); d.Delay != time.Millisecond {
+		t.Fatalf("wildcard rule did not fire: %+v", d)
+	}
+}
+
+func TestMaxHitsExpires(t *testing.T) {
+	in := New(1)
+	in.Add(Rule{Op: OpHeartbeat, Drop: true, MaxHits: 2})
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if in.Decide("a", "b", OpHeartbeat).Drop {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("MaxHits=2 rule fired %d times", fired)
+	}
+	if got := in.Rules(); len(got) != 0 {
+		t.Fatalf("expired rule still listed: %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	in := New(1)
+	id := in.Add(Rule{Drop: true})
+	in.Remove(id)
+	if d := in.Decide("a", "b", OpAP); d.Drop {
+		t.Fatal("removed rule still fires")
+	}
+	in.Remove(id) // removing twice is a no-op
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(seed)
+		in.Add(Rule{Op: OpTransfer, Prob: 0.5, Drop: true})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Decide("a", "b", OpTransfer).Drop
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-decision sequences")
+	}
+	drops := 0
+	for _, v := range a {
+		if v {
+			drops++
+		}
+	}
+	if drops < 50 || drops > 150 {
+		t.Fatalf("p=0.5 rule fired %d/200 times", drops)
+	}
+}
+
+func TestScriptedRulesConsumeNoRandomness(t *testing.T) {
+	// Two injectors with different seeds but only always-fire rules must
+	// agree decision-for-decision.
+	mk := func(seed int64) *Injector {
+		in := New(seed)
+		in.Add(Rule{To: "b", Op: OpAP, Sever: true})
+		in.Add(Rule{Op: OpHeartbeat, Duplicate: true})
+		return in
+	}
+	a, b := mk(1), mk(999)
+	calls := [][3]string{{"x", "b", OpAP}, {"x", "y", OpHeartbeat}, {"x", "y", OpAP}}
+	for _, c := range calls {
+		if da, db := a.Decide(c[0], c[1], c[2]), b.Decide(c[0], c[1], c[2]); da != db {
+			t.Fatalf("scripted rules diverged on %v: %+v vs %+v", c, da, db)
+		}
+	}
+}
+
+func TestStatsAndFirstMatchWins(t *testing.T) {
+	in := New(7)
+	in.Add(Rule{Op: OpAP, Drop: true})
+	in.Add(Rule{Op: OpAP, Delay: time.Second}) // shadowed by the drop rule
+	d := in.Decide("a", "b", OpAP)
+	if !d.Drop || d.Delay != 0 {
+		t.Fatalf("first-match-wins violated: %+v", d)
+	}
+	in.Decide("a", "b", OpStatus) // no match
+	s := in.Stats()
+	if s.Decisions != 2 || s.Dropped != 1 || s.Delayed != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}

@@ -23,20 +23,28 @@ import (
 // responses — travels to the client in Response.Spans.
 func (n *Node) handleAsk(req *Request) *Response {
 	start := time.Now()
+	// Per-question deadline budget: every remote call this question makes
+	// (forward, PR sub-tasks, AP sub-tasks), including retries and
+	// backoffs, shares this one allowance. When it runs out, remaining
+	// remote work degrades to local execution immediately.
+	budget := start.Add(n.retryPolicy.Budget)
 	root := n.spans.StartSpan("ask", "", req.Span)
 	ctx := root.Context()
 	if req.Forwarded {
 		n.nm.forwardsIn.Inc()
 	}
 
-	// Scheduling point 1: forward to a clearly less-loaded peer, once.
+	// Scheduling point 1: forward to a clearly less-loaded peer, once. The
+	// candidate set excludes suspect/dead/breaker-open peers, and a failed
+	// forward degrades gracefully to local execution (the same local
+	// fallback the PR/AP sub-tasks have always had).
 	if !req.Forwarded {
 		if target, ok := n.pickLighterPeer(); ok {
 			fwd := *req
 			fwd.Forwarded = true
 			fwdSpan := n.spans.StartSpan("forward", "", ctx)
 			fwd.Span = fwdSpan.Context()
-			if resp, err := n.pool.Call(target, &fwd, n.cfg.RequestTimeout); err == nil {
+			if resp, err := n.callPeer(target, &fwd, budget, 0); err == nil {
 				n.nm.forwardsOut.Inc()
 				resp.Forwarded = true
 				// Adopt the remote tree locally (for this node's span view),
@@ -50,7 +58,10 @@ func (n *Node) handleAsk(req *Request) *Response {
 				return resp
 			}
 			// The peer died between heartbeat and forward; serve locally.
+			// Blame the specific peer so the chaos harness can attribute
+			// the recovery (the marker span keeps it visible in traces).
 			n.nm.failForward.Inc()
+			n.spans.StartSpan("recover:forward peer="+target, "", fwdSpan.Context()).End()
 			fwdSpan.End()
 		}
 	}
@@ -82,7 +93,7 @@ func (n *Node) handleAsk(req *Request) *Response {
 	qpSpan.End()
 
 	prPart := n.spans.StartSpan("partition:PR", "", ctx)
-	scored := n.partitionPR(analysis, prPart.Context())
+	scored := n.partitionPR(analysis, prPart.Context(), budget)
 	prPart.End()
 
 	poSpan := n.spans.StartSpan("stage:PO", obs.StagePO, ctx)
@@ -91,7 +102,7 @@ func (n *Node) handleAsk(req *Request) *Response {
 
 	// Scheduling point 3: partition AP across idle peers (plus ourselves).
 	apPart := n.spans.StartSpan("partition:AP", "", ctx)
-	groups, apPeers := n.partitionAP(analysis, accepted, apPart.Context())
+	groups, apPeers := n.partitionAP(analysis, accepted, apPart.Context(), budget)
 	apPart.End()
 
 	mergeSpan := n.spans.StartSpan("stage:MERGE", obs.StageMerge, ctx)
@@ -113,11 +124,12 @@ func (n *Node) handleAsk(req *Request) *Response {
 
 // pickLighterPeer returns a peer whose committed load (running + queued)
 // is at least two questions below ours (the anti-useless-migration rule).
+// Only detector-alive, breaker-admitting peers are candidates.
 func (n *Node) pickLighterPeer() (string, bool) {
 	self := n.loadReport()
 	selfLoad := self.Questions + self.Queued
 	best, bestLoad := "", selfLoad
-	for _, p := range n.freshPeers() {
+	for _, p := range n.candidatePeers() {
 		if l := p.Questions + p.Queued; l < bestLoad {
 			best, bestLoad = p.Addr, l
 		}
@@ -134,10 +146,10 @@ func (n *Node) pickLighterPeer() (string, bool) {
 // recovery of Figure 6(b), simplified to one round. Local work records
 // stage:PR/stage:PS spans; remote work ships its pr-subtask spans back and
 // they are adopted under the same parent.
-func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext) []qa.ScoredParagraph {
+func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext, budget time.Time) []qa.ScoredParagraph {
 	nSubs := n.engine.Set.Len()
 	var idle []string
-	for _, p := range n.freshPeers() {
+	for _, p := range n.candidatePeers() {
 		if p.Questions == 0 && p.Queued == 0 && p.APTasks == 0 {
 			idle = append(idle, p.Addr)
 		}
@@ -175,20 +187,26 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext
 		go func() {
 			defer wg.Done()
 			n.nm.prSent.Inc()
-			resp, err := n.pool.Call(addr, &Request{
+			resp, err := n.callPeer(addr, &Request{
 				Kind:     kindPRSubtask,
 				Span:     parent,
 				Keywords: analysis.Keywords,
 				Subs:     assign[i],
-			}, n.cfg.RequestTimeout)
+			}, budget, 0)
 			if err != nil {
+				// Failure recovery with blame: the aggregate counter keeps
+				// its historical meaning, the per-peer counter and marker
+				// span record *which* peer the retry-locally path blamed.
 				n.nm.failPR.Inc()
+				n.spans.StartSpan("recover:pr peer="+addr, "", parent).End()
 				results[i] = local(assign[i]) // failure recovery
 				return
 			}
 			paras, err := n.resolveRefs(resp.ParaRefs)
 			if err != nil {
 				n.nm.failPR.Inc()
+				n.recordFailure("pr", addr, err)
+				n.spans.StartSpan("recover:pr peer="+addr, "", parent).End()
 				results[i] = local(assign[i])
 				return
 			}
@@ -213,9 +231,9 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext
 // sub-tasks are re-processed locally, the live analogue of the
 // sender-controlled recovery of Figure 5(c). Remote ap-subtask spans carry
 // the originating question's ID and come back in the sub-task response.
-func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredParagraph, parent obs.SpanContext) ([][]qa.Answer, int) {
+func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredParagraph, parent obs.SpanContext, budget time.Time) ([][]qa.Answer, int) {
 	var idle []string
-	for _, p := range n.freshPeers() {
+	for _, p := range n.candidatePeers() {
 		if p.Questions == 0 && p.Queued == 0 && p.APTasks == 0 {
 			idle = append(idle, p.Addr)
 		}
@@ -252,16 +270,18 @@ func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredPa
 				refs[k] = ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score}
 			}
 			n.nm.apSent.Inc()
-			resp, err := n.pool.Call(addr, &Request{
+			resp, err := n.callPeer(addr, &Request{
 				Kind:       kindAPSubtask,
 				Span:       parent,
 				Keywords:   analysis.Keywords,
 				AnswerType: int(analysis.AnswerType),
 				ParaRefs:   refs,
-			}, n.cfg.RequestTimeout)
+			}, budget, 0)
 			if err != nil {
-				// Failure recovery: process the partition locally.
+				// Failure recovery: process the partition locally, blaming
+				// the peer that failed (counter + marker span).
 				n.nm.failAP.Inc()
+				n.spans.StartSpan("recover:ap peer="+addr, "", parent).End()
 				groups[i] = localAP(parts[i])
 				return
 			}

@@ -1,0 +1,170 @@
+package live
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one peer's circuit-breaker state.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe call is let
+	// through, and its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+	// BreakerOpen: consecutive failures tripped the breaker; calls to the
+	// peer fail fast and the caller degrades to local execution.
+	BreakerOpen
+)
+
+// String returns the state's operator-facing name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerHalfOpen:
+		return "half-open"
+	case BreakerOpen:
+		return "open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes the per-peer circuit breaker layered over the
+// connection pool. The pool's transparent stale-conn redial stays; the
+// breaker sits above it and reacts to *call* failures (dial errors,
+// timeouts, dropped frames), tripping after a streak so a flapping or dead
+// peer degrades the caller to fast local execution instead of a timeout per
+// attempt.
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that trips the
+	// breaker open (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open breaker waits before letting a half-open
+	// probe through (default 2 s; chaos tests shrink it).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// breakerSet holds one circuit breaker per peer address.
+type breakerSet struct {
+	cfg BreakerConfig
+
+	// onTrip, when non-nil, is invoked (outside the lock) each time a
+	// breaker trips open — feeds live_breaker_trips_total.
+	onTrip func(addr string)
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+type breaker struct {
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreakerSet(cfg BreakerConfig) *breakerSet {
+	return &breakerSet{cfg: cfg.withDefaults(), m: make(map[string]*breaker)}
+}
+
+func (bs *breakerSet) get(addr string) *breaker {
+	b, ok := bs.m[addr]
+	if !ok {
+		b = &breaker{}
+		bs.m[addr] = b
+	}
+	return b
+}
+
+// allow reports whether a call to addr may proceed now. An open breaker
+// whose cooldown elapsed transitions to half-open and admits exactly one
+// probe; the probe's success/failure (reported via onSuccess/onFailure)
+// decides what happens next.
+func (bs *breakerSet) allow(addr string, now time.Time) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(addr)
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= bs.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	case BreakerHalfOpen:
+		if b.probing {
+			return false // a probe is already in flight
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// onSuccess records a successful call: any state collapses back to closed.
+func (bs *breakerSet) onSuccess(addr string) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.get(addr)
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// onFailure records a failed call, tripping the breaker when the
+// consecutive-failure streak reaches the threshold (or instantly for a
+// failed half-open probe).
+func (bs *breakerSet) onFailure(addr string, now time.Time) {
+	bs.mu.Lock()
+	b := bs.get(addr)
+	tripped := false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		tripped = true
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= bs.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			tripped = true
+		}
+	case BreakerOpen:
+		// Late failure from a call admitted before the trip; keep it open.
+		b.openedAt = now
+	}
+	cb := bs.onTrip
+	bs.mu.Unlock()
+	if tripped && cb != nil {
+		cb(addr)
+	}
+}
+
+// stateOf returns addr's breaker state (closed for unknown peers).
+func (bs *breakerSet) stateOf(addr string) BreakerState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b, ok := bs.m[addr]; ok {
+		return b.state
+	}
+	return BreakerClosed
+}

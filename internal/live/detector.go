@@ -1,0 +1,158 @@
+package live
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is the failure detector's verdict on a peer.
+type PeerState int
+
+const (
+	// PeerAlive: heartbeats arriving within the suspect threshold.
+	PeerAlive PeerState = iota
+	// PeerSuspect: SuspectAfter heartbeat periods missed. Suspect peers are
+	// excluded from forward and PR/AP partitioning candidate sets but keep
+	// receiving our heartbeats so they can re-admit us symmetrically.
+	PeerSuspect
+	// PeerDead: DeadAfter heartbeat periods missed. Dead peers are excluded
+	// from dispatch like suspects; a single fresh heartbeat re-admits them.
+	PeerDead
+)
+
+// String returns the state's operator-facing name.
+func (s PeerState) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// DetectorConfig tunes the heartbeat failure detector. Thresholds are
+// expressed in heartbeat periods (NodeConfig.HeartbeatEvery), so faster
+// heartbeats mean faster detection without retuning.
+type DetectorConfig struct {
+	// SuspectAfter is how many missed heartbeat periods move a peer from
+	// alive to suspect (default 3 — the paper's stale-node eviction window).
+	SuspectAfter int
+	// DeadAfter is how many missed periods move a peer to dead (default 6).
+	DeadAfter int
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = 2 * c.SuspectAfter
+	}
+	return c
+}
+
+// PeerHealth is one peer's failure-detector + circuit-breaker view, exposed
+// through Status for qactl and the chaos harness.
+type PeerHealth struct {
+	Addr string
+	// State is the detector verdict ("alive", "suspect", "dead").
+	State string
+	// SinceBeat is how long ago the last heartbeat from this peer arrived.
+	SinceBeat time.Duration
+	// Breaker is the circuit-breaker state ("closed", "half-open", "open").
+	Breaker string
+	// Failures counts remote-call failures blamed on this peer.
+	Failures int64
+	// Readmissions counts suspect/dead -> alive transitions.
+	Readmissions int64
+}
+
+// detector is the heartbeat-driven failure detector: peers move
+// alive -> suspect -> dead as heartbeat periods go missing, and any fresh
+// heartbeat re-admits them instantly. It only tracks peers it has heard at
+// least one heartbeat from (configured-but-silent peers are not dispatch
+// candidates, exactly as before this subsystem existed).
+type detector struct {
+	cfg     DetectorConfig
+	hbEvery time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*peerRecord
+}
+
+type peerRecord struct {
+	lastBeat     time.Time
+	readmissions int64
+}
+
+func newDetector(cfg DetectorConfig, hbEvery time.Duration) *detector {
+	return &detector{
+		cfg:     cfg.withDefaults(),
+		hbEvery: hbEvery,
+		peers:   make(map[string]*peerRecord),
+	}
+}
+
+// observeBeat records a heartbeat from addr and reports whether the peer
+// was re-admitted (it was suspect or dead beforehand).
+func (d *detector) observeBeat(addr string, now time.Time) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, ok := d.peers[addr]
+	if !ok {
+		d.peers[addr] = &peerRecord{lastBeat: now}
+		return false
+	}
+	readmitted := d.stateLocked(rec, now) != PeerAlive
+	if readmitted {
+		rec.readmissions++
+	}
+	rec.lastBeat = now
+	return readmitted
+}
+
+// stateOf returns the detector verdict for addr. Unknown peers are dead:
+// they have never heartbeated, so they are not dispatch candidates.
+func (d *detector) stateOf(addr string, now time.Time) PeerState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec, ok := d.peers[addr]
+	if !ok {
+		return PeerDead
+	}
+	return d.stateLocked(rec, now)
+}
+
+func (d *detector) stateLocked(rec *peerRecord, now time.Time) PeerState {
+	missed := now.Sub(rec.lastBeat)
+	switch {
+	case missed >= time.Duration(d.cfg.DeadAfter)*d.hbEvery:
+		return PeerDead
+	case missed >= time.Duration(d.cfg.SuspectAfter)*d.hbEvery:
+		return PeerSuspect
+	default:
+		return PeerAlive
+	}
+}
+
+// snapshot returns every tracked peer's state, sorted by address.
+func (d *detector) snapshot(now time.Time) []PeerHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PeerHealth, 0, len(d.peers))
+	for addr, rec := range d.peers {
+		out = append(out, PeerHealth{
+			Addr:         addr,
+			State:        d.stateLocked(rec, now).String(),
+			SinceBeat:    now.Sub(rec.lastBeat),
+			Readmissions: rec.readmissions,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

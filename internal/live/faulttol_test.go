@@ -1,0 +1,364 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"distqa/internal/fault"
+	"distqa/internal/obs"
+)
+
+// startFaultCluster is startCluster with per-node config mutation (fault
+// injectors, detector/breaker tuning, seeds).
+func startFaultCluster(t *testing.T, n int, mutate func(i int, cfg *NodeConfig)) []*Node {
+	t.Helper()
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		cfg := NodeConfig{
+			Addr:           "127.0.0.1:0",
+			Engine:         liveEngine,
+			HeartbeatEvery: 25 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+			Seed:           int64(i + 1),
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		node, err := StartNode(cfg)
+		if err != nil {
+			t.Fatalf("start node %d: %v", i, err)
+		}
+		nodes = append(nodes, node)
+		t.Cleanup(node.Close)
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				a.AddPeer(b.Addr())
+			}
+		}
+	}
+	return nodes
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestDetectorGatesDispatch is the failure-detector acceptance test: black
+// out one peer's heartbeats and assert that no new forwards or sub-tasks
+// reach it until it is re-admitted.
+func TestDetectorGatesDispatch(t *testing.T) {
+	inj := fault.New(1)
+	nodes := startFaultCluster(t, 3, func(i int, cfg *NodeConfig) {
+		cfg.Fault = inj // shared injector; rules keyed by source address
+	})
+	a, c := nodes[0], nodes[2]
+	waitForPeers(t, a, 2)
+	waitFor(t, "initial alive states", 2*time.Second, func() bool {
+		return a.PeerState(c.Addr()) == PeerAlive && len(a.candidatePeers()) == 2
+	})
+
+	// Heartbeat blackout: C's beats reach nobody (asymmetric — C still
+	// hears everyone else and serves traffic fine if asked).
+	ruleID := inj.Add(fault.Rule{From: c.Addr(), Op: fault.OpHeartbeat, Drop: true})
+	waitFor(t, "C to become suspect/dead on A", 3*time.Second, func() bool {
+		return a.PeerState(c.Addr()) != PeerAlive
+	})
+
+	// While blacked out, C must receive no new work from A.
+	prBefore := c.nm.prRecv.Value()
+	apBefore := c.nm.apRecv.Value()
+	fwdBefore := c.nm.forwardsIn.Value()
+	for i := 0; i < 3; i++ {
+		f := liveColl.Facts[i%len(liveColl.Facts)]
+		if _, err := Ask(a.Addr(), f.Question, 10*time.Second); err != nil {
+			t.Fatalf("ask during blackout: %v", err)
+		}
+		for _, p := range a.candidatePeers() {
+			if p.Addr == c.Addr() {
+				t.Fatal("blacked-out peer still in candidate set")
+			}
+		}
+	}
+	if got := c.nm.prRecv.Value(); got != prBefore {
+		t.Fatalf("suspect peer received %d new PR sub-tasks", got-prBefore)
+	}
+	if got := c.nm.apRecv.Value(); got != apBefore {
+		t.Fatalf("suspect peer received %d new AP sub-tasks", got-apBefore)
+	}
+	if got := c.nm.forwardsIn.Value(); got != fwdBefore {
+		t.Fatalf("suspect peer received %d new forwards", got-fwdBefore)
+	}
+
+	// Lift the blackout: one fresh heartbeat re-admits C.
+	inj.Remove(ruleID)
+	waitFor(t, "C re-admission on A", 3*time.Second, func() bool {
+		return a.PeerState(c.Addr()) == PeerAlive
+	})
+	found := false
+	for _, p := range a.candidatePeers() {
+		if p.Addr == c.Addr() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-admitted peer missing from candidate set")
+	}
+	if a.nm.readmissions.Value() == 0 {
+		t.Fatal("re-admission not counted")
+	}
+	// The health snapshot agrees.
+	for _, ph := range a.PeerHealthSnapshot() {
+		if ph.Addr == c.Addr() && ph.State != "alive" {
+			t.Fatalf("health snapshot says %s, want alive", ph.State)
+		}
+	}
+}
+
+// TestBlameAttribution drops every PR sub-task toward one peer and asserts
+// the local-fallback recovery still answers correctly AND records which
+// peer failed (the per-peer blame counters the chaos harness asserts on).
+func TestBlameAttribution(t *testing.T) {
+	inj := fault.New(2)
+	nodes := startFaultCluster(t, 2, func(i int, cfg *NodeConfig) {
+		if i == 0 {
+			cfg.Fault = inj
+			cfg.Retry = RetryPolicy{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+		}
+	})
+	a, b := nodes[0], nodes[1]
+	waitForPeers(t, a, 1)
+	waitFor(t, "B alive on A", 2*time.Second, func() bool { return a.PeerState(b.Addr()) == PeerAlive })
+
+	inj.Add(fault.Rule{From: a.Addr(), To: b.Addr(), Op: fault.OpPR, Drop: true})
+
+	f := liveColl.Facts[0]
+	resp, err := Ask(a.Addr(), f.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("ask: %v", err)
+	}
+	seq := liveEngine.AnswerSequential(f.Question)
+	if len(resp.Answers) == 0 || !strings.EqualFold(resp.Answers[0].Text, seq.Answers[0].Text) {
+		t.Fatalf("local-fallback answer wrong: %+v", resp.Answers)
+	}
+	if a.nm.failPR.Value() == 0 {
+		t.Fatal("aggregate PR failure counter did not move")
+	}
+	// Blame is attributed to B specifically.
+	blamed := a.Metrics().Counter("live_peer_failures_total", obs.Labels{"op": fault.OpPR, "peer": b.Addr()})
+	if blamed.Value() == 0 {
+		t.Fatal("no blame attributed to the failed peer")
+	}
+	if a.nm.peerFailures(b.Addr()) == 0 {
+		t.Fatal("PeerHealth blame total did not move")
+	}
+	// The retry policy fired before falling back.
+	if a.nm.retries(fault.OpPR).Value() == 0 {
+		t.Fatal("no retry recorded before local fallback")
+	}
+	// The recovery marker span names the blamed peer.
+	foundMarker := false
+	for _, s := range resp.Spans {
+		if strings.HasPrefix(s.Name, "recover:pr peer=") && strings.Contains(s.Name, b.Addr()) {
+			foundMarker = true
+		}
+	}
+	if !foundMarker {
+		t.Fatal("no recover:pr marker span naming the blamed peer")
+	}
+}
+
+// TestBreakerLifecycle drives one peer's breaker through
+// closed -> open -> half-open -> closed.
+func TestBreakerLifecycle(t *testing.T) {
+	bs := newBreakerSet(BreakerConfig{FailureThreshold: 3, Cooldown: 50 * time.Millisecond})
+	trips := 0
+	bs.onTrip = func(string) { trips++ }
+	now := time.Now()
+	const peer = "p"
+
+	for i := 0; i < 3; i++ {
+		if !bs.allow(peer, now) {
+			t.Fatalf("closed breaker blocked call %d", i)
+		}
+		bs.onFailure(peer, now)
+	}
+	if got := bs.stateOf(peer); got != BreakerOpen {
+		t.Fatalf("after threshold failures state=%v", got)
+	}
+	if trips != 1 {
+		t.Fatalf("trips=%d", trips)
+	}
+	if bs.allow(peer, now.Add(10*time.Millisecond)) {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	// Cooldown elapsed: exactly one probe is admitted.
+	probeAt := now.Add(60 * time.Millisecond)
+	if !bs.allow(peer, probeAt) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if bs.allow(peer, probeAt) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Failed probe re-opens instantly.
+	bs.onFailure(peer, probeAt)
+	if got := bs.stateOf(peer); got != BreakerOpen {
+		t.Fatalf("failed probe left state=%v", got)
+	}
+	if trips != 2 {
+		t.Fatalf("trips=%d after failed probe", trips)
+	}
+	// Next probe succeeds and closes the breaker.
+	again := probeAt.Add(60 * time.Millisecond)
+	if !bs.allow(peer, again) {
+		t.Fatal("second probe refused")
+	}
+	bs.onSuccess(peer)
+	if got := bs.stateOf(peer); got != BreakerClosed {
+		t.Fatalf("successful probe left state=%v", got)
+	}
+	if !bs.allow(peer, again) {
+		t.Fatal("closed breaker blocked")
+	}
+}
+
+// TestBreakerDegradesForwardsToLocal trips a breaker by pointing a node at
+// a dead peer address and asserts calls fail fast (breaker open) while
+// questions still get answered locally.
+func TestBreakerDegradesToLocal(t *testing.T) {
+	nodes := startFaultCluster(t, 1, func(i int, cfg *NodeConfig) {
+		cfg.Breaker = BreakerConfig{FailureThreshold: 2, Cooldown: 10 * time.Second}
+		cfg.Retry = RetryPolicy{MaxAttempts: 1, Budget: 5 * time.Second}
+		cfg.RequestTimeout = 200 * time.Millisecond
+	})
+	n := nodes[0]
+	// A peer that never answers: a bound-then-closed port.
+	dead := "127.0.0.1:1"
+	deadline := time.Now().Add(2 * time.Second)
+	for i := 0; i < 3; i++ {
+		n.callPeer(dead, &Request{Kind: kindStatus}, deadline, 1) //nolint:errcheck
+	}
+	if got := n.BreakerStateOf(dead); got != BreakerOpen {
+		t.Fatalf("breaker state %v after repeated failures, want open", got)
+	}
+	// Open breaker fails fast, without a network attempt.
+	start := time.Now()
+	_, err := n.callPeer(dead, &Request{Kind: kindStatus}, time.Now().Add(time.Second), 1)
+	if err == nil || !strings.Contains(err.Error(), "circuit breaker open") {
+		t.Fatalf("err=%v, want breaker-open", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("breaker-open call took %v, not fail-fast", elapsed)
+	}
+	if n.nm.breakerTrips.Value() == 0 {
+		t.Fatal("breaker trip not counted")
+	}
+	// The node still answers questions (local execution, no candidates).
+	f := liveColl.Facts[2]
+	resp, err := Ask(n.Addr(), f.Question, 10*time.Second)
+	if err != nil || len(resp.Answers) == 0 {
+		t.Fatalf("local ask failed: %v", err)
+	}
+}
+
+// TestRetryBudgetExhaustion asserts the per-question deadline budget cuts
+// retries off: with the budget already spent, callPeer refuses immediately.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	nodes := startFaultCluster(t, 1, nil)
+	n := nodes[0]
+	_, err := n.callPeer("127.0.0.1:1", &Request{Kind: kindStatus}, time.Now().Add(-time.Second), 0)
+	if err == nil || !strings.Contains(err.Error(), "budget exhausted") {
+		t.Fatalf("err=%v, want budget exhausted", err)
+	}
+}
+
+// TestBackoffJitterBounds checks the jittered exponential schedule stays
+// within [d*(1-jitter), d] and is reproducible under a seed.
+func TestBackoffJitterBounds(t *testing.T) {
+	p := RetryPolicy{}.withDefaults(time.Second)
+	r1, r2 := newRetrier(7), newRetrier(7)
+	for attempt := 1; attempt <= 6; attempt++ {
+		nominal := p.BaseBackoff << (attempt - 1)
+		if nominal > p.MaxBackoff {
+			nominal = p.MaxBackoff
+		}
+		d1 := r1.backoff(p, attempt)
+		d2 := r2.backoff(p, attempt)
+		if d1 != d2 {
+			t.Fatalf("same-seed backoffs diverged: %v vs %v", d1, d2)
+		}
+		lo := time.Duration(float64(nominal) * (1 - p.Jitter))
+		if d1 < lo || d1 > nominal {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v]", attempt, d1, lo, nominal)
+		}
+	}
+}
+
+// TestInjectorDelayAndDuplicate exercises the remaining injector verbs on
+// the live pool: delays stall the call, duplicates re-send it (idempotent
+// protocol), severs kill pooled conns.
+func TestInjectorDelayAndDuplicate(t *testing.T) {
+	inj := fault.New(3)
+	nodes := startFaultCluster(t, 2, func(i int, cfg *NodeConfig) {
+		if i == 0 {
+			cfg.Fault = inj
+		}
+	})
+	a, b := nodes[0], nodes[1]
+	waitForPeers(t, a, 1)
+
+	// Delay.
+	id := inj.Add(fault.Rule{From: a.Addr(), To: b.Addr(), Op: fault.OpStatus, Delay: 80 * time.Millisecond})
+	start := time.Now()
+	if _, err := a.Pool().QueryStatus(b.Addr(), 5*time.Second); err != nil {
+		t.Fatalf("delayed status: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("delay rule not applied: %v", elapsed)
+	}
+	inj.Remove(id)
+
+	// Duplicate: the peer sees two requests for one call.
+	recvBefore := b.nm.hbRecv.Value()
+	id = inj.Add(fault.Rule{From: a.Addr(), To: b.Addr(), Op: fault.OpHeartbeat, Duplicate: true, MaxHits: 1})
+	deadline := time.Now().Add(2 * time.Second)
+	if _, err := a.callPeer(b.Addr(), &Request{Kind: kindHeartbeat, Load: a.loadReport()}, deadline, 1); err != nil {
+		t.Fatalf("duplicated heartbeat: %v", err)
+	}
+	if got := b.nm.hbRecv.Value() - recvBefore; got != 2 {
+		t.Fatalf("peer saw %d deliveries for a duplicated call, want 2", got)
+	}
+	inj.Remove(id)
+
+	// Sever: pooled conns die and the call errors.
+	id = inj.Add(fault.Rule{From: a.Addr(), To: b.Addr(), Sever: true})
+	if _, err := a.Pool().QueryStatus(b.Addr(), time.Second); err == nil {
+		t.Fatal("severed call succeeded")
+	}
+	inj.Remove(id)
+	// After the sever rule lifts, traffic recovers (fresh dial).
+	if _, err := a.Pool().QueryStatus(b.Addr(), 5*time.Second); err != nil {
+		t.Fatalf("post-sever recovery: %v", err)
+	}
+}
+
+// TestFrameGuardRejectsOversizedFrame plants a frame larger than
+// MaxFrameBytes and asserts the guarded decode errors instead of consuming
+// it.
+func TestFrameGuardRejectsOversizedFrame(t *testing.T) {
+	req := &Request{Kind: kindAsk, Question: strings.Repeat("x", MaxFrameBytes+1024)}
+	data := encodeFrame(t, req)
+	if _, err := decodeRequestFrame(data); err == nil {
+		t.Fatal("oversized frame decoded without error")
+	}
+}

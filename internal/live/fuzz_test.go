@@ -1,0 +1,100 @@
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+
+	"distqa/internal/obs"
+	"distqa/internal/qa"
+)
+
+// encodeFrame gob-encodes one wire message (Request or Response) to raw
+// bytes, exactly as the client or server would put it on the wire. Shared by
+// the fuzz seeds below and by the frame-guard tests in faulttol_test.go.
+func encodeFrame(t testing.TB, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("encodeFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeRequest fuzzes the server-side decode path of the wire protocol
+// (the same decodeRequestFrame the keep-alive loop runs under the frame
+// guard). The property: arbitrary bytes must produce either a Request or an
+// error — never a panic, and never unbounded memory growth (the frame guard
+// caps a single frame at MaxFrameBytes).
+func FuzzDecodeRequest(f *testing.F) {
+	// Seed with every request kind the protocol actually uses, so the fuzzer
+	// starts from structurally valid gob streams and mutates from there.
+	seeds := []*Request{
+		{Kind: kindAsk, Question: "what is the capital of France?"},
+		{Kind: kindAsk, Question: "who?", Forwarded: true,
+			Span: obs.SpanContext{QID: 42, Span: 7}},
+		{Kind: kindPRSubtask, Keywords: []string{"capital", "france"}, Subs: []int{0, 2}},
+		{Kind: kindAPSubtask, Keywords: []string{"capital"}, AnswerType: 1,
+			ParaRefs: []ParaRef{{ID: 7, Matched: 2, Score: 3.5}}},
+		{Kind: kindHeartbeat, Load: LoadReport{
+			Addr: "127.0.0.1:9001", Questions: 1, Queued: 2, APTasks: 3,
+			Sent: time.Unix(1_000_000_000, 0)}},
+		{Kind: kindStatus},
+		{Kind: kindMetrics},
+	}
+	for _, req := range seeds {
+		f.Add(encodeFrame(f, req))
+	}
+	// Degenerate seeds: empty, truncated header, junk.
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeRequestFrame(data)
+		if err != nil {
+			return // malformed input must error, and did
+		}
+		if req == nil {
+			t.Fatal("decodeRequestFrame returned nil request and nil error")
+		}
+	})
+}
+
+// FuzzDecodeResponse fuzzes the client-side decode path (connection pool and
+// one-shot roundTrip). Same property as FuzzDecodeRequest: error or value,
+// never a panic or hang.
+func FuzzDecodeResponse(f *testing.F) {
+	seeds := []*Response{
+		{Answers: []qa.Answer{{Text: "Paris", Score: 2.5}},
+			ServedBy: "127.0.0.1:9001", APPeers: 2, ElapsedMS: 1.25},
+		{Err: "remote failure"},
+		{ParaRefs: []ParaRef{{ID: 1, Matched: 1, Score: 0.5}, {ID: 9, Matched: 3, Score: 2}}},
+		{Status: &Status{
+			Addr: "127.0.0.1:9001", Collection: "tiny", Paragraphs: 64,
+			Peers: []LoadReport{{Addr: "127.0.0.1:9002", Questions: 1}},
+			PeerHealth: []PeerHealth{{Addr: "127.0.0.1:9002", State: PeerAlive.String()}},
+			Uptime:     3 * time.Second,
+		}},
+		{MetricsText: "# TYPE live_questions_total counter\nlive_questions_total 4\n"},
+		{Spans: []obs.Span{{QID: 42, ID: 1, Name: "ask", Node: "127.0.0.1:9001"}}},
+		{Forwarded: true, ServedBy: "127.0.0.1:9002"},
+	}
+	for _, resp := range seeds {
+		f.Add(encodeFrame(f, resp))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Add([]byte("garbage response bytes"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := decodeResponseFrame(data)
+		if err != nil {
+			return
+		}
+		if resp == nil {
+			t.Fatal("decodeResponseFrame returned nil response and nil error")
+		}
+	})
+}

@@ -2,8 +2,10 @@ package live
 
 import (
 	"io"
+	"sync"
 	"time"
 
+	"distqa/internal/fault"
 	"distqa/internal/obs"
 )
 
@@ -26,6 +28,19 @@ type nodeMetrics struct {
 	failPR      *obs.Counter // live_request_failures_total{op="pr"}
 	failAP      *obs.Counter // live_request_failures_total{op="ap"}
 	failHB      *obs.Counter // live_request_failures_total{op="heartbeat"}
+
+	// Fault-tolerance instrumentation: retry attempts per op
+	// (live_retries_total{op=...}), circuit-breaker trips
+	// (live_breaker_trips_total), detector re-admissions
+	// (live_peer_readmissions_total) and per-peer blame counters
+	// (live_peer_failures_total{op=...,peer=...}, created lazily — the peer
+	// label space is unbounded).
+	retryByOp    map[string]*obs.Counter
+	breakerTrips *obs.Counter
+	readmissions *obs.Counter
+
+	blameMu     sync.Mutex
+	blameByPeer map[string]int64 // per-peer failure totals for PeerHealth
 
 	// Connection-pool instrumentation. These are the same counters the
 	// node's Pool increments (registry lookups are idempotent), cached here
@@ -60,6 +75,13 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	m.failPR = reg.Counter("live_request_failures_total", obs.Labels{"op": "pr"})
 	m.failAP = reg.Counter("live_request_failures_total", obs.Labels{"op": "ap"})
 	m.failHB = reg.Counter("live_request_failures_total", obs.Labels{"op": "heartbeat"})
+	m.retryByOp = make(map[string]*obs.Counter, 5)
+	for _, op := range []string{fault.OpHeartbeat, fault.OpForward, fault.OpPR, fault.OpAP, fault.OpStatus} {
+		m.retryByOp[op] = reg.Counter("live_retries_total", obs.Labels{"op": op})
+	}
+	m.breakerTrips = reg.Counter("live_breaker_trips_total", nil)
+	m.readmissions = reg.Counter("live_peer_readmissions_total", nil)
+	m.blameByPeer = make(map[string]int64)
 	m.poolHits = reg.Counter("live_pool_hits", nil)
 	m.poolMisses = reg.Counter("live_pool_misses", nil)
 	m.poolEvictions = reg.Counter("live_pool_evictions", nil)
@@ -75,6 +97,49 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 		m.stages[stage] = reg.Histogram("qa_stage_seconds", obs.Labels{"stage": stage}, obs.LatencyBuckets())
 	}
 	return m
+}
+
+// retries returns the retry counter for op (lazily registered for exotic
+// ops; the protocol's five ops are pre-registered).
+func (m *nodeMetrics) retries(op string) *obs.Counter {
+	if c, ok := m.retryByOp[op]; ok {
+		return c
+	}
+	return m.reg.Counter("live_retries_total", obs.Labels{"op": op})
+}
+
+// blame attributes one remote-call failure to a specific peer: it feeds the
+// per-peer labelled failure counter *and* the PeerHealth.Failures snapshot,
+// so the chaos harness can assert exactly which peer a local-fallback
+// recovery blamed.
+func (m *nodeMetrics) blame(op, addr string) {
+	m.reg.Counter("live_peer_failures_total", obs.Labels{"op": op, "peer": addr}).Inc()
+	m.blameMu.Lock()
+	m.blameByPeer[addr]++
+	m.blameMu.Unlock()
+}
+
+// retryTotal sums retry attempts across the pre-registered ops.
+func (m *nodeMetrics) retryTotal() int64 {
+	var total int64
+	for _, c := range m.retryByOp {
+		total += c.Value()
+	}
+	return total
+}
+
+// peerFailures returns the failures blamed on addr so far.
+func (m *nodeMetrics) peerFailures(addr string) int64 {
+	m.blameMu.Lock()
+	defer m.blameMu.Unlock()
+	return m.blameByPeer[addr]
+}
+
+// recordFailure is the single funnel for "a remote call to addr failed":
+// per-peer blame plus the aggregate per-op failure counter.
+func (n *Node) recordFailure(op, addr string, err error) {
+	_ = err
+	n.nm.blame(op, addr)
 }
 
 // observeSpan feeds the per-stage latency histograms from completed spans —
@@ -99,11 +164,32 @@ func (n *Node) Metrics() *obs.Registry { return n.obs }
 func (n *Node) Spans() *obs.Recorder { return n.spans }
 
 // WriteMetricsText refreshes the scrape-time gauges (uptime, fresh peer
-// count) and renders the registry in the Prometheus text format.
+// count, per-peer detector and breaker states) and renders the registry in
+// the Prometheus text format.
 func (n *Node) WriteMetricsText(w io.Writer) error {
 	n.nm.uptime.Set(int64(time.Since(n.started).Seconds()))
 	n.nm.peers.Set(int64(len(n.freshPeers())))
+	now := time.Now()
+	for _, ph := range n.detector.snapshot(now) {
+		n.obs.Gauge("live_peer_state", obs.Labels{"peer": ph.Addr}).
+			Set(int64(n.detector.stateOf(ph.Addr, now)))
+		n.obs.Gauge("live_breaker_state", obs.Labels{"peer": ph.Addr}).
+			Set(int64(n.breakers.stateOf(ph.Addr)))
+	}
 	return n.obs.WriteText(w)
+}
+
+// PeerHealthSnapshot returns the node's current failure-detector and
+// circuit-breaker view of every peer it has heard from, with per-peer blame
+// totals — the payload behind Status.PeerHealth and `qactl -status`.
+func (n *Node) PeerHealthSnapshot() []PeerHealth {
+	now := time.Now()
+	out := n.detector.snapshot(now)
+	for i := range out {
+		out[i].Breaker = n.breakers.stateOf(out[i].Addr).String()
+		out[i].Failures = n.nm.peerFailures(out[i].Addr)
+	}
+	return out
 }
 
 // statusMetrics snapshots the counters for the Status payload.
@@ -122,6 +208,9 @@ func (n *Node) statusMetrics() StatusMetrics {
 		HeartbeatsSent:     n.nm.hbSent.Value(),
 		HeartbeatsReceived: n.nm.hbRecv.Value(),
 		RequestFailures:    failures,
+		Retries:            n.nm.retryTotal(),
+		BreakerTrips:       n.nm.breakerTrips.Value(),
+		Readmissions:       n.nm.readmissions.Value(),
 		PoolHits:           n.nm.poolHits.Value(),
 		PoolMisses:         n.nm.poolMisses.Value(),
 		PoolEvictions:      n.nm.poolEvictions.Value(),

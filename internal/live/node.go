@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"distqa/internal/corpus"
+	"distqa/internal/fault"
 	"distqa/internal/index"
 	"distqa/internal/nlp"
 	"distqa/internal/obs"
@@ -38,6 +39,21 @@ type NodeConfig struct {
 	HeartbeatEvery time.Duration
 	// RequestTimeout bounds each remote call (default 30 s).
 	RequestTimeout time.Duration
+	// Detector tunes the heartbeat failure detector (missed-beat thresholds
+	// for alive -> suspect -> dead). Zero value selects defaults.
+	Detector DetectorConfig
+	// Breaker tunes the per-peer circuit breaker layered over the
+	// connection pool. Zero value selects defaults.
+	Breaker BreakerConfig
+	// Retry is the jittered-exponential-backoff retry policy with the
+	// per-question deadline budget. Zero value selects defaults.
+	Retry RetryPolicy
+	// Seed seeds the node's retry-jitter RNG (0 = time-based). Chaos runs
+	// set it for reproducibility.
+	Seed int64
+	// Fault optionally injects faults into every outbound call (package
+	// fault): drop, delay, duplicate or sever per peer/op. nil = no faults.
+	Fault *fault.Injector
 }
 
 // Node is a running live Q/A node.
@@ -56,6 +72,14 @@ type Node struct {
 	// pool holds persistent gob connections to peers; heartbeats, forwards
 	// and PR/AP sub-task traffic all ride it.
 	pool *Pool
+
+	// Fault tolerance: the heartbeat failure detector (alive/suspect/dead
+	// gating of dispatch candidates), per-peer circuit breakers over the
+	// pool, and the retry machinery with its seeded jitter RNG.
+	detector    *detector
+	breakers    *breakerSet
+	retry       *retrier
+	retryPolicy RetryPolicy
 
 	mu         sync.Mutex
 	peers      map[string]LoadReport
@@ -101,20 +125,29 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	}
 	reg := obs.NewRegistry()
 	n := &Node{
-		cfg:        cfg,
-		engine:     engine,
-		listener:   ln,
-		started:    time.Now(),
-		obs:        reg,
-		nm:         newNodeMetrics(reg),
-		spans:      obs.NewRecorder(ln.Addr().String(), 0),
-		pool:       NewPool(PoolConfig{Registry: reg}),
-		peers:      make(map[string]LoadReport),
-		knownPeers: make(map[string]bool),
-		conns:      make(map[net.Conn]struct{}),
-		admit:      make(chan struct{}, cfg.MaxConcurrent),
-		done:       make(chan struct{}),
+		cfg:      cfg,
+		engine:   engine,
+		listener: ln,
+		started:  time.Now(),
+		obs:      reg,
+		nm:       newNodeMetrics(reg),
+		spans:    obs.NewRecorder(ln.Addr().String(), 0),
+		pool: NewPool(PoolConfig{
+			Registry: reg,
+			Self:     ln.Addr().String(),
+			Injector: cfg.Fault,
+		}),
+		detector:    newDetector(cfg.Detector, cfg.HeartbeatEvery),
+		breakers:    newBreakerSet(cfg.Breaker),
+		retry:       newRetrier(cfg.Seed),
+		retryPolicy: cfg.Retry.withDefaults(cfg.RequestTimeout),
+		peers:       make(map[string]LoadReport),
+		knownPeers:  make(map[string]bool),
+		conns:       make(map[net.Conn]struct{}),
+		admit:       make(chan struct{}, cfg.MaxConcurrent),
+		done:        make(chan struct{}),
 	}
+	n.breakers.onTrip = func(string) { n.nm.breakerTrips.Inc() }
 	// Every stage span completed on this node (local stages and remote
 	// sub-tasks alike) feeds the per-stage latency histograms.
 	n.spans.OnEnd = n.nm.observeSpan
@@ -195,7 +228,12 @@ func (n *Node) heartbeatLoop() {
 			addr := addr
 			go func() {
 				n.nm.hbSent.Inc()
-				if _, err := n.pool.Call(addr, &Request{Kind: kindHeartbeat, Load: report}, n.cfg.HeartbeatEvery*2); err != nil {
+				// Single attempt per beat (the next beat is the retry), but
+				// breaker-gated: an open breaker makes beats to a dead peer
+				// free, and its half-open probe is how connectivity recovery
+				// is discovered.
+				deadline := time.Now().Add(2 * n.cfg.HeartbeatEvery)
+				if _, err := n.callPeer(addr, &Request{Kind: kindHeartbeat, Load: report}, deadline, 1); err != nil {
 					n.nm.failHB.Inc()
 				}
 			}()
@@ -245,7 +283,7 @@ func (n *Node) loadReport() LoadReport {
 }
 
 // freshPeers returns peer reports younger than three heartbeats (the
-// paper's stale-node eviction).
+// paper's stale-node eviction) — the operator-facing peer table.
 func (n *Node) freshPeers() []LoadReport {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -260,6 +298,38 @@ func (n *Node) freshPeers() []LoadReport {
 	return out
 }
 
+// candidatePeers is the dispatch-candidate set: peers the failure detector
+// considers alive AND whose circuit breaker is not open. Forwarding and
+// PR/AP partitioning draw exclusively from this set, so a peer that stops
+// heartbeating (or keeps failing calls) receives no new work until it is
+// re-admitted by a fresh heartbeat (and its breaker's half-open probe
+// succeeds).
+func (n *Node) candidatePeers() []LoadReport {
+	now := time.Now()
+	var out []LoadReport
+	for _, r := range n.freshPeers() {
+		if n.detector.stateOf(r.Addr, now) != PeerAlive {
+			continue
+		}
+		if n.breakers.stateOf(r.Addr) == BreakerOpen {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// PeerState returns this node's failure-detector verdict on addr (tests,
+// chaos harness).
+func (n *Node) PeerState(addr string) PeerState {
+	return n.detector.stateOf(addr, time.Now())
+}
+
+// BreakerStateOf returns this node's circuit-breaker state for addr.
+func (n *Node) BreakerStateOf(addr string) BreakerState {
+	return n.breakers.stateOf(addr)
+}
+
 // handle serves one connection as a keep-alive request/response loop: the
 // gob encoder/decoder pair persists across requests, matching the client
 // pool's reused streams so type descriptors travel once per connection, not
@@ -267,7 +337,11 @@ func (n *Node) freshPeers() []LoadReport {
 // close after the first response and the next decode returns EOF.
 func (n *Node) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	// The frame guard bounds each decoded message to MaxFrameBytes, so a
+	// malformed or hostile frame errors out instead of streaming until the
+	// idle timeout (see FuzzDecodeRequest).
+	fr := newFrameReader(conn)
+	dec := gob.NewDecoder(fr)
 	enc := gob.NewEncoder(conn)
 	for {
 		// Wait up to the keep-alive idle timeout for the next request; the
@@ -275,6 +349,7 @@ func (n *Node) handle(conn net.Conn) {
 		if err := conn.SetReadDeadline(time.Now().Add(serverIdleTimeout)); err != nil {
 			return
 		}
+		fr.reset()
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return
@@ -301,7 +376,13 @@ func (n *Node) dispatch(req *Request) *Response {
 		n.nm.hbRecv.Inc()
 		n.mu.Lock()
 		n.peers[req.Load.Addr] = req.Load
+		// Heartbeats double as dynamic peer discovery (Section 3.1), so a
+		// restarted peer re-joins the mesh without reconfiguration.
+		n.knownPeers[req.Load.Addr] = true
 		n.mu.Unlock()
+		if n.detector.observeBeat(req.Load.Addr, time.Now()) {
+			n.nm.readmissions.Inc()
+		}
 		return &Response{}
 	case kindStatus:
 		return n.handleStatus()
@@ -331,6 +412,7 @@ func (n *Node) handleStatus() *Response {
 		Peers:      n.freshPeers(),
 		Uptime:     time.Since(n.started),
 		Metrics:    n.statusMetrics(),
+		PeerHealth: n.PeerHealthSnapshot(),
 	}}
 }
 

@@ -2,13 +2,20 @@ package live
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"distqa/internal/fault"
 	"distqa/internal/obs"
 )
+
+// ErrInjectedFault is returned (wrapped) by Pool.Call when the configured
+// fault injector dropped or severed the call. Callers treat it exactly like
+// a transport error — that is the point.
+var ErrInjectedFault = errors.New("injected fault")
 
 // Pool defaults. The idle TTL is deliberately shorter than the server's
 // keep-alive timeout (serverIdleTimeout) so that under normal operation the
@@ -39,6 +46,15 @@ type PoolConfig struct {
 	// live_pool_open_conns). When nil the counters still exist but are
 	// private to the pool.
 	Registry *obs.Registry
+	// Self identifies this pool's owner (the node's address) to the fault
+	// injector as the message source. Empty is fine when no injector is
+	// set.
+	Self string
+	// Injector, when non-nil, is consulted before every outbound call and
+	// may drop it, delay it, duplicate it (all ops are idempotent) or sever
+	// the pooled connections to the destination first (package fault). The
+	// chaos harness drives it; production pools leave it nil.
+	Injector *fault.Injector
 }
 
 // poolMetrics are the pool's instrumentation handles. All fields are always
@@ -79,6 +95,7 @@ type pooledConn struct {
 	conn     net.Conn
 	enc      *gob.Encoder
 	dec      *gob.Decoder
+	fr       *frameReader // per-response frame budget, reset before each decode
 	lastUsed time.Time
 	calls    int
 }
@@ -99,6 +116,7 @@ func (pc *pooledConn) do(req *Request, timeout time.Duration) (*Response, error)
 	if err := pc.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
+	pc.fr.reset()
 	var resp Response
 	if err := pc.dec.Decode(&resp); err != nil {
 		return nil, fmt.Errorf("decode: %w", err)
@@ -160,6 +178,32 @@ func (p *Pool) Call(addr string, req *Request, timeout time.Duration) (*Response
 		return roundTrip(addr, req, timeout)
 	}
 
+	if d := p.cfg.Injector.Decide(p.cfg.Self, addr, opOfKind(req.Kind)); d.Faulty() {
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Sever {
+			// Model a TCP reset: kill every pooled connection to the peer
+			// before failing the call.
+			p.severPeer(addr)
+		}
+		if d.Drop || d.Sever {
+			return nil, fmt.Errorf("live: call %s: %w", addr, ErrInjectedFault)
+		}
+		if d.Duplicate {
+			// Duplicate delivery: send the request twice (every protocol op
+			// is idempotent); the second response wins.
+			if _, err := p.call(addr, req, timeout); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p.call(addr, req, timeout)
+}
+
+// call is the injector-free body of Call: one pooled request/response
+// exchange with the transparent stale-conn redial.
+func (p *Pool) call(addr string, req *Request, timeout time.Duration) (*Response, error) {
 	pc, reused, err := p.acquire(addr, timeout)
 	if err != nil {
 		return nil, err
@@ -249,10 +293,12 @@ func (p *Pool) dialPooled(addr string, timeout time.Duration) (*pooledConn, erro
 		return nil, fmt.Errorf("live: dial %s: %w", addr, err)
 	}
 	p.m.open.Inc()
+	fr := newFrameReader(conn)
 	return &pooledConn{
 		conn:     conn,
 		enc:      gob.NewEncoder(conn),
-		dec:      gob.NewDecoder(conn),
+		dec:      gob.NewDecoder(fr),
+		fr:       fr,
 		lastUsed: time.Now(),
 	}, nil
 }
@@ -281,6 +327,19 @@ func (p *Pool) release(addr string, pc *pooledConn) {
 func (p *Pool) discard(pc *pooledConn) {
 	pc.conn.Close()
 	p.m.open.Dec()
+}
+
+// severPeer force-closes every pooled idle connection to addr (fault
+// injection: a simulated TCP reset / network sever).
+func (p *Pool) severPeer(addr string) {
+	p.mu.Lock()
+	list := p.idle[addr]
+	delete(p.idle, addr)
+	p.mu.Unlock()
+	for _, pc := range list {
+		p.m.evictions.Inc()
+		p.discard(pc)
+	}
 }
 
 // EvictIdle closes idle connections older than the idle TTL. Nodes call it

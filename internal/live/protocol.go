@@ -17,14 +17,78 @@
 package live
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
 	"distqa/internal/obs"
 	"distqa/internal/qa"
 )
+
+// MaxFrameBytes bounds how many bytes one gob-encoded Request or Response
+// may occupy on the wire. A malformed or hostile frame that keeps streaming
+// bytes would otherwise hold a decode goroutine (and its buffers) until the
+// idle timeout; the frame guard turns it into an immediate decode error.
+const MaxFrameBytes = 16 << 20
+
+// errFrameTooLarge is the frameReader's budget-exhausted error.
+var errFrameTooLarge = errors.New("live: frame exceeds MaxFrameBytes")
+
+// frameReader meters bytes flowing into a gob decoder, erroring once a
+// single frame exceeds the budget. The keep-alive server loop and the
+// connection pool reset it before each decode, so the budget applies per
+// message, not per connection.
+type frameReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: r, remaining: MaxFrameBytes}
+}
+
+// reset restores the per-frame budget (call before each decode).
+func (f *frameReader) reset() { f.remaining = MaxFrameBytes }
+
+func (f *frameReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, errFrameTooLarge
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= int64(n)
+	return n, err
+}
+
+// decodeRequestFrame decodes one Request from raw bytes under the frame
+// guard — the exact decode path the keep-alive server loop runs, factored
+// out so the wire protocol is natively fuzzable (FuzzDecodeRequest).
+// Malformed frames must return an error; they must never panic or hang.
+func decodeRequestFrame(data []byte) (*Request, error) {
+	fr := newFrameReader(bytes.NewReader(data))
+	var req Request
+	if err := gob.NewDecoder(fr).Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// decodeResponseFrame decodes one Response from raw bytes under the frame
+// guard (the client pool's decode path; FuzzDecodeResponse).
+func decodeResponseFrame(data []byte) (*Response, error) {
+	fr := newFrameReader(bytes.NewReader(data))
+	var resp Response
+	if err := gob.NewDecoder(fr).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
 
 // Wire message kinds.
 const (
@@ -107,6 +171,10 @@ type Status struct {
 	Uptime     time.Duration
 	// Metrics is the node's cumulative metrics snapshot.
 	Metrics StatusMetrics
+	// PeerHealth is the node's failure-detector and circuit-breaker view of
+	// every peer it has heard from (alive/suspect/dead, breaker state,
+	// blamed failures) — rendered by `qactl -status`.
+	PeerHealth []PeerHealth
 }
 
 // StatusMetrics is the counter snapshot carried in Status (and rendered by
@@ -123,6 +191,11 @@ type StatusMetrics struct {
 	HeartbeatsSent     int64
 	HeartbeatsReceived int64
 	RequestFailures    int64 // remote calls that errored or timed out
+	// Fault-tolerance counters (PR-3): retry attempts, circuit-breaker
+	// trips and failure-detector re-admissions.
+	Retries      int64
+	BreakerTrips int64
+	Readmissions int64
 	// Connection-pool counters (live_pool_* metrics): persistent-connection
 	// reuse on this node's outbound RPC path.
 	PoolHits      int64
@@ -154,7 +227,7 @@ func roundTrip(addr string, req *Request, timeout time.Duration) (*Response, err
 		return nil, fmt.Errorf("live: encode to %s: %w", addr, err)
 	}
 	var resp Response
-	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+	if err := gob.NewDecoder(newFrameReader(conn)).Decode(&resp); err != nil {
 		return nil, fmt.Errorf("live: decode from %s: %w", addr, err)
 	}
 	if resp.Err != "" {

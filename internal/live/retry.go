@@ -1,0 +1,165 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"distqa/internal/fault"
+)
+
+// RetryPolicy replaces the pre-fault-tolerance scattering of fixed
+// per-call timeouts with one policy: every remote call a question makes is
+// bounded by the question's remaining *deadline budget*, transient failures
+// are retried with jittered exponential backoff, and the per-peer circuit
+// breaker (BreakerConfig) short-circuits retry storms against a peer that
+// keeps failing.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per logical call (default 2: one try plus
+	// one retry). Heartbeats always use a single attempt — the next beat is
+	// the retry.
+	MaxAttempts int
+	// BaseBackoff is the first retry's nominal delay (default 25 ms);
+	// successive retries double it up to MaxBackoff (default 250 ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the randomized fraction of each backoff delay, 0..1
+	// (default 0.5: sleep in [d/2, d]). Jitter draws from the node's seeded
+	// RNG (NodeConfig.Seed), keeping chaos runs reproducible.
+	Jitter float64
+	// Budget is the per-question deadline budget: the wall-clock allowance
+	// for *all* remote work one question triggers, attempts and backoffs
+	// included (default = NodeConfig.RequestTimeout). When the budget runs
+	// out, remaining work degrades to local execution immediately.
+	Budget time.Duration
+}
+
+func (p RetryPolicy) withDefaults(reqTimeout time.Duration) RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 2
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Jitter <= 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	if p.Budget <= 0 {
+		p.Budget = reqTimeout
+	}
+	return p
+}
+
+// errBreakerOpen is returned (wrapped) when the destination peer's circuit
+// breaker is open: the call failed fast without touching the network.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// errBudgetExhausted is returned (wrapped) when a question's deadline
+// budget ran out before the call could be attempted.
+var errBudgetExhausted = errors.New("question budget exhausted")
+
+// retrier owns the node's retry RNG (jitter must be lock-protected: many
+// question goroutines back off concurrently).
+type retrier struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newRetrier(seed int64) *retrier {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &retrier{rng: rand.New(rand.NewSource(seed))}
+}
+
+// backoff returns the jittered delay before retry attempt (1-based).
+func (r *retrier) backoff(p RetryPolicy, attempt int) time.Duration {
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	r.mu.Lock()
+	f := r.rng.Float64()
+	r.mu.Unlock()
+	// Equal jitter: keep (1-Jitter) of d deterministic, randomize the rest.
+	return time.Duration(float64(d) * ((1 - p.Jitter) + p.Jitter*f))
+}
+
+// opOfKind maps a wire request kind to its fault/metrics operation name.
+func opOfKind(kind string) string {
+	switch kind {
+	case kindHeartbeat:
+		return fault.OpHeartbeat
+	case kindPRSubtask:
+		return fault.OpPR
+	case kindAPSubtask:
+		return fault.OpAP
+	case kindAsk:
+		return fault.OpForward
+	case kindStatus, kindMetrics:
+		return fault.OpStatus
+	default:
+		return kind
+	}
+}
+
+// callPeer is the node's guarded remote-call path: circuit breaker in
+// front, pooled transport underneath, jittered-backoff retries behind, the
+// whole thing bounded by the question's deadline budget. Every remote call
+// the node makes on behalf of a question (forward, PR sub-task, AP
+// sub-task) and every heartbeat goes through here.
+//
+// maxAttempts <= 0 uses the node's retry policy; heartbeats pass 1.
+func (n *Node) callPeer(addr string, req *Request, deadline time.Time, maxAttempts int) (*Response, error) {
+	op := opOfKind(req.Kind)
+	if maxAttempts <= 0 {
+		maxAttempts = n.retryPolicy.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		now := time.Now()
+		remaining := deadline.Sub(now)
+		if remaining <= 0 {
+			if lastErr != nil {
+				return nil, fmt.Errorf("live: call %s op=%s: %w (last error: %v)", addr, op, errBudgetExhausted, lastErr)
+			}
+			return nil, fmt.Errorf("live: call %s op=%s: %w", addr, op, errBudgetExhausted)
+		}
+		if !n.breakers.allow(addr, now) {
+			n.recordFailure(op, addr, errBreakerOpen)
+			return nil, fmt.Errorf("live: call %s op=%s: %w", addr, op, errBreakerOpen)
+		}
+		timeout := remaining
+		if n.cfg.RequestTimeout < timeout {
+			timeout = n.cfg.RequestTimeout
+		}
+		resp, err := n.pool.Call(addr, req, timeout)
+		if err == nil {
+			n.breakers.onSuccess(addr)
+			return resp, nil
+		}
+		n.breakers.onFailure(addr, time.Now())
+		n.recordFailure(op, addr, err)
+		lastErr = err
+		if attempt+1 < maxAttempts {
+			n.nm.retries(op).Inc()
+			delay := n.retry.backoff(n.retryPolicy, attempt+1)
+			if until := time.Until(deadline); delay > until {
+				delay = until
+			}
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-n.done:
+					return nil, lastErr
+				}
+			}
+		}
+	}
+	return nil, lastErr
+}

@@ -102,11 +102,27 @@ func (s *sendPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, r
 			})
 		}
 		group.Wait(p)
-		// Figure 5(c) step 4: concatenate unprocessed partitions and repeat.
-		remaining = nil
+		// Figure 5(c) step 4: collect unprocessed items and repeat. The
+		// retry array keeps the *original* item order (the ranked order the
+		// split functions assume) rather than concatenating partitions:
+		// with interleaved partitioning, two failed partitions concatenated
+		// naively would interleave out of rank order and the next round's
+		// sub-tasks would no longer receive rank-ordered (merge-ordered)
+		// item runs.
+		unprocessed := make(map[int]int)
 		for _, f := range failed {
-			remaining = append(remaining, f...)
+			for _, item := range f {
+				unprocessed[item]++
+			}
 		}
+		var next []int
+		for _, item := range remaining {
+			if unprocessed[item] > 0 {
+				unprocessed[item]--
+				next = append(next, item)
+			}
+		}
+		remaining = next
 	}
 	return nil
 }
@@ -269,6 +285,13 @@ func (r *recvPartitioner) Distribute(p *vtime.Proc, sel Selector, items []int, r
 			})
 		}
 		group.Wait(p)
+		// Failure recovery: chunks whose sub-task failed come back via
+		// giveBack, but when *every* worker of the round has failed the
+		// queue may still hold chunks nobody pulled — those must survive
+		// into the next round too (found by the partitioner property test:
+		// dropping them loses items when the whole working set dies at
+		// once).
+		chunks = append(chunks, queue...)
 		chunks = append(chunks, giveBack...)
 	}
 	return nil

@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"distqa/internal/vtime"
+)
+
+// Property-style tests for the three partitioners of Figures 5-6: under any
+// workload shape and any subset of injected sub-task failures,
+//
+//  1. every item is processed exactly once (no loss, no duplication), and
+//  2. every successful sub-task receives its items in rank order (a
+//     strictly increasing subsequence of the input), so the downstream
+//     merge sees rank-ordered runs regardless of how recovery reshuffled
+//     the work.
+//
+// The failure injection mirrors the two recovery strategies the paper
+// specifies: transient failures (the node fails one sub-task, then heals —
+// Figure 5(c) retries the items in a later round) and permanent failures
+// (the node leaves the pool; the selector stops offering it — Figure 6(b)).
+
+// flakyRunner wraps the recorder with scripted failures. Transient nodes
+// fail their first fails[node] sub-tasks then heal; permanent nodes always
+// fail and are dropped from the selector's pool.
+type flakyRunner struct {
+	rec       *recorder
+	transient map[int]int  // node -> remaining failures
+	permanent map[int]bool // node -> always fails
+	failures  int
+}
+
+func (f *flakyRunner) run(p *vtime.Proc, node int, items []int) error {
+	if f.permanent[node] {
+		f.failures++
+		return errors.New("node dead")
+	}
+	if f.transient[node] > 0 {
+		f.transient[node]--
+		f.failures++
+		return errors.New("transient failure")
+	}
+	return f.rec.run(p, node, items)
+}
+
+// liveSel offers only non-permanently-failed nodes, with equal weights —
+// the monitors' behaviour of dropping stale nodes from the pool.
+func liveSel(nodes int, permanent map[int]bool) Selector {
+	return func() []WeightedNode {
+		var alive []int
+		for n := 0; n < nodes; n++ {
+			if !permanent[n] {
+				alive = append(alive, n)
+			}
+		}
+		out := make([]WeightedNode, len(alive))
+		for i, n := range alive {
+			out[i] = WeightedNode{Node: n, Weight: 1 / float64(len(alive))}
+		}
+		return out
+	}
+}
+
+// checkExactlyOnce asserts every input item was processed exactly once.
+func checkExactlyOnce(t *testing.T, rec *recorder, items []int) {
+	t.Helper()
+	got := rec.processed()
+	want := append([]int(nil), items...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("processed %d items, want %d (loss or duplication)", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("processed set differs at %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// checkMergeOrder asserts every successful sub-task's item list is strictly
+// increasing — i.e. a rank-ordered subsequence of the (sorted) input.
+func checkMergeOrder(t *testing.T, rec *recorder) {
+	t.Helper()
+	for _, a := range rec.mu {
+		for i := 1; i < len(a.items); i++ {
+			if a.items[i] <= a.items[i-1] {
+				t.Fatalf("node %d sub-task out of rank order: %v", a.node, a.items)
+			}
+		}
+	}
+}
+
+// randomWeights draws a normalized weight vector with at least one node.
+func randomWeights(rng *rand.Rand, nodes int) []WeightedNode {
+	ws := make([]WeightedNode, nodes)
+	total := 0.0
+	for i := range ws {
+		w := 0.05 + rng.Float64()
+		ws[i] = WeightedNode{Node: i, Weight: w}
+		total += w
+	}
+	for i := range ws {
+		ws[i].Weight /= total
+	}
+	return ws
+}
+
+func partitioners(rng *rand.Rand) []Partitioner {
+	return []Partitioner{
+		NewSEND(),
+		NewISEND(),
+		NewRECV(1 + rng.Intn(8)),
+	}
+}
+
+// TestPartitionPropertyTransientFailures: any subset of nodes may fail any
+// number of leading sub-tasks; every item must still be processed exactly
+// once and in merge order.
+func TestPartitionPropertyTransientFailures(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nodes := 1 + rng.Intn(5)
+			n := rng.Intn(60)
+			sel := staticSel(randomWeights(rng, nodes)...)
+			for _, part := range partitioners(rng) {
+				transient := map[int]int{}
+				for node := 0; node < nodes; node++ {
+					if rng.Intn(2) == 0 {
+						transient[node] = rng.Intn(3)
+					}
+				}
+				rec := &recorder{}
+				fr := &flakyRunner{rec: rec, transient: transient}
+				sim := vtime.NewSim()
+				var err error
+				items := seq(n)
+				sim.Spawn("driver", func(p *vtime.Proc) {
+					err = part.Distribute(p, sel, items, fr.run)
+				})
+				sim.Run()
+				if err != nil {
+					t.Fatalf("%s: %v (failures injected: %d)", part.Name(), err, fr.failures)
+				}
+				checkExactlyOnce(t, rec, items)
+				checkMergeOrder(t, rec)
+			}
+		})
+	}
+}
+
+// TestPartitionPropertyPermanentFailures: a random strict subset of nodes
+// dies for good and the selector drops them (the monitors' stale-node
+// eviction); the survivors must still process everything exactly once, in
+// merge order.
+func TestPartitionPropertyPermanentFailures(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nodes := 2 + rng.Intn(4)
+			n := 1 + rng.Intn(50)
+			permanent := map[int]bool{}
+			// Kill a strict subset: at least one node survives.
+			for node := 0; node < nodes; node++ {
+				if len(permanent) < nodes-1 && rng.Intn(2) == 0 {
+					permanent[node] = true
+				}
+			}
+			for _, part := range partitioners(rng) {
+				rec := &recorder{}
+				fr := &flakyRunner{rec: rec, permanent: permanent}
+				sim := vtime.NewSim()
+				var err error
+				items := seq(n)
+				sim.Spawn("driver", func(p *vtime.Proc) {
+					err = part.Distribute(p, liveSel(nodes, permanent), items, fr.run)
+				})
+				sim.Run()
+				if err != nil {
+					t.Fatalf("%s: %v", part.Name(), err)
+				}
+				checkExactlyOnce(t, rec, items)
+				checkMergeOrder(t, rec)
+				// Dead nodes must never hold a successful sub-task.
+				for _, a := range rec.mu {
+					if permanent[a.node] {
+						t.Fatalf("%s: dead node %d completed a sub-task", part.Name(), a.node)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionPropertyPoolDeath: when every node is gone the partitioners
+// must return ErrNoProcessors instead of spinning.
+func TestPartitionPropertyPoolDeath(t *testing.T) {
+	empty := func() []WeightedNode { return nil }
+	rng := rand.New(rand.NewSource(7))
+	for _, part := range partitioners(rng) {
+		rec := &recorder{}
+		sim := vtime.NewSim()
+		var err error
+		sim.Spawn("driver", func(p *vtime.Proc) {
+			err = part.Distribute(p, empty, seq(5), rec.run)
+		})
+		sim.Run()
+		if !errors.Is(err, ErrNoProcessors) {
+			t.Fatalf("%s: err = %v, want ErrNoProcessors", part.Name(), err)
+		}
+	}
+}

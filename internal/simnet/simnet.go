@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"distqa/internal/cluster"
+	"distqa/internal/fault"
 	"distqa/internal/vtime"
 )
 
@@ -53,10 +54,16 @@ type Network struct {
 
 	listeners []func(from int, payload any)
 
+	// inj, when non-nil, is consulted per transfer/broadcast; it models
+	// asymmetric partitions, message loss, extra latency and duplicate
+	// delivery, deterministically in virtual time (package fault).
+	inj *fault.Injector
+
 	// Traffic accounting.
 	bytesSent  float64
 	msgsSent   int
 	broadcasts int
+	injected   int
 }
 
 // New creates a network over the given simulation.
@@ -73,6 +80,17 @@ func New(sim *vtime.Sim, cfg Config) *Network {
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
+
+// SetInjector installs (or, with nil, removes) a fault injector consulted
+// for every transfer and broadcast. Rule identities are node display names
+// ("N1", "N2", ...) and the ops fault.OpTransfer / fault.OpBroadcast.
+// Injected faults are deterministic under the injector's seed because the
+// simulator itself is deterministic.
+func (n *Network) SetInjector(inj *fault.Injector) { n.inj = inj }
+
+// InjectedFaults reports how many transfers/broadcasts the injector
+// perturbed (dropped, severed, delayed or duplicated).
+func (n *Network) InjectedFaults() int { return n.injected }
 
 // Transfer moves size bytes from node src to node dst, blocking p for the
 // transmission time (bandwidth shared with concurrent transfers, plus fixed
@@ -101,6 +119,18 @@ func (n *Network) Transfer(p *vtime.Proc, src, dst *cluster.Node, size float64) 
 	if n.cfg.LatencySec > 0 {
 		p.Sleep(n.cfg.LatencySec)
 	}
+	if d := n.inj.Decide(src.Name(), dst.Name(), fault.OpTransfer); d.Faulty() {
+		n.injected++
+		if d.Delay > 0 {
+			p.Sleep(d.Delay.Seconds())
+		}
+		if d.Drop || d.Sever {
+			// The bandwidth was consumed, the payload never arrived — the
+			// caller observes the same TCP-error shape as a crashed peer,
+			// so the partitioners' recovery path fires.
+			return fmt.Errorf("transfer %s->%s: injected fault: %w", src.Name(), dst.Name(), ErrNodeFailed)
+		}
+	}
 	if src.Failed() || dst.Failed() {
 		return fmt.Errorf("transfer %s->%s: %w", src.Name(), dst.Name(), ErrNodeFailed)
 	}
@@ -127,9 +157,25 @@ func (n *Network) Broadcast(p *vtime.Proc, src *cluster.Node, size float64, payl
 	if n.cfg.LatencySec > 0 {
 		p.Sleep(n.cfg.LatencySec)
 	}
+	deliveries := 1
+	if d := n.inj.Decide(src.Name(), "", fault.OpBroadcast); d.Faulty() {
+		n.injected++
+		if d.Delay > 0 {
+			p.Sleep(d.Delay.Seconds())
+		}
+		if d.Drop || d.Sever {
+			// Heartbeat blackout: the medium was used but nobody heard it.
+			return
+		}
+		if d.Duplicate {
+			deliveries = 2
+		}
+	}
 	from := src.ID()
-	for _, fn := range n.listeners {
-		fn(from, payload)
+	for i := 0; i < deliveries; i++ {
+		for _, fn := range n.listeners {
+			fn(from, payload)
+		}
 	}
 }
 
