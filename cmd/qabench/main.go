@@ -8,7 +8,10 @@
 //	qabench -scale small    # fast, down-scaled environment
 //	qabench -list           # list experiment ids
 //	qabench -stage-metrics  # also print wall-clock p50/p90/p99 per Q/A stage
-//	qabench -perf           # run the hot-path benchmark suite → BENCH_pr2.json
+//	qabench -perf           # run the hot-path benchmark suite → BENCH_pr4.json
+//	qabench -perf -perf-check                    # also enforce the serving-path floors (CI)
+//	qabench -perf -perf-baseline before.json     # fail on >20% same-machine regression (ns/op + ratios)
+//	qabench -perf -perf-baseline BENCH_pr4.json -perf-ratios-only  # CI: gate comparison ratios vs the committed report
 //	qabench -chaos          # run a seeded fault schedule against a live loopback cluster
 package main
 
@@ -32,9 +35,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	stageMetrics := flag.Bool("stage-metrics", false, "record wall-clock per-stage latency histograms and print p50/p90/p99")
 	perfMode := flag.Bool("perf", false, "run the hot-path benchmark suite instead of the experiments")
-	perfOut := flag.String("perf-out", "BENCH_pr2.json", "perf mode: output file for the JSON report")
+	perfOut := flag.String("perf-out", "BENCH_pr4.json", "perf mode: output file for the JSON report")
 	perfBudget := flag.Duration("perf-budget", time.Second, "perf mode: measuring time per benchmark")
 	perfScale := flag.String("perf-scale", "tiny", "perf mode: corpus scale (tiny or trec8)")
+	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline JSON report to diff against; exit non-zero on >tolerance regression (comparison ratios always; ns/op when the environment matches)")
+	perfTolerance := flag.Float64("perf-tolerance", 0.20, "perf mode: allowed fractional regression vs -perf-baseline (0.20 = 20%)")
+	perfCheck := flag.Bool("perf-check", false, "perf mode: enforce the machine-independent serving-path floors (CI gate)")
+	perfRatiosOnly := flag.Bool("perf-ratios-only", false, "perf mode: with -perf-baseline, gate only the comparison ratios and skip the ns/op diff (use against committed baselines, where wall-clock numbers are from another time/machine)")
 	chaosMode := flag.Bool("chaos", false, "run a seeded fault schedule against a live loopback cluster instead of the experiments")
 	chaosSeed := flag.Int64("seed", 1, "chaos mode: schedule seed (same seed => byte-identical event log)")
 	chaosNodes := flag.Int("nodes", 4, "chaos mode: cluster size")
@@ -47,7 +54,7 @@ func main() {
 	}
 
 	if *perfMode {
-		os.Exit(runPerf(*perfOut, *perfBudget, *perfScale))
+		os.Exit(runPerf(*perfOut, *perfBudget, *perfScale, *perfBaseline, *perfTolerance, *perfCheck, *perfRatiosOnly))
 	}
 
 	if *list {
@@ -128,9 +135,12 @@ func runChaos(seed int64, nodes, questions int, scenario string) int {
 	return 0
 }
 
-// runPerf executes the hot-path benchmark suite (internal/perf) and writes
-// the machine-readable report to out, printing a human summary to stdout.
-func runPerf(out string, budget time.Duration, scale string) int {
+// runPerf executes the hot-path benchmark suite (internal/perf), writes the
+// machine-readable report to out, prints a human summary, and optionally
+// gates on a baseline diff (-perf-baseline/-perf-tolerance; comparison
+// ratios always, ns/op only for same-env non-ratios-only runs) and the
+// machine-independent serving-path floors (-perf-check).
+func runPerf(out string, budget time.Duration, scale, baselinePath string, tolerance float64, check, ratiosOnly bool) int {
 	cfg := perf.SuiteConfig{Budget: budget, Log: os.Stderr}
 	switch scale {
 	case "tiny":
@@ -158,6 +168,51 @@ func runPerf(out string, budget time.Duration, scale string) int {
 		return 1
 	}
 	fmt.Printf("wrote %s\n", out)
+
+	failed := false
+	if baselinePath != "" {
+		baseline, err := perf.ReadReport(baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qabench: perf: %v\n", err)
+			return 1
+		}
+		var violations []string
+		// The committed comparison ratios (speedup, alloc ratio) are measured
+		// within one run, so they gate on any machine; raw ns/op only means
+		// something when the environments match.
+		violations = append(violations, perf.CheckComparisonRegression(baseline, report, tolerance)...)
+		switch {
+		case ratiosOnly:
+			// Committed baselines carry wall-clock numbers from another
+			// time (and usually another machine); only the within-run
+			// ratios are comparable.
+		case !perf.SameEnv(baseline, report):
+			fmt.Printf("baseline %s is from a different environment; skipping ns/op diff, checking comparison ratios only\n", baselinePath)
+		default:
+			violations = append(violations, perf.CheckRegression(baseline, report, tolerance)...)
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "qabench: perf: REGRESSION: %s\n", v)
+			}
+			failed = true
+		} else {
+			fmt.Printf("baseline check vs %s: OK (tolerance %.0f%%)\n", baselinePath, tolerance*100)
+		}
+	}
+	if check {
+		if violations := perf.CheckFloors(report); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "qabench: perf: FLOOR: %s\n", v)
+			}
+			failed = true
+		} else {
+			fmt.Println("serving-path floors: OK")
+		}
+	}
+	if failed {
+		return 1
+	}
 	return 0
 }
 

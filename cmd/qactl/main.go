@@ -38,6 +38,12 @@ func main() {
 		if resp.Forwarded {
 			where += " (migrated by the question dispatcher)"
 		}
+		if resp.CacheHit {
+			where += " (answer cache hit)"
+		}
+		if resp.Coalesced {
+			where += " (coalesced with an identical in-flight question)"
+		}
 		fmt.Printf("served by %s, AP workers: %d, %.1f ms\n", where, resp.APPeers, resp.ElapsedMS)
 		if len(resp.Answers) == 0 {
 			fmt.Println("no answers")
@@ -68,6 +74,19 @@ func main() {
 			m.Retries, m.BreakerTrips, m.Readmissions)
 		fmt.Printf("  conn pool: %d hits / %d misses, %d evictions, %d redials, %d open\n",
 			m.PoolHits, m.PoolMisses, m.PoolEvictions, m.PoolRedials, m.PoolOpenConns)
+		fmt.Printf("  mux: %d calls over %d conns (%d dials, %d redials, %d gob fallbacks), %d in flight\n",
+			m.MuxCalls, m.MuxOpenConns, m.MuxDials, m.MuxRedials, m.MuxFallbacks, m.MuxInFlight)
+		fmt.Printf("  answer cache: %s hit rate (%d hits / %d misses), %d coalesced\n",
+			rate(m.AnswerCacheHits, m.AnswerCacheMisses), m.AnswerCacheHits, m.AnswerCacheMisses, m.AnswerCacheCoalesced)
+		fmt.Printf("  PR cache: %s hit rate (%d hits / %d misses)\n",
+			rate(m.PRCacheHits, m.PRCacheMisses), m.PRCacheHits, m.PRCacheMisses)
+		for _, mp := range st.Mux {
+			if mp.GobOnly {
+				fmt.Printf("  mux peer %s: gob fallback (binary codec not negotiated)\n", mp.Addr)
+				continue
+			}
+			fmt.Printf("  mux peer %s: %d in flight, %d calls\n", mp.Addr, mp.InFlight, mp.Calls)
+		}
 		for _, p := range st.Peers {
 			fmt.Printf("  peer %s: %d running / %d queued / %d AP sub-tasks (heard %v ago)\n",
 				p.Addr, p.Questions, p.Queued, p.APTasks, time.Since(p.Sent).Round(time.Millisecond))
@@ -87,6 +106,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// rate renders a hits/(hits+misses) percentage, or "-" before any traffic.
+func rate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", float64(hits)/float64(total)*100)
 }
 
 // printSpanTree renders the question's spans as an indented tree, remote

@@ -163,10 +163,10 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	coll, eng := sharedEngine()
 	r := &run{
-		cfg:    cfg,
-		inj:    fault.New(cfg.Seed),
-		eng:    eng,
-		coll:   coll,
+		cfg:     cfg,
+		inj:     fault.New(cfg.Seed),
+		eng:     eng,
+		coll:    coll,
 		res:     &Result{},
 		ruleID:  make(map[string]int),
 		crashed: -1,
@@ -242,6 +242,10 @@ func (r *run) startNode(i int, addr string) (*live.Node, error) {
 		RequestTimeout: 2 * time.Second,
 		Seed:           r.cfg.Seed + int64(i) + 1,
 		Fault:          r.inj,
+		// Determinism: a cache hit would skip pipeline stages (and their
+		// events) based on what earlier questions happened to run, so chaos
+		// runs serve every question cold.
+		Cache: live.CacheConfig{Disabled: true},
 		Retry: live.RetryPolicy{
 			MaxAttempts: 2,
 			BaseBackoff: 10 * time.Millisecond,

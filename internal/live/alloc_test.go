@@ -1,0 +1,106 @@
+//go:build !race
+
+// Allocation budgets for the binary codec hot path (CI runs this without
+// -race; testing.AllocsPerRun is unreliable under the race detector because
+// instrumentation itself allocates).
+package live
+
+import (
+	"testing"
+	"time"
+
+	"distqa/internal/wire"
+)
+
+// TestWireCodecAllocBudget pins the per-operation allocation count of the
+// steady-state hot path: encoding a heartbeat into a pooled buffer must not
+// allocate at all, and decoding one into a reused scratch Request must not
+// either (the repeating peer address is interned). A cold decode may
+// allocate up to 4 times — the Addr string is the only required allocation;
+// the budget leaves headroom for runtime changes without letting gob-era
+// costs creep back in. The gob baseline for the same exchange is ~8
+// allocs/op — the ≥5x reduction claimed in BENCH_pr4.json.
+func TestWireCodecAllocBudget(t *testing.T) {
+	req := &Request{
+		Kind: kindHeartbeat,
+		Load: LoadReport{
+			Addr:      "127.0.0.1:49152",
+			Questions: 3,
+			Queued:    1,
+			APTasks:   2,
+			Sent:      time.Unix(1_700_000_000, 0),
+		},
+	}
+	req.Span.QID = 42
+	req.Span.Span = 7
+
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+
+	// Warm the pooled buffer to its steady-state capacity.
+	b.Reset()
+	if err := appendRequestWire(b, req); err != nil {
+		t.Fatal(err)
+	}
+	encoded := append([]byte(nil), b.B...)
+
+	encAllocs := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := appendRequestWire(b, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encAllocs > 0 {
+		t.Errorf("heartbeat encode allocates %.1f times per op, want 0", encAllocs)
+	}
+
+	// Steady state: the mux server reuses one scratch Request per connection,
+	// and a peer's address repeats verbatim beat after beat — the decoder
+	// interns it, so repeated decodes into the same scratch must not allocate
+	// at all.
+	var dst Request
+	decAllocs := testing.AllocsPerRun(200, func() {
+		r := wire.NewReader(encoded)
+		if err := decodeRequestWireInto(&r, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decAllocs > 0 {
+		t.Errorf("steady-state heartbeat decode allocates %.1f times per op, want 0", decAllocs)
+	}
+
+	// A cold decode (fresh scratch, so the address string must actually be
+	// built) stays within a tight budget too.
+	coldAllocs := testing.AllocsPerRun(200, func() {
+		var cold Request
+		r := wire.NewReader(encoded)
+		if err := decodeRequestWireInto(&r, &cold); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if coldAllocs > 4 {
+		t.Errorf("cold heartbeat decode allocates %.1f times per op, want ≤ 4", coldAllocs)
+	}
+
+	// Status requests are the other steady-state poll; they carry no payload
+	// at all and must be fully allocation-free both ways.
+	statusReq := &Request{Kind: kindStatus}
+	b.Reset()
+	if err := appendRequestWire(b, statusReq); err != nil {
+		t.Fatal(err)
+	}
+	statusEncoded := append([]byte(nil), b.B...)
+	statusAllocs := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := appendRequestWire(b, statusReq); err != nil {
+			t.Fatal(err)
+		}
+		r := wire.NewReader(statusEncoded)
+		if err := decodeRequestWireInto(&r, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if statusAllocs > 0 {
+		t.Errorf("status encode+decode allocates %.1f times per op, want 0", statusAllocs)
+	}
+}

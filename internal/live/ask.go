@@ -9,9 +9,57 @@ import (
 	"distqa/internal/nlp"
 	"distqa/internal/obs"
 	"distqa/internal/qa"
+	"distqa/internal/qcache"
 )
 
-// handleAsk drives a full question: question-dispatcher forwarding, local
+// handleAsk is the cache-and-coalesce front of the question path (PR-4):
+// an answer-cache hit skips the entire pipeline (no admission, no QP, no
+// fan-out); a miss runs the pipeline under a singleflight group so a burst
+// of identical questions executes once — the leader runs askPipeline, every
+// concurrent duplicate blocks and shares the result (Response.Coalesced).
+// With caching disabled (chaos runs), this is a transparent passthrough to
+// the PR-3 serving path.
+func (n *Node) handleAsk(req *Request) *Response {
+	start := time.Now()
+	if n.askFlight == nil {
+		return n.askPipeline(req, start)
+	}
+	key := qcache.Normalize(req.Question)
+	if v, ok := n.answerCache.Get(key); ok {
+		n.nm.cacheAnsHits.Inc()
+		return n.cachedResponse(req, v.(*cachedAnswer), start, false)
+	}
+	n.nm.cacheAnsMisses.Inc()
+	type flightOut struct {
+		resp *Response
+		ca   *cachedAnswer
+	}
+	v, shared, _ := n.askFlight.Do(key, func() (any, error) {
+		resp := n.askPipeline(req, start)
+		var ca *cachedAnswer
+		if resp.Err == "" {
+			ca = &cachedAnswer{answers: resp.Answers, apPeers: resp.APPeers}
+			n.answerCache.Put(key, ca)
+		}
+		return flightOut{resp: resp, ca: ca}, nil
+	})
+	out := v.(flightOut)
+	if !shared {
+		return out.resp
+	}
+	// Coalesced follower: synthesize a response of its own (its own span
+	// tree and timing) around the leader's answers.
+	n.nm.cacheAnsCoalesced.Inc()
+	if out.ca == nil {
+		// The leader failed; hand the follower the same failure.
+		r := *out.resp
+		r.Coalesced = true
+		return &r
+	}
+	return n.cachedResponse(req, out.ca, start, true)
+}
+
+// askPipeline drives a full question: question-dispatcher forwarding, local
 // QP/PR/PS/PO, AP partitioning across under-loaded peers, and answer
 // merging. It is the live counterpart of core.System.answer.
 //
@@ -21,8 +69,7 @@ import (
 // every remote sub-task becomes a child span, and the completed tree —
 // including spans recorded on *other* nodes and shipped back in sub-task
 // responses — travels to the client in Response.Spans.
-func (n *Node) handleAsk(req *Request) *Response {
-	start := time.Now()
+func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 	// Per-question deadline budget: every remote call this question makes
 	// (forward, PR sub-tasks, AP sub-tasks), including retries and
 	// backoffs, shares this one allowance. When it runs out, remaining
@@ -165,6 +212,20 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext
 	}
 
 	local := func(subs []int) []qa.ScoredParagraph {
+		// PR partial cache: identical (keywords, assignment) work — the same
+		// question again, or a different question sharing its keywords — is
+		// served from memory. A hit is marked with a span so traces stay
+		// honest about which stages actually ran.
+		key := prCacheKey(analysis.Keywords, subs)
+		if v, ok := n.prCache.Get(key); ok {
+			n.nm.cachePRHits.Inc()
+			n.spans.StartSpan("cache:pr", "", parent).End()
+			cached := v.([]qa.ScoredParagraph)
+			return append([]qa.ScoredParagraph(nil), cached...)
+		}
+		if n.prCache != nil {
+			n.nm.cachePRMisses.Inc()
+		}
 		prSpan := n.spans.StartSpan("stage:PR", obs.StagePR, parent)
 		var rs []index.Retrieved
 		for _, sub := range subs {
@@ -175,6 +236,7 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext
 		psSpan := n.spans.StartSpan("stage:PS", obs.StagePS, parent)
 		sc, _ := n.engine.ScoreParagraphs(analysis, rs)
 		psSpan.End()
+		n.prCache.Put(key, append([]qa.ScoredParagraph(nil), sc...))
 		return sc
 	}
 

@@ -1,0 +1,118 @@
+package live
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"distqa/internal/qa"
+	"distqa/internal/qcache"
+)
+
+// Cache defaults. The answer cache is small (distinct questions a node sees
+// are few and skewed); the PR cache is larger because every question fans
+// out into per-sub-collection partials and those are shared across
+// *different* questions with overlapping keywords.
+const (
+	DefaultAnswerCacheCapacity = 512
+	DefaultAnswerCacheTTL      = 60 * time.Second
+	DefaultPRCacheCapacity     = 4096
+	DefaultPRCacheTTL          = 60 * time.Second
+)
+
+// CacheConfig tunes the node's question/PR caches (internal/qcache). The
+// zero value enables both with defaults.
+type CacheConfig struct {
+	// Disabled turns both caches and singleflight coalescing off — the
+	// pre-cache serving path, byte-for-byte. Chaos runs set it so
+	// deterministic event logs never depend on cache state.
+	Disabled bool
+	// AnswerCapacity/AnswerTTL bound the question-level answer cache
+	// (keyed by normalized question text).
+	AnswerCapacity int
+	AnswerTTL      time.Duration
+	// PRCapacity/PRTTL bound the paragraph-retrieval partial cache (keyed
+	// by keywords + sub-collection assignment).
+	PRCapacity int
+	PRTTL      time.Duration
+}
+
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.AnswerCapacity <= 0 {
+		c.AnswerCapacity = DefaultAnswerCacheCapacity
+	}
+	if c.AnswerTTL <= 0 {
+		c.AnswerTTL = DefaultAnswerCacheTTL
+	}
+	if c.PRCapacity <= 0 {
+		c.PRCapacity = DefaultPRCacheCapacity
+	}
+	if c.PRTTL <= 0 {
+		c.PRTTL = DefaultPRCacheTTL
+	}
+	return c
+}
+
+// cachedAnswer is the answer cache's value: everything needed to synthesize
+// a Response without running the pipeline. The answers slice is shared
+// between the cache and every hit response — safe because responses only
+// read it (encoding copies bytes onto the wire).
+type cachedAnswer struct {
+	answers []qa.Answer
+	apPeers int
+}
+
+// prCacheKey keys one PR partial: the analysis keywords (order-preserving —
+// QP is deterministic, so identical questions produce identical keyword
+// order) plus the sub-collection assignment.
+func prCacheKey(keywords []string, subs []int) string {
+	var b strings.Builder
+	for i, k := range keywords {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(k)
+	}
+	b.WriteByte('|')
+	for i, s := range subs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
+	return b.String()
+}
+
+// cachedResponse synthesizes the response for an answer-cache hit (or a
+// coalesced follower). It still opens and closes an "ask" root span with a
+// cache marker child, so traces show cache-served questions explicitly, and
+// it still counts toward live_questions_total/live_ask_seconds — the cache
+// changes the latency distribution, not the accounting.
+func (n *Node) cachedResponse(req *Request, ca *cachedAnswer, start time.Time, coalesced bool) *Response {
+	if req.Forwarded {
+		n.nm.forwardsIn.Inc()
+	}
+	root := n.spans.StartSpan("ask", "", req.Span)
+	marker := "cache:hit"
+	if coalesced {
+		marker = "cache:coalesced"
+	}
+	n.spans.StartSpan(marker, "", root.Context()).End()
+	rs := root.End()
+	n.nm.questions.Inc()
+	n.nm.askSeconds.Observe(time.Since(start).Seconds())
+	return &Response{
+		Answers:   ca.answers,
+		ServedBy:  n.Addr(),
+		APPeers:   ca.apPeers,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		CacheHit:  !coalesced,
+		Coalesced: coalesced,
+		Spans:     n.spans.ByQID(rs.QID),
+	}
+}
+
+// CacheStats exposes both caches' counters (tests, qabench).
+func (n *Node) CacheStats() (answer, pr qcache.Stats) {
+	return n.answerCache.Stats(), n.prCache.Stats()
+}

@@ -1,0 +1,222 @@
+package live
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distqa/internal/qcache"
+)
+
+// TestAskAnswerCacheHit asks the same question twice: the second response
+// must come from the answer cache (CacheHit set, identical answers, no new
+// pipeline execution) and must be normalization-insensitive.
+func TestAskAnswerCacheHit(t *testing.T) {
+	nodes := startCluster(t, 1)
+	f := liveColl.Facts[1]
+
+	cold, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("cold ask: %v", err)
+	}
+	if cold.CacheHit || cold.Coalesced {
+		t.Fatalf("cold ask flagged cached: %+v", cold)
+	}
+
+	warm, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("warm ask: %v", err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second identical ask was not a cache hit")
+	}
+	if !reflect.DeepEqual(cold.Answers, warm.Answers) {
+		t.Fatalf("cached answers differ:\ncold %+v\nwarm %+v", cold.Answers, warm.Answers)
+	}
+	if warm.APPeers != cold.APPeers {
+		t.Fatalf("cached APPeers = %d, want %d", warm.APPeers, cold.APPeers)
+	}
+
+	// Case/whitespace variants share the normalized key.
+	variant := "  " + strings.ToUpper(f.Question) + "  "
+	v, err := Ask(nodes[0].Addr(), variant, 10*time.Second)
+	if err != nil {
+		t.Fatalf("variant ask: %v", err)
+	}
+	if !v.CacheHit {
+		t.Fatal("normalized variant missed the cache")
+	}
+
+	ans, _ := nodes[0].CacheStats()
+	if ans.Hits < 2 {
+		t.Fatalf("answer cache hits = %d, want ≥ 2", ans.Hits)
+	}
+	st := nodes[0].statusMetrics()
+	if st.AnswerCacheHits < 2 || st.AnswerCacheMisses < 1 {
+		t.Fatalf("status metrics missing cache counters: %+v", st)
+	}
+
+	// The cached span tree marks itself: a hit must carry a cache:hit span
+	// under the ask root, and no pipeline stage spans.
+	var sawHit, sawStage bool
+	for _, sp := range warm.Spans {
+		if sp.Name == "cache:hit" {
+			sawHit = true
+		}
+		if strings.HasPrefix(sp.Name, "stage:") {
+			sawStage = true
+		}
+	}
+	if !sawHit || sawStage {
+		t.Fatalf("cache-hit span tree wrong (hit=%v stage=%v): %+v", sawHit, sawStage, warm.Spans)
+	}
+}
+
+// TestAskCoalescesConcurrentDuplicates fires a burst of identical questions
+// at a cold node. Exactly one pipeline execution may run per cache fill; all
+// burst members must agree on the answers and, beyond the leader, arrive
+// flagged as coalesced or cache hits.
+func TestAskCoalescesConcurrentDuplicates(t *testing.T) {
+	nodes := startCluster(t, 1)
+	f := liveColl.Facts[1]
+
+	const burst = 16
+	var wg sync.WaitGroup
+	resps := make([]*Response, burst)
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resps[i], errs[i] = Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+		}()
+	}
+	wg.Wait()
+
+	var leaders, sharedCount int
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			t.Fatalf("ask %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(resps[i].Answers, resps[0].Answers) {
+			t.Fatalf("ask %d answers diverge", i)
+		}
+		if resps[i].CacheHit || resps[i].Coalesced {
+			sharedCount++
+		} else {
+			leaders++
+		}
+	}
+	// Leaders are the calls that actually ran the pipeline; every other call
+	// rode the cache or the singleflight. The scheduler decides how many
+	// misses overlap, but a 16-way burst must share at least once, and the
+	// stats must account for every ask.
+	if sharedCount == 0 {
+		t.Fatal("no burst member was coalesced or cache-served")
+	}
+	ans, _ := nodes[0].CacheStats()
+	st := nodes[0].statusMetrics()
+	total := st.AnswerCacheHits + st.AnswerCacheMisses
+	if total != burst {
+		t.Fatalf("cache lookups = %d, want %d (hits %d, misses %d)",
+			total, burst, ans.Hits, ans.Misses)
+	}
+	if st.AnswerCacheCoalesced+st.AnswerCacheHits != int64(sharedCount) {
+		t.Fatalf("hits(%d)+coalesced(%d) != shared responses(%d)",
+			st.AnswerCacheHits, st.AnswerCacheCoalesced, sharedCount)
+	}
+}
+
+// TestAskCacheDisabled checks the chaos-mode configuration: with caching off
+// the node never sets CacheHit/Coalesced and repeated asks run the full
+// pipeline every time.
+func TestAskCacheDisabled(t *testing.T) {
+	node, err := StartNode(NodeConfig{
+		Addr:           "127.0.0.1:0",
+		Engine:         liveEngine,
+		HeartbeatEvery: 50 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+		Cache:          CacheConfig{Disabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+
+	f := liveColl.Facts[1]
+	for i := 0; i < 2; i++ {
+		resp, err := Ask(node.Addr(), f.Question, 10*time.Second)
+		if err != nil {
+			t.Fatalf("ask %d: %v", i, err)
+		}
+		if resp.CacheHit || resp.Coalesced {
+			t.Fatalf("ask %d served from cache with caching disabled", i)
+		}
+	}
+	ans, pr := node.CacheStats()
+	if ans != (qcache.Stats{}) || pr != (qcache.Stats{}) {
+		t.Fatalf("disabled caches recorded traffic: ans=%+v pr=%+v", ans, pr)
+	}
+}
+
+// TestPRSubtaskCache dispatches the same PR sub-task twice and checks the
+// second serve comes from the PR partial cache with byte-identical refs.
+func TestPRSubtaskCache(t *testing.T) {
+	nodes := startCluster(t, 1)
+	n := nodes[0]
+	f := liveColl.Facts[1]
+	analysis, _ := liveEngine.QuestionProcessing(f.Question)
+
+	req := &Request{
+		Kind:     kindPRSubtask,
+		Keywords: analysis.Keywords,
+		Subs:     []int{0, 1},
+	}
+	first := n.dispatch(req)
+	if first.Err != "" {
+		t.Fatalf("first dispatch: %s", first.Err)
+	}
+	second := n.dispatch(req)
+	if second.Err != "" {
+		t.Fatalf("second dispatch: %s", second.Err)
+	}
+	if !reflect.DeepEqual(first.ParaRefs, second.ParaRefs) {
+		t.Fatal("cached PR refs differ from computed refs")
+	}
+	_, pr := n.CacheStats()
+	if pr.Hits != 1 || pr.Misses != 1 {
+		t.Fatalf("PR cache hits/misses = %d/%d, want 1/1", pr.Hits, pr.Misses)
+	}
+	// A different assignment over the same keywords is a different key.
+	third := n.dispatch(&Request{Kind: kindPRSubtask, Keywords: analysis.Keywords, Subs: []int{0}})
+	if third.Err != "" {
+		t.Fatalf("third dispatch: %s", third.Err)
+	}
+	if _, pr := n.CacheStats(); pr.Misses != 2 {
+		t.Fatalf("distinct sub assignment did not miss: %+v", pr)
+	}
+}
+
+// TestCachedAnswersMatchSequential pins cache correctness to the ground
+// truth: a cached answer must equal the sequential engine's answer, not just
+// the first live response.
+func TestCachedAnswersMatchSequential(t *testing.T) {
+	nodes := startCluster(t, 1)
+	f := liveColl.Facts[2]
+	for i := 0; i < 2; i++ {
+		resp, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+		if err != nil {
+			t.Fatalf("ask %d: %v", i, err)
+		}
+		seq := liveEngine.AnswerSequential(f.Question)
+		if len(seq.Answers) == 0 || len(resp.Answers) == 0 {
+			t.Fatalf("ask %d: empty answers (live %d, seq %d)", i, len(resp.Answers), len(seq.Answers))
+		}
+		if !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+			t.Fatalf("ask %d: live %q != sequential %q", i, resp.Answers[0].Text, seq.Answers[0].Text)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"distqa/internal/nlp"
+	"distqa/internal/obs"
+	"distqa/internal/qa"
+	"distqa/internal/wire"
+)
+
+// Binary wire encodings of the live protocol's Request and Response, layered
+// on the internal/wire primitives. The hot operations — heartbeat, ask/
+// forward, PR sub-task, AP sub-task, and every response shape they produce —
+// are hand-rolled field by field; anything else (operator status payloads,
+// messages minted by a future version) travels as a gob blob embedded inside
+// a binary frame (codecGob), so the binary codec never loses expressiveness
+// and gob remains the protocol's fallback and fuzz seam.
+//
+// Layout (one mux frame payload):
+//
+//	uvarint  request ID (mux correlation; 0 on non-multiplexed frames)
+//	byte     shape code (codec* below)
+//	...      shape-specific fields (varints, 8-byte floats, length-prefixed
+//	         strings; see append*/decode* below)
+//
+// Every length prefix is validated against the remaining payload before any
+// allocation, and the outer frame is capped at wire.MaxFrameBytes — the same
+// 16 MB guard the gob paths enforce.
+
+// Shape codes. Request and Response spaces are disjoint for debuggability
+// (a swapped decode fails instantly instead of misparsing).
+const (
+	codecReqAsk       = 0x01
+	codecReqPR        = 0x02
+	codecReqAP        = 0x03
+	codecReqHeartbeat = 0x04
+	codecReqStatus    = 0x05
+	codecReqMetrics   = 0x06
+	codecResp         = 0x41 // binary response
+	codecGobReq       = 0x7E // gob-embedded Request
+	codecGobResp      = 0x7F // gob-embedded Response
+)
+
+// codecOfKind maps a Request.Kind to its binary shape code, or false when
+// the kind must travel gob-embedded.
+func codecOfKind(kind string) (byte, bool) {
+	switch kind {
+	case kindAsk:
+		return codecReqAsk, true
+	case kindPRSubtask:
+		return codecReqPR, true
+	case kindAPSubtask:
+		return codecReqAP, true
+	case kindHeartbeat:
+		return codecReqHeartbeat, true
+	case kindStatus:
+		return codecReqStatus, true
+	case kindMetrics:
+		return codecReqMetrics, true
+	default:
+		return 0, false
+	}
+}
+
+// kindOfCodec is the inverse of codecOfKind.
+func kindOfCodec(code byte) (string, bool) {
+	switch code {
+	case codecReqAsk:
+		return kindAsk, true
+	case codecReqPR:
+		return kindPRSubtask, true
+	case codecReqAP:
+		return kindAPSubtask, true
+	case codecReqHeartbeat:
+		return kindHeartbeat, true
+	case codecReqStatus:
+		return kindStatus, true
+	case codecReqMetrics:
+		return kindMetrics, true
+	default:
+		return "", false
+	}
+}
+
+// appendGob embeds v as a gob blob (the fallback shape).
+func appendGob(b *wire.Buffer, code byte, v any) error {
+	b.Byte(code)
+	var gb bytes.Buffer
+	if err := gob.NewEncoder(&gb).Encode(v); err != nil {
+		return fmt.Errorf("live: gob-embed: %w", err)
+	}
+	b.Bytes(gb.Bytes())
+	return nil
+}
+
+// appendRequestWire encodes req onto b in the binary codec (gob-embedded
+// when the kind has no hand-rolled shape).
+func appendRequestWire(b *wire.Buffer, req *Request) error {
+	code, ok := codecOfKind(req.Kind)
+	if !ok {
+		return appendGob(b, codecGobReq, req)
+	}
+	b.Byte(code)
+	b.Int64(req.Span.QID)
+	b.Int64(req.Span.Span)
+	switch code {
+	case codecReqAsk:
+		b.Bool(req.Forwarded)
+		b.String(req.Question)
+	case codecReqPR:
+		appendStrings(b, req.Keywords)
+		b.Uint64(uint64(len(req.Subs)))
+		for _, s := range req.Subs {
+			b.Int(s)
+		}
+	case codecReqAP:
+		appendStrings(b, req.Keywords)
+		b.Int(req.AnswerType)
+		appendParaRefs(b, req.ParaRefs)
+	case codecReqHeartbeat:
+		appendLoadReport(b, &req.Load)
+	case codecReqStatus, codecReqMetrics:
+		// No payload beyond the kind.
+	}
+	return nil
+}
+
+// decodeRequestWireInto decodes one binary-codec request into req
+// (overwriting every field). The *out-param shape keeps the hot decode path
+// allocation-free for payload-less kinds and for steady-state heartbeats
+// (the repeating peer address is interned against the previous decode into
+// the same scratch request); see TestWireCodecAllocBudget.
+func decodeRequestWireInto(r *wire.Reader, req *Request) error {
+	code := r.Byte()
+	if code == codecGobReq {
+		payload := r.BytesView()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		dec, err := decodeRequestFrame(payload)
+		if err != nil {
+			return err
+		}
+		*req = *dec
+		return nil
+	}
+	kind, ok := kindOfCodec(code)
+	if !ok {
+		if err := r.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: unknown request shape 0x%02x", wire.ErrCorrupt, code)
+	}
+	prevAddr := req.Load.Addr // survives the reset so heartbeat decode can intern it
+	*req = Request{Kind: kind}
+	req.Span.QID = r.Int64()
+	req.Span.Span = r.Int64()
+	switch code {
+	case codecReqAsk:
+		req.Forwarded = r.Bool()
+		req.Question = r.String()
+	case codecReqPR:
+		req.Keywords = decodeStrings(r)
+		if n := r.ListLen(1); n > 0 {
+			req.Subs = make([]int, n)
+			for i := range req.Subs {
+				req.Subs[i] = r.Int()
+			}
+		}
+	case codecReqAP:
+		req.Keywords = decodeStrings(r)
+		req.AnswerType = r.Int()
+		req.ParaRefs = decodeParaRefs(r)
+	case codecReqHeartbeat:
+		req.Load.Addr = prevAddr
+		decodeLoadReport(r, &req.Load)
+	}
+	return r.Err()
+}
+
+// appendResponseWire encodes resp onto b. Responses carrying an operator
+// Status payload travel gob-embedded (Status is a deep, cold-path struct);
+// everything on the question-serving hot path is hand-rolled.
+func appendResponseWire(b *wire.Buffer, resp *Response) error {
+	if resp.Status != nil {
+		return appendGob(b, codecGobResp, resp)
+	}
+	b.Byte(codecResp)
+	b.String(resp.Err)
+	b.String(resp.ServedBy)
+	b.Bool(resp.Forwarded)
+	b.Bool(resp.CacheHit)
+	b.Bool(resp.Coalesced)
+	b.Int(resp.APPeers)
+	b.Float64(resp.ElapsedMS)
+	b.String(resp.MetricsText)
+	appendAnswers(b, resp.Answers)
+	appendParaRefs(b, resp.ParaRefs)
+	appendSpans(b, resp.Spans)
+	return nil
+}
+
+// decodeResponseWire decodes one binary-codec response. Unlike the request
+// path it allocates the Response — callers own and retain it.
+func decodeResponseWire(r *wire.Reader) (*Response, error) {
+	code := r.Byte()
+	if code == codecGobResp {
+		payload := r.BytesView()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return decodeResponseFrame(payload)
+	}
+	if code != codecResp {
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: unknown response shape 0x%02x", wire.ErrCorrupt, code)
+	}
+	resp := &Response{}
+	resp.Err = r.String()
+	resp.ServedBy = r.String()
+	resp.Forwarded = r.Bool()
+	resp.CacheHit = r.Bool()
+	resp.Coalesced = r.Bool()
+	resp.APPeers = r.Int()
+	resp.ElapsedMS = r.Float64()
+	resp.MetricsText = r.String()
+	resp.Answers = decodeAnswers(r)
+	resp.ParaRefs = decodeParaRefs(r)
+	resp.Spans = decodeSpans(r)
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ---------------------------------------------------------------------------
+// Field-group helpers.
+
+func appendStrings(b *wire.Buffer, ss []string) {
+	b.Uint64(uint64(len(ss)))
+	for _, s := range ss {
+		b.String(s)
+	}
+}
+
+func decodeStrings(r *wire.Reader) []string {
+	n := r.ListLen(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	return out
+}
+
+func appendParaRefs(b *wire.Buffer, refs []ParaRef) {
+	b.Uint64(uint64(len(refs)))
+	for i := range refs {
+		b.Int(refs[i].ID)
+		b.Int(refs[i].Matched)
+		b.Float64(refs[i].Score)
+	}
+}
+
+func decodeParaRefs(r *wire.Reader) []ParaRef {
+	// Each ref is ≥ 10 bytes (two varints + fixed float), bounding the
+	// allocation a corrupt length prefix could request.
+	n := r.ListLen(10)
+	if n == 0 {
+		return nil
+	}
+	out := make([]ParaRef, n)
+	for i := range out {
+		out[i].ID = r.Int()
+		out[i].Matched = r.Int()
+		out[i].Score = r.Float64()
+	}
+	return out
+}
+
+func appendLoadReport(b *wire.Buffer, lr *LoadReport) {
+	b.String(lr.Addr)
+	b.Int(lr.Questions)
+	b.Int(lr.Queued)
+	b.Int(lr.APTasks)
+	b.Time(lr.Sent)
+}
+
+func decodeLoadReport(r *wire.Reader, lr *LoadReport) {
+	// A peer's address repeats verbatim on every heartbeat and the mux server
+	// decodes into a per-connection scratch Request, so keep the previous
+	// string when the bytes match: the steady-state heartbeat decode is then
+	// allocation-free. Strings are immutable, so sharing the retained one
+	// with whatever the node stored (peer tables, detectors) is safe.
+	if b := r.BytesView(); string(b) != lr.Addr {
+		lr.Addr = string(b)
+	}
+	lr.Questions = r.Int()
+	lr.Queued = r.Int()
+	lr.APTasks = r.Int()
+	lr.Sent = r.Time()
+}
+
+func appendAnswers(b *wire.Buffer, as []qa.Answer) {
+	b.Uint64(uint64(len(as)))
+	for i := range as {
+		a := &as[i]
+		b.String(a.Text)
+		b.Int(int(a.Type))
+		b.Float64(a.Score)
+		b.Int(a.ParaID)
+		b.Int(a.WindowStart)
+		b.Int(a.WindowEnd)
+		b.Int(a.CandStart)
+		b.Int(a.CandEnd)
+		b.String(a.Snippet)
+	}
+}
+
+func decodeAnswers(r *wire.Reader) []qa.Answer {
+	n := r.ListLen(16)
+	if n == 0 {
+		return nil
+	}
+	out := make([]qa.Answer, n)
+	for i := range out {
+		a := &out[i]
+		a.Text = r.String()
+		a.Type = nlp.EntityType(r.Int())
+		a.Score = r.Float64()
+		a.ParaID = r.Int()
+		a.WindowStart = r.Int()
+		a.WindowEnd = r.Int()
+		a.CandStart = r.Int()
+		a.CandEnd = r.Int()
+		a.Snippet = r.String()
+	}
+	return out
+}
+
+func appendSpans(b *wire.Buffer, ss []obs.Span) {
+	b.Uint64(uint64(len(ss)))
+	for i := range ss {
+		s := &ss[i]
+		b.Int64(s.QID)
+		b.Int64(s.ID)
+		b.Int64(s.Parent)
+		b.String(s.Name)
+		b.String(s.Stage)
+		b.String(s.Node)
+		b.Time(s.Start)
+		b.Time(s.End)
+	}
+}
+
+func decodeSpans(r *wire.Reader) []obs.Span {
+	n := r.ListLen(10)
+	if n == 0 {
+		return nil
+	}
+	out := make([]obs.Span, n)
+	for i := range out {
+		s := &out[i]
+		s.QID = r.Int64()
+		s.ID = r.Int64()
+		s.Parent = r.Int64()
+		s.Name = r.String()
+		s.Stage = r.String()
+		s.Node = r.String()
+		s.Start = r.Time()
+		s.End = r.Time()
+	}
+	return out
+}

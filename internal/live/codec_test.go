@@ -1,0 +1,350 @@
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+	"time"
+
+	"distqa/internal/obs"
+	"distqa/internal/qa"
+	"distqa/internal/wire"
+)
+
+// ---------------------------------------------------------------------------
+// Round-trip helpers: encode/decode through each codec, plus semantic
+// equality that treats time.Time by instant (gob and the wire codec both
+// drop monotonic readings; zone representation differs between them).
+
+func wireRoundTripRequest(t *testing.T, req *Request) *Request {
+	t.Helper()
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	if err := appendRequestWire(b, req); err != nil {
+		t.Fatalf("appendRequestWire: %v", err)
+	}
+	r := wire.NewReader(b.B)
+	var out Request
+	if err := decodeRequestWireInto(&r, &out); err != nil {
+		t.Fatalf("decodeRequestWireInto: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over after request decode", r.Remaining())
+	}
+	return &out
+}
+
+func wireRoundTripResponse(t *testing.T, resp *Response) *Response {
+	t.Helper()
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	if err := appendResponseWire(b, resp); err != nil {
+		t.Fatalf("appendResponseWire: %v", err)
+	}
+	r := wire.NewReader(b.B)
+	out, err := decodeResponseWire(&r)
+	if err != nil {
+		t.Fatalf("decodeResponseWire: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over after response decode", r.Remaining())
+	}
+	return out
+}
+
+func gobRoundTripRequest(t *testing.T, req *Request) *Request {
+	t.Helper()
+	out, err := decodeRequestFrame(encodeFrame(t, req))
+	if err != nil {
+		t.Fatalf("gob round trip: %v", err)
+	}
+	return out
+}
+
+func gobRoundTripResponse(t *testing.T, resp *Response) *Response {
+	t.Helper()
+	out, err := decodeResponseFrame(encodeFrame(t, resp))
+	if err != nil {
+		t.Fatalf("gob round trip: %v", err)
+	}
+	return out
+}
+
+func loadReportsEqual(a, b *LoadReport) bool {
+	return a.Addr == b.Addr && a.Questions == b.Questions &&
+		a.Queued == b.Queued && a.APTasks == b.APTasks && a.Sent.Equal(b.Sent)
+}
+
+func requestsEqual(a, b *Request) bool {
+	return a.Kind == b.Kind && a.Span == b.Span &&
+		a.Question == b.Question && a.Forwarded == b.Forwarded &&
+		reflect.DeepEqual(a.Keywords, b.Keywords) &&
+		reflect.DeepEqual(a.Subs, b.Subs) &&
+		reflect.DeepEqual(a.ParaRefs, b.ParaRefs) &&
+		a.AnswerType == b.AnswerType &&
+		loadReportsEqual(&a.Load, &b.Load)
+}
+
+func spansEqual(a, b []obs.Span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.QID != y.QID || x.ID != y.ID || x.Parent != y.Parent ||
+			x.Name != y.Name || x.Stage != y.Stage || x.Node != y.Node ||
+			!x.Start.Equal(y.Start) || !x.End.Equal(y.End) {
+			return false
+		}
+	}
+	return true
+}
+
+// statusesEqual compares the deep Status payload by gob re-encoding — gob is
+// deterministic for equal values on fresh streams, and Status travels
+// gob-embedded in both codecs anyway.
+func statusesEqual(t *testing.T, a, b *Status) bool {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	var ab, bb bytes.Buffer
+	if err := gob.NewEncoder(&ab).Encode(a); err != nil {
+		t.Fatalf("encode status: %v", err)
+	}
+	if err := gob.NewEncoder(&bb).Encode(b); err != nil {
+		t.Fatalf("encode status: %v", err)
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes())
+}
+
+func responsesEqual(t *testing.T, a, b *Response) bool {
+	t.Helper()
+	return a.Err == b.Err && a.ServedBy == b.ServedBy &&
+		a.Forwarded == b.Forwarded && a.CacheHit == b.CacheHit &&
+		a.Coalesced == b.Coalesced && a.APPeers == b.APPeers &&
+		a.ElapsedMS == b.ElapsedMS && a.MetricsText == b.MetricsText &&
+		reflect.DeepEqual(a.Answers, b.Answers) &&
+		reflect.DeepEqual(a.ParaRefs, b.ParaRefs) &&
+		spansEqual(a.Spans, b.Spans) &&
+		statusesEqual(t, a.Status, b.Status)
+}
+
+// codecTestRequests covers every request shape the protocol produces: each
+// hand-rolled kind with empty and populated fields, plus an unknown kind
+// that must travel gob-embedded.
+func codecTestRequests() map[string]*Request {
+	return map[string]*Request{
+		"ask": {Kind: kindAsk, Question: "what is the capital of France?",
+			Span: obs.SpanContext{QID: 42, Span: 7}},
+		"ask-forwarded": {Kind: kindAsk, Question: "who?", Forwarded: true},
+		"ask-empty":     {Kind: kindAsk},
+		"pr": {Kind: kindPRSubtask, Span: obs.SpanContext{QID: 1, Span: 2},
+			Keywords: []string{"capital", "france"}, Subs: []int{0, 2, 5}},
+		"pr-empty": {Kind: kindPRSubtask},
+		"ap": {Kind: kindAPSubtask, Keywords: []string{"capital"}, AnswerType: 3,
+			ParaRefs: []ParaRef{{ID: 7, Matched: 2, Score: 3.5}, {ID: 0, Matched: 0, Score: -1.25}}},
+		"heartbeat": {Kind: kindHeartbeat, Load: LoadReport{
+			Addr: "127.0.0.1:9001", Questions: 1, Queued: 2, APTasks: 3,
+			Sent: time.Unix(1_700_000_000, 123456789)}},
+		"heartbeat-zero-time": {Kind: kindHeartbeat, Load: LoadReport{Addr: "x"}},
+		"status":              {Kind: kindStatus},
+		"metrics":             {Kind: kindMetrics},
+		"future-kind":         {Kind: "futureOp", Question: "payload the binary codec has no shape for"},
+	}
+}
+
+// codecTestResponses covers every response shape, including the
+// gob-embedded Status payload and the PR-4 cache flags.
+func codecTestResponses() map[string]*Response {
+	return map[string]*Response{
+		"answers": {Answers: []qa.Answer{
+			{Text: "Paris", Type: 2, Score: 2.5, ParaID: 7, WindowStart: 1,
+				WindowEnd: 9, CandStart: 3, CandEnd: 4, Snippet: "Paris is ..."},
+			{Text: "Lyon", Score: -0.5},
+		}, ServedBy: "127.0.0.1:9001", APPeers: 2, ElapsedMS: 1.25, Forwarded: true},
+		"cache-hit":  {Answers: []qa.Answer{{Text: "Paris"}}, CacheHit: true, ServedBy: "a"},
+		"coalesced":  {Answers: []qa.Answer{{Text: "Paris"}}, Coalesced: true},
+		"error":      {Err: "remote failure"},
+		"empty":      {},
+		"pr-subtask": {ParaRefs: []ParaRef{{ID: 1, Matched: 1, Score: 0.5}, {ID: 9, Matched: 3, Score: 2}}},
+		"metrics":    {MetricsText: "# TYPE live_questions_total counter\nlive_questions_total 4\n"},
+		"spans": {Spans: []obs.Span{
+			{QID: 9, ID: 1, Parent: 0, Name: "ask", Node: "127.0.0.1:9001",
+				Start: time.Unix(1_700_000_000, 0), End: time.Unix(1_700_000_001, 500)},
+			{QID: 9, ID: 2, Parent: 1, Name: "stage:QP", Stage: obs.StageQP},
+		}},
+		"status": {Status: &Status{
+			Addr: "127.0.0.1:9001", Collection: "tiny", Paragraphs: 64,
+			Peers:  []LoadReport{{Addr: "127.0.0.1:9002", Questions: 1, Sent: time.Unix(1_700_000_000, 0)}},
+			Uptime: 3 * time.Second,
+			Metrics: StatusMetrics{QuestionsServed: 4, MuxCalls: 17,
+				AnswerCacheHits: 3, PRCacheMisses: 2},
+			Mux: []MuxPeerStatus{{Addr: "127.0.0.1:9002", InFlight: 2, Calls: 40}},
+		}},
+	}
+}
+
+// TestWireCodecRequestRoundTrip is the round-trip property test for every
+// request shape: the binary codec and the gob codec must both reproduce the
+// original message exactly.
+func TestWireCodecRequestRoundTrip(t *testing.T) {
+	for name, req := range codecTestRequests() {
+		t.Run(name, func(t *testing.T) {
+			if got := wireRoundTripRequest(t, req); !requestsEqual(req, got) {
+				t.Errorf("wire codec mangled request:\n in: %+v\nout: %+v", req, got)
+			}
+			if got := gobRoundTripRequest(t, req); !requestsEqual(req, got) {
+				t.Errorf("gob codec mangled request:\n in: %+v\nout: %+v", req, got)
+			}
+		})
+	}
+}
+
+// TestWireCodecResponseRoundTrip is the response-side property test.
+func TestWireCodecResponseRoundTrip(t *testing.T) {
+	for name, resp := range codecTestResponses() {
+		t.Run(name, func(t *testing.T) {
+			if got := wireRoundTripResponse(t, resp); !responsesEqual(t, resp, got) {
+				t.Errorf("wire codec mangled response:\n in: %+v\nout: %+v", resp, got)
+			}
+			if got := gobRoundTripResponse(t, resp); !responsesEqual(t, resp, got) {
+				t.Errorf("gob codec mangled response:\n in: %+v\nout: %+v", resp, got)
+			}
+		})
+	}
+}
+
+// TestWireCodecEncodingStable checks decode∘encode is the identity on the
+// byte level too: re-encoding a decoded message reproduces the original
+// encoding (the codec has one canonical form per message).
+func TestWireCodecEncodingStable(t *testing.T) {
+	for name, req := range codecTestRequests() {
+		b1 := wire.GetBuffer()
+		if err := appendRequestWire(b1, req); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := wireRoundTripRequest(t, req)
+		b2 := wire.GetBuffer()
+		if err := appendRequestWire(b2, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Gob-embedded shapes are exempt: gob streams include type
+		// descriptors whose encoding may legally differ between encoders.
+		if _, handRolled := codecOfKind(req.Kind); handRolled && !bytes.Equal(b1.B, b2.B) {
+			t.Errorf("%s: re-encode differs\n1: % x\n2: % x", name, b1.B, b2.B)
+		}
+		wire.PutBuffer(b1)
+		wire.PutBuffer(b2)
+	}
+}
+
+// TestWireCodecRejectsUnknownShape checks both decoders fail cleanly on
+// shape codes neither side of the protocol mints.
+func TestWireCodecRejectsUnknownShape(t *testing.T) {
+	r := wire.NewReader([]byte{0x33})
+	var req Request
+	if err := decodeRequestWireInto(&r, &req); err == nil {
+		t.Error("unknown request shape decoded")
+	}
+	r = wire.NewReader([]byte{0x33})
+	if _, err := decodeResponseWire(&r); err == nil {
+		t.Error("unknown response shape decoded")
+	}
+}
+
+// TestWireCodecFrameGuard checks the binary codec enforces the same 16 MB
+// frame budget as the gob paths: an encode that outgrows the budget fails
+// EndFrame, and a header announcing an oversized payload fails the read.
+func TestWireCodecFrameGuard(t *testing.T) {
+	req := &Request{Kind: kindAsk, Question: string(make([]byte, MaxFrameBytes+1024))}
+	b := wire.GetBuffer()
+	b.BeginFrame()
+	b.Uint64(1)
+	if err := appendRequestWire(b, req); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := b.EndFrame(); err == nil {
+		t.Fatal("oversized frame encoded without error")
+	}
+	// Buffers that ballooned past the pool cap are dropped by PutBuffer.
+	wire.PutBuffer(b)
+	if wire.MaxFrameBytes != MaxFrameBytes {
+		t.Fatalf("codec budgets diverged: wire %d vs gob %d", wire.MaxFrameBytes, MaxFrameBytes)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz targets for the binary codec — the PR-4 twins of FuzzDecodeRequest/
+// FuzzDecodeResponse. Seeds reuse the gob corpus messages two ways: as
+// hand-rolled binary encodings and as gob blobs embedded in codecGob frames,
+// so the fuzzer starts from both decode paths.
+
+func wireEncodeRequestSeed(f *testing.F, req *Request) []byte {
+	f.Helper()
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	if err := appendRequestWire(b, req); err != nil {
+		f.Fatalf("seed encode: %v", err)
+	}
+	return append([]byte(nil), b.B...)
+}
+
+// FuzzDecodeWireRequest fuzzes the mux server's request decode. Property:
+// arbitrary bytes produce a Request or an error — never a panic, never an
+// oversized allocation (lengths are validated against the remaining
+// payload before any make()).
+func FuzzDecodeWireRequest(f *testing.F) {
+	for _, req := range codecTestRequests() {
+		f.Add(wireEncodeRequestSeed(f, req))
+		// The same message as a gob-embedded frame (codecGobReq).
+		b := wire.GetBuffer()
+		if err := appendGob(b, codecGobReq, req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), b.B...))
+		wire.PutBuffer(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecReqHeartbeat})
+	f.Add([]byte{codecGobReq, 0xff, 0xff})
+	f.Add([]byte("not a wire frame"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(data)
+		var req Request
+		if err := decodeRequestWireInto(&r, &req); err != nil {
+			return
+		}
+		if req.Kind == "" {
+			t.Fatal("decode succeeded with empty kind")
+		}
+	})
+}
+
+// FuzzDecodeWireResponse fuzzes the mux client's demux decode path.
+func FuzzDecodeWireResponse(f *testing.F) {
+	for _, resp := range codecTestResponses() {
+		b := wire.GetBuffer()
+		if err := appendResponseWire(b, resp); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), b.B...))
+		wire.PutBuffer(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{codecResp})
+	f.Add([]byte{codecGobResp, 0x01, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := wire.NewReader(data)
+		resp, err := decodeResponseWire(&r)
+		if err == nil && resp == nil {
+			t.Fatal("decodeResponseWire returned nil response and nil error")
+		}
+	})
+}

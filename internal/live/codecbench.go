@@ -1,0 +1,91 @@
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"distqa/internal/wire"
+)
+
+// CodecBenchOps returns two closures for the perf suite (`qabench -perf`):
+// each performs one heartbeat RPC exchange in memory — encode and decode a
+// heartbeat request plus its empty ack response. Heartbeats are the
+// steady-state hot path (every node beats every peer continuously, whether
+// or not questions are flowing), so this is the exchange whose per-op
+// allocation cost the codec tentpole targets. The baseline runs the
+// pooled-gob configuration (persistent stream encoder/decoder, so gob's
+// per-connection type negotiation is amortised exactly as it is on a pooled
+// socket); the candidate runs the binary wire codec with pooled scratch
+// buffers and reused decode targets, as the mux transport does. The
+// allocs/op gap between the two rows is the codec tentpole's headline
+// number.
+func CodecBenchOps() (gobOp, wireOp func()) {
+	req := &Request{
+		Kind: kindHeartbeat,
+		Load: LoadReport{
+			Addr:      "127.0.0.1:49321",
+			Questions: 3,
+			Queued:    1,
+			APTasks:   7,
+			Sent:      time.Now(),
+		},
+	}
+	resp := &Response{} // heartbeat ack
+
+	// Baseline: persistent gob stream codecs over a shared buffer — the
+	// pooled-connection configuration (type descriptors sent once, here
+	// during the warm-up call the perf runner always makes).
+	var stream bytes.Buffer
+	enc := gob.NewEncoder(&stream)
+	dec := gob.NewDecoder(&stream)
+	gobOp = func() {
+		if err := enc.Encode(req); err != nil {
+			panic(fmt.Sprintf("codec bench: gob encode req: %v", err))
+		}
+		var r Request
+		if err := dec.Decode(&r); err != nil {
+			panic(fmt.Sprintf("codec bench: gob decode req: %v", err))
+		}
+		if err := enc.Encode(resp); err != nil {
+			panic(fmt.Sprintf("codec bench: gob encode resp: %v", err))
+		}
+		var rs Response
+		if err := dec.Decode(&rs); err != nil {
+			panic(fmt.Sprintf("codec bench: gob decode resp: %v", err))
+		}
+	}
+
+	// Candidate: pooled wire buffer, decode into a reused Request — the
+	// shape of the mux server's per-connection receive loop.
+	var reqScratch Request
+	wireOp = func() {
+		b := wire.GetBuffer()
+		b.BeginFrame()
+		if err := appendRequestWire(b, req); err != nil {
+			panic(fmt.Sprintf("codec bench: wire encode req: %v", err))
+		}
+		if err := b.EndFrame(); err != nil {
+			panic(fmt.Sprintf("codec bench: wire frame req: %v", err))
+		}
+		rd := wire.NewReader(b.B[4:]) // skip the length header, as ReadFrame would
+		if err := decodeRequestWireInto(&rd, &reqScratch); err != nil {
+			panic(fmt.Sprintf("codec bench: wire decode req: %v", err))
+		}
+		b.Reset()
+		b.BeginFrame()
+		if err := appendResponseWire(b, resp); err != nil {
+			panic(fmt.Sprintf("codec bench: wire encode resp: %v", err))
+		}
+		if err := b.EndFrame(); err != nil {
+			panic(fmt.Sprintf("codec bench: wire frame resp: %v", err))
+		}
+		rd = wire.NewReader(b.B[4:])
+		if _, err := decodeResponseWire(&rd); err != nil {
+			panic(fmt.Sprintf("codec bench: wire decode resp: %v", err))
+		}
+		wire.PutBuffer(b)
+	}
+	return gobOp, wireOp
+}

@@ -312,6 +312,12 @@ func TestInjectorDelayAndDuplicate(t *testing.T) {
 	nodes := startFaultCluster(t, 2, func(i int, cfg *NodeConfig) {
 		if i == 0 {
 			cfg.Fault = inj
+			// Silence a's background heartbeat loop: the duplicate assertion
+			// below counts b's received heartbeats, and a periodic beat
+			// landing mid-window would race both the count and the
+			// MaxHits-limited duplicate rule. a's peer table still fills
+			// from b's beats, which is all waitForPeers needs.
+			cfg.HeartbeatEvery = time.Hour
 		}
 	})
 	a, b := nodes[0], nodes[1]

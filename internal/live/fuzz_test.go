@@ -73,7 +73,7 @@ func FuzzDecodeResponse(f *testing.F) {
 		{ParaRefs: []ParaRef{{ID: 1, Matched: 1, Score: 0.5}, {ID: 9, Matched: 3, Score: 2}}},
 		{Status: &Status{
 			Addr: "127.0.0.1:9001", Collection: "tiny", Paragraphs: 64,
-			Peers: []LoadReport{{Addr: "127.0.0.1:9002", Questions: 1}},
+			Peers:      []LoadReport{{Addr: "127.0.0.1:9002", Questions: 1}},
 			PeerHealth: []PeerHealth{{Addr: "127.0.0.1:9002", State: PeerAlive.String()}},
 			Uptime:     3 * time.Second,
 		}},

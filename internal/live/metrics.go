@@ -51,6 +51,14 @@ type nodeMetrics struct {
 	poolRedials   *obs.Counter // live_pool_redials
 	poolOpen      *obs.Gauge   // live_pool_open_conns
 
+	// Question/PR cache instrumentation (PR-4): the answer cache in front of
+	// the whole pipeline and the PR partial cache in front of retrieval.
+	cacheAnsHits      *obs.Counter // live_qcache_answer_hits
+	cacheAnsMisses    *obs.Counter // live_qcache_answer_misses
+	cacheAnsCoalesced *obs.Counter // live_qcache_answer_coalesced
+	cachePRHits       *obs.Counter // live_qcache_pr_hits
+	cachePRMisses     *obs.Counter // live_qcache_pr_misses
+
 	active     *obs.Gauge // live_questions_active
 	queueDepth *obs.Gauge // live_admission_queue_depth
 	peers      *obs.Gauge // live_peers (refreshed at scrape time)
@@ -87,6 +95,11 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	m.poolEvictions = reg.Counter("live_pool_evictions", nil)
 	m.poolRedials = reg.Counter("live_pool_redials", nil)
 	m.poolOpen = reg.Gauge("live_pool_open_conns", nil)
+	m.cacheAnsHits = reg.Counter("live_qcache_answer_hits", nil)
+	m.cacheAnsMisses = reg.Counter("live_qcache_answer_misses", nil)
+	m.cacheAnsCoalesced = reg.Counter("live_qcache_answer_coalesced", nil)
+	m.cachePRHits = reg.Counter("live_qcache_pr_hits", nil)
+	m.cachePRMisses = reg.Counter("live_qcache_pr_misses", nil)
 	m.active = reg.Gauge("live_questions_active", nil)
 	m.queueDepth = reg.Gauge("live_admission_queue_depth", nil)
 	m.peers = reg.Gauge("live_peers", nil)
@@ -196,6 +209,7 @@ func (n *Node) PeerHealthSnapshot() []PeerHealth {
 func (n *Node) statusMetrics() StatusMetrics {
 	failures := n.nm.failForward.Value() + n.nm.failPR.Value() +
 		n.nm.failAP.Value() + n.nm.failHB.Value()
+	ms := n.mux.Stats()
 	return StatusMetrics{
 		UptimeSeconds:      time.Since(n.started).Seconds(),
 		QuestionsServed:    n.nm.questions.Value(),
@@ -216,5 +230,18 @@ func (n *Node) statusMetrics() StatusMetrics {
 		PoolEvictions:      n.nm.poolEvictions.Value(),
 		PoolRedials:        n.nm.poolRedials.Value(),
 		PoolOpenConns:      n.nm.poolOpen.Value(),
+
+		MuxDials:     ms.Dials,
+		MuxRedials:   ms.Redials,
+		MuxFallbacks: ms.Fallbacks,
+		MuxOpenConns: ms.OpenConns,
+		MuxCalls:     ms.Calls,
+		MuxInFlight:  ms.InFlight,
+
+		AnswerCacheHits:      n.nm.cacheAnsHits.Value(),
+		AnswerCacheMisses:    n.nm.cacheAnsMisses.Value(),
+		AnswerCacheCoalesced: n.nm.cacheAnsCoalesced.Value(),
+		PRCacheHits:          n.nm.cachePRHits.Value(),
+		PRCacheMisses:        n.nm.cachePRMisses.Value(),
 	}
 }

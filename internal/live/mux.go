@@ -1,0 +1,560 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"distqa/internal/fault"
+	"distqa/internal/obs"
+	"distqa/internal/wire"
+)
+
+// Mux transport defaults.
+const (
+	// DefaultMuxInFlight bounds concurrent calls per multiplexed connection.
+	// Calls beyond the limit block (backpressure) until a slot frees or the
+	// call's timeout expires — the mux analogue of pool-checkout queueing,
+	// except a slot is a pending-table entry, not a socket.
+	DefaultMuxInFlight = 64
+	// muxServerInFlight bounds concurrently executing requests per accepted
+	// mux connection; the read loop stops pulling frames when it is reached,
+	// pushing backpressure into the peer's TCP window.
+	muxServerInFlight = 64
+	// muxNegotiateTimeout caps the codec hello exchange. A gob-only peer
+	// never acks, so the client must fail fast and fall back rather than
+	// waiting out the full call timeout.
+	muxNegotiateTimeout = 3 * time.Second
+	// muxGobRetryAfter is how long a peer that failed codec negotiation
+	// stays pinned to the gob fallback before the transport probes it with
+	// a fresh hello (a restarted peer may have been upgraded).
+	muxGobRetryAfter = 30 * time.Second
+)
+
+// errGobPeer marks a peer that did not complete the binary-codec hello: the
+// transport pins it to the gob pool for muxGobRetryAfter.
+var errGobPeer = errors.New("peer did not ack binary codec")
+
+// errMuxClosed is returned by muxConn.call once the connection has died.
+var errMuxClosed = errors.New("mux connection closed")
+
+// MuxConfig configures a MuxTransport. The zero value gets defaults.
+type MuxConfig struct {
+	// InFlight bounds concurrent calls per peer connection (default
+	// DefaultMuxInFlight).
+	InFlight int
+	// Disabled pins every call to the gob connection pool (benchmark
+	// comparisons and protocol tests; production nodes leave it false).
+	Disabled bool
+	// Registry optionally receives the live_mux_* metrics.
+	Registry *obs.Registry
+	// Self identifies the owner to the fault injector as the message source.
+	Self string
+	// Injector, when non-nil, is consulted before every outbound call
+	// exactly like PoolConfig.Injector; the gob fallback path is
+	// injector-free so one call is never decided twice.
+	Injector *fault.Injector
+}
+
+// muxMetrics are the transport's instrumentation handles (always non-nil).
+type muxMetrics struct {
+	dials     *obs.Counter // live_mux_dials
+	redials   *obs.Counter // live_mux_redials
+	fallbacks *obs.Counter // live_mux_fallbacks (calls degraded to gob pool)
+	open      *obs.Gauge   // live_mux_open_conns
+	calls     *obs.Counter // live_mux_calls_total
+	inFlight  *obs.Gauge   // live_mux_in_flight
+}
+
+func newMuxMetrics(reg *obs.Registry) *muxMetrics {
+	if reg == nil {
+		return &muxMetrics{
+			dials:     &obs.Counter{},
+			redials:   &obs.Counter{},
+			fallbacks: &obs.Counter{},
+			open:      &obs.Gauge{},
+			calls:     &obs.Counter{},
+			inFlight:  &obs.Gauge{},
+		}
+	}
+	return &muxMetrics{
+		dials:     reg.Counter("live_mux_dials", nil),
+		redials:   reg.Counter("live_mux_redials", nil),
+		fallbacks: reg.Counter("live_mux_fallbacks", nil),
+		open:      reg.Gauge("live_mux_open_conns", nil),
+		calls:     reg.Counter("live_mux_calls_total", nil),
+		inFlight:  reg.Gauge("live_mux_in_flight", nil),
+	}
+}
+
+// muxResult is one call's outcome, delivered by the demux read loop.
+type muxResult struct {
+	resp *Response
+	err  error
+}
+
+// muxConn is one multiplexed binary-codec connection to a peer. All calls to
+// the peer share it: each request frame carries a request ID, a single demux
+// read loop routes response frames to per-call channels, and an in-flight
+// semaphore provides backpressure. Writes are serialized under wmu with a
+// per-write deadline that is set before and *cleared after* every frame —
+// the same per-call deadline hygiene pool.go established for gob streams, so
+// a slow call can never leave an expired deadline behind for the next one
+// (see TestMuxNoStaleDeadline).
+type muxConn struct {
+	addr string
+	conn net.Conn
+	m    *muxMetrics
+
+	wmu sync.Mutex // serializes frame writes and write-deadline set/clear
+
+	mu      sync.Mutex
+	pending map[uint64]chan muxResult
+	nextID  uint64
+	err     error // terminal transport error; nil while healthy
+	calls   int64
+
+	sem  chan struct{} // in-flight limiter
+	done chan struct{} // closed by fail()
+}
+
+func newMuxConn(addr string, conn net.Conn, inFlight int, m *muxMetrics) *muxConn {
+	mc := &muxConn{
+		addr:    addr,
+		conn:    conn,
+		m:       m,
+		pending: make(map[uint64]chan muxResult),
+		nextID:  1,
+		sem:     make(chan struct{}, inFlight),
+		done:    make(chan struct{}),
+	}
+	go mc.readLoop()
+	return mc
+}
+
+// alive reports whether the connection has not (yet) failed.
+func (mc *muxConn) alive() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.err == nil
+}
+
+// depth returns the current in-flight call count and lifetime calls.
+func (mc *muxConn) depth() (int, int64) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.pending), mc.calls
+}
+
+// fail marks the connection dead, closes the socket and delivers err to
+// every pending call. Idempotent; the first error wins.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.err = err
+	waiting := mc.pending
+	mc.pending = make(map[uint64]chan muxResult)
+	mc.mu.Unlock()
+	close(mc.done)
+	mc.conn.Close()
+	mc.m.open.Dec()
+	for _, ch := range waiting {
+		ch <- muxResult{err: err}
+	}
+}
+
+// readLoop is the demux loop: it reads response frames forever, reusing one
+// buffer, and routes each to its call's channel by request ID. Responses for
+// unknown IDs (a call that already timed out and unregistered itself) are
+// dropped — the connection stays healthy, which is exactly what lets a slow
+// response coexist with fresh calls on the same socket. The loop itself
+// runs with *no* read deadline: per-call timeouts are enforced by timers on
+// the waiting side, never by poisoning the shared socket.
+func (mc *muxConn) readLoop() {
+	var rbuf []byte
+	for {
+		payload, err := wire.ReadFrame(mc.conn, rbuf)
+		if err != nil {
+			mc.fail(fmt.Errorf("mux read: %w", err))
+			return
+		}
+		rbuf = payload[:cap(payload)]
+		r := wire.NewReader(payload)
+		id := r.Uint64()
+		resp, derr := decodeResponseWire(&r)
+		if derr != nil {
+			// Framing is broken; nothing after this frame can be trusted.
+			mc.fail(fmt.Errorf("mux decode: %w", derr))
+			return
+		}
+		mc.mu.Lock()
+		ch, ok := mc.pending[id]
+		if ok {
+			delete(mc.pending, id)
+		}
+		mc.mu.Unlock()
+		if ok {
+			ch <- muxResult{resp: resp}
+		}
+	}
+}
+
+// call performs one multiplexed request/response exchange bounded by
+// timeout. The timeout covers in-flight-slot acquisition, the frame write
+// and the wait for the demuxed response. A timed-out call unregisters its
+// ID and leaves the connection healthy; the eventual late response is
+// dropped by the read loop.
+func (mc *muxConn) call(req *Request, timeout time.Duration) (*Response, error) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	// Backpressure: wait for an in-flight slot.
+	select {
+	case mc.sem <- struct{}{}:
+	case <-mc.done:
+		return nil, errMuxClosed
+	case <-timer.C:
+		return nil, fmt.Errorf("mux in-flight limit: timeout after %v", timeout)
+	}
+	defer func() { <-mc.sem }()
+
+	// Register the call before writing so the response can never race the
+	// pending-table entry.
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return nil, errMuxClosed
+	}
+	id := mc.nextID
+	mc.nextID++
+	ch := make(chan muxResult, 1)
+	mc.pending[id] = ch
+	mc.calls++
+	mc.mu.Unlock()
+	mc.m.calls.Inc()
+	mc.m.inFlight.Inc()
+	defer mc.m.inFlight.Dec()
+
+	unregister := func() {
+		mc.mu.Lock()
+		delete(mc.pending, id)
+		mc.mu.Unlock()
+	}
+
+	// Encode into a pooled buffer and write the frame with a fresh write
+	// deadline, cleared immediately after — never left on the shared conn.
+	b := wire.GetBuffer()
+	b.BeginFrame()
+	b.Uint64(id)
+	err := appendRequestWire(b, req)
+	if err == nil {
+		err = b.EndFrame()
+	}
+	if err != nil {
+		wire.PutBuffer(b)
+		unregister()
+		return nil, err
+	}
+	mc.wmu.Lock()
+	mc.conn.SetWriteDeadline(time.Now().Add(timeout)) //nolint:errcheck
+	_, err = mc.conn.Write(b.B)
+	mc.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	mc.wmu.Unlock()
+	wire.PutBuffer(b)
+	if err != nil {
+		unregister()
+		mc.fail(fmt.Errorf("mux write: %w", err))
+		return nil, err
+	}
+
+	select {
+	case res := <-ch:
+		return res.resp, res.err
+	case <-timer.C:
+		unregister()
+		return nil, fmt.Errorf("mux call: timeout after %v", timeout)
+	}
+}
+
+// MuxTransport is the node's outbound RPC path: one multiplexed binary-codec
+// connection per peer, with the gob connection pool as negotiated fallback.
+// It mirrors Pool.Call's contract — fault-injector consultation, transparent
+// one-redial on a stale connection, Response.Err surfaced as an error — so
+// callPeer (breaker + retries above it) is transport-agnostic.
+type MuxTransport struct {
+	cfg  MuxConfig
+	m    *muxMetrics
+	pool *Pool
+
+	mu      sync.Mutex
+	conns   map[string]*muxConn
+	dialing map[string]*muxDial  // in-progress dials, one per peer
+	gobOnly map[string]time.Time // peer -> when pinned to the gob fallback
+	closed  bool
+}
+
+// muxDial coalesces concurrent first-use dials to one peer: one caller dials,
+// the rest wait on done and share the outcome — without it, a 16-way
+// concurrent burst against a cold peer would open 16 connections and
+// immediately throw 15 away.
+type muxDial struct {
+	done chan struct{}
+	mc   *muxConn
+	err  error
+}
+
+// NewMuxTransport builds a transport over pool (which provides the gob
+// fallback and the one-shot degradation once closed).
+func NewMuxTransport(cfg MuxConfig, pool *Pool) *MuxTransport {
+	if cfg.InFlight <= 0 {
+		cfg.InFlight = DefaultMuxInFlight
+	}
+	return &MuxTransport{
+		cfg:     cfg,
+		m:       newMuxMetrics(cfg.Registry),
+		pool:    pool,
+		conns:   make(map[string]*muxConn),
+		dialing: make(map[string]*muxDial),
+		gobOnly: make(map[string]time.Time),
+	}
+}
+
+// Call sends one request to addr over the multiplexed connection (dialing
+// and negotiating on first use), falling back to the gob pool for peers that
+// do not speak the binary codec. The fault injector is consulted exactly
+// once per logical call, here — both the mux path and the gob fallback
+// underneath are injector-free.
+func (t *MuxTransport) Call(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	if d := t.cfg.Injector.Decide(t.cfg.Self, addr, opOfKind(req.Kind)); d.Faulty() {
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Sever {
+			// Model a TCP reset: kill the mux connection and every pooled
+			// gob connection to the peer before failing the call.
+			t.severPeer(addr)
+		}
+		if d.Drop || d.Sever {
+			return nil, fmt.Errorf("live: call %s: %w", addr, ErrInjectedFault)
+		}
+		if d.Duplicate {
+			if _, err := t.call(addr, req, timeout); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t.call(addr, req, timeout)
+}
+
+// call is the injector-free body of Call.
+func (t *MuxTransport) call(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	if t.cfg.Disabled {
+		return t.pool.call(addr, req, timeout)
+	}
+	mc, reused, err := t.conn(addr, timeout)
+	if err != nil {
+		if errors.Is(err, errGobPeer) || errors.Is(err, errMuxClosed) {
+			// Peer speaks gob only (or the transport is closed): degrade to
+			// the pool, which itself degrades to one-shot once closed.
+			t.m.fallbacks.Inc()
+			return t.pool.call(addr, req, timeout)
+		}
+		return nil, err
+	}
+	resp, err := mc.call(req, timeout)
+	if err != nil && reused && !mc.alive() {
+		// Stale mux connection (peer restarted, idle-closed us): one
+		// transparent redial, mirroring the pool's staleness handling.
+		t.m.redials.Inc()
+		mc, _, err2 := t.conn(addr, timeout)
+		if err2 != nil {
+			if errors.Is(err2, errGobPeer) || errors.Is(err2, errMuxClosed) {
+				t.m.fallbacks.Inc()
+				return t.pool.call(addr, req, timeout)
+			}
+			return nil, err2
+		}
+		resp, err = mc.call(req, timeout)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("live: call %s: %w", addr, err)
+	}
+	if resp.Err != "" {
+		return resp, fmt.Errorf("live: remote %s: %s", addr, resp.Err)
+	}
+	return resp, nil
+}
+
+// conn returns the live multiplexed connection for addr, dialing and
+// negotiating a new one when absent or dead. Dials happen outside the
+// transport lock and are coalesced per peer: concurrent first-use callers
+// share one dial instead of racing (see TestMuxSixteenConcurrentOneConn).
+func (t *MuxTransport) conn(addr string, timeout time.Duration) (*muxConn, bool, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, errMuxClosed
+	}
+	if pinned, ok := t.gobOnly[addr]; ok {
+		if time.Since(pinned) < muxGobRetryAfter {
+			t.mu.Unlock()
+			return nil, false, errGobPeer
+		}
+		delete(t.gobOnly, addr) // probe the peer again
+	}
+	if mc := t.conns[addr]; mc != nil && mc.alive() {
+		t.mu.Unlock()
+		return mc, true, nil
+	}
+	if d := t.dialing[addr]; d != nil {
+		// Another caller is already negotiating; share its outcome. The dial
+		// is bounded by the leader's timeout plus muxNegotiateTimeout, so the
+		// wait is too.
+		t.mu.Unlock()
+		<-d.done
+		if d.err != nil {
+			return nil, false, d.err
+		}
+		return d.mc, true, nil
+	}
+	d := &muxDial{done: make(chan struct{})}
+	t.dialing[addr] = d
+	t.mu.Unlock()
+
+	mc, err := t.dial(addr, timeout)
+
+	t.mu.Lock()
+	delete(t.dialing, addr)
+	if err != nil {
+		if errors.Is(err, errGobPeer) {
+			t.gobOnly[addr] = time.Now()
+		}
+		t.mu.Unlock()
+		d.err = err
+		close(d.done)
+		return nil, false, err
+	}
+	if t.closed {
+		t.mu.Unlock()
+		mc.fail(errMuxClosed)
+		d.err = errMuxClosed
+		close(d.done)
+		return nil, false, errMuxClosed
+	}
+	t.conns[addr] = mc
+	t.mu.Unlock()
+	d.mc = mc
+	close(d.done)
+	return mc, false, nil
+}
+
+// dial opens and negotiates one multiplexed connection: TCP dial, binary
+// hello, ack. A peer that closes or answers garbage instead of the ack is
+// reported as errGobPeer (the caller pins it to the gob fallback); the
+// negotiation itself is bounded by muxNegotiateTimeout so a silent gob peer
+// cannot stall the call.
+func (t *MuxTransport) dial(addr string, timeout time.Duration) (*muxConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("live: dial %s: %w", addr, err)
+	}
+	negotiate := muxNegotiateTimeout
+	if timeout < negotiate {
+		negotiate = timeout
+	}
+	conn.SetDeadline(time.Now().Add(negotiate)) //nolint:errcheck
+	if err := wire.WriteHello(conn, wire.VersionBin); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("live: hello %s: %w", addr, err)
+	}
+	version, err := wire.ReadAck(conn)
+	if err != nil || version != wire.VersionBin {
+		conn.Close()
+		return nil, fmt.Errorf("live: %s: %w", addr, errGobPeer)
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+	t.m.dials.Inc()
+	t.m.open.Inc()
+	return newMuxConn(addr, conn, t.cfg.InFlight, t.m), nil
+}
+
+// severPeer force-closes the multiplexed connection to addr and the pooled
+// gob connections underneath (fault injection: a simulated network sever).
+func (t *MuxTransport) severPeer(addr string) {
+	t.mu.Lock()
+	mc := t.conns[addr]
+	delete(t.conns, addr)
+	t.mu.Unlock()
+	if mc != nil {
+		mc.fail(fmt.Errorf("live: sever %s: %w", addr, ErrInjectedFault))
+	}
+	t.pool.severPeer(addr)
+}
+
+// Close closes every multiplexed connection and switches the transport to
+// fallback mode (pool, then one-shot once the pool is closed too).
+// Idempotent.
+func (t *MuxTransport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[string]*muxConn)
+	t.mu.Unlock()
+	for _, mc := range conns {
+		mc.fail(errMuxClosed)
+	}
+}
+
+// MuxStats snapshots the transport counters (also exported as live_mux_*
+// metrics when built with a registry).
+type MuxStats struct {
+	Dials     int64
+	Redials   int64
+	Fallbacks int64
+	OpenConns int64
+	Calls     int64
+	InFlight  int64
+}
+
+// Stats returns the transport's cumulative counters.
+func (t *MuxTransport) Stats() MuxStats {
+	return MuxStats{
+		Dials:     t.m.dials.Value(),
+		Redials:   t.m.redials.Value(),
+		Fallbacks: t.m.fallbacks.Value(),
+		OpenConns: t.m.open.Value(),
+		Calls:     t.m.calls.Value(),
+		InFlight:  t.m.inFlight.Value(),
+	}
+}
+
+// Snapshot returns one MuxPeerStatus row per peer the transport has talked
+// to (live connections plus gob-pinned peers), sorted by address — the
+// payload behind Status.Mux and `qactl -status`.
+func (t *MuxTransport) Snapshot() []MuxPeerStatus {
+	t.mu.Lock()
+	out := make([]MuxPeerStatus, 0, len(t.conns)+len(t.gobOnly))
+	for addr, mc := range t.conns {
+		inFlight, calls := mc.depth()
+		out = append(out, MuxPeerStatus{Addr: addr, InFlight: inFlight, Calls: calls})
+	}
+	for addr := range t.gobOnly {
+		out = append(out, MuxPeerStatus{Addr: addr, GobOnly: true})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

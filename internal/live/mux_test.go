@@ -1,0 +1,326 @@
+package live
+
+import (
+	"encoding/gob"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distqa/internal/wire"
+)
+
+// startMuxServer runs a hand-rolled binary-codec server whose per-frame
+// behaviour is scripted by handle: it receives the 0-based connection and
+// frame index plus the request ID, and returns the response to send — or nil
+// to close the connection without responding (simulating a peer dying
+// mid-call). Negotiation follows the production hello: magic, version, ack.
+func startMuxServer(t *testing.T, handle func(connIdx, frameIdx int, id uint64) *Response) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for connIdx := 0; ; connIdx++ {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn, ci int) {
+				defer c.Close()
+				peek := make([]byte, wire.MagicLen)
+				if _, err := io.ReadFull(c, peek); err != nil || !wire.IsMagic(peek) {
+					return
+				}
+				if _, err := wire.ReadHelloVersion(c); err != nil {
+					return
+				}
+				if err := wire.WriteAck(c, wire.VersionBin); err != nil {
+					return
+				}
+				var rbuf []byte
+				for frame := 0; ; frame++ {
+					payload, err := wire.ReadFrame(c, rbuf)
+					if err != nil {
+						return
+					}
+					rbuf = payload[:cap(payload)]
+					r := wire.NewReader(payload)
+					id := r.Uint64()
+					resp := handle(ci, frame, id)
+					if resp == nil {
+						return
+					}
+					b := wire.GetBuffer()
+					b.BeginFrame()
+					b.Uint64(id)
+					if err := appendResponseWire(b, resp); err == nil {
+						err = b.EndFrame()
+						if err == nil {
+							_, err = c.Write(b.B)
+						}
+					}
+					wire.PutBuffer(b)
+					if err != nil {
+						return
+					}
+				}
+			}(c, connIdx)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// newTestMux builds a MuxTransport over a fresh pool, both cleaned up with
+// the test.
+func newTestMux(t *testing.T, cfg MuxConfig) *MuxTransport {
+	t.Helper()
+	pool := NewPool(PoolConfig{})
+	mt := NewMuxTransport(cfg, pool)
+	t.Cleanup(func() { mt.Close(); pool.Close() })
+	return mt
+}
+
+// TestMuxSixteenConcurrentOneConn is the acceptance scenario: 16 concurrent
+// callers against one peer must share exactly one negotiated connection —
+// no per-call dials, no fallback to the gob pool.
+func TestMuxSixteenConcurrentOneConn(t *testing.T) {
+	nodes := startCluster(t, 1)
+	mt := newTestMux(t, MuxConfig{})
+
+	const (
+		goroutines = 16
+		calls      = 10
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				if _, err := mt.Call(nodes[0].Addr(), &Request{Kind: kindStatus}, 5*time.Second); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	st := mt.Stats()
+	if st.Dials != 1 || st.OpenConns != 1 {
+		t.Fatalf("want exactly one multiplexed conn, got %+v", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("calls fell back to the gob pool: %+v", st)
+	}
+	if st.Calls != goroutines*calls {
+		t.Fatalf("calls = %d, want %d", st.Calls, goroutines*calls)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight gauge = %d after quiesce, want 0", st.InFlight)
+	}
+}
+
+// TestMuxNoStaleDeadline is the multiplexed analogue of
+// TestPoolNoInheritedDeadline: a call that times out against a slow peer must
+// not poison the shared connection for the next call. The scripted server
+// sleeps past the first call's timeout before answering (the late response is
+// dropped by the demux loop), then answers the second call promptly on the
+// SAME connection. If the timed-out call left a deadline or killed the conn,
+// the second call would need a redial.
+func TestMuxNoStaleDeadline(t *testing.T) {
+	addr := startMuxServer(t, func(ci, frame int, id uint64) *Response {
+		if ci == 0 && frame == 0 {
+			time.Sleep(400 * time.Millisecond) // outlive the first call's timeout
+		}
+		return &Response{ServedBy: "muxsrv"}
+	})
+	mt := newTestMux(t, MuxConfig{})
+
+	if _, err := mt.Call(addr, &Request{Kind: kindStatus}, 100*time.Millisecond); err == nil {
+		t.Fatal("slow first call did not time out")
+	} else if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("first call error = %v, want timeout", err)
+	}
+	resp, err := mt.Call(addr, &Request{Kind: kindStatus}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("second call after peer slowness: %v", err)
+	}
+	if resp.ServedBy != "muxsrv" {
+		t.Fatalf("served by %q", resp.ServedBy)
+	}
+	st := mt.Stats()
+	if st.Dials != 1 {
+		t.Fatalf("dials = %d, want 1 (timed-out call must not burn the conn)", st.Dials)
+	}
+	if st.Redials != 0 {
+		t.Fatalf("redials = %d after a per-call timeout; stale deadline inherited?", st.Redials)
+	}
+}
+
+// TestMuxTransparentRedial scripts a peer that dies mid-call: connection 0
+// answers its first frame, then closes on the second without responding. The
+// transport must detect the dead reused connection and transparently redial
+// exactly once; the caller sees two successes.
+func TestMuxTransparentRedial(t *testing.T) {
+	addr := startMuxServer(t, func(ci, frame int, id uint64) *Response {
+		if ci == 0 && frame == 1 {
+			return nil // die mid-call
+		}
+		return &Response{ServedBy: "muxsrv"}
+	})
+	mt := newTestMux(t, MuxConfig{})
+
+	for i := 0; i < 2; i++ {
+		if _, err := mt.Call(addr, &Request{Kind: kindStatus}, 5*time.Second); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	st := mt.Stats()
+	if st.Redials != 1 {
+		t.Fatalf("redials = %d, want 1", st.Redials)
+	}
+	if st.Dials != 2 {
+		t.Fatalf("dials = %d, want 2", st.Dials)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("unexpected gob fallbacks: %+v", st)
+	}
+}
+
+// TestMuxInFlightBackpressure holds the single in-flight slot with a blocked
+// call and checks that a second call with a short timeout fails on the limit
+// rather than queueing forever; once the slot frees, the blocked call
+// completes normally.
+func TestMuxInFlightBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	addr := startMuxServer(t, func(ci, frame int, id uint64) *Response {
+		if ci == 0 && frame == 0 {
+			<-release
+		}
+		return &Response{ServedBy: "muxsrv"}
+	})
+	mt := newTestMux(t, MuxConfig{InFlight: 1})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := mt.Call(addr, &Request{Kind: kindStatus}, 10*time.Second)
+		done <- err
+	}()
+	// Wait until the blocked call owns the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for mt.Stats().InFlight == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mt.Stats().InFlight != 1 {
+		t.Fatal("first call never became in-flight")
+	}
+
+	_, err := mt.Call(addr, &Request{Kind: kindStatus}, 100*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "in-flight") {
+		t.Fatalf("second call error = %v, want in-flight limit timeout", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("blocked call failed after release: %v", err)
+	}
+}
+
+// startGobOnlyServer runs a legacy peer: plain gob request/response streams,
+// no knowledge of the binary hello. The first connection receives the hello
+// bytes, fails its gob decode and closes — exactly how a pre-upgrade node
+// reacts — and the client must degrade to the pooled gob path.
+func startGobOnlyServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				dec := gob.NewDecoder(c)
+				enc := gob.NewEncoder(c)
+				for {
+					var req Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if err := enc.Encode(&Response{ServedBy: "gob-only"}); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// TestMuxGobPeerFallback checks codec negotiation against a peer that never
+// acks the binary hello: the call must degrade to the gob pool and succeed,
+// the peer must be pinned so the second call skips the hello entirely, and
+// the status snapshot must report the pin.
+func TestMuxGobPeerFallback(t *testing.T) {
+	addr := startGobOnlyServer(t)
+	mt := newTestMux(t, MuxConfig{})
+
+	// The gob peer never answers the hello, so negotiation runs out the
+	// (clamped) timeout before falling back — keep it short.
+	resp, err := mt.Call(addr, &Request{Kind: kindStatus}, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("first call against gob peer: %v", err)
+	}
+	if resp.ServedBy != "gob-only" {
+		t.Fatalf("served by %q, want gob fallback", resp.ServedBy)
+	}
+	// Pinned now: the second call must go straight to the pool, fast.
+	begin := time.Now()
+	if _, err := mt.Call(addr, &Request{Kind: kindStatus}, 5*time.Second); err != nil {
+		t.Fatalf("second call: %v", err)
+	}
+	if d := time.Since(begin); d > time.Second {
+		t.Fatalf("pinned gob peer call took %v; re-negotiated instead of using the pin?", d)
+	}
+	st := mt.Stats()
+	if st.Fallbacks != 2 {
+		t.Fatalf("fallbacks = %d, want 2", st.Fallbacks)
+	}
+	if st.Dials != 0 || st.OpenConns != 0 {
+		t.Fatalf("mux conns against a gob-only peer: %+v", st)
+	}
+	snap := mt.Snapshot()
+	if len(snap) != 1 || !snap[0].GobOnly || snap[0].Addr != addr {
+		t.Fatalf("snapshot = %+v, want one gob-pinned peer", snap)
+	}
+}
+
+// TestMuxDisabledUsesPool pins the transport to the pool path and checks no
+// mux connection is ever negotiated.
+func TestMuxDisabledUsesPool(t *testing.T) {
+	nodes := startCluster(t, 1)
+	mt := newTestMux(t, MuxConfig{Disabled: true})
+	if _, err := mt.Call(nodes[0].Addr(), &Request{Kind: kindStatus}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := mt.Stats(); st.Dials != 0 || st.Calls != 0 {
+		t.Fatalf("disabled transport negotiated mux conns: %+v", st)
+	}
+}

@@ -1,8 +1,10 @@
 package live
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sort"
@@ -16,6 +18,8 @@ import (
 	"distqa/internal/nlp"
 	"distqa/internal/obs"
 	"distqa/internal/qa"
+	"distqa/internal/qcache"
+	"distqa/internal/wire"
 )
 
 // NodeConfig configures one live node.
@@ -54,6 +58,14 @@ type NodeConfig struct {
 	// Fault optionally injects faults into every outbound call (package
 	// fault): drop, delay, duplicate or sever per peer/op. nil = no faults.
 	Fault *fault.Injector
+	// Mux tunes the multiplexed binary-codec transport (PR-4). The zero
+	// value enables it with defaults; Mux.Disabled pins outbound calls to
+	// the gob pool (benchmark comparisons).
+	Mux MuxConfig
+	// Cache tunes the question/PR result caches (PR-4). The zero value
+	// enables both with defaults; Cache.Disabled turns caching off (chaos
+	// runs, cold-path benchmarks).
+	Cache CacheConfig
 }
 
 // Node is a running live Q/A node.
@@ -69,9 +81,19 @@ type Node struct {
 	nm    *nodeMetrics
 	spans *obs.Recorder
 
-	// pool holds persistent gob connections to peers; heartbeats, forwards
-	// and PR/AP sub-task traffic all ride it.
+	// pool holds persistent gob connections to peers — the negotiated
+	// fallback under mux, and the transport for legacy peers.
 	pool *Pool
+	// mux is the primary outbound transport: one multiplexed binary-codec
+	// connection per peer; heartbeats, forwards and PR/AP sub-task traffic
+	// all ride it (degrading to pool, then one-shot, as layers close).
+	mux *MuxTransport
+
+	// Question/PR caches (internal/qcache) with singleflight coalescing of
+	// identical in-flight questions; see ask.go.
+	answerCache *qcache.Cache
+	prCache     *qcache.Cache
+	askFlight   *qcache.Group
 
 	// Fault tolerance: the heartbeat failure detector (alive/suspect/dead
 	// gating of dispatch candidates), per-peer circuit breakers over the
@@ -135,6 +157,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		pool: NewPool(PoolConfig{
 			Registry: reg,
 			Self:     ln.Addr().String(),
+			// The injector also lives here (not only on the mux transport)
+			// so direct Pool users keep fault semantics; no call is decided
+			// twice because the mux fallback uses the injector-free p.call.
 			Injector: cfg.Fault,
 		}),
 		detector:    newDetector(cfg.Detector, cfg.HeartbeatEvery),
@@ -146,6 +171,17 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		conns:       make(map[net.Conn]struct{}),
 		admit:       make(chan struct{}, cfg.MaxConcurrent),
 		done:        make(chan struct{}),
+	}
+	muxCfg := cfg.Mux
+	muxCfg.Registry = reg
+	muxCfg.Self = ln.Addr().String()
+	muxCfg.Injector = cfg.Fault
+	n.mux = NewMuxTransport(muxCfg, n.pool)
+	if !cfg.Cache.Disabled {
+		cc := cfg.Cache.withDefaults()
+		n.answerCache = qcache.New(cc.AnswerCapacity, cc.AnswerTTL)
+		n.prCache = qcache.New(cc.PRCapacity, cc.PRTTL)
+		n.askFlight = qcache.NewGroup()
 	}
 	n.breakers.onTrip = func(string) { n.nm.breakerTrips.Inc() }
 	// Every stage span completed on this node (local stages and remote
@@ -168,6 +204,7 @@ func (n *Node) Close() {
 	n.closeOnce.Do(func() {
 		close(n.done)
 		n.listener.Close()
+		n.mux.Close()
 		n.pool.Close()
 		// Force-close accepted keep-alive connections so handler goroutines
 		// parked in a decode unblock instead of waiting out the idle timeout.
@@ -182,6 +219,9 @@ func (n *Node) Close() {
 
 // Pool returns the node's peer connection pool (tests, benchmarks).
 func (n *Node) Pool() *Pool { return n.pool }
+
+// Mux returns the node's multiplexed peer transport (tests, benchmarks).
+func (n *Node) Mux() *MuxTransport { return n.mux }
 
 // serve accepts connections until closed.
 func (n *Node) serve() {
@@ -330,17 +370,136 @@ func (n *Node) BreakerStateOf(addr string) BreakerState {
 	return n.breakers.stateOf(addr)
 }
 
-// handle serves one connection as a keep-alive request/response loop: the
-// gob encoder/decoder pair persists across requests, matching the client
-// pool's reused streams so type descriptors travel once per connection, not
-// once per call. One-shot clients (roundTrip) are served identically — they
-// close after the first response and the next decode returns EOF.
+// handle serves one accepted connection. The first bytes classify the codec:
+// the binary hello magic selects the multiplexed frame loop (handleMux);
+// anything else is a legacy gob peer — the peeked bytes are replayed into a
+// gob decoder and the connection is served by the keep-alive gob loop
+// (handleGob). Both styles share the port and the dispatch table, so old gob
+// peers (and one-shot clients like qactl) interop with binary-codec nodes.
 func (n *Node) handle(conn net.Conn) {
 	defer conn.Close()
+	peek := make([]byte, wire.MagicLen)
+	conn.SetReadDeadline(time.Now().Add(serverIdleTimeout)) //nolint:errcheck
+	nr, err := io.ReadFull(conn, peek)
+	if err != nil && nr == 0 {
+		return
+	}
+	if err == nil && wire.IsMagic(peek) {
+		version, err := wire.ReadHelloVersion(conn)
+		if err != nil {
+			return
+		}
+		agreed := wire.Negotiate(wire.VersionBin, version)
+		if err := wire.WriteAck(conn, agreed); err != nil {
+			return
+		}
+		if agreed == wire.VersionBin {
+			n.handleMux(conn)
+			return
+		}
+		// Negotiated down to gob: the client switches to fresh gob streams
+		// after the ack.
+		n.handleGob(conn, conn)
+		return
+	}
+	n.handleGob(io.MultiReader(bytes.NewReader(peek[:nr]), conn), conn)
+}
+
+// handleMux serves one negotiated binary-codec connection: a demux loop
+// reading request frames (uvarint request ID + codec payload) and answering
+// each out of order as its handler finishes. Heartbeats are dispatched
+// inline — they are cheap and keeping them on the read-loop stack is what
+// makes the hot decode path allocation-free; everything else runs in its own
+// goroutine behind a per-connection concurrency limit, so one slow ask never
+// blocks heartbeat processing on the same socket.
+//
+// Deadline hygiene matches pool.go: the read deadline is refreshed to the
+// keep-alive idle timeout before every frame, and each response write sets a
+// fresh write deadline and clears it immediately after — a reused
+// multiplexed connection never inherits an expired deadline from a previous
+// call (see TestMuxNoStaleDeadline).
+func (n *Node) handleMux(conn net.Conn) {
+	var wmu sync.Mutex
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sem := make(chan struct{}, muxServerInFlight)
+	var rbuf []byte
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(serverIdleTimeout)); err != nil {
+			return
+		}
+		payload, err := wire.ReadFrame(conn, rbuf)
+		if err != nil {
+			return
+		}
+		rbuf = payload[:cap(payload)]
+		r := wire.NewReader(payload)
+		id := r.Uint64()
+		var req Request
+		// Decode synchronously — the frame buffer is reused for the next
+		// read, so the Request must be fully materialized before dispatch.
+		if err := decodeRequestWireInto(&r, &req); err != nil {
+			return
+		}
+		if req.Kind == kindHeartbeat || req.Kind == kindStatus || req.Kind == kindMetrics {
+			// Cheap control-plane ops: answer inline, no goroutine.
+			if err := n.writeMuxResponse(conn, &wmu, id, n.dispatch(&req)); err != nil {
+				return
+			}
+		} else {
+			select {
+			case sem <- struct{}{}:
+			case <-n.done:
+				return
+			}
+			wg.Add(1)
+			go func(id uint64, req Request) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				n.writeMuxResponse(conn, &wmu, id, n.dispatch(&req)) //nolint:errcheck
+			}(id, req)
+		}
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+	}
+}
+
+// writeMuxResponse encodes one response frame into a pooled buffer and
+// writes it under the connection's write lock with set-then-cleared write
+// deadlines.
+func (n *Node) writeMuxResponse(conn net.Conn, wmu *sync.Mutex, id uint64, resp *Response) error {
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	b.BeginFrame()
+	b.Uint64(id)
+	if err := appendResponseWire(b, resp); err != nil {
+		return err
+	}
+	if err := b.EndFrame(); err != nil {
+		return err
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(n.cfg.RequestTimeout)) //nolint:errcheck
+	_, err := conn.Write(b.B)
+	conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
+	return err
+}
+
+// handleGob serves one legacy gob connection as a keep-alive
+// request/response loop: the gob encoder/decoder pair persists across
+// requests, matching the client pool's reused streams so type descriptors
+// travel once per connection, not once per call. One-shot clients
+// (roundTrip) are served identically — they close after the first response
+// and the next decode returns EOF.
+func (n *Node) handleGob(r io.Reader, conn net.Conn) {
 	// The frame guard bounds each decoded message to MaxFrameBytes, so a
 	// malformed or hostile frame errors out instead of streaming until the
 	// idle timeout (see FuzzDecodeRequest).
-	fr := newFrameReader(conn)
+	fr := newFrameReader(r)
 	dec := gob.NewDecoder(fr)
 	enc := gob.NewEncoder(conn)
 	for {
@@ -413,6 +572,7 @@ func (n *Node) handleStatus() *Response {
 		Uptime:     time.Since(n.started),
 		Metrics:    n.statusMetrics(),
 		PeerHealth: n.PeerHealthSnapshot(),
+		Mux:        n.mux.Snapshot(),
 	}}
 }
 
@@ -434,6 +594,17 @@ func (n *Node) handlePRSubtask(req *Request) *Response {
 	n.nm.prRecv.Inc()
 	span := n.spans.StartSpan("pr-subtask", obs.StagePR, req.Span)
 	analysis := nlp.QuestionAnalysis{Keywords: req.Keywords}
+	// PR partial cache, keyed like the local path: a repeated question fans
+	// the same (keywords, assignment) sub-task out to this node, and the
+	// refs are pure functions of the immutable replica.
+	key := prCacheKey(req.Keywords, req.Subs)
+	if v, ok := n.prCache.Get(key); ok {
+		n.nm.cachePRHits.Inc()
+		return &Response{ParaRefs: v.([]ParaRef), Spans: []obs.Span{span.End()}}
+	}
+	if n.prCache != nil {
+		n.nm.cachePRMisses.Inc()
+	}
 	var refs []ParaRef
 	for _, sub := range req.Subs {
 		if sub < 0 || sub >= n.engine.Set.Len() {
@@ -445,6 +616,7 @@ func (n *Node) handlePRSubtask(req *Request) *Response {
 			refs = append(refs, ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score})
 		}
 	}
+	n.prCache.Put(key, refs)
 	return &Response{ParaRefs: refs, Spans: []obs.Span{span.End()}}
 }
 

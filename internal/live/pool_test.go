@@ -227,23 +227,27 @@ func TestPoolIdleEviction(t *testing.T) {
 	}
 }
 
-// TestHeartbeatsRideThePool checks that steady-state heartbeat traffic
-// reuses pooled connections (hits accumulate) instead of dialing per beat.
-func TestHeartbeatsRideThePool(t *testing.T) {
+// TestHeartbeatsRideTheMux checks that steady-state heartbeat traffic rides
+// the multiplexed transport (calls accumulate over a single negotiated
+// connection per peer) instead of per-beat dials or the gob pool.
+func TestHeartbeatsRideTheMux(t *testing.T) {
 	nodes := startCluster(t, 2)
 	waitForPeers(t, nodes[0], 1)
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if nodes[0].Pool().Stats().Hits >= 3 {
+		if nodes[0].Mux().Stats().Calls >= 3 {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	st := nodes[0].Pool().Stats()
-	if st.Hits < 3 {
-		t.Fatalf("heartbeats did not reuse pooled conns: %+v", st)
+	st := nodes[0].Mux().Stats()
+	if st.Calls < 3 {
+		t.Fatalf("heartbeats did not ride the mux transport: %+v", st)
 	}
-	if st.Misses > 2*st.Hits {
-		t.Fatalf("pool mostly missing on heartbeat path: %+v", st)
+	if st.Dials != 1 || st.OpenConns != 1 {
+		t.Fatalf("want exactly one multiplexed conn to the peer, got %+v", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("heartbeats fell back to the gob pool: %+v", st)
 	}
 }

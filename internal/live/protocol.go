@@ -122,6 +122,21 @@ type Request struct {
 	Load LoadReport
 }
 
+// PRSubtaskRequest builds a paragraph-retrieval sub-task request — the unit
+// of remote PR fan-out. Exported for the perf suite, which benchmarks
+// transports by pushing concurrent sub-tasks at a node.
+func PRSubtaskRequest(keywords []string, subs []int) *Request {
+	return &Request{Kind: kindPRSubtask, Keywords: keywords, Subs: subs}
+}
+
+// AskRequest builds a question request. Exported for the perf suite, which
+// asks over a pooled transport so the measured delta between a cold pipeline
+// run and an answer-cache hit is not drowned by per-request connection setup
+// (as it would be through the one-shot Ask helper).
+func AskRequest(question string) *Request {
+	return &Request{Kind: kindAsk, Question: question}
+}
+
 // ParaRef identifies a scored paragraph in the shared collection replica.
 type ParaRef struct {
 	ID      int
@@ -158,6 +173,11 @@ type Response struct {
 	Forwarded bool
 	APPeers   int
 	ElapsedMS float64
+	// Question-cache metadata (internal/qcache): CacheHit marks an answer
+	// served from the node's answer cache; Coalesced marks a duplicate
+	// in-flight question that shared another call's execution (singleflight).
+	CacheHit  bool
+	Coalesced bool
 }
 
 // Status describes a node for operators (cmd/qactl).
@@ -175,6 +195,18 @@ type Status struct {
 	// every peer it has heard from (alive/suspect/dead, breaker state,
 	// blamed failures) — rendered by `qactl -status`.
 	PeerHealth []PeerHealth
+	// Mux lists the node's outbound multiplexed connections, one row per
+	// peer (in-flight depth and lifetime calls) — rendered by `qactl -status`.
+	Mux []MuxPeerStatus
+}
+
+// MuxPeerStatus is one peer's row in Status.Mux: the state of this node's
+// single multiplexed connection to that peer.
+type MuxPeerStatus struct {
+	Addr     string
+	InFlight int   // calls currently awaiting a response
+	Calls    int64 // lifetime calls over this transport to the peer
+	GobOnly  bool  // peer failed codec negotiation; calls ride the gob pool
 }
 
 // StatusMetrics is the counter snapshot carried in Status (and rendered by
@@ -203,6 +235,21 @@ type StatusMetrics struct {
 	PoolEvictions int64
 	PoolRedials   int64
 	PoolOpenConns int64
+	// Mux transport counters (live_mux_* metrics): the single multiplexed
+	// binary-codec connection per peer that replaced pool checkout on the
+	// RPC hot path (PR-4).
+	MuxDials     int64
+	MuxRedials   int64
+	MuxFallbacks int64 // calls that degraded to the gob pool
+	MuxOpenConns int64
+	MuxCalls     int64
+	MuxInFlight  int64
+	// Question/PR cache counters (live_qcache_* metrics, PR-4).
+	AnswerCacheHits      int64
+	AnswerCacheMisses    int64
+	AnswerCacheCoalesced int64
+	PRCacheHits          int64
+	PRCacheMisses        int64
 }
 
 // roundTrip sends one request and decodes one response over a fresh

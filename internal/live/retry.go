@@ -138,7 +138,7 @@ func (n *Node) callPeer(addr string, req *Request, deadline time.Time, maxAttemp
 		if n.cfg.RequestTimeout < timeout {
 			timeout = n.cfg.RequestTimeout
 		}
-		resp, err := n.pool.Call(addr, req, timeout)
+		resp, err := n.mux.Call(addr, req, timeout)
 		if err == nil {
 			n.breakers.onSuccess(addr)
 			return resp, nil

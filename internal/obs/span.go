@@ -74,6 +74,11 @@ type Recorder struct {
 	spans []Span
 	next  int  // ring write position
 	full  bool // ring has wrapped
+	// byQID indexes ring positions by question ID so ByQID — called on the
+	// response path of every live ask — is O(spans-of-this-question) instead
+	// of copying and sorting the whole ring (the 8192-entry default made
+	// cache-hit responses slower than cold pipeline runs before this index).
+	byQID map[int64][]int
 }
 
 // DefaultRecorderCap bounds how many completed spans a recorder retains.
@@ -85,7 +90,12 @@ func NewRecorder(node string, max int) *Recorder {
 	if max <= 0 {
 		max = DefaultRecorderCap
 	}
-	return &Recorder{node: node, max: max, spans: make([]Span, 0, min(max, 256))}
+	return &Recorder{
+		node:  node,
+		max:   max,
+		spans: make([]Span, 0, min(max, 256)),
+		byQID: make(map[int64][]int),
+	}
 }
 
 // ActiveSpan is an in-flight span; call End to record it.
@@ -138,16 +148,21 @@ func (r *Recorder) Record(s Span) {
 		s.Node = r.node
 	}
 	r.mu.Lock()
+	var pos int
 	if r.full {
+		r.dropIndexLocked(r.spans[r.next].QID, r.next)
 		r.spans[r.next] = s
+		pos = r.next
 		r.next = (r.next + 1) % r.max
 	} else {
+		pos = len(r.spans)
 		r.spans = append(r.spans, s)
 		if len(r.spans) == r.max {
 			r.full = true
 			r.next = 0
 		}
 	}
+	r.byQID[s.QID] = append(r.byQID[s.QID], pos)
 	onEnd := r.OnEnd
 	r.mu.Unlock()
 	if onEnd != nil {
@@ -167,14 +182,40 @@ func (r *Recorder) Snapshot() []Span {
 	return out
 }
 
-// ByQID returns the retained spans of one question, ordered by start time.
-func (r *Recorder) ByQID(qid int64) []Span {
-	var out []Span
-	for _, s := range r.Snapshot() {
-		if s.QID == qid {
-			out = append(out, s)
+// dropIndexLocked removes one ring position from a question's index bucket
+// (called when the ring overwrites that position). Caller holds r.mu.
+func (r *Recorder) dropIndexLocked(qid int64, pos int) {
+	bucket := r.byQID[qid]
+	for i, p := range bucket {
+		if p == pos {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
 		}
 	}
+	if len(bucket) == 0 {
+		delete(r.byQID, qid)
+	} else {
+		r.byQID[qid] = bucket
+	}
+}
+
+// ByQID returns the retained spans of one question, ordered by start time.
+// It reads through the QID index, touching only that question's spans — this
+// runs on the response path of every live ask, where scanning the whole ring
+// would dwarf a cache-hit's actual work.
+func (r *Recorder) ByQID(qid int64) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	idx := r.byQID[qid]
+	out := make([]Span, 0, len(idx))
+	for _, pos := range idx {
+		out = append(out, r.spans[pos])
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
 }
 

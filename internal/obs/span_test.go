@@ -85,6 +85,46 @@ func TestRecorderRingBounds(t *testing.T) {
 	}
 }
 
+// TestByQIDIndexSurvivesRingWrap drives the recorder far past its capacity
+// and checks the QID index stays exactly consistent with the ring: evicted
+// questions return nothing, retained questions return precisely their
+// resident spans in start order.
+func TestByQIDIndexSurvivesRingWrap(t *testing.T) {
+	rec := NewRecorder("n", 6)
+	base := time.Now()
+	// 10 questions × 3 spans; with a 6-slot ring only the last 2 questions
+	// survive in full.
+	for q := int64(1); q <= 10; q++ {
+		for j := 0; j < 3; j++ {
+			rec.Record(Span{
+				QID:   q,
+				ID:    NewID(),
+				Name:  "s",
+				Start: base.Add(time.Duration(q*10+int64(j)) * time.Millisecond),
+			})
+		}
+	}
+	for q := int64(1); q <= 8; q++ {
+		if got := rec.ByQID(q); len(got) != 0 {
+			t.Fatalf("evicted question %d still indexed: %d spans", q, len(got))
+		}
+	}
+	for q := int64(9); q <= 10; q++ {
+		got := rec.ByQID(q)
+		if len(got) != 3 {
+			t.Fatalf("question %d: %d spans, want 3", q, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Start.Before(got[i-1].Start) {
+				t.Fatalf("question %d spans out of start order", q)
+			}
+			if got[i].QID != q {
+				t.Fatalf("question %d got a span of question %d", q, got[i].QID)
+			}
+		}
+	}
+}
+
 func TestRecorderOnEndHookAndConcurrency(t *testing.T) {
 	rec := NewRecorder("n", 0)
 	var mu sync.Mutex

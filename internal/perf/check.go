@@ -1,0 +1,168 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadReport loads a previously written JSON report (a committed baseline).
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: read baseline: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse baseline %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perf: baseline %s has schema %q, want %q", path, r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// CheckRegression compares current against a baseline report from the same
+// machine: every benchmark present in both must not be slower than
+// baseline·(1+tolerance). It returns one message per violation (empty =
+// pass). Benchmarks that exist on only one side are ignored, so the gate
+// survives suite growth.
+func CheckRegression(baseline, current *Report, tolerance float64) []string {
+	var violations []string
+	for _, base := range baseline.Benchmarks {
+		cur, ok := current.find(base.Name)
+		if !ok || base.NsPerOp <= 0 {
+			continue
+		}
+		limit := base.NsPerOp * (1 + tolerance)
+		if cur.NsPerOp > limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%.0f%% over the %.0f%% budget)",
+				base.Name, cur.NsPerOp, base.NsPerOp,
+				(cur.NsPerOp/base.NsPerOp-1)*100, tolerance*100))
+		}
+	}
+	return violations
+}
+
+// SameEnv reports whether two reports come from comparable environments —
+// the precondition for ns/op comparisons to mean anything. Ratio-based
+// checks (CheckComparisonRegression, CheckFloors) do not need it.
+func SameEnv(a, b *Report) bool {
+	return a.GoVersion == b.GoVersion && a.GOOS == b.GOOS &&
+		a.GOARCH == b.GOARCH && a.GOMAXPROCS == b.GOMAXPROCS
+}
+
+// CheckComparisonRegression gates the current report's baseline/candidate
+// comparisons against a committed baseline report: every comparison present
+// in the baseline must keep at least (1-tolerance) of its speedup and of
+// its allocation ratio. Unlike raw ns/op, these ratios are measured within
+// one run, so the gate holds across machines. A comparison missing from the
+// current report is a violation (a renamed benchmark cannot silently
+// disable the gate); parallel-engine comparisons are skipped on single-proc
+// runners for the same reason CheckFloors skips them.
+func CheckComparisonRegression(baseline, current *Report, tolerance float64) []string {
+	parallelOnly := make(map[string]bool, len(floors))
+	for _, f := range floors {
+		if f.needsParallelism {
+			parallelOnly[f.comparison] = true
+		}
+	}
+	var violations []string
+	for _, base := range baseline.Comparisons {
+		if parallelOnly[base.Name] && current.GOMAXPROCS <= 1 {
+			continue
+		}
+		var cur *Comparison
+		for i := range current.Comparisons {
+			if current.Comparisons[i].Name == base.Name {
+				cur = &current.Comparisons[i]
+				break
+			}
+		}
+		if cur == nil {
+			violations = append(violations, fmt.Sprintf("comparison %q missing from current report", base.Name))
+			continue
+		}
+		if limit := base.Speedup * (1 - tolerance); base.Speedup > 0 && cur.Speedup < limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: speedup %.2fx vs committed %.2fx (kept %.0f%%, need ≥ %.0f%%)",
+				base.Name, cur.Speedup, base.Speedup,
+				cur.Speedup/base.Speedup*100, (1-tolerance)*100))
+		}
+		if limit := base.AllocRatio * (1 - tolerance); base.AllocRatio > 0 && cur.AllocRatio < limit {
+			violations = append(violations, fmt.Sprintf(
+				"%s: alloc ratio %.1fx vs committed %.1fx (kept %.0f%%, need ≥ %.0f%%)",
+				base.Name, cur.AllocRatio, base.AllocRatio,
+				cur.AllocRatio/base.AllocRatio*100, (1-tolerance)*100))
+		}
+	}
+	return violations
+}
+
+// Floors are the machine-independent acceptance invariants of the serving
+// path, checked in CI against a freshly generated report. They are ratios
+// between benchmarks measured in the same run, so they hold across hardware;
+// each floor is set conservatively below the figures in the committed
+// BENCH_pr4.json to absorb CI noise.
+var floors = []struct {
+	comparison string
+	minSpeedup float64 // 0 = not checked
+	minAllocs  float64 // 0 = not checked
+	// needsParallelism marks floors that only measure anything real when
+	// GOMAXPROCS > 1: with the adaptive fan-out clamp, a single-proc run
+	// executes the identical sequential code path on both sides, so the
+	// ratio is pure scheduler/GC noise. Such floors are skipped (never
+	// "missing") on single-proc runners.
+	needsParallelism bool
+}{
+	// The binary codec's reason to exist: an RPC exchange must allocate at
+	// least 5x less than pooled gob.
+	{comparison: "codec: wire vs gob", minSpeedup: 1.0, minAllocs: 5},
+	// One multiplexed connection must keep up with the 4-conn gob pool under
+	// 16-way concurrency (committed figure is ≥ 1.0; CI floor absorbs noise).
+	{comparison: "rpc16: mux vs pool", minSpeedup: 0.75},
+	// An answer-cache hit skips the entire pipeline (committed ≥ 10x).
+	{comparison: "ask: cached vs cold", minSpeedup: 5},
+	// The adaptive fan-out clamp: the parallel engine must never lose to the
+	// sequential one again (the PR-2 regression was 0.95x — caused by fanning
+	// out wider than GOMAXPROCS; floors sit below 1.0 only to absorb
+	// measurement noise).
+	{comparison: "pr+ps: parallel vs sequential", minSpeedup: 0.9, needsParallelism: true},
+	{comparison: "ask: parallel vs sequential", minSpeedup: 0.9, needsParallelism: true},
+}
+
+// CheckFloors validates the report's comparisons against the serving-path
+// floors. It returns one message per violation (empty = pass); a missing
+// comparison is itself a violation so a renamed benchmark cannot silently
+// disable the gate.
+func CheckFloors(r *Report) []string {
+	var violations []string
+	for _, f := range floors {
+		if f.needsParallelism && r.GOMAXPROCS <= 1 {
+			// Both sides ran the identical clamped code path; the ratio is
+			// noise, and 'parallel must not lose' is vacuously true.
+			continue
+		}
+		var c *Comparison
+		for i := range r.Comparisons {
+			if r.Comparisons[i].Name == f.comparison {
+				c = &r.Comparisons[i]
+				break
+			}
+		}
+		if c == nil {
+			violations = append(violations, fmt.Sprintf("comparison %q missing from report", f.comparison))
+			continue
+		}
+		if f.minSpeedup > 0 && c.Speedup < f.minSpeedup {
+			violations = append(violations, fmt.Sprintf(
+				"%s: speedup %.2fx below floor %.2fx", f.comparison, c.Speedup, f.minSpeedup))
+		}
+		if f.minAllocs > 0 && c.AllocRatio < f.minAllocs {
+			violations = append(violations, fmt.Sprintf(
+				"%s: alloc ratio %.1fx below floor %.1fx", f.comparison, c.AllocRatio, f.minAllocs))
+		}
+	}
+	return violations
+}

@@ -44,6 +44,10 @@ type Comparison struct {
 	// Speedup is baseline NsPerOp / candidate NsPerOp (>1 means the
 	// candidate is faster).
 	Speedup float64 `json:"speedup"`
+	// AllocRatio is baseline AllocsPerOp / candidate AllocsPerOp (>1 means
+	// the candidate allocates less). A candidate measuring ≤ 0 allocs/op is
+	// floored at 0.01 so the ratio stays finite and JSON-encodable.
+	AllocRatio float64 `json:"alloc_ratio"`
 }
 
 // Report is the full perf run output.
@@ -131,8 +135,16 @@ func (r *Report) Compare(name, baseline, candidate string) error {
 	if c.NsPerOp > 0 {
 		sp = b.NsPerOp / c.NsPerOp
 	}
+	candAllocs := c.AllocsPerOp
+	if candAllocs <= 0 {
+		candAllocs = 0.01
+	}
+	ar := 0.0
+	if b.AllocsPerOp > 0 {
+		ar = b.AllocsPerOp / candAllocs
+	}
 	r.Comparisons = append(r.Comparisons, Comparison{
-		Name: name, Baseline: baseline, Candidate: candidate, Speedup: sp,
+		Name: name, Baseline: baseline, Candidate: candidate, Speedup: sp, AllocRatio: ar,
 	})
 	return nil
 }
@@ -165,7 +177,7 @@ func (r *Report) WriteText(w io.Writer) {
 	if len(r.Comparisons) > 0 {
 		fmt.Fprintln(w, "  speedups:")
 		for _, c := range r.Comparisons {
-			fmt.Fprintf(w, "    %-32s %6.2fx\n", c.Name, c.Speedup)
+			fmt.Fprintf(w, "    %-32s %6.2fx  (allocs %5.1fx)\n", c.Name, c.Speedup, c.AllocRatio)
 		}
 	}
 }

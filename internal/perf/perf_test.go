@@ -3,6 +3,7 @@ package perf
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 )
@@ -57,18 +58,123 @@ func TestSuiteSmoke(t *testing.T) {
 		"retrieve_uncached", "retrieve_cached",
 		"pr_ps_sequential", "pr_ps_parallel",
 		"ask_sequential", "ask_parallel",
+		"codec_gob_roundtrip", "codec_wire_roundtrip",
+		"pool_rpc_16", "mux_rpc_16",
+		"ask_cold", "ask_cached",
 	}
 	for _, name := range want {
 		if _, ok := report.find(name); !ok {
 			t.Fatalf("suite report missing benchmark %q", name)
 		}
 	}
-	if len(report.Comparisons) != 4 {
-		t.Fatalf("comparisons = %d, want 4", len(report.Comparisons))
+	if len(report.Comparisons) != 7 {
+		t.Fatalf("comparisons = %d, want 7", len(report.Comparisons))
 	}
 	for _, c := range report.Comparisons {
 		if c.Speedup <= 0 {
 			t.Fatalf("comparison %q has non-positive speedup", c.Name)
 		}
+	}
+	// The floor gate must at least find every comparison it watches; the
+	// ratios themselves are only meaningful on real budgets, not a 20ms
+	// smoke, so ratio violations are tolerated here.
+	for _, v := range CheckFloors(report) {
+		if strings.Contains(v, "missing") {
+			t.Fatalf("floor gate cannot find its comparison: %s", v)
+		}
+	}
+}
+
+// TestCheckRegression exercises the baseline gate on synthetic reports.
+func TestCheckRegression(t *testing.T) {
+	base := NewReport()
+	base.Benchmarks = []Benchmark{{Name: "x", NsPerOp: 100}, {Name: "gone", NsPerOp: 50}}
+	cur := NewReport()
+	cur.Benchmarks = []Benchmark{{Name: "x", NsPerOp: 130}, {Name: "new", NsPerOp: 10}}
+
+	if v := CheckRegression(base, cur, 0.40); len(v) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", v)
+	}
+	v := CheckRegression(base, cur, 0.20)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the x regression", v)
+	}
+}
+
+// TestCheckComparisonRegression exercises the cross-machine ratio gate.
+func TestCheckComparisonRegression(t *testing.T) {
+	base := NewReport()
+	base.Comparisons = []Comparison{
+		{Name: "codec: wire vs gob", Speedup: 4.0, AllocRatio: 8.0},
+		{Name: "rpc16: mux vs pool", Speedup: 16.0, AllocRatio: 25.0},
+	}
+	cur := NewReport()
+	cur.GOMAXPROCS = 8
+	cur.Comparisons = []Comparison{
+		{Name: "codec: wire vs gob", Speedup: 3.5, AllocRatio: 8.0},   // kept 88%
+		{Name: "rpc16: mux vs pool", Speedup: 15.0, AllocRatio: 24.0}, // kept 94%/96%
+	}
+	if v := CheckComparisonRegression(base, cur, 0.20); len(v) != 0 {
+		t.Fatalf("within-tolerance ratios flagged: %v", v)
+	}
+	cur.Comparisons[0].Speedup = 2.0 // kept 50% of 4.0x
+	if v := CheckComparisonRegression(base, cur, 0.20); len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the codec speedup", v)
+	}
+	cur.Comparisons[0].Speedup = 3.5
+	cur.Comparisons[1].AllocRatio = 10 // kept 40% of 25x
+	if v := CheckComparisonRegression(base, cur, 0.20); len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the mux alloc ratio", v)
+	}
+
+	// A vanished comparison must trip the gate.
+	cur.Comparisons = cur.Comparisons[:1]
+	cur.Comparisons[0].AllocRatio = 8
+	if v := CheckComparisonRegression(base, cur, 0.20); len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the missing comparison", v)
+	}
+
+	// Parallel-engine comparisons are skipped on single-proc runners.
+	base.Comparisons = []Comparison{{Name: "ask: parallel vs sequential", Speedup: 1.0}}
+	uni := NewReport()
+	uni.GOMAXPROCS = 1
+	uni.Comparisons = []Comparison{{Name: "ask: parallel vs sequential", Speedup: 0.5}}
+	if v := CheckComparisonRegression(base, uni, 0.20); len(v) != 0 {
+		t.Fatalf("parallel comparison gated on a single-proc report: %v", v)
+	}
+}
+
+// TestCheckFloors exercises the CI floor gate on synthetic comparisons.
+func TestCheckFloors(t *testing.T) {
+	r := NewReport()
+	r.GOMAXPROCS = 8 // all floors apply, including the parallel-engine ones
+	if v := CheckFloors(r); len(v) != len(floors) {
+		t.Fatalf("empty report yielded %d violations, want %d (all comparisons missing)", len(v), len(floors))
+	}
+	for _, f := range floors {
+		r.Comparisons = append(r.Comparisons, Comparison{Name: f.comparison, Speedup: 100, AllocRatio: 100})
+	}
+	if v := CheckFloors(r); len(v) != 0 {
+		t.Fatalf("generous report flagged: %v", v)
+	}
+	r.Comparisons[0].AllocRatio = 1 // codec floor demands ≥ 5x
+	if v := CheckFloors(r); len(v) != 1 {
+		t.Fatalf("alloc-floor violation not caught: %v", v)
+	}
+
+	// On a single-proc runner the clamped parallel engine runs the identical
+	// sequential path, so the parallel floors are vacuous and must be
+	// skipped — a noisy 0.8x there is not a regression.
+	uni := NewReport()
+	uni.GOMAXPROCS = 1
+	for _, f := range floors {
+		sp := 100.0
+		if f.needsParallelism {
+			sp = 0.5 // would violate if the floor were applied
+		}
+		uni.Comparisons = append(uni.Comparisons, Comparison{Name: f.comparison, Speedup: sp, AllocRatio: 100})
+	}
+	if v := CheckFloors(uni); len(v) != 0 {
+		t.Fatalf("parallel floors applied on a single-proc report: %v", v)
 	}
 }

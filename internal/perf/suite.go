@@ -5,6 +5,7 @@ package perf
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"distqa/internal/corpus"
@@ -47,10 +48,13 @@ func (c *SuiteConfig) logf(format string, args ...any) {
 
 // RunSuite executes the standard benchmark suite and returns its report:
 //
-//	rpc_oneshot / rpc_pooled           — connection-per-request vs pooled gob RPC
+//	rpc_oneshot / rpc_pooled            — connection-per-request vs pooled gob RPC
 //	retrieve_uncached / retrieve_cached — Boolean retrieval without/with relaxation memo
 //	pr_ps_sequential / pr_ps_parallel   — retrieval+scoring stages, 1 vs N workers
 //	ask_sequential / ask_parallel       — full pipeline, 1 vs N workers
+//	codec_gob_roundtrip / codec_wire_roundtrip — RPC message encode+decode, gob vs binary wire codec
+//	pool_rpc_16 / mux_rpc_16            — 16 concurrent PR sub-tasks, pooled gob vs multiplexed binary conn
+//	ask_cold / ask_cached               — paper-scale question over pooled loopback RPC, cache-disabled vs answer-cache hit
 func RunSuite(cfg SuiteConfig) (*Report, error) {
 	cfg.defaults()
 	r := NewReport()
@@ -148,11 +152,123 @@ func RunSuite(cfg SuiteConfig) (*Report, error) {
 	cfg.logf("bench ask_parallel...\n")
 	r.Run("ask_parallel", cfg.Budget, ask(&par))
 
+	// --- Codec: one RPC exchange (ask request + answers response) encoded
+	// and decoded in memory, pooled-gob baseline vs binary wire codec.
+	gobOp, wireOp := live.CodecBenchOps()
+	cfg.logf("bench codec_gob_roundtrip...\n")
+	r.Run("codec_gob_roundtrip", cfg.Budget, gobOp)
+	cfg.logf("bench codec_wire_roundtrip...\n")
+	r.Run("codec_wire_roundtrip", cfg.Budget, wireOp)
+
+	// --- Transport under concurrency: one op = 16 concurrent PR sub-tasks
+	// against the loopback node, pooled gob conns vs one multiplexed binary
+	// conn. The node's PR partial cache serves the repeats, so the work per
+	// call is small and the transport dominates the measurement — exactly
+	// the regime the mux was built for.
+	prReq := live.PRSubtaskRequest(analyses[0].Keywords, []int{0})
+	fanout := func(call func() error) func() {
+		return func() {
+			var wg sync.WaitGroup
+			errs := make([]error, 16)
+			for i := 0; i < 16; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					errs[i] = call()
+				}()
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					panic(fmt.Sprintf("rpc_16: %v", err))
+				}
+			}
+		}
+	}
+	cfg.logf("bench pool_rpc_16...\n")
+	r.Run("pool_rpc_16", cfg.Budget, fanout(func() error {
+		_, err := pool.Call(node.Addr(), prReq, 5*time.Second)
+		return err
+	}))
+	muxFallback := live.NewPool(live.PoolConfig{})
+	defer muxFallback.Close()
+	mux := live.NewMuxTransport(live.MuxConfig{}, muxFallback)
+	defer mux.Close()
+	cfg.logf("bench mux_rpc_16...\n")
+	r.Run("mux_rpc_16", cfg.Budget, fanout(func() error {
+		_, err := mux.Call(node.Addr(), prReq, 5*time.Second)
+		return err
+	}))
+	if st := mux.Stats(); st.Fallbacks > 0 {
+		return nil, fmt.Errorf("perf: mux_rpc_16 degraded to the gob pool (%d fallbacks) — not a mux measurement", st.Fallbacks)
+	}
+
+	// --- Serving-path cache: a full question at paper scale (TREC8-like
+	// collection) over the pooled transport, against a cache-disabled node
+	// vs an answer-cache hit. The pooled transport keeps per-request
+	// connection setup out of the measurement — through the one-shot Ask
+	// helper the dial dominates both sides and hides the cache's effect —
+	// and the paper-scale collection prices the cold pipeline realistically.
+	cfg.logf("building paper-scale collection for the ask cache benchmarks...\n")
+	askColl := corpus.Generate(corpus.TREC8Like())
+	askEng := qa.NewEngine(askColl, index.BuildAll(askColl))
+	askReq := live.AskRequest(askColl.Facts[0].Question)
+	coldNode, err := live.StartNode(live.NodeConfig{
+		Addr:           "127.0.0.1:0",
+		Engine:         askEng,
+		HeartbeatEvery: time.Hour,
+		RequestTimeout: 30 * time.Second,
+		Cache:          live.CacheConfig{Disabled: true},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: start cache-disabled node: %w", err)
+	}
+	defer coldNode.Close()
+	warmNode, err := live.StartNode(live.NodeConfig{
+		Addr:           "127.0.0.1:0",
+		Engine:         askEng,
+		HeartbeatEvery: time.Hour,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: start cache-enabled node: %w", err)
+	}
+	defer warmNode.Close()
+	cfg.logf("bench ask_cold...\n")
+	r.Run("ask_cold", cfg.Budget, func() {
+		resp, err := pool.Call(coldNode.Addr(), askReq, 30*time.Second)
+		if err != nil {
+			panic(fmt.Sprintf("ask_cold: %v", err))
+		}
+		if resp.CacheHit {
+			panic("ask_cold: cache-disabled node served a cache hit")
+		}
+	})
+	cfg.logf("bench ask_cached...\n")
+	// Fill the answer cache before timing starts: the first ask is the cold
+	// leader, everything after it must hit.
+	if _, err := pool.Call(warmNode.Addr(), askReq, 30*time.Second); err != nil {
+		return nil, fmt.Errorf("perf: warm ask: %w", err)
+	}
+	r.Run("ask_cached", cfg.Budget, func() {
+		resp, err := pool.Call(warmNode.Addr(), askReq, 30*time.Second)
+		if err != nil {
+			panic(fmt.Sprintf("ask_cached: %v", err))
+		}
+		if !resp.CacheHit {
+			panic("ask_cached: response was not a cache hit")
+		}
+	})
+
 	for _, c := range []struct{ name, base, cand string }{
 		{"rpc: pooled vs one-shot", "rpc_oneshot", "rpc_pooled"},
 		{"retrieval: memo vs cold", "retrieve_uncached", "retrieve_cached"},
 		{"pr+ps: parallel vs sequential", "pr_ps_sequential", "pr_ps_parallel"},
 		{"ask: parallel vs sequential", "ask_sequential", "ask_parallel"},
+		{"codec: wire vs gob", "codec_gob_roundtrip", "codec_wire_roundtrip"},
+		{"rpc16: mux vs pool", "pool_rpc_16", "mux_rpc_16"},
+		{"ask: cached vs cold", "ask_cold", "ask_cached"},
 	} {
 		if err := r.Compare(c.name, c.base, c.cand); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package qa
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -31,12 +32,23 @@ const psParallelChunk = 64
 // the goroutine overhead exceeds the scoring work.
 const psParallelMin = 2 * psParallelChunk
 
-// workers returns the effective worker count (1 = sequential).
+// workers returns the effective worker count (1 = sequential). The
+// configured fan-out is clamped to the scheduler's parallelism budget
+// (GOMAXPROCS): on a single-core container, goroutine fan-out buys no
+// parallelism but still pays scheduling and synchronization per question —
+// the measured 0.95x regression of the PR-2 benchmarks — so the engine
+// falls back to the sequential path there. The clamp changes only *which*
+// path runs, never its results (both are byte-identical; see
+// TestParallelEquivalence and TestWorkersClampedToGOMAXPROCS).
 func (e *Engine) workers() int {
 	if e.Workers <= 1 {
 		return 1
 	}
-	return e.Workers
+	w := e.Workers
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
+	}
+	return w
 }
 
 // retrieveAllParallel fans RetrieveSub out across the sub-collection

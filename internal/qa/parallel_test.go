@@ -2,6 +2,7 @@ package qa
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"distqa/internal/index"
@@ -87,6 +88,50 @@ func TestParallelScoreLargeSet(t *testing.T) {
 	for i := range seqSP {
 		if seqSP[i] != parSP[i] {
 			t.Fatalf("scored paragraph %d diverges: %+v vs %+v", i, seqSP[i], parSP[i])
+		}
+	}
+}
+
+// TestWorkersClampedToGOMAXPROCS is the adaptive fan-out contract (PR-4):
+// the effective worker count never exceeds the scheduler's parallelism
+// budget, so a single-core host runs the sequential path (no goroutine
+// overhead for zero parallelism — the fix for the 0.95x pr_ps_parallel
+// regression) while multi-core hosts keep the configured fan-out.
+func TestWorkersClampedToGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	e := newParallelEngine(8)
+
+	runtime.GOMAXPROCS(1)
+	if w := e.workers(); w != 1 {
+		t.Fatalf("workers() = %d on a 1-proc scheduler, want 1 (sequential)", w)
+	}
+	runtime.GOMAXPROCS(2)
+	if w := e.workers(); w != 2 {
+		t.Fatalf("workers() = %d with GOMAXPROCS=2, want 2", w)
+	}
+	runtime.GOMAXPROCS(16)
+	if w := e.workers(); w != 8 {
+		t.Fatalf("workers() = %d with headroom, want the configured 8", w)
+	}
+
+	// Workers ≤ 1 is sequential regardless of scheduler width.
+	seq := newParallelEngine(0)
+	if w := seq.workers(); w != 1 {
+		t.Fatalf("workers() = %d for Workers=0, want 1", w)
+	}
+
+	// The clamp changes only which path runs, never the results: answers on
+	// a clamped (sequential-forced) engine match the wide engine.
+	runtime.GOMAXPROCS(1)
+	for _, f := range testColl.Facts[:4] {
+		clamped := e.AnswerSequential(f.Question)
+		runtime.GOMAXPROCS(16)
+		wide := e.AnswerSequential(f.Question)
+		runtime.GOMAXPROCS(1)
+		if !reflect.DeepEqual(clamped, wide) {
+			t.Fatalf("clamped result diverges for %q", f.Question)
 		}
 	}
 }

@@ -1,0 +1,211 @@
+// Package qcache is the serving-path result cache: a small, dependency-free
+// LRU with per-entry TTL expiry plus a singleflight group that coalesces
+// identical in-flight computations. The live node puts one in front of the
+// whole question pipeline (answers keyed by normalized question text) and
+// one in front of paragraph retrieval+scoring (keyed by keywords and
+// sub-collection) — the "Dispatching Odyssey" observation that real cluster
+// workloads are dominated by repeated and skewed requests means the cheapest
+// question to serve is the one you already answered.
+//
+// Consistency model: every node owns an identical, immutable collection
+// replica, so a cached answer can never be stale with respect to the corpus;
+// the TTL exists to bound memory residency and to age out results computed
+// under a different peer population (an answer produced while peers were
+// partitioned away is still *correct*, just possibly slower than one the
+// full pool would produce — it carries the same answers either way because
+// failed sub-tasks degrade to local execution). Chaos runs disable caching
+// wholesale so deterministic event logs never depend on cache state.
+package qcache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Defaults chosen for a demo-scale node: a few hundred distinct questions
+// and a few thousand PR partials dwarf the working set of the generated
+// corpus while staying irrelevant memory-wise.
+const (
+	DefaultCapacity = 1024
+	DefaultTTL      = 60 * time.Second
+)
+
+// Cache is a mutex-guarded LRU with TTL expiry. The zero *Cache (nil) is a
+// valid always-miss cache: Get misses, Put is a no-op — callers gate caching
+// by simply not constructing one.
+type Cache struct {
+	capacity int
+	ttl      time.Duration
+	now      func() time.Time // injectable clock (tests)
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions, expirations int64
+}
+
+// entry is one cached value with its insertion time.
+type entry struct {
+	key    string
+	val    any
+	stored time.Time
+}
+
+// New builds a cache holding at most capacity entries, each valid for ttl
+// after insertion. Non-positive arguments select the defaults.
+func New(capacity int, ttl time.Duration) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Cache{
+		capacity: capacity,
+		ttl:      ttl,
+		now:      time.Now,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// SetClock replaces the cache's time source (TTL tests).
+func (c *Cache) SetClock(now func() time.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}
+
+// Get returns the live value for key. An entry past its TTL is removed and
+// counted as an expiration (and a miss). Safe on a nil cache.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	ent := el.Value.(*entry)
+	if c.now().Sub(ent.stored) > c.ttl {
+		c.removeLocked(el)
+		c.expirations++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.val, true
+}
+
+// Put stores val under key, refreshing the TTL of an existing entry and
+// evicting the least recently used entry on overflow. Safe on a nil cache.
+func (c *Cache) Put(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*entry)
+		ent.val = val
+		ent.stored = c.now()
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry{key: key, val: val, stored: c.now()})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		if back := c.ll.Back(); back != nil {
+			c.removeLocked(back)
+			c.evictions++
+		}
+	}
+}
+
+// removeLocked unlinks el from both structures. Caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*entry).key)
+}
+
+// Len reports the current entry count (expired entries still resident count
+// until a Get or eviction removes them). Safe on a nil cache.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Purge drops every entry, keeping the counters. Safe on a nil cache.
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.capacity)
+}
+
+// Stats is the cache's cumulative counter snapshot.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Expirations int64
+	Len         int
+}
+
+// Stats snapshots the counters. Safe on a nil cache (all zeros).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Expirations: c.expirations,
+		Len:         c.ll.Len(),
+	}
+}
+
+// Normalize canonicalizes question text for cache keying: lower-case,
+// whitespace runs collapsed to single spaces, leading/trailing space and
+// trailing question-mark punctuation stripped — so "Who  invented X?" and
+// "who invented x" share an entry without any linguistic processing (the
+// pipeline's own QP stage does the real analysis on a miss).
+func Normalize(q string) string {
+	q = strings.ToLower(q)
+	var b strings.Builder
+	b.Grow(len(q))
+	space := false
+	for _, r := range q {
+		switch r {
+		case ' ', '\t', '\n', '\r':
+			space = true
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimRight(b.String(), " ?!.")
+}

@@ -1,0 +1,228 @@
+package qcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissAndLRUOrder(t *testing.T) {
+	c := New(2, time.Minute)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "a" is now most recently used; inserting "c" must evict "b".
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU evicted the wrong entry: b survived")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+	if st.Len != 2 {
+		t.Fatalf("len = %d, want 2", st.Len)
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := New(4, time.Minute)
+	c.Put("k", "old")
+	c.Put("k", "new")
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after double Put, want 1", c.Len())
+	}
+	if v, _ := c.Get("k"); v.(string) != "new" {
+		t.Fatalf("Get = %v, want new", v)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	c := New(8, 10*time.Second)
+	c.SetClock(func() time.Time { return now })
+	c.Put("k", 42)
+
+	now = now.Add(9 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	now = now.Add(2 * time.Second) // 11s after insertion
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d, want 1", st.Expirations)
+	}
+	if st.Len != 0 {
+		t.Fatalf("expired entry still resident: len = %d", st.Len)
+	}
+	// Put refreshes the stored time: re-inserting restarts the clock.
+	c.Put("k", 43)
+	now = now.Add(9 * time.Second)
+	if v, ok := c.Get("k"); !ok || v.(int) != 43 {
+		t.Fatalf("refreshed entry missing: %v, %v", v, ok)
+	}
+}
+
+func TestCacheNilSafety(t *testing.T) {
+	var c *Cache
+	c.Put("k", 1) // must not panic
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+	c.Purge()
+	c.SetClock(time.Now)
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := New(4, time.Minute)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after purge", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("purged entry still served")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Who invented the telephone?", "who invented the telephone"},
+		{"  who   invented\tthe\ntelephone ?? ", "who invented the telephone"},
+		{"WHO INVENTED THE TELEPHONE", "who invented the telephone"},
+		{"", ""},
+		{"   ", ""},
+		{"what is X!.", "what is x"},
+	}
+	for _, tc := range cases {
+		if got := Normalize(tc.in); got != tc.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestGroupCoalesces runs a deterministic leader/follower schedule: the
+// leader enters fn and blocks; a follower issued while the leader is inside
+// must receive the leader's value with shared=true, and fn must have run
+// exactly once.
+func TestGroupCoalesces(t *testing.T) {
+	g := NewGroup()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var runs int
+
+	leaderDone := make(chan struct{})
+	var leaderVal any
+	var leaderShared bool
+	go func() {
+		defer close(leaderDone)
+		leaderVal, leaderShared, _ = g.Do("q", func() (any, error) {
+			runs++
+			close(entered)
+			<-release
+			return "answer", nil
+		})
+	}()
+	<-entered // leader is inside fn now
+
+	followerDone := make(chan struct{})
+	var followerVal any
+	var followerShared bool
+	go func() {
+		defer close(followerDone)
+		followerVal, followerShared, _ = g.Do("q", func() (any, error) {
+			runs++ // must never execute
+			return "duplicate", nil
+		})
+	}()
+	// Give the follower time to register against the in-flight call; it
+	// cannot complete before release regardless.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	<-leaderDone
+	<-followerDone
+
+	if runs != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs)
+	}
+	if leaderShared {
+		t.Fatal("leader reported shared=true")
+	}
+	if !followerShared {
+		t.Fatal("follower reported shared=false")
+	}
+	if leaderVal.(string) != "answer" || followerVal.(string) != "answer" {
+		t.Fatalf("values = %v / %v, want answer", leaderVal, followerVal)
+	}
+	// The call entry is gone: a later Do runs fn again.
+	_, shared, _ := g.Do("q", func() (any, error) { return "fresh", nil })
+	if shared {
+		t.Fatal("post-completion Do was coalesced against a finished call")
+	}
+}
+
+// TestGroupDistinctKeysDoNotCoalesce checks key isolation under concurrency.
+func TestGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	g := NewGroup()
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([]any, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals[i], _, _ = g.Do(fmt.Sprintf("k%d", i), func() (any, error) {
+				return i, nil
+			})
+		}()
+	}
+	wg.Wait()
+	for i, v := range vals {
+		if v.(int) != i {
+			t.Fatalf("key k%d got value %v", i, v)
+		}
+	}
+}
+
+// TestGroupPropagatesErrors checks both leader and followers see fn's error.
+func TestGroupPropagatesErrors(t *testing.T) {
+	g := NewGroup()
+	want := errors.New("pipeline failed")
+	_, _, err := g.Do("q", func() (any, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+}
+
+// TestGroupNilRunsDirectly checks the disabled-cache path.
+func TestGroupNilRunsDirectly(t *testing.T) {
+	var g *Group
+	v, shared, err := g.Do("q", func() (any, error) { return 7, nil })
+	if err != nil || shared || v.(int) != 7 {
+		t.Fatalf("nil group: v=%v shared=%v err=%v", v, shared, err)
+	}
+}

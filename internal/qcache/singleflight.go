@@ -1,0 +1,60 @@
+package qcache
+
+import "sync"
+
+// Group coalesces concurrent computations that share a key: the first
+// caller (the leader) runs fn, every concurrent duplicate (a follower)
+// blocks until the leader finishes and receives the same value. This is the
+// request-dedup half of the serving-path cache — under the skewed workloads
+// of "Dispatching Odyssey" a popular question arrives in bursts, and without
+// coalescing every burst member would race past the still-empty cache into
+// the full pipeline.
+//
+// Unlike golang.org/x/sync/singleflight this minimal version is tailored to
+// the cache's needs: values are any, there is no Forget (the call entry is
+// removed as the leader completes), and the shared flag tells followers they
+// were coalesced (the node surfaces it as Response.Coalesced).
+type Group struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewGroup returns an empty group.
+func NewGroup() *Group {
+	return &Group{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn for key, coalescing concurrent duplicates. It returns fn's
+// value and error; shared is true when this caller was a follower that
+// received another caller's result. A nil group runs fn directly (no
+// coalescing) — the disabled-cache configuration.
+func (g *Group) Do(key string, fn func() (any, error)) (v any, shared bool, err error) {
+	if g == nil {
+		v, err = fn()
+		return v, false, err
+	}
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

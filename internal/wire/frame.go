@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec versions negotiated per connection. VersionGob is the implicit
+// version of a connection whose first bytes are not the hello magic — a
+// legacy peer speaking gob streams.
+const (
+	VersionGob byte = 0 // gob encoder/decoder streams (legacy, fallback)
+	VersionBin byte = 1 // length-prefixed binary frames (this package)
+)
+
+// magic is the 4-byte hello prefix a binary-codec client sends immediately
+// after connecting. It is chosen to be implausible as the start of a gob
+// stream ('D' would announce a 68-byte gob message whose body then fails
+// type-descriptor parsing), so a server that does not understand the hello
+// fails fast instead of hanging.
+var magic = [4]byte{'D', 'Q', 'W', 0x01}
+
+// ackByte prefixes the server's hello reply.
+const ackByte = 0xA5
+
+// MagicLen is the number of bytes a server must peek to classify a
+// connection (see IsMagic).
+const MagicLen = 4
+
+// IsMagic reports whether the first MagicLen bytes of a connection are the
+// binary-codec hello. Servers peek this many bytes off every accepted
+// connection: a match selects the framed binary codec, anything else is
+// replayed into a gob decoder (the legacy path).
+func IsMagic(b []byte) bool {
+	return len(b) >= MagicLen && b[0] == magic[0] && b[1] == magic[1] && b[2] == magic[2] && b[3] == magic[3]
+}
+
+// WriteHello sends the client half of the codec negotiation: the magic
+// followed by the highest version the client speaks.
+func WriteHello(w io.Writer, version byte) error {
+	hello := [5]byte{magic[0], magic[1], magic[2], magic[3], version}
+	_, err := w.Write(hello[:])
+	return err
+}
+
+// ReadHelloVersion reads the client's requested version (the byte after the
+// magic, which the caller has already consumed via its peek).
+func ReadHelloVersion(r io.Reader) (byte, error) {
+	var v [1]byte
+	if _, err := io.ReadFull(r, v[:]); err != nil {
+		return 0, err
+	}
+	return v[0], nil
+}
+
+// WriteAck sends the server half of the negotiation: an ack byte plus the
+// agreed version (the minimum of what both sides speak).
+func WriteAck(w io.Writer, version byte) error {
+	ack := [2]byte{ackByte, version}
+	_, err := w.Write(ack[:])
+	return err
+}
+
+// ReadAck reads and validates the server's hello reply, returning the
+// negotiated version. A garbled ack (an old server that echoed something
+// else before closing) is an error — the caller falls back to gob.
+func ReadAck(r io.Reader) (byte, error) {
+	var ack [2]byte
+	if _, err := io.ReadFull(r, ack[:]); err != nil {
+		return 0, err
+	}
+	if ack[0] != ackByte {
+		return 0, errors.New("wire: bad hello ack")
+	}
+	return ack[1], nil
+}
+
+// Negotiate picks the version both sides speak.
+func Negotiate(ours, theirs byte) byte {
+	if theirs < ours {
+		return theirs
+	}
+	return ours
+}
+
+// ReadFrame reads one length-prefixed frame, reusing buf when it is large
+// enough. It returns the payload as a slice of the (possibly grown) buffer;
+// callers that keep the returned slice's full capacity across calls
+// amortize the buffer to zero steady-state allocations:
+//
+//	payload, err := wire.ReadFrame(conn, rbuf)
+//	rbuf = payload[:cap(payload)]
+//
+// A header announcing more than MaxFrameBytes fails immediately with
+// ErrFrameTooLarge — the decode-side half of the 16 MB frame guard.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

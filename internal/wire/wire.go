@@ -1,0 +1,316 @@
+// Package wire is the hand-rolled binary codec underneath the live
+// cluster's multiplexed transport. It replaces gob's per-message reflection
+// on the hot wire operations (heartbeats, forwards, PR/AP sub-tasks and
+// their responses) with length-prefixed frames of varint/fixed fields
+// written into pooled scratch buffers — near-zero allocations per message
+// against gob's dozens.
+//
+// The package deliberately knows nothing about the live protocol's message
+// types: it provides the primitives (Buffer, Reader), the frame format and
+// the connection hello used for codec version negotiation. Package live
+// layers its Request/Response encodings on top (codec.go) and keeps gob as
+// the negotiated fallback — an old gob peer and a new wire peer interop on
+// the same port, and gob remains the fuzz seam for exotic payloads.
+//
+// Frame format (after the hello exchange):
+//
+//	+----------------+---------------------+
+//	| length (4B BE) | payload (length B)  |
+//	+----------------+---------------------+
+//
+// A frame's payload is bounded by MaxFrameBytes (the same 16 MB guard the
+// gob paths enforce); an oversized header is an immediate error, never an
+// unbounded read.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// MaxFrameBytes bounds one frame's payload, mirroring the gob paths' frame
+// guard (live.MaxFrameBytes). Both codecs enforce the same 16 MB budget.
+const MaxFrameBytes = 16 << 20
+
+// Errors shared by the framing and decoding layers.
+var (
+	// ErrFrameTooLarge reports a frame header announcing a payload beyond
+	// MaxFrameBytes (or an EndFrame over-budget encode).
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrameBytes")
+	// ErrTruncated reports a read past the end of a payload: the frame was
+	// shorter than its encoding claims.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrCorrupt reports a structurally invalid encoding (bad varint, a
+	// length field larger than the remaining payload, ...).
+	ErrCorrupt = errors.New("wire: corrupt payload")
+)
+
+// ---------------------------------------------------------------------------
+// Buffer: the append-side primitive.
+
+// Buffer is an append-only encode buffer. Get one from GetBuffer and return
+// it with PutBuffer so steady-state encoding performs no allocations.
+type Buffer struct {
+	// B is the encoded bytes so far. Exposed so callers can write the
+	// finished frame with a single conn.Write.
+	B []byte
+}
+
+// Reset empties the buffer, keeping its capacity.
+func (b *Buffer) Reset() { b.B = b.B[:0] }
+
+// Len reports the encoded size so far.
+func (b *Buffer) Len() int { return len(b.B) }
+
+// Byte appends one raw byte.
+func (b *Buffer) Byte(v byte) { b.B = append(b.B, v) }
+
+// Bool appends a bool as one byte.
+func (b *Buffer) Bool(v bool) {
+	if v {
+		b.B = append(b.B, 1)
+	} else {
+		b.B = append(b.B, 0)
+	}
+}
+
+// Uint64 appends an unsigned varint.
+func (b *Buffer) Uint64(v uint64) { b.B = binary.AppendUvarint(b.B, v) }
+
+// Int64 appends a zig-zag signed varint.
+func (b *Buffer) Int64(v int64) { b.B = binary.AppendVarint(b.B, v) }
+
+// Int appends an int as a signed varint.
+func (b *Buffer) Int(v int) { b.Int64(int64(v)) }
+
+// Float64 appends an IEEE-754 double as 8 little-endian bytes.
+func (b *Buffer) Float64(v float64) {
+	b.B = binary.LittleEndian.AppendUint64(b.B, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (b *Buffer) String(s string) {
+	b.Uint64(uint64(len(s)))
+	b.B = append(b.B, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (b *Buffer) Bytes(p []byte) {
+	b.Uint64(uint64(len(p)))
+	b.B = append(b.B, p...)
+}
+
+// Time appends a time as a presence flag plus UnixNano. The zero time
+// round-trips exactly (gob's encoding also preserves it); sub-nanosecond
+// monotonic clock readings and time zones do not travel, matching what the
+// protocol needs (heartbeat staleness math uses wall-clock deltas only).
+func (b *Buffer) Time(t time.Time) {
+	if t.IsZero() {
+		b.Bool(false)
+		return
+	}
+	b.Bool(true)
+	b.Int64(t.UnixNano())
+}
+
+// BeginFrame resets the buffer and reserves the 4-byte length header; pair
+// with EndFrame once the payload is encoded.
+func (b *Buffer) BeginFrame() {
+	b.Reset()
+	b.B = append(b.B, 0, 0, 0, 0)
+}
+
+// EndFrame patches the reserved header with the payload length. It errors
+// (and leaves the buffer unusable for sending) if the payload outgrew the
+// frame budget — the encode-side half of the 16 MB guard.
+func (b *Buffer) EndFrame() error {
+	payload := len(b.B) - 4
+	if payload < 0 {
+		return ErrCorrupt
+	}
+	if payload > MaxFrameBytes {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b.B[:4], uint32(payload))
+	return nil
+}
+
+// bufPool recycles encode buffers. Oversized buffers (a rare huge frame)
+// are dropped rather than pinned in the pool.
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 512)} }}
+
+// maxPooledBuf bounds the capacity a returned buffer may retain.
+const maxPooledBuf = 1 << 20
+
+// GetBuffer returns an empty pooled buffer.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.Reset()
+	return b
+}
+
+// PutBuffer returns a buffer to the pool.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b)
+}
+
+// ---------------------------------------------------------------------------
+// Reader: the decode-side primitive.
+
+// Reader decodes a payload produced by Buffer. Errors are sticky: after the
+// first failure every further read returns zero values and Err() reports
+// the cause, so decode sequences need a single error check at the end.
+// A Reader is a value type — declare it on the stack (NewReader) to keep
+// the decode path allocation-free.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over payload.
+func NewReader(payload []byte) Reader { return Reader{b: payload} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the unread byte count.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uint64 reads an unsigned varint.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(ErrCorrupt)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int64 reads a zig-zag signed varint.
+func (r *Reader) Int64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(ErrCorrupt)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed varint as an int.
+func (r *Reader) Int() int { return int(r.Int64()) }
+
+// Float64 reads an IEEE-754 double.
+func (r *Reader) Float64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+// length reads a length prefix, validating it against the remaining
+// payload so a corrupt frame can never induce a huge allocation.
+func (r *Reader) length() int {
+	n := r.Uint64()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(ErrCorrupt)
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.length()
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// BytesView reads a length-prefixed byte slice as a view into the payload
+// (no copy). The view is only valid until the payload buffer is reused.
+func (r *Reader) BytesView() []byte {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	p := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return p
+}
+
+// Time reads a time written by Buffer.Time.
+func (r *Reader) Time() time.Time {
+	if !r.Bool() || r.err != nil {
+		return time.Time{}
+	}
+	return time.Unix(0, r.Int64())
+}
+
+// ListLen reads a list length prefix and validates it against a per-element
+// minimum size, so a corrupt header cannot force a giant slice allocation:
+// a list of n elements each at least minElemBytes long cannot be encoded in
+// fewer than n*minElemBytes remaining bytes.
+func (r *Reader) ListLen(minElemBytes int) int {
+	n := r.Uint64()
+	if r.err != nil {
+		return 0
+	}
+	if minElemBytes < 1 {
+		minElemBytes = 1
+	}
+	if n > uint64(r.Remaining()/minElemBytes) {
+		r.fail(ErrCorrupt)
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBufferReaderRoundTrip drives every primitive through an encode/decode
+// cycle and checks exact recovery.
+func TestBufferReaderRoundTrip(t *testing.T) {
+	b := GetBuffer()
+	defer PutBuffer(b)
+
+	when := time.Unix(1_700_000_000, 123456789)
+	b.Byte(0x7F)
+	b.Bool(true)
+	b.Bool(false)
+	b.Uint64(0)
+	b.Uint64(300)
+	b.Uint64(math.MaxUint64)
+	b.Int64(-1)
+	b.Int64(math.MinInt64)
+	b.Int64(math.MaxInt64)
+	b.Int(-42)
+	b.Float64(3.14159)
+	b.Float64(math.Inf(-1))
+	b.String("")
+	b.String("hello, wire")
+	b.Bytes([]byte{1, 2, 3})
+	b.Time(time.Time{})
+	b.Time(when)
+
+	r := NewReader(b.B)
+	if got := r.Byte(); got != 0x7F {
+		t.Errorf("Byte = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool mismatch")
+	}
+	for _, want := range []uint64{0, 300, math.MaxUint64} {
+		if got := r.Uint64(); got != want {
+			t.Errorf("Uint64 = %d, want %d", got, want)
+		}
+	}
+	for _, want := range []int64{-1, math.MinInt64, math.MaxInt64} {
+		if got := r.Int64(); got != want {
+			t.Errorf("Int64 = %d, want %d", got, want)
+		}
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Float64(); got != 3.14159 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 = %v, want -Inf", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "hello, wire" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.BytesView(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("BytesView = %v", got)
+	}
+	if got := r.Time(); !got.IsZero() {
+		t.Errorf("zero Time = %v", got)
+	}
+	if got := r.Time(); !got.Equal(when) {
+		t.Errorf("Time = %v, want %v", got, when)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+// TestReaderStickyErrors checks that truncated and corrupt payloads produce
+// sticky errors and zero values, never panics.
+func TestReaderStickyErrors(t *testing.T) {
+	r := NewReader(nil)
+	if r.Byte() != 0 || r.Uint64() != 0 || r.String() != "" {
+		t.Error("empty reader returned non-zero values")
+	}
+	if !errors.Is(r.Err(), ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", r.Err())
+	}
+
+	// A length prefix larger than the remaining payload is corruption, not
+	// an allocation request.
+	b := GetBuffer()
+	b.Uint64(1 << 40)
+	r = NewReader(b.B)
+	if s := r.String(); s != "" {
+		t.Errorf("String on corrupt length = %q", s)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", r.Err())
+	}
+	PutBuffer(b)
+
+	// ListLen applies the per-element minimum: 1000 claimed elements of at
+	// least 10 bytes cannot fit in a 3-byte remainder.
+	b = GetBuffer()
+	b.Uint64(1000)
+	b.Byte(0)
+	r = NewReader(b.B)
+	if n := r.ListLen(10); n != 0 {
+		t.Errorf("ListLen = %d, want 0", n)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", r.Err())
+	}
+	PutBuffer(b)
+}
+
+// TestFrameRoundTrip sends frames through a real socket pair, exercising
+// header patching, buffer reuse and the oversize guard.
+func TestFrameRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		b := GetBuffer()
+		defer PutBuffer(b)
+		for _, payload := range []string{"first", "", "third frame"} {
+			b.BeginFrame()
+			b.String(payload)
+			if err := b.EndFrame(); err != nil {
+				t.Errorf("EndFrame: %v", err)
+				return
+			}
+			if _, err := client.Write(b.B); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+
+	var buf []byte
+	for _, want := range []string{"first", "", "third frame"} {
+		payload, err := ReadFrame(server, buf)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		buf = payload[:cap(payload)]
+		r := NewReader(payload)
+		if got := r.String(); got != want {
+			t.Errorf("payload = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestFrameGuard checks both halves of the 16 MB budget: a header
+// announcing more than MaxFrameBytes fails the read immediately, and an
+// encode outgrowing the budget fails EndFrame.
+func TestFrameGuard(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), nil)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized header: err = %v, want ErrFrameTooLarge", err)
+	}
+
+	b := &Buffer{}
+	b.BeginFrame()
+	b.B = append(b.B, make([]byte, MaxFrameBytes+1)...)
+	if err := b.EndFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized encode: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestHelloNegotiation runs the codec hello over a pipe: magic detection,
+// version exchange and the min-version agreement.
+func TestHelloNegotiation(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- WriteHello(client, VersionBin)
+	}()
+	peek := make([]byte, MagicLen)
+	if _, err := server.Read(peek); err != nil {
+		t.Fatal(err)
+	}
+	if !IsMagic(peek) {
+		t.Fatalf("hello magic not recognized: % x", peek)
+	}
+	v, err := ReadHelloVersion(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != VersionBin {
+		t.Fatalf("client version = %d", v)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	agreed := Negotiate(VersionBin, v)
+	go func() {
+		errc <- WriteAck(server, agreed)
+	}()
+	got, err := ReadAck(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != VersionBin {
+		t.Fatalf("negotiated %d, want %d", got, VersionBin)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	// A gob stream's first bytes must never look like the hello.
+	if IsMagic([]byte{0x44, 0xff, 0x81, 0x03}) {
+		t.Error("gob-ish bytes classified as hello magic")
+	}
+	// Version negotiation picks the minimum.
+	if Negotiate(VersionBin, VersionGob) != VersionGob {
+		t.Error("negotiation did not pick the lower version")
+	}
+}
+
+// TestBadAck checks the client rejects a garbled hello reply.
+func TestBadAck(t *testing.T) {
+	if _, err := ReadAck(bytes.NewReader([]byte{0x00, 0x01})); err == nil {
+		t.Fatal("garbled ack accepted")
+	}
+}
+
+// TestBufferPoolDropsOversized checks the pool never pins huge buffers.
+func TestBufferPoolDropsOversized(t *testing.T) {
+	b := GetBuffer()
+	b.B = make([]byte, 0, maxPooledBuf+1)
+	PutBuffer(b) // must not panic; must drop
+	nb := GetBuffer()
+	defer PutBuffer(nb)
+	if cap(nb.B) > maxPooledBuf {
+		t.Fatalf("oversized buffer (%d cap) returned to pool", cap(nb.B))
+	}
+}
