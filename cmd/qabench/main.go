@@ -46,7 +46,7 @@ func main() {
 	chaosSeed := flag.Int64("seed", 1, "chaos mode: schedule seed (same seed => byte-identical event log)")
 	chaosNodes := flag.Int("nodes", 4, "chaos mode: cluster size")
 	chaosQuestions := flag.Int("chaos-questions", 12, "chaos mode: questions to ask across the schedule")
-	chaosScenario := flag.String("chaos-scenario", chaos.ScenarioMixed, "chaos mode: scenario (crash, blackout, partition, mixed)")
+	chaosScenario := flag.String("chaos-scenario", chaos.ScenarioMixed, "chaos mode: scenario (crash, blackout, partition, shardloss, mixed)")
 	flag.Parse()
 
 	if *chaosMode {
@@ -109,9 +109,9 @@ func main() {
 // planted answer or any fault-tolerance expectation was violated.
 func runChaos(seed int64, nodes, questions int, scenario string) int {
 	switch scenario {
-	case chaos.ScenarioCrash, chaos.ScenarioBlackout, chaos.ScenarioPartition, chaos.ScenarioMixed:
+	case chaos.ScenarioCrash, chaos.ScenarioBlackout, chaos.ScenarioPartition, chaos.ScenarioMixed, chaos.ScenarioShardLoss:
 	default:
-		fmt.Fprintf(os.Stderr, "qabench: unknown -chaos-scenario %q (want crash, blackout, partition or mixed)\n", scenario)
+		fmt.Fprintf(os.Stderr, "qabench: unknown -chaos-scenario %q (want crash, blackout, partition, shardloss or mixed)\n", scenario)
 		return 2
 	}
 	res, err := chaos.Run(chaos.Config{

@@ -3,8 +3,9 @@
 //
 //	qactl -node 127.0.0.1:7101 -ask "Where is the Taj Mahal?"
 //	qactl -node 127.0.0.1:7101 -ask "..." -spans   # print the span tree
-//	qactl -node 127.0.0.1:7101 -status
+//	qactl -node 127.0.0.1:7101 -status             # includes the shard table on sharded nodes
 //	qactl -node 127.0.0.1:7101 -metrics            # Prometheus text
+//	qactl -node 127.0.0.1:7101 -estimate "..."     # Equation-9 cost prediction (no execution)
 package main
 
 import (
@@ -24,6 +25,7 @@ func main() {
 	spans := flag.Bool("spans", false, "with -ask: print the question's cross-node span tree")
 	status := flag.Bool("status", false, "print node status")
 	metrics := flag.Bool("metrics", false, "print node metrics (Prometheus text exposition)")
+	estimate := flag.String("estimate", "", "question to cost-predict (Equation 9) without executing; sharded nodes gather exact global df over the wire")
 	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
 	flag.Parse()
 
@@ -95,6 +97,33 @@ func main() {
 			fmt.Printf("  health %s: %s (last beat %v ago), breaker %s, %d blamed failures, %d re-admissions\n",
 				ph.Addr, ph.State, ph.SinceBeat.Round(time.Millisecond), ph.Breaker, ph.Failures, ph.Readmissions)
 		}
+		if sh := st.Shard; sh != nil {
+			state := "complete"
+			if !sh.Complete {
+				state = "INCOMPLETE (some shard has no live replica)"
+			}
+			fmt.Printf("  shard map: K=%d R=%d epoch=%d, %s; this node holds shards %v (%d sub-collections)\n",
+				sh.K, sh.R, sh.Epoch, state, sh.Holdings, len(sh.HoldingSubs))
+			for _, row := range sh.Shards {
+				replicas := "-- none --"
+				if len(row.Replicas) > 0 {
+					replicas = fmt.Sprint(row.Replicas)
+				}
+				fmt.Printf("    shard %d: subs %v, replicas %s\n", row.Shard, row.Subs, replicas)
+			}
+			fmt.Printf("  shard traffic: %d scatter PR sent / %d received, %d df gathers served, %d failovers\n",
+				st.Metrics.ShardPRSent, st.Metrics.ShardPRReceived, st.Metrics.ShardDFReceived, st.Metrics.ShardFailovers)
+		}
+	case *estimate != "":
+		est, err := live.QueryEstimate(*node, *estimate, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("predicted documents:  %.2f\n", est.Documents)
+		fmt.Printf("predicted paragraphs: %.2f\n", est.Paragraphs)
+		fmt.Printf("predicted CPU:        %.6f s (paper-model units)\n", est.CPUSeconds)
+		fmt.Printf("predicted disk:       %.0f bytes\n", est.DiskBytes)
 	case *metrics:
 		text, err := live.QueryMetrics(*node, *timeout)
 		if err != nil {

@@ -9,6 +9,16 @@
 //	qanode -addr 127.0.0.1:7103 -peers 127.0.0.1:7101,127.0.0.1:7102 &
 //
 // then query it with qactl.
+//
+// With -shards K (and optionally -replicas R) each node indexes only the
+// sub-collections of the shards chained declustering places on it; questions
+// scatter-gather across one live replica per shard. Every node must be
+// started with the same -shards/-replicas and the same address set (shard
+// placement is derived from the sorted addresses):
+//
+//	qanode -addr 127.0.0.1:7101 -peers 127.0.0.1:7102,127.0.0.1:7103 -shards 2 -replicas 2 &
+//	qanode -addr 127.0.0.1:7102 -peers 127.0.0.1:7101,127.0.0.1:7103 -shards 2 -replicas 2 &
+//	qanode -addr 127.0.0.1:7103 -peers 127.0.0.1:7101,127.0.0.1:7102 -shards 2 -replicas 2 &
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
 	"strings"
 	"syscall"
 
@@ -26,6 +37,7 @@ import (
 	"distqa/internal/live"
 	"distqa/internal/obs"
 	"distqa/internal/qa"
+	"distqa/internal/shard"
 )
 
 func main() {
@@ -35,6 +47,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 4, "admission limit (simultaneous questions)")
 	cacheDir := flag.String("cache-dir", "", "directory for index snapshots (skip re-indexing on restart)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address serving /metrics (Prometheus text) and /spans (Chrome trace-event JSON); empty disables")
+	shards := flag.Int("shards", 0, "shard the collection index into K shards (0 = full replica on every node); every node must use the same value")
+	replicas := flag.Int("replicas", 1, "replicas per shard under chained declustering (used with -shards)")
 	flag.Parse()
 
 	var cfg corpus.Config
@@ -59,9 +73,36 @@ func main() {
 		nodeCfg.Peers = strings.Split(*peers, ",")
 	}
 
+	// Sharding: every node derives the same placement from the same flags —
+	// the node's index in the sorted address set picks its shards under
+	// chained declustering, so no coordinator hands out assignments.
+	var holdSubs []int // nil = full replica
+	if *shards > 0 {
+		cluster := append([]string{*addr}, nodeCfg.Peers...)
+		sort.Strings(cluster)
+		uniq := cluster[:1]
+		for _, a := range cluster[1:] {
+			if a != uniq[len(uniq)-1] {
+				uniq = append(uniq, a)
+			}
+		}
+		cluster = uniq
+		nodeIndex := sort.SearchStrings(cluster, *addr)
+		coll := corpus.Generate(cfg)
+		k, r, err := shard.Normalize(*shards, *replicas, len(cluster), len(coll.Subs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qanode: -shards %d -replicas %d: %v\n", *shards, *replicas, err)
+			os.Exit(2)
+		}
+		nodeCfg.Shard = live.ShardConfig{K: k, R: r, NodeIndex: nodeIndex, ClusterSize: len(cluster)}
+		holdSubs = shard.HoldingSubs(nodeIndex, len(cluster), k, r, len(coll.Subs))
+		fmt.Printf("qanode: sharded node %d/%d: K=%d R=%d, indexing %d/%d sub-collections\n",
+			nodeIndex, len(cluster), k, r, len(holdSubs), len(coll.Subs))
+	}
+
 	fmt.Printf("qanode: building %s collection replica...\n", *collection)
 	if *cacheDir != "" {
-		engine, err := engineWithCache(cfg, *cacheDir)
+		engine, err := engineWithCache(cfg, *cacheDir, holdSubs, nodeCfg.Shard)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qanode: %v\n", err)
 			os.Exit(1)
@@ -101,10 +142,16 @@ func main() {
 }
 
 // engineWithCache builds the engine, loading the index snapshot from
-// cacheDir when one matches the collection and writing one otherwise.
-func engineWithCache(cfg corpus.Config, cacheDir string) (*qa.Engine, error) {
+// cacheDir when one matches the collection and writing one otherwise. A
+// sharded node (holdSubs non-nil) snapshots only its shard-scoped subset,
+// under a name keyed by the placement so a topology change rebuilds.
+func engineWithCache(cfg corpus.Config, cacheDir string, holdSubs []int, sc live.ShardConfig) (*qa.Engine, error) {
 	coll := corpus.Generate(cfg)
-	path := filepath.Join(cacheDir, fmt.Sprintf("%s-%d.idx", cfg.Name, cfg.Seed))
+	name := fmt.Sprintf("%s-%d.idx", cfg.Name, cfg.Seed)
+	if holdSubs != nil {
+		name = fmt.Sprintf("%s-%d-k%dr%dn%dof%d.idx", cfg.Name, cfg.Seed, sc.K, sc.R, sc.NodeIndex, sc.ClusterSize)
+	}
+	path := filepath.Join(cacheDir, name)
 	if f, err := os.Open(path); err == nil {
 		set, err := index.Load(f, coll)
 		f.Close()
@@ -114,7 +161,12 @@ func engineWithCache(cfg corpus.Config, cacheDir string) (*qa.Engine, error) {
 		}
 		fmt.Printf("qanode: stale snapshot %s (%v); rebuilding\n", path, err)
 	}
-	set := index.BuildAll(coll)
+	var set *index.Set
+	if holdSubs != nil {
+		set = index.BuildSubset(coll, holdSubs)
+	} else {
+		set = index.BuildAll(coll)
+	}
 	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return nil, err
 	}

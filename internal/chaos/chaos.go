@@ -1,10 +1,11 @@
 // Package chaos is the fault-tolerance proving ground for the live cluster:
-// it boots a multi-node loopback cluster sharing one collection replica,
-// runs a seeded fault schedule against it (node crash mid-question,
-// heartbeat blackout, asymmetric partition, rolling restart), and asserts
-// that every question still returns the planted answer — the paper's claim
-// that the distributed design "degrades gracefully" under failures, made
-// executable.
+// it boots a multi-node loopback cluster sharing one collection's text (the
+// index is a full replica on every node by default, or shard-scoped with
+// R-way replication in the shardloss scenario), runs a seeded fault schedule
+// against it (node crash mid-question, heartbeat blackout, asymmetric
+// partition, replica loss, rolling restart), and asserts that every question
+// still returns the planted answer — the paper's claim that the distributed
+// design "degrades gracefully" under failures, made executable.
 //
 // Determinism: the event log records the *planned* schedule (node indexes,
 // question indexes, per-question correctness flags), never wall-clock times
@@ -28,6 +29,7 @@ import (
 	"distqa/internal/index"
 	"distqa/internal/live"
 	"distqa/internal/qa"
+	"distqa/internal/shard"
 )
 
 // Scenario names accepted by Config.Scenario.
@@ -36,6 +38,12 @@ const (
 	ScenarioBlackout  = "blackout"  // drop one node's outbound heartbeats, then lift
 	ScenarioPartition = "partition" // asymmetric link drop between two nodes
 	ScenarioMixed     = "mixed"     // all of the above in one run (default)
+	// ScenarioShardLoss boots the cluster *sharded* (K=2 shards, R=2
+	// replicas, chained declustering) and kills all-but-one replica of a
+	// chosen shard while a question is in flight: the scatter-gather path
+	// must fail over to the surviving replica and the answer must still
+	// match the sequential oracle.
+	ScenarioShardLoss = "shardloss"
 )
 
 // Config parameterises one chaos run.
@@ -102,9 +110,12 @@ func (r *Result) OK() bool { return len(r.Failures) == 0 && r.Asked == r.Correct
 // determinism test compares byte-for-byte).
 func (r *Result) EventLog() string { return strings.Join(r.Log, "\n") + "\n" }
 
-// Shared engine: one Tiny replica for every node of every run (the live
-// cluster's "each machine holds a copy of the collection" model). Building
-// it once keeps repeated runs (determinism tests, CI smoke) fast.
+// Shared collection: one Tiny corpus for every run. In the unsharded
+// scenarios every node serves the shared full-index engine (the paper's
+// "each machine holds a copy of the collection" testbed); the shardloss
+// scenario shares only the collection *text* and gives each node a
+// shard-scoped index (text replicated, index sharded). Building the corpus
+// once keeps repeated runs (determinism tests, CI smoke) fast.
 var (
 	engineOnce sync.Once
 	chaosColl  *corpus.Collection
@@ -138,10 +149,16 @@ type run struct {
 	alive  []bool
 	res    *Result
 	ruleID map[string]int // active injector rules by tag
-	// crashed remembers the node actually killed by the last crashMid event
-	// (the planned victim shifts deterministically if it would have been the
-	// serving node), so the paired restart event revives the right node.
-	crashed int
+	// crashed remembers the nodes actually killed by the last crashMid /
+	// shardLossMid event (planned victims shift deterministically if they
+	// would have been the serving node), so the paired restart event revives
+	// the right nodes.
+	crashed []int
+	// Sharding (shardloss scenario): K shards, R replicas, per-node
+	// shard-scoped engines sharing the collection text. shardK == 0 means
+	// the classic full-replica topology.
+	shardK, shardR int
+	engines        []*qa.Engine
 }
 
 func (r *run) logf(format string, args ...any) {
@@ -163,13 +180,26 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	coll, eng := sharedEngine()
 	r := &run{
-		cfg:     cfg,
-		inj:     fault.New(cfg.Seed),
-		eng:     eng,
-		coll:    coll,
-		res:     &Result{},
-		ruleID:  make(map[string]int),
-		crashed: -1,
+		cfg:    cfg,
+		inj:    fault.New(cfg.Seed),
+		eng:    eng,
+		coll:   coll,
+		res:    &Result{},
+		ruleID: make(map[string]int),
+	}
+	if cfg.Scenario == ScenarioShardLoss {
+		// Shard the cluster: K=2 shards, R=2 replicas (normalized against the
+		// topology) — single-replica loss always leaves a survivor.
+		k, rr, err := shard.Normalize(2, 2, cfg.Nodes, len(coll.Subs))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: shard topology: %w", err)
+		}
+		r.shardK, r.shardR = k, rr
+		r.engines = make([]*qa.Engine, cfg.Nodes)
+		for i := 0; i < cfg.Nodes; i++ {
+			subs := shard.HoldingSubs(i, cfg.Nodes, k, rr, len(coll.Subs))
+			r.engines[i] = qa.NewEngine(coll, index.BuildSubset(coll, subs))
+		}
 	}
 	defer func() {
 		for i, n := range r.nodes {
@@ -212,7 +242,7 @@ func Run(cfg Config) (*Result, error) {
 			if ev.At != q {
 				continue
 			}
-			if ev.Kind == "crashMid" {
+			if ev.Kind == "crashMid" || ev.Kind == "shardLossMid" {
 				ev := ev
 				mid = &ev // fires while this question is in flight
 				continue
@@ -221,9 +251,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 		fact := r.coll.Facts[q%len(r.coll.Facts)]
 		target := r.nextAlive(&cursor)
-		if mid != nil {
+		switch {
+		case mid != nil && mid.Kind == "shardLossMid":
+			r.askWithShardLoss(q, target, *mid, fact.Question)
+		case mid != nil:
 			r.askWithMidCrash(q, target, *mid, fact.Question)
-		} else {
+		default:
 			r.ask(q, target, fact.Question)
 		}
 	}
@@ -234,10 +267,19 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // startNode boots node i on addr (0 = ephemeral) with chaos-tuned timings.
+// In the shardloss scenario each node gets its shard-scoped engine; restarts
+// reuse the same (immutable) engine.
 func (r *run) startNode(i int, addr string) (*live.Node, error) {
+	engine := r.eng
+	var shardCfg live.ShardConfig
+	if r.shardK > 0 {
+		engine = r.engines[i]
+		shardCfg = live.ShardConfig{K: r.shardK, R: r.shardR, NodeIndex: i, ClusterSize: r.cfg.Nodes}
+	}
 	return live.StartNode(live.NodeConfig{
 		Addr:           addr,
-		Engine:         r.eng,
+		Engine:         engine,
+		Shard:          shardCfg,
 		HeartbeatEvery: r.cfg.Heartbeat,
 		RequestTimeout: 2 * time.Second,
 		Seed:           r.cfg.Seed + int64(i) + 1,
@@ -316,7 +358,7 @@ func (r *run) askWithMidCrash(q, target int, ev event, question string) {
 	if victim == target {
 		victim = (victim + 1) % len(r.nodes) // never kill the serving node
 	}
-	r.crashed = victim
+	r.crashed = []int{victim}
 	// Stretch the question across the crash: delay every message the serving
 	// node sends the victim, so the victim dies while a sub-task (or its
 	// connection) to it is genuinely in flight.
@@ -341,6 +383,62 @@ func (r *run) askWithMidCrash(q, target int, ev event, question string) {
 	}
 }
 
+// askWithShardLoss issues question q, then — while the question is in
+// flight — kills every replica of the planned shard except one survivor: the
+// scatter-gather PR fan-out must fail over to the surviving replica and the
+// answer must still match the sequential oracle. ev.Node carries the *shard*
+// id; victims shift deterministically so the serving node is never killed.
+func (r *run) askWithShardLoss(q, target int, ev event, question string) {
+	s := ev.Node % r.shardK
+	replicas := shard.ReplicaNodes(s, r.cfg.Nodes, r.shardR)
+	// Survivor: the serving node when it replicates the shard (so the local
+	// path covers it), else the last replica in chain order.
+	survivor := replicas[len(replicas)-1]
+	for _, n := range replicas {
+		if n == target {
+			survivor = target
+		}
+	}
+	victims := make([]int, 0, len(replicas))
+	for _, n := range replicas {
+		if n != survivor && n != target && r.alive[n] {
+			victims = append(victims, n)
+		}
+	}
+	r.crashed = victims
+	r.logf("[q %d] shardloss shard=%d survivor=%d victims=%v planned", q, s, survivor, victims)
+	// Stretch the question across the loss: delay everything the serving node
+	// sends the victims so their sub-tasks are genuinely in flight when they
+	// die, forcing the failover branch rather than a clean pre-death miss.
+	rules := make([]int, 0, len(victims))
+	for _, v := range victims {
+		rules = append(rules, r.inj.Add(fault.Rule{From: r.addrs[target], To: r.addrs[v], Delay: 4 * r.cfg.Heartbeat}))
+	}
+	defer func() {
+		for _, id := range rules {
+			r.inj.Remove(id)
+		}
+	}()
+	r.res.Asked++
+	done := make(chan bool, 1)
+	go func() { done <- r.check(target, question) }()
+	time.Sleep(2 * r.cfg.Heartbeat)
+	for _, v := range victims {
+		r.logf("[q %d] crash node=%d mid-question (shard %d replica)", q, v, s)
+		if r.alive[v] {
+			r.nodes[v].Close()
+			r.alive[v] = false
+		}
+	}
+	ok := <-done
+	r.logf("[q %d] node=%d ok=%v", q, target, ok)
+	if ok {
+		r.res.Correct++
+	} else {
+		r.failf("question %d at node %d (shard %d replica loss %v): wrong or missing answer", q, target, s, victims)
+	}
+}
+
 // check asks one question and compares the top answer with the sequential
 // pipeline's (the correctness oracle every live test uses).
 func (r *run) check(target int, question string) bool {
@@ -359,36 +457,17 @@ func (r *run) check(target int, question string) bool {
 func (r *run) fire(ev event) {
 	switch ev.Kind {
 	case "restart":
-		if r.crashed >= 0 {
-			ev.Node, r.crashed = r.crashed, -1
+		// Revive whatever the last mid-question event actually killed (the
+		// planned victim shifts deterministically when it would have been the
+		// serving node); fall back to the scheduled node.
+		targets := r.crashed
+		if len(targets) == 0 {
+			targets = []int{ev.Node}
 		}
-		r.logf("[q %d] restart node=%d", ev.At, ev.Node)
-		if r.alive[ev.Node] {
-			return
+		r.crashed = nil
+		for _, node := range targets {
+			r.restartNode(ev.At, node)
 		}
-		// Same address: peers re-admit it via the failure detector once its
-		// heartbeats resume. The OS may hold the port briefly; retry.
-		var n *live.Node
-		var err error
-		for attempt := 0; attempt < 50; attempt++ {
-			n, err = r.startNode(ev.Node, r.addrs[ev.Node])
-			if err == nil {
-				break
-			}
-			time.Sleep(40 * time.Millisecond)
-		}
-		if err != nil {
-			r.failf("restart node %d on %s: %v", ev.Node, r.addrs[ev.Node], err)
-			return
-		}
-		for j := range r.nodes {
-			if j != ev.Node {
-				n.AddPeer(r.addrs[j])
-			}
-		}
-		r.nodes[ev.Node] = n
-		r.alive[ev.Node] = true
-		r.awaitReadmission(ev.Node)
 
 	case "blackout":
 		r.logf("[q %d] blackout heartbeats from node=%d", ev.At, ev.Node)
@@ -448,6 +527,37 @@ func (r *run) fire(ev event) {
 			r.awaitReadmission(ev.Node)
 		}
 	}
+}
+
+// restartNode revives one previously crashed node on its original address.
+func (r *run) restartNode(at, node int) {
+	r.logf("[q %d] restart node=%d", at, node)
+	if r.alive[node] {
+		return
+	}
+	// Same address: peers re-admit it via the failure detector once its
+	// heartbeats resume. The OS may hold the port briefly; retry.
+	var n *live.Node
+	var err error
+	for attempt := 0; attempt < 50; attempt++ {
+		n, err = r.startNode(node, r.addrs[node])
+		if err == nil {
+			break
+		}
+		time.Sleep(40 * time.Millisecond)
+	}
+	if err != nil {
+		r.failf("restart node %d on %s: %v", node, r.addrs[node], err)
+		return
+	}
+	for j := range r.nodes {
+		if j != node {
+			n.AddPeer(r.addrs[j])
+		}
+	}
+	r.nodes[node] = n
+	r.alive[node] = true
+	r.awaitReadmission(node)
 }
 
 // settleWindow is how long a fault window is held open so the failure
@@ -548,6 +658,15 @@ func buildSchedule(cfg Config, rng *rand.Rand) []event {
 		return []event{
 			{At: at(0.25), Kind: "partition", Node: a, Peer: b},
 			{At: at(0.70), Kind: "heal", Node: a, Peer: b},
+		}
+	case ScenarioShardLoss:
+		// Node carries the *shard* id here; the concrete victims (all replicas
+		// but one survivor) are derived deterministically at fire time from the
+		// shard placement and the serving node.
+		s := rng.Intn(2) // K is normalized to <= 2 in the shardloss setup
+		return []event{
+			{At: at(0.25), Kind: "shardLossMid", Node: s},
+			{At: at(0.70), Kind: "restart"},
 		}
 	default: // mixed: phases are disjoint so each recovery completes cleanly
 		v1 := pick(-1)

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -28,6 +29,51 @@ func TestChaosRunSucceeds(t *testing.T) {
 	}
 	if res.Metrics.Injected == 0 {
 		t.Fatal("schedule injected no faults — the run proved nothing")
+	}
+}
+
+// TestChaosShardLoss: the sharded topology (K=2, R=2, chained declustering)
+// must keep answering correctly when all-but-one replica of a shard dies
+// mid-question — the scatter-gather failover path, proven under real faults.
+func TestChaosShardLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes a few seconds")
+	}
+	res, err := Run(Config{Seed: 7, Nodes: 3, Questions: 8, Scenario: ScenarioShardLoss})
+	if err != nil {
+		t.Fatalf("chaos shardloss: %v", err)
+	}
+	if !res.OK() {
+		t.Fatalf("shardloss run failed: asked=%d correct=%d failures=%v",
+			res.Asked, res.Correct, res.Failures)
+	}
+	log := res.EventLog()
+	if !strings.Contains(log, "shardloss shard=") {
+		t.Fatalf("shardloss run never planned a replica loss:\n%s", log)
+	}
+}
+
+// TestChaosShardLossDeterministic: the shardloss schedule (shard pick,
+// survivor/victim derivation, restart) is a pure function of the seed.
+func TestChaosShardLossDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes a few seconds")
+	}
+	cfg := Config{Seed: 19, Nodes: 3, Questions: 6, Scenario: ScenarioShardLoss}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !first.OK() || !second.OK() {
+		t.Fatalf("runs failed: %v / %v", first.Failures, second.Failures)
+	}
+	if first.EventLog() != second.EventLog() {
+		t.Fatalf("shardloss event logs differ for the same seed:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			first.EventLog(), second.EventLog())
 	}
 }
 

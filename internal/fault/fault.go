@@ -43,6 +43,8 @@ const (
 	OpForward   = "forward"   // live question-dispatcher migration
 	OpAsk       = "ask"       // live client question (same wire kind as forward)
 	OpPR        = "pr"        // live paragraph-retrieval sub-task
+	OpShardPR   = "shardpr"   // live shard-scoped paragraph-retrieval sub-task
+	OpShardDF   = "sharddf"   // live shard document-frequency gather
 	OpAP        = "ap"        // live answer-processing sub-task
 	OpStatus    = "status"    // live operator status query
 	OpTransfer  = "transfer"  // simnet point-to-point transfer

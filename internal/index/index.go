@@ -14,6 +14,7 @@
 package index
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -360,10 +361,20 @@ func cacheKey(dst []byte, kws []string) []byte {
 	return dst
 }
 
-// Set is the full collection's index: one Index per sub-collection.
+// Set is a collection's index: one Index per held sub-collection. A full
+// set (BuildAll) holds every sub-collection; a shard-scoped set (BuildSubset)
+// holds only the subs assigned to a node's shards. Indexes are addressed by
+// their *global* sub-collection id — for full sets that is the positional
+// index, so pre-sharding callers are unchanged.
 type Set struct {
 	Coll    *corpus.Collection
 	Indexes []*Index
+
+	// globals[i] is the global sub-collection id of Indexes[i], always
+	// strictly increasing. byGlobal is the reverse lookup; nil for full sets
+	// (where global id == position and no map is needed).
+	globals  []int
+	byGlobal map[int]*Index
 }
 
 // BuildAll indexes every sub-collection of c.
@@ -371,12 +382,77 @@ func BuildAll(c *corpus.Collection) *Set {
 	s := &Set{Coll: c}
 	for i := range c.Subs {
 		s.Indexes = append(s.Indexes, Build(c, i))
+		s.globals = append(s.globals, i)
 	}
 	return s
 }
 
-// Sub returns the index of sub-collection i.
-func (s *Set) Sub(i int) *Index { return s.Indexes[i] }
+// BuildSubset indexes only the named sub-collections of c (global ids,
+// strictly increasing). This is the shard-scoped build: a node holding
+// shards covering subs {1,3} indexes those two subs and nothing else.
+func BuildSubset(c *corpus.Collection, subs []int) *Set {
+	indexes := make([]*Index, 0, len(subs))
+	for _, sub := range subs {
+		indexes = append(indexes, Build(c, sub))
+	}
+	return SetFrom(c, indexes)
+}
 
-// Len returns the number of sub-collections.
+// SetFrom composes a Set from prebuilt per-sub indexes (already sorted by
+// ascending global sub id). It panics on out-of-order input: a Set's
+// iteration order is the global sub order, which downstream merge logic
+// relies on for byte-identical cost folding.
+func SetFrom(c *corpus.Collection, indexes []*Index) *Set {
+	s := &Set{Coll: c, Indexes: indexes}
+	full := len(indexes) == len(c.Subs)
+	for i, ix := range indexes {
+		if i > 0 && ix.sub <= indexes[i-1].sub {
+			panic("index: SetFrom indexes not strictly increasing by sub id")
+		}
+		s.globals = append(s.globals, ix.sub)
+		if full && ix.sub != i {
+			full = false
+		}
+	}
+	if !full {
+		s.byGlobal = make(map[int]*Index, len(indexes))
+		for _, ix := range indexes {
+			s.byGlobal[ix.sub] = ix
+		}
+	}
+	return s
+}
+
+// Sub returns the index of global sub-collection id sub. For full sets this
+// is positional (the pre-sharding behaviour); shard-scoped sets look the id
+// up. Asking for a sub the set does not hold panics — callers gate with Has.
+func (s *Set) Sub(sub int) *Index {
+	if s.byGlobal == nil {
+		return s.Indexes[sub]
+	}
+	ix, ok := s.byGlobal[sub]
+	if !ok {
+		panic(fmt.Sprintf("index: set does not hold sub-collection %d", sub))
+	}
+	return ix
+}
+
+// Has reports whether the set holds the index for global sub-collection sub.
+func (s *Set) Has(sub int) bool {
+	if s.byGlobal == nil {
+		return sub >= 0 && sub < len(s.Indexes)
+	}
+	_, ok := s.byGlobal[sub]
+	return ok
+}
+
+// Globals returns the global sub-collection ids this set holds, ascending.
+// Callers must not mutate the returned slice.
+func (s *Set) Globals() []int { return s.globals }
+
+// Full reports whether the set covers every sub-collection of its
+// collection.
+func (s *Set) Full() bool { return len(s.Indexes) == len(s.Coll.Subs) && s.byGlobal == nil }
+
+// Len returns the number of sub-collections this set holds.
 func (s *Set) Len() int { return len(s.Indexes) }

@@ -51,7 +51,9 @@ func (s *Set) Save(w io.Writer) error {
 
 // Load deserialises an index set from r and binds it to c. It fails if the
 // snapshot was built from a different collection (name, seed or paragraph
-// count mismatch) or covers a different number of sub-collections.
+// count mismatch) or names sub-collections the collection does not have.
+// Shard-scoped snapshots (a strict subset of the sub-collections, strictly
+// increasing) load the same way full ones do.
 func Load(r io.Reader, c *corpus.Collection) (*Set, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
@@ -65,16 +67,20 @@ func Load(r io.Reader, c *corpus.Collection) (*Set, error) {
 		return nil, fmt.Errorf("index: snapshot covers %d paragraphs, collection has %d",
 			snap.Paragraphs, len(c.Paragraphs()))
 	}
-	if len(snap.Indexes) != len(c.Subs) {
+	if len(snap.Indexes) == 0 || len(snap.Indexes) > len(c.Subs) {
 		return nil, fmt.Errorf("index: snapshot has %d sub-collection indexes, collection has %d",
 			len(snap.Indexes), len(c.Subs))
 	}
-	set := &Set{Coll: c}
+	indexes := make([]*Index, 0, len(snap.Indexes))
 	for i, is := range snap.Indexes {
-		if is.Sub != i {
-			return nil, fmt.Errorf("index: snapshot sub-collection %d out of order (got %d)", i, is.Sub)
+		if is.Sub < 0 || is.Sub >= len(c.Subs) {
+			return nil, fmt.Errorf("index: snapshot names sub-collection %d, collection has %d", is.Sub, len(c.Subs))
 		}
-		set.Indexes = append(set.Indexes, &Index{
+		if i > 0 && is.Sub <= snap.Indexes[i-1].Sub {
+			return nil, fmt.Errorf("index: snapshot sub-collections out of order (%d after %d)",
+				is.Sub, snap.Indexes[i-1].Sub)
+		}
+		indexes = append(indexes, &Index{
 			coll:       c,
 			sub:        is.Sub,
 			postings:   is.Postings,
@@ -84,5 +90,5 @@ func Load(r io.Reader, c *corpus.Collection) (*Set, error) {
 			cache:      newRelaxCache(defaultRelaxCacheCap),
 		})
 	}
-	return set, nil
+	return SetFrom(c, indexes), nil
 }

@@ -82,6 +82,77 @@ func TestWireCodecAllocBudget(t *testing.T) {
 		t.Errorf("cold heartbeat decode allocates %.1f times per op, want ≤ 4", coldAllocs)
 	}
 
+	// Sharded heartbeat: the shard-claim slice repeats verbatim beat after
+	// beat and decodes into the scratch report's retained capacity, so the
+	// steady-state decode stays allocation-free even with Shards on the wire.
+	shardReq := &Request{
+		Kind: kindHeartbeat,
+		Load: LoadReport{
+			Addr:      "127.0.0.1:49153",
+			Questions: 2,
+			Shards:    []int{0, 2},
+			Sent:      time.Unix(1_700_000_000, 0),
+		},
+	}
+	b.Reset()
+	if err := appendRequestWire(b, shardReq); err != nil {
+		t.Fatal(err)
+	}
+	shardEncoded := append([]byte(nil), b.B...)
+	var shardDst Request
+	r0 := wire.NewReader(shardEncoded)
+	if err := decodeRequestWireInto(&r0, &shardDst); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	shardHB := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := appendRequestWire(b, shardReq); err != nil {
+			t.Fatal(err)
+		}
+		r := wire.NewReader(shardEncoded)
+		if err := decodeRequestWireInto(&r, &shardDst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if shardHB > 0 {
+		t.Errorf("steady-state sharded heartbeat encode+decode allocates %.1f times per op, want 0", shardHB)
+	}
+
+	// Shard-scoped PR fan-out: the scatter hot path encodes one request per
+	// replica into the pooled buffer — the encode side must be allocation-
+	// free, and the decode side must allocate only the payload it hands the
+	// handler (the keyword slice, its two strings, and the subs slice = 4;
+	// zero codec overhead on top).
+	prReq := ShardPRRequest(1, 4, []string{"capital", "france"}, []int{1, 3})
+	b.Reset()
+	if err := appendRequestWire(b, prReq); err != nil {
+		t.Fatal(err)
+	}
+	prEncoded := append([]byte(nil), b.B...)
+	var prDst Request
+	r1 := wire.NewReader(prEncoded)
+	if err := decodeRequestWireInto(&r1, &prDst); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	prEnc := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := appendRequestWire(b, prReq); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if prEnc > 0 {
+		t.Errorf("shardPR encode allocates %.1f times per op, want 0", prEnc)
+	}
+	prAllocs := testing.AllocsPerRun(200, func() {
+		r := wire.NewReader(prEncoded)
+		if err := decodeRequestWireInto(&r, &prDst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if prAllocs > 4 {
+		t.Errorf("shardPR decode allocates %.1f times per op, want ≤ 4 (payload only)", prAllocs)
+	}
+
 	// Status requests are the other steady-state poll; they carry no payload
 	// at all and must be fully allocation-free both ways.
 	statusReq := &Request{Kind: kindStatus}

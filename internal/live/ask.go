@@ -2,6 +2,7 @@ package live
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -25,6 +26,15 @@ func (n *Node) handleAsk(req *Request) *Response {
 		return n.askPipeline(req, start)
 	}
 	key := qcache.Normalize(req.Question)
+	if n.sharded() {
+		// Scope answer-cache entries by the shard-map epoch: a cached answer
+		// encodes which replicas served it, and after a placement change
+		// (node death, re-admission) stale-epoch entries must miss rather
+		// than mask the new topology. The epoch prefix makes rejection
+		// structural — old entries simply stop being addressable and age out
+		// of the LRU.
+		key = "e" + strconv.FormatInt(n.shardMap().Epoch, 10) + "|" + key
+	}
 	if v, ok := n.answerCache.Get(key); ok {
 		n.nm.cacheAnsHits.Inc()
 		return n.cachedResponse(req, v.(*cachedAnswer), start, false)
@@ -140,7 +150,25 @@ func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 	qpSpan.End()
 
 	prPart := n.spans.StartSpan("partition:PR", "", ctx)
-	scored := n.partitionPR(analysis, prPart.Context(), budget)
+	var scored []qa.ScoredParagraph
+	if n.sharded() {
+		// Sharded serving path: scatter one PR sub-task per shard to the
+		// least-PR-loaded live replica, failover through survivors, merge.
+		var err error
+		scored, err = n.scatterPR(analysis, prPart.Context(), budget, int(ctx.QID))
+		if err != nil {
+			prPart.End()
+			rs := root.End()
+			return &Response{
+				Err:       err.Error(),
+				ServedBy:  n.Addr(),
+				ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+				Spans:     n.spans.ByQID(rs.QID),
+			}
+		}
+	} else {
+		scored = n.partitionPR(analysis, prPart.Context(), budget)
+	}
 	prPart.End()
 
 	poSpan := n.spans.StartSpan("stage:PO", obs.StagePO, ctx)
@@ -194,7 +222,8 @@ func (n *Node) pickLighterPeer() (string, bool) {
 // stage:PR/stage:PS spans; remote work ships its pr-subtask spans back and
 // they are adopted under the same parent.
 func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext, budget time.Time) []qa.ScoredParagraph {
-	nSubs := n.engine.Set.Len()
+	globals := n.engine.Set.Globals()
+	nSubs := len(globals)
 	var idle []string
 	for _, p := range n.candidatePeers() {
 		if p.Questions == 0 && p.Queued == 0 && p.APTasks == 0 {
@@ -205,10 +234,12 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext
 	if workers > nSubs {
 		workers = nSubs
 	}
-	// Deal sub-collections round-robin: worker 0 is this node.
+	// Deal sub-collections round-robin: worker 0 is this node. Subs travel
+	// by global id (positional == global on full replicas; remote peers
+	// validate coverage via Set.Has).
 	assign := make([][]int, workers)
-	for sub := 0; sub < nSubs; sub++ {
-		assign[sub%workers] = append(assign[sub%workers], sub)
+	for i, sub := range globals {
+		assign[i%workers] = append(assign[i%workers], sub)
 	}
 
 	local := func(subs []int) []qa.ScoredParagraph {
@@ -365,6 +396,24 @@ func Ask(addr, question string, timeout time.Duration) (*Response, error) {
 		timeout = 30 * time.Second
 	}
 	return roundTrip(addr, &Request{Kind: kindAsk, Question: question}, timeout)
+}
+
+// QueryEstimate asks a node for a cost prediction of question (Equation 9).
+// On a sharded node the per-sub document frequencies are gathered from one
+// live replica per shard and folded with the exact global df correction, so
+// the estimate matches a full-replica node byte for byte.
+func QueryEstimate(addr, question string, timeout time.Duration) (*qa.CostEstimate, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	resp, err := roundTrip(addr, &Request{Kind: kindEstimate, Question: question}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Estimate == nil {
+		return nil, fmt.Errorf("live: %s returned no estimate", addr)
+	}
+	return resp.Estimate, nil
 }
 
 // QueryStatus fetches a node's status.

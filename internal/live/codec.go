@@ -39,6 +39,8 @@ const (
 	codecReqHeartbeat = 0x04
 	codecReqStatus    = 0x05
 	codecReqMetrics   = 0x06
+	codecReqShardPR   = 0x07
+	codecReqShardDF   = 0x08
 	codecResp         = 0x41 // binary response
 	codecGobReq       = 0x7E // gob-embedded Request
 	codecGobResp      = 0x7F // gob-embedded Response
@@ -60,6 +62,10 @@ func codecOfKind(kind string) (byte, bool) {
 		return codecReqStatus, true
 	case kindMetrics:
 		return codecReqMetrics, true
+	case kindShardPR:
+		return codecReqShardPR, true
+	case kindShardDF:
+		return codecReqShardDF, true
 	default:
 		return 0, false
 	}
@@ -80,6 +86,10 @@ func kindOfCodec(code byte) (string, bool) {
 		return kindStatus, true
 	case codecReqMetrics:
 		return kindMetrics, true
+	case codecReqShardPR:
+		return kindShardPR, true
+	case codecReqShardDF:
+		return kindShardDF, true
 	default:
 		return "", false
 	}
@@ -120,6 +130,20 @@ func appendRequestWire(b *wire.Buffer, req *Request) error {
 		appendStrings(b, req.Keywords)
 		b.Int(req.AnswerType)
 		appendParaRefs(b, req.ParaRefs)
+	case codecReqShardPR:
+		b.Int(req.Shard)
+		b.Int64(req.Epoch)
+		appendStrings(b, req.Keywords)
+		b.Uint64(uint64(len(req.Subs)))
+		for _, s := range req.Subs {
+			b.Int(s)
+		}
+	case codecReqShardDF:
+		appendStrings(b, req.Keywords)
+		b.Uint64(uint64(len(req.Subs)))
+		for _, s := range req.Subs {
+			b.Int(s)
+		}
 	case codecReqHeartbeat:
 		appendLoadReport(b, &req.Load)
 	case codecReqStatus, codecReqMetrics:
@@ -154,7 +178,8 @@ func decodeRequestWireInto(r *wire.Reader, req *Request) error {
 		}
 		return fmt.Errorf("%w: unknown request shape 0x%02x", wire.ErrCorrupt, code)
 	}
-	prevAddr := req.Load.Addr // survives the reset so heartbeat decode can intern it
+	prevAddr := req.Load.Addr     // survives the reset so heartbeat decode can intern it
+	prevShards := req.Load.Shards // scratch capacity reused by heartbeat decode
 	*req = Request{Kind: kind}
 	req.Span.QID = r.Int64()
 	req.Span.Span = r.Int64()
@@ -174,18 +199,27 @@ func decodeRequestWireInto(r *wire.Reader, req *Request) error {
 		req.Keywords = decodeStrings(r)
 		req.AnswerType = r.Int()
 		req.ParaRefs = decodeParaRefs(r)
+	case codecReqShardPR:
+		req.Shard = r.Int()
+		req.Epoch = r.Int64()
+		req.Keywords = decodeStrings(r)
+		req.Subs = decodeInts(r)
+	case codecReqShardDF:
+		req.Keywords = decodeStrings(r)
+		req.Subs = decodeInts(r)
 	case codecReqHeartbeat:
 		req.Load.Addr = prevAddr
+		req.Load.Shards = prevShards
 		decodeLoadReport(r, &req.Load)
 	}
 	return r.Err()
 }
 
 // appendResponseWire encodes resp onto b. Responses carrying an operator
-// Status payload travel gob-embedded (Status is a deep, cold-path struct);
-// everything on the question-serving hot path is hand-rolled.
+// payload (Status, cost Estimate) travel gob-embedded — deep, cold-path
+// structs; everything on the question-serving hot path is hand-rolled.
 func appendResponseWire(b *wire.Buffer, resp *Response) error {
-	if resp.Status != nil {
+	if resp.Status != nil || resp.Estimate != nil {
 		return appendGob(b, codecGobResp, resp)
 	}
 	b.Byte(codecResp)
@@ -197,8 +231,10 @@ func appendResponseWire(b *wire.Buffer, resp *Response) error {
 	b.Int(resp.APPeers)
 	b.Float64(resp.ElapsedMS)
 	b.String(resp.MetricsText)
+	b.Int64(resp.Epoch)
 	appendAnswers(b, resp.Answers)
 	appendParaRefs(b, resp.ParaRefs)
+	appendShardDFs(b, resp.DFs)
 	appendSpans(b, resp.Spans)
 	return nil
 }
@@ -229,8 +265,10 @@ func decodeResponseWire(r *wire.Reader) (*Response, error) {
 	resp.APPeers = r.Int()
 	resp.ElapsedMS = r.Float64()
 	resp.MetricsText = r.String()
+	resp.Epoch = r.Int64()
 	resp.Answers = decodeAnswers(r)
 	resp.ParaRefs = decodeParaRefs(r)
+	resp.DFs = decodeShardDFs(r)
 	resp.Spans = decodeSpans(r)
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -256,6 +294,47 @@ func decodeStrings(r *wire.Reader) []string {
 	out := make([]string, n)
 	for i := range out {
 		out[i] = r.String()
+	}
+	return out
+}
+
+func decodeInts(r *wire.Reader) []int {
+	n := r.ListLen(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.Int()
+	}
+	return out
+}
+
+func appendShardDFs(b *wire.Buffer, dfs []ShardDF) {
+	b.Uint64(uint64(len(dfs)))
+	for i := range dfs {
+		b.Int(dfs[i].Sub)
+		b.Uint64(uint64(len(dfs[i].DF)))
+		for _, df := range dfs[i].DF {
+			b.Int64(df)
+		}
+	}
+}
+
+func decodeShardDFs(r *wire.Reader) []ShardDF {
+	n := r.ListLen(2)
+	if n == 0 {
+		return nil
+	}
+	out := make([]ShardDF, n)
+	for i := range out {
+		out[i].Sub = r.Int()
+		if m := r.ListLen(1); m > 0 {
+			out[i].DF = make([]int64, m)
+			for j := range out[i].DF {
+				out[i].DF[j] = r.Int64()
+			}
+		}
 	}
 	return out
 }
@@ -290,6 +369,10 @@ func appendLoadReport(b *wire.Buffer, lr *LoadReport) {
 	b.Int(lr.Questions)
 	b.Int(lr.Queued)
 	b.Int(lr.APTasks)
+	b.Uint64(uint64(len(lr.Shards)))
+	for _, s := range lr.Shards {
+		b.Int(s)
+	}
 	b.Time(lr.Sent)
 }
 
@@ -305,6 +388,23 @@ func decodeLoadReport(r *wire.Reader, lr *LoadReport) {
 	lr.Questions = r.Int()
 	lr.Queued = r.Int()
 	lr.APTasks = r.Int()
+	// Shards decodes into the scratch report's retained capacity: steady-state
+	// heartbeats (same shard count every beat) are then allocation-free.
+	// Unlike the interned Addr string, the slice is mutable, so the node must
+	// NOT retain it directly — dispatch interns a stable copy on store
+	// (internShards), keeping the scratch slice private to the decode loop.
+	n := r.ListLen(1)
+	if n == 0 {
+		lr.Shards = lr.Shards[:0]
+	} else {
+		if cap(lr.Shards) < n {
+			lr.Shards = make([]int, n)
+		}
+		lr.Shards = lr.Shards[:n]
+		for i := range lr.Shards {
+			lr.Shards[i] = r.Int()
+		}
+	}
 	lr.Sent = r.Time()
 }
 

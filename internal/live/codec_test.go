@@ -71,19 +71,52 @@ func gobRoundTripResponse(t *testing.T, resp *Response) *Response {
 	return out
 }
 
+// intsEqual compares int slices treating nil and empty as equal (the wire
+// codec decodes an empty list into a reused zero-length scratch slice).
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func loadReportsEqual(a, b *LoadReport) bool {
 	return a.Addr == b.Addr && a.Questions == b.Questions &&
-		a.Queued == b.Queued && a.APTasks == b.APTasks && a.Sent.Equal(b.Sent)
+		a.Queued == b.Queued && a.APTasks == b.APTasks &&
+		intsEqual(a.Shards, b.Shards) && a.Sent.Equal(b.Sent)
 }
 
 func requestsEqual(a, b *Request) bool {
 	return a.Kind == b.Kind && a.Span == b.Span &&
 		a.Question == b.Question && a.Forwarded == b.Forwarded &&
 		reflect.DeepEqual(a.Keywords, b.Keywords) &&
-		reflect.DeepEqual(a.Subs, b.Subs) &&
+		intsEqual(a.Subs, b.Subs) &&
+		a.Shard == b.Shard && a.Epoch == b.Epoch &&
 		reflect.DeepEqual(a.ParaRefs, b.ParaRefs) &&
 		a.AnswerType == b.AnswerType &&
 		loadReportsEqual(&a.Load, &b.Load)
+}
+
+func shardDFsEqual(a, b []ShardDF) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Sub != b[i].Sub || len(a[i].DF) != len(b[i].DF) {
+			return false
+		}
+		for j := range a[i].DF {
+			if a[i].DF[j] != b[i].DF[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func spansEqual(a, b []obs.Span) bool {
@@ -128,8 +161,11 @@ func responsesEqual(t *testing.T, a, b *Response) bool {
 		a.Forwarded == b.Forwarded && a.CacheHit == b.CacheHit &&
 		a.Coalesced == b.Coalesced && a.APPeers == b.APPeers &&
 		a.ElapsedMS == b.ElapsedMS && a.MetricsText == b.MetricsText &&
+		a.Epoch == b.Epoch &&
 		reflect.DeepEqual(a.Answers, b.Answers) &&
 		reflect.DeepEqual(a.ParaRefs, b.ParaRefs) &&
+		shardDFsEqual(a.DFs, b.DFs) &&
+		reflect.DeepEqual(a.Estimate, b.Estimate) &&
 		spansEqual(a.Spans, b.Spans) &&
 		statusesEqual(t, a.Status, b.Status)
 }
@@ -152,9 +188,20 @@ func codecTestRequests() map[string]*Request {
 			Addr: "127.0.0.1:9001", Questions: 1, Queued: 2, APTasks: 3,
 			Sent: time.Unix(1_700_000_000, 123456789)}},
 		"heartbeat-zero-time": {Kind: kindHeartbeat, Load: LoadReport{Addr: "x"}},
-		"status":              {Kind: kindStatus},
-		"metrics":             {Kind: kindMetrics},
-		"future-kind":         {Kind: "futureOp", Question: "payload the binary codec has no shape for"},
+		"heartbeat-shards": {Kind: kindHeartbeat, Load: LoadReport{
+			Addr: "127.0.0.1:9003", Questions: 2, Shards: []int{0, 2},
+			Sent: time.Unix(1_700_000_010, 42)}},
+		"status":  {Kind: kindStatus},
+		"metrics": {Kind: kindMetrics},
+		"shardpr": {Kind: kindShardPR, Span: obs.SpanContext{QID: 5, Span: 9},
+			Shard: 1, Epoch: 4, Keywords: []string{"capital", "france"}, Subs: []int{1, 3}},
+		"shardpr-empty": {Kind: kindShardPR},
+		"sharddf":       {Kind: kindShardDF, Keywords: []string{"capital"}, Subs: []int{0, 1, 2}},
+		"sharddf-empty": {Kind: kindShardDF},
+		// kindEstimate has no hand-rolled shape: a cold operator query that
+		// travels gob-embedded like any future kind.
+		"estimate":    {Kind: kindEstimate, Question: "what is the capital of France?"},
+		"future-kind": {Kind: "futureOp", Question: "payload the binary codec has no shape for"},
 	}
 }
 
@@ -172,7 +219,15 @@ func codecTestResponses() map[string]*Response {
 		"error":      {Err: "remote failure"},
 		"empty":      {},
 		"pr-subtask": {ParaRefs: []ParaRef{{ID: 1, Matched: 1, Score: 0.5}, {ID: 9, Matched: 3, Score: 2}}},
-		"metrics":    {MetricsText: "# TYPE live_questions_total counter\nlive_questions_total 4\n"},
+		"shard-pr":   {ParaRefs: []ParaRef{{ID: 4, Matched: 2, Score: 1.5}}, Epoch: 3, ServedBy: "127.0.0.1:9002"},
+		"shard-dfs": {DFs: []ShardDF{
+			{Sub: 0, DF: []int64{3, 0, 7}},
+			{Sub: 3, DF: []int64{1}},
+			{Sub: 5, DF: nil},
+		}, Epoch: 2},
+		"estimate": {Estimate: &qa.CostEstimate{
+			Documents: 12.5, Paragraphs: 3.25, CPUSeconds: 0.75, DiskBytes: 4096}},
+		"metrics": {MetricsText: "# TYPE live_questions_total counter\nlive_questions_total 4\n"},
 		"spans": {Spans: []obs.Span{
 			{QID: 9, ID: 1, Parent: 0, Name: "ask", Node: "127.0.0.1:9001",
 				Start: time.Unix(1_700_000_000, 0), End: time.Unix(1_700_000_001, 500)},

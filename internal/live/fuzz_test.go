@@ -40,6 +40,15 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Kind: kindHeartbeat, Load: LoadReport{
 			Addr: "127.0.0.1:9001", Questions: 1, Queued: 2, APTasks: 3,
 			Sent: time.Unix(1_000_000_000, 0)}},
+		// Sharded shapes (PR-5): shard-scoped PR fan-out, df gather, and a
+		// heartbeat carrying shard-map claims.
+		{Kind: kindShardPR, Shard: 1, Epoch: 4,
+			Keywords: []string{"capital", "france"}, Subs: []int{1, 3}},
+		{Kind: kindShardDF, Keywords: []string{"capital"}, Subs: []int{0, 2}},
+		{Kind: kindHeartbeat, Load: LoadReport{
+			Addr: "127.0.0.1:9003", Questions: 1, Shards: []int{0, 2},
+			Sent: time.Unix(1_000_000_000, 0)}},
+		{Kind: kindEstimate, Question: "what is the capital of France?"},
 		{Kind: kindStatus},
 		{Kind: kindMetrics},
 	}
@@ -80,6 +89,13 @@ func FuzzDecodeResponse(f *testing.F) {
 		{MetricsText: "# TYPE live_questions_total counter\nlive_questions_total 4\n"},
 		{Spans: []obs.Span{{QID: 42, ID: 1, Name: "ask", Node: "127.0.0.1:9001"}}},
 		{Forwarded: true, ServedBy: "127.0.0.1:9002"},
+		// Sharded shapes (PR-5): shard-scoped PR result with epoch echo, df
+		// gather rows, and the gob-embedded estimate payload.
+		{ParaRefs: []ParaRef{{ID: 4, Matched: 2, Score: 1.5}}, Epoch: 3,
+			ServedBy: "127.0.0.1:9002"},
+		{DFs: []ShardDF{{Sub: 0, DF: []int64{3, 0, 7}}, {Sub: 3, DF: []int64{1}}}, Epoch: 2},
+		{Estimate: &qa.CostEstimate{Documents: 12.5, Paragraphs: 3.25,
+			CPUSeconds: 0.75, DiskBytes: 4096}},
 	}
 	for _, resp := range seeds {
 		f.Add(encodeFrame(f, resp))

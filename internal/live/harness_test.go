@@ -1,0 +1,286 @@
+package live
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"distqa/internal/index"
+	"distqa/internal/qa"
+	"distqa/internal/shard"
+)
+
+// startShardedCluster is the sharded analogue of startCluster: n nodes on
+// loopback, the collection text shared in-process, each node's *index*
+// scoped to the sub-collections chained declustering places on it (K shards,
+// R replicas, replica j of shard s on node (s+j) mod n). mut, when non-nil,
+// adjusts each node's config before start (cache/detector tuning).
+func startShardedCluster(t *testing.T, n, k, r int, mut func(i int, cfg *NodeConfig)) []*Node {
+	t.Helper()
+	kk, rr, err := shard.Normalize(k, r, n, len(liveColl.Subs))
+	if err != nil {
+		t.Fatalf("shard.Normalize(%d,%d,%d): %v", k, r, n, err)
+	}
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		subs := shard.HoldingSubs(i, n, kk, rr, len(liveColl.Subs))
+		engine := qa.NewEngine(liveColl, index.BuildSubset(liveColl, subs))
+		cfg := NodeConfig{
+			Addr:           "127.0.0.1:0",
+			Engine:         engine,
+			HeartbeatEvery: 50 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+			Shard:          ShardConfig{K: kk, R: rr, NodeIndex: i, ClusterSize: n},
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		node, err := StartNode(cfg)
+		if err != nil {
+			t.Fatalf("start sharded node %d: %v", i, err)
+		}
+		nodes = append(nodes, node)
+		t.Cleanup(node.Close)
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				a.AddPeer(b.Addr())
+			}
+		}
+	}
+	return nodes
+}
+
+// waitForCompleteShardMap blocks until node's composed shard map has a live
+// replica for every shard.
+func waitForCompleteShardMap(t *testing.T, node *Node) {
+	t.Helper()
+	waitFor(t, "complete shard map on "+node.Addr(), 5*time.Second, func() bool {
+		return node.shardMap().Complete()
+	})
+}
+
+// TestShardedClusterServes is the end-to-end table: for several (nodes, K, R)
+// topologies the sharded scatter-gather ask must return the sequential
+// oracle's answer from every node, and the status payload must expose the
+// composed shard map.
+func TestShardedClusterServes(t *testing.T) {
+	cases := []struct{ n, k, r int }{
+		{n: 2, k: 2, r: 1},
+		{n: 3, k: 2, r: 2},
+		{n: 3, k: 4, r: 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("n%d_k%d_r%d", c.n, c.k, c.r), func(t *testing.T) {
+			nodes := startShardedCluster(t, c.n, c.k, c.r, nil)
+			for _, nd := range nodes {
+				waitForPeers(t, nd, c.n-1)
+				waitForCompleteShardMap(t, nd)
+			}
+			for i, f := range liveColl.Facts[:4] {
+				nd := nodes[i%len(nodes)]
+				resp, err := Ask(nd.Addr(), f.Question, 10*time.Second)
+				if err != nil {
+					t.Fatalf("sharded ask via %s: %v", nd.Addr(), err)
+				}
+				seq := liveEngine.AnswerSequential(f.Question)
+				if len(seq.Answers) > 0 {
+					if len(resp.Answers) == 0 {
+						t.Fatalf("no answers for %q", f.Question)
+					}
+					if !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+						t.Fatalf("sharded answer %q differs from sequential %q", resp.Answers[0].Text, seq.Answers[0].Text)
+					}
+				}
+			}
+			st, err := QueryStatus(nodes[0].Addr(), 2*time.Second)
+			if err != nil {
+				t.Fatalf("status: %v", err)
+			}
+			if st.Shard == nil {
+				t.Fatal("sharded node reported no shard status")
+			}
+			if st.Shard.K != c.k || !st.Shard.Complete {
+				t.Fatalf("shard status K=%d complete=%v, want K=%d complete", st.Shard.K, st.Shard.Complete, c.k)
+			}
+			if len(st.Shard.Shards) != c.k {
+				t.Fatalf("shard table has %d rows, want %d", len(st.Shard.Shards), c.k)
+			}
+		})
+	}
+}
+
+// TestShardedAskSurvivesReplicaDeath: with R=2 and chained declustering,
+// killing any single node leaves at least one replica per shard; asks must
+// fail over to the survivors and keep returning the oracle answer.
+func TestShardedAskSurvivesReplicaDeath(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 2, 2, func(i int, cfg *NodeConfig) {
+		cfg.Cache.Disabled = true // every ask exercises the scatter path
+	})
+	for _, nd := range nodes {
+		waitForPeers(t, nd, 2)
+		waitForCompleteShardMap(t, nd)
+	}
+	nodes[2].Close()
+	for _, f := range liveColl.Facts[:4] {
+		resp, err := Ask(nodes[0].Addr(), f.Question, 15*time.Second)
+		if err != nil {
+			t.Fatalf("ask after replica death: %v", err)
+		}
+		seq := liveEngine.AnswerSequential(f.Question)
+		if len(seq.Answers) > 0 {
+			if len(resp.Answers) == 0 {
+				t.Fatalf("no answers after replica death for %q", f.Question)
+			}
+			if !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+				t.Fatalf("failover answer %q differs from sequential %q", resp.Answers[0].Text, seq.Answers[0].Text)
+			}
+		}
+	}
+}
+
+// TestShardMapEpochLifecycle pins the epoch rules: the map composes to
+// complete once heartbeats flow (epoch bump from the fresh-tracker state),
+// node death recomposes with a bump (and an incomplete map when the dead
+// node held the only replica of a shard), and re-admission of a replacement
+// bumps again back to complete.
+func TestShardMapEpochLifecycle(t *testing.T) {
+	const n, k, r = 3, 2, 2
+	fast := func(i int, cfg *NodeConfig) {
+		cfg.Detector = DetectorConfig{SuspectAfter: 2, DeadAfter: 3}
+	}
+	nodes := startShardedCluster(t, n, k, r, fast)
+	for _, nd := range nodes {
+		waitForPeers(t, nd, n-1)
+	}
+	waitForCompleteShardMap(t, nodes[0])
+	m0 := nodes[0].shardMap()
+	if m0.Epoch < 1 {
+		t.Fatalf("composed map should have bumped the epoch: %+v", m0)
+	}
+
+	// Death: the dead peer's claims leave the composition -> epoch bump.
+	nodes[2].Close()
+	waitFor(t, "epoch bump after node death", 5*time.Second, func() bool {
+		return nodes[0].shardMap().Epoch > m0.Epoch
+	})
+	m1 := nodes[0].shardMap()
+	if !m1.Complete() {
+		// R=2 chained declustering: every shard must still have a survivor.
+		t.Fatalf("map incomplete after single death at R=2: missing %v", m1.Missing())
+	}
+
+	// Re-admission: a replacement node claiming the same shards (new address)
+	// joins via heartbeats -> another bump, map complete again.
+	subs := shard.HoldingSubs(2, n, k, r, len(liveColl.Subs))
+	engine := qa.NewEngine(liveColl, index.BuildSubset(liveColl, subs))
+	repl, err := StartNode(NodeConfig{
+		Addr:           "127.0.0.1:0",
+		Engine:         engine,
+		HeartbeatEvery: 50 * time.Millisecond,
+		Shard:          ShardConfig{K: k, R: r, NodeIndex: 2, ClusterSize: n},
+	})
+	if err != nil {
+		t.Fatalf("start replacement: %v", err)
+	}
+	t.Cleanup(repl.Close)
+	repl.AddPeer(nodes[0].Addr())
+	repl.AddPeer(nodes[1].Addr())
+	nodes[0].AddPeer(repl.Addr())
+	nodes[1].AddPeer(repl.Addr())
+	waitFor(t, "epoch bump after re-admission", 5*time.Second, func() bool {
+		m := nodes[0].shardMap()
+		return m.Epoch > m1.Epoch && m.Complete()
+	})
+}
+
+// TestShardedStaleEpochCacheRejected: answer-cache entries are scoped by the
+// shard-map epoch, so a placement change (node death) structurally invalidates
+// every answer cached under the old epoch — the next ask is a cache miss that
+// re-runs the pipeline against the new topology, not a stale hit.
+func TestShardedStaleEpochCacheRejected(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 2, 2, func(i int, cfg *NodeConfig) {
+		cfg.Detector = DetectorConfig{SuspectAfter: 2, DeadAfter: 3}
+	})
+	for _, nd := range nodes {
+		waitForPeers(t, nd, 2)
+	}
+	waitForCompleteShardMap(t, nodes[0])
+	f := liveColl.Facts[1]
+
+	// Warm the cache, then prove the hit under a stable epoch.
+	if _, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second); err != nil {
+		t.Fatalf("warm ask: %v", err)
+	}
+	resp, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+	if err != nil {
+		t.Fatalf("second ask: %v", err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("second ask under a stable epoch should hit the answer cache")
+	}
+
+	// Kill a node; once the epoch bumps, the cached entry must stop being
+	// addressable.
+	before := nodes[0].shardMap().Epoch
+	nodes[2].Close()
+	waitFor(t, "epoch bump", 5*time.Second, func() bool {
+		return nodes[0].shardMap().Epoch > before
+	})
+	resp, err = Ask(nodes[0].Addr(), f.Question, 15*time.Second)
+	if err != nil {
+		t.Fatalf("ask after epoch bump: %v", err)
+	}
+	if resp.CacheHit {
+		t.Fatal("stale-epoch answer must not be served from cache")
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no answers after epoch bump")
+	}
+	seq := liveEngine.AnswerSequential(f.Question)
+	if len(seq.Answers) > 0 && !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+		t.Fatalf("post-bump answer %q differs from sequential %q", resp.Answers[0].Text, seq.Answers[0].Text)
+	}
+}
+
+// TestShardedEstimateMatchesFullReplica: the gathered-df estimate served by a
+// sharded node equals the full-replica engine's Equation-9 prediction byte
+// for byte (exact global df correction over the wire).
+func TestShardedEstimateMatchesFullReplica(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 4, 2, nil)
+	for _, nd := range nodes {
+		waitForPeers(t, nd, 2)
+	}
+	waitForCompleteShardMap(t, nodes[0])
+	for _, f := range liveColl.Facts[:4] {
+		analysis, _ := liveEngine.QuestionProcessing(f.Question)
+		want := liveEngine.EstimateCost(analysis)
+		got, err := QueryEstimate(nodes[0].Addr(), f.Question, 10*time.Second)
+		if err != nil {
+			t.Fatalf("estimate: %v", err)
+		}
+		if *got != want {
+			t.Fatalf("sharded estimate diverges for %q:\nfull:  %+v\nshard: %+v", f.Question, want, *got)
+		}
+	}
+}
+
+// TestShardPRRejectsUnheldSub: a shard-scoped node must refuse sub-tasks for
+// sub-collections its index does not cover, never silently return partial
+// results.
+func TestShardPRRejectsUnheldSub(t *testing.T) {
+	nodes := startShardedCluster(t, 2, 2, 1, nil)
+	// Node 0 holds shard 0 only (R=1): even subs. Ask it for an odd sub.
+	_, err := roundTrip(nodes[0].Addr(), &Request{
+		Kind:     kindShardPR,
+		Shard:    1,
+		Keywords: []string{"x"},
+		Subs:     []int{1},
+	}, 5*time.Second)
+	if err == nil {
+		t.Fatal("shardPR for an unheld sub should error")
+	}
+}

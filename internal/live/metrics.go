@@ -59,6 +59,14 @@ type nodeMetrics struct {
 	cachePRHits       *obs.Counter // live_qcache_pr_hits
 	cachePRMisses     *obs.Counter // live_qcache_pr_misses
 
+	// Sharding instrumentation (PR-5): scatter-gather sub-tasks, replica
+	// failovers and the node's current shard-map epoch.
+	shardPRSent    *obs.Counter // live_shard_subtasks_total{kind="pr",direction="sent"}
+	shardPRRecv    *obs.Counter // live_shard_subtasks_total{kind="pr",direction="received"}
+	shardDFRecv    *obs.Counter // live_shard_subtasks_total{kind="df",direction="received"}
+	shardFailovers *obs.Counter // live_shard_failovers_total
+	shardEpoch     *obs.Gauge   // live_shard_epoch
+
 	active     *obs.Gauge // live_questions_active
 	queueDepth *obs.Gauge // live_admission_queue_depth
 	peers      *obs.Gauge // live_peers (refreshed at scrape time)
@@ -83,8 +91,8 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	m.failPR = reg.Counter("live_request_failures_total", obs.Labels{"op": "pr"})
 	m.failAP = reg.Counter("live_request_failures_total", obs.Labels{"op": "ap"})
 	m.failHB = reg.Counter("live_request_failures_total", obs.Labels{"op": "heartbeat"})
-	m.retryByOp = make(map[string]*obs.Counter, 5)
-	for _, op := range []string{fault.OpHeartbeat, fault.OpForward, fault.OpPR, fault.OpAP, fault.OpStatus} {
+	m.retryByOp = make(map[string]*obs.Counter, 6)
+	for _, op := range []string{fault.OpHeartbeat, fault.OpForward, fault.OpPR, fault.OpAP, fault.OpStatus, fault.OpShardPR} {
 		m.retryByOp[op] = reg.Counter("live_retries_total", obs.Labels{"op": op})
 	}
 	m.breakerTrips = reg.Counter("live_breaker_trips_total", nil)
@@ -100,6 +108,11 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	m.cacheAnsCoalesced = reg.Counter("live_qcache_answer_coalesced", nil)
 	m.cachePRHits = reg.Counter("live_qcache_pr_hits", nil)
 	m.cachePRMisses = reg.Counter("live_qcache_pr_misses", nil)
+	m.shardPRSent = reg.Counter("live_shard_subtasks_total", obs.Labels{"kind": "pr", "direction": "sent"})
+	m.shardPRRecv = reg.Counter("live_shard_subtasks_total", obs.Labels{"kind": "pr", "direction": "received"})
+	m.shardDFRecv = reg.Counter("live_shard_subtasks_total", obs.Labels{"kind": "df", "direction": "received"})
+	m.shardFailovers = reg.Counter("live_shard_failovers_total", nil)
+	m.shardEpoch = reg.Gauge("live_shard_epoch", nil)
 	m.active = reg.Gauge("live_questions_active", nil)
 	m.queueDepth = reg.Gauge("live_admission_queue_depth", nil)
 	m.peers = reg.Gauge("live_peers", nil)
@@ -243,5 +256,11 @@ func (n *Node) statusMetrics() StatusMetrics {
 		AnswerCacheCoalesced: n.nm.cacheAnsCoalesced.Value(),
 		PRCacheHits:          n.nm.cachePRHits.Value(),
 		PRCacheMisses:        n.nm.cachePRMisses.Value(),
+
+		ShardPRSent:     n.nm.shardPRSent.Value(),
+		ShardPRReceived: n.nm.shardPRRecv.Value(),
+		ShardDFReceived: n.nm.shardDFRecv.Value(),
+		ShardFailovers:  n.nm.shardFailovers.Value(),
+		ShardEpoch:      n.nm.shardEpoch.Value(),
 	}
 }

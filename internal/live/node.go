@@ -19,6 +19,7 @@ import (
 	"distqa/internal/obs"
 	"distqa/internal/qa"
 	"distqa/internal/qcache"
+	"distqa/internal/shard"
 	"distqa/internal/wire"
 )
 
@@ -66,6 +67,10 @@ type NodeConfig struct {
 	// enables both with defaults; Cache.Disabled turns caching off (chaos
 	// runs, cold-path benchmarks).
 	Cache CacheConfig
+	// Shard configures collection sharding (PR-5): K shards, R replicas,
+	// chained-declustering placement by NodeIndex/ClusterSize. The zero
+	// value keeps the node on a full collection replica.
+	Shard ShardConfig
 }
 
 // Node is a running live Q/A node.
@@ -103,6 +108,15 @@ type Node struct {
 	retry       *retrier
 	retryPolicy RetryPolicy
 
+	// Sharding state (PR-5). shardTracker == nil means the node serves a
+	// full collection replica (every pre-sharding behaviour intact).
+	// holdings/holdSubs are immutable after StartNode and safe to share.
+	shardK       int
+	shardR       int
+	holdings     []int // shard ids this node's index covers
+	holdSubs     []int // sub-collections this node's index covers
+	shardTracker *shard.Tracker
+
 	mu         sync.Mutex
 	peers      map[string]LoadReport
 	knownPeers map[string]bool
@@ -134,12 +148,56 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		cfg.RequestTimeout = 30 * time.Second
 	}
 	engine := cfg.Engine
+	var (
+		shardK, shardR     int
+		holdings, holdSubs []int
+		tracker            *shard.Tracker
+	)
 	if engine == nil {
 		coll := corpus.Generate(cfg.Corpus)
-		engine = qa.NewEngine(coll, index.BuildAll(coll))
+		if cfg.Shard.enabled() {
+			// Text replicated, index sharded: the full collection text is
+			// regenerated everywhere (AP and paragraph-reference resolution
+			// need it), but the index — the memory-dominant structure — is
+			// built only for the sub-collections chained declustering places
+			// on this node.
+			k, r, err := shard.Normalize(cfg.Shard.K, maxInt(cfg.Shard.R, 1), cfg.Shard.ClusterSize, len(coll.Subs))
+			if err != nil {
+				return nil, fmt.Errorf("live: shard config: %w", err)
+			}
+			if cfg.Shard.NodeIndex < 0 || cfg.Shard.NodeIndex >= cfg.Shard.ClusterSize {
+				return nil, fmt.Errorf("live: shard config: node index %d outside cluster of %d", cfg.Shard.NodeIndex, cfg.Shard.ClusterSize)
+			}
+			shardK, shardR = k, r
+			holdings = shard.Holdings(cfg.Shard.NodeIndex, cfg.Shard.ClusterSize, k, r)
+			holdSubs = shard.HoldingSubs(cfg.Shard.NodeIndex, cfg.Shard.ClusterSize, k, r, len(coll.Subs))
+			engine = qa.NewEngine(coll, index.BuildSubset(coll, holdSubs))
+			tracker = shard.NewTracker(k)
+		} else {
+			engine = qa.NewEngine(coll, index.BuildAll(coll))
+		}
 		// A live node owns its replica and serves real traffic: exploit the
 		// host's cores for PR/PS fan-out (byte-identical results either way).
 		engine.Workers = runtime.GOMAXPROCS(0)
+	} else if cfg.Shard.enabled() {
+		// Supplied engine (tests, demos sharing one collection in-process):
+		// derive this node's holdings from the engine's shard-scoped index.
+		k, r, err := shard.Normalize(cfg.Shard.K, maxInt(cfg.Shard.R, 1), maxInt(cfg.Shard.ClusterSize, 1), len(engine.Coll.Subs))
+		if err != nil {
+			return nil, fmt.Errorf("live: shard config: %w", err)
+		}
+		shardK, shardR = k, r
+		seen := make(map[int]bool, k)
+		for _, sub := range engine.Set.Globals() {
+			s := shard.OfSub(sub, k)
+			if !seen[s] {
+				seen[s] = true
+				holdings = append(holdings, s)
+			}
+		}
+		sort.Ints(holdings)
+		holdSubs = engine.Set.Globals()
+		tracker = shard.NewTracker(k)
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -162,15 +220,20 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 			// twice because the mux fallback uses the injector-free p.call.
 			Injector: cfg.Fault,
 		}),
-		detector:    newDetector(cfg.Detector, cfg.HeartbeatEvery),
-		breakers:    newBreakerSet(cfg.Breaker),
-		retry:       newRetrier(cfg.Seed),
-		retryPolicy: cfg.Retry.withDefaults(cfg.RequestTimeout),
-		peers:       make(map[string]LoadReport),
-		knownPeers:  make(map[string]bool),
-		conns:       make(map[net.Conn]struct{}),
-		admit:       make(chan struct{}, cfg.MaxConcurrent),
-		done:        make(chan struct{}),
+		detector:     newDetector(cfg.Detector, cfg.HeartbeatEvery),
+		breakers:     newBreakerSet(cfg.Breaker),
+		retry:        newRetrier(cfg.Seed),
+		retryPolicy:  cfg.Retry.withDefaults(cfg.RequestTimeout),
+		shardK:       shardK,
+		shardR:       shardR,
+		holdings:     holdings,
+		holdSubs:     holdSubs,
+		shardTracker: tracker,
+		peers:        make(map[string]LoadReport),
+		knownPeers:   make(map[string]bool),
+		conns:        make(map[net.Conn]struct{}),
+		admit:        make(chan struct{}, cfg.MaxConcurrent),
+		done:         make(chan struct{}),
 	}
 	muxCfg := cfg.Mux
 	muxCfg.Registry = reg
@@ -318,7 +381,10 @@ func (n *Node) loadReport() LoadReport {
 		Questions: n.questions,
 		Queued:    n.queued,
 		APTasks:   n.apTasks,
-		Sent:      time.Now(),
+		// The shard claim rides every heartbeat (the load-monitor channel is
+		// the shard map's transport). holdings is immutable, safe to share.
+		Shards: n.holdings,
+		Sent:   time.Now(),
 	}
 }
 
@@ -534,7 +600,11 @@ func (n *Node) dispatch(req *Request) *Response {
 	case kindHeartbeat:
 		n.nm.hbRecv.Inc()
 		n.mu.Lock()
-		n.peers[req.Load.Addr] = req.Load
+		stored := req.Load
+		// The decoded Shards slice may be the mux read loop's scratch buffer
+		// (reused next frame); intern a stable copy before retaining it.
+		stored.Shards = internShards(n.peers[req.Load.Addr].Shards, req.Load.Shards)
+		n.peers[req.Load.Addr] = stored
 		// Heartbeats double as dynamic peer discovery (Section 3.1), so a
 		// restarted peer re-joins the mesh without reconfiguration.
 		n.knownPeers[req.Load.Addr] = true
@@ -551,6 +621,12 @@ func (n *Node) dispatch(req *Request) *Response {
 		return n.handlePRSubtask(req)
 	case kindAPSubtask:
 		return n.handleAPSubtask(req)
+	case kindShardPR:
+		return n.handleShardPR(req)
+	case kindShardDF:
+		return n.handleShardDF(req)
+	case kindEstimate:
+		return n.handleEstimate(req)
 	case kindAsk:
 		return n.handleAsk(req)
 	default:
@@ -573,6 +649,7 @@ func (n *Node) handleStatus() *Response {
 		Metrics:    n.statusMetrics(),
 		PeerHealth: n.PeerHealthSnapshot(),
 		Mux:        n.mux.Snapshot(),
+		Shard:      n.shardStatus(),
 	}}
 }
 
@@ -607,8 +684,8 @@ func (n *Node) handlePRSubtask(req *Request) *Response {
 	}
 	var refs []ParaRef
 	for _, sub := range req.Subs {
-		if sub < 0 || sub >= n.engine.Set.Len() {
-			return &Response{Err: fmt.Sprintf("sub-collection %d out of range", sub)}
+		if !n.engine.Set.Has(sub) {
+			return &Response{Err: fmt.Sprintf("sub-collection %d not held here", sub)}
 		}
 		rs, _ := n.engine.RetrieveSub(analysis, sub)
 		scored, _ := n.engine.ScoreParagraphs(analysis, rs)

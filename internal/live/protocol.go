@@ -98,6 +98,9 @@ const (
 	kindHeartbeat = "heartbeat" // load exchange
 	kindStatus    = "status"    // operator status query
 	kindMetrics   = "metrics"   // operator metrics scrape (Prometheus text)
+	kindShardPR   = "shardPR"   // shard-scoped paragraph retrieval + scoring
+	kindShardDF   = "shardDF"   // shard document-frequency gather (df correction)
+	kindEstimate  = "estimate"  // operator cost-prediction query (gob-embedded)
 )
 
 // Request is the single request envelope.
@@ -115,11 +118,22 @@ type Request struct {
 	// PRSubtask
 	Keywords []string
 	Subs     []int
+	// ShardPR / ShardDF: shard-scoped sub-tasks carry the shard they target
+	// and the requester's shard-map epoch (diagnostics: a replica serving a
+	// different epoch is a sign of a stale map, surfaced in spans).
+	Shard int
+	Epoch int64
 	// APSubtask
 	AnswerType int
 	ParaRefs   []ParaRef
 	// Heartbeat
 	Load LoadReport
+}
+
+// ShardPRRequest builds a shard-scoped paragraph-retrieval request — the unit
+// of sharded scatter-gather fan-out. Exported for the perf suite.
+func ShardPRRequest(shard int, epoch int64, keywords []string, subs []int) *Request {
+	return &Request{Kind: kindShardPR, Shard: shard, Epoch: epoch, Keywords: keywords, Subs: subs}
 }
 
 // PRSubtaskRequest builds a paragraph-retrieval sub-task request — the unit
@@ -150,17 +164,37 @@ type LoadReport struct {
 	Questions int // questions currently executing
 	Queued    int // questions waiting for admission
 	APTasks   int // remote AP sub-tasks executing
-	Sent      time.Time
+	// Shards are the shard ids whose index this node holds a replica of —
+	// the shard map travels on the existing load-monitor channel (no extra
+	// protocol round). Empty on unsharded nodes.
+	Shards []int
+	Sent   time.Time
+}
+
+// ShardDF is one sub-collection's per-keyword document frequencies, returned
+// by shardDF requests so the coordinator can apply the exact global df
+// correction (qa.EstimateCostFromDF) across shard-scoped replicas.
+type ShardDF struct {
+	Sub int
+	DF  []int64
 }
 
 // Response is the single response envelope.
 type Response struct {
 	Err     string
 	Answers []qa.Answer
-	// PRSubtask result.
+	// PRSubtask / ShardPR result.
 	ParaRefs []ParaRef
+	// ShardDF result: per-sub document frequencies for the requested subs.
+	DFs []ShardDF
+	// Epoch echoes the serving node's shard-map epoch on shard-scoped
+	// responses (stale-map diagnostics).
+	Epoch int64
 	// Status result.
 	Status *Status
+	// Estimate is the cost-prediction result (kindEstimate, qactl -estimate).
+	// Like Status it is a cold operator payload and travels gob-embedded.
+	Estimate *qa.CostEstimate
 	// Metrics result: Prometheus-style text exposition of the node's
 	// registry (kindMetrics).
 	MetricsText string
@@ -198,6 +232,29 @@ type Status struct {
 	// Mux lists the node's outbound multiplexed connections, one row per
 	// peer (in-flight depth and lifetime calls) — rendered by `qactl -status`.
 	Mux []MuxPeerStatus
+	// Shard is the node's shard-map view (nil when the node runs with a full
+	// collection replica) — rendered by `qactl -status`.
+	Shard *ShardStatus
+}
+
+// ShardStatus is a node's view of the cluster shard map (Status.Shard).
+type ShardStatus struct {
+	K           int   // shard count
+	R           int   // configured replica factor
+	Epoch       int64 // shard-map epoch (bumps on placement change)
+	Complete    bool  // every shard has at least one live replica
+	Holdings    []int // shard ids this node holds
+	HoldingSubs []int // sub-collections this node's index covers
+	// Shards is the composed map: one row per shard with the live replica
+	// addresses (self included as its own address).
+	Shards []ShardReplicaRow
+}
+
+// ShardReplicaRow is one shard's row in ShardStatus.Shards.
+type ShardReplicaRow struct {
+	Shard    int
+	Subs     []int
+	Replicas []string
 }
 
 // MuxPeerStatus is one peer's row in Status.Mux: the state of this node's
@@ -250,6 +307,13 @@ type StatusMetrics struct {
 	AnswerCacheCoalesced int64
 	PRCacheHits          int64
 	PRCacheMisses        int64
+	// Sharding counters (live_shard_* metrics, PR-5): scatter-gather
+	// sub-tasks, replica failovers and the current shard-map epoch.
+	ShardPRSent     int64
+	ShardPRReceived int64
+	ShardDFReceived int64
+	ShardFailovers  int64
+	ShardEpoch      int64
 }
 
 // roundTrip sends one request and decodes one response over a fresh

@@ -101,6 +101,10 @@ func opOfKind(kind string) string {
 		return fault.OpAP
 	case kindAsk:
 		return fault.OpForward
+	case kindShardPR:
+		return fault.OpShardPR
+	case kindShardDF:
+		return fault.OpShardDF
 	case kindStatus, kindMetrics:
 		return fault.OpStatus
 	default:

@@ -1,0 +1,410 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"distqa/internal/index"
+	"distqa/internal/nlp"
+	"distqa/internal/obs"
+	"distqa/internal/qa"
+	"distqa/internal/sched"
+	"distqa/internal/shard"
+)
+
+// ShardConfig configures collection sharding on a live node (PR-5). The zero
+// value keeps the node on a full collection replica — the pre-sharding
+// behaviour. When K > 0 the node's *index* covers only the sub-collections of
+// the shards chained declustering places here (replica j of shard s on node
+// (s+j) mod ClusterSize); the collection *text* stays fully replicated, so
+// answer processing and paragraph-reference resolution still work everywhere.
+type ShardConfig struct {
+	// K is the shard count (0 = unsharded full replica).
+	K int
+	// R is the replica factor (default 1; clamped to ClusterSize).
+	R int
+	// NodeIndex is this node's position in the cluster layout, 0-based.
+	NodeIndex int
+	// ClusterSize is the number of nodes in the layout.
+	ClusterSize int
+}
+
+func (c ShardConfig) enabled() bool { return c.K > 0 }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sharded reports whether this node runs a shard-scoped index.
+func (n *Node) sharded() bool { return n.shardTracker != nil }
+
+// totalSubs is the collection's sub-collection count (shards partition subs).
+func (n *Node) totalSubs() int { return len(n.engine.Coll.Subs) }
+
+// currentEpoch returns the node's shard-map epoch without recomposition
+// (0 on unsharded nodes).
+func (n *Node) currentEpoch() int64 {
+	if n.shardTracker == nil {
+		return 0
+	}
+	return n.shardTracker.Current().Epoch
+}
+
+// composeShardClaims gathers the cluster's shard claims as this node sees
+// them: its own holdings plus the latest heartbeat claim of every dispatch
+// candidate (detector-alive, breaker-admitting). A peer that stops
+// heartbeating drops out of the claims, which is exactly how its replicas
+// leave the shard map.
+func (n *Node) composeShardClaims() map[string][]int {
+	claims := map[string][]int{n.Addr(): n.holdings}
+	for _, p := range n.candidatePeers() {
+		if len(p.Shards) > 0 {
+			claims[p.Addr] = p.Shards
+		}
+	}
+	return claims
+}
+
+// shardMap recomposes the node's shard-map view from current claims. The
+// tracker bumps the epoch iff the composed placement differs from the last
+// composition (node death and re-admission both bump); the epoch gauge
+// follows. The map rides the existing heartbeat channel — no extra protocol
+// round exists for shard discovery.
+func (n *Node) shardMap() shard.Map {
+	m := n.shardTracker.Update(n.composeShardClaims())
+	n.nm.shardEpoch.Set(m.Epoch)
+	return m
+}
+
+// rankReplicas orders a shard's replica addresses for selection: ascending
+// Table-3 PR load (Equation 2/5 — the same load function the simulator's PR
+// dispatcher uses), TieBand rotation by salt among near-minimal replicas so
+// decisions within one stale broadcast interval don't herd, deterministic
+// order outside the band. The first address is the preferred replica, the
+// rest are the failover order. Load comes from the same heartbeat reports
+// the load monitors keep — replica selection reuses them, it does not probe.
+func (n *Node) rankReplicas(holders []string, salt int) []string {
+	if len(holders) <= 1 {
+		return holders
+	}
+	self := n.Addr()
+	reports := make(map[string]LoadReport, len(holders))
+	n.mu.Lock()
+	for _, a := range holders {
+		if a != self {
+			reports[a] = n.peers[a]
+		}
+	}
+	n.mu.Unlock()
+	loads := make([]sched.LoadInfo, len(holders))
+	for i, a := range holders {
+		r := reports[a]
+		if a == self {
+			r = n.loadReport()
+		}
+		loads[i] = sched.LoadInfo{
+			Node: i,
+			// The live proxy for the Table-3 resources: executing questions
+			// and AP sub-tasks burn CPU; executing questions also drive the
+			// disk (their PR phase); the admission queue is committed load.
+			CPU:   float64(r.Questions + r.APTasks),
+			Disk:  float64(r.Questions),
+			Queue: float64(r.Queued),
+		}
+	}
+	order := sched.OrderByLoad(loads, sched.PRWeights, salt)
+	out := make([]string, len(order))
+	for i, j := range order {
+		out[i] = holders[j]
+	}
+	return out
+}
+
+// shardStatus composes the operator view of the shard map (Status.Shard),
+// nil on unsharded nodes.
+func (n *Node) shardStatus() *ShardStatus {
+	if !n.sharded() {
+		return nil
+	}
+	m := n.shardMap()
+	rows := make([]ShardReplicaRow, m.K)
+	for s := 0; s < m.K; s++ {
+		rows[s] = ShardReplicaRow{
+			Shard:    s,
+			Subs:     shard.SubsOf(s, m.K, n.totalSubs()),
+			Replicas: m.Replicas[s],
+		}
+	}
+	return &ShardStatus{
+		K:           m.K,
+		R:           n.shardR,
+		Epoch:       m.Epoch,
+		Complete:    m.Complete(),
+		Holdings:    n.holdings,
+		HoldingSubs: n.holdSubs,
+		Shards:      rows,
+	}
+}
+
+// scatterPR is the sharded serving path's PR phase: one sub-task per shard,
+// sent to the replica the PR load function prefers (rankReplicas), with
+// failover to every surviving replica in ranked order. Shards this node
+// holds itself run locally when ranked first (through the same PR partial
+// cache as the unsharded path). A shard whose replicas all fail — or that
+// has no live replica at all — is a hard error: a silently partial answer
+// would violate the byte-identity contract (see
+// TestShardedNoSurvivingReplica and the live harness failover tests).
+//
+// Concatenation order across shards is irrelevant for the final answer:
+// qa.OrderParagraphs imposes a strict total order (score desc, paragraph id
+// asc), so the merged paragraph ranking — and therefore every downstream
+// byte — is permutation-insensitive.
+func (n *Node) scatterPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext, budget time.Time, salt int) ([]qa.ScoredParagraph, error) {
+	m := n.shardMap()
+	total := n.totalSubs()
+
+	local := func(subs []int) []qa.ScoredParagraph {
+		key := prCacheKey(analysis.Keywords, subs)
+		if v, ok := n.prCache.Get(key); ok {
+			n.nm.cachePRHits.Inc()
+			n.spans.StartSpan("cache:pr", "", parent).End()
+			cached := v.([]qa.ScoredParagraph)
+			return append([]qa.ScoredParagraph(nil), cached...)
+		}
+		if n.prCache != nil {
+			n.nm.cachePRMisses.Inc()
+		}
+		prSpan := n.spans.StartSpan("stage:PR", obs.StagePR, parent)
+		var rs []index.Retrieved
+		for _, sub := range subs {
+			r, _ := n.engine.RetrieveSub(analysis, sub)
+			rs = append(rs, r...)
+		}
+		prSpan.End()
+		psSpan := n.spans.StartSpan("stage:PS", obs.StagePS, parent)
+		sc, _ := n.engine.ScoreParagraphs(analysis, rs)
+		psSpan.End()
+		n.prCache.Put(key, append([]qa.ScoredParagraph(nil), sc...))
+		return sc
+	}
+
+	self := n.Addr()
+	results := make([][]qa.ScoredParagraph, m.K)
+	errs := make([]error, m.K)
+	var wg sync.WaitGroup
+	for s := 0; s < m.K; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			holders := m.Replicas[s]
+			if len(holders) == 0 {
+				errs[s] = fmt.Errorf("live: no live replica for shard %d (epoch %d)", s, m.Epoch)
+				return
+			}
+			subs := shard.SubsOf(s, m.K, total)
+			// Salt by shard as well as question id so one question's shards
+			// spread across tied replicas instead of herding onto one node.
+			for _, addr := range n.rankReplicas(holders, salt+s) {
+				if addr == self {
+					results[s] = local(subs)
+					return
+				}
+				n.nm.shardPRSent.Inc()
+				resp, err := n.callPeer(addr, &Request{
+					Kind:     kindShardPR,
+					Span:     parent,
+					Shard:    s,
+					Epoch:    m.Epoch,
+					Keywords: analysis.Keywords,
+					Subs:     subs,
+				}, budget, 0)
+				if err == nil {
+					paras, rerr := n.resolveRefs(resp.ParaRefs)
+					if rerr == nil {
+						for _, sp := range resp.Spans {
+							n.spans.Record(sp)
+						}
+						results[s] = paras
+						return
+					}
+					err = rerr
+					n.recordFailure(opOfKind(kindShardPR), addr, rerr)
+				}
+				// Failover: blame the replica, mark the trace, try the next
+				// survivor in ranked order.
+				n.nm.failPR.Inc()
+				n.nm.shardFailovers.Inc()
+				n.spans.StartSpan("recover:shardpr peer="+addr, "", parent).End()
+				errs[s] = fmt.Errorf("live: shard %d replica %s: %w", s, addr, err)
+			}
+			if results[s] == nil && errs[s] == nil {
+				errs[s] = fmt.Errorf("live: no surviving replica for shard %d", s)
+			}
+		}()
+	}
+	wg.Wait()
+	var all []qa.ScoredParagraph
+	for s := 0; s < m.K; s++ {
+		if errs[s] != nil && results[s] == nil {
+			return nil, fmt.Errorf("no surviving replica: %w", errs[s])
+		}
+		all = append(all, results[s]...)
+	}
+	return all, nil
+}
+
+// handleShardPR serves one shard-scoped paragraph-retrieval sub-task:
+// retrieval plus scoring over the requested sub-collections, which must be
+// covered by this node's shard-scoped index. It shares the PR partial cache
+// with the unsharded sub-task path — the refs are a pure function of
+// (keywords, subs) over the immutable collection, independent of placement,
+// so the cache needs no epoch scoping (unlike the answer cache, whose
+// entries embed fan-out metadata).
+func (n *Node) handleShardPR(req *Request) *Response {
+	n.nm.shardPRRecv.Inc()
+	for _, sub := range req.Subs {
+		if !n.engine.Set.Has(sub) {
+			return &Response{Err: fmt.Sprintf("shard %d: sub-collection %d not held here", req.Shard, sub)}
+		}
+	}
+	span := n.spans.StartSpan("shardpr-subtask", obs.StagePR, req.Span)
+	analysis := nlp.QuestionAnalysis{Keywords: req.Keywords}
+	key := prCacheKey(req.Keywords, req.Subs)
+	epoch := n.currentEpoch()
+	if v, ok := n.prCache.Get(key); ok {
+		n.nm.cachePRHits.Inc()
+		return &Response{ParaRefs: v.([]ParaRef), Epoch: epoch, Spans: []obs.Span{span.End()}}
+	}
+	if n.prCache != nil {
+		n.nm.cachePRMisses.Inc()
+	}
+	var refs []ParaRef
+	for _, sub := range req.Subs {
+		rs, _ := n.engine.RetrieveSub(analysis, sub)
+		scored, _ := n.engine.ScoreParagraphs(analysis, rs)
+		for _, sp := range scored {
+			refs = append(refs, ParaRef{ID: sp.Para.ID, Matched: sp.Matched, Score: sp.Score})
+		}
+	}
+	n.prCache.Put(key, refs)
+	return &Response{ParaRefs: refs, Epoch: epoch, Spans: []obs.Span{span.End()}}
+}
+
+// handleShardDF serves a shard document-frequency gather: the per-keyword,
+// per-sub document frequencies of the requested subs, for the coordinator's
+// exact global df correction (qa.EstimateCostFromDF).
+func (n *Node) handleShardDF(req *Request) *Response {
+	n.nm.shardDFRecv.Inc()
+	for _, sub := range req.Subs {
+		if !n.engine.Set.Has(sub) {
+			return &Response{Err: fmt.Sprintf("df gather: sub-collection %d not held here", sub)}
+		}
+	}
+	want := make(map[int]bool, len(req.Subs))
+	for _, s := range req.Subs {
+		want[s] = true
+	}
+	out := make([]ShardDF, 0, len(req.Subs))
+	for _, d := range n.engine.LocalDF(req.Keywords) {
+		if want[d.Sub] {
+			out = append(out, ShardDF{Sub: d.Sub, DF: d.DF})
+		}
+	}
+	return &Response{DFs: out, Epoch: n.currentEpoch()}
+}
+
+// handleEstimate serves a cost-prediction query (`qactl -estimate`). On a
+// full replica it is Equation-9 prediction straight off the local index; on
+// a sharded node the per-sub document frequencies are gathered from one live
+// replica per shard (self-held shards answer from the local index) and
+// folded with the exact global df correction — the minimum per-sub df per
+// keyword, folded in ascending sub order, exactly as the full-replica
+// EstimateCost does, so the sharded estimate is byte-identical.
+func (n *Node) handleEstimate(req *Request) *Response {
+	analysis, _ := n.engine.QuestionProcessing(req.Question)
+	if !n.sharded() {
+		est := n.engine.EstimateCost(analysis)
+		return &Response{Estimate: &est, ServedBy: n.Addr()}
+	}
+	m := n.shardMap()
+	total := n.totalSubs()
+	budget := time.Now().Add(n.retryPolicy.Budget)
+	self := n.Addr()
+	var dfs []qa.SubDF
+	localDF := n.engine.LocalDF(analysis.Keywords)
+	localBySub := make(map[int]qa.SubDF, len(localDF))
+	for _, d := range localDF {
+		localBySub[d.Sub] = d
+	}
+	for s := 0; s < m.K; s++ {
+		holders := m.Replicas[s]
+		if len(holders) == 0 {
+			return &Response{Err: fmt.Sprintf("no live replica for shard %d (epoch %d)", s, m.Epoch)}
+		}
+		subs := shard.SubsOf(s, m.K, total)
+		got := false
+		for _, addr := range n.rankReplicas(holders, s) {
+			if addr == self {
+				for _, sub := range subs {
+					dfs = append(dfs, localBySub[sub])
+				}
+				got = true
+				break
+			}
+			resp, err := n.callPeer(addr, &Request{
+				Kind:     kindShardDF,
+				Keywords: analysis.Keywords,
+				Subs:     subs,
+			}, budget, 0)
+			if err != nil {
+				n.nm.shardFailovers.Inc()
+				continue
+			}
+			for _, d := range resp.DFs {
+				dfs = append(dfs, qa.SubDF{Sub: d.Sub, DF: d.DF})
+			}
+			got = true
+			break
+		}
+		if !got {
+			return &Response{Err: fmt.Sprintf("no surviving replica for shard %d df gather", s)}
+		}
+	}
+	// Exact global correction requires the full-replica fold order:
+	// ascending sub.
+	sort.Slice(dfs, func(i, j int) bool { return dfs[i].Sub < dfs[j].Sub })
+	est := n.engine.EstimateCostFromDF(analysis, dfs)
+	return &Response{Estimate: &est, ServedBy: n.Addr()}
+}
+
+// internShards returns a stable slice for storing a decoded heartbeat shard
+// claim. The mux server decodes heartbeats into a per-connection scratch
+// Request whose Shards slice is reused across frames — unlike the interned
+// Addr string it is mutable, so the node must never retain it. Steady-state
+// heartbeats repeat the same claim every beat, so the previously stored
+// slice is reused when the contents match, keeping the store allocation-free
+// too (see TestWireCodecAllocBudget).
+func internShards(prev, cur []int) []int {
+	if len(cur) == 0 {
+		return nil
+	}
+	if len(prev) == len(cur) {
+		same := true
+		for i := range cur {
+			if prev[i] != cur[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return prev
+		}
+	}
+	return append([]int(nil), cur...)
+}

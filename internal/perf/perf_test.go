@@ -61,14 +61,15 @@ func TestSuiteSmoke(t *testing.T) {
 		"codec_gob_roundtrip", "codec_wire_roundtrip",
 		"pool_rpc_16", "mux_rpc_16",
 		"ask_cold", "ask_cached",
+		"ask_full_replica", "ask_sharded",
 	}
 	for _, name := range want {
 		if _, ok := report.find(name); !ok {
 			t.Fatalf("suite report missing benchmark %q", name)
 		}
 	}
-	if len(report.Comparisons) != 7 {
-		t.Fatalf("comparisons = %d, want 7", len(report.Comparisons))
+	if len(report.Comparisons) != 8 {
+		t.Fatalf("comparisons = %d, want 8", len(report.Comparisons))
 	}
 	for _, c := range report.Comparisons {
 		if c.Speedup <= 0 {

@@ -13,6 +13,7 @@ import (
 	"distqa/internal/live"
 	"distqa/internal/nlp"
 	"distqa/internal/qa"
+	"distqa/internal/shard"
 )
 
 // SuiteConfig tunes the standard suite.
@@ -261,6 +262,75 @@ func RunSuite(cfg SuiteConfig) (*Report, error) {
 		}
 	})
 
+	// --- Sharded scatter-gather vs full replica: a two-node K=2/R=1 cluster
+	// serves every ask over the scatter path (half the index local, half one
+	// RPC away), measured against a single full-replica node. Caches are
+	// disabled on both sides so every op prices the pipeline plus — on the
+	// sharded side — the wire fan-out: the cost of halving per-node index
+	// memory, which the floor bounds rather than celebrates.
+	cfg.logf("starting sharded pair for the scatter-gather benchmarks...\n")
+	fullNode, err := live.StartNode(live.NodeConfig{
+		Addr:           "127.0.0.1:0",
+		Engine:         seq,
+		HeartbeatEvery: time.Hour,
+		RequestTimeout: 10 * time.Second,
+		Cache:          live.CacheConfig{Disabled: true},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("perf: start full-replica node: %w", err)
+	}
+	defer fullNode.Close()
+	shardNodes := make([]*live.Node, 2)
+	for i := range shardNodes {
+		subs := shard.HoldingSubs(i, 2, 2, 1, len(coll.Subs))
+		n, err := live.StartNode(live.NodeConfig{
+			Addr:   "127.0.0.1:0",
+			Engine: qa.NewEngine(coll, index.BuildSubset(coll, subs)),
+			// The shard map rides heartbeats, so they cannot be fully quiet;
+			// 100ms keeps map composition prompt while leaving the mux mostly
+			// free for the scatter fan-out under measurement.
+			HeartbeatEvery: 100 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+			Cache:          live.CacheConfig{Disabled: true},
+			Shard:          live.ShardConfig{K: 2, R: 1, NodeIndex: i, ClusterSize: 2},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("perf: start sharded node %d: %w", i, err)
+		}
+		defer n.Close()
+		shardNodes[i] = n
+	}
+	shardNodes[0].AddPeer(shardNodes[1].Addr())
+	shardNodes[1].AddPeer(shardNodes[0].Addr())
+	mapDeadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := live.QueryStatus(shardNodes[0].Addr(), 2*time.Second)
+		if err == nil && st.Shard != nil && st.Shard.Complete {
+			break
+		}
+		if time.Now().After(mapDeadline) {
+			return nil, fmt.Errorf("perf: sharded pair never composed a complete shard map")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	askVia := func(addr string) func() {
+		j := 0
+		return func() {
+			resp, err := pool.Call(addr, live.AskRequest(questions[j%len(questions)]), 10*time.Second)
+			if err != nil {
+				panic(fmt.Sprintf("ask via %s: %v", addr, err))
+			}
+			if resp.Err != "" {
+				panic(fmt.Sprintf("ask via %s: %s", addr, resp.Err))
+			}
+			j++
+		}
+	}
+	cfg.logf("bench ask_full_replica...\n")
+	r.Run("ask_full_replica", cfg.Budget, askVia(fullNode.Addr()))
+	cfg.logf("bench ask_sharded...\n")
+	r.Run("ask_sharded", cfg.Budget, askVia(shardNodes[0].Addr()))
+
 	for _, c := range []struct{ name, base, cand string }{
 		{"rpc: pooled vs one-shot", "rpc_oneshot", "rpc_pooled"},
 		{"retrieval: memo vs cold", "retrieve_uncached", "retrieve_cached"},
@@ -269,6 +339,7 @@ func RunSuite(cfg SuiteConfig) (*Report, error) {
 		{"codec: wire vs gob", "codec_gob_roundtrip", "codec_wire_roundtrip"},
 		{"rpc16: mux vs pool", "pool_rpc_16", "mux_rpc_16"},
 		{"ask: cached vs cold", "ask_cold", "ask_cached"},
+		{"ask: sharded vs full replica", "ask_full_replica", "ask_sharded"},
 	} {
 		if err := r.Compare(c.name, c.base, c.cand); err != nil {
 			return nil, err

@@ -153,7 +153,7 @@ func (e *Engine) RetrieveAll(a nlp.QuestionAnalysis) ([]index.Retrieved, Cost) {
 	}
 	var out []index.Retrieved
 	var cost Cost
-	for sub := 0; sub < e.Set.Len(); sub++ {
+	for _, sub := range e.Set.Globals() {
 		rs, c := e.RetrieveSub(a, sub)
 		out = append(out, rs...)
 		cost = cost.Add(c)
@@ -182,6 +182,22 @@ func (e *Engine) ScoreParagraphs(a nlp.QuestionAnalysis, rs []index.Retrieved) (
 		cost.CPUSeconds += e.Cost.PSPerParagraphCPU + e.Cost.PSPerTokenCPU*float64(len(r.Para.Tokens))
 	}
 	return out, cost
+}
+
+// ScoreCost reconstructs the Paragraph Scoring cost of scoring the given
+// paragraphs in order, without scoring them. This is the sharded
+// scatter-gather coordinator's exact cost reconstruction: replicas score
+// paragraphs where the index lives, and the coordinator refolds the
+// per-paragraph cost terms over the merged list — the sequential loop's
+// exact float-addition order, so the accounting is byte-identical no matter
+// how the scoring work was split (the same trick scoreParagraphsParallel
+// uses intra-node).
+func (e *Engine) ScoreCost(paras []ScoredParagraph) Cost {
+	cost := Cost{MemMB: e.Cost.MemBaseMB}
+	for _, sp := range paras {
+		cost.CPUSeconds += e.Cost.PSPerParagraphCPU + e.Cost.PSPerTokenCPU*float64(len(sp.Para.Tokens))
+	}
+	return cost
 }
 
 // scoreOne computes the PS heuristics for a single paragraph.

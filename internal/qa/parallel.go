@@ -56,7 +56,8 @@ func (e *Engine) workers() int {
 // granularity, Table 2); results land in per-sub slots and are concatenated
 // in sub order.
 func (e *Engine) retrieveAllParallel(a nlp.QuestionAnalysis, workers int) ([]index.Retrieved, Cost) {
-	n := e.Set.Len()
+	subs := e.Set.Globals()
+	n := len(subs)
 	if workers > n {
 		workers = n
 	}
@@ -72,12 +73,12 @@ func (e *Engine) retrieveAllParallel(a nlp.QuestionAnalysis, workers int) ([]ind
 		go func() {
 			defer wg.Done()
 			for {
-				sub := int(next.Add(1)) - 1
-				if sub >= n {
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
-				rs, c := e.RetrieveSub(a, sub)
-				results[sub] = subResult{rs: rs, cost: c}
+				rs, c := e.RetrieveSub(a, subs[i])
+				results[i] = subResult{rs: rs, cost: c}
 			}
 		}()
 	}

@@ -34,6 +34,32 @@ func (c CostEstimate) NominalSeconds(cpuPower, diskBW float64) float64 {
 	return c.CPUSeconds/cpuPower + c.DiskBytes/diskBW
 }
 
+// SubDF carries the per-keyword document frequencies of one sub-collection,
+// parallel to the keyword list they were computed from. It is the unit of
+// exact global df aggregation in a sharded cluster: each shard replica
+// reports the SubDFs of the subs it holds, and the coordinator folds them in
+// ascending Sub order — reproducing the full-replica engine's statistics
+// bit for bit.
+type SubDF struct {
+	Sub int
+	DF  []int64
+}
+
+// LocalDF computes the per-keyword document frequencies for every
+// sub-collection this engine's index set holds, in ascending sub order.
+func (e *Engine) LocalDF(keywords []string) []SubDF {
+	out := make([]SubDF, 0, e.Set.Len())
+	for _, sub := range e.Set.Globals() {
+		ix := e.Set.Sub(sub)
+		dfs := make([]int64, len(keywords))
+		for i, k := range keywords {
+			dfs[i] = int64(ix.DocFreq(k))
+		}
+		out = append(out, SubDF{Sub: sub, DF: dfs})
+	}
+	return out
+}
+
 // EstimateCost predicts a question's cost from index statistics alone.
 // The predicted document count for the Boolean AND is the minimum keyword
 // document frequency (the intersection is at most its smallest operand,
@@ -41,16 +67,32 @@ func (c CostEstimate) NominalSeconds(cpuPower, diskBW float64) float64 {
 // collection's paragraphs-per-document rate, and module costs follow the
 // cost model's per-unit constants.
 func (e *Engine) EstimateCost(a nlp.QuestionAnalysis) CostEstimate {
+	if len(a.Keywords) == 0 {
+		return CostEstimate{}
+	}
+	return e.EstimateCostFromDF(a, e.LocalDF(a.Keywords))
+}
+
+// EstimateCostFromDF predicts a question's cost from externally supplied
+// per-sub document frequencies (each DF slice parallel to a.Keywords, dfs
+// sorted by ascending Sub). This is the sharded cluster's exact global df
+// correction: a coordinator holding only some shards gathers SubDFs from one
+// replica per remote shard, concatenates them with its own LocalDF output in
+// ascending sub order, and obtains the same estimate a full-replica engine
+// computes locally — same values, same float-addition order.
+func (e *Engine) EstimateCostFromDF(a nlp.QuestionAnalysis, dfs []SubDF) CostEstimate {
 	var est CostEstimate
 	if len(a.Keywords) == 0 {
 		return est
 	}
 	totalDocs := 0.0
-	for sub := 0; sub < e.Set.Len(); sub++ {
-		ix := e.Set.Sub(sub)
-		minDF := -1
-		for _, k := range a.Keywords {
-			df := ix.DocFreq(k)
+	for _, sd := range dfs {
+		minDF := int64(-1)
+		for i := range a.Keywords {
+			df := int64(0)
+			if i < len(sd.DF) {
+				df = sd.DF[i]
+			}
 			if minDF < 0 || df < minDF {
 				minDF = df
 			}

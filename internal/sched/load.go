@@ -121,6 +121,61 @@ func pickMin(loads []LoadInfo, loadFn func(LoadInfo) float64, salt int) (int, fl
 	return chosen.Node, loadFn(chosen)
 }
 
+// OrderByLoad ranks nodes by ascending weighted load — the replica-selection
+// order of the sharded scatter-gather path. Called with PRWeights it is the
+// Table-3 PR load function (Equation 2/5) applied to replica choice: the
+// first element is the preferred replica, the rest are the failover order.
+// Like pickMin, candidates within TieBand of the minimum are rotated by
+// salt (typically the question id), so decisions made within one stale
+// broadcast interval don't herd onto the same replica; outside the tie band
+// the order is ascending load with a deterministic node-id tie-break.
+func OrderByLoad(loads []LoadInfo, w Weights, salt int) []int {
+	if len(loads) == 0 {
+		return nil
+	}
+	idx := make([]int, len(loads))
+	for i := range idx {
+		idx[i] = i
+	}
+	sortStableBy(idx, func(a, b int) bool {
+		la, lb := w.Load(loads[a]), w.Load(loads[b])
+		if la != lb {
+			return la < lb
+		}
+		return loads[a].Node < loads[b].Node
+	})
+	// Rotate the leading tie band by salt.
+	min := w.Load(loads[idx[0]])
+	band := 1
+	for band < len(idx) && w.Load(loads[idx[band]]) <= min+TieBand {
+		band++
+	}
+	if salt < 0 {
+		salt = -salt
+	}
+	if band > 1 {
+		rot := salt % band
+		rotated := append(append([]int(nil), idx[rot:band]...), idx[:rot]...)
+		copy(idx[:band], rotated)
+	}
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = loads[j].Node
+	}
+	return out
+}
+
+// sortStableBy is a tiny insertion sort (candidate sets are replica counts:
+// a handful of nodes), keeping load.go free of sort-package closures on the
+// per-question path.
+func sortStableBy(idx []int, less func(a, b int) bool) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && less(idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
 // WeightedNode is one processor selected by the meta-scheduler with its
 // normalized share of the task.
 type WeightedNode struct {

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestOrderByLoad pins the replica-selection order the sharded scatter-
+// gather path relies on: ascending Table-3 PR load, deterministic node-id
+// tie-break, and salt rotation within the tie band only.
+func TestOrderByLoad(t *testing.T) {
+	if got := OrderByLoad(nil, PRWeights, 0); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+
+	// Distinct loads far outside the tie band: pure ascending order,
+	// regardless of salt.
+	loads := []LoadInfo{
+		{Node: 1, CPU: 4, Disk: 4},
+		{Node: 2, CPU: 0.1, Disk: 0.1},
+		{Node: 3, CPU: 2, Disk: 2},
+	}
+	for salt := 0; salt < 5; salt++ {
+		if got := OrderByLoad(loads, PRWeights, salt); !reflect.DeepEqual(got, []int{2, 3, 1}) {
+			t.Fatalf("salt %d: %v", salt, got)
+		}
+	}
+
+	// All within the tie band: the whole set rotates by salt.
+	tied := []LoadInfo{
+		{Node: 1, CPU: 0.1, Disk: 0.1},
+		{Node: 2, CPU: 0.12, Disk: 0.12},
+		{Node: 3, CPU: 0.11, Disk: 0.11},
+	}
+	if got := OrderByLoad(tied, PRWeights, 0); !reflect.DeepEqual(got, []int{1, 3, 2}) {
+		t.Fatalf("salt 0: %v", got)
+	}
+	if got := OrderByLoad(tied, PRWeights, 1); !reflect.DeepEqual(got, []int{3, 2, 1}) {
+		t.Fatalf("salt 1: %v", got)
+	}
+	if got := OrderByLoad(tied, PRWeights, -1); !reflect.DeepEqual(got, []int{3, 2, 1}) {
+		t.Fatalf("salt -1 (negative salts are folded): %v", got)
+	}
+
+	// Rotation must never promote a node from outside the tie band.
+	mixed := []LoadInfo{
+		{Node: 1, CPU: 0.1, Disk: 0.1},
+		{Node: 2, CPU: 0.2, Disk: 0.2}, // in band (TieBand = 0.5)
+		{Node: 3, CPU: 5, Disk: 5},     // far out
+	}
+	for salt := 0; salt < 4; salt++ {
+		got := OrderByLoad(mixed, PRWeights, salt)
+		if got[len(got)-1] != 3 {
+			t.Fatalf("salt %d: out-of-band node promoted: %v", salt, got)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+)
+
+// analysisFor wraps a keyword set in the minimal QuestionAnalysis the PR+PS
+// stages need (the same shape the live PR sub-task handler reconstructs
+// from its request).
+func analysisFor(keywords []string) nlp.QuestionAnalysis {
+	return nlp.QuestionAnalysis{Keywords: keywords}
+}
+
+// SubResult is one sub-collection's paragraph-retrieval output from a shard
+// replica: the scored paragraphs (PR and its co-located scoring both run
+// where the index lives) and the PR cost of that sub. Gather merges
+// SubResults in ascending Sub order — the full-replica engine's exact
+// iteration order.
+type SubResult struct {
+	Sub    int
+	Scored []qa.ScoredParagraph
+	PR     qa.Cost
+}
+
+// MergeSubResults reassembles a complete scatter-gather round into the
+// full-replica engine's PR+PS output: scored paragraphs concatenated in
+// ascending sub order, PR cost folded per sub in that same order (the
+// sequential RetrieveAll's float-addition order), and PS cost reconstructed
+// by refolding the per-paragraph terms over the merged list (Engine.ScoreCost).
+// It fails if the results do not cover each of wantSubs exactly once —
+// a shard served twice or not at all can silently duplicate or drop
+// paragraphs, which the answer path must treat as a hard error, not a
+// degraded answer.
+func MergeSubResults(e *qa.Engine, results []SubResult, wantSubs []int) ([]qa.ScoredParagraph, qa.Cost, qa.Cost, error) {
+	sorted := make([]SubResult, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Sub < sorted[j].Sub })
+	if len(sorted) != len(wantSubs) {
+		return nil, qa.Cost{}, qa.Cost{}, fmt.Errorf("shard: gather covered %d sub-collections, want %d", len(sorted), len(wantSubs))
+	}
+	var scored []qa.ScoredParagraph
+	var prCost qa.Cost
+	for i, sr := range sorted {
+		if sr.Sub != wantSubs[i] {
+			return nil, qa.Cost{}, qa.Cost{}, fmt.Errorf("shard: gather covered sub %d, want %d", sr.Sub, wantSubs[i])
+		}
+		scored = append(scored, sr.Scored...)
+		prCost = prCost.Add(sr.PR)
+	}
+	psCost := e.ScoreCost(scored)
+	return scored, prCost, psCost, nil
+}
+
+// RetrieveSubs runs PR + PS for the named sub-collections on a (possibly
+// shard-scoped) engine, one SubResult per sub. It is the replica-side half
+// of the scatter-gather round, shared by the in-process cluster and the
+// live node's shard sub-task handler.
+func RetrieveSubs(e *qa.Engine, keywords []string, subs []int) ([]SubResult, error) {
+	analysis := analysisFor(keywords)
+	out := make([]SubResult, 0, len(subs))
+	for _, sub := range subs {
+		if !e.Set.Has(sub) {
+			return nil, fmt.Errorf("shard: engine does not hold sub-collection %d", sub)
+		}
+		rs, prCost := e.RetrieveSub(analysis, sub)
+		scored, _ := e.ScoreParagraphs(analysis, rs)
+		out = append(out, SubResult{Sub: sub, Scored: scored, PR: prCost})
+	}
+	return out, nil
+}
+
+// Replica is one node of an in-process sharded deployment: its shard
+// holdings and a shard-scoped engine (full collection text, subset index).
+type Replica struct {
+	Node   int
+	Shards []int
+	Subs   []int
+	Engine *qa.Engine
+}
+
+// Cluster is an in-process sharded Q/A deployment: N shard-scoped engines
+// over one shared collection, plus the scatter-gather coordinator logic.
+// It exists so sharded-versus-sequential equivalence is testable (and
+// benchmarkable) without sockets; the live cluster wires the same
+// RetrieveSubs/MergeSubResults seams over its transport.
+type Cluster struct {
+	Coll  *corpus.Collection
+	K, R  int
+	Nodes []*Replica
+}
+
+// NewCluster builds an in-process K-shard, R-replica deployment over n
+// nodes. Each node indexes only the subs its holdings imply; the collection
+// text is shared (one *corpus.Collection across all engines — exactly the
+// live cluster's "text replicated, index sharded" layout, minus the
+// regeneration).
+func NewCluster(coll *corpus.Collection, k, r, n int) (*Cluster, error) {
+	k, r, err := Normalize(k, r, n, len(coll.Subs))
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Coll: coll, K: k, R: r}
+	for node := 0; node < n; node++ {
+		subs := HoldingSubs(node, n, k, r, len(coll.Subs))
+		eng := qa.NewEngine(coll, index.BuildSubset(coll, subs))
+		c.Nodes = append(c.Nodes, &Replica{
+			Node:   node,
+			Shards: Holdings(node, n, k, r),
+			Subs:   subs,
+			Engine: eng,
+		})
+	}
+	return c, nil
+}
+
+// coordinator returns an engine usable for the Set-independent stages
+// (QP, PO, AP, MERGE, cost refolding): any replica's engine works, they
+// share the collection and the cost model.
+func (c *Cluster) coordinator() *qa.Engine { return c.Nodes[0].Engine }
+
+// pickReplica returns the first up holder of shard s in placement order,
+// shifted by salt — deterministic, and rotating the salt exercises every
+// replica. ok is false when every holder is down (an unanswerable shard).
+func (c *Cluster) pickReplica(s, salt int, down map[int]bool) (*Replica, bool) {
+	holders := ReplicaNodes(s, len(c.Nodes), c.R)
+	if salt < 0 {
+		salt = -salt
+	}
+	for i := 0; i < len(holders); i++ {
+		node := holders[(i+salt)%len(holders)]
+		if !down[node] {
+			return c.Nodes[node], true
+		}
+	}
+	return nil, false
+}
+
+// Answer runs one question through the sharded scatter-gather pipeline:
+// QP on the coordinator, PR+PS scattered one replica per shard (replica
+// choice rotated by salt, nodes in down excluded), results merged with
+// exact cost reconstruction, then PO, AP and answer merging on the
+// coordinator. The returned Result is byte-identical to
+// Engine.AnswerSequential on a full-replica engine — same answers, scores,
+// paragraph order and cost accounting — for any salt and any down-set that
+// leaves at least one replica per shard (TestShardedEquivalence).
+func (c *Cluster) Answer(question string, salt int, down map[int]bool) (qa.Result, error) {
+	coord := c.coordinator()
+	var res qa.Result
+	res.Question = question
+
+	analysis, qpCost := coord.QuestionProcessing(question)
+	res.Costs.QP = qpCost
+
+	var results []SubResult
+	for s := 0; s < c.K; s++ {
+		rep, ok := c.pickReplica(s, salt, down)
+		if !ok {
+			return res, fmt.Errorf("shard: no surviving replica for shard %d", s)
+		}
+		srs, err := RetrieveSubs(rep.Engine, analysis.Keywords, SubsOf(s, c.K, len(c.Coll.Subs)))
+		if err != nil {
+			return res, err
+		}
+		results = append(results, srs...)
+	}
+	wantSubs := make([]int, len(c.Coll.Subs))
+	for i := range wantSubs {
+		wantSubs[i] = i
+	}
+	scored, prCost, psCost, err := MergeSubResults(coord, results, wantSubs)
+	if err != nil {
+		return res, err
+	}
+	res.Costs.PR = prCost
+	res.Costs.PS = psCost
+	res.Retrieved = len(scored)
+
+	accepted, poCost := coord.OrderParagraphs(scored)
+	res.Costs.PO = poCost
+	res.Accepted = len(accepted)
+
+	answers, apCost := coord.ExtractAnswers(analysis, accepted)
+	res.Costs.AP = apCost
+
+	final, sortCost := coord.MergeAnswerSets([][]qa.Answer{answers})
+	res.Costs.Sort = sortCost
+	res.Answers = final
+	return res, nil
+}
+
+// EstimateCost aggregates exact global document frequencies across shards
+// (one up replica per shard, rotated by salt) and evaluates the cost
+// prediction on the coordinator — the sharded twin of Engine.EstimateCost,
+// with the same values in the same float order (the df correction of
+// qa.EstimateCostFromDF).
+func (c *Cluster) EstimateCost(question string, salt int, down map[int]bool) (qa.CostEstimate, error) {
+	coord := c.coordinator()
+	analysis, _ := coord.QuestionProcessing(question)
+	if len(analysis.Keywords) == 0 {
+		return qa.CostEstimate{}, nil
+	}
+	var dfs []qa.SubDF
+	for s := 0; s < c.K; s++ {
+		rep, ok := c.pickReplica(s, salt, down)
+		if !ok {
+			return qa.CostEstimate{}, fmt.Errorf("shard: no surviving replica for shard %d", s)
+		}
+		for _, sub := range SubsOf(s, c.K, len(c.Coll.Subs)) {
+			sd := rep.Engine.LocalDF(analysis.Keywords)
+			for _, d := range sd {
+				if d.Sub == sub {
+					dfs = append(dfs, d)
+				}
+			}
+		}
+	}
+	sort.Slice(dfs, func(i, j int) bool { return dfs[i].Sub < dfs[j].Sub })
+	return coord.EstimateCostFromDF(analysis, dfs), nil
+}

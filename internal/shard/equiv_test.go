@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/qa"
+)
+
+// TestShardedEquivalence is the sharded analogue of TestParallelEquivalence
+// and TestCachedAnswersMatchSequential: for random corpora (varying seeds
+// and sub-collection counts), every combination of K∈{1,2,4} shards and
+// R∈{1,2} replicas, every replica-selection rotation, and — when R=2 —
+// every single-node failure, the scatter-gather Answer must be byte-
+// identical to the full-replica sequential engine: answers (text, type,
+// score, windows, snippets), retrieved/accepted counts, and the per-module
+// cost accounting, via reflect.DeepEqual over qa.Result.
+func TestShardedEquivalence(t *testing.T) {
+	seeds := []int64{101, 202, 303}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := corpus.Tiny()
+		cfg.Seed = seed
+		cfg.SubCollections = 3 + int(seed%3) // 3..5 subs: exercises K > subs clamping
+		cfg.Name = fmt.Sprintf("equiv-%d", seed)
+		coll := corpus.Generate(cfg)
+		full := qa.NewEngine(coll, index.BuildAll(coll))
+
+		questions := make([]string, 0, 6)
+		for _, f := range coll.Facts {
+			questions = append(questions, f.Question)
+			if len(questions) == cap(questions) {
+				break
+			}
+		}
+		oracle := make([]qa.Result, len(questions))
+		for i, q := range questions {
+			oracle[i] = full.AnswerSequential(q)
+		}
+
+		const nodes = 3
+		for _, k := range []int{1, 2, 4} {
+			for _, r := range []int{1, 2} {
+				cl, err := NewCluster(coll, k, r, nodes)
+				if err != nil {
+					t.Fatalf("seed %d K=%d R=%d: %v", seed, k, r, err)
+				}
+				for salt := 0; salt < 3; salt++ {
+					for i, q := range questions {
+						got, err := cl.Answer(q, salt, nil)
+						if err != nil {
+							t.Fatalf("seed %d K=%d R=%d salt=%d: %v", seed, k, r, salt, err)
+						}
+						if !reflect.DeepEqual(oracle[i], got) {
+							t.Fatalf("seed %d K=%d R=%d salt=%d: sharded result diverges for %q:\nseq:   %+v\nshard: %+v",
+								seed, k, r, salt, q, oracle[i], got)
+						}
+					}
+				}
+				// R=2 survives any single node failure: chained declustering
+				// places the two replicas of every shard on distinct nodes,
+				// so killing one node leaves >=1 replica per shard and the
+				// answers must not change by a byte.
+				if r == 2 {
+					for dead := 0; dead < nodes; dead++ {
+						down := map[int]bool{dead: true}
+						for i, q := range questions {
+							got, err := cl.Answer(q, 0, down)
+							if err != nil {
+								t.Fatalf("seed %d K=%d R=2 node %d down: %v", seed, k, dead, err)
+							}
+							if !reflect.DeepEqual(oracle[i], got) {
+								t.Fatalf("seed %d K=%d R=2 node %d down: diverges for %q", seed, k, dead, q)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEstimateEquivalence: the gathered-df cost prediction must match
+// the full-replica engine's EstimateCost exactly — same minimum-df folding
+// in the same sub order (the exact global df correction of
+// qa.EstimateCostFromDF).
+func TestShardedEstimateEquivalence(t *testing.T) {
+	cfg := corpus.Tiny()
+	cfg.Seed = 7177
+	cfg.Name = "estimate-equiv"
+	coll := corpus.Generate(cfg)
+	full := qa.NewEngine(coll, index.BuildAll(coll))
+
+	for _, k := range []int{1, 2, 4} {
+		cl, err := NewCluster(coll, k, 2, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range coll.Facts[:6] {
+			analysis, _ := full.QuestionProcessing(f.Question)
+			want := full.EstimateCost(analysis)
+			got, err := cl.EstimateCost(f.Question, 1, nil)
+			if err != nil {
+				t.Fatalf("K=%d: %v", k, err)
+			}
+			if want != got {
+				t.Fatalf("K=%d: estimate diverges for %q:\nfull:  %+v\nshard: %+v", k, f.Question, want, got)
+			}
+		}
+	}
+}
+
+// TestShardedNoSurvivingReplica: losing every replica of a shard is a hard
+// error, not a silently partial answer.
+func TestShardedNoSurvivingReplica(t *testing.T) {
+	cfg := corpus.Tiny()
+	cfg.Seed = 7178
+	cfg.Name = "no-replica"
+	coll := corpus.Generate(cfg)
+	cl, err := NewCluster(coll, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R=1: shard 0 lives only on node 0.
+	if _, err := cl.Answer(coll.Facts[0].Question, 0, map[int]bool{0: true}); err == nil {
+		t.Fatal("expected error when the only replica of a shard is down")
+	}
+}
+
+// TestSubsetRetrievalMatchesFull pins the substrate property everything
+// above rests on: a shard-scoped index retrieves a sub bit-for-bit like the
+// full index set does (per-sub document frequencies, relaxation and
+// extraction are self-contained).
+func TestSubsetRetrievalMatchesFull(t *testing.T) {
+	cfg := corpus.Tiny()
+	cfg.Seed = 7179
+	cfg.Name = "subset-retrieval"
+	coll := corpus.Generate(cfg)
+	full := qa.NewEngine(coll, index.BuildAll(coll))
+	subs := []int{1, 3}
+	scoped := qa.NewEngine(coll, index.BuildSubset(coll, subs))
+
+	for _, f := range coll.Facts[:6] {
+		analysis, _ := full.QuestionProcessing(f.Question)
+		for _, sub := range subs {
+			frs, fc := full.RetrieveSub(analysis, sub)
+			srs, sc := scoped.RetrieveSub(analysis, sub)
+			if fc != sc {
+				t.Fatalf("sub %d cost diverges: %+v vs %+v", sub, fc, sc)
+			}
+			if !reflect.DeepEqual(frs, srs) {
+				t.Fatalf("sub %d retrieval diverges for %q", sub, f.Question)
+			}
+		}
+	}
+}
