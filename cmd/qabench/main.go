@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,7 +41,8 @@ func main() {
 	perfScale := flag.String("perf-scale", "tiny", "perf mode: corpus scale (tiny or trec8)")
 	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline JSON report to diff against; exit non-zero on >tolerance regression (comparison ratios always; ns/op when the environment matches)")
 	perfTolerance := flag.Float64("perf-tolerance", 0.20, "perf mode: allowed fractional regression vs -perf-baseline (0.20 = 20%)")
-	perfCheck := flag.Bool("perf-check", false, "perf mode: enforce the machine-independent serving-path floors (CI gate)")
+	perfCheck := flag.Bool("perf-check", false, "perf mode: enforce the machine-independent serving-path floors and p99 latency SLOs (CI gate)")
+	perfCPUProfile := flag.String("perf-cpuprofile", "", "perf mode: write a CPU profile captured around the whole suite run to this file (inspect with go tool pprof)")
 	perfRatiosOnly := flag.Bool("perf-ratios-only", false, "perf mode: with -perf-baseline, gate only the comparison ratios and skip the ns/op diff (use against committed baselines, where wall-clock numbers are from another time/machine)")
 	chaosMode := flag.Bool("chaos", false, "run a seeded fault schedule against a live loopback cluster instead of the experiments")
 	chaosSeed := flag.Int64("seed", 1, "chaos mode: schedule seed (same seed => byte-identical event log)")
@@ -54,7 +56,7 @@ func main() {
 	}
 
 	if *perfMode {
-		os.Exit(runPerf(*perfOut, *perfBudget, *perfScale, *perfBaseline, *perfTolerance, *perfCheck, *perfRatiosOnly))
+		os.Exit(runPerf(*perfOut, *perfBudget, *perfScale, *perfBaseline, *perfTolerance, *perfCheck, *perfRatiosOnly, *perfCPUProfile))
 	}
 
 	if *list {
@@ -140,7 +142,7 @@ func runChaos(seed int64, nodes, questions int, scenario string) int {
 // gates on a baseline diff (-perf-baseline/-perf-tolerance; comparison
 // ratios always, ns/op only for same-env non-ratios-only runs) and the
 // machine-independent serving-path floors (-perf-check).
-func runPerf(out string, budget time.Duration, scale, baselinePath string, tolerance float64, check, ratiosOnly bool) int {
+func runPerf(out string, budget time.Duration, scale, baselinePath string, tolerance float64, check, ratiosOnly bool, cpuProfile string) int {
 	cfg := perf.SuiteConfig{Budget: budget, Log: os.Stderr}
 	switch scale {
 	case "tiny":
@@ -150,6 +152,23 @@ func runPerf(out string, budget time.Duration, scale, baselinePath string, toler
 	default:
 		fmt.Fprintf(os.Stderr, "qabench: unknown -perf-scale %q (want tiny or trec8)\n", scale)
 		return 2
+	}
+	if cpuProfile != "" {
+		pf, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qabench: perf: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			fmt.Fprintf(os.Stderr, "qabench: perf: start cpu profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+			fmt.Printf("wrote CPU profile %s\n", cpuProfile)
+		}()
 	}
 	report, err := perf.RunSuite(cfg)
 	if err != nil {
@@ -208,6 +227,14 @@ func runPerf(out string, budget time.Duration, scale, baselinePath string, toler
 			failed = true
 		} else {
 			fmt.Println("serving-path floors: OK")
+		}
+		if violations := perf.CheckSLOs(report, perf.DefaultSLOs()); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "qabench: perf: SLO: %s\n", v)
+			}
+			failed = true
+		} else {
+			fmt.Println("p99 latency SLOs: OK")
 		}
 	}
 	if failed {

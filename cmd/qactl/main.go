@@ -1,10 +1,13 @@
 // Command qactl is the operator client for a live Q/A cluster: ask
-// questions, inspect node status, and scrape node metrics.
+// questions, inspect node status, scrape metrics, and dump the slow-question
+// flight recorder.
 //
 //	qactl -node 127.0.0.1:7101 -ask "Where is the Taj Mahal?"
 //	qactl -node 127.0.0.1:7101 -ask "..." -spans   # print the span tree
-//	qactl -node 127.0.0.1:7101 -status             # includes the shard table on sharded nodes
+//	qactl -node 127.0.0.1:7101 -status             # includes SLO rows and the shard table
 //	qactl -node 127.0.0.1:7101 -metrics            # Prometheus text
+//	qactl -node 127.0.0.1:7101 -metrics -cluster   # merged fleet-wide exposition
+//	qactl -node 127.0.0.1:7101 -slow -top 3        # worst retained questions, full span trees
 //	qactl -node 127.0.0.1:7101 -estimate "..."     # Equation-9 cost prediction (no execution)
 package main
 
@@ -12,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"distqa/internal/live"
@@ -25,6 +27,9 @@ func main() {
 	spans := flag.Bool("spans", false, "with -ask: print the question's cross-node span tree")
 	status := flag.Bool("status", false, "print node status")
 	metrics := flag.Bool("metrics", false, "print node metrics (Prometheus text exposition)")
+	cluster := flag.Bool("cluster", false, "with -metrics: pull every cluster member's registry and print the merged exposition")
+	slow := flag.Bool("slow", false, "dump the node's slow-question flight recorder (worst retained questions)")
+	top := flag.Int("top", 5, "with -slow: how many records to dump")
 	estimate := flag.String("estimate", "", "question to cost-predict (Equation 9) without executing; sharded nodes gather exact global df over the wire")
 	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
 	flag.Parse()
@@ -55,7 +60,7 @@ func main() {
 		}
 		if *spans {
 			fmt.Println("\nspan tree:")
-			printSpanTree(resp.Spans)
+			obs.FormatSpanTree(os.Stdout, resp.Spans)
 		}
 	case *status:
 		st, err := live.QueryStatus(*node, *timeout)
@@ -82,6 +87,11 @@ func main() {
 			rate(m.AnswerCacheHits, m.AnswerCacheMisses), m.AnswerCacheHits, m.AnswerCacheMisses, m.AnswerCacheCoalesced)
 		fmt.Printf("  PR cache: %s hit rate (%d hits / %d misses)\n",
 			rate(m.PRCacheHits, m.PRCacheMisses), m.PRCacheHits, m.PRCacheMisses)
+		fmt.Printf("  runtime: %d goroutines, %.1f MiB heap, GC pause p99 %.3f ms, %d flight records\n",
+			m.Goroutines, float64(m.HeapAllocBytes)/(1<<20), m.GCPauseP99Ms, m.FlightRecords)
+		for _, row := range st.SLO {
+			printSLORow(row)
+		}
 		for _, mp := range st.Mux {
 			if mp.GobOnly {
 				fmt.Printf("  mux peer %s: gob fallback (binary codec not negotiated)\n", mp.Addr)
@@ -114,6 +124,31 @@ func main() {
 			fmt.Printf("  shard traffic: %d scatter PR sent / %d received, %d df gathers served, %d failovers\n",
 				st.Metrics.ShardPRSent, st.Metrics.ShardPRReceived, st.Metrics.ShardDFReceived, st.Metrics.ShardFailovers)
 		}
+	case *slow:
+		recs, err := live.QuerySlow(*node, *top, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
+		if len(recs) == 0 {
+			fmt.Println("flight recorder empty")
+			return
+		}
+		for i, r := range recs {
+			if i > 0 {
+				fmt.Println()
+			}
+			header := fmt.Sprintf("#%d  qid=%d  %.1fms  %q  on %s", i+1, r.QID,
+				float64(r.Duration.Microseconds())/1000, r.Question, r.Node)
+			if r.Err != "" {
+				header += "  ERR: " + r.Err
+			}
+			fmt.Println(header)
+			if len(r.Annotations) > 0 {
+				fmt.Printf("  annotations: %v\n", r.Annotations)
+			}
+			obs.FormatSpanTree(indentWriter{}, r.Spans)
+		}
 	case *estimate != "":
 		est, err := live.QueryEstimate(*node, *estimate, *timeout)
 		if err != nil {
@@ -124,6 +159,18 @@ func main() {
 		fmt.Printf("predicted paragraphs: %.2f\n", est.Paragraphs)
 		fmt.Printf("predicted CPU:        %.6f s (paper-model units)\n", est.CPUSeconds)
 		fmt.Printf("predicted disk:       %.0f bytes\n", est.DiskBytes)
+	case *metrics && *cluster:
+		snaps, err := live.QueryClusterMetrics(*node, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# cluster exposition merged from %d node(s)\n", len(snaps))
+		merged := obs.MergeSnapshots(snaps)
+		if err := merged.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
 	case *metrics:
 		text, err := live.QueryMetrics(*node, *timeout)
 		if err != nil {
@@ -137,6 +184,29 @@ func main() {
 	}
 }
 
+// printSLORow renders one objective's state, burn rate and tail exemplar.
+func printSLORow(row obs.SLOStatus) {
+	state := "OK"
+	if !row.OK {
+		state = "VIOLATED"
+	}
+	line := fmt.Sprintf("  slo %-8s p%.0f <= %.2fs over %v: observed %.3fs, burn %.2fx, %d obs (%d errors) [%s]",
+		row.Op, row.Quantile*100, row.Target, row.Window, row.Observed, row.BurnRate, row.Total, row.Errors, state)
+	if row.ExemplarQID != 0 {
+		line += fmt.Sprintf("  exemplar qid=%d (%.3fs)", row.ExemplarQID, row.ExemplarSeconds)
+	}
+	fmt.Println(line)
+}
+
+// indentWriter prefixes every span-tree line with two spaces so the tree
+// nests under the flight-record header.
+type indentWriter struct{}
+
+func (indentWriter) Write(p []byte) (int, error) {
+	os.Stdout.WriteString("  ")
+	return os.Stdout.Write(p)
+}
+
 // rate renders a hits/(hits+misses) percentage, or "-" before any traffic.
 func rate(hits, misses int64) string {
 	total := hits + misses
@@ -144,47 +214,4 @@ func rate(hits, misses int64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.0f%%", float64(hits)/float64(total)*100)
-}
-
-// printSpanTree renders the question's spans as an indented tree, remote
-// nodes and stage durations inline:
-//
-//	ask q=...  [127.0.0.1:7102]  52.1ms
-//	  stage:QP  [127.0.0.1:7102]  0.3ms
-//	  partition:AP  [127.0.0.1:7102]  31.0ms
-//	    ap-subtask  [127.0.0.1:7103]  28.9ms
-func printSpanTree(spans []obs.Span) {
-	children := make(map[int64][]obs.Span)
-	byID := make(map[int64]bool, len(spans))
-	for _, s := range spans {
-		byID[s.ID] = true
-	}
-	var roots []obs.Span
-	for _, s := range spans {
-		if s.Parent != 0 && byID[s.Parent] {
-			children[s.Parent] = append(children[s.Parent], s)
-		} else {
-			roots = append(roots, s)
-		}
-	}
-	sortSpans(roots)
-	var walk func(s obs.Span, depth int)
-	walk = func(s obs.Span, depth int) {
-		for i := 0; i < depth; i++ {
-			fmt.Print("  ")
-		}
-		fmt.Printf("%s  [%s]  %.1fms\n", s.Name, s.Node, float64(s.Duration().Microseconds())/1000)
-		kids := children[s.ID]
-		sortSpans(kids)
-		for _, k := range kids {
-			walk(k, depth+1)
-		}
-	}
-	for _, r := range roots {
-		walk(r, 0)
-	}
-}
-
-func sortSpans(ss []obs.Span) {
-	sort.Slice(ss, func(i, j int) bool { return ss[i].Start.Before(ss[j].Start) })
 }

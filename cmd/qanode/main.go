@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -126,12 +127,21 @@ func main() {
 			w.Header().Set("Content-Type", "application/json")
 			obs.WriteChromeJSON(w, obs.ChromeFromSpans(node.Spans().Snapshot())) //nolint:errcheck
 		})
+		// Profiling hooks ride the same listener. The custom ServeMux skips
+		// net/http/pprof's DefaultServeMux registration, so wire the handlers
+		// explicitly (the /debug/pprof/ index routes named profiles itself).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				fmt.Fprintf(os.Stderr, "qanode: metrics listener: %v\n", err)
 			}
 		}()
-		fmt.Printf("qanode: metrics on http://%s/metrics, span trace on http://%s/spans\n", *metricsAddr, *metricsAddr)
+		fmt.Printf("qanode: metrics on http://%s/metrics, span trace on http://%s/spans, profiles on http://%s/debug/pprof/\n",
+			*metricsAddr, *metricsAddr, *metricsAddr)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,179 @@
+// Command qatop is a live terminal dashboard for a Q/A cluster: it polls one
+// node for fleet-wide registry snapshots (kindMetricsPull fan-out) plus its
+// status, and renders cluster QPS, per-stage latency quantiles, cache hit
+// rates, SLO burn rates, per-node health and the shard table, refreshing in
+// place.
+//
+//	qatop -node 127.0.0.1:7101
+//	qatop -node 127.0.0.1:7101 -interval 2s
+//	qatop -node 127.0.0.1:7101 -once          # one frame, no screen clearing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"distqa/internal/live"
+	"distqa/internal/obs"
+)
+
+func main() {
+	node := flag.String("node", "127.0.0.1:7101", "any cluster node address")
+	interval := flag.Duration("interval", time.Second, "refresh period")
+	count := flag.Int("count", 0, "frames to render before exiting (0 = until interrupted)")
+	once := flag.Bool("once", false, "render one frame and exit (implies -plain)")
+	plain := flag.Bool("plain", false, "no ANSI screen clearing (append frames; for logs/pipes)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-poll request timeout")
+	flag.Parse()
+	if *once {
+		*count = 1
+		*plain = true
+	}
+
+	var prevQuestions int64 = -1
+	var prevAt time.Time
+	for frame := 0; *count == 0 || frame < *count; frame++ {
+		if frame > 0 {
+			time.Sleep(*interval)
+		}
+		snaps, err := live.QueryClusterMetrics(*node, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qatop: %v\n", err)
+			os.Exit(1)
+		}
+		st, err := live.QueryStatus(*node, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qatop: %v\n", err)
+			os.Exit(1)
+		}
+		if !*plain {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		merged := obs.MergeSnapshots(snaps)
+		now := time.Now()
+		questions, _ := merged.Value("live_questions_total", nil)
+		qps := math.NaN()
+		if prevQuestions >= 0 && now.After(prevAt) {
+			qps = float64(questions-prevQuestions) / now.Sub(prevAt).Seconds()
+		}
+		prevQuestions, prevAt = questions, now
+		renderFrame(os.Stdout, snaps, merged, st, qps)
+	}
+}
+
+// renderFrame writes one dashboard frame: cluster totals, latency quantiles,
+// SLO rows, per-node rows and the shard table.
+func renderFrame(w *os.File, snaps []obs.RegistrySnapshot, merged obs.RegistrySnapshot, st *live.Status, qps float64) {
+	questions, _ := merged.Value("live_questions_total", nil)
+	fmt.Fprintf(w, "qatop — %d node(s), %d questions served", len(snaps), questions)
+	if !math.IsNaN(qps) {
+		fmt.Fprintf(w, ", %.1f q/s", qps)
+	}
+	fmt.Fprintf(w, "  (%s)\n\n", time.Now().Format("15:04:05"))
+
+	// End-to-end and per-stage latency quantiles from the merged histograms.
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s\n", "latency", "p50", "p90", "p99", "count")
+	printHistRow(w, "ask", merged, "live_ask_seconds", nil)
+	for _, stage := range []string{obs.StageQP, obs.StagePR, obs.StagePS, obs.StagePO, obs.StageAP, obs.StageMerge} {
+		printHistRow(w, "stage:"+stage, merged, "qa_stage_seconds", obs.Labels{"stage": stage})
+	}
+	fmt.Fprintln(w)
+
+	// Cache hit rates, cluster-wide.
+	ansHits, _ := merged.Value("live_qcache_answer_hits", nil)
+	ansMisses, _ := merged.Value("live_qcache_answer_misses", nil)
+	coalesced, _ := merged.Value("live_qcache_answer_coalesced", nil)
+	prHits, _ := merged.Value("live_qcache_pr_hits", nil)
+	prMisses, _ := merged.Value("live_qcache_pr_misses", nil)
+	fmt.Fprintf(w, "caches: answer %s (%d/%d, %d coalesced), PR %s (%d/%d)\n",
+		rate(ansHits, ansMisses), ansHits, ansHits+ansMisses, coalesced,
+		rate(prHits, prMisses), prHits, prHits+prMisses)
+
+	// SLO rows from the polled node's engine.
+	for _, row := range st.SLO {
+		state := "ok"
+		if !row.OK {
+			state = "VIOLATED"
+		}
+		exemplar := ""
+		if row.ExemplarQID != 0 {
+			exemplar = fmt.Sprintf("  exemplar qid=%d", row.ExemplarQID)
+		}
+		fmt.Fprintf(w, "slo %-8s p%.0f<=%.2fs/%v: obs %.3fs burn %.2fx (%d obs, %d err) %s%s\n",
+			row.Op, row.Quantile*100, row.Target, row.Window,
+			row.Observed, row.BurnRate, row.Total, row.Errors, state, exemplar)
+	}
+	fmt.Fprintln(w)
+
+	// Per-node rows: questions, goroutines, heap, breaker/peer state counts.
+	ordered := append([]obs.RegistrySnapshot(nil), snaps...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Node < ordered[j].Node })
+	fmt.Fprintf(w, "%-22s %10s %8s %10s %9s %9s\n", "node", "questions", "gorout", "heap", "peers-ok", "brk-open")
+	for _, s := range ordered {
+		q, _ := s.Value("live_questions_total", nil)
+		g, _ := s.Value("go_goroutines", nil)
+		h, _ := s.Value("go_heap_alloc_bytes", nil)
+		peersOK, brkOpen := peerStateCounts(s)
+		fmt.Fprintf(w, "%-22s %10d %8d %9.1fM %9d %9d\n",
+			s.Node, q, g, float64(h)/(1<<20), peersOK, brkOpen)
+	}
+
+	// Shard table (sharded clusters only).
+	if sh := st.Shard; sh != nil {
+		state := "complete"
+		if !sh.Complete {
+			state = "INCOMPLETE"
+		}
+		fmt.Fprintf(w, "\nshards: K=%d R=%d epoch=%d %s\n", sh.K, sh.R, sh.Epoch, state)
+		for _, row := range sh.Shards {
+			replicas := "-- none --"
+			if len(row.Replicas) > 0 {
+				replicas = strings.Join(row.Replicas, " ")
+			}
+			fmt.Fprintf(w, "  shard %d: %s\n", row.Shard, replicas)
+		}
+	}
+}
+
+// printHistRow renders one latency row from a merged histogram, skipping
+// metrics with no observations.
+func printHistRow(w *os.File, label string, snap obs.RegistrySnapshot, name string, labels obs.Labels) {
+	hs, ok := snap.Hist(name, labels)
+	if !ok || hs.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-14s %9.1fms %9.1fms %9.1fms %10d\n",
+		label, hs.Quantile(0.5)*1000, hs.Quantile(0.9)*1000, hs.Quantile(0.99)*1000, hs.Count)
+}
+
+// peerStateCounts counts peers this node sees as alive and breakers it holds
+// open, from the per-peer state gauges.
+func peerStateCounts(s obs.RegistrySnapshot) (alive, open int64) {
+	for _, m := range s.Metrics {
+		switch m.Name {
+		case "live_peer_state":
+			if m.Value == 0 { // detector state 0 = alive
+				alive++
+			}
+		case "live_breaker_state":
+			if m.Value != 0 { // breaker state non-zero = open/half-open
+				open++
+			}
+		}
+	}
+	return alive, open
+}
+
+// rate renders a hits/total percentage, or "-" before any traffic.
+func rate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", float64(hits)/float64(total)*100)
+}

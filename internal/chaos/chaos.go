@@ -101,6 +101,11 @@ type Counters struct {
 	Forwards     int64
 	Failures     int64 // remote calls that errored (live_request_failures)
 	Injected     int64 // faults the injector actually fired
+	// FlightRecords counts the slow-question records retained across nodes —
+	// proof the always-on flight recorder stayed on through the chaos run
+	// without perturbing the deterministic event log (it reads no clocks of
+	// its own and takes no randomness off the seeded schedule path).
+	FlightRecords int64
 }
 
 // OK reports whether the run met every expectation.
@@ -609,13 +614,14 @@ func (r *run) collectCounters() {
 		c.Readmissions += st.Metrics.Readmissions
 		c.Forwards += st.Metrics.ForwardsOut
 		c.Failures += st.Metrics.RequestFailures
+		c.FlightRecords += st.Metrics.FlightRecords
 	}
 	stats := r.inj.Stats()
 	c.Injected = stats.Dropped + stats.Delayed + stats.Duplicated
 	r.res.Metrics = c
 	if r.cfg.Out != nil {
-		fmt.Fprintf(r.cfg.Out, "counters (informational): retries=%d breaker_trips=%d readmissions=%d forwards=%d request_failures=%d injected=%d\n",
-			c.Retries, c.BreakerTrips, c.Readmissions, c.Forwards, c.Failures, c.Injected)
+		fmt.Fprintf(r.cfg.Out, "counters (informational): retries=%d breaker_trips=%d readmissions=%d forwards=%d request_failures=%d injected=%d flight_records=%d\n",
+			c.Retries, c.BreakerTrips, c.Readmissions, c.Forwards, c.Failures, c.Injected, c.FlightRecords)
 	}
 }
 

@@ -102,6 +102,36 @@ func TestChaosEventLogDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosFlightRecorderStaysDeterministic pins the PR-6 contract: the
+// always-on flight recorder must actually retain records through a chaos run
+// (it is not disabled alongside the caches) while leaving the seeded event
+// log byte-identical across replays — it reads no clocks of its own and
+// takes nothing from the schedule's rng.
+func TestChaosFlightRecorderStaysDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes a few seconds")
+	}
+	cfg := Config{Seed: 7, Nodes: 3, Questions: 6, Scenario: ScenarioCrash}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !first.OK() || !second.OK() {
+		t.Fatalf("runs failed: %v / %v", first.Failures, second.Failures)
+	}
+	if first.EventLog() != second.EventLog() {
+		t.Fatalf("flight recorder perturbed the event log:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			first.EventLog(), second.EventLog())
+	}
+	if first.Metrics.FlightRecords == 0 {
+		t.Fatal("flight recorder retained nothing during the chaos run")
+	}
+}
+
 // simReplay runs one simulated DQA deployment under a seeded fault schedule
 // and returns its full scheduling trace plus the answers, for the
 // determinism comparison below.

@@ -175,3 +175,35 @@ func TestWireCodecAllocBudget(t *testing.T) {
 		t.Errorf("status encode+decode allocates %.1f times per op, want 0", statusAllocs)
 	}
 }
+
+// TestWireCodecAllocBudgetMetricsPull pins the fleet-aggregation poll: a
+// metricsPull request carries one Fleet bool, so a qatop refresh loop must
+// cost zero allocations to encode and to decode into the connection's reused
+// scratch Request — the same budget as heartbeats and status polls.
+func TestWireCodecAllocBudgetMetricsPull(t *testing.T) {
+	req := &Request{Kind: kindMetricsPull, Fleet: true}
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	b.Reset()
+	if err := appendRequestWire(b, req); err != nil {
+		t.Fatal(err)
+	}
+	encoded := append([]byte(nil), b.B...)
+	var dst Request
+	allocs := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := appendRequestWire(b, req); err != nil {
+			t.Fatal(err)
+		}
+		r := wire.NewReader(encoded)
+		if err := decodeRequestWireInto(&r, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("metricsPull encode+decode allocates %.1f times per op, want 0", allocs)
+	}
+	if !dst.Fleet {
+		t.Error("decoded metricsPull lost the Fleet flag")
+	}
+}

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,14 +14,68 @@ import (
 	"distqa/internal/qcache"
 )
 
-// handleAsk is the cache-and-coalesce front of the question path (PR-4):
+// handleAsk wraps the full serving path with the PR-6 observability plane:
+// it times the whole question (cache front included), feeds the "ask" SLO
+// window, and offers the completed record — span tree plus annotations — to
+// the slow-question flight recorder.
+func (n *Node) handleAsk(req *Request) *Response {
+	start := time.Now()
+	resp := n.serveAsk(req)
+	dur := time.Since(start)
+	var qid int64
+	if len(resp.Spans) > 0 {
+		// Every span in a question's tree shares its QID; cache hits and
+		// coalesced followers open marker spans, so the tree is never empty.
+		qid = resp.Spans[0].QID
+	}
+	n.slo.Observe("ask", dur.Seconds(), qid, resp.Err != "")
+	// ShouldConsider gates the record build itself: once the ring is full of
+	// genuinely slow questions, a cache-hit ask must not pay for a span-tree
+	// copy and annotation formatting it would only throw away.
+	if qid != 0 && n.flight.ShouldConsider(dur) {
+		rec := obs.QuestionRecord{
+			QID:      qid,
+			Question: req.Question,
+			Node:     n.Addr(),
+			Err:      resp.Err,
+			Start:    start,
+			Duration: dur,
+			Spans:    append([]obs.Span(nil), resp.Spans...),
+		}
+		if resp.CacheHit {
+			rec.Annotations = append(rec.Annotations, "cache-hit")
+		}
+		if resp.Coalesced {
+			rec.Annotations = append(rec.Annotations, "coalesced")
+		}
+		if resp.Forwarded {
+			rec.Annotations = append(rec.Annotations, "forwarded")
+		}
+		if n.sharded() {
+			rec.Annotations = append(rec.Annotations, fmt.Sprintf("shards=%d", n.shardK))
+		}
+		recovers := 0
+		for i := range resp.Spans {
+			if strings.HasPrefix(resp.Spans[i].Name, "recover:") {
+				recovers++
+			}
+		}
+		if recovers > 0 {
+			rec.Annotations = append(rec.Annotations, fmt.Sprintf("recoveries=%d", recovers))
+		}
+		n.flight.Consider(rec)
+	}
+	return resp
+}
+
+// serveAsk is the cache-and-coalesce front of the question path (PR-4):
 // an answer-cache hit skips the entire pipeline (no admission, no QP, no
 // fan-out); a miss runs the pipeline under a singleflight group so a burst
 // of identical questions executes once — the leader runs askPipeline, every
 // concurrent duplicate blocks and shares the result (Response.Coalesced).
 // With caching disabled (chaos runs), this is a transparent passthrough to
 // the PR-3 serving path.
-func (n *Node) handleAsk(req *Request) *Response {
+func (n *Node) serveAsk(req *Request) *Response {
 	start := time.Now()
 	if n.askFlight == nil {
 		return n.askPipeline(req, start)
@@ -101,7 +156,9 @@ func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 			fwd.Forwarded = true
 			fwdSpan := n.spans.StartSpan("forward", "", ctx)
 			fwd.Span = fwdSpan.Context()
+			fwdStart := time.Now()
 			if resp, err := n.callPeer(target, &fwd, budget, 0); err == nil {
+				n.slo.Observe("forward", time.Since(fwdStart).Seconds(), ctx.QID, false)
 				n.nm.forwardsOut.Inc()
 				resp.Forwarded = true
 				// Adopt the remote tree locally (for this node's span view),
@@ -117,6 +174,7 @@ func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 			// The peer died between heartbeat and forward; serve locally.
 			// Blame the specific peer so the chaos harness can attribute
 			// the recovery (the marker span keeps it visible in traces).
+			n.slo.Observe("forward", time.Since(fwdStart).Seconds(), ctx.QID, true)
 			n.nm.failForward.Inc()
 			n.spans.StartSpan("recover:forward peer="+target, "", fwdSpan.Context()).End()
 			fwdSpan.End()

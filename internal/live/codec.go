@@ -41,7 +41,10 @@ const (
 	codecReqMetrics   = 0x06
 	codecReqShardPR   = 0x07
 	codecReqShardDF   = 0x08
-	codecResp         = 0x41 // binary response
+	// codecReqMetricsPull is the fleet-aggregation pull (PR-6): payload is
+	// one Fleet bool, so a qatop refresh loop costs no allocations to decode.
+	codecReqMetricsPull = 0x09
+	codecResp           = 0x41 // binary response
 	codecGobReq       = 0x7E // gob-embedded Request
 	codecGobResp      = 0x7F // gob-embedded Response
 )
@@ -66,6 +69,8 @@ func codecOfKind(kind string) (byte, bool) {
 		return codecReqShardPR, true
 	case kindShardDF:
 		return codecReqShardDF, true
+	case kindMetricsPull:
+		return codecReqMetricsPull, true
 	default:
 		return 0, false
 	}
@@ -90,6 +95,8 @@ func kindOfCodec(code byte) (string, bool) {
 		return kindShardPR, true
 	case codecReqShardDF:
 		return kindShardDF, true
+	case codecReqMetricsPull:
+		return kindMetricsPull, true
 	default:
 		return "", false
 	}
@@ -146,6 +153,8 @@ func appendRequestWire(b *wire.Buffer, req *Request) error {
 		}
 	case codecReqHeartbeat:
 		appendLoadReport(b, &req.Load)
+	case codecReqMetricsPull:
+		b.Bool(req.Fleet)
 	case codecReqStatus, codecReqMetrics:
 		// No payload beyond the kind.
 	}
@@ -211,6 +220,8 @@ func decodeRequestWireInto(r *wire.Reader, req *Request) error {
 		req.Load.Addr = prevAddr
 		req.Load.Shards = prevShards
 		decodeLoadReport(r, &req.Load)
+	case codecReqMetricsPull:
+		req.Fleet = r.Bool()
 	}
 	return r.Err()
 }
@@ -219,7 +230,7 @@ func decodeRequestWireInto(r *wire.Reader, req *Request) error {
 // payload (Status, cost Estimate) travel gob-embedded — deep, cold-path
 // structs; everything on the question-serving hot path is hand-rolled.
 func appendResponseWire(b *wire.Buffer, resp *Response) error {
-	if resp.Status != nil || resp.Estimate != nil {
+	if resp.Status != nil || resp.Estimate != nil || resp.Slow != nil {
 		return appendGob(b, codecGobResp, resp)
 	}
 	b.Byte(codecResp)
@@ -236,6 +247,7 @@ func appendResponseWire(b *wire.Buffer, resp *Response) error {
 	appendParaRefs(b, resp.ParaRefs)
 	appendShardDFs(b, resp.DFs)
 	appendSpans(b, resp.Spans)
+	appendSnapshots(b, resp.Snapshots)
 	return nil
 }
 
@@ -270,6 +282,7 @@ func decodeResponseWire(r *wire.Reader) (*Response, error) {
 	resp.ParaRefs = decodeParaRefs(r)
 	resp.DFs = decodeShardDFs(r)
 	resp.Spans = decodeSpans(r)
+	resp.Snapshots = decodeSnapshots(r)
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -476,6 +489,92 @@ func decodeSpans(r *wire.Reader) []obs.Span {
 		s.Node = r.String()
 		s.Start = r.Time()
 		s.End = r.Time()
+	}
+	return out
+}
+
+func appendSnapshots(b *wire.Buffer, snaps []obs.RegistrySnapshot) {
+	b.Uint64(uint64(len(snaps)))
+	for i := range snaps {
+		sn := &snaps[i]
+		b.String(sn.Node)
+		b.Time(sn.TakenAt)
+		b.Uint64(uint64(len(sn.Metrics)))
+		for j := range sn.Metrics {
+			m := &sn.Metrics[j]
+			b.String(m.Name)
+			b.Byte(m.Kind)
+			b.Uint64(uint64(len(m.Labels)))
+			for _, lp := range m.Labels {
+				b.String(lp.Key)
+				b.String(lp.Value)
+			}
+			b.Int64(m.Value)
+			b.Bool(m.Hist != nil)
+			if m.Hist != nil {
+				b.Uint64(uint64(len(m.Hist.Bounds)))
+				for _, bd := range m.Hist.Bounds {
+					b.Float64(bd)
+				}
+				b.Uint64(uint64(len(m.Hist.Counts)))
+				for _, c := range m.Hist.Counts {
+					b.Int64(c)
+				}
+				b.Int64(m.Hist.Count)
+				b.Float64(m.Hist.Sum)
+			}
+		}
+	}
+}
+
+func decodeSnapshots(r *wire.Reader) []obs.RegistrySnapshot {
+	n := r.ListLen(12)
+	if n == 0 {
+		return nil
+	}
+	out := make([]obs.RegistrySnapshot, n)
+	for i := range out {
+		sn := &out[i]
+		sn.Node = r.String()
+		sn.TakenAt = r.Time()
+		nm := r.ListLen(4)
+		if nm > 0 {
+			sn.Metrics = make([]obs.SnapshotMetric, nm)
+		}
+		for j := range sn.Metrics {
+			m := &sn.Metrics[j]
+			m.Name = r.String()
+			m.Kind = r.Byte()
+			nl := r.ListLen(2)
+			if nl > 0 {
+				m.Labels = make([]obs.LabelPair, nl)
+			}
+			for k := range m.Labels {
+				m.Labels[k].Key = r.String()
+				m.Labels[k].Value = r.String()
+			}
+			m.Value = r.Int64()
+			if r.Bool() {
+				h := &obs.HistSnapshot{}
+				nb := r.ListLen(8)
+				if nb > 0 {
+					h.Bounds = make([]float64, nb)
+				}
+				for k := range h.Bounds {
+					h.Bounds[k] = r.Float64()
+				}
+				nc := r.ListLen(1)
+				if nc > 0 {
+					h.Counts = make([]int64, nc)
+				}
+				for k := range h.Counts {
+					h.Counts[k] = r.Int64()
+				}
+				h.Count = r.Int64()
+				h.Sum = r.Float64()
+				m.Hist = h
+			}
+		}
 	}
 	return out
 }

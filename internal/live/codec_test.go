@@ -99,6 +99,7 @@ func requestsEqual(a, b *Request) bool {
 		a.Shard == b.Shard && a.Epoch == b.Epoch &&
 		reflect.DeepEqual(a.ParaRefs, b.ParaRefs) &&
 		a.AnswerType == b.AnswerType &&
+		a.Fleet == b.Fleet && a.Limit == b.Limit &&
 		loadReportsEqual(&a.Load, &b.Load)
 }
 
@@ -155,6 +156,45 @@ func statusesEqual(t *testing.T, a, b *Status) bool {
 	return bytes.Equal(ab.Bytes(), bb.Bytes())
 }
 
+func snapshotsEqual(a, b []obs.RegistrySnapshot) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.Node != y.Node || !x.TakenAt.Equal(y.TakenAt) ||
+			len(x.Metrics) != len(y.Metrics) {
+			return false
+		}
+		for j := range x.Metrics {
+			if !reflect.DeepEqual(x.Metrics[j], y.Metrics[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// slowEqual compares flight-recorder dumps by gob re-encoding, like
+// statusesEqual — QuestionRecord travels gob-embedded in both codecs.
+func slowEqual(t *testing.T, a, b []obs.QuestionRecord) bool {
+	t.Helper()
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return true
+	}
+	var ab, bb bytes.Buffer
+	if err := gob.NewEncoder(&ab).Encode(a); err != nil {
+		t.Fatalf("encode slow: %v", err)
+	}
+	if err := gob.NewEncoder(&bb).Encode(b); err != nil {
+		t.Fatalf("encode slow: %v", err)
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes())
+}
+
 func responsesEqual(t *testing.T, a, b *Response) bool {
 	t.Helper()
 	return a.Err == b.Err && a.ServedBy == b.ServedBy &&
@@ -167,6 +207,8 @@ func responsesEqual(t *testing.T, a, b *Response) bool {
 		shardDFsEqual(a.DFs, b.DFs) &&
 		reflect.DeepEqual(a.Estimate, b.Estimate) &&
 		spansEqual(a.Spans, b.Spans) &&
+		snapshotsEqual(a.Snapshots, b.Snapshots) &&
+		slowEqual(t, a.Slow, b.Slow) &&
 		statusesEqual(t, a.Status, b.Status)
 }
 
@@ -198,9 +240,14 @@ func codecTestRequests() map[string]*Request {
 		"shardpr-empty": {Kind: kindShardPR},
 		"sharddf":       {Kind: kindShardDF, Keywords: []string{"capital"}, Subs: []int{0, 1, 2}},
 		"sharddf-empty": {Kind: kindShardDF},
+		"metricspull":        {Kind: kindMetricsPull, Fleet: true},
+		"metricspull-single": {Kind: kindMetricsPull},
 		// kindEstimate has no hand-rolled shape: a cold operator query that
 		// travels gob-embedded like any future kind.
-		"estimate":    {Kind: kindEstimate, Question: "what is the capital of France?"},
+		"estimate": {Kind: kindEstimate, Question: "what is the capital of France?"},
+		// kindSlow likewise rides the gob embed — flight-recorder dumps are
+		// rare operator queries, not hot-path traffic.
+		"slow":        {Kind: kindSlow, Limit: 5},
 		"future-kind": {Kind: "futureOp", Question: "payload the binary codec has no shape for"},
 	}
 }
@@ -240,6 +287,28 @@ func codecTestResponses() map[string]*Response {
 			Metrics: StatusMetrics{QuestionsServed: 4, MuxCalls: 17,
 				AnswerCacheHits: 3, PRCacheMisses: 2},
 			Mux: []MuxPeerStatus{{Addr: "127.0.0.1:9002", InFlight: 2, Calls: 40}},
+		}},
+		"snapshots": {ServedBy: "127.0.0.1:9001", Snapshots: []obs.RegistrySnapshot{
+			{Node: "127.0.0.1:9001", TakenAt: time.Unix(1_700_000_000, 42),
+				Metrics: []obs.SnapshotMetric{
+					{Name: "live_questions_total", Kind: obs.MetricCounter, Value: 9},
+					{Name: "live_peers", Kind: obs.MetricGauge, Value: 2,
+						Labels: []obs.LabelPair{{Key: "zone", Value: "a"}}},
+					{Name: "live_ask_seconds", Kind: obs.MetricHistogram,
+						Hist: &obs.HistSnapshot{Bounds: []float64{0.1, 1},
+							Counts: []int64{3, 1, 0}, Count: 4, Sum: 0.95}},
+				}},
+			{Node: "127.0.0.1:9002", TakenAt: time.Unix(1_700_000_001, 0)},
+		}},
+		"snapshots-empty-metric-list": {Snapshots: []obs.RegistrySnapshot{
+			{Node: "n", TakenAt: time.Unix(1_700_000_002, 0)},
+		}},
+		"slow": {ServedBy: "127.0.0.1:9001", Slow: []obs.QuestionRecord{
+			{QID: 9, Question: "what is the capital of France?", Node: "127.0.0.1:9001",
+				Start: time.Unix(1_700_000_000, 0), Duration: 1500 * time.Millisecond,
+				Spans: []obs.Span{{QID: 9, ID: 1, Name: "ask", Node: "127.0.0.1:9001",
+					Start: time.Unix(1_700_000_000, 0), End: time.Unix(1_700_000_001, 500_000_000)}},
+				Annotations: []string{"forwarded", "shards=2"}},
 		}},
 	}
 }

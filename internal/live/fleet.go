@@ -1,0 +1,104 @@
+// Fleet metrics aggregation and the slow-question dump (PR-6).
+//
+// kindMetricsPull gathers per-node registry snapshots: a Fleet pull asks one
+// node to fan out to every known peer in parallel and return the whole
+// cluster's snapshots in one response, which qatop and `qactl -metrics
+// -cluster` merge with obs.MergeSnapshots. kindSlow dumps the node's flight
+// recorder — the keep-the-worst ring of complete per-question records.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"distqa/internal/obs"
+)
+
+// handleMetricsPull snapshots this node's registry and, for a fleet pull,
+// gathers every reachable peer's snapshot too. It runs on the goroutine
+// dispatch path (never inline in the mux read loop) because the fan-out
+// makes network calls.
+func (n *Node) handleMetricsPull(req *Request) *Response {
+	n.refreshScrapeGauges()
+	snap := n.obs.Snapshot()
+	snap.Node = n.Addr()
+	resp := &Response{ServedBy: n.Addr(), Snapshots: []obs.RegistrySnapshot{snap}}
+	if !req.Fleet {
+		return resp
+	}
+	peers := n.peerAddrs()
+	deadline := time.Now().Add(n.cfg.RequestTimeout)
+	results := make([][]obs.RegistrySnapshot, len(peers))
+	var wg sync.WaitGroup
+	for i, addr := range peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			// Single attempt: a fleet pull is a periodic poll, the next
+			// refresh retries naturally; retrying inside would pile load on
+			// a struggling peer exactly when it matters.
+			pr, err := n.callPeer(addr, &Request{Kind: kindMetricsPull}, deadline, 1)
+			if err != nil || pr.Err != "" {
+				return
+			}
+			results[i] = pr.Snapshots
+		}(i, addr)
+	}
+	wg.Wait()
+	for _, snaps := range results {
+		resp.Snapshots = append(resp.Snapshots, snaps...)
+	}
+	return resp
+}
+
+// handleSlow dumps the k worst question records from the flight recorder,
+// slowest first.
+func (n *Node) handleSlow(req *Request) *Response {
+	k := req.Limit
+	if k <= 0 {
+		k = 5
+	}
+	return &Response{ServedBy: n.Addr(), Slow: n.flight.Worst(k)}
+}
+
+// QueryMetricsPull fetches one node's registry snapshot.
+func QueryMetricsPull(addr string, timeout time.Duration) (obs.RegistrySnapshot, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	resp, err := roundTrip(addr, &Request{Kind: kindMetricsPull}, timeout)
+	if err != nil {
+		return obs.RegistrySnapshot{}, err
+	}
+	if len(resp.Snapshots) == 0 {
+		return obs.RegistrySnapshot{}, fmt.Errorf("live: %s returned no snapshot", addr)
+	}
+	return resp.Snapshots[0], nil
+}
+
+// QueryClusterMetrics asks one node to gather registry snapshots from the
+// whole cluster (itself plus every known peer).
+func QueryClusterMetrics(addr string, timeout time.Duration) ([]obs.RegistrySnapshot, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	resp, err := roundTrip(addr, &Request{Kind: kindMetricsPull, Fleet: true}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Snapshots, nil
+}
+
+// QuerySlow fetches a node's slowest retained question records (limit <= 0
+// selects the node default of 5).
+func QuerySlow(addr string, limit int, timeout time.Duration) ([]obs.QuestionRecord, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	resp, err := roundTrip(addr, &Request{Kind: kindSlow, Limit: limit}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Slow, nil
+}

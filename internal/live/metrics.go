@@ -189,10 +189,12 @@ func (n *Node) Metrics() *obs.Registry { return n.obs }
 // Spans returns the node's span recorder.
 func (n *Node) Spans() *obs.Recorder { return n.spans }
 
-// WriteMetricsText refreshes the scrape-time gauges (uptime, fresh peer
-// count, per-peer detector and breaker states) and renders the registry in
-// the Prometheus text format.
-func (n *Node) WriteMetricsText(w io.Writer) error {
+// refreshScrapeGauges updates the gauges that are computed at scrape time
+// rather than maintained incrementally: uptime, fresh peer count, per-peer
+// detector and breaker states, and the Go runtime gauges (goroutines, heap,
+// GC pause p99). Both the text scrape and the fleet metrics pull call it, so
+// a pulled snapshot and a local scrape describe the same instant.
+func (n *Node) refreshScrapeGauges() {
 	n.nm.uptime.Set(int64(time.Since(n.started).Seconds()))
 	n.nm.peers.Set(int64(len(n.freshPeers())))
 	now := time.Now()
@@ -202,6 +204,25 @@ func (n *Node) WriteMetricsText(w io.Writer) error {
 		n.obs.Gauge("live_breaker_state", obs.Labels{"peer": ph.Addr}).
 			Set(int64(n.breakers.stateOf(ph.Addr)))
 	}
+	n.obs.SetRuntimeGauges(n.runtimeSample())
+}
+
+// runtimeSample returns the node's Go runtime stats, re-sampled at most once
+// per second (see the rtMu field comment in node.go).
+func (n *Node) runtimeSample() obs.RuntimeStats {
+	n.rtMu.Lock()
+	defer n.rtMu.Unlock()
+	if now := time.Now(); n.rtSampledAt.IsZero() || now.Sub(n.rtSampledAt) >= time.Second {
+		n.rtSample = obs.SampleRuntime()
+		n.rtSampledAt = now
+	}
+	return n.rtSample
+}
+
+// WriteMetricsText refreshes the scrape-time gauges and renders the registry
+// in the Prometheus text format.
+func (n *Node) WriteMetricsText(w io.Writer) error {
+	n.refreshScrapeGauges()
 	return n.obs.WriteText(w)
 }
 
@@ -223,6 +244,7 @@ func (n *Node) statusMetrics() StatusMetrics {
 	failures := n.nm.failForward.Value() + n.nm.failPR.Value() +
 		n.nm.failAP.Value() + n.nm.failHB.Value()
 	ms := n.mux.Stats()
+	rt := n.runtimeSample()
 	return StatusMetrics{
 		UptimeSeconds:      time.Since(n.started).Seconds(),
 		QuestionsServed:    n.nm.questions.Value(),
@@ -262,5 +284,10 @@ func (n *Node) statusMetrics() StatusMetrics {
 		ShardDFReceived: n.nm.shardDFRecv.Value(),
 		ShardFailovers:  n.nm.shardFailovers.Value(),
 		ShardEpoch:      n.nm.shardEpoch.Value(),
+
+		Goroutines:     int64(rt.Goroutines),
+		HeapAllocBytes: int64(rt.HeapAllocBytes),
+		GCPauseP99Ms:   float64(rt.GCPauseP99.Microseconds()) / 1000,
+		FlightRecords:  int64(n.flight.Len()),
 	}
 }

@@ -71,6 +71,12 @@ type NodeConfig struct {
 	// chained-declustering placement by NodeIndex/ClusterSize. The zero
 	// value keeps the node on a full collection replica.
 	Shard ShardConfig
+	// SLOObjectives overrides the rolling-window latency/error objectives
+	// the node evaluates (PR-6). nil selects obs.DefaultObjectives.
+	SLOObjectives []obs.Objective
+	// FlightCap bounds the slow-question flight recorder (records retained,
+	// keep-the-worst). 0 selects obs.DefaultFlightCap; negative disables.
+	FlightCap int
 }
 
 // Node is a running live Q/A node.
@@ -80,11 +86,22 @@ type Node struct {
 	listener net.Listener
 	started  time.Time
 
-	// Observability: per-node metrics registry, cached metric handles and
-	// the span recorder (stamped with this node's address).
-	obs   *obs.Registry
-	nm    *nodeMetrics
-	spans *obs.Recorder
+	// Observability: per-node metrics registry, cached metric handles, the
+	// span recorder (stamped with this node's address), the SLO engine and
+	// the slow-question flight recorder (PR-6).
+	obs    *obs.Registry
+	nm     *nodeMetrics
+	spans  *obs.Recorder
+	slo    *obs.SLOEngine
+	flight *obs.FlightRecorder
+
+	// Cached Go runtime sample: runtime.ReadMemStats stops the world and the
+	// GC-pause quantile sorts the pause ring, so status replies and scrapes
+	// share one sample per second instead of paying that per request (the
+	// rpc benchmarks drive QueryStatus in a tight loop).
+	rtMu        sync.Mutex
+	rtSample    obs.RuntimeStats
+	rtSampledAt time.Time
 
 	// pool holds persistent gob connections to peers — the negotiated
 	// fallback under mux, and the transport for legacy peers.
@@ -204,6 +221,14 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
 	}
 	reg := obs.NewRegistry()
+	flightCap := cfg.FlightCap
+	if flightCap == 0 {
+		flightCap = obs.DefaultFlightCap
+	}
+	var flight *obs.FlightRecorder
+	if flightCap > 0 {
+		flight = obs.NewFlightRecorder(flightCap)
+	}
 	n := &Node{
 		cfg:      cfg,
 		engine:   engine,
@@ -212,6 +237,8 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		obs:      reg,
 		nm:       newNodeMetrics(reg),
 		spans:    obs.NewRecorder(ln.Addr().String(), 0),
+		slo:      obs.NewSLOEngine(obs.SLOConfig{Objectives: cfg.SLOObjectives}),
+		flight:   flight,
 		pool: NewPool(PoolConfig{
 			Registry: reg,
 			Self:     ln.Addr().String(),
@@ -622,9 +649,19 @@ func (n *Node) dispatch(req *Request) *Response {
 	case kindAPSubtask:
 		return n.handleAPSubtask(req)
 	case kindShardPR:
-		return n.handleShardPR(req)
+		// Shard fan-out legs get their own SLO row: the paper's per-module
+		// decomposition says PR dominates, so its tail is tracked separately
+		// from the end-to-end ask objective.
+		start := time.Now()
+		resp := n.handleShardPR(req)
+		n.slo.Observe("ShardPR", time.Since(start).Seconds(), req.Span.QID, resp.Err != "")
+		return resp
 	case kindShardDF:
 		return n.handleShardDF(req)
+	case kindMetricsPull:
+		return n.handleMetricsPull(req)
+	case kindSlow:
+		return n.handleSlow(req)
 	case kindEstimate:
 		return n.handleEstimate(req)
 	case kindAsk:
@@ -650,6 +687,7 @@ func (n *Node) handleStatus() *Response {
 		PeerHealth: n.PeerHealthSnapshot(),
 		Mux:        n.mux.Snapshot(),
 		Shard:      n.shardStatus(),
+		SLO:        n.slo.Status(),
 	}}
 }
 

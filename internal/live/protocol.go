@@ -101,6 +101,14 @@ const (
 	kindShardPR   = "shardPR"   // shard-scoped paragraph retrieval + scoring
 	kindShardDF   = "shardDF"   // shard document-frequency gather (df correction)
 	kindEstimate  = "estimate"  // operator cost-prediction query (gob-embedded)
+	// kindMetricsPull gathers registry snapshots for fleet aggregation
+	// (PR-6): Fleet=false returns the serving node's own snapshot;
+	// Fleet=true makes the node fan the pull out to its peers and return
+	// every per-node snapshot in one response (qatop, qactl -metrics -cluster).
+	kindMetricsPull = "metricsPull"
+	// kindSlow dumps the node's slow-question flight recorder (gob-embedded;
+	// qactl -slow).
+	kindSlow = "slow"
 )
 
 // Request is the single request envelope.
@@ -128,6 +136,11 @@ type Request struct {
 	ParaRefs   []ParaRef
 	// Heartbeat
 	Load LoadReport
+	// MetricsPull: Fleet asks the serving node to gather its peers'
+	// snapshots too (one-hop scatter; peer pulls are sent with Fleet=false).
+	Fleet bool
+	// Slow bounds how many flight-recorder records to return (0 = default).
+	Limit int
 }
 
 // ShardPRRequest builds a shard-scoped paragraph-retrieval request — the unit
@@ -202,6 +215,12 @@ type Response struct {
 	// node (and, for asks, the remote sub-task spans it adopted) — the
 	// question's cross-node span tree travels back with the answer.
 	Spans []obs.Span
+	// Snapshots are per-node registry snapshots (kindMetricsPull): one for
+	// a single-node pull, one per reachable node for a fleet pull.
+	Snapshots []obs.RegistrySnapshot
+	// Slow is the flight-recorder dump (kindSlow), slowest question first.
+	// Like Status it is a cold operator payload and travels gob-embedded.
+	Slow []obs.QuestionRecord
 	// Ask result metadata.
 	ServedBy  string
 	Forwarded bool
@@ -235,6 +254,10 @@ type Status struct {
 	// Shard is the node's shard-map view (nil when the node runs with a full
 	// collection replica) — rendered by `qactl -status`.
 	Shard *ShardStatus
+	// SLO is the node's evaluated service-level objectives (PR-6): one row
+	// per configured objective with burn rate and tail exemplar — rendered
+	// by `qactl -status` and qatop.
+	SLO []obs.SLOStatus
 }
 
 // ShardStatus is a node's view of the cluster shard map (Status.Shard).
@@ -314,6 +337,14 @@ type StatusMetrics struct {
 	ShardDFReceived int64
 	ShardFailovers  int64
 	ShardEpoch      int64
+	// Go runtime gauges (PR-6), sampled when the status is built: the
+	// profiling-adjacent health figures rendered by `qactl -status`.
+	Goroutines     int64
+	HeapAllocBytes int64
+	GCPauseP99Ms   float64
+	// FlightRecords is how many slow-question records the node's flight
+	// recorder currently retains.
+	FlightRecords int64
 }
 
 // roundTrip sends one request and decodes one response over a fresh

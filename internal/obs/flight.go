@@ -1,0 +1,156 @@
+// Flight recorder: an always-on, bounded keep-the-worst ring of complete
+// per-question records. Where the span ring (Recorder) retains the most
+// *recent* spans, the flight recorder retains the *slowest* questions —
+// each with its full cross-node span tree and serving annotations
+// (cache hit, coalesce, forward, shard fan-out, retries) — so an SLO
+// exemplar's QID can be expanded into the whole story of the question that
+// blew the tail, long after the span ring has wrapped past it.
+//
+// The recorder consumes no randomness and reads no clocks (callers stamp
+// Start/Duration), keeping it off the seeded RNG path the chaos harness
+// relies on for deterministic replays.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// QuestionRecord is one complete serving record of a question.
+type QuestionRecord struct {
+	// QID is the question/trace ID shared with the span tree and exemplars.
+	QID int64
+	// Question is the question text.
+	Question string
+	// Node is the node that served the question (built the final answer).
+	Node string
+	// Err is the serving error, "" on success.
+	Err string
+	// Start and Duration time the end-to-end serving of the question.
+	Start    time.Time
+	Duration time.Duration
+	// Spans is the question's complete span tree (may cross nodes).
+	Spans []Span
+	// Annotations carry serving-path facts joined onto the record:
+	// "cache-hit", "coalesced", "forwarded", "shards=K", "recoveries=N"...
+	Annotations []string
+}
+
+// DefaultFlightCap bounds how many records a flight recorder retains.
+const DefaultFlightCap = 64
+
+// FlightRecorder keeps the worst (slowest) question records seen so far,
+// bounded by a fixed capacity. A nil *FlightRecorder is valid and records
+// nothing. All methods are safe for concurrent use.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	cap  int
+	recs []QuestionRecord
+}
+
+// NewFlightRecorder builds a recorder retaining at most capacity records
+// (DefaultFlightCap when capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCap
+	}
+	return &FlightRecorder{cap: capacity, recs: make([]QuestionRecord, 0, capacity)}
+}
+
+// ShouldConsider reports whether a record with the given duration could be
+// retained right now — the cheap pre-check that lets a serving path skip
+// building the full record (span copy, annotation formatting) for fast
+// questions once the ring is full of slower ones. Racy by design: Consider
+// re-checks under the same lock, so a stale true costs one wasted build and
+// a stale false only drops a record that was borderline anyway.
+func (f *FlightRecorder) ShouldConsider(d time.Duration) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.recs) < f.cap {
+		return true
+	}
+	min := f.recs[0].Duration
+	for i := 1; i < len(f.recs); i++ {
+		if f.recs[i].Duration < min {
+			min = f.recs[i].Duration
+		}
+	}
+	return d > min
+}
+
+// Consider offers a record; it is retained if the recorder has spare
+// capacity or the record is slower than the current fastest retained one
+// (which it then evicts). Returns whether the record was retained.
+func (f *FlightRecorder) Consider(rec QuestionRecord) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.recs) < f.cap {
+		f.recs = append(f.recs, rec)
+		return true
+	}
+	minIdx := 0
+	for i := 1; i < len(f.recs); i++ {
+		if f.recs[i].Duration < f.recs[minIdx].Duration {
+			minIdx = i
+		}
+	}
+	if rec.Duration <= f.recs[minIdx].Duration {
+		return false
+	}
+	f.recs[minIdx] = rec
+	return true
+}
+
+// Worst returns up to k retained records, slowest first (all of them when
+// k <= 0). Ties order by QID so repeated dumps diff clean.
+func (f *FlightRecorder) Worst(k int) []QuestionRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	out := append([]QuestionRecord(nil), f.recs...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration != out[j].Duration {
+			return out[i].Duration > out[j].Duration
+		}
+		return out[i].QID < out[j].QID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// ByQID returns the retained record for a question, if any — the lookup
+// path from an SLO exemplar to its full story.
+func (f *FlightRecorder) ByQID(qid int64) (QuestionRecord, bool) {
+	if f == nil {
+		return QuestionRecord{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.recs {
+		if r.QID == qid {
+			return r, true
+		}
+	}
+	return QuestionRecord{}, false
+}
+
+// Len reports how many records are retained.
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.recs)
+}

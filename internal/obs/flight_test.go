@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(qid int64, d time.Duration) QuestionRecord {
+	return QuestionRecord{QID: qid, Question: "q", Duration: d}
+}
+
+// TestFlightRecorderKeepsWorst checks the keep-the-worst policy: once full,
+// only records slower than the current fastest retained one get in.
+func TestFlightRecorderKeepsWorst(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := int64(1); i <= 3; i++ {
+		if !f.Consider(rec(i, time.Duration(i)*time.Millisecond)) {
+			t.Fatalf("record %d rejected with spare capacity", i)
+		}
+	}
+	// Faster than everything retained: rejected.
+	if f.Consider(rec(99, 500*time.Microsecond)) {
+		t.Error("fast record accepted into a full recorder")
+	}
+	// Slower than the fastest retained (1ms): evicts it.
+	if !f.Consider(rec(4, 10*time.Millisecond)) {
+		t.Error("slow record rejected")
+	}
+	worst := f.Worst(0)
+	if len(worst) != 3 {
+		t.Fatalf("retained %d records, want 3", len(worst))
+	}
+	if worst[0].QID != 4 || worst[0].Duration != 10*time.Millisecond {
+		t.Errorf("worst[0] = %+v, want QID 4", worst[0])
+	}
+	if _, ok := f.ByQID(1); ok {
+		t.Error("evicted record still resolvable")
+	}
+	if _, ok := f.ByQID(4); !ok {
+		t.Error("retained record not resolvable by QID")
+	}
+}
+
+// TestFlightRecorderWorstOrdering checks slowest-first ordering with a QID
+// tie-break so repeated dumps diff clean.
+func TestFlightRecorderWorstOrdering(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Consider(rec(5, 2*time.Millisecond))
+	f.Consider(rec(3, 9*time.Millisecond))
+	f.Consider(rec(7, 2*time.Millisecond))
+	f.Consider(rec(1, 4*time.Millisecond))
+
+	got := f.Worst(3)
+	want := []int64{3, 1, 5} // 9ms, 4ms, then the 2ms tie by QID
+	if len(got) != 3 {
+		t.Fatalf("Worst(3) returned %d records", len(got))
+	}
+	for i, qid := range want {
+		if got[i].QID != qid {
+			t.Errorf("Worst[%d].QID = %d, want %d", i, got[i].QID, qid)
+		}
+	}
+}
+
+// TestFlightRecorderNil checks nil-safety.
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	if f.Consider(rec(1, time.Second)) {
+		t.Error("nil recorder retained a record")
+	}
+	if f.Worst(5) != nil || f.Len() != 0 {
+		t.Error("nil recorder reports records")
+	}
+	if _, ok := f.ByQID(1); ok {
+		t.Error("nil recorder resolved a QID")
+	}
+}
+
+// TestFlightRecorderConcurrent hammers Consider/Worst/ByQID concurrently —
+// the race-detector target for the CI obs step.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				f.Consider(rec(int64(g*1000+i), time.Duration(i)*time.Microsecond))
+				if i%37 == 0 {
+					f.Worst(4)
+					f.ByQID(int64(g*1000 + i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := f.Len(); n != 16 {
+		t.Errorf("retained %d records, want capacity 16", n)
+	}
+	// The slowest offered duration must have survived.
+	if got := f.Worst(1); len(got) != 1 || got[0].Duration != 399*time.Microsecond {
+		t.Errorf("worst retained = %+v, want 399µs", got)
+	}
+}

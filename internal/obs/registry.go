@@ -344,78 +344,9 @@ func (r *Registry) StageObserver(metric string) *stageObserver {
 //	qa_stage_seconds_sum{stage="QP"} 0.0123
 //	qa_stage_seconds_count{stage="QP"} 5
 func (r *Registry) WriteText(w io.Writer) error {
-	r.mu.RLock()
-	entries := make([]*metricEntry, 0, len(r.metrics))
-	for _, e := range r.metrics {
-		entries = append(entries, e)
-	}
-	r.mu.RUnlock()
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].key.name != entries[j].key.name {
-			return entries[i].key.name < entries[j].key.name
-		}
-		return entries[i].key.labels < entries[j].key.labels
-	})
-	var b strings.Builder
-	lastFamily := ""
-	for _, e := range entries {
-		if e.key.name != lastFamily {
-			lastFamily = e.key.name
-			fmt.Fprintf(&b, "# TYPE %s %s\n", e.key.name, typeName(e.kind))
-		}
-		switch e.kind {
-		case kindCounter:
-			if e.c != nil {
-				fmt.Fprintf(&b, "%s%s %d\n", e.key.name, e.key.labels, e.c.Value())
-			}
-		case kindGauge:
-			if e.g != nil {
-				fmt.Fprintf(&b, "%s%s %d\n", e.key.name, e.key.labels, e.g.Value())
-			}
-		case kindHistogram:
-			if e.h != nil {
-				writeHistText(&b, e)
-			}
-		}
-	}
-	_, err := io.WriteString(w, b.String())
-	return err
-}
-
-func typeName(k metricKind) string {
-	switch k {
-	case kindCounter:
-		return "counter"
-	case kindGauge:
-		return "gauge"
-	default:
-		return "histogram"
-	}
-}
-
-// writeHistText renders one histogram's _bucket/_sum/_count series, merging
-// the `le` label into the existing label set.
-func writeHistText(b *strings.Builder, e *metricEntry) {
-	s := e.h.Snapshot()
-	cum := int64(0)
-	for i, bound := range s.Bounds {
-		cum += s.Counts[i]
-		fmt.Fprintf(b, "%s_bucket%s %d\n", e.key.name, withLE(e.labels, formatBound(bound)), cum)
-	}
-	cum += s.Counts[len(s.Counts)-1]
-	fmt.Fprintf(b, "%s_bucket%s %d\n", e.key.name, withLE(e.labels, "+Inf"), cum)
-	fmt.Fprintf(b, "%s_sum%s %g\n", e.key.name, e.key.labels, s.Sum)
-	fmt.Fprintf(b, "%s_count%s %d\n", e.key.name, e.key.labels, s.Count)
-}
-
-// withLE returns the canonical label string with le added.
-func withLE(labels Labels, le string) string {
-	merged := make(Labels, len(labels)+1)
-	for k, v := range labels {
-		merged[k] = v
-	}
-	merged["le"] = le
-	return merged.canonical()
+	// Rendering goes through the snapshot path so a pulled fleet snapshot
+	// and a local scrape are byte-identical.
+	return r.Snapshot().WriteText(w)
 }
 
 // formatBound renders a bucket bound the way Prometheus does.

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"time"
+)
+
+// RuntimeStats is a point-in-time sample of Go runtime health — the
+// profiling-adjacent gauges an operator checks before reaching for pprof.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int
+	// HeapAllocBytes is the in-use heap (runtime.MemStats.HeapAlloc).
+	HeapAllocBytes uint64
+	// GCPauseP99 is the 99th-percentile stop-the-world pause over the
+	// runtime's recent-pause ring (up to the last 256 GCs).
+	GCPauseP99 time.Duration
+	// NumGC counts completed GC cycles.
+	NumGC uint32
+}
+
+// SampleRuntime reads the runtime gauges. ReadMemStats briefly stops the
+// world, so this belongs on scrape/status paths, not per-request ones.
+func SampleRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		NumGC:          ms.NumGC,
+	}
+	n := int(ms.NumGC)
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	if n > 0 {
+		pauses := make([]uint64, n)
+		copy(pauses, ms.PauseNs[:n])
+		sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+		idx := (n*99 + 99) / 100
+		if idx > n {
+			idx = n
+		}
+		st.GCPauseP99 = time.Duration(pauses[idx-1])
+	}
+	return st
+}
+
+// SetRuntimeGauges publishes a runtime sample into the registry as the
+// go_goroutines, go_heap_alloc_bytes, go_gc_pause_p99_ns and go_gc_cycles
+// gauges, refreshed at scrape time by the live node.
+func (r *Registry) SetRuntimeGauges(s RuntimeStats) {
+	r.Gauge("go_goroutines", nil).Set(int64(s.Goroutines))
+	r.Gauge("go_heap_alloc_bytes", nil).Set(int64(s.HeapAllocBytes))
+	r.Gauge("go_gc_pause_p99_ns", nil).Set(int64(s.GCPauseP99))
+	r.Gauge("go_gc_cycles", nil).Set(int64(s.NumGC))
+}

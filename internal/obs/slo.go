@@ -1,0 +1,313 @@
+// SLO engine: rolling-window latency and error objectives per operation,
+// with burn-rate computation and per-bucket exemplars.
+//
+// The paper argues from tail behaviour — per-module latency decomposition
+// and the load spikes of Figure 7 — so the cluster needs an answer to "is
+// the p99 objective met over the last minute/hour, and which question blew
+// it". The engine keeps a ring of fixed-interval slots per op; a window
+// snapshot sums the slots the window covers, giving true rolling-window
+// histograms without per-observation timestamps. Exemplars attach the most
+// recent question ID to each latency bucket, so a tail bucket resolves to a
+// concrete QID the flight recorder can expand into a full span tree.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Objective is one service-level objective over an op's rolling window.
+type Objective struct {
+	// Op names the operation ("ask", "ShardPR", "forward").
+	Op string
+	// Quantile is the latency quantile the objective bounds (e.g. 0.99).
+	Quantile float64
+	// Target is the latency bound in seconds at that quantile.
+	Target float64
+	// Window is the rolling evaluation window (1m, 5m, 1h).
+	Window time.Duration
+	// MaxErrorRate is the allowed error fraction over the window
+	// (0 disables the error objective).
+	MaxErrorRate float64
+}
+
+// DefaultObjectives returns the stock cluster objectives for the three
+// serving-path ops. Targets are generous for a single-machine test cluster;
+// operators tune them per deployment.
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{Op: "ask", Quantile: 0.99, Target: 2.5, Window: 5 * time.Minute, MaxErrorRate: 0.01},
+		{Op: "ShardPR", Quantile: 0.99, Target: 1.0, Window: 5 * time.Minute, MaxErrorRate: 0.01},
+		{Op: "forward", Quantile: 0.99, Target: 1.0, Window: 5 * time.Minute, MaxErrorRate: 0.05},
+	}
+}
+
+// Exemplar links a latency bucket back to a concrete question.
+type Exemplar struct {
+	// QID is the question whose observation landed in the bucket.
+	QID int64
+	// Seconds is that observation's latency.
+	Seconds float64
+	// At is when the observation was recorded.
+	At time.Time
+}
+
+// SLOStatus is one objective's evaluated state, shipped in the status
+// payload and rendered by qactl -status and qatop.
+type SLOStatus struct {
+	Op       string
+	Window   time.Duration
+	Quantile float64
+	// Target and Observed are seconds at the objective quantile.
+	Target   float64
+	Observed float64
+	// Total and Errors count observations in the window.
+	Total  int64
+	Errors int64
+	// BurnRate is how fast the error budget is being consumed: the worse of
+	// the latency burn (fraction of observations over Target divided by the
+	// allowed 1-Quantile fraction) and the error burn (error rate divided by
+	// MaxErrorRate). 1.0 means burning exactly the budget; >1 is violating.
+	BurnRate float64
+	// OK reports whether the objective currently holds.
+	OK bool
+	// ExemplarQID identifies a question in the bucket containing the
+	// observed quantile (0 if none recorded), with its latency in
+	// ExemplarSeconds.
+	ExemplarQID     int64
+	ExemplarSeconds float64
+}
+
+// sloSlot is one fixed-interval time slot of an op's ring.
+type sloSlot struct {
+	index  int64 // absolute slot index (unix nanos / interval); -1 = empty
+	counts []int64
+	count  int64
+	sum    float64
+	errs   int64
+}
+
+// opWindow is one op's slot ring plus per-bucket exemplars.
+type opWindow struct {
+	slots     []sloSlot
+	exemplars []Exemplar // len(bounds)+1, most recent observation per bucket
+}
+
+// SLOConfig tunes an SLOEngine. The zero value selects 15 s slots, 1 h of
+// retention, LatencyBuckets bounds, DefaultObjectives and the real clock.
+type SLOConfig struct {
+	Interval   time.Duration
+	Slots      int
+	Bounds     []float64
+	Objectives []Objective
+	// Clock overrides time.Now — injected by tests to step windows
+	// deterministically.
+	Clock func() time.Time
+}
+
+// SLOEngine records per-op latency/error observations into rolling windows
+// and evaluates objectives against them. A nil *SLOEngine is valid and
+// records nothing, so plumbing needs no conditionals. All methods are safe
+// for concurrent use.
+type SLOEngine struct {
+	interval   time.Duration
+	bounds     []float64
+	objectives []Objective
+	now        func() time.Time
+
+	mu  sync.Mutex
+	ops map[string]*opWindow
+	n   int // slots per ring
+}
+
+// NewSLOEngine builds an engine from cfg (zero fields take defaults).
+func NewSLOEngine(cfg SLOConfig) *SLOEngine {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = int(time.Hour / cfg.Interval)
+		if cfg.Slots < 8 {
+			cfg.Slots = 8
+		}
+	}
+	if len(cfg.Bounds) == 0 {
+		cfg.Bounds = LatencyBuckets()
+	}
+	if cfg.Objectives == nil {
+		cfg.Objectives = DefaultObjectives()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	bs := append([]float64(nil), cfg.Bounds...)
+	sort.Float64s(bs)
+	return &SLOEngine{
+		interval:   cfg.Interval,
+		bounds:     bs,
+		objectives: append([]Objective(nil), cfg.Objectives...),
+		now:        cfg.Clock,
+		ops:        make(map[string]*opWindow),
+		n:          cfg.Slots,
+	}
+}
+
+// Objectives returns the configured objectives.
+func (e *SLOEngine) Objectives() []Objective {
+	if e == nil {
+		return nil
+	}
+	return append([]Objective(nil), e.objectives...)
+}
+
+// slotFor returns the ring slot covering now, resetting it if the ring has
+// lapped past its previous tenancy. Caller holds e.mu.
+func (e *SLOEngine) slotFor(w *opWindow, now time.Time) *sloSlot {
+	idx := now.UnixNano() / int64(e.interval)
+	s := &w.slots[int(idx%int64(e.n)+int64(e.n))%e.n]
+	if s.index != idx {
+		s.index = idx
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.count, s.sum, s.errs = 0, 0, 0
+	}
+	return s
+}
+
+func (e *SLOEngine) window(op string) *opWindow {
+	w, ok := e.ops[op]
+	if !ok {
+		w = &opWindow{
+			slots:     make([]sloSlot, e.n),
+			exemplars: make([]Exemplar, len(e.bounds)+1),
+		}
+		for i := range w.slots {
+			w.slots[i].index = -1
+			w.slots[i].counts = make([]int64, len(e.bounds)+1)
+		}
+		e.ops[op] = w
+	}
+	return w
+}
+
+// Observe records one completed operation: its latency in seconds, the
+// question it served (0 if none — no exemplar is recorded then), and
+// whether it failed.
+func (e *SLOEngine) Observe(op string, seconds float64, qid int64, failed bool) {
+	if e == nil {
+		return
+	}
+	now := e.now()
+	bucket := sort.SearchFloat64s(e.bounds, seconds)
+	e.mu.Lock()
+	w := e.window(op)
+	s := e.slotFor(w, now)
+	s.counts[bucket]++
+	s.count++
+	s.sum += seconds
+	if failed {
+		s.errs++
+	}
+	if qid != 0 {
+		w.exemplars[bucket] = Exemplar{QID: qid, Seconds: seconds, At: now}
+	}
+	e.mu.Unlock()
+}
+
+// WindowSnapshot sums the slots the rolling window covers into a histogram
+// snapshot plus error/total counts and a copy of the per-bucket exemplars.
+func (e *SLOEngine) WindowSnapshot(op string, window time.Duration) (HistSnapshot, int64, []Exemplar) {
+	if e == nil {
+		return HistSnapshot{}, 0, nil
+	}
+	if window < e.interval {
+		window = e.interval
+	}
+	now := e.now()
+	last := now.UnixNano() / int64(e.interval)
+	first := last - int64(window/e.interval) + 1
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	w, ok := e.ops[op]
+	if !ok {
+		return HistSnapshot{Bounds: e.bounds, Counts: make([]int64, len(e.bounds)+1)}, 0, nil
+	}
+	hs := HistSnapshot{Bounds: e.bounds, Counts: make([]int64, len(e.bounds)+1)}
+	errs := int64(0)
+	for i := range w.slots {
+		s := &w.slots[i]
+		if s.index < first || s.index > last {
+			continue
+		}
+		for j, c := range s.counts {
+			hs.Counts[j] += c
+		}
+		hs.Count += s.count
+		hs.Sum += s.sum
+		errs += s.errs
+	}
+	return hs, errs, append([]Exemplar(nil), w.exemplars...)
+}
+
+// Status evaluates every configured objective against its window.
+func (e *SLOEngine) Status() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	out := make([]SLOStatus, 0, len(e.objectives))
+	for _, o := range e.objectives {
+		out = append(out, e.evaluate(o))
+	}
+	return out
+}
+
+// evaluate computes one objective's SLOStatus.
+func (e *SLOEngine) evaluate(o Objective) SLOStatus {
+	hs, errs, exemplars := e.WindowSnapshot(o.Op, o.Window)
+	st := SLOStatus{
+		Op: o.Op, Window: o.Window, Quantile: o.Quantile, Target: o.Target,
+		Total: hs.Count, Errors: errs, OK: true,
+	}
+	if hs.Count == 0 {
+		return st
+	}
+	st.Observed = hs.Quantile(o.Quantile)
+
+	// Latency burn: the fraction of observations slower than the target,
+	// relative to the 1-Quantile fraction the objective allows. Bucketed
+	// data gives the conservative reading — every bucket whose upper bound
+	// exceeds the target counts as over.
+	over := int64(0)
+	for i, c := range hs.Counts {
+		if i >= len(hs.Bounds) || hs.Bounds[i] > o.Target {
+			over += c
+		}
+	}
+	budget := 1 - o.Quantile
+	if budget > 0 {
+		st.BurnRate = (float64(over) / float64(hs.Count)) / budget
+	}
+	// Error burn: error rate relative to the allowed rate.
+	if o.MaxErrorRate > 0 {
+		if eb := (float64(errs) / float64(hs.Count)) / o.MaxErrorRate; eb > st.BurnRate {
+			st.BurnRate = eb
+		}
+	}
+	st.OK = st.Observed <= o.Target && st.BurnRate <= 1
+
+	// Exemplar: the deepest occupied bucket at or above the one containing
+	// the observed quantile — the objective's tail — so the status resolves
+	// to the concrete question that blew (or came closest to blowing) it.
+	qb := sort.SearchFloat64s(hs.Bounds, st.Observed)
+	pick := exemplars[qb]
+	for i := len(exemplars) - 1; i > qb; i-- {
+		if hs.Counts[i] > 0 && exemplars[i].QID != 0 {
+			pick = exemplars[i]
+			break
+		}
+	}
+	st.ExemplarQID, st.ExemplarSeconds = pick.QID, pick.Seconds
+	return st
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is a hand-stepped clock for deterministic window tests.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testEngine(clk *testClock, objectives []Objective) *SLOEngine {
+	return NewSLOEngine(SLOConfig{
+		Interval:   time.Second,
+		Slots:      3600,
+		Objectives: objectives,
+		Clock:      clk.Now,
+	})
+}
+
+// TestSLOWindowRolls checks that observations age out of a rolling window
+// as the clock advances, while a longer window still sees them.
+func TestSLOWindowRolls(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(clk, DefaultObjectives())
+	e.Observe("ask", 0.010, 101, false)
+	clk.Advance(30 * time.Second)
+	e.Observe("ask", 0.020, 102, false)
+
+	hs, _, _ := e.WindowSnapshot("ask", time.Minute)
+	if hs.Count != 2 {
+		t.Errorf("1m window sees %d observations, want 2", hs.Count)
+	}
+	clk.Advance(45 * time.Second) // first observation is now 75s old
+	hs, _, _ = e.WindowSnapshot("ask", time.Minute)
+	if hs.Count != 1 {
+		t.Errorf("1m window sees %d observations after roll, want 1", hs.Count)
+	}
+	hs, _, _ = e.WindowSnapshot("ask", 5*time.Minute)
+	if hs.Count != 2 {
+		t.Errorf("5m window sees %d observations, want 2", hs.Count)
+	}
+	// Far future: everything aged out (and the ring has lapped).
+	clk.Advance(2 * time.Hour)
+	hs, _, _ = e.WindowSnapshot("ask", 5*time.Minute)
+	if hs.Count != 0 {
+		t.Errorf("window sees %d observations 2h later, want 0", hs.Count)
+	}
+}
+
+// TestSLOStatusMeetsObjective checks the healthy case: fast observations,
+// OK=true, burn rate 0.
+func TestSLOStatusMeetsObjective(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(clk, []Objective{{Op: "ask", Quantile: 0.99, Target: 1.0, Window: time.Minute, MaxErrorRate: 0.1}})
+	for i := 0; i < 100; i++ {
+		e.Observe("ask", 0.010, int64(1000+i), false)
+	}
+	sts := e.Status()
+	if len(sts) != 1 {
+		t.Fatalf("status rows = %d, want 1", len(sts))
+	}
+	st := sts[0]
+	if !st.OK || st.BurnRate != 0 || st.Total != 100 || st.Errors != 0 {
+		t.Errorf("healthy status = %+v, want OK with zero burn", st)
+	}
+	if st.Observed > 0.025 {
+		t.Errorf("observed p99 = %v, want ~0.01", st.Observed)
+	}
+}
+
+// TestSLOLatencyBurnAndViolation checks that tail latency over target
+// drives the burn rate past 1 and flips OK.
+func TestSLOLatencyBurnAndViolation(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(clk, []Objective{{Op: "ask", Quantile: 0.9, Target: 0.1, Window: time.Minute}})
+	// 50 fast, 50 slow: 50% of observations over a target that allows 10%.
+	for i := 0; i < 50; i++ {
+		e.Observe("ask", 0.010, 0, false)
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe("ask", 2.0, int64(2000+i), false)
+	}
+	st := e.Status()[0]
+	if st.OK {
+		t.Errorf("status OK despite p90 %.3fs over 0.1s target", st.Observed)
+	}
+	if st.BurnRate < 4.9 || st.BurnRate > 5.1 { // 0.5 over / 0.1 budget = 5x
+		t.Errorf("burn rate = %.2f, want ~5", st.BurnRate)
+	}
+	if st.Observed <= 0.1 {
+		t.Errorf("observed p90 = %v, want > target", st.Observed)
+	}
+}
+
+// TestSLOErrorBurn checks the error-rate objective: errors alone (with fast
+// latency) must trip the burn rate.
+func TestSLOErrorBurn(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(clk, []Objective{{Op: "forward", Quantile: 0.99, Target: 10, Window: time.Minute, MaxErrorRate: 0.01}})
+	for i := 0; i < 95; i++ {
+		e.Observe("forward", 0.001, 0, false)
+	}
+	for i := 0; i < 5; i++ {
+		e.Observe("forward", 0.001, 0, true)
+	}
+	st := e.Status()[0]
+	if st.Errors != 5 || st.Total != 100 {
+		t.Fatalf("errors/total = %d/%d, want 5/100", st.Errors, st.Total)
+	}
+	if st.OK {
+		t.Error("status OK despite 5% errors against a 1% objective")
+	}
+	if st.BurnRate < 4.9 || st.BurnRate > 5.1 {
+		t.Errorf("error burn rate = %.2f, want ~5", st.BurnRate)
+	}
+}
+
+// TestSLOExemplarResolvesTailQID checks the exemplar contract: the bucket
+// containing the observed quantile carries the QID of a question that
+// landed there.
+func TestSLOExemplarResolvesTailQID(t *testing.T) {
+	clk := newTestClock()
+	e := testEngine(clk, []Objective{{Op: "ask", Quantile: 0.99, Target: 0.5, Window: time.Minute}})
+	for i := 0; i < 99; i++ {
+		e.Observe("ask", 0.010, int64(100+i), false)
+	}
+	const slowQID = 777
+	e.Observe("ask", 3.0, slowQID, false)
+
+	st := e.Status()[0]
+	if st.ExemplarQID != slowQID {
+		t.Errorf("exemplar QID = %d, want %d (the slow question)", st.ExemplarQID, slowQID)
+	}
+	if st.ExemplarSeconds != 3.0 {
+		t.Errorf("exemplar seconds = %v, want 3.0", st.ExemplarSeconds)
+	}
+}
+
+// TestSLOEngineNil checks nil-safety: a nil engine records and evaluates
+// nothing without panicking.
+func TestSLOEngineNil(t *testing.T) {
+	var e *SLOEngine
+	e.Observe("ask", 1, 1, false)
+	if st := e.Status(); st != nil {
+		t.Errorf("nil engine status = %v, want nil", st)
+	}
+	if obj := e.Objectives(); obj != nil {
+		t.Errorf("nil engine objectives = %v, want nil", obj)
+	}
+}
+
+// TestSLOEngineConcurrent hammers Observe/Status/WindowSnapshot from many
+// goroutines — the race-detector target for the CI obs step.
+func TestSLOEngineConcurrent(t *testing.T) {
+	// A one-minute interval keeps the whole run inside one ring slot, so
+	// no observation can be lapped away while goroutines hammer the engine.
+	e := NewSLOEngine(SLOConfig{Interval: time.Minute, Slots: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ops := []string{"ask", "ShardPR", "forward"}
+			for i := 0; i < 500; i++ {
+				e.Observe(ops[i%len(ops)], float64(i)*1e-4, int64(g*1000+i), i%17 == 0)
+				if i%50 == 0 {
+					e.Status()
+					e.WindowSnapshot("ask", 10*time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, op := range []string{"ask", "ShardPR", "forward"} {
+		hs, _, _ := e.WindowSnapshot(op, time.Hour)
+		total += hs.Count
+	}
+	if total != 8*500 {
+		t.Errorf("total observations = %d, want %d", total, 8*500)
+	}
+}

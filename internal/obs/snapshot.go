@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Metric kinds carried in a RegistrySnapshot. The values are wire-stable:
+// the live cluster's kindMetricsPull op encodes them as single bytes.
+const (
+	MetricCounter   uint8 = 0
+	MetricGauge     uint8 = 1
+	MetricHistogram uint8 = 2
+)
+
+// LabelPair is one label as an ordered pair. Snapshots carry labels as
+// sorted slices instead of maps so their encodings (and merged exposition
+// output) are deterministic.
+type LabelPair struct {
+	Key   string
+	Value string
+}
+
+// SnapshotMetric is one metric series frozen at snapshot time.
+type SnapshotMetric struct {
+	// Name is the metric family name.
+	Name string
+	// Kind is MetricCounter, MetricGauge or MetricHistogram.
+	Kind uint8
+	// Labels are the series labels, sorted by key.
+	Labels []LabelPair
+	// Value holds the counter or gauge value (unused for histograms).
+	Value int64
+	// Hist holds the histogram state (nil for counters and gauges).
+	Hist *HistSnapshot
+}
+
+// RegistrySnapshot is a point-in-time copy of a whole registry — the unit
+// the fleet-aggregation wire op ships between nodes. Metrics are ordered by
+// (Name, label string), the same order WriteText renders.
+type RegistrySnapshot struct {
+	// Node names the node the snapshot came from ("" for a local snapshot
+	// or a merged view).
+	Node string
+	// TakenAt is when the snapshot was captured.
+	TakenAt time.Time
+	// Metrics are the frozen series.
+	Metrics []SnapshotMetric
+}
+
+// labelString renders sorted pairs as `{k1="v1",k2="v2"}` ("" when empty),
+// matching Labels.canonical so snapshot exposition is byte-identical to a
+// live registry scrape. %q escapes backslashes, quotes and newlines the way
+// the Prometheus text format requires.
+func labelString(pairs []LabelPair) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.Key, p.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelStringWith renders pairs with one extra label inserted at its sorted
+// position — used to merge `le` into a histogram's label set.
+func labelStringWith(pairs []LabelPair, key, value string) string {
+	i := sort.Search(len(pairs), func(i int) bool { return pairs[i].Key >= key })
+	merged := make([]LabelPair, 0, len(pairs)+1)
+	merged = append(merged, pairs[:i]...)
+	merged = append(merged, LabelPair{Key: key, Value: value})
+	merged = append(merged, pairs[i:]...)
+	return labelString(merged)
+}
+
+// pairsOf converts a label map into a sorted pair slice.
+func pairsOf(ls Labels) []LabelPair {
+	if len(ls) == 0 {
+		return nil
+	}
+	pairs := make([]LabelPair, 0, len(ls))
+	for k, v := range ls {
+		pairs = append(pairs, LabelPair{Key: k, Value: v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	return pairs
+}
+
+// Snapshot freezes every metric in the registry, ordered by family name
+// then canonical label string. WriteText renders through this, so a pulled
+// snapshot and a local scrape produce identical exposition text.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	entries := make([]*metricEntry, 0, len(r.metrics))
+	for _, e := range r.metrics {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key.name != entries[j].key.name {
+			return entries[i].key.name < entries[j].key.name
+		}
+		return entries[i].key.labels < entries[j].key.labels
+	})
+	snap := RegistrySnapshot{TakenAt: time.Now(), Metrics: make([]SnapshotMetric, 0, len(entries))}
+	for _, e := range entries {
+		m := SnapshotMetric{Name: e.key.name, Labels: pairsOf(e.labels)}
+		switch e.kind {
+		case kindCounter:
+			if e.c == nil {
+				continue
+			}
+			m.Kind = MetricCounter
+			m.Value = e.c.Value()
+		case kindGauge:
+			if e.g == nil {
+				continue
+			}
+			m.Kind = MetricGauge
+			m.Value = e.g.Value()
+		case kindHistogram:
+			if e.h == nil {
+				continue
+			}
+			m.Kind = MetricHistogram
+			h := e.h.Snapshot()
+			m.Hist = &h
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	return snap
+}
+
+// kindString maps a snapshot metric kind to its exposition TYPE name.
+func kindString(k uint8) string {
+	switch k {
+	case MetricCounter:
+		return "counter"
+	case MetricGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// WriteText renders the snapshot in the Prometheus text exposition format,
+// identical to Registry.WriteText over the live registry.
+func (s RegistrySnapshot) WriteText(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range s.Metrics {
+		if m.Name != lastFamily {
+			lastFamily = m.Name
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, kindString(m.Kind))
+		}
+		labels := labelString(m.Labels)
+		switch m.Kind {
+		case MetricCounter, MetricGauge:
+			fmt.Fprintf(&b, "%s%s %d\n", m.Name, labels, m.Value)
+		case MetricHistogram:
+			if m.Hist == nil {
+				continue
+			}
+			cum := int64(0)
+			for i, bound := range m.Hist.Bounds {
+				cum += m.Hist.Counts[i]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.Name, labelStringWith(m.Labels, "le", formatBound(bound)), cum)
+			}
+			cum += m.Hist.Counts[len(m.Hist.Counts)-1]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.Name, labelStringWith(m.Labels, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %g\n", m.Name, labels, m.Hist.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.Name, labels, m.Hist.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Value looks up a counter or gauge series by name and labels.
+func (s RegistrySnapshot) Value(name string, labels Labels) (int64, bool) {
+	want := labelString(pairsOf(labels))
+	for _, m := range s.Metrics {
+		if m.Name == name && m.Kind != MetricHistogram && labelString(m.Labels) == want {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Hist looks up a histogram series by name and labels.
+func (s RegistrySnapshot) Hist(name string, labels Labels) (*HistSnapshot, bool) {
+	want := labelString(pairsOf(labels))
+	for _, m := range s.Metrics {
+		if m.Name == name && m.Kind == MetricHistogram && labelString(m.Labels) == want {
+			return m.Hist, true
+		}
+	}
+	return nil, false
+}
+
+// MergeSnapshots folds per-node snapshots into one cluster-wide view:
+// counters and gauges sum; histograms with identical bucket bounds merge
+// per-bucket (preserving count and sum exactly); a histogram whose bounds
+// differ from the first-seen series contributes its Count and Sum with the
+// whole count landing in the +Inf bucket, keeping the sum-of-buckets ==
+// Count invariant (and hence cumulative-bucket monotonicity) intact.
+// The merged snapshot's TakenAt is the latest input capture time and its
+// metrics are ordered like a registry scrape.
+func MergeSnapshots(snaps []RegistrySnapshot) RegistrySnapshot {
+	type seriesKey struct {
+		name   string
+		labels string
+	}
+	merged := make(map[seriesKey]*SnapshotMetric)
+	var order []seriesKey
+	out := RegistrySnapshot{}
+	for _, s := range snaps {
+		if s.TakenAt.After(out.TakenAt) {
+			out.TakenAt = s.TakenAt
+		}
+		for _, m := range s.Metrics {
+			key := seriesKey{name: m.Name, labels: labelString(m.Labels)}
+			dst, ok := merged[key]
+			if !ok {
+				cp := m
+				cp.Labels = append([]LabelPair(nil), m.Labels...)
+				if m.Hist != nil {
+					h := *m.Hist
+					h.Bounds = append([]float64(nil), m.Hist.Bounds...)
+					h.Counts = append([]int64(nil), m.Hist.Counts...)
+					cp.Hist = &h
+				}
+				merged[key] = &cp
+				order = append(order, key)
+				continue
+			}
+			switch m.Kind {
+			case MetricCounter, MetricGauge:
+				dst.Value += m.Value
+			case MetricHistogram:
+				if m.Hist == nil || dst.Hist == nil {
+					continue
+				}
+				dst.Hist.Count += m.Hist.Count
+				dst.Hist.Sum += m.Hist.Sum
+				if boundsEqual(dst.Hist.Bounds, m.Hist.Bounds) {
+					for i := range m.Hist.Counts {
+						dst.Hist.Counts[i] += m.Hist.Counts[i]
+					}
+				} else {
+					// Incompatible bounds: coarsen into the overflow bucket.
+					dst.Hist.Counts[len(dst.Hist.Counts)-1] += m.Hist.Count
+				}
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].name != order[j].name {
+			return order[i].name < order[j].name
+		}
+		return order[i].labels < order[j].labels
+	})
+	out.Metrics = make([]SnapshotMetric, 0, len(order))
+	for _, key := range order {
+		out.Metrics = append(out.Metrics, *merged[key])
+	}
+	return out
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

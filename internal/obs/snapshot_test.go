@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSnapshotWriteTextMatchesRegistry pins the core aggregation contract:
+// a frozen snapshot renders byte-identically to a live registry scrape.
+func TestSnapshotWriteTextMatchesRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("live_questions_total", nil).Add(7)
+	r.Gauge("live_queue_depth", Labels{"node": "a"}).Set(3)
+	h := r.Histogram("qa_stage_seconds", Labels{"stage": "PR"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(3)
+
+	var direct strings.Builder
+	if err := r.WriteText(&direct); err != nil {
+		t.Fatal(err)
+	}
+	var viaSnap strings.Builder
+	if err := r.Snapshot().WriteText(&viaSnap); err != nil {
+		t.Fatal(err)
+	}
+	if direct.String() != viaSnap.String() {
+		t.Fatalf("snapshot exposition differs from registry exposition:\n--- registry:\n%s--- snapshot:\n%s",
+			direct.String(), viaSnap.String())
+	}
+}
+
+// TestExpositionLabelEscaping checks Prometheus label escaping: quotes,
+// backslashes and newlines in label values must be escaped in both the
+// plain series and the histogram `le` series.
+func TestExpositionLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", Labels{"q": `he said "hi"`, "p": `back\slash`, "n": "two\nlines"}).Add(1)
+	h := r.Histogram("weird_seconds", Labels{"q": `quo"te`}, []float64{1})
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`q="he said \"hi\""`,
+		`p="back\\slash"`,
+		`n="two\nlines"`,
+		`weird_seconds_bucket{le="1",q="quo\"te"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// No raw newline may survive inside a label value: every line must
+	// still parse as one series.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" {
+			t.Errorf("empty exposition line (unescaped newline?):\n%s", text)
+		}
+	}
+}
+
+// TestMergeSnapshotsCountersAndGauges checks that scalar series sum across
+// nodes while series with distinct labels stay distinct.
+func TestMergeSnapshotsCountersAndGauges(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("live_questions_total", nil).Add(5)
+	rb.Counter("live_questions_total", nil).Add(9)
+	ra.Gauge("go_goroutines", nil).Set(12)
+	rb.Gauge("go_goroutines", nil).Set(30)
+	ra.Counter("per_node_total", Labels{"node": "a"}).Add(1)
+	rb.Counter("per_node_total", Labels{"node": "b"}).Add(2)
+
+	m := MergeSnapshots([]RegistrySnapshot{ra.Snapshot(), rb.Snapshot()})
+	if v, ok := m.Value("live_questions_total", nil); !ok || v != 14 {
+		t.Errorf("merged counter = %d, %v; want 14, true", v, ok)
+	}
+	if v, ok := m.Value("go_goroutines", nil); !ok || v != 42 {
+		t.Errorf("merged gauge = %d, %v; want 42, true", v, ok)
+	}
+	if v, _ := m.Value("per_node_total", Labels{"node": "a"}); v != 1 {
+		t.Errorf("labelled series a = %d, want 1", v)
+	}
+	if v, _ := m.Value("per_node_total", Labels{"node": "b"}); v != 2 {
+		t.Errorf("labelled series b = %d, want 2", v)
+	}
+}
+
+// TestMergeSnapshotsHistogram checks the histogram merge invariants the
+// satellite task pins: count and sum are preserved exactly, per-bucket
+// counts add, and the cumulative bucket series stays monotone.
+func TestMergeSnapshotsHistogram(t *testing.T) {
+	bounds := []float64{0.1, 1, 10}
+	ra, rb := NewRegistry(), NewRegistry()
+	ha := ra.Histogram("ask_seconds", nil, bounds)
+	hb := rb.Histogram("ask_seconds", nil, bounds)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5} {
+		ha.Observe(v)
+	}
+	for _, v := range []float64{0.07, 2, 50} {
+		hb.Observe(v)
+	}
+
+	m := MergeSnapshots([]RegistrySnapshot{ra.Snapshot(), rb.Snapshot()})
+	hs, ok := m.Hist("ask_seconds", nil)
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if hs.Count != 7 {
+		t.Errorf("merged count = %d, want 7", hs.Count)
+	}
+	if want := 0.05 + 0.5 + 0.5 + 5 + 0.07 + 2 + 50; abs(hs.Sum-want) > 1e-9 {
+		t.Errorf("merged sum = %v, want %v", hs.Sum, want)
+	}
+	wantCounts := []int64{2, 2, 2, 1} // (0,.1]=2 (.1,1]=2 (1,10]=2 +Inf=1
+	total := int64(0)
+	for i, c := range hs.Counts {
+		if c != wantCounts[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, wantCounts[i])
+		}
+		total += c
+	}
+	if total != hs.Count {
+		t.Errorf("bucket total %d != count %d", total, hs.Count)
+	}
+	// Cumulative monotonicity as rendered.
+	cum, prev := int64(0), int64(-1)
+	for _, c := range hs.Counts {
+		cum += c
+		if cum < prev {
+			t.Fatalf("cumulative bucket series not monotone: %v", hs.Counts)
+		}
+		prev = cum
+	}
+}
+
+// TestMergeSnapshotsMismatchedBounds checks the coarsening path: a series
+// whose bounds differ still contributes count and sum, landing its whole
+// count in +Inf so sum-of-buckets == Count holds in the merged view.
+func TestMergeSnapshotsMismatchedBounds(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Histogram("x_seconds", nil, []float64{1}).Observe(0.5)
+	rb.Histogram("x_seconds", nil, []float64{2}).Observe(0.5)
+
+	m := MergeSnapshots([]RegistrySnapshot{ra.Snapshot(), rb.Snapshot()})
+	hs, ok := m.Hist("x_seconds", nil)
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if hs.Count != 2 || abs(hs.Sum-1.0) > 1e-9 {
+		t.Errorf("count/sum = %d/%v, want 2/1.0", hs.Count, hs.Sum)
+	}
+	total := int64(0)
+	for _, c := range hs.Counts {
+		total += c
+	}
+	if total != hs.Count {
+		t.Errorf("bucket total %d != count %d after coarsening", total, hs.Count)
+	}
+}
+
+// TestMergeSnapshotsDeterministicOrder checks that the merged metric order
+// (and hence exposition text) is independent of input snapshot order.
+func TestMergeSnapshotsDeterministicOrder(t *testing.T) {
+	ra, rb := NewRegistry(), NewRegistry()
+	ra.Counter("b_total", nil).Add(1)
+	ra.Counter("a_total", Labels{"x": "2"}).Add(1)
+	rb.Counter("a_total", Labels{"x": "1"}).Add(1)
+	rb.Counter("c_total", nil).Add(1)
+	sa, sb := ra.Snapshot(), rb.Snapshot()
+
+	var fwd, rev strings.Builder
+	if err := MergeSnapshots([]RegistrySnapshot{sa, sb}).WriteText(&fwd); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeSnapshots([]RegistrySnapshot{sb, sa}).WriteText(&rev); err != nil {
+		t.Fatal(err)
+	}
+	if fwd.String() != rev.String() {
+		t.Fatalf("merge order affects exposition:\n--- fwd:\n%s--- rev:\n%s", fwd.String(), rev.String())
+	}
+	if !strings.HasPrefix(fwd.String(), "# TYPE a_total counter\n") {
+		t.Errorf("merged exposition not name-sorted:\n%s", fwd.String())
+	}
+}
+
+// TestMergeSnapshotsTakenAt checks the merged capture time is the latest
+// input capture time.
+func TestMergeSnapshotsTakenAt(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	snaps := []RegistrySnapshot{{TakenAt: t0}, {TakenAt: t0.Add(time.Minute)}, {TakenAt: t0.Add(30 * time.Second)}}
+	if got := MergeSnapshots(snaps).TakenAt; !got.Equal(t0.Add(time.Minute)) {
+		t.Errorf("merged TakenAt = %v, want %v", got, t0.Add(time.Minute))
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SortSpans orders spans by start time, breaking ties by span ID, so
+// repeated dumps of the same question diff clean even when sibling spans
+// started within the clock's resolution.
+func SortSpans(ss []Span) {
+	sort.Slice(ss, func(i, j int) bool {
+		if !ss[i].Start.Equal(ss[j].Start) {
+			return ss[i].Start.Before(ss[j].Start)
+		}
+		return ss[i].ID < ss[j].ID
+	})
+}
+
+// FormatSpanTree renders spans as an indented tree with the executing node
+// and duration inline, siblings in deterministic (start time, span ID)
+// order:
+//
+//	ask  [127.0.0.1:7102]  52.1ms
+//	  stage:QP  [127.0.0.1:7102]  0.3ms
+//	  partition:AP  [127.0.0.1:7102]  31.0ms
+//	    ap-subtask  [127.0.0.1:7103]  28.9ms
+//
+// Spans whose parent is absent from the slice render as roots, so partial
+// trees (a ring that wrapped mid-question) still print.
+func FormatSpanTree(w io.Writer, spans []Span) {
+	children := make(map[int64][]Span)
+	byID := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	var roots []Span
+	for _, s := range spans {
+		if s.Parent != 0 && byID[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	SortSpans(roots)
+	var walk func(s Span, depth int)
+	walk = func(s Span, depth int) {
+		fmt.Fprintf(w, "%s%s  [%s]  %.1fms\n",
+			strings.Repeat("  ", depth), s.Name, s.Node,
+			float64(s.Duration().Microseconds())/1000)
+		kids := children[s.ID]
+		SortSpans(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFormatSpanTreeDeterministic checks sibling ordering: identical start
+// times fall back to span-ID order, so shuffled input renders identically.
+func TestFormatSpanTreeDeterministic(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	spans := []Span{
+		{QID: 1, ID: 10, Name: "ask", Node: "a", Start: t0, End: t0.Add(50 * time.Millisecond)},
+		// Two siblings with the same start time — only the ID tie-break
+		// keeps their order stable.
+		{QID: 1, ID: 12, Parent: 10, Name: "stage:PR", Node: "a", Start: t0.Add(time.Millisecond), End: t0.Add(10 * time.Millisecond)},
+		{QID: 1, ID: 11, Parent: 10, Name: "stage:QP", Node: "a", Start: t0.Add(time.Millisecond), End: t0.Add(2 * time.Millisecond)},
+		{QID: 1, ID: 13, Parent: 12, Name: "pr-subtask", Node: "b", Start: t0.Add(2 * time.Millisecond), End: t0.Add(9 * time.Millisecond)},
+	}
+	render := func(ss []Span) string {
+		var b strings.Builder
+		FormatSpanTree(&b, ss)
+		return b.String()
+	}
+	want := "ask  [a]  50.0ms\n" +
+		"  stage:QP  [a]  1.0ms\n" +
+		"  stage:PR  [a]  9.0ms\n" +
+		"    pr-subtask  [b]  7.0ms\n"
+	if got := render(spans); got != want {
+		t.Errorf("tree =\n%s\nwant:\n%s", got, want)
+	}
+	// Every permutation-ish shuffle renders the same bytes.
+	shuffled := []Span{spans[3], spans[1], spans[0], spans[2]}
+	if render(shuffled) != want {
+		t.Errorf("shuffled input changed the rendering:\n%s", render(shuffled))
+	}
+}
+
+// TestFormatSpanTreeOrphanRoots checks that spans whose parent is missing
+// from the slice render as roots instead of vanishing.
+func TestFormatSpanTreeOrphanRoots(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	spans := []Span{
+		{QID: 1, ID: 20, Parent: 999, Name: "orphan", Node: "c", Start: t0, End: t0.Add(time.Millisecond)},
+	}
+	var b strings.Builder
+	FormatSpanTree(&b, spans)
+	if !strings.HasPrefix(b.String(), "orphan") {
+		t.Errorf("orphan span not rendered as root:\n%s", b.String())
+	}
+}
+
+// TestSortSpansTieBreak pins the satellite contract directly: equal start
+// times order by span ID.
+func TestSortSpansTieBreak(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	ss := []Span{{ID: 3, Start: t0}, {ID: 1, Start: t0}, {ID: 2, Start: t0.Add(-time.Second)}}
+	SortSpans(ss)
+	if ss[0].ID != 2 || ss[1].ID != 1 || ss[2].ID != 3 {
+		t.Errorf("sorted IDs = %d,%d,%d, want 2,1,3", ss[0].ID, ss[1].ID, ss[2].ID)
+	}
+}

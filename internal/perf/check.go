@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"time"
 )
 
 // ReadReport loads a previously written JSON report (a committed baseline).
@@ -136,6 +137,54 @@ var floors = []struct {
 	// memory; the floor catches a scatter path that degrades to serial
 	// per-shard round-trips or timeout-driven failover).
 	{comparison: "ask: sharded vs full replica", minSpeedup: 0.25},
+}
+
+// SLORow is one latency objective over a benchmark's sampled per-op p99 —
+// the perf-suite twin of the live cluster's obs.Objective, gated by
+// `qabench -perf-check` the same way alloc budgets are.
+type SLORow struct {
+	// Benchmark names the measured operation the objective bounds.
+	Benchmark string
+	// MaxP99 is the per-op p99 latency bound.
+	MaxP99 time.Duration
+}
+
+// DefaultSLOs returns the stock perf-suite objectives. Bounds are generous —
+// an order of magnitude above healthy figures — so they trip on real serving-
+// path regressions (an accidental sleep, a lost cache, serial fan-out), not
+// on machine speed.
+func DefaultSLOs() []SLORow {
+	return []SLORow{
+		{Benchmark: "ask_cached", MaxP99: 250 * time.Millisecond},
+		{Benchmark: "rpc_pooled", MaxP99: 250 * time.Millisecond},
+		{Benchmark: "codec_wire_roundtrip", MaxP99: 50 * time.Millisecond},
+	}
+}
+
+// CheckSLOs validates the report's sampled p99 latencies against the given
+// objectives. A referenced benchmark that is missing or collected no latency
+// samples is itself a violation, so a renamed benchmark or a broken sampling
+// pass cannot silently disable the gate.
+func CheckSLOs(r *Report, rows []SLORow) []string {
+	var violations []string
+	for _, row := range rows {
+		b, ok := r.find(row.Benchmark)
+		if !ok {
+			violations = append(violations, fmt.Sprintf("slo: benchmark %q missing from report", row.Benchmark))
+			continue
+		}
+		if b.LatencySamples == 0 {
+			violations = append(violations, fmt.Sprintf("slo: benchmark %q has no latency samples", row.Benchmark))
+			continue
+		}
+		maxMs := float64(row.MaxP99.Microseconds()) / 1000
+		if b.P99Ms > maxMs {
+			violations = append(violations, fmt.Sprintf(
+				"slo: %s p99 %.2fms exceeds objective %.2fms (%d samples)",
+				row.Benchmark, b.P99Ms, maxMs, b.LatencySamples))
+		}
+	}
+	return violations
 }
 
 // CheckFloors validates the report's comparisons against the serving-path

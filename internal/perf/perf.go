@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 )
 
@@ -32,6 +33,14 @@ type Benchmark struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// BytesPerOp is the mean heap bytes allocated per iteration.
 	BytesPerOp float64 `json:"bytes_per_op"`
+	// P50Ms and P99Ms are per-op latency quantiles in milliseconds from a
+	// separate individually-timed sampling pass (the batch-timed loop above
+	// cannot see per-op spread). Zero when the pass collected no samples.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	// LatencySamples is the number of individually timed ops behind the
+	// quantiles.
+	LatencySamples int `json:"latency_samples,omitempty"`
 }
 
 // Comparison pairs a baseline benchmark with its optimised candidate.
@@ -118,8 +127,42 @@ func (r *Report) Run(name string, budget time.Duration, fn func()) Benchmark {
 	}
 	b.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
 	b.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+
+	// Latency-quantile pass, separate from the batch loop above so the mean
+	// measurement keeps its committed-baseline comparability (a per-op clock
+	// read inside the batches would shift ns/op). A quarter of the budget,
+	// capped at 10k samples, gives exact sorted quantiles for the SLO gate.
+	const maxSamples = 10000
+	samples := make([]float64, 0, 256)
+	sampleBudget := budget / 4
+	var spent time.Duration
+	for spent < sampleBudget && len(samples) < maxSamples {
+		start := time.Now()
+		fn()
+		d := time.Since(start)
+		spent += d
+		samples = append(samples, float64(d.Nanoseconds())/1e6)
+	}
+	sort.Float64s(samples)
+	b.LatencySamples = len(samples)
+	b.P50Ms = quantileAt(samples, 0.50)
+	b.P99Ms = quantileAt(samples, 0.99)
+
 	r.Benchmarks = append(r.Benchmarks, b)
 	return b
+}
+
+// quantileAt returns the q-th quantile of sorted (nearest-rank) or 0 when
+// empty.
+func quantileAt(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // Compare records a baseline/candidate pair. Unknown names are an error so
@@ -169,10 +212,14 @@ func (r *Report) WriteJSON(w io.Writer) error {
 func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "perf report (%s, %s/%s, GOMAXPROCS=%d)\n",
 		r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS)
-	fmt.Fprintf(w, "  %-22s %12s %14s %12s %12s\n", "benchmark", "ops", "ns/op", "allocs/op", "ops/sec")
+	fmt.Fprintf(w, "  %-22s %12s %14s %12s %12s %10s\n", "benchmark", "ops", "ns/op", "allocs/op", "ops/sec", "p99")
 	for _, b := range r.Benchmarks {
-		fmt.Fprintf(w, "  %-22s %12d %14.0f %12.1f %12.0f\n",
-			b.Name, b.Ops, b.NsPerOp, b.AllocsPerOp, b.OpsPerSec)
+		p99 := "-"
+		if b.LatencySamples > 0 {
+			p99 = fmt.Sprintf("%.2fms", b.P99Ms)
+		}
+		fmt.Fprintf(w, "  %-22s %12d %14.0f %12.1f %12.0f %10s\n",
+			b.Name, b.Ops, b.NsPerOp, b.AllocsPerOp, b.OpsPerSec, p99)
 	}
 	if len(r.Comparisons) > 0 {
 		fmt.Fprintln(w, "  speedups:")

@@ -179,3 +179,45 @@ func TestCheckFloors(t *testing.T) {
 		t.Fatalf("parallel floors applied on a single-proc report: %v", v)
 	}
 }
+
+// TestLatencySampling checks the per-op quantile pass: a benchmark with a
+// known per-op delay must report sane sample counts and quantiles near the
+// delay.
+func TestLatencySampling(t *testing.T) {
+	r := NewReport()
+	b := r.Run("sleepy", 20*time.Millisecond, func() { time.Sleep(time.Millisecond) })
+	if b.LatencySamples == 0 {
+		t.Fatal("no latency samples collected")
+	}
+	if b.P50Ms < 0.5 || b.P50Ms > 50 {
+		t.Errorf("p50 = %.3fms, want around 1ms", b.P50Ms)
+	}
+	if b.P99Ms < b.P50Ms {
+		t.Errorf("p99 %.3fms below p50 %.3fms", b.P99Ms, b.P50Ms)
+	}
+}
+
+// TestCheckSLOs is the gate contract: an injected delay above the objective
+// must trip it, staying under must pass, and a missing or unsampled
+// benchmark must trip rather than silently disable the gate.
+func TestCheckSLOs(t *testing.T) {
+	r := NewReport()
+	r.Run("fast", 10*time.Millisecond, func() {})
+	// The injected regression: every op sleeps well past the 1ms objective.
+	r.Run("regressed", 20*time.Millisecond, func() { time.Sleep(5 * time.Millisecond) })
+
+	if v := CheckSLOs(r, []SLORow{{Benchmark: "fast", MaxP99: 100 * time.Millisecond}}); len(v) != 0 {
+		t.Fatalf("healthy benchmark flagged: %v", v)
+	}
+	if v := CheckSLOs(r, []SLORow{{Benchmark: "regressed", MaxP99: time.Millisecond}}); len(v) != 1 {
+		t.Fatalf("injected delay not caught: %v", v)
+	}
+	if v := CheckSLOs(r, []SLORow{{Benchmark: "missing", MaxP99: time.Second}}); len(v) != 1 {
+		t.Fatalf("missing benchmark not flagged: %v", v)
+	}
+	unsampled := NewReport()
+	unsampled.Benchmarks = append(unsampled.Benchmarks, Benchmark{Name: "nosamples"})
+	if v := CheckSLOs(unsampled, []SLORow{{Benchmark: "nosamples", MaxP99: time.Second}}); len(v) != 1 {
+		t.Fatalf("sample-less benchmark not flagged: %v", v)
+	}
+}
