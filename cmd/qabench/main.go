@@ -8,10 +8,10 @@
 //	qabench -scale small    # fast, down-scaled environment
 //	qabench -list           # list experiment ids
 //	qabench -stage-metrics  # also print wall-clock p50/p90/p99 per Q/A stage
-//	qabench -perf           # run the hot-path benchmark suite → BENCH_pr4.json
+//	qabench -perf           # run the hot-path benchmark suite → BENCH_pr7.json
 //	qabench -perf -perf-check                    # also enforce the serving-path floors (CI)
 //	qabench -perf -perf-baseline before.json     # fail on >20% same-machine regression (ns/op + ratios)
-//	qabench -perf -perf-baseline BENCH_pr4.json -perf-ratios-only  # CI: gate comparison ratios vs the committed report
+//	qabench -perf -perf-baseline BENCH_pr7.json -perf-ratios-only  # CI: gate comparison ratios vs the committed report
 //	qabench -chaos          # run a seeded fault schedule against a live loopback cluster
 package main
 
@@ -36,7 +36,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	stageMetrics := flag.Bool("stage-metrics", false, "record wall-clock per-stage latency histograms and print p50/p90/p99")
 	perfMode := flag.Bool("perf", false, "run the hot-path benchmark suite instead of the experiments")
-	perfOut := flag.String("perf-out", "BENCH_pr4.json", "perf mode: output file for the JSON report")
+	perfOut := flag.String("perf-out", "BENCH_pr7.json", "perf mode: output file for the JSON report")
 	perfBudget := flag.Duration("perf-budget", time.Second, "perf mode: measuring time per benchmark")
 	perfScale := flag.String("perf-scale", "tiny", "perf mode: corpus scale (tiny or trec8)")
 	perfBaseline := flag.String("perf-baseline", "", "perf mode: baseline JSON report to diff against; exit non-zero on >tolerance regression (comparison ratios always; ns/op when the environment matches)")
@@ -48,7 +48,7 @@ func main() {
 	chaosSeed := flag.Int64("seed", 1, "chaos mode: schedule seed (same seed => byte-identical event log)")
 	chaosNodes := flag.Int("nodes", 4, "chaos mode: cluster size")
 	chaosQuestions := flag.Int("chaos-questions", 12, "chaos mode: questions to ask across the schedule")
-	chaosScenario := flag.String("chaos-scenario", chaos.ScenarioMixed, "chaos mode: scenario (crash, blackout, partition, shardloss, mixed)")
+	chaosScenario := flag.String("chaos-scenario", chaos.ScenarioMixed, "chaos mode: scenario (crash, blackout, partition, shardloss, staleroute, mixed)")
 	flag.Parse()
 
 	if *chaosMode {
@@ -111,9 +111,9 @@ func main() {
 // planted answer or any fault-tolerance expectation was violated.
 func runChaos(seed int64, nodes, questions int, scenario string) int {
 	switch scenario {
-	case chaos.ScenarioCrash, chaos.ScenarioBlackout, chaos.ScenarioPartition, chaos.ScenarioMixed, chaos.ScenarioShardLoss:
+	case chaos.ScenarioCrash, chaos.ScenarioBlackout, chaos.ScenarioPartition, chaos.ScenarioMixed, chaos.ScenarioShardLoss, chaos.ScenarioStaleRoute:
 	default:
-		fmt.Fprintf(os.Stderr, "qabench: unknown -chaos-scenario %q (want crash, blackout, partition, shardloss or mixed)\n", scenario)
+		fmt.Fprintf(os.Stderr, "qabench: unknown -chaos-scenario %q (want crash, blackout, partition, shardloss, staleroute or mixed)\n", scenario)
 		return 2
 	}
 	res, err := chaos.Run(chaos.Config{

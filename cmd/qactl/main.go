@@ -120,9 +120,25 @@ func main() {
 					replicas = fmt.Sprint(row.Replicas)
 				}
 				fmt.Printf("    shard %d: subs %v, replicas %s\n", row.Shard, row.Subs, replicas)
+				if row.SummaryVersion > 0 || row.RouteSkipped > 0 || row.RouteScattered > 0 || row.RouteFallbacks > 0 {
+					freshness := "STALE"
+					if row.SummaryFresh {
+						freshness = "fresh"
+					}
+					fmt.Printf("      summary v%d (%s, %d terms, from %s); routed: %d skipped / %d scattered / %d fallbacks\n",
+						row.SummaryVersion, freshness, row.SummaryTerms, row.SummaryFrom,
+						row.RouteSkipped, row.RouteScattered, row.RouteFallbacks)
+				}
 			}
 			fmt.Printf("  shard traffic: %d scatter PR sent / %d received, %d df gathers served, %d failovers\n",
 				st.Metrics.ShardPRSent, st.Metrics.ShardPRReceived, st.Metrics.ShardDFReceived, st.Metrics.ShardFailovers)
+			if m := st.Metrics; m.RoutePlansSelective+m.RoutePlansFallback > 0 {
+				fmt.Printf("  selective routing: %d selective plans / %d fallbacks (%d missing, %d stale), %d shard fan-outs skipped, %d short-circuits\n",
+					m.RoutePlansSelective, m.RoutePlansFallback, m.RouteFallbacksMissing, m.RouteFallbacksStale,
+					m.RouteSkips, m.RouteShortCircuits)
+				fmt.Printf("  summary gossip: %d pulls sent / %d served / %d failed\n",
+					m.SummaryPullsSent, m.SummaryPullsServed, m.SummaryPullFailures)
+			}
 		}
 	case *slow:
 		recs, err := live.QuerySlow(*node, *top, *timeout)

@@ -50,6 +50,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address serving /metrics (Prometheus text) and /spans (Chrome trace-event JSON); empty disables")
 	shards := flag.Int("shards", 0, "shard the collection index into K shards (0 = full replica on every node); every node must use the same value")
 	replicas := flag.Int("replicas", 1, "replicas per shard under chained declustering (used with -shards)")
+	noRouting := flag.Bool("no-selective-routing", false, "pin scatter-gather to full fan-out: no term summaries are built, gossiped or consulted (used with -shards)")
+	summaryBytes := flag.Int("summary-filter-bytes", 0, "cap each gossiped shard summary's vocabulary filter to this many bytes (0 = default)")
+	summaryTerms := flag.Int("summary-top-terms", 0, "cap each gossiped shard summary's document-frequency sketch to this many terms (0 = default)")
 	flag.Parse()
 
 	var cfg corpus.Config
@@ -95,7 +98,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qanode: -shards %d -replicas %d: %v\n", *shards, *replicas, err)
 			os.Exit(2)
 		}
-		nodeCfg.Shard = live.ShardConfig{K: k, R: r, NodeIndex: nodeIndex, ClusterSize: len(cluster)}
+		nodeCfg.Shard = live.ShardConfig{
+			K: k, R: r, NodeIndex: nodeIndex, ClusterSize: len(cluster),
+			Routing: live.RoutingConfig{
+				Disabled:     *noRouting,
+				SummaryBytes: *summaryBytes,
+				TopTerms:     *summaryTerms,
+			},
+		}
 		holdSubs = shard.HoldingSubs(nodeIndex, len(cluster), k, r, len(coll.Subs))
 		fmt.Printf("qanode: sharded node %d/%d: K=%d R=%d, indexing %d/%d sub-collections\n",
 			nodeIndex, len(cluster), k, r, len(holdSubs), len(coll.Subs))

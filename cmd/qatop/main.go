@@ -94,6 +94,19 @@ func renderFrame(w *os.File, snaps []obs.RegistrySnapshot, merged obs.RegistrySn
 		rate(ansHits, ansMisses), ansHits, ansHits+ansMisses, coalesced,
 		rate(prHits, prMisses), prHits, prHits+prMisses)
 
+	// Selective-routing effectiveness, cluster-wide (sharded clusters with
+	// summary routing only): what fraction of per-shard routing verdicts
+	// skipped the fan-out, and how often whole plans fell back to scatter.
+	skips, _ := merged.Value("live_route_decisions_total", obs.Labels{"action": "skip"})
+	scatters, _ := merged.Value("live_route_decisions_total", obs.Labels{"action": "scatter"})
+	planSel, _ := merged.Value("live_route_plans_total", obs.Labels{"outcome": "selective"})
+	planFb, _ := merged.Value("live_route_plans_total", obs.Labels{"outcome": "fallback"})
+	if skips+scatters+planSel+planFb > 0 {
+		shortCircuits, _ := merged.Value("live_route_shortcircuits_total", nil)
+		fmt.Fprintf(w, "routing: %s shard fan-outs skipped (%d/%d), plans %d selective / %d fallback, %d short-circuits\n",
+			rate(skips, scatters), skips, skips+scatters, planSel, planFb, shortCircuits)
+	}
+
 	// SLO rows from the polled node's engine.
 	for _, row := range st.SLO {
 		state := "ok"

@@ -44,6 +44,15 @@ const (
 	// must fail over to the surviving replica and the answer must still
 	// match the sequential oracle.
 	ScenarioShardLoss = "shardloss"
+	// ScenarioStaleRoute boots the sharded cluster with selective routing
+	// *enabled* (the only scenario that does) and kills one replica of a
+	// chosen shard after the routing summaries have gone fresh: the epoch
+	// bump makes every gossiped summary stale at once, the next routed
+	// question must detect the mismatch and fall back to a full scatter
+	// (answering correctly), and the fallback's gather must revalidate the
+	// store so routing turns selective again — PR-7's staleness contract,
+	// proven under a real failover.
+	ScenarioStaleRoute = "staleroute"
 )
 
 // Config parameterises one chaos run.
@@ -106,6 +115,12 @@ type Counters struct {
 	// without perturbing the deterministic event log (it reads no clocks of
 	// its own and takes no randomness off the seeded schedule path).
 	FlightRecords int64
+	// Selective-routing counters (PR-7, staleroute scenario): shards skipped
+	// by the route planner, fallbacks charged to stale summaries, and summary
+	// pulls the gossip issued. Zero in every other scenario (routing off).
+	RouteSkips     int64
+	StaleFallbacks int64
+	SummaryPulls   int64
 }
 
 // OK reports whether the run met every expectation.
@@ -192,7 +207,7 @@ func Run(cfg Config) (*Result, error) {
 		res:    &Result{},
 		ruleID: make(map[string]int),
 	}
-	if cfg.Scenario == ScenarioShardLoss {
+	if cfg.Scenario == ScenarioShardLoss || cfg.Scenario == ScenarioStaleRoute {
 		// Shard the cluster: K=2 shards, R=2 replicas (normalized against the
 		// topology) — single-replica loss always leaves a survivor.
 		k, rr, err := shard.Normalize(2, 2, cfg.Nodes, len(coll.Subs))
@@ -247,7 +262,7 @@ func Run(cfg Config) (*Result, error) {
 			if ev.At != q {
 				continue
 			}
-			if ev.Kind == "crashMid" || ev.Kind == "shardLossMid" {
+			if ev.Kind == "crashMid" || ev.Kind == "shardLossMid" || ev.Kind == "staleRoute" {
 				ev := ev
 				mid = &ev // fires while this question is in flight
 				continue
@@ -257,6 +272,8 @@ func Run(cfg Config) (*Result, error) {
 		fact := r.coll.Facts[q%len(r.coll.Facts)]
 		target := r.nextAlive(&cursor)
 		switch {
+		case mid != nil && mid.Kind == "staleRoute":
+			r.askWithStaleRoute(q, *mid, fact.Question)
 		case mid != nil && mid.Kind == "shardLossMid":
 			r.askWithShardLoss(q, target, *mid, fact.Question)
 		case mid != nil:
@@ -280,6 +297,10 @@ func (r *run) startNode(i int, addr string) (*live.Node, error) {
 	if r.shardK > 0 {
 		engine = r.engines[i]
 		shardCfg = live.ShardConfig{K: r.shardK, R: r.shardR, NodeIndex: i, ClusterSize: r.cfg.Nodes}
+		// Selective routing stays off except in the scenario built to probe
+		// it: shardloss pins full scatter so its mid-flight replica kills keep
+		// exercising the failover path on every shard.
+		shardCfg.Routing.Disabled = r.cfg.Scenario != ScenarioStaleRoute
 	}
 	return live.StartNode(live.NodeConfig{
 		Addr:           addr,
@@ -444,6 +465,167 @@ func (r *run) askWithShardLoss(q, target int, ev event, question string) {
 	}
 }
 
+// askWithStaleRoute drives the PR-7 staleness contract through a real
+// failover. ev.Node carries the shard id and ev.Peer the replica index of the
+// victim; the target — a node *outside* the shard's replica set, so it must
+// consult a gossiped (not local) summary — is derived deterministically at
+// fire time. Sequence: warm a routed question through the target and wait for
+// its summaries to go fresh, kill the victim and wait for the epoch bump,
+// then probe: the first routed question must fall back on the stale summary
+// while still answering correctly, and once the store revalidates a confirm
+// question must plan selectively again. Every logged value is either planned
+// or polled to quiescence first, so the log stays byte-identical per seed.
+func (r *run) askWithStaleRoute(q int, ev event, question string) {
+	s := ev.Node % r.shardK
+	replicas := shard.ReplicaNodes(s, r.cfg.Nodes, r.shardR)
+	target := -1
+	for i := 0; i < r.cfg.Nodes; i++ {
+		if !r.alive[i] {
+			continue
+		}
+		holds := false
+		for _, n := range replicas {
+			if n == i {
+				holds = true
+				break
+			}
+		}
+		if !holds {
+			target = i
+			break
+		}
+	}
+	if target < 0 {
+		r.failf("staleroute: every node replicates shard %d — nothing gossips, nothing can go stale", s)
+		return
+	}
+	victim := replicas[ev.Peer%len(replicas)]
+	r.crashed = []int{victim}
+	r.logf("[q %d] staleroute shard=%d target=%d victim=%d planned", q, s, target, victim)
+
+	// Warm: route one question through the target (revalidating its store at
+	// the current epoch) and hold until every summary it consults is fresh.
+	r.res.Asked++
+	ok := r.check(target, question)
+	r.logf("[q %d] staleroute warm node=%d ok=%v", q, target, ok)
+	if ok {
+		r.res.Correct++
+	} else {
+		r.failf("staleroute warm question %d at node %d: wrong or missing answer", q, target)
+	}
+	fresh := r.awaitFreshSummaries(target)
+	r.logf("[check] staleroute summaries fresh=%v", fresh)
+	if !fresh {
+		r.failf("staleroute: node %d never saw fresh summaries for every shard", target)
+		return
+	}
+
+	pre, ok := r.nodeMetrics(target)
+	if !ok {
+		r.failf("staleroute: cannot read node %d metrics before the kill", target)
+		return
+	}
+	r.logf("[q %d] crash node=%d (shard %d replica)", q, victim, s)
+	if r.alive[victim] {
+		r.nodes[victim].Close()
+		r.alive[victim] = false
+	}
+	bumped := r.awaitEpochBump(target, pre.ShardEpoch)
+	r.logf("[check] staleroute epoch bumped=%v", bumped)
+	if !bumped {
+		r.failf("staleroute: shard-map epoch never bumped at node %d after killing node %d", target, victim)
+		return
+	}
+
+	// Probe: epoch mismatch must force the stale fallback — full scatter,
+	// correct answer, counted as a stale (not missing) fallback.
+	r.res.Asked++
+	ok = r.check(target, question)
+	post, metricsOK := r.nodeMetrics(target)
+	fellBack := metricsOK && post.RouteFallbacksStale > pre.RouteFallbacksStale
+	r.logf("[q %d] staleroute probe node=%d ok=%v fallback=%v", q, target, ok, fellBack)
+	if ok {
+		r.res.Correct++
+	} else {
+		r.failf("staleroute probe question %d at node %d: wrong or missing answer", q, target)
+	}
+	if !fellBack {
+		r.failf("staleroute: node %d did not fall back on its stale summaries after the epoch bump", target)
+	}
+
+	// Confirm: revalidation (plus a re-pull from the surviving replica when
+	// the victim was the summary's source) restores selective routing.
+	fresh = r.awaitFreshSummaries(target)
+	r.logf("[check] staleroute revalidated=%v", fresh)
+	if !fresh {
+		r.failf("staleroute: node %d summaries never revalidated after the fallback", target)
+		return
+	}
+	mid, _ := r.nodeMetrics(target)
+	r.res.Asked++
+	ok = r.check(target, question)
+	fin, metricsOK := r.nodeMetrics(target)
+	selective := metricsOK && fin.RoutePlansSelective > mid.RoutePlansSelective
+	r.logf("[q %d] staleroute confirm node=%d ok=%v selective=%v", q, target, ok, selective)
+	if ok {
+		r.res.Correct++
+	} else {
+		r.failf("staleroute confirm question %d at node %d: wrong or missing answer", q, target)
+	}
+	if !selective {
+		r.failf("staleroute: node %d did not plan selectively again after revalidation", target)
+	}
+}
+
+// nodeMetrics fetches one node's cumulative metrics snapshot.
+func (r *run) nodeMetrics(i int) (live.StatusMetrics, bool) {
+	st, err := live.QueryStatus(r.addrs[i], 2*time.Second)
+	if err != nil {
+		return live.StatusMetrics{}, false
+	}
+	return st.Metrics, true
+}
+
+// awaitFreshSummaries blocks until node i's shard-status table shows a fresh
+// summary for every shard. Status polling alone cannot revalidate a store
+// whose entries carry an older epoch stamp (only a routed question's gather
+// does), so the poll interleaves uncounted asks — invisible in the event log.
+func (r *run) awaitFreshSummaries(i int) bool {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := live.QueryStatus(r.addrs[i], time.Second)
+		if err == nil && st.Shard != nil {
+			fresh := len(st.Shard.Shards) > 0
+			for _, row := range st.Shard.Shards {
+				if row.SummaryVersion == 0 || !row.SummaryFresh {
+					fresh = false
+					break
+				}
+			}
+			if fresh {
+				return true
+			}
+		}
+		live.Ask(r.addrs[i], r.coll.Facts[0].Question, r.cfg.Timeout)
+		time.Sleep(r.cfg.Heartbeat)
+	}
+	return false
+}
+
+// awaitEpochBump blocks until node i's composed shard-map epoch exceeds from.
+// Pure status polling: it must not issue asks, or the probe question would not
+// be the first routed question to see the bumped epoch.
+func (r *run) awaitEpochBump(i int, from int64) bool {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m, ok := r.nodeMetrics(i); ok && m.ShardEpoch > from {
+			return true
+		}
+		time.Sleep(r.cfg.Heartbeat)
+	}
+	return false
+}
+
 // check asks one question and compares the top answer with the sequential
 // pipeline's (the correctness oracle every live test uses).
 func (r *run) check(target int, question string) bool {
@@ -563,6 +745,27 @@ func (r *run) restartNode(at, node int) {
 	r.nodes[node] = n
 	r.alive[node] = true
 	r.awaitReadmission(node)
+	// Re-admission proves the *peers* hear the revived node; a sharded
+	// revived node must additionally hear its peers' shard claims before it
+	// can serve a scatter — asking it inside that window is a planned "no
+	// live replica" failure, not a fault-tolerance violation.
+	if r.shardK > 0 {
+		r.awaitCompleteMap(node)
+	}
+}
+
+// awaitCompleteMap blocks until node i's own composed shard map has a live
+// replica for every shard.
+func (r *run) awaitCompleteMap(i int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := live.QueryStatus(r.addrs[i], time.Second)
+		if err == nil && st.Shard != nil && st.Shard.Complete {
+			return
+		}
+		time.Sleep(r.cfg.Heartbeat)
+	}
+	r.failf("node %d shard map did not complete within 10s of restart", i)
 }
 
 // settleWindow is how long a fault window is held open so the failure
@@ -615,13 +818,16 @@ func (r *run) collectCounters() {
 		c.Forwards += st.Metrics.ForwardsOut
 		c.Failures += st.Metrics.RequestFailures
 		c.FlightRecords += st.Metrics.FlightRecords
+		c.RouteSkips += st.Metrics.RouteSkips
+		c.StaleFallbacks += st.Metrics.RouteFallbacksStale
+		c.SummaryPulls += st.Metrics.SummaryPullsSent
 	}
 	stats := r.inj.Stats()
 	c.Injected = stats.Dropped + stats.Delayed + stats.Duplicated
 	r.res.Metrics = c
 	if r.cfg.Out != nil {
-		fmt.Fprintf(r.cfg.Out, "counters (informational): retries=%d breaker_trips=%d readmissions=%d forwards=%d request_failures=%d injected=%d flight_records=%d\n",
-			c.Retries, c.BreakerTrips, c.Readmissions, c.Forwards, c.Failures, c.Injected, c.FlightRecords)
+		fmt.Fprintf(r.cfg.Out, "counters (informational): retries=%d breaker_trips=%d readmissions=%d forwards=%d request_failures=%d injected=%d flight_records=%d route_skips=%d stale_fallbacks=%d summary_pulls=%d\n",
+			c.Retries, c.BreakerTrips, c.Readmissions, c.Forwards, c.Failures, c.Injected, c.FlightRecords, c.RouteSkips, c.StaleFallbacks, c.SummaryPulls)
 	}
 }
 
@@ -673,6 +879,16 @@ func buildSchedule(cfg Config, rng *rand.Rand) []event {
 		return []event{
 			{At: at(0.25), Kind: "shardLossMid", Node: s},
 			{At: at(0.70), Kind: "restart"},
+		}
+	case ScenarioStaleRoute:
+		// Node carries the shard id, Peer the replica index of the victim; the
+		// target (a node outside the shard's replica set) is derived at fire
+		// time. Late placement gives the summary gossip time to converge on
+		// ordinary questions first.
+		s := rng.Intn(2)
+		return []event{
+			{At: at(0.45), Kind: "staleRoute", Node: s, Peer: rng.Intn(2)},
+			{At: at(0.80), Kind: "restart"},
 		}
 	default: // mixed: phases are disjoint so each recovery completes cleanly
 		v1 := pick(-1)

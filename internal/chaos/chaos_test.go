@@ -77,6 +77,66 @@ func TestChaosShardLossDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosStaleRoute: the selective-routing staleness contract under a real
+// failover — killing a replica bumps the shard-map epoch, the next routed
+// question must fall back on its stale summaries (answering correctly), and
+// revalidation must restore selective routing.
+func TestChaosStaleRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes a few seconds")
+	}
+	res, err := Run(Config{Seed: 5, Nodes: 3, Questions: 8, Scenario: ScenarioStaleRoute})
+	if err != nil {
+		t.Fatalf("chaos staleroute: %v", err)
+	}
+	if !res.OK() {
+		t.Fatalf("staleroute run failed: asked=%d correct=%d failures=%v",
+			res.Asked, res.Correct, res.Failures)
+	}
+	log := res.EventLog()
+	for _, want := range []string{
+		"staleroute shard=",
+		"staleroute summaries fresh=true",
+		"staleroute epoch bumped=true",
+		"fallback=true",
+		"selective=true",
+	} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("staleroute log missing %q:\n%s", want, log)
+		}
+	}
+	if res.Metrics.StaleFallbacks == 0 {
+		t.Fatal("staleroute run recorded no stale-summary fallbacks")
+	}
+	if res.Metrics.SummaryPulls == 0 {
+		t.Fatal("staleroute run recorded no summary pulls — gossip never ran")
+	}
+}
+
+// TestChaosStaleRouteDeterministic: the staleroute schedule and its polled
+// assertions are a pure function of the seed — byte-identical event logs.
+func TestChaosStaleRouteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run takes a few seconds")
+	}
+	cfg := Config{Seed: 23, Nodes: 3, Questions: 6, Scenario: ScenarioStaleRoute}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if !first.OK() || !second.OK() {
+		t.Fatalf("runs failed: %v / %v", first.Failures, second.Failures)
+	}
+	if first.EventLog() != second.EventLog() {
+		t.Fatalf("staleroute event logs differ for the same seed:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			first.EventLog(), second.EventLog())
+	}
+}
+
 // TestChaosEventLogDeterministic: the same seed must reproduce a
 // byte-identical event log (the acceptance criterion behind
 // `qabench -chaos -seed N` being replayable).

@@ -89,6 +89,16 @@ func (ix *Index) IndexBytes() int { return ix.indexBytes }
 // DocFreq reports how many documents of this sub-collection contain stem.
 func (ix *Index) DocFreq(stem string) int { return len(ix.postings[stem]) }
 
+// EachTerm calls f once per indexed stem with its document frequency, in
+// unspecified order. It is the vocabulary-enumeration seam the shard term
+// summaries (shard.BuildSummary) are built from; the postings themselves
+// stay private.
+func (ix *Index) EachTerm(f func(stem string, df int)) {
+	for stem, list := range ix.postings {
+		f(stem, len(list))
+	}
+}
+
 // Retrieved is one paragraph extracted by retrieval, with the number of
 // distinct query keywords it contains.
 type Retrieved struct {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"distqa/internal/shard"
 	"distqa/internal/wire"
 )
 
@@ -118,6 +119,50 @@ func TestWireCodecAllocBudget(t *testing.T) {
 		t.Errorf("steady-state sharded heartbeat encode+decode allocates %.1f times per op, want 0", shardHB)
 	}
 
+	// Heartbeat with summary versions (PR-7): summaries ride the gossip
+	// incrementally — a beat advertises one varint version per held shard,
+	// never the summary bodies — so the steady-state encode+decode budget
+	// stays exactly where the sharded heartbeat left it: zero. The size guard
+	// below pins the incremental property itself: the version vector costs
+	// bytes, not kilobytes.
+	sumReq := &Request{
+		Kind: kindHeartbeat,
+		Load: LoadReport{
+			Addr:      "127.0.0.1:49154",
+			Questions: 2,
+			Shards:    []int{0, 2},
+			SumVers:   []int64{0x1f2e3d4c5b6a, 0x0102030405},
+			Sent:      time.Unix(1_700_000_000, 0),
+		},
+	}
+	b.Reset()
+	if err := appendRequestWire(b, sumReq); err != nil {
+		t.Fatal(err)
+	}
+	sumEncoded := append([]byte(nil), b.B...)
+	if grew := len(sumEncoded) - len(shardEncoded); grew > 16*len(sumReq.Load.SumVers) {
+		t.Errorf("summary versions grew the heartbeat by %d bytes for %d shards, want ≤ 16/shard",
+			grew, len(sumReq.Load.SumVers))
+	}
+	var sumDst Request
+	r2 := wire.NewReader(sumEncoded)
+	if err := decodeRequestWireInto(&r2, &sumDst); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	sumHB := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := appendRequestWire(b, sumReq); err != nil {
+			t.Fatal(err)
+		}
+		r := wire.NewReader(sumEncoded)
+		if err := decodeRequestWireInto(&r, &sumDst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if sumHB > 0 {
+		t.Errorf("steady-state heartbeat-with-summaries encode+decode allocates %.1f times per op, want 0", sumHB)
+	}
+
 	// Shard-scoped PR fan-out: the scatter hot path encodes one request per
 	// replica into the pooled buffer — the encode side must be allocation-
 	// free, and the decode side must allocate only the payload it hands the
@@ -173,6 +218,63 @@ func TestWireCodecAllocBudget(t *testing.T) {
 	})
 	if statusAllocs > 0 {
 		t.Errorf("status encode+decode allocates %.1f times per op, want 0", statusAllocs)
+	}
+}
+
+// TestWireCodecAllocBudgetShardSummary pins the summary-pull op (PR-7): the
+// request (a shard-id list) encodes without allocating and decodes with just
+// the payload slice; the response is bounded by the summary's own size budget
+// (Summary.SizeBytes plus codec framing), so gossip can never smuggle an
+// unbounded payload onto the heartbeat channel.
+func TestWireCodecAllocBudgetShardSummary(t *testing.T) {
+	req := &Request{Kind: kindShardSummary, Subs: []int{0, 1, 2, 3}}
+	b := wire.GetBuffer()
+	defer wire.PutBuffer(b)
+	b.Reset()
+	if err := appendRequestWire(b, req); err != nil {
+		t.Fatal(err)
+	}
+	encoded := append([]byte(nil), b.B...)
+	encAllocs := testing.AllocsPerRun(200, func() {
+		b.Reset()
+		if err := appendRequestWire(b, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encAllocs > 0 {
+		t.Errorf("shardSummary pull encode allocates %.1f times per op, want 0", encAllocs)
+	}
+	var dst Request
+	decAllocs := testing.AllocsPerRun(200, func() {
+		r := wire.NewReader(encoded)
+		if err := decodeRequestWireInto(&r, &dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decAllocs > 1 {
+		t.Errorf("shardSummary pull decode allocates %.1f times per op, want ≤ 1 (the Subs slice)", decAllocs)
+	}
+
+	// Response size: a default-capped summary must stay within its own
+	// SizeBytes budget (plus per-term varint overhead) on the wire.
+	sum := shard.Summary{Shard: 1, Version: 99, Terms: 500, Docs: 120, Hashes: 6,
+		Bits: make([]uint64, shard.DefaultFilterBytes/8)}
+	for i := range sum.Bits {
+		sum.Bits[i] = 0x9e3779b97f4a7c15 * uint64(i+1) // saturated, worst-case varints
+	}
+	for i := 0; i < shard.DefaultTopTerms; i++ {
+		sum.TopDF = append(sum.TopDF, shard.TermDF{Term: "stemstem", DF: int64(i)})
+	}
+	resp := &Response{Summaries: []shard.Summary{sum}, Epoch: 3}
+	b.Reset()
+	if err := appendResponseWire(b, resp); err != nil {
+		t.Fatal(err)
+	}
+	// Varint-encoded random 64-bit words cost ≤ 10 bytes for 8 bytes of
+	// filter; everything else is small. 1.5x SizeBytes + slack covers it.
+	if budget := sum.SizeBytes()*3/2 + 512; len(b.B) > budget {
+		t.Errorf("encoded summary response is %d bytes, budget %d (SizeBytes=%d)",
+			len(b.B), budget, sum.SizeBytes())
 	}
 }
 

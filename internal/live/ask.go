@@ -54,16 +54,38 @@ func (n *Node) handleAsk(req *Request) *Response {
 		if n.sharded() {
 			rec.Annotations = append(rec.Annotations, fmt.Sprintf("shards=%d", n.shardK))
 		}
-		recovers := 0
+		recovers, routeSkips, routeFallbacks := 0, 0, 0
 		for i := range resp.Spans {
-			if strings.HasPrefix(resp.Spans[i].Name, "recover:") {
+			switch name := resp.Spans[i].Name; {
+			case strings.HasPrefix(name, "recover:"):
 				recovers++
+			case strings.HasPrefix(name, "route:skip"):
+				routeSkips++
+			case strings.HasPrefix(name, "route:fallback"):
+				routeFallbacks++
 			}
 		}
 		if recovers > 0 {
 			rec.Annotations = append(rec.Annotations, fmt.Sprintf("recoveries=%d", recovers))
 		}
+		// Routing verdicts explain the fan-out width: a wide scatter with
+		// fallbacks is gossip lag or an epoch bump, not a routing miss.
+		if routeSkips > 0 {
+			rec.Annotations = append(rec.Annotations, fmt.Sprintf("routeSkips=%d", routeSkips))
+		}
+		if routeFallbacks > 0 {
+			rec.Annotations = append(rec.Annotations, fmt.Sprintf("routeFallbacks=%d", routeFallbacks))
+		}
 		n.flight.Consider(rec)
+	}
+	if !req.WantSpans && len(resp.Spans) > 0 {
+		// The tree was server-side payload (SLO window, flight recorder,
+		// annotations above); drop it from the wire unless the client asked
+		// to trace. Strip on a copy — a coalesced leader's Response is shared
+		// with followers still reading it.
+		stripped := *resp
+		stripped.Spans = nil
+		return &stripped
 	}
 	return resp
 }
@@ -154,6 +176,10 @@ func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 		if target, ok := n.pickLighterPeer(); ok {
 			fwd := *req
 			fwd.Forwarded = true
+			// The forwarding node always wants the remote tree back: it adopts
+			// the spans into its own ring (flight recorder, local qactl -slow)
+			// and handleAsk re-strips per the original client's WantSpans.
+			fwd.WantSpans = true
 			fwdSpan := n.spans.StartSpan("forward", "", ctx)
 			fwd.Span = fwdSpan.Context()
 			fwdStart := time.Now()
@@ -376,6 +402,12 @@ func (n *Node) partitionPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext
 	return all
 }
 
+// minAPParasPerWorker is the AP fan-out break-even: below this many accepted
+// paragraphs per worker, a remote AP sub-task's round-trip costs more than
+// the extraction it offloads, so the partitioner narrows (possibly to fully
+// local execution).
+const minAPParasPerWorker = 8
+
 // partitionAP splits the accepted paragraphs between this node and its idle
 // peers with an interleaved (ISEND-style) split — the accepted array is
 // rank-ordered, so interleaving equalises granularity. Failed remote
@@ -389,9 +421,19 @@ func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredPa
 			idle = append(idle, p.Addr)
 		}
 	}
+	// Distribute only when every worker gets enough paragraphs to out-earn
+	// its round-trip: an AP sub-task ships refs out and answers back
+	// (~tens of µs on loopback), while extracting from a handful of
+	// paragraphs is cheaper than that wire cost — the PR-2 adaptive-fanout
+	// lesson applied to AP. Grouping never changes the answer bytes
+	// (MergeAnswerSets is partition-insensitive), so the clamp is pure
+	// scheduling.
 	workers := len(idle) + 1
-	if len(accepted) < 2*workers {
-		workers = 1 // not worth distributing
+	if w := len(accepted) / minAPParasPerWorker; w < workers {
+		workers = w
+	}
+	if workers < 2 {
+		workers = 1
 	}
 	localAP := func(paras []qa.ScoredParagraph) []qa.Answer {
 		span := n.spans.StartSpan("stage:AP", obs.StageAP, parent)
@@ -453,7 +495,7 @@ func Ask(addr, question string, timeout time.Duration) (*Response, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return roundTrip(addr, &Request{Kind: kindAsk, Question: question}, timeout)
+	return roundTrip(addr, &Request{Kind: kindAsk, Question: question, WantSpans: true}, timeout)
 }
 
 // QueryEstimate asks a node for a cost prediction of question (Equation 9).

@@ -8,6 +8,7 @@ import (
 	"distqa/internal/nlp"
 	"distqa/internal/obs"
 	"distqa/internal/qa"
+	"distqa/internal/shard"
 	"distqa/internal/wire"
 )
 
@@ -44,9 +45,12 @@ const (
 	// codecReqMetricsPull is the fleet-aggregation pull (PR-6): payload is
 	// one Fleet bool, so a qatop refresh loop costs no allocations to decode.
 	codecReqMetricsPull = 0x09
-	codecResp           = 0x41 // binary response
-	codecGobReq       = 0x7E // gob-embedded Request
-	codecGobResp      = 0x7F // gob-embedded Response
+	// codecReqShardSummary is the term-summary pull (PR-7): payload is the
+	// wanted shard-id list (Request.Subs).
+	codecReqShardSummary = 0x0A
+	codecResp            = 0x41 // binary response
+	codecGobReq          = 0x7E // gob-embedded Request
+	codecGobResp         = 0x7F // gob-embedded Response
 )
 
 // codecOfKind maps a Request.Kind to its binary shape code, or false when
@@ -71,6 +75,8 @@ func codecOfKind(kind string) (byte, bool) {
 		return codecReqShardDF, true
 	case kindMetricsPull:
 		return codecReqMetricsPull, true
+	case kindShardSummary:
+		return codecReqShardSummary, true
 	default:
 		return 0, false
 	}
@@ -97,6 +103,8 @@ func kindOfCodec(code byte) (string, bool) {
 		return kindShardDF, true
 	case codecReqMetricsPull:
 		return kindMetricsPull, true
+	case codecReqShardSummary:
+		return kindShardSummary, true
 	default:
 		return "", false
 	}
@@ -126,6 +134,7 @@ func appendRequestWire(b *wire.Buffer, req *Request) error {
 	switch code {
 	case codecReqAsk:
 		b.Bool(req.Forwarded)
+		b.Bool(req.WantSpans)
 		b.String(req.Question)
 	case codecReqPR:
 		appendStrings(b, req.Keywords)
@@ -155,6 +164,11 @@ func appendRequestWire(b *wire.Buffer, req *Request) error {
 		appendLoadReport(b, &req.Load)
 	case codecReqMetricsPull:
 		b.Bool(req.Fleet)
+	case codecReqShardSummary:
+		b.Uint64(uint64(len(req.Subs)))
+		for _, s := range req.Subs {
+			b.Int(s)
+		}
 	case codecReqStatus, codecReqMetrics:
 		// No payload beyond the kind.
 	}
@@ -187,14 +201,16 @@ func decodeRequestWireInto(r *wire.Reader, req *Request) error {
 		}
 		return fmt.Errorf("%w: unknown request shape 0x%02x", wire.ErrCorrupt, code)
 	}
-	prevAddr := req.Load.Addr     // survives the reset so heartbeat decode can intern it
-	prevShards := req.Load.Shards // scratch capacity reused by heartbeat decode
+	prevAddr := req.Load.Addr       // survives the reset so heartbeat decode can intern it
+	prevShards := req.Load.Shards   // scratch capacity reused by heartbeat decode
+	prevSumVers := req.Load.SumVers // likewise for the summary-version vector
 	*req = Request{Kind: kind}
 	req.Span.QID = r.Int64()
 	req.Span.Span = r.Int64()
 	switch code {
 	case codecReqAsk:
 		req.Forwarded = r.Bool()
+		req.WantSpans = r.Bool()
 		req.Question = r.String()
 	case codecReqPR:
 		req.Keywords = decodeStrings(r)
@@ -219,9 +235,12 @@ func decodeRequestWireInto(r *wire.Reader, req *Request) error {
 	case codecReqHeartbeat:
 		req.Load.Addr = prevAddr
 		req.Load.Shards = prevShards
+		req.Load.SumVers = prevSumVers
 		decodeLoadReport(r, &req.Load)
 	case codecReqMetricsPull:
 		req.Fleet = r.Bool()
+	case codecReqShardSummary:
+		req.Subs = decodeInts(r)
 	}
 	return r.Err()
 }
@@ -248,6 +267,7 @@ func appendResponseWire(b *wire.Buffer, resp *Response) error {
 	appendShardDFs(b, resp.DFs)
 	appendSpans(b, resp.Spans)
 	appendSnapshots(b, resp.Snapshots)
+	appendSummaries(b, resp.Summaries)
 	return nil
 }
 
@@ -283,6 +303,7 @@ func decodeResponseWire(r *wire.Reader) (*Response, error) {
 	resp.DFs = decodeShardDFs(r)
 	resp.Spans = decodeSpans(r)
 	resp.Snapshots = decodeSnapshots(r)
+	resp.Summaries = decodeSummaries(r)
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
@@ -386,6 +407,10 @@ func appendLoadReport(b *wire.Buffer, lr *LoadReport) {
 	for _, s := range lr.Shards {
 		b.Int(s)
 	}
+	b.Uint64(uint64(len(lr.SumVers)))
+	for _, v := range lr.SumVers {
+		b.Int64(v)
+	}
 	b.Time(lr.Sent)
 }
 
@@ -418,7 +443,75 @@ func decodeLoadReport(r *wire.Reader, lr *LoadReport) {
 			lr.Shards[i] = r.Int()
 		}
 	}
+	// SumVers rides the same scratch-capacity discipline as Shards: the
+	// version vector repeats its length every beat, so the steady state stays
+	// allocation-free, and dispatch interns a stable copy before storing.
+	nv := r.ListLen(1)
+	if nv == 0 {
+		lr.SumVers = lr.SumVers[:0]
+	} else {
+		if cap(lr.SumVers) < nv {
+			lr.SumVers = make([]int64, nv)
+		}
+		lr.SumVers = lr.SumVers[:nv]
+		for i := range lr.SumVers {
+			lr.SumVers[i] = r.Int64()
+		}
+	}
 	lr.Sent = r.Time()
+}
+
+func appendSummaries(b *wire.Buffer, sums []shard.Summary) {
+	b.Uint64(uint64(len(sums)))
+	for i := range sums {
+		s := &sums[i]
+		b.Int(s.Shard)
+		b.Int64(s.Version)
+		b.Int(s.Terms)
+		b.Int(s.Docs)
+		b.Byte(s.Hashes)
+		b.Uint64(uint64(len(s.Bits)))
+		for _, w := range s.Bits {
+			b.Uint64(w)
+		}
+		b.Uint64(uint64(len(s.TopDF)))
+		for _, td := range s.TopDF {
+			b.String(td.Term)
+			b.Int64(td.DF)
+		}
+	}
+}
+
+func decodeSummaries(r *wire.Reader) []shard.Summary {
+	// A summary is ≥ 7 bytes of fixed fields even when empty, bounding what a
+	// corrupt outer length could allocate.
+	n := r.ListLen(7)
+	if n == 0 {
+		return nil
+	}
+	out := make([]shard.Summary, n)
+	for i := range out {
+		s := &out[i]
+		s.Shard = r.Int()
+		s.Version = r.Int64()
+		s.Terms = r.Int()
+		s.Docs = r.Int()
+		s.Hashes = r.Byte()
+		if nb := r.ListLen(1); nb > 0 {
+			s.Bits = make([]uint64, nb)
+			for j := range s.Bits {
+				s.Bits[j] = r.Uint64()
+			}
+		}
+		if nt := r.ListLen(2); nt > 0 {
+			s.TopDF = make([]shard.TermDF, nt)
+			for j := range s.TopDF {
+				s.TopDF[j].Term = r.String()
+				s.TopDF[j].DF = r.Int64()
+			}
+		}
+	}
+	return out
 }
 
 func appendAnswers(b *wire.Buffer, as []qa.Answer) {

@@ -9,6 +9,7 @@ import (
 
 	"distqa/internal/obs"
 	"distqa/internal/qa"
+	"distqa/internal/shard"
 	"distqa/internal/wire"
 )
 
@@ -85,15 +86,29 @@ func intsEqual(a, b []int) bool {
 	return true
 }
 
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func loadReportsEqual(a, b *LoadReport) bool {
 	return a.Addr == b.Addr && a.Questions == b.Questions &&
 		a.Queued == b.Queued && a.APTasks == b.APTasks &&
-		intsEqual(a.Shards, b.Shards) && a.Sent.Equal(b.Sent)
+		intsEqual(a.Shards, b.Shards) &&
+		int64sEqual(a.SumVers, b.SumVers) && a.Sent.Equal(b.Sent)
 }
 
 func requestsEqual(a, b *Request) bool {
 	return a.Kind == b.Kind && a.Span == b.Span &&
 		a.Question == b.Question && a.Forwarded == b.Forwarded &&
+		a.WantSpans == b.WantSpans &&
 		reflect.DeepEqual(a.Keywords, b.Keywords) &&
 		intsEqual(a.Subs, b.Subs) &&
 		a.Shard == b.Shard && a.Epoch == b.Epoch &&
@@ -115,6 +130,22 @@ func shardDFsEqual(a, b []ShardDF) bool {
 			if a[i].DF[j] != b[i].DF[j] {
 				return false
 			}
+		}
+	}
+	return true
+}
+
+func summariesEqual(a, b []shard.Summary) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.Shard != y.Shard || x.Version != y.Version ||
+			x.Terms != y.Terms || x.Docs != y.Docs || x.Hashes != y.Hashes ||
+			!reflect.DeepEqual(x.Bits, y.Bits) ||
+			!reflect.DeepEqual(x.TopDF, y.TopDF) {
+			return false
 		}
 	}
 	return true
@@ -205,6 +236,7 @@ func responsesEqual(t *testing.T, a, b *Response) bool {
 		reflect.DeepEqual(a.Answers, b.Answers) &&
 		reflect.DeepEqual(a.ParaRefs, b.ParaRefs) &&
 		shardDFsEqual(a.DFs, b.DFs) &&
+		summariesEqual(a.Summaries, b.Summaries) &&
 		reflect.DeepEqual(a.Estimate, b.Estimate) &&
 		spansEqual(a.Spans, b.Spans) &&
 		snapshotsEqual(a.Snapshots, b.Snapshots) &&
@@ -220,6 +252,7 @@ func codecTestRequests() map[string]*Request {
 		"ask": {Kind: kindAsk, Question: "what is the capital of France?",
 			Span: obs.SpanContext{QID: 42, Span: 7}},
 		"ask-forwarded": {Kind: kindAsk, Question: "who?", Forwarded: true},
+		"ask-traced":    {Kind: kindAsk, Question: "why?", WantSpans: true},
 		"ask-empty":     {Kind: kindAsk},
 		"pr": {Kind: kindPRSubtask, Span: obs.SpanContext{QID: 1, Span: 2},
 			Keywords: []string{"capital", "france"}, Subs: []int{0, 2, 5}},
@@ -233,15 +266,20 @@ func codecTestRequests() map[string]*Request {
 		"heartbeat-shards": {Kind: kindHeartbeat, Load: LoadReport{
 			Addr: "127.0.0.1:9003", Questions: 2, Shards: []int{0, 2},
 			Sent: time.Unix(1_700_000_010, 42)}},
+		"heartbeat-sumvers": {Kind: kindHeartbeat, Load: LoadReport{
+			Addr: "127.0.0.1:9004", Questions: 1, Shards: []int{1, 3},
+			SumVers: []int64{0x1234abcd, 0}, Sent: time.Unix(1_700_000_020, 7)}},
 		"status":  {Kind: kindStatus},
 		"metrics": {Kind: kindMetrics},
 		"shardpr": {Kind: kindShardPR, Span: obs.SpanContext{QID: 5, Span: 9},
 			Shard: 1, Epoch: 4, Keywords: []string{"capital", "france"}, Subs: []int{1, 3}},
-		"shardpr-empty": {Kind: kindShardPR},
-		"sharddf":       {Kind: kindShardDF, Keywords: []string{"capital"}, Subs: []int{0, 1, 2}},
-		"sharddf-empty": {Kind: kindShardDF},
+		"shardpr-empty":      {Kind: kindShardPR},
+		"sharddf":            {Kind: kindShardDF, Keywords: []string{"capital"}, Subs: []int{0, 1, 2}},
+		"sharddf-empty":      {Kind: kindShardDF},
 		"metricspull":        {Kind: kindMetricsPull, Fleet: true},
 		"metricspull-single": {Kind: kindMetricsPull},
+		"shardsummary":       {Kind: kindShardSummary, Subs: []int{0, 2, 3}},
+		"shardsummary-empty": {Kind: kindShardSummary},
 		// kindEstimate has no hand-rolled shape: a cold operator query that
 		// travels gob-embedded like any future kind.
 		"estimate": {Kind: kindEstimate, Question: "what is the capital of France?"},
@@ -272,6 +310,12 @@ func codecTestResponses() map[string]*Response {
 			{Sub: 3, DF: []int64{1}},
 			{Sub: 5, DF: nil},
 		}, Epoch: 2},
+		"summaries": {Epoch: 5, ServedBy: "127.0.0.1:9001", Summaries: []shard.Summary{
+			{Shard: 0, Version: 0x7fedcba987654321, Terms: 3, Docs: 12, Hashes: 6,
+				Bits:  []uint64{0x8000000000000001, 0, 42},
+				TopDF: []shard.TermDF{{Term: "capit", DF: 7}, {Term: "franc", DF: 3}}},
+			{Shard: 2, Version: 1},
+		}},
 		"estimate": {Estimate: &qa.CostEstimate{
 			Documents: 12.5, Paragraphs: 3.25, CPUSeconds: 0.75, DiskBytes: 4096}},
 		"metrics": {MetricsText: "# TYPE live_questions_total counter\nlive_questions_total 4\n"},

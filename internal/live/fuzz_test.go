@@ -8,6 +8,7 @@ import (
 
 	"distqa/internal/obs"
 	"distqa/internal/qa"
+	"distqa/internal/shard"
 )
 
 // encodeFrame gob-encodes one wire message (Request or Response) to raw
@@ -51,6 +52,12 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Kind: kindEstimate, Question: "what is the capital of France?"},
 		{Kind: kindStatus},
 		{Kind: kindMetrics},
+		// Selective-routing shapes (PR-7): a summary pull and a heartbeat
+		// advertising summary versions alongside its shard claims.
+		{Kind: kindShardSummary, Subs: []int{0, 2}},
+		{Kind: kindHeartbeat, Load: LoadReport{
+			Addr: "127.0.0.1:9004", Questions: 1, Shards: []int{1, 3},
+			SumVers: []int64{77, 0}, Sent: time.Unix(1_000_000_000, 0)}},
 	}
 	for _, req := range seeds {
 		f.Add(encodeFrame(f, req))
@@ -96,6 +103,10 @@ func FuzzDecodeResponse(f *testing.F) {
 		{DFs: []ShardDF{{Sub: 0, DF: []int64{3, 0, 7}}, {Sub: 3, DF: []int64{1}}}, Epoch: 2},
 		{Estimate: &qa.CostEstimate{Documents: 12.5, Paragraphs: 3.25,
 			CPUSeconds: 0.75, DiskBytes: 4096}},
+		// Selective-routing shape (PR-7): a term-summary pull result.
+		{Summaries: []shard.Summary{{Shard: 0, Version: 9, Terms: 2, Docs: 5,
+			Hashes: 6, Bits: []uint64{1, 0}, TopDF: []shard.TermDF{{Term: "capit", DF: 3}}}},
+			Epoch: 4, ServedBy: "127.0.0.1:9002"},
 	}
 	for _, resp := range seeds {
 		f.Add(encodeFrame(f, resp))

@@ -67,6 +67,20 @@ type nodeMetrics struct {
 	shardFailovers *obs.Counter // live_shard_failovers_total
 	shardEpoch     *obs.Gauge   // live_shard_epoch
 
+	// Selective-routing instrumentation (PR-7): per-shard routing verdicts
+	// (live_route_decisions_total{action=...}), fallback reasons, whole-plan
+	// outcomes, short-circuited fan-outs, and summary-gossip pull traffic.
+	routeSkips           *obs.Counter // live_route_decisions_total{action="skip"}
+	routeScatters        *obs.Counter // live_route_decisions_total{action="scatter"}
+	routeFallbackMissing *obs.Counter // live_route_fallbacks_total{reason="missing"}
+	routeFallbackStale   *obs.Counter // live_route_fallbacks_total{reason="stale"}
+	routeShortCircuits   *obs.Counter // live_route_shortcircuits_total
+	routePlansSelective  *obs.Counter // live_route_plans_total{outcome="selective"}
+	routePlansFallback   *obs.Counter // live_route_plans_total{outcome="fallback"}
+	sumPullsSent         *obs.Counter // live_summary_pulls_total{direction="sent"}
+	sumPullsServed       *obs.Counter // live_summary_pulls_total{direction="served"}
+	sumPullFailures      *obs.Counter // live_summary_pull_failures_total
+
 	active     *obs.Gauge // live_questions_active
 	queueDepth *obs.Gauge // live_admission_queue_depth
 	peers      *obs.Gauge // live_peers (refreshed at scrape time)
@@ -113,6 +127,16 @@ func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	m.shardDFRecv = reg.Counter("live_shard_subtasks_total", obs.Labels{"kind": "df", "direction": "received"})
 	m.shardFailovers = reg.Counter("live_shard_failovers_total", nil)
 	m.shardEpoch = reg.Gauge("live_shard_epoch", nil)
+	m.routeSkips = reg.Counter("live_route_decisions_total", obs.Labels{"action": "skip"})
+	m.routeScatters = reg.Counter("live_route_decisions_total", obs.Labels{"action": "scatter"})
+	m.routeFallbackMissing = reg.Counter("live_route_fallbacks_total", obs.Labels{"reason": "missing"})
+	m.routeFallbackStale = reg.Counter("live_route_fallbacks_total", obs.Labels{"reason": "stale"})
+	m.routeShortCircuits = reg.Counter("live_route_shortcircuits_total", nil)
+	m.routePlansSelective = reg.Counter("live_route_plans_total", obs.Labels{"outcome": "selective"})
+	m.routePlansFallback = reg.Counter("live_route_plans_total", obs.Labels{"outcome": "fallback"})
+	m.sumPullsSent = reg.Counter("live_summary_pulls_total", obs.Labels{"direction": "sent"})
+	m.sumPullsServed = reg.Counter("live_summary_pulls_total", obs.Labels{"direction": "served"})
+	m.sumPullFailures = reg.Counter("live_summary_pull_failures_total", nil)
 	m.active = reg.Gauge("live_questions_active", nil)
 	m.queueDepth = reg.Gauge("live_admission_queue_depth", nil)
 	m.peers = reg.Gauge("live_peers", nil)
@@ -284,6 +308,17 @@ func (n *Node) statusMetrics() StatusMetrics {
 		ShardDFReceived: n.nm.shardDFRecv.Value(),
 		ShardFailovers:  n.nm.shardFailovers.Value(),
 		ShardEpoch:      n.nm.shardEpoch.Value(),
+
+		RouteSkips:            n.nm.routeSkips.Value(),
+		RouteScatters:         n.nm.routeScatters.Value(),
+		RouteFallbacksMissing: n.nm.routeFallbackMissing.Value(),
+		RouteFallbacksStale:   n.nm.routeFallbackStale.Value(),
+		RouteShortCircuits:    n.nm.routeShortCircuits.Value(),
+		RoutePlansSelective:   n.nm.routePlansSelective.Value(),
+		RoutePlansFallback:    n.nm.routePlansFallback.Value(),
+		SummaryPullsSent:      n.nm.sumPullsSent.Value(),
+		SummaryPullsServed:    n.nm.sumPullsServed.Value(),
+		SummaryPullFailures:   n.nm.sumPullFailures.Value(),
 
 		Goroutines:     int64(rt.Goroutines),
 		HeapAllocBytes: int64(rt.HeapAllocBytes),

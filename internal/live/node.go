@@ -134,6 +134,14 @@ type Node struct {
 	holdSubs     []int // sub-collections this node's index covers
 	shardTracker *shard.Tracker
 
+	// Selective-routing state (PR-7). All nil/empty when routing is off.
+	// localSums/localSumVers are immutable after StartNode and safe to share;
+	// sumStore holds gossiped summaries of shards other nodes hold.
+	localSums    map[int]*shard.Summary
+	localSumVers []int64 // parallel to holdings, for the heartbeat payload
+	sumStore     *summaryStore
+	routeStats   []routeStats // per-shard skip/scatter/fallback counters
+
 	mu         sync.Mutex
 	peers      map[string]LoadReport
 	knownPeers map[string]bool
@@ -216,6 +224,30 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		holdSubs = engine.Set.Globals()
 		tracker = shard.NewTracker(k)
 	}
+	var (
+		localSums    map[int]*shard.Summary
+		localSumVers []int64
+		sumStore     *summaryStore
+		rstats       []routeStats
+	)
+	if tracker != nil && !cfg.Shard.Routing.Disabled {
+		// Selective routing (PR-7): summarise each held shard once — the index
+		// is immutable, so the summaries (and their content-checksum versions,
+		// gossiped on every heartbeat) never change for the node's lifetime.
+		localSums = make(map[int]*shard.Summary, len(holdings))
+		localSumVers = make([]int64, len(holdings))
+		opts := cfg.Shard.Routing.summaryOptions()
+		for i, s := range holdings {
+			sum, err := shard.BuildSummary(engine.Set, s, shard.SubsOf(s, shardK, len(engine.Coll.Subs)), opts)
+			if err != nil {
+				return nil, fmt.Errorf("live: summarise shard %d: %w", s, err)
+			}
+			localSums[s] = &sum
+			localSumVers[i] = sum.Version
+		}
+		sumStore = newSummaryStore()
+		rstats = make([]routeStats, shardK)
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("live: listen %s: %w", cfg.Addr, err)
@@ -256,6 +288,10 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		holdings:     holdings,
 		holdSubs:     holdSubs,
 		shardTracker: tracker,
+		localSums:    localSums,
+		localSumVers: localSumVers,
+		sumStore:     sumStore,
+		routeStats:   rstats,
 		peers:        make(map[string]LoadReport),
 		knownPeers:   make(map[string]bool),
 		conns:        make(map[net.Conn]struct{}),
@@ -409,9 +445,12 @@ func (n *Node) loadReport() LoadReport {
 		Queued:    n.queued,
 		APTasks:   n.apTasks,
 		// The shard claim rides every heartbeat (the load-monitor channel is
-		// the shard map's transport). holdings is immutable, safe to share.
-		Shards: n.holdings,
-		Sent:   time.Now(),
+		// the shard map's transport). holdings is immutable, safe to share —
+		// as is the summary-version vector (PR-7), which is how summaries
+		// gossip incrementally: versions every beat, bodies only on pull.
+		Shards:  n.holdings,
+		SumVers: n.localSumVers,
+		Sent:    time.Now(),
 	}
 }
 
@@ -628,9 +667,10 @@ func (n *Node) dispatch(req *Request) *Response {
 		n.nm.hbRecv.Inc()
 		n.mu.Lock()
 		stored := req.Load
-		// The decoded Shards slice may be the mux read loop's scratch buffer
-		// (reused next frame); intern a stable copy before retaining it.
+		// The decoded Shards/SumVers slices may be the mux read loop's scratch
+		// buffers (reused next frame); intern stable copies before retaining.
 		stored.Shards = internShards(n.peers[req.Load.Addr].Shards, req.Load.Shards)
+		stored.SumVers = internInt64s(n.peers[req.Load.Addr].SumVers, req.Load.SumVers)
 		n.peers[req.Load.Addr] = stored
 		// Heartbeats double as dynamic peer discovery (Section 3.1), so a
 		// restarted peer re-joins the mesh without reconfiguration.
@@ -639,6 +679,9 @@ func (n *Node) dispatch(req *Request) *Response {
 		if n.detector.observeBeat(req.Load.Addr, time.Now()) {
 			n.nm.readmissions.Inc()
 		}
+		// Summary gossip (PR-7): an advertised version the store has not seen
+		// triggers an async pull; steady-state beats cost a version compare.
+		n.observeSummaryVersions(stored.Addr, stored.Shards, stored.SumVers)
 		return &Response{}
 	case kindStatus:
 		return n.handleStatus()
@@ -658,6 +701,8 @@ func (n *Node) dispatch(req *Request) *Response {
 		return resp
 	case kindShardDF:
 		return n.handleShardDF(req)
+	case kindShardSummary:
+		return n.handleShardSummary(req)
 	case kindMetricsPull:
 		return n.handleMetricsPull(req)
 	case kindSlow:

@@ -27,6 +27,7 @@ import (
 
 	"distqa/internal/obs"
 	"distqa/internal/qa"
+	"distqa/internal/shard"
 )
 
 // MaxFrameBytes bounds how many bytes one gob-encoded Request or Response
@@ -101,6 +102,12 @@ const (
 	kindShardPR   = "shardPR"   // shard-scoped paragraph retrieval + scoring
 	kindShardDF   = "shardDF"   // shard document-frequency gather (df correction)
 	kindEstimate  = "estimate"  // operator cost-prediction query (gob-embedded)
+	// kindShardSummary pulls shard term summaries (PR-7): heartbeats advertise
+	// summary versions (LoadReport.SumVers), and a node that sees a version it
+	// has not stored pulls the full summary with this op. Request.Subs carries
+	// the wanted shard ids; the response returns one shard.Summary per id the
+	// serving node holds.
+	kindShardSummary = "shardSummary"
 	// kindMetricsPull gathers registry snapshots for fleet aggregation
 	// (PR-6): Fleet=false returns the serving node's own snapshot;
 	// Fleet=true makes the node fan the pull out to its peers and return
@@ -123,7 +130,13 @@ type Request struct {
 	// Forwarded marks a question already migrated once (no re-forwarding,
 	// preventing routing loops).
 	Forwarded bool
-	// PRSubtask
+	// WantSpans asks the serving node to ship the question's span tree back
+	// in Response.Spans. The tree exists on the server either way (flight
+	// recorder, SLO windows, `qactl -slow`); shipping it is tracing payload —
+	// often larger than the answers themselves — that only tracing clients
+	// (`qactl`'s Ask helper, the forwarding path) should pay the wire cost of.
+	WantSpans bool
+	// PRSubtask. Subs doubles as the wanted shard ids on shardSummary pulls.
 	Keywords []string
 	Subs     []int
 	// ShardPR / ShardDF: shard-scoped sub-tasks carry the shard they target
@@ -181,7 +194,13 @@ type LoadReport struct {
 	// the shard map travels on the existing load-monitor channel (no extra
 	// protocol round). Empty on unsharded nodes.
 	Shards []int
-	Sent   time.Time
+	// SumVers advertises, parallel to Shards, the version of the sender's
+	// term summary for each held shard (0 = no summary built). Versions are
+	// content checksums, so summaries ride the gossip incrementally: a
+	// heartbeat costs a handful of varints, and a peer pulls the full summary
+	// (kindShardSummary) only when it sees a version it has not stored.
+	SumVers []int64
+	Sent    time.Time
 }
 
 // ShardDF is one sub-collection's per-keyword document frequencies, returned
@@ -203,6 +222,9 @@ type Response struct {
 	// Epoch echoes the serving node's shard-map epoch on shard-scoped
 	// responses (stale-map diagnostics).
 	Epoch int64
+	// Summaries is the shardSummary result: one term summary per requested
+	// shard the serving node holds (selective routing, PR-7).
+	Summaries []shard.Summary
 	// Status result.
 	Status *Status
 	// Estimate is the cost-prediction result (kindEstimate, qactl -estimate).
@@ -278,6 +300,16 @@ type ShardReplicaRow struct {
 	Shard    int
 	Subs     []int
 	Replicas []string
+	// Selective-routing view (PR-7), zero-valued when routing is off: how
+	// often this node's coordinator skipped / scattered to / fell back on the
+	// shard, and the freshness of the summary it would consult.
+	RouteSkipped   int64
+	RouteScattered int64
+	RouteFallbacks int64
+	SummaryVersion int64  // 0 = no summary known
+	SummaryFresh   bool   // usable at the current epoch
+	SummaryFrom    string // "local", or the replica the summary was pulled from
+	SummaryTerms   int    // distinct stems the summary covers
 }
 
 // MuxPeerStatus is one peer's row in Status.Mux: the state of this node's
@@ -337,6 +369,19 @@ type StatusMetrics struct {
 	ShardDFReceived int64
 	ShardFailovers  int64
 	ShardEpoch      int64
+	// Selective-routing counters (live_route_* / live_summary_* metrics,
+	// PR-7): per-shard routing verdicts, whole-plan outcomes, fan-outs the
+	// summaries eliminated entirely, and summary-gossip pull traffic.
+	RouteSkips            int64
+	RouteScatters         int64
+	RouteFallbacksMissing int64
+	RouteFallbacksStale   int64
+	RouteShortCircuits    int64
+	RoutePlansSelective   int64
+	RoutePlansFallback    int64
+	SummaryPullsSent      int64
+	SummaryPullsServed    int64
+	SummaryPullFailures   int64
 	// Go runtime gauges (PR-6), sampled when the status is built: the
 	// profiling-adjacent health figures rendered by `qactl -status`.
 	Goroutines     int64

@@ -1,0 +1,247 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// queryMetrics fetches the node's cumulative metrics snapshot via the public
+// status RPC — routing tests assert on counter deltas across asks.
+func queryMetrics(t *testing.T, addr string) StatusMetrics {
+	t.Helper()
+	st, err := QueryStatus(addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("status %s: %v", addr, err)
+	}
+	return st.Metrics
+}
+
+// waitForSummaries blocks until node's shard-status table shows a summary for
+// every shard (local or pulled via gossip).
+func waitForSummaries(t *testing.T, node *Node) {
+	t.Helper()
+	waitFor(t, "summaries gossiped to "+node.Addr(), 5*time.Second, func() bool {
+		st, err := QueryStatus(node.Addr(), 2*time.Second)
+		if err != nil || st.Shard == nil {
+			return false
+		}
+		for _, row := range st.Shard.Shards {
+			if row.SummaryVersion == 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// waitForFreshSummaries blocks until every summary in node's shard-status
+// table is usable at the current epoch (the first routed ask after start-up or
+// an epoch bump revalidates the store).
+func waitForFreshSummaries(t *testing.T, node *Node) {
+	t.Helper()
+	waitFor(t, "fresh summaries on "+node.Addr(), 5*time.Second, func() bool {
+		st, err := QueryStatus(node.Addr(), 2*time.Second)
+		if err != nil || st.Shard == nil {
+			return false
+		}
+		for _, row := range st.Shard.Shards {
+			if row.SummaryVersion == 0 || !row.SummaryFresh {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestSelectiveRoutingLiveEquivalence: with summaries gossiped and fresh, the
+// selectively-routed sharded cluster must return answers byte-identical to a
+// twin cluster pinned to full scatter (skipping a provably-empty shard must
+// not change a single answer), and a question whose keywords occur nowhere
+// must short-circuit the scatter entirely (every shard provably empty).
+func TestSelectiveRoutingLiveEquivalence(t *testing.T) {
+	mut := func(routingOff bool) func(i int, cfg *NodeConfig) {
+		return func(i int, cfg *NodeConfig) {
+			cfg.Cache.Disabled = true // every ask exercises the routed scatter path
+			cfg.Shard.Routing.Disabled = routingOff
+		}
+	}
+	routed := startShardedCluster(t, 3, 4, 2, mut(false))
+	scatter := startShardedCluster(t, 3, 4, 2, mut(true))
+	for _, nd := range append(append([]*Node(nil), routed...), scatter...) {
+		waitForPeers(t, nd, 2)
+		waitForCompleteShardMap(t, nd)
+	}
+	waitForSummaries(t, routed[0])
+
+	// The first routed ask may pay the one deterministic fallback scatter
+	// (summaries pulled before the map composed carry an older epoch stamp);
+	// its successful gather revalidates the store.
+	if _, err := Ask(routed[0].Addr(), liveColl.Facts[0].Question, 10*time.Second); err != nil {
+		t.Fatalf("warm-up ask: %v", err)
+	}
+	waitForFreshSummaries(t, routed[0])
+
+	before := queryMetrics(t, routed[0].Addr())
+	for _, f := range liveColl.Facts {
+		got, err := Ask(routed[0].Addr(), f.Question, 10*time.Second)
+		if err != nil {
+			t.Fatalf("routed ask %q: %v", f.Question, err)
+		}
+		want, err := Ask(scatter[0].Addr(), f.Question, 10*time.Second)
+		if err != nil {
+			t.Fatalf("scatter ask %q: %v", f.Question, err)
+		}
+		if len(got.Answers) != len(want.Answers) {
+			t.Fatalf("routed ask %q returned %d answers, full scatter %d",
+				f.Question, len(got.Answers), len(want.Answers))
+		}
+		for i := range want.Answers {
+			if got.Answers[i].Text != want.Answers[i].Text {
+				t.Fatalf("routed answer %d for %q is %q, full scatter %q",
+					i, f.Question, got.Answers[i].Text, want.Answers[i].Text)
+			}
+		}
+		// The sharded path must still agree with the sequential pipeline on
+		// the top answer (the established cross-check in this suite).
+		seq := liveEngine.AnswerSequential(f.Question)
+		if len(seq.Answers) > 0 && len(got.Answers) > 0 &&
+			!strings.EqualFold(seq.Answers[0].Text, got.Answers[0].Text) {
+			t.Fatalf("routed top answer %q differs from sequential %q",
+				got.Answers[0].Text, seq.Answers[0].Text)
+		}
+	}
+	after := queryMetrics(t, routed[0].Addr())
+	if got := after.RoutePlansSelective - before.RoutePlansSelective; got < int64(len(liveColl.Facts)) {
+		t.Fatalf("only %d of %d asks planned selectively (fresh summaries should cover all)",
+			got, len(liveColl.Facts))
+	}
+
+	// Out-of-vocabulary question: the blooms prove every shard empty, so the
+	// plan must skip all K shards and never leave the coordinator.
+	oov := "Tell me about zzqvxjkwp?"
+	resp, err := Ask(routed[0].Addr(), oov, 10*time.Second)
+	if err != nil {
+		t.Fatalf("oov ask: %v", err)
+	}
+	full, err := Ask(scatter[0].Addr(), oov, 10*time.Second)
+	if err != nil {
+		t.Fatalf("oov scatter ask: %v", err)
+	}
+	if len(resp.Answers) != len(full.Answers) {
+		t.Fatalf("oov routed answers %d, full scatter %d", len(resp.Answers), len(full.Answers))
+	}
+	final := queryMetrics(t, routed[0].Addr())
+	if final.RouteShortCircuits <= after.RouteShortCircuits {
+		t.Fatal("oov ask did not short-circuit the scatter")
+	}
+	if got := final.RouteSkips - after.RouteSkips; got < 4 {
+		t.Fatalf("oov ask skipped %d shards, want all 4", got)
+	}
+	if final.SummaryPullsSent == 0 {
+		t.Fatal("no summary pulls recorded — gossip never ran")
+	}
+}
+
+// TestSelectiveRoutingDisabledMatchesRouted: a cluster pinned to full scatter
+// (RoutingConfig.Disabled) must never build, pull or consult summaries, and
+// must still agree with the oracle — the kill switch really kills the plane.
+func TestSelectiveRoutingDisabledMatchesRouted(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 2, 2, func(i int, cfg *NodeConfig) {
+		cfg.Cache.Disabled = true
+		cfg.Shard.Routing.Disabled = true
+	})
+	for _, nd := range nodes {
+		waitForPeers(t, nd, 2)
+		waitForCompleteShardMap(t, nd)
+	}
+	for _, f := range liveColl.Facts[:4] {
+		resp, err := Ask(nodes[0].Addr(), f.Question, 10*time.Second)
+		if err != nil {
+			t.Fatalf("scatter ask: %v", err)
+		}
+		seq := liveEngine.AnswerSequential(f.Question)
+		if len(seq.Answers) > 0 {
+			if len(resp.Answers) == 0 {
+				t.Fatalf("no answers for %q", f.Question)
+			}
+			if !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+				t.Fatalf("scatter answer %q differs from oracle %q", resp.Answers[0].Text, seq.Answers[0].Text)
+			}
+		}
+	}
+	m := queryMetrics(t, nodes[0].Addr())
+	if m.RouteSkips != 0 || m.RoutePlansSelective != 0 || m.SummaryPullsSent != 0 {
+		t.Fatalf("disabled routing still routed: skips=%d selective=%d pulls=%d",
+			m.RouteSkips, m.RoutePlansSelective, m.SummaryPullsSent)
+	}
+	st, err := QueryStatus(nodes[0].Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	for _, row := range st.Shard.Shards {
+		if row.SummaryVersion != 0 {
+			t.Fatalf("disabled routing advertised a summary for shard %d", row.Shard)
+		}
+	}
+}
+
+// TestSelectiveRoutingEpochBumpFallsBack: killing a replica bumps the
+// shard-map epoch, which makes every gossiped summary stale at once. The next
+// routed ask must detect the mismatch, fall back to a full scatter (counted as
+// a stale fallback) while still answering correctly, and that scatter's gather
+// revalidates the store so routing turns selective again.
+func TestSelectiveRoutingEpochBumpFallsBack(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 2, 2, func(i int, cfg *NodeConfig) {
+		cfg.Cache.Disabled = true
+		cfg.Detector = DetectorConfig{SuspectAfter: 2, DeadAfter: 3}
+	})
+	for _, nd := range nodes {
+		waitForPeers(t, nd, 2)
+		waitForCompleteShardMap(t, nd)
+	}
+	waitForSummaries(t, nodes[0])
+	if _, err := Ask(nodes[0].Addr(), liveColl.Facts[0].Question, 10*time.Second); err != nil {
+		t.Fatalf("warm-up ask: %v", err)
+	}
+	waitForFreshSummaries(t, nodes[0])
+
+	// Kill the only node whose shards node 0 does not hold locally is not
+	// guaranteed at K=2/R=2/n=3, but any death recomposes the map: epoch bump.
+	before := nodes[0].shardMap().Epoch
+	preBump := queryMetrics(t, nodes[0].Addr())
+	nodes[2].Close()
+	waitFor(t, "epoch bump after replica death", 5*time.Second, func() bool {
+		return nodes[0].shardMap().Epoch > before
+	})
+
+	f := liveColl.Facts[1]
+	resp, err := Ask(nodes[0].Addr(), f.Question, 15*time.Second)
+	if err != nil {
+		t.Fatalf("ask after epoch bump: %v", err)
+	}
+	seq := liveEngine.AnswerSequential(f.Question)
+	if len(seq.Answers) > 0 {
+		if len(resp.Answers) == 0 {
+			t.Fatalf("no answers after epoch bump for %q", f.Question)
+		}
+		if !strings.EqualFold(seq.Answers[0].Text, resp.Answers[0].Text) {
+			t.Fatalf("post-bump answer %q differs from oracle %q", resp.Answers[0].Text, seq.Answers[0].Text)
+		}
+	}
+	postBump := queryMetrics(t, nodes[0].Addr())
+	if postBump.RouteFallbacksStale <= preBump.RouteFallbacksStale {
+		t.Fatal("epoch bump did not produce a stale-summary fallback")
+	}
+
+	// Revalidation (plus re-pulls from the surviving replica when the dead
+	// node was the summary's source) restores selective routing.
+	waitForFreshSummaries(t, nodes[0])
+	if _, err := Ask(nodes[0].Addr(), f.Question, 15*time.Second); err != nil {
+		t.Fatalf("post-revalidation ask: %v", err)
+	}
+	final := queryMetrics(t, nodes[0].Addr())
+	if final.RoutePlansSelective <= postBump.RoutePlansSelective {
+		t.Fatal("routing did not turn selective again after revalidation")
+	}
+}

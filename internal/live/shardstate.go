@@ -29,6 +29,11 @@ type ShardConfig struct {
 	NodeIndex int
 	// ClusterSize is the number of nodes in the layout.
 	ClusterSize int
+	// Routing tunes selective shard routing (PR-7): gossiped term summaries
+	// that let the coordinator skip shards provably unable to contribute. The
+	// zero value enables it with defaults; Routing.Disabled pins the node to
+	// full scatter.
+	Routing RoutingConfig
 }
 
 func (c ShardConfig) enabled() bool { return c.K > 0 }
@@ -139,6 +144,24 @@ func (n *Node) shardStatus() *ShardStatus {
 			Subs:     shard.SubsOf(s, m.K, n.totalSubs()),
 			Replicas: m.Replicas[s],
 		}
+		if !n.routingEnabled() {
+			continue
+		}
+		row := &rows[s]
+		row.RouteSkipped = n.routeStats[s].skipped.Load()
+		row.RouteScattered = n.routeStats[s].scattered.Load()
+		row.RouteFallbacks = n.routeStats[s].fallbacks.Load()
+		if sum := n.localSums[s]; sum != nil {
+			row.SummaryVersion = sum.Version
+			row.SummaryFresh = true
+			row.SummaryFrom = "local"
+			row.SummaryTerms = sum.Terms
+		} else if e := n.sumStore.snapshot(s); e != nil {
+			row.SummaryVersion = e.sum.Version
+			row.SummaryFresh = e.epoch == m.Epoch
+			row.SummaryFrom = e.from
+			row.SummaryTerms = e.sum.Terms
+		}
 	}
 	return &ShardStatus{
 		K:           m.K,
@@ -164,9 +187,17 @@ func (n *Node) shardStatus() *ShardStatus {
 // qa.OrderParagraphs imposes a strict total order (score desc, paragraph id
 // asc), so the merged paragraph ranking — and therefore every downstream
 // byte — is permutation-insensitive.
+// Selective routing (PR-7) trims the fan-out before it starts: shards whose
+// gossiped term summary proves that no query keyword occurs in them are
+// skipped outright (provably byte-identical — they could only contribute an
+// empty sub-result), shards without a usable summary scatter as before, and
+// the surviving fan-out is dispatched in expected-contribution order. When
+// the plan eliminates every shard the gather short-circuits entirely. A
+// successful gather revalidates the summary store against the current epoch.
 func (n *Node) scatterPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext, budget time.Time, salt int) ([]qa.ScoredParagraph, error) {
 	m := n.shardMap()
 	total := n.totalSubs()
+	plan, routed := n.planRoute(analysis.Keywords, m, parent)
 
 	local := func(subs []int) []qa.ScoredParagraph {
 		key := prCacheKey(analysis.Keywords, subs)
@@ -196,65 +227,92 @@ func (n *Node) scatterPR(analysis nlp.QuestionAnalysis, parent obs.SpanContext, 
 	self := n.Addr()
 	results := make([][]qa.ScoredParagraph, m.K)
 	errs := make([]error, m.K)
-	var wg sync.WaitGroup
-	for s := 0; s < m.K; s++ {
-		s := s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			holders := m.Replicas[s]
-			if len(holders) == 0 {
-				errs[s] = fmt.Errorf("live: no live replica for shard %d (epoch %d)", s, m.Epoch)
+	// The dispatch set: the routed plan's scatter list (skips excluded,
+	// expected contribution descending), or every shard when routing is off.
+	// Dispatch order never affects the answer — the gather below concatenates
+	// in shard order and qa.OrderParagraphs is permutation-insensitive anyway.
+	scatter := plan.Scatter
+	if !routed {
+		scatter = make([]int, m.K)
+		for s := range scatter {
+			scatter[s] = s
+		}
+	}
+	fetch := func(s int) {
+		holders := m.Replicas[s]
+		if len(holders) == 0 {
+			errs[s] = fmt.Errorf("live: no live replica for shard %d (epoch %d)", s, m.Epoch)
+			return
+		}
+		subs := shard.SubsOf(s, m.K, total)
+		// Salt by shard as well as question id so one question's shards
+		// spread across tied replicas instead of herding onto one node.
+		for _, addr := range n.rankReplicas(holders, salt+s) {
+			if addr == self {
+				results[s] = local(subs)
 				return
 			}
-			subs := shard.SubsOf(s, m.K, total)
-			// Salt by shard as well as question id so one question's shards
-			// spread across tied replicas instead of herding onto one node.
-			for _, addr := range n.rankReplicas(holders, salt+s) {
-				if addr == self {
-					results[s] = local(subs)
+			n.nm.shardPRSent.Inc()
+			resp, err := n.callPeer(addr, &Request{
+				Kind:     kindShardPR,
+				Span:     parent,
+				Shard:    s,
+				Epoch:    m.Epoch,
+				Keywords: analysis.Keywords,
+				Subs:     subs,
+			}, budget, 0)
+			if err == nil {
+				paras, rerr := n.resolveRefs(resp.ParaRefs)
+				if rerr == nil {
+					for _, sp := range resp.Spans {
+						n.spans.Record(sp)
+					}
+					results[s] = paras
 					return
 				}
-				n.nm.shardPRSent.Inc()
-				resp, err := n.callPeer(addr, &Request{
-					Kind:     kindShardPR,
-					Span:     parent,
-					Shard:    s,
-					Epoch:    m.Epoch,
-					Keywords: analysis.Keywords,
-					Subs:     subs,
-				}, budget, 0)
-				if err == nil {
-					paras, rerr := n.resolveRefs(resp.ParaRefs)
-					if rerr == nil {
-						for _, sp := range resp.Spans {
-							n.spans.Record(sp)
-						}
-						results[s] = paras
-						return
-					}
-					err = rerr
-					n.recordFailure(opOfKind(kindShardPR), addr, rerr)
-				}
-				// Failover: blame the replica, mark the trace, try the next
-				// survivor in ranked order.
-				n.nm.failPR.Inc()
-				n.nm.shardFailovers.Inc()
-				n.spans.StartSpan("recover:shardpr peer="+addr, "", parent).End()
-				errs[s] = fmt.Errorf("live: shard %d replica %s: %w", s, addr, err)
+				err = rerr
+				n.recordFailure(opOfKind(kindShardPR), addr, rerr)
 			}
-			if results[s] == nil && errs[s] == nil {
-				errs[s] = fmt.Errorf("live: no surviving replica for shard %d", s)
-			}
-		}()
+			// Failover: blame the replica, mark the trace, try the next
+			// survivor in ranked order.
+			n.nm.failPR.Inc()
+			n.nm.shardFailovers.Inc()
+			n.spans.StartSpan("recover:shardpr peer="+addr, "", parent).End()
+			errs[s] = fmt.Errorf("live: shard %d replica %s: %w", s, addr, err)
+		}
+		if results[s] == nil && errs[s] == nil {
+			errs[s] = fmt.Errorf("live: no surviving replica for shard %d", s)
+		}
 	}
-	wg.Wait()
+	if len(scatter) == 1 {
+		// A routed single-shard plan (the common case on shard-local
+		// questions) needs no fan-out machinery at all.
+		fetch(scatter[0])
+	} else {
+		var wg sync.WaitGroup
+		for _, s := range scatter {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fetch(s)
+			}()
+		}
+		wg.Wait()
+	}
 	var all []qa.ScoredParagraph
 	for s := 0; s < m.K; s++ {
 		if errs[s] != nil && results[s] == nil {
 			return nil, fmt.Errorf("no surviving replica: %w", errs[s])
 		}
 		all = append(all, results[s]...)
+	}
+	if routed {
+		// The gather covered every non-skipped shard under map m, so the
+		// store's view is consistent with m: re-stamp summaries whose holder
+		// is still placed, drop the rest. This is the only place staleness
+		// clears — one deterministic fallback scatter per epoch bump.
+		n.sumStore.revalidate(m)
 	}
 	return all, nil
 }

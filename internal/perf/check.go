@@ -61,12 +61,19 @@ func SameEnv(a, b *Report) bool {
 // one run, so the gate holds across machines. A comparison missing from the
 // current report is a violation (a renamed benchmark cannot silently
 // disable the gate); parallel-engine comparisons are skipped on single-proc
-// runners for the same reason CheckFloors skips them.
+// runners for the same reason CheckFloors skips them, and a serial-fanout
+// comparison's speedup (not its alloc ratio) is skipped when the current
+// run's GOMAXPROCS differs from the baseline's — the latency regime changed,
+// so the committed figure does not transfer.
 func CheckComparisonRegression(baseline, current *Report, tolerance float64) []string {
 	parallelOnly := make(map[string]bool, len(floors))
+	serialOnly := make(map[string]bool, len(floors))
 	for _, f := range floors {
 		if f.needsParallelism {
 			parallelOnly[f.comparison] = true
+		}
+		if f.serialFanout {
+			serialOnly[f.comparison] = true
 		}
 	}
 	var violations []string
@@ -85,7 +92,8 @@ func CheckComparisonRegression(baseline, current *Report, tolerance float64) []s
 			violations = append(violations, fmt.Sprintf("comparison %q missing from current report", base.Name))
 			continue
 		}
-		if limit := base.Speedup * (1 - tolerance); base.Speedup > 0 && cur.Speedup < limit {
+		speedupTransfers := !serialOnly[base.Name] || current.GOMAXPROCS == baseline.GOMAXPROCS
+		if limit := base.Speedup * (1 - tolerance); speedupTransfers && base.Speedup > 0 && cur.Speedup < limit {
 			violations = append(violations, fmt.Sprintf(
 				"%s: speedup %.2fx vs committed %.2fx (kept %.0f%%, need ≥ %.0f%%)",
 				base.Name, cur.Speedup, base.Speedup,
@@ -105,7 +113,7 @@ func CheckComparisonRegression(baseline, current *Report, tolerance float64) []s
 // path, checked in CI against a freshly generated report. They are ratios
 // between benchmarks measured in the same run, so they hold across hardware;
 // each floor is set conservatively below the figures in the committed
-// BENCH_pr5.json to absorb CI noise.
+// BENCH_pr7.json to absorb CI noise.
 var floors = []struct {
 	comparison string
 	minSpeedup float64 // 0 = not checked
@@ -116,6 +124,15 @@ var floors = []struct {
 	// ratio is pure scheduler/GC noise. Such floors are skipped (never
 	// "missing") on single-proc runners.
 	needsParallelism bool
+	// serialFanout is needsParallelism's mirror image: the time ratio is
+	// only meaningful at GOMAXPROCS = 1, where every fan-out leg's wire
+	// cost serializes onto the critical path. On a multi-proc runner the
+	// legs overlap and the mux writer batches their frames, so the latency
+	// gap collapses toward the (tiny-corpus) per-shard compute difference —
+	// a property of the machine, not the router. For such floors only
+	// minSpeedup is regime-gated; minAllocs is deterministic work and is
+	// enforced everywhere.
+	serialFanout bool
 }{
 	// The binary codec's reason to exist: an RPC exchange must allocate at
 	// least 5x less than pooled gob.
@@ -137,6 +154,21 @@ var floors = []struct {
 	// memory; the floor catches a scatter path that degrades to serial
 	// per-shard round-trips or timeout-driven failover).
 	{comparison: "ask: sharded vs full replica", minSpeedup: 0.25},
+	// Selective routing isolated (PR-7): the same shard-local workload, the
+	// same client, the same four engines — only the router differs. The
+	// skipped fan-outs are ~60 fewer allocations per ask (measured ~1.3x;
+	// gated everywhere), and in the serial regime their wire cost comes off
+	// the critical path (measured 1.2–1.6x run to run; the floor absorbs
+	// machine drift — with the
+	// span-stripped mux wire the whole tax is only ~3×20µs against ~160µs of
+	// pipeline compute, so the honest time ratio is modest by construction).
+	{comparison: "ask: selective vs scatter (K=4)", minSpeedup: 1.1, minAllocs: 1.2, serialFanout: true},
+	// The PR-7 acceptance bound: a selectively routed K=4 ask must beat the
+	// PR-5 sharded serving stack by ≥ 1.3x (committed figure ~1.6x). Both
+	// sides pay at most one non-overlappable fan-out leg on their critical
+	// path, so unlike the twin comparison above this ratio survives
+	// multi-proc runners.
+	{comparison: "ask: selective vs sharded", minSpeedup: 1.3, minAllocs: 1.3},
 }
 
 // SLORow is one latency objective over a benchmark's sampled per-op p99 —
@@ -210,7 +242,13 @@ func CheckFloors(r *Report) []string {
 			violations = append(violations, fmt.Sprintf("comparison %q missing from report", f.comparison))
 			continue
 		}
-		if f.minSpeedup > 0 && c.Speedup < f.minSpeedup {
+		checkSpeedup := f.minSpeedup > 0
+		if f.serialFanout && r.GOMAXPROCS > 1 {
+			// Overlapping fan-out legs hide the wire cost the time floor
+			// measures; the alloc floor below still gates the work saved.
+			checkSpeedup = false
+		}
+		if checkSpeedup && c.Speedup < f.minSpeedup {
 			violations = append(violations, fmt.Sprintf(
 				"%s: speedup %.2fx below floor %.2fx", f.comparison, c.Speedup, f.minSpeedup))
 		}

@@ -62,14 +62,15 @@ func TestSuiteSmoke(t *testing.T) {
 		"pool_rpc_16", "mux_rpc_16",
 		"ask_cold", "ask_cached",
 		"ask_full_replica", "ask_sharded",
+		"ask_sharded_scatter", "ask_sharded_selective",
 	}
 	for _, name := range want {
 		if _, ok := report.find(name); !ok {
 			t.Fatalf("suite report missing benchmark %q", name)
 		}
 	}
-	if len(report.Comparisons) != 8 {
-		t.Fatalf("comparisons = %d, want 8", len(report.Comparisons))
+	if len(report.Comparisons) != 10 {
+		t.Fatalf("comparisons = %d, want 10", len(report.Comparisons))
 	}
 	for _, c := range report.Comparisons {
 		if c.Speedup <= 0 {
@@ -143,6 +144,29 @@ func TestCheckComparisonRegression(t *testing.T) {
 	if v := CheckComparisonRegression(base, uni, 0.20); len(v) != 0 {
 		t.Fatalf("parallel comparison gated on a single-proc report: %v", v)
 	}
+
+	// A serial-fanout comparison's committed speedup transfers only between
+	// runs in the same latency regime (equal GOMAXPROCS); the alloc ratio —
+	// deterministic work — transfers regardless.
+	base = NewReport()
+	base.GOMAXPROCS = 1
+	base.Comparisons = []Comparison{{Name: "ask: selective vs scatter (K=4)", Speedup: 2.0, AllocRatio: 1.3}}
+	multi := NewReport()
+	multi.GOMAXPROCS = 8
+	multi.Comparisons = []Comparison{{Name: "ask: selective vs scatter (K=4)", Speedup: 1.05, AllocRatio: 1.3}}
+	if v := CheckComparisonRegression(base, multi, 0.20); len(v) != 0 {
+		t.Fatalf("serial-fanout speedup gated across regimes: %v", v)
+	}
+	multi.Comparisons[0].AllocRatio = 0.9 // kept 69% of 1.3x
+	if v := CheckComparisonRegression(base, multi, 0.20); len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the alloc ratio", v)
+	}
+	sameRegime := NewReport()
+	sameRegime.GOMAXPROCS = 1
+	sameRegime.Comparisons = []Comparison{{Name: "ask: selective vs scatter (K=4)", Speedup: 1.0, AllocRatio: 1.3}}
+	if v := CheckComparisonRegression(base, sameRegime, 0.20); len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the same-regime speedup", v)
+	}
 }
 
 // TestCheckFloors exercises the CI floor gate on synthetic comparisons.
@@ -161,6 +185,26 @@ func TestCheckFloors(t *testing.T) {
 	r.Comparisons[0].AllocRatio = 1 // codec floor demands ≥ 5x
 	if v := CheckFloors(r); len(v) != 1 {
 		t.Fatalf("alloc-floor violation not caught: %v", v)
+	}
+	r.Comparisons[0].AllocRatio = 100
+
+	// On a multi-proc runner a serial-fanout floor's time bound is regime-
+	// gated (overlapping legs hide the wire cost), but its alloc bound — the
+	// work actually saved — still applies.
+	for i, f := range floors {
+		if !f.serialFanout {
+			continue
+		}
+		r.Comparisons[i].Speedup = 1.0 // below the 1.3x time floor: tolerated at GOMAXPROCS=8
+		if v := CheckFloors(r); len(v) != 0 {
+			t.Fatalf("serial-fanout time floor applied on a multi-proc report: %v", v)
+		}
+		r.Comparisons[i].AllocRatio = 1.0 // below the alloc floor: caught anywhere
+		if v := CheckFloors(r); len(v) != 1 {
+			t.Fatalf("serial-fanout alloc floor not caught on a multi-proc report: %v", v)
+		}
+		r.Comparisons[i].Speedup = 100
+		r.Comparisons[i].AllocRatio = 100
 	}
 
 	// On a single-proc runner the clamped parallel engine runs the identical

@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/nlp"
+	"distqa/internal/qa"
+)
+
+// stripPR zeroes the PR cost: skipping a provably-empty shard saves exactly
+// its retrieval work, so PR is the one field routed and full-scatter results
+// legitimately differ in. Everything else must match byte for byte.
+func stripPR(r qa.Result) qa.Result {
+	r.Costs.PR = qa.Cost{}
+	return r
+}
+
+// shardLocalQuestion synthesizes a question whose every keyword occurs only
+// in the given shard's sub-collections (or nowhere at all — question
+// phrasing like "tell" is absent from the generated vocabulary) — the
+// workload selective routing is built for. Returns "" when the corpus has
+// no such vocabulary.
+func shardLocalQuestion(set *index.Set, coll *corpus.Collection, k, shard int) string {
+	inShard := make(map[int]bool)
+	for _, sub := range SubsOf(shard, k, len(coll.Subs)) {
+		inShard[sub] = true
+	}
+	absentOutside := func(stem string) bool {
+		for sub := range coll.Subs {
+			if inShard[sub] {
+				continue
+			}
+			if set.Sub(sub).DocFreq(stem) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for sub := range coll.Subs {
+		if !inShard[sub] {
+			continue
+		}
+		for _, doc := range coll.Subs[sub].Docs {
+			for _, p := range doc.Paragraphs {
+				for _, tok := range p.Tokens {
+					if tok.Stem == "" || len(tok.Text) < 4 {
+						continue
+					}
+					if set.Sub(sub).DocFreq(tok.Stem) == 0 || !absentOutside(tok.Stem) {
+						continue
+					}
+					q := "Tell me about " + tok.Text + "?"
+					a := nlp.AnalyzeQuestion(q)
+					hit, clean := false, true
+					for _, kw := range a.Keywords {
+						if kw == tok.Stem {
+							hit = true
+						}
+						if !absentOutside(kw) {
+							clean = false
+							break
+						}
+					}
+					if hit && clean {
+						return q
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// TestRoutedEquivalence is the selective-routing property test: across the
+// K∈{1,2,4} × R∈{1,2} grid, with fresh summaries, randomized per-shard
+// staleness and fully missing summaries (forcing the fallback path), the
+// routed answer must be byte-identical to the full scatter-gather answer
+// and to the full-replica sequential engine — answers, paragraph ranking,
+// retrieved/accepted counts and every cost except the PR work a sound skip
+// saved. It also asserts the routing actually routes: shard-local questions
+// must produce skips at K>1, and an out-of-vocabulary question must
+// short-circuit the whole fan-out.
+func TestRoutedEquivalence(t *testing.T) {
+	seeds := []int64{501, 602}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := corpus.Tiny()
+		cfg.Seed = seed
+		cfg.Name = fmt.Sprintf("routed-%d", seed)
+		coll := corpus.Generate(cfg)
+		full := qa.NewEngine(coll, index.BuildAll(coll))
+		rng := rand.New(rand.NewSource(seed * 7919))
+
+		questions := make([]string, 0, 8)
+		for _, f := range coll.Facts[:4] {
+			questions = append(questions, f.Question)
+		}
+		// Out-of-vocabulary question: every shard provably empty.
+		questions = append(questions, "Tell me about zzqvxjkwp?")
+
+		const nodes = 3
+		for _, k := range []int{1, 2, 4} {
+			for _, r := range []int{1, 2} {
+				cl, err := NewCluster(coll, k, r, nodes)
+				if err != nil {
+					t.Fatalf("seed %d K=%d R=%d: %v", seed, k, r, err)
+				}
+				sums, err := cl.Summaries(SummaryOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				qs := questions
+				// Per-shard-local questions: the selective workload.
+				for s := 0; s < cl.K; s++ {
+					if q := shardLocalQuestion(full.Set, coll, cl.K, s); q != "" {
+						qs = append(qs, q)
+					}
+				}
+
+				lookups := map[string]func(s int) (*Summary, bool){
+					"fresh": func(s int) (*Summary, bool) { return sums[s], true },
+					"stale-random": func(s int) (*Summary, bool) {
+						if rng.Intn(2) == 0 {
+							return nil, false // stale / missing: fallback
+						}
+						return sums[s], true
+					},
+					"all-missing": func(s int) (*Summary, bool) { return nil, false },
+				}
+
+				skips, shortCircuits := 0, 0
+				for name, lookup := range lookups {
+					for _, q := range qs {
+						want, err := cl.Answer(q, 1, nil)
+						if err != nil {
+							t.Fatalf("seed %d K=%d R=%d scatter: %v", seed, k, r, err)
+						}
+						got, plan, err := cl.AnswerRouted(q, 1, nil, lookup)
+						if err != nil {
+							t.Fatalf("seed %d K=%d R=%d routed(%s): %v", seed, k, r, name, err)
+						}
+						if !reflect.DeepEqual(stripPR(want), stripPR(got)) {
+							t.Fatalf("seed %d K=%d R=%d routed(%s) diverges from scatter for %q:\nscatter: %+v\nrouted:  %+v",
+								seed, k, r, name, q, want, got)
+						}
+						oracle := full.AnswerSequential(q)
+						if !reflect.DeepEqual(oracle.Answers, got.Answers) {
+							t.Fatalf("seed %d K=%d R=%d routed(%s) diverges from full replica for %q",
+								seed, k, r, name, q)
+						}
+						if name == "fresh" {
+							skips += plan.Skipped
+							if plan.ShortCircuit() {
+								shortCircuits++
+							}
+							if plan.Fallbacks != 0 {
+								t.Fatalf("fresh lookup must not fall back: %+v", plan)
+							}
+						}
+						if name == "all-missing" && (plan.Skipped != 0 || plan.Fallbacks != cl.K) {
+							t.Fatalf("missing summaries must scatter everything: %+v", plan)
+						}
+					}
+				}
+				if k > 1 && skips == 0 {
+					t.Fatalf("seed %d K=%d R=%d: selective routing never skipped a shard", seed, k, r)
+				}
+				if shortCircuits == 0 {
+					t.Fatalf("seed %d K=%d R=%d: out-of-vocabulary question never short-circuited", seed, k, r)
+				}
+			}
+		}
+	}
+}
+
+// TestRoutedEquivalenceUnderFailures: routing composes with replica
+// failover — with R=2 and any single node down, routed answers (fresh
+// summaries) still match the full-replica oracle byte for byte.
+func TestRoutedEquivalenceUnderFailures(t *testing.T) {
+	cfg := corpus.Tiny()
+	cfg.Seed = 713
+	cfg.Name = "routed-failover"
+	coll := corpus.Generate(cfg)
+	full := qa.NewEngine(coll, index.BuildAll(coll))
+
+	const nodes = 3
+	cl, err := NewCluster(coll, 2, 2, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := cl.Summaries(SummaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(s int) (*Summary, bool) { return sums[s], true }
+	for dead := 0; dead < nodes; dead++ {
+		down := map[int]bool{dead: true}
+		for _, f := range coll.Facts[:4] {
+			got, _, err := cl.AnswerRouted(f.Question, 0, down, lookup)
+			if err != nil {
+				t.Fatalf("node %d down: %v", dead, err)
+			}
+			oracle := full.AnswerSequential(f.Question)
+			if !reflect.DeepEqual(oracle.Answers, got.Answers) {
+				t.Fatalf("node %d down: routed answers diverge for %q", dead, f.Question)
+			}
+		}
+	}
+}
+
+// TestShardLocalQuestionHelper guards the synthetic workload generator the
+// perf suite reuses conceptually: generated questions must analyse to
+// exactly one keyword, local to the target shard.
+func TestShardLocalQuestionHelper(t *testing.T) {
+	cfg := corpus.Tiny()
+	cfg.Seed = 881
+	cfg.Name = "routed-helper"
+	coll := corpus.Generate(cfg)
+	set := index.BuildAll(coll)
+	found := 0
+	for s := 0; s < 4; s++ {
+		q := shardLocalQuestion(set, coll, 4, s)
+		if q == "" {
+			continue
+		}
+		found++
+		a := nlp.AnalyzeQuestion(q)
+		if len(a.Keywords) == 0 {
+			t.Fatalf("shard %d question %q analysed to no keywords", s, q)
+		}
+		// Every keyword must be absent outside the target shard — the skip
+		// proof for the other three shards.
+		inShard := make(map[int]bool)
+		for _, sub := range SubsOf(s, 4, len(coll.Subs)) {
+			inShard[sub] = true
+		}
+		for _, kw := range a.Keywords {
+			for sub := range coll.Subs {
+				if !inShard[sub] && set.Sub(sub).DocFreq(kw) > 0 {
+					t.Fatalf("shard %d question keyword %q leaks into sub %d", s, kw, sub)
+				}
+			}
+		}
+		if !strings.HasPrefix(q, "Tell me about ") {
+			t.Fatalf("unexpected question shape %q", q)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no shard-local vocabulary found in the tiny corpus")
+	}
+}

@@ -1,0 +1,298 @@
+package shard
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"distqa/internal/index"
+)
+
+// Term summaries are the data behind selective routing (PR-7): every node
+// builds, per shard it holds, a compact description of that shard's
+// vocabulary — a bloom-style membership filter over every indexed stem plus
+// a capped per-term document-frequency sketch of the heaviest stems — and
+// gossips it to its peers. A coordinator consults the summaries before
+// scattering a question: a shard whose filter proves that *no* query keyword
+// occurs anywhere in its sub-collections cannot contribute a single
+// paragraph (Boolean AND retrieval returns nothing at every relaxation
+// level when every active keyword has an empty postings list), so skipping
+// it is byte-identical to asking it. The df sketch ranks the remaining
+// shards by expected contribution; ranking affects only dispatch order and
+// diagnostics, never the answer.
+//
+// Bloom filters have no false negatives, so "definitely absent" proofs are
+// sound; a false positive merely scatters to a shard that returns nothing —
+// the pre-routing behaviour. Every uncertainty degrades to scatter.
+
+// Summary build caps (SummaryOptions zero-value defaults). The filter cap
+// bounds what one summary costs on the wire and in a peer's store; at 10
+// bits per term a 8 KiB filter covers ~6500 stems before saturating, and a
+// saturated filter only loses skip opportunities, never correctness.
+const (
+	DefaultFilterBytes = 8 << 10
+	DefaultTopTerms    = 128
+
+	// minFilterBits keeps tiny vocabularies from degenerating into a
+	// filter where every probe collides.
+	minFilterBits = 512
+
+	// filterBitsPerTerm targets ~1% false positives with the 6 probes of
+	// summaryHashes.
+	filterBitsPerTerm = 10
+	summaryHashes     = 6
+)
+
+// TermDF is one entry of a summary's document-frequency sketch: a stem and
+// the number of documents across the shard's sub-collections containing it.
+type TermDF struct {
+	Term string
+	DF   int64
+}
+
+// Summary is one shard's term summary. It is immutable after construction
+// and deterministic: two replicas of the same shard build byte-identical
+// summaries (same Version), so a routing store can accept whichever replica
+// gossips first and cheaply recognise the other's advertisement as the same
+// content.
+type Summary struct {
+	// Shard is the shard id this summary describes.
+	Shard int
+	// Version is a checksum of the summary's content (never 0 for a built
+	// summary — heartbeats use version 0 for "no summary"). Replicas of the
+	// same shard agree on it; it changes iff the shard's vocabulary does.
+	Version int64
+	// Terms is the number of distinct stems across the shard's subs.
+	Terms int
+	// Docs is the number of documents across the shard's subs — an upper
+	// bound for any df in the sketch.
+	Docs int
+	// Hashes is the bloom probe count.
+	Hashes uint8
+	// Bits is the bloom filter over the shard's vocabulary; len(Bits)*64 is
+	// a power of two.
+	Bits []uint64
+	// TopDF is the df sketch: the highest-df stems (capped), sorted by term
+	// for binary search. A stem absent here but present in the filter has an
+	// unknown (small) df.
+	TopDF []TermDF
+}
+
+// SummaryOptions caps a summary's size. The zero value selects defaults.
+type SummaryOptions struct {
+	// MaxFilterBytes bounds the bloom filter (default DefaultFilterBytes).
+	MaxFilterBytes int
+	// TopTerms bounds the df sketch (default DefaultTopTerms).
+	TopTerms int
+}
+
+func (o SummaryOptions) withDefaults() SummaryOptions {
+	if o.MaxFilterBytes <= 0 {
+		o.MaxFilterBytes = DefaultFilterBytes
+	}
+	if o.TopTerms <= 0 {
+		o.TopTerms = DefaultTopTerms
+	}
+	return o
+}
+
+// FNV-1a, the checksum and first bloom hash (stdlib hash/fnv allocates; the
+// hot paths here must not).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashTerm derives the double-hashing pair for a stem: h1 is FNV-1a, h2 a
+// splitmix64-style remix of it, forced odd so the probe stride never
+// degenerates on power-of-two filters.
+func hashTerm(term string) (h1, h2 uint64) {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(term); i++ {
+		h ^= uint64(term[i])
+		h *= fnvPrime
+	}
+	z := h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return h, (z ^ (z >> 31)) | 1
+}
+
+// filterBits sizes the bloom filter: ~10 bits per term rounded up to a power
+// of two, clamped to [minFilterBits, maxBytes*8].
+func filterBits(terms, maxBytes int) int {
+	want := terms * filterBitsPerTerm
+	if want < minFilterBits {
+		want = minFilterBits
+	}
+	n := 1 << bits.Len(uint(want-1)) // next power of two ≥ want
+	if max := maxBytes * 8; n > max {
+		n = max
+		// The cap is itself kept a power of two so the index mask works.
+		n = 1 << (bits.Len(uint(n)) - 1)
+	}
+	return n
+}
+
+// BuildSummary builds the term summary of shard shardID over the given
+// sub-collections, all of which set must hold. Document frequencies are
+// summed across subs (sub-collections partition the documents), so the
+// sketch is a property of the shard's content alone — independent of which
+// replica builds it.
+func BuildSummary(set *index.Set, shardID int, subs []int, opts SummaryOptions) (Summary, error) {
+	opts = opts.withDefaults()
+	df := make(map[string]int64)
+	docs := 0
+	for _, sub := range subs {
+		if !set.Has(sub) {
+			return Summary{}, fmt.Errorf("shard: summary of shard %d needs sub-collection %d, not held", shardID, sub)
+		}
+		docs += len(set.Coll.Subs[sub].Docs)
+		set.Sub(sub).EachTerm(func(stem string, d int) {
+			df[stem] += int64(d)
+		})
+	}
+	terms := make([]TermDF, 0, len(df))
+	for t, d := range df {
+		terms = append(terms, TermDF{Term: t, DF: d})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].Term < terms[j].Term })
+
+	s := Summary{
+		Shard:  shardID,
+		Terms:  len(terms),
+		Docs:   docs,
+		Hashes: summaryHashes,
+	}
+
+	// Content checksum: shard id, doc count, then every (term, df) in term
+	// order. Deterministic across replicas by construction.
+	h := uint64(fnvOffset)
+	mixByte := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	mixInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			mixByte(byte(v >> (8 * i)))
+		}
+	}
+	mixInt(int64(shardID))
+	mixInt(int64(docs))
+	for _, t := range terms {
+		for i := 0; i < len(t.Term); i++ {
+			mixByte(t.Term[i])
+		}
+		mixByte(0x1f)
+		mixInt(t.DF)
+	}
+	s.Version = int64(h &^ (1 << 63))
+	if s.Version == 0 {
+		s.Version = 1 // version 0 means "no summary" on heartbeats
+	}
+
+	// Bloom filter over the whole vocabulary.
+	nbits := filterBits(len(terms), opts.MaxFilterBytes)
+	s.Bits = make([]uint64, nbits/64)
+	mask := uint64(nbits - 1)
+	for _, t := range terms {
+		h1, h2 := hashTerm(t.Term)
+		for k := uint64(0); k < uint64(s.Hashes); k++ {
+			idx := (h1 + k*h2) & mask
+			s.Bits[idx>>6] |= 1 << (idx & 63)
+		}
+	}
+
+	// df sketch: heaviest stems first (ties by term), then re-sorted by term
+	// for lookup.
+	if len(terms) > 0 {
+		byDF := make([]TermDF, len(terms))
+		copy(byDF, terms)
+		sort.Slice(byDF, func(i, j int) bool {
+			if byDF[i].DF != byDF[j].DF {
+				return byDF[i].DF > byDF[j].DF
+			}
+			return byDF[i].Term < byDF[j].Term
+		})
+		if len(byDF) > opts.TopTerms {
+			byDF = byDF[:opts.TopTerms]
+		}
+		top := make([]TermDF, len(byDF))
+		copy(top, byDF)
+		sort.Slice(top, func(i, j int) bool { return top[i].Term < top[j].Term })
+		s.TopDF = top
+	}
+	return s, nil
+}
+
+// MayContain reports whether term may occur in the shard's vocabulary. A
+// false return is a proof of absence (bloom filters have no false
+// negatives); a true return is only probable presence.
+func (s *Summary) MayContain(term string) bool {
+	if len(s.Bits) == 0 {
+		// No filter (empty or unknown summary): claim possible presence so
+		// every caller stays conservative.
+		return true
+	}
+	mask := uint64(len(s.Bits)*64 - 1)
+	h1, h2 := hashTerm(term)
+	for k := uint64(0); k < uint64(s.Hashes); k++ {
+		idx := (h1 + k*h2) & mask
+		if s.Bits[idx>>6]&(1<<(idx&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProvablyEmpty reports whether the filter proves that *none* of the query
+// terms occurs in the shard — the precondition for skipping the shard
+// byte-identically (retrieval is a Boolean AND with relaxation: when every
+// keyword's postings list is empty, every relaxation level intersects to
+// nothing). With no terms it returns false: an empty query scatters like it
+// always did.
+func (s *Summary) ProvablyEmpty(terms []string) bool {
+	if len(terms) == 0 {
+		return false
+	}
+	for _, t := range terms {
+		if s.MayContain(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpectedDF estimates term's document frequency in the shard: exact for
+// sketched stems, 1 for stems the filter admits but the sketch dropped
+// (present but rare), 0 for proven-absent stems.
+func (s *Summary) ExpectedDF(term string) int64 {
+	i := sort.Search(len(s.TopDF), func(i int) bool { return s.TopDF[i].Term >= term })
+	if i < len(s.TopDF) && s.TopDF[i].Term == term {
+		return s.TopDF[i].DF
+	}
+	if s.MayContain(term) {
+		return 1
+	}
+	return 0
+}
+
+// Contribution sums ExpectedDF over the query terms — the ranking score
+// selective routing orders scattered shards by. Purely advisory.
+func (s *Summary) Contribution(terms []string) int64 {
+	var total int64
+	for _, t := range terms {
+		total += s.ExpectedDF(t)
+	}
+	return total
+}
+
+// SizeBytes reports the summary's approximate in-memory (and wire) size —
+// the budget the caps above bound.
+func (s *Summary) SizeBytes() int {
+	n := 8 * len(s.Bits)
+	for _, t := range s.TopDF {
+		n += len(t.Term) + 8
+	}
+	return n + 40 // fixed fields
+}

@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+)
+
+func summaryTestCollection(t *testing.T, seed int64, name string) *corpus.Collection {
+	t.Helper()
+	cfg := corpus.Tiny()
+	cfg.Seed = seed
+	cfg.Name = name
+	return corpus.Generate(cfg)
+}
+
+// TestSummaryDeterministicAcrossReplicas: two replicas of the same shard
+// must build byte-identical summaries (same Version) — the property that
+// lets a routing store accept whichever replica gossips first.
+func TestSummaryDeterministicAcrossReplicas(t *testing.T) {
+	coll := summaryTestCollection(t, 9001, "summary-det")
+	cl, err := NewCluster(coll, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < cl.K; s++ {
+		subs := SubsOf(s, cl.K, len(coll.Subs))
+		var sums []Summary
+		for _, rep := range cl.Nodes {
+			holds := true
+			for _, sub := range subs {
+				if !rep.Engine.Set.Has(sub) {
+					holds = false
+					break
+				}
+			}
+			if !holds {
+				continue
+			}
+			sum, err := BuildSummary(rep.Engine.Set, s, subs, SummaryOptions{})
+			if err != nil {
+				t.Fatalf("shard %d node %d: %v", s, rep.Node, err)
+			}
+			sums = append(sums, sum)
+		}
+		if len(sums) < 2 {
+			t.Fatalf("shard %d: expected >=2 replicas, got %d", s, len(sums))
+		}
+		for i := 1; i < len(sums); i++ {
+			if sums[i].Version != sums[0].Version {
+				t.Fatalf("shard %d: replica summaries disagree on version: %d vs %d", s, sums[0].Version, sums[i].Version)
+			}
+			if !reflect.DeepEqual(sums[0], sums[i]) {
+				t.Fatalf("shard %d: replica summaries differ structurally", s)
+			}
+		}
+		if sums[0].Version == 0 {
+			t.Fatalf("shard %d: built summary must not use the reserved version 0", s)
+		}
+	}
+}
+
+// TestSummaryNoFalseNegatives: every stem actually indexed in the shard must
+// pass the membership filter, and every sketched stem must report its exact
+// df — the soundness half of the skip proof.
+func TestSummaryNoFalseNegatives(t *testing.T) {
+	coll := summaryTestCollection(t, 9002, "summary-fn")
+	set := index.BuildAll(coll)
+	k := 2
+	for s := 0; s < k; s++ {
+		subs := SubsOf(s, k, len(coll.Subs))
+		sum, err := BuildSummary(set, s, subs, SummaryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := make(map[string]int64)
+		for _, sub := range subs {
+			set.Sub(sub).EachTerm(func(stem string, df int) {
+				truth[stem] += int64(df)
+			})
+		}
+		if sum.Terms != len(truth) {
+			t.Fatalf("shard %d: Terms=%d, want %d", s, sum.Terms, len(truth))
+		}
+		for stem, df := range truth {
+			if !sum.MayContain(stem) {
+				t.Fatalf("shard %d: false negative for indexed stem %q", s, stem)
+			}
+			if sum.ProvablyEmpty([]string{stem}) {
+				t.Fatalf("shard %d: ProvablyEmpty claims absent stem %q with df %d", s, stem, df)
+			}
+		}
+		for _, td := range sum.TopDF {
+			if truth[td.Term] != td.DF {
+				t.Fatalf("shard %d: sketch df for %q = %d, want %d", s, td.Term, td.DF, truth[td.Term])
+			}
+		}
+		// A term that cannot be a generated stem is (with overwhelming
+		// probability) absent; if the filter proves it absent, ExpectedDF
+		// must be 0 and a skip would be justified.
+		if sum.ProvablyEmpty([]string{"zz-not-a-stem-zz"}) {
+			if got := sum.ExpectedDF("zz-not-a-stem-zz"); got != 0 {
+				t.Fatalf("proven-absent term has ExpectedDF %d, want 0", got)
+			}
+		}
+		if sum.ProvablyEmpty(nil) {
+			t.Fatal("empty keyword set must never be provably empty (scatter like always)")
+		}
+	}
+}
+
+// TestSummarySizeCap: the filter and sketch caps bound the summary, and a
+// capped summary stays sound (it only loses skip opportunities).
+func TestSummarySizeCap(t *testing.T) {
+	coll := summaryTestCollection(t, 9003, "summary-cap")
+	set := index.BuildAll(coll)
+	opts := SummaryOptions{MaxFilterBytes: 256, TopTerms: 16}
+	subs := SubsOf(0, 2, len(coll.Subs))
+	sum, err := BuildSummary(set, 0, subs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sum.Bits) * 8; got > opts.MaxFilterBytes {
+		t.Fatalf("filter occupies %d bytes, cap %d", got, opts.MaxFilterBytes)
+	}
+	if len(sum.TopDF) > opts.TopTerms {
+		t.Fatalf("sketch holds %d terms, cap %d", len(sum.TopDF), opts.TopTerms)
+	}
+	if sum.SizeBytes() > opts.MaxFilterBytes+opts.TopTerms*24+64 {
+		t.Fatalf("SizeBytes %d exceeds the configured budget", sum.SizeBytes())
+	}
+	// Soundness survives saturation: every indexed stem still passes.
+	for _, sub := range subs {
+		set.Sub(sub).EachTerm(func(stem string, _ int) {
+			if !sum.MayContain(stem) {
+				t.Fatalf("capped filter dropped indexed stem %q", stem)
+			}
+		})
+	}
+}
+
+// TestPlanRoute pins the decision table: missing summary → fallback, sound
+// proof → skip, otherwise scatter ranked by expected contribution.
+func TestPlanRoute(t *testing.T) {
+	coll := summaryTestCollection(t, 9004, "summary-plan")
+	set := index.BuildAll(coll)
+	k := 4
+	if len(coll.Subs) < k {
+		t.Fatalf("need >= %d subs", k)
+	}
+	sums := make(map[int]*Summary, k)
+	for s := 0; s < k; s++ {
+		sum, err := BuildSummary(set, s, SubsOf(s, k, len(coll.Subs)), SummaryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[s] = &sum
+	}
+	// A keyword no shard contains: with every summary fresh the plan
+	// short-circuits the entire fan-out.
+	ghost := []string{"zz-ghost-keyword-zz"}
+	all := func(s int) (*Summary, bool) { return sums[s], true }
+	p := PlanRoute(k, ghost, all)
+	if !p.ShortCircuit() || p.Skipped != k || !p.Selective() {
+		t.Fatalf("ghost keyword should skip all shards: %+v", p)
+	}
+	// Same keyword with shard 2's summary unavailable: shard 2 must fall
+	// back to scatter, the rest still skip.
+	p = PlanRoute(k, ghost, func(s int) (*Summary, bool) {
+		if s == 2 {
+			return nil, false
+		}
+		return sums[s], true
+	})
+	if p.Skipped != k-1 || p.Fallbacks != 1 || p.Selective() || p.ShortCircuit() {
+		t.Fatalf("missing summary must force fallback: %+v", p)
+	}
+	if len(p.Scatter) != 1 || p.Scatter[0] != 2 {
+		t.Fatalf("scatter set should be exactly the fallback shard: %+v", p.Scatter)
+	}
+	if p.Decisions[2].Action != RouteFallback {
+		t.Fatalf("shard 2 decision = %v, want fallback", p.Decisions[2].Action)
+	}
+	// A common keyword scatters everywhere, ranked by expected df then id.
+	var common string
+	set.Sub(0).EachTerm(func(stem string, df int) {
+		if common == "" && sums[1].MayContain(stem) {
+			common = stem
+		}
+	})
+	if common == "" {
+		t.Skip("no cross-shard stem found")
+	}
+	p = PlanRoute(k, []string{common}, all)
+	if p.Skipped == k {
+		t.Fatalf("common keyword should not skip every shard")
+	}
+	for i := 1; i < len(p.Scatter); i++ {
+		a, b := p.Decisions[p.Scatter[i-1]], p.Decisions[p.Scatter[i]]
+		if a.Expect < b.Expect {
+			t.Fatalf("scatter order not ranked by expected contribution: %+v", p.Scatter)
+		}
+	}
+}
