@@ -9,14 +9,17 @@
 //	qactl -node 127.0.0.1:7101 -metrics -cluster   # merged fleet-wide exposition
 //	qactl -node 127.0.0.1:7101 -slow -top 3        # worst retained questions, full span trees
 //	qactl -node 127.0.0.1:7101 -estimate "..."     # Equation-9 cost prediction (no execution)
+//	qactl -gate http://127.0.0.1:8080              # qagate admission/SLO status row
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"distqa/internal/gate"
 	"distqa/internal/live"
 	"distqa/internal/obs"
 )
@@ -31,10 +34,18 @@ func main() {
 	slow := flag.Bool("slow", false, "dump the node's slow-question flight recorder (worst retained questions)")
 	top := flag.Int("top", 5, "with -slow: how many records to dump")
 	estimate := flag.String("estimate", "", "question to cost-predict (Equation 9) without executing; sharded nodes gather exact global df over the wire")
+	gateURL := flag.String("gate", "", "qagate base URL (http://host:port): print the gateway's admission and SLO status")
 	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
 	flag.Parse()
 
 	switch {
+	case *gateURL != "":
+		st, err := gate.FetchStatus(*gateURL, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qactl: %v\n", err)
+			os.Exit(1)
+		}
+		printGateStatus(st)
 	case *ask != "":
 		resp, err := live.Ask(*node, *ask, *timeout)
 		if err != nil {
@@ -197,6 +208,25 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// printGateStatus renders a qagate Statusz: identity line, admission state,
+// lifetime outcome counters, and the gateway's edge SLO rows.
+func printGateStatus(st *gate.Statusz) {
+	state := "serving"
+	if st.Draining {
+		state = "DRAINING"
+	}
+	fmt.Printf("gateway %s: %s, up %v, fronting %s\n",
+		st.Addr, state, (time.Duration(st.UptimeSeconds * float64(time.Second))).Round(time.Second),
+		strings.Join(st.Nodes, ", "))
+	fmt.Printf("  admission: %d/%d in flight, queue %d/%d (peak %d), %d client keys\n",
+		st.InFlight, st.MaxInflight, st.QueueDepth, st.QueueBound, st.QueuePeak, st.ClientKeys)
+	fmt.Printf("  outcomes: %d admitted (%d queued first), shed %d queue / %d rate, %d timeouts, %d backend errors, %d bad requests\n",
+		st.Admitted, st.Queued, st.ShedQueue, st.ShedRate, st.Timeouts, st.BackendErrs, st.BadRequests)
+	for _, row := range st.SLO {
+		printSLORow(row)
 	}
 }
 

@@ -1,0 +1,79 @@
+// Command qagate runs the cluster's public HTTP/JSON front door: it fronts
+// a live Q/A cluster (qanode daemons) over the internal mux transport and
+// exposes POST /v1/ask, POST /v1/ask/batch, GET /v1/healthz, GET /v1/statusz
+// and GET /metrics, with per-client token-bucket rate limiting, a global
+// concurrency cap with queue-depth load shedding, edge-deadline propagation
+// into the cluster, and graceful drain on SIGTERM.
+//
+// Front a three-node cluster:
+//
+//	qagate -addr 127.0.0.1:8080 -nodes 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103
+//	curl -s localhost:8080/v1/ask -d '{"question":"what is ...?","timeout_ms":2000}'
+//
+// On SIGTERM the gateway stops admitting (healthz flips to 503 while the
+// listener still accepts, so load balancers observe not-ready first), lets
+// in-flight asks finish, then closes the listener.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"distqa/internal/gate"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	nodes := flag.String("nodes", "", "comma-separated cluster node addresses (required)")
+	maxInflight := flag.Int("max-inflight", 32, "global cap on concurrently executing asks")
+	maxQueue := flag.Int("max-queue", 0, "admission queue bound; beyond it requests are shed with 429 (0 = 2x max-inflight)")
+	rate := flag.Float64("rate", 0, "per-client token-bucket refill rate, requests/second (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "per-client token-bucket capacity (0 = 2x rate)")
+	defTimeout := flag.Duration("default-timeout", 10*time.Second, "edge deadline when a request has no timeout_ms")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on client-supplied edge deadlines")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "SIGTERM drain bound: in-flight asks get this long to finish")
+	flag.Parse()
+
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "qagate: -nodes is required")
+		os.Exit(2)
+	}
+	g, err := gate.New(gate.Config{
+		Addr:           *addr,
+		Nodes:          strings.Split(*nodes, ","),
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RatePerClient:  *rate,
+		Burst:          *burst,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qagate: %v\n", err)
+		os.Exit(1)
+	}
+	if err := g.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "qagate: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("qagate: serving on http://%s (nodes: %s)\n", g.Addr(), *nodes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("qagate: draining (in-flight asks finishing)")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := g.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "qagate: drain: %v\n", err)
+		g.Close()
+		os.Exit(1)
+	}
+	fmt.Println("qagate: drained")
+}

@@ -7,6 +7,7 @@
 //	qatop -node 127.0.0.1:7101
 //	qatop -node 127.0.0.1:7101 -interval 2s
 //	qatop -node 127.0.0.1:7101 -once          # one frame, no screen clearing
+//	qatop -node 127.0.0.1:7101 -gate http://127.0.0.1:8080   # add the qagate admission row
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"distqa/internal/gate"
 	"distqa/internal/live"
 	"distqa/internal/obs"
 )
@@ -28,6 +30,7 @@ func main() {
 	count := flag.Int("count", 0, "frames to render before exiting (0 = until interrupted)")
 	once := flag.Bool("once", false, "render one frame and exit (implies -plain)")
 	plain := flag.Bool("plain", false, "no ANSI screen clearing (append frames; for logs/pipes)")
+	gateURL := flag.String("gate", "", "qagate base URL (http://host:port): include a gateway admission row each frame")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-poll request timeout")
 	flag.Parse()
 	if *once {
@@ -63,6 +66,36 @@ func main() {
 		}
 		prevQuestions, prevAt = questions, now
 		renderFrame(os.Stdout, snaps, merged, st, qps)
+		if *gateURL != "" {
+			renderGateRow(os.Stdout, *gateURL, *timeout)
+		}
+	}
+}
+
+// renderGateRow appends the qagate admission row to a frame. A poll failure
+// renders inline rather than killing the dashboard: the gateway restarting
+// (drain, deploy) is exactly when an operator is watching.
+func renderGateRow(w *os.File, base string, timeout time.Duration) {
+	st, err := gate.FetchStatus(base, timeout)
+	if err != nil {
+		fmt.Fprintf(w, "\ngate %s: unreachable (%v)\n", base, err)
+		return
+	}
+	state := "serving"
+	if st.Draining {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(w, "\ngate %s: %s, %d/%d in flight, queue %d/%d (peak %d), shed %d queue / %d rate, %d timeouts, %d clients\n",
+		st.Addr, state, st.InFlight, st.MaxInflight, st.QueueDepth, st.QueueBound, st.QueuePeak,
+		st.ShedQueue, st.ShedRate, st.Timeouts, st.ClientKeys)
+	for _, row := range st.SLO {
+		okState := "ok"
+		if !row.OK {
+			okState = "VIOLATED"
+		}
+		fmt.Fprintf(w, "  gate slo %-8s p%.0f<=%.2fs/%v: obs %.3fs burn %.2fx (%d obs, %d err) %s\n",
+			row.Op, row.Quantile*100, row.Target, row.Window,
+			row.Observed, row.BurnRate, row.Total, row.Errors, okState)
 	}
 }
 

@@ -1,0 +1,158 @@
+package gate
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Admission is the gateway's global concurrency cap with a bounded FIFO
+// admission queue: at most cap requests execute at once, at most maxQueue
+// wait for a slot, and everything beyond that is shed immediately (the
+// HTTP layer turns a shed into 429 + Retry-After). The two-step
+// Reserve/Release API is deliberately non-blocking — Reserve never waits, it
+// either admits, hands back a ticket channel to wait on, or sheds — so the
+// controller's queueing and shed-ordering behavior is testable without
+// goroutines, sleeps or real time.
+type Admission struct {
+	mu       sync.Mutex
+	cap      int
+	maxQueue int
+	inflight int
+	queue    []chan struct{} // FIFO of waiting tickets; closed = slot granted
+	// peak tracks the deepest the queue has been (bounded-queue evidence for
+	// the load report).
+	peak int
+}
+
+// NewAdmission builds a controller admitting capacity concurrent requests
+// with a queue of at most maxQueue waiters. capacity < 1 is clamped to 1;
+// maxQueue < 0 to 0 (shed the instant the cap is reached).
+func NewAdmission(capacity, maxQueue int) *Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{cap: capacity, maxQueue: maxQueue}
+}
+
+// Reserve attempts to claim an execution slot. Exactly one of three outcomes:
+//
+//   - admitted: a slot is held; the caller must Release it.
+//   - ticket != nil: the cap is reached but the queue has room; the caller
+//     waits for the ticket channel to close (slot granted — then Release) or
+//     abandons the wait with Abandon.
+//   - shed: the queue is full too; the caller must go away (429).
+func (a *Admission) Reserve() (admitted bool, ticket chan struct{}, shed bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight < a.cap {
+		a.inflight++
+		return true, nil, false
+	}
+	if len(a.queue) >= a.maxQueue {
+		return false, nil, true
+	}
+	t := make(chan struct{})
+	a.queue = append(a.queue, t)
+	if len(a.queue) > a.peak {
+		a.peak = len(a.queue)
+	}
+	return false, t, false
+}
+
+// Release returns a slot. If waiters are queued, the slot transfers to the
+// oldest one (its ticket closes; inflight stays constant); otherwise the
+// in-flight count drops.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queue) > 0 {
+		t := a.queue[0]
+		a.queue = a.queue[1:]
+		close(t)
+		return
+	}
+	if a.inflight > 0 {
+		a.inflight--
+	}
+}
+
+// Abandon cancels a queued ticket (deadline or client gone). It returns true
+// if the ticket was still queued and has been removed; false means the ticket
+// already won a slot — the caller then holds it and must Release.
+func (a *Admission) Abandon(ticket chan struct{}) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, t := range a.queue {
+		if t == ticket {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Wait blocks until the ticket grants a slot or ctx expires. It returns nil
+// when the slot is held (caller must Release) and ctx.Err() otherwise — and
+// in the error case the ticket has been fully disposed of, whichever way the
+// race between cancellation and the grant went.
+func (a *Admission) Wait(ctx context.Context, ticket chan struct{}) error {
+	select {
+	case <-ticket:
+		return nil
+	case <-ctx.Done():
+		if !a.Abandon(ticket) {
+			// The grant raced the cancellation and won: give the slot back.
+			a.Release()
+		}
+		return ctx.Err()
+	}
+}
+
+// InFlight returns the number of currently admitted requests.
+func (a *Admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// QueueDepth returns the number of queued waiters.
+func (a *Admission) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// QueuePeak returns the deepest the admission queue has been.
+func (a *Admission) QueuePeak() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// QueueBound returns the configured queue capacity.
+func (a *Admission) QueueBound() int { return a.maxQueue }
+
+// Cap returns the configured concurrency cap.
+func (a *Admission) Cap() int { return a.cap }
+
+// WaitIdle blocks until no request is admitted or queued (drain) or ctx
+// expires.
+func (a *Admission) WaitIdle(ctx context.Context) error {
+	for {
+		a.mu.Lock()
+		idle := a.inflight == 0 && len(a.queue) == 0
+		a.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

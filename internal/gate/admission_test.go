@@ -1,0 +1,201 @@
+package gate
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// The admission controller's contract is tested without goroutines, sleeps
+// or real time: Reserve never blocks — it admits, queues (returning a ticket
+// channel), or sheds — so cap/queue/shed ordering is checked by driving the
+// state machine directly, the same injectable-seam style as
+// internal/qcache's clock tests.
+
+func TestAdmissionCapThenQueueThenShed(t *testing.T) {
+	a := NewAdmission(2, 3)
+
+	// First cap admissions are immediate.
+	for i := 0; i < 2; i++ {
+		admitted, ticket, shed := a.Reserve()
+		if !admitted || ticket != nil || shed {
+			t.Fatalf("reserve %d: got (%v,%v,%v), want admitted", i, admitted, ticket, shed)
+		}
+	}
+	if got := a.InFlight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+
+	// Next maxQueue reservations queue.
+	var tickets []chan struct{}
+	for i := 0; i < 3; i++ {
+		admitted, ticket, shed := a.Reserve()
+		if admitted || ticket == nil || shed {
+			t.Fatalf("reserve %d over cap: got (%v,%v,%v), want queued", i, admitted, ticket, shed)
+		}
+		tickets = append(tickets, ticket)
+	}
+	if got := a.QueueDepth(); got != 3 {
+		t.Fatalf("queue depth = %d, want 3", got)
+	}
+	if got := a.QueuePeak(); got != 3 {
+		t.Fatalf("queue peak = %d, want 3", got)
+	}
+
+	// Beyond the queue bound: shed.
+	if admitted, ticket, shed := a.Reserve(); !shed || admitted || ticket != nil {
+		t.Fatalf("reserve over queue bound: got (%v,%v,%v), want shed", admitted, ticket, shed)
+	}
+}
+
+// TestAdmissionFIFOHandoff: a released slot transfers to the *oldest* queued
+// waiter — tickets close strictly in reservation order, and the in-flight
+// count never dips while waiters exist (the slot hands over, it does not
+// bounce through free).
+func TestAdmissionFIFOHandoff(t *testing.T) {
+	a := NewAdmission(1, 2)
+	a.Reserve() // take the only slot
+	_, t1, _ := a.Reserve()
+	_, t2, _ := a.Reserve()
+
+	granted := func(ch chan struct{}) bool {
+		select {
+		case <-ch:
+			return true
+		default:
+			return false
+		}
+	}
+	if granted(t1) || granted(t2) {
+		t.Fatal("no ticket should be granted while the slot is held")
+	}
+
+	a.Release() // slot transfers to t1
+	if !granted(t1) {
+		t.Fatal("oldest ticket not granted on release")
+	}
+	if granted(t2) {
+		t.Fatal("younger ticket granted out of order")
+	}
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("inflight = %d after handoff, want 1 (slot transferred, not freed)", got)
+	}
+
+	a.Release() // t1's holder releases; transfers to t2
+	if !granted(t2) {
+		t.Fatal("second ticket not granted in FIFO order")
+	}
+	a.Release() // t2's holder releases; queue empty, slot frees
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("inflight = %d after final release, want 0", got)
+	}
+}
+
+func TestAdmissionAbandon(t *testing.T) {
+	a := NewAdmission(1, 2)
+	a.Reserve()
+	_, t1, _ := a.Reserve()
+	_, t2, _ := a.Reserve()
+
+	// Abandoning a queued ticket removes it; the later ticket moves up.
+	if !a.Abandon(t1) {
+		t.Fatal("abandon of a queued ticket should report removed")
+	}
+	if got := a.QueueDepth(); got != 1 {
+		t.Fatalf("queue depth = %d after abandon, want 1", got)
+	}
+	a.Release()
+	select {
+	case <-t2:
+	default:
+		t.Fatal("remaining ticket should have been granted")
+	}
+	// t2 was granted before any abandon attempt: Abandon must report "too
+	// late" so the caller knows it now holds the slot.
+	if a.Abandon(t2) {
+		t.Fatal("abandon of a granted ticket must return false")
+	}
+	a.Release()
+	if got, want := a.InFlight(), 0; got != want {
+		t.Fatalf("inflight = %d, want %d", got, want)
+	}
+}
+
+// TestAdmissionWaitCancelled: Wait with an already-cancelled context on a
+// still-queued ticket returns the context error and removes the ticket —
+// no slot leaks either way the grant/cancel race resolves.
+func TestAdmissionWaitCancelled(t *testing.T) {
+	a := NewAdmission(1, 2)
+	a.Reserve()
+	_, ticket, _ := a.Reserve()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Wait(ctx, ticket); err == nil {
+		t.Fatal("Wait with cancelled context should error")
+	}
+	if got := a.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth = %d after cancelled wait, want 0", got)
+	}
+	// The held slot is unaffected.
+	if got := a.InFlight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+}
+
+// TestAdmissionWaitCancelledAfterGrant: when the grant lands before the
+// cancelled Wait runs, Wait must hand the already-granted slot back rather
+// than leak it.
+func TestAdmissionWaitCancelledAfterGrant(t *testing.T) {
+	a := NewAdmission(1, 2)
+	a.Reserve()
+	_, ticket, _ := a.Reserve()
+	a.Release() // grant lands: ticket closed, slot transferred
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The select in Wait may legitimately observe the closed ticket first
+	// (nil error, caller holds the slot) or the cancelled context first
+	// (error, Wait gives the slot back). Either way exactly the controller's
+	// books must balance afterwards.
+	if err := a.Wait(ctx, ticket); err == nil {
+		a.Release()
+	}
+	if got := a.InFlight(); got != 0 {
+		t.Fatalf("inflight = %d after granted-then-cancelled wait, want 0", got)
+	}
+	if got := a.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth = %d, want 0", got)
+	}
+}
+
+func TestAdmissionWaitIdle(t *testing.T) {
+	a := NewAdmission(1, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := a.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle on an idle controller: %v", err)
+	}
+	a.Reserve()
+	busy, bcancel := context.WithCancel(context.Background())
+	bcancel()
+	if err := a.WaitIdle(busy); err == nil {
+		t.Fatal("WaitIdle with a held slot and cancelled context should error")
+	}
+	a.Release()
+	if err := a.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle after release: %v", err)
+	}
+}
+
+func TestAdmissionClamps(t *testing.T) {
+	a := NewAdmission(0, -5)
+	if a.Cap() != 1 || a.QueueBound() != 0 {
+		t.Fatalf("clamps: cap=%d queue=%d, want 1 and 0", a.Cap(), a.QueueBound())
+	}
+	a.Reserve()
+	// Queue bound 0: the instant the cap is reached, reservations shed.
+	if _, _, shed := a.Reserve(); !shed {
+		t.Fatal("zero-queue controller must shed at the cap")
+	}
+}

@@ -1,0 +1,105 @@
+package gate
+
+import (
+	"sync"
+	"time"
+)
+
+// Buckets is the gateway's per-client rate limiter: one token bucket per
+// client key (API key when the request carries one, remote host otherwise),
+// refilled continuously at rate tokens/second up to burst. The clock is a
+// seam — tests inject a manual clock and step it, mirroring
+// internal/qcache's injectable-clock tests — and the key table is bounded:
+// once it outgrows maxKeys, full (= idle long enough to have fully refilled)
+// buckets are swept, so an attacker cycling keys cannot grow the table
+// without bound.
+type Buckets struct {
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	maxKeys int
+	now     func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewBuckets builds a limiter. rate <= 0 disables limiting entirely (every
+// Allow succeeds); burst < 1 is clamped to 1; maxKeys < 16 to 16.
+func NewBuckets(rate, burst float64, maxKeys int) *Buckets {
+	if burst < 1 {
+		burst = 1
+	}
+	if maxKeys < 16 {
+		maxKeys = 16
+	}
+	return &Buckets{rate: rate, burst: burst, maxKeys: maxKeys,
+		now: time.Now, m: make(map[string]*bucket)}
+}
+
+// SetClock replaces the limiter's time source (tests).
+func (b *Buckets) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty it
+// returns false and the duration until one token will have refilled — the
+// Retry-After the HTTP layer sends with the 429.
+func (b *Buckets) Allow(key string) (bool, time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	bk, ok := b.m[key]
+	if !ok {
+		if len(b.m) >= b.maxKeys {
+			b.sweepLocked(now)
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.m[key] = bk
+	} else {
+		if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+			bk.tokens += dt * b.rate
+			if bk.tokens > b.burst {
+				bk.tokens = b.burst
+			}
+		}
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - bk.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}
+
+// Keys returns how many client buckets are currently tracked.
+func (b *Buckets) Keys() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}
+
+// sweepLocked drops buckets that have been idle long enough to have fully
+// refilled — indistinguishable from brand-new buckets, so dropping them
+// changes no Allow outcome.
+func (b *Buckets) sweepLocked(now time.Time) {
+	full := time.Duration(b.burst / b.rate * float64(time.Second))
+	for k, bk := range b.m {
+		if now.Sub(bk.last) >= full {
+			delete(b.m, k)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package gate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// manualClock is the injectable time source the bucket tests step by hand —
+// no sleeps, mirroring internal/qcache's clock-seam tests.
+type manualClock struct{ at time.Time }
+
+func (c *manualClock) now() time.Time          { return c.at }
+func (c *manualClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+
+func newTestBuckets(rate, burst float64) (*Buckets, *manualClock) {
+	b := NewBuckets(rate, burst, 0)
+	clk := &manualClock{at: time.Unix(1_000_000, 0)}
+	b.SetClock(clk.now)
+	return b, clk
+}
+
+func TestBucketBurstThenDeny(t *testing.T) {
+	b, _ := newTestBuckets(1, 2) // 1 token/s, burst 2
+
+	// A fresh bucket starts full: exactly burst requests pass.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow("k"); !ok {
+			t.Fatalf("request %d within burst should pass", i)
+		}
+	}
+	ok, retry := b.Allow("k")
+	if ok {
+		t.Fatal("request beyond burst should be denied")
+	}
+	if retry != time.Second {
+		t.Fatalf("retry-after = %v, want 1s (empty bucket, 1 token/s)", retry)
+	}
+}
+
+func TestBucketRefill(t *testing.T) {
+	b, clk := newTestBuckets(1, 2)
+	b.Allow("k")
+	b.Allow("k") // drained
+
+	clk.advance(500 * time.Millisecond)
+	ok, retry := b.Allow("k")
+	if ok {
+		t.Fatal("half a token refilled: request should still be denied")
+	}
+	if retry != 500*time.Millisecond {
+		t.Fatalf("retry-after = %v, want 500ms", retry)
+	}
+
+	clk.advance(500 * time.Millisecond)
+	if ok, _ := b.Allow("k"); !ok {
+		t.Fatal("a full token has refilled: request should pass")
+	}
+}
+
+func TestBucketRefillCapsAtBurst(t *testing.T) {
+	b, clk := newTestBuckets(1, 2)
+	b.Allow("k")
+	b.Allow("k")
+	clk.advance(time.Hour) // refills far more than burst
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow("k"); !ok {
+			t.Fatalf("request %d after a long idle should pass (bucket refilled)", i)
+		}
+	}
+	if ok, _ := b.Allow("k"); ok {
+		t.Fatal("burst cap must bound the refill: third request denied")
+	}
+}
+
+func TestBucketKeysAreIndependent(t *testing.T) {
+	b, _ := newTestBuckets(1, 1)
+	if ok, _ := b.Allow("a"); !ok {
+		t.Fatal("first request for key a should pass")
+	}
+	if ok, _ := b.Allow("a"); ok {
+		t.Fatal("key a is drained")
+	}
+	if ok, _ := b.Allow("b"); !ok {
+		t.Fatal("key b has its own bucket and should pass")
+	}
+}
+
+func TestBucketRateZeroDisables(t *testing.T) {
+	b := NewBuckets(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		if ok, _ := b.Allow("k"); !ok {
+			t.Fatal("rate 0 must disable limiting")
+		}
+	}
+	var nilB *Buckets
+	if ok, _ := nilB.Allow("k"); !ok {
+		t.Fatal("nil limiter must allow")
+	}
+}
+
+// TestBucketKeyTableBounded: once the table reaches maxKeys, buckets idle
+// long enough to have fully refilled are swept, so cycling client keys
+// cannot grow memory without bound — and the sweep never changes an Allow
+// outcome (a swept bucket is indistinguishable from a new one).
+func TestBucketKeyTableBounded(t *testing.T) {
+	b, clk := newTestBuckets(1, 2) // full refill after 2s idle
+	for i := 0; i < 16; i++ {
+		b.Allow(fmt.Sprintf("old-%d", i))
+	}
+	if got := b.Keys(); got != 16 {
+		t.Fatalf("keys = %d, want 16", got)
+	}
+	clk.advance(3 * time.Second) // every old bucket fully refilled
+	b.Allow("new")               // triggers the sweep at the maxKeys threshold
+	if got := b.Keys(); got != 1 {
+		t.Fatalf("keys = %d after sweep, want 1 (old idle buckets dropped)", got)
+	}
+	// A freshly swept key behaves like a new client: full burst available.
+	if ok, _ := b.Allow("old-3"); !ok {
+		t.Fatal("swept key must start with a full bucket")
+	}
+}

@@ -1,0 +1,123 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"unicode/utf8"
+)
+
+// JSON decode seams of the public API. Factored out of the HTTP handlers so
+// the edge parsing — the one part of the gateway that eats attacker-shaped
+// bytes — is natively fuzzable (FuzzDecodeAskJSON, FuzzDecodeBatchJSON):
+// arbitrary input must produce a payload or an error, never a panic, and
+// never an unbounded allocation (every limit below is enforced before the
+// payload is accepted).
+
+const (
+	// MaxBodyBytes bounds a request body (both routes).
+	MaxBodyBytes = 1 << 20
+	// MaxQuestionBytes bounds one question's UTF-8 length.
+	MaxQuestionBytes = 8 << 10
+	// MaxBatchQuestions bounds a batch.
+	MaxBatchQuestions = 64
+)
+
+// AskPayload is the body of POST /v1/ask.
+type AskPayload struct {
+	Question string `json:"question"`
+	// TimeoutMS is the edge deadline in milliseconds (0 = gateway default).
+	// It propagates as live.Request.TimeoutMS down to ShardPR sub-task
+	// budgets, and the gateway answers 504 once it expires.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Trace asks for the question's span tree (server-side cost; off by
+	// default like live.Request.WantSpans).
+	Trace bool `json:"trace"`
+}
+
+// BatchPayload is the body of POST /v1/ask/batch. TimeoutMS bounds each
+// question individually, not the batch.
+type BatchPayload struct {
+	Questions []string `json:"questions"`
+	TimeoutMS int64    `json:"timeout_ms"`
+}
+
+var (
+	errEmptyQuestion   = errors.New("gate: empty question")
+	errQuestionTooLong = fmt.Errorf("gate: question exceeds %d bytes", MaxQuestionBytes)
+	errBadTimeout      = errors.New("gate: timeout_ms must be >= 0")
+	errEmptyBatch      = errors.New("gate: empty questions array")
+	errBatchTooLarge   = fmt.Errorf("gate: batch exceeds %d questions", MaxBatchQuestions)
+	errNotUTF8         = errors.New("gate: question is not valid UTF-8")
+)
+
+// decodeJSON decodes body into v with the strictness the edge wants: body
+// capped, unknown fields rejected (typos fail loudly instead of silently
+// dropping a field), and trailing garbage after the value rejected.
+func decodeJSON(body []byte, v any) error {
+	if len(body) > MaxBodyBytes {
+		return fmt.Errorf("gate: body exceeds %d bytes", MaxBodyBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("gate: bad JSON: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("gate: trailing data after JSON value")
+	}
+	return nil
+}
+
+func checkQuestion(q string) error {
+	if q == "" {
+		return errEmptyQuestion
+	}
+	if len(q) > MaxQuestionBytes {
+		return errQuestionTooLong
+	}
+	if !utf8.ValidString(q) {
+		return errNotUTF8
+	}
+	return nil
+}
+
+// DecodeAskJSON parses and validates a POST /v1/ask body.
+func DecodeAskJSON(body []byte) (*AskPayload, error) {
+	var p AskPayload
+	if err := decodeJSON(body, &p); err != nil {
+		return nil, err
+	}
+	if err := checkQuestion(p.Question); err != nil {
+		return nil, err
+	}
+	if p.TimeoutMS < 0 {
+		return nil, errBadTimeout
+	}
+	return &p, nil
+}
+
+// DecodeBatchJSON parses and validates a POST /v1/ask/batch body.
+func DecodeBatchJSON(body []byte) (*BatchPayload, error) {
+	var p BatchPayload
+	if err := decodeJSON(body, &p); err != nil {
+		return nil, err
+	}
+	if len(p.Questions) == 0 {
+		return nil, errEmptyBatch
+	}
+	if len(p.Questions) > MaxBatchQuestions {
+		return nil, errBatchTooLarge
+	}
+	for _, q := range p.Questions {
+		if err := checkQuestion(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.TimeoutMS < 0 {
+		return nil, errBadTimeout
+	}
+	return &p, nil
+}

@@ -1,0 +1,70 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeAskJSON(t *testing.T) {
+	good := []string{
+		`{"question":"what is the capital of France?"}`,
+		`{"question":"who?","timeout_ms":2000}`,
+		`{"question":"why?","timeout_ms":0,"trace":true}`,
+	}
+	for _, body := range good {
+		p, err := DecodeAskJSON([]byte(body))
+		if err != nil {
+			t.Fatalf("DecodeAskJSON(%s): %v", body, err)
+		}
+		if p.Question == "" {
+			t.Fatalf("DecodeAskJSON(%s): empty question accepted", body)
+		}
+	}
+	bad := map[string]string{
+		"empty body":     ``,
+		"not json":       `hello`,
+		"empty object":   `{}`,
+		"empty question": `{"question":""}`,
+		"unknown field":  `{"question":"q","qeustion_typo":"x"}`,
+		"bad timeout":    `{"question":"q","timeout_ms":-1}`,
+		"trailing data":  `{"question":"q"} {"question":"r"}`,
+		"question array": `{"question":["a"]}`,
+		"too long":       `{"question":"` + strings.Repeat("a", MaxQuestionBytes+1) + `"}`,
+	}
+	for name, body := range bad {
+		if _, err := DecodeAskJSON([]byte(body)); err == nil {
+			t.Errorf("DecodeAskJSON accepted %s: %s", name, body)
+		}
+	}
+}
+
+func TestDecodeBatchJSON(t *testing.T) {
+	p, err := DecodeBatchJSON([]byte(`{"questions":["a?","b?"],"timeout_ms":500}`))
+	if err != nil {
+		t.Fatalf("DecodeBatchJSON: %v", err)
+	}
+	if len(p.Questions) != 2 || p.TimeoutMS != 500 {
+		t.Fatalf("DecodeBatchJSON parsed %+v", p)
+	}
+	var many strings.Builder
+	many.WriteString(`{"questions":[`)
+	for i := 0; i <= MaxBatchQuestions; i++ {
+		if i > 0 {
+			many.WriteString(",")
+		}
+		many.WriteString(`"q?"`)
+	}
+	many.WriteString(`]}`)
+	bad := map[string]string{
+		"empty batch":       `{"questions":[]}`,
+		"missing questions": `{}`,
+		"empty entry":       `{"questions":["a?",""]}`,
+		"over batch cap":    many.String(),
+		"unknown field":     `{"questions":["a?"],"batch_timeout":1}`,
+	}
+	for name, body := range bad {
+		if _, err := DecodeBatchJSON([]byte(body)); err == nil {
+			t.Errorf("DecodeBatchJSON accepted %s", name)
+		}
+	}
+}

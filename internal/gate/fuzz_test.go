@@ -1,0 +1,75 @@
+package gate
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// The edge decode seams eat attacker-shaped bytes before any admission or
+// rate-limit check runs, so they are fuzzed natively like the wire codec's
+// decode paths (internal/live's FuzzDecodeRequest): arbitrary input must
+// yield a payload or an error — never a panic — and an accepted payload must
+// actually satisfy the documented limits.
+
+func FuzzDecodeAskJSON(f *testing.F) {
+	seeds := []string{
+		`{"question":"what is the capital of France?"}`,
+		`{"question":"who?","timeout_ms":2000}`,
+		`{"question":"why?","timeout_ms":0,"trace":true}`,
+		`{"question":""}`,
+		`{"question":"q","timeout_ms":-5}`,
+		`{}`,
+		`[]`,
+		`{"question":"q"}{"question":"r"}`,
+		`{"question":"éclair"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeAskJSON(data)
+		if err != nil {
+			return
+		}
+		if p.Question == "" || len(p.Question) > MaxQuestionBytes {
+			t.Fatalf("accepted question violates limits: %d bytes", len(p.Question))
+		}
+		if !utf8.ValidString(p.Question) {
+			t.Fatal("accepted question is not valid UTF-8")
+		}
+		if p.TimeoutMS < 0 {
+			t.Fatalf("accepted negative timeout_ms %d", p.TimeoutMS)
+		}
+	})
+}
+
+func FuzzDecodeBatchJSON(f *testing.F) {
+	seeds := []string{
+		`{"questions":["a?","b?"]}`,
+		`{"questions":["a?"],"timeout_ms":500}`,
+		`{"questions":[]}`,
+		`{"questions":[""]}`,
+		`{"questions":"not-an-array"}`,
+		`{"questions":["a?"],"timeout_ms":-1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeBatchJSON(data)
+		if err != nil {
+			return
+		}
+		if len(p.Questions) == 0 || len(p.Questions) > MaxBatchQuestions {
+			t.Fatalf("accepted batch violates limits: %d questions", len(p.Questions))
+		}
+		for _, q := range p.Questions {
+			if q == "" || len(q) > MaxQuestionBytes || !utf8.ValidString(q) {
+				t.Fatal("accepted batch entry violates question limits")
+			}
+		}
+		if p.TimeoutMS < 0 {
+			t.Fatalf("accepted negative timeout_ms %d", p.TimeoutMS)
+		}
+	})
+}

@@ -1,0 +1,480 @@
+// Package gate is the cluster's public front door: an HTTP/JSON gateway
+// (cmd/qagate) that fronts a live Q/A cluster over the existing mux
+// transport and carries the production-traffic machinery the internal wire
+// protocol deliberately does not — per-client token buckets, a global
+// concurrency cap with queue-depth load shedding (429 + Retry-After),
+// edge-deadline propagation (the request's timeout_ms rides
+// live.Request.TimeoutMS down into ShardPR sub-task budgets), and graceful
+// drain (readiness flips, in-flight asks finish, then the listener closes).
+//
+// Routes:
+//
+//	POST /v1/ask        {"question": "...", "timeout_ms": 2000}
+//	POST /v1/ask/batch  {"questions": ["...", ...], "timeout_ms": 2000}
+//	GET  /v1/healthz    readiness (503 while draining)
+//	GET  /v1/statusz    gateway status JSON (qactl -gate, qatop -gate)
+//	GET  /metrics       Prometheus text exposition (gate_* metrics)
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distqa/internal/live"
+	"distqa/internal/obs"
+	"distqa/internal/qa"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Addr is the HTTP listen address (host:port; port 0 picks one).
+	Addr string
+	// Nodes are the cluster node addresses asks are routed to (round-robin).
+	Nodes []string
+	// MaxInflight caps concurrently executing asks (default 32).
+	MaxInflight int
+	// MaxQueue bounds the admission queue; beyond it requests are shed with
+	// 429 (default 2·MaxInflight).
+	MaxQueue int
+	// RatePerClient is each client key's token-bucket refill rate in
+	// requests/second (0 = per-client limiting off).
+	RatePerClient float64
+	// Burst is the bucket capacity (default 2·RatePerClient, min 1).
+	Burst float64
+	// DefaultTimeout is the edge deadline applied when a request carries no
+	// timeout_ms (default 10s); MaxTimeout caps client-supplied deadlines
+	// (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Clock is the token-bucket time source (tests; nil = time.Now).
+	Clock func() time.Time
+	// Objectives overrides the gateway's SLOs (default: edge ask p99).
+	Objectives []obs.Objective
+}
+
+func (c *Config) fill() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 32
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInflight
+	}
+	if c.Burst <= 0 {
+		c.Burst = 2 * c.RatePerClient
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if len(c.Objectives) == 0 {
+		// The edge twin of the cluster's "ask" objective: p99 of everything
+		// the gateway serves (queueing included) under 2.5s over 5 minutes,
+		// with at most 5% failures.
+		c.Objectives = []obs.Objective{{
+			Op: "edge_ask", Quantile: 0.99, Target: 2.5,
+			Window: 5 * time.Minute, MaxErrorRate: 0.05,
+		}}
+	}
+}
+
+// Gateway is the HTTP front door. Build with New, serve with Start (or mount
+// Handler yourself), stop with Drain (graceful) or Close (immediate).
+type Gateway struct {
+	cfg      Config
+	pool     *live.Pool
+	mux      *live.MuxTransport
+	reg      *obs.Registry
+	gm       *gateMetrics
+	slo      *obs.SLOEngine
+	adm      *Admission
+	buckets  *Buckets
+	handler  http.Handler
+	srv      *http.Server
+	ln       net.Listener
+	draining atomic.Bool
+	next     atomic.Uint64
+	started  time.Time
+	qid      atomic.Int64 // synthetic QIDs for SLO exemplars
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New builds a gateway (no listener yet). The node list must be non-empty.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("gate: no cluster nodes configured")
+	}
+	cfg.fill()
+	reg := obs.NewRegistry()
+	pool := live.NewPool(live.PoolConfig{})
+	g := &Gateway{
+		cfg:     cfg,
+		pool:    pool,
+		mux:     live.NewMuxTransport(live.MuxConfig{}, pool),
+		reg:     reg,
+		gm:      newGateMetrics(reg),
+		slo:     obs.NewSLOEngine(obs.SLOConfig{Objectives: cfg.Objectives, Clock: cfg.Clock}),
+		adm:     NewAdmission(cfg.MaxInflight, cfg.MaxQueue),
+		buckets: NewBuckets(cfg.RatePerClient, cfg.Burst, 4096),
+		started: time.Now(),
+	}
+	if cfg.Clock != nil {
+		g.buckets.SetClock(cfg.Clock)
+	}
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/ask", g.handleAsk)
+	m.HandleFunc("POST /v1/ask/batch", g.handleBatch)
+	m.HandleFunc("GET /v1/healthz", g.handleHealthz)
+	m.HandleFunc("GET /v1/statusz", g.handleStatusz)
+	m.HandleFunc("GET /metrics", g.handleMetrics)
+	g.handler = m
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP handler (for tests and embedding).
+func (g *Gateway) Handler() http.Handler { return g.handler }
+
+// Metrics returns the gateway's obs registry.
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
+
+// Start binds the listener and serves in a background goroutine.
+func (g *Gateway) Start() error {
+	ln, err := net.Listen("tcp", g.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("gate: listen %s: %w", g.cfg.Addr, err)
+	}
+	g.ln = ln
+	g.srv = &http.Server{Handler: g.handler}
+	go g.srv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// URL returns the gateway's base URL (valid after Start).
+func (g *Gateway) URL() string { return "http://" + g.Addr() }
+
+// Draining reports whether drain has begun (readiness is down).
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// Drain is the SIGTERM path: flip readiness first (healthz answers 503 and
+// new asks are refused while the listener is still accepting — load
+// balancers need to observe not-ready before connections start failing),
+// wait for in-flight asks to finish, then shut the listener down. Bounded
+// by ctx.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.draining.Store(true)
+	if err := g.adm.WaitIdle(ctx); err != nil {
+		return err
+	}
+	var err error
+	if g.srv != nil {
+		err = g.srv.Shutdown(ctx)
+	}
+	g.closeTransports()
+	return err
+}
+
+// Close stops immediately: in-flight requests are abandoned.
+func (g *Gateway) Close() error {
+	g.draining.Store(true)
+	var err error
+	if g.srv != nil {
+		err = g.srv.Close()
+	}
+	g.closeTransports()
+	return err
+}
+
+func (g *Gateway) closeTransports() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	g.mux.Close()
+	g.pool.Close()
+}
+
+// pickNode round-robins over the configured cluster nodes.
+func (g *Gateway) pickNode() string {
+	n := g.next.Add(1)
+	return g.cfg.Nodes[int(n-1)%len(g.cfg.Nodes)]
+}
+
+// clientKey identifies the token bucket a request spends from: the API key
+// when one is presented, the remote host otherwise.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// errorJSON is the error body of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429s (mirrors the Retry-After header).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (g *Gateway) writeShed(w http.ResponseWriter, status int, msg string, retryAfter time.Duration) {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(retryAfter/time.Second), 10))
+	writeJSON(w, status, errorJSON{Error: msg, RetryAfterMS: retryAfter.Milliseconds()})
+}
+
+// AnswerJSON is one answer in an ask response — a stable public projection
+// of qa.Answer (the equivalence test asserts it matches a direct live.Ask
+// byte for byte).
+type AnswerJSON struct {
+	Text    string  `json:"text"`
+	Type    string  `json:"type"`
+	Score   float64 `json:"score"`
+	ParaID  int     `json:"para_id"`
+	Snippet string  `json:"snippet"`
+}
+
+// AskResult is the body of a 200 from POST /v1/ask (and one entry of a
+// batch response).
+type AskResult struct {
+	Answers  []AnswerJSON `json:"answers"`
+	ServedBy string       `json:"served_by"`
+	// NodeMS is the serving node's own pipeline time; ElapsedMS is the
+	// gateway's view (queueing and wire included).
+	NodeMS    float64 `json:"node_ms"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	CacheHit  bool    `json:"cache_hit"`
+	Coalesced bool    `json:"coalesced"`
+	Forwarded bool    `json:"forwarded"`
+	Spans     int     `json:"spans,omitempty"`
+}
+
+// BatchEntry is one question's outcome in a batch response: Status is the
+// HTTP status the question would have gotten on /v1/ask.
+type BatchEntry struct {
+	Status int        `json:"status"`
+	Result *AskResult `json:"result,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+// BatchResult is the body of a 200 from POST /v1/ask/batch.
+type BatchResult struct {
+	Results []BatchEntry `json:"results"`
+}
+
+// ProjectAnswers converts pipeline answers to their public JSON projection
+// (shared with the equivalence test, which projects a direct live.Ask
+// response the same way before comparing bytes).
+func ProjectAnswers(answers []qa.Answer) []AnswerJSON {
+	out := make([]AnswerJSON, len(answers))
+	for i, a := range answers {
+		out[i] = AnswerJSON{
+			Text:    a.Text,
+			Type:    a.Type.String(),
+			Score:   a.Score,
+			ParaID:  a.ParaID,
+			Snippet: a.Snippet,
+		}
+	}
+	return out
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if g.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	g.refreshGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.reg.WriteText(w)
+}
+
+func (g *Gateway) refreshGauges() {
+	g.gm.inflight.Set(int64(g.adm.InFlight()))
+	g.gm.queueDepth.Set(int64(g.adm.QueueDepth()))
+	g.gm.clientKeys.Set(int64(g.buckets.Keys()))
+}
+
+// timeoutOf resolves a request's edge deadline from its timeout_ms.
+func (g *Gateway) timeoutOf(ms int64) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if ms <= 0 {
+		d = g.cfg.DefaultTimeout
+	}
+	if d > g.cfg.MaxTimeout {
+		d = g.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (g *Gateway) handleAsk(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	g.gm.askRequests.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		g.gm.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "body too large or unreadable"})
+		return
+	}
+	p, err := DecodeAskJSON(body)
+	if err != nil {
+		g.gm.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	status, result, errMsg, retryAfter := g.serveOne(r, p.Question, g.timeoutOf(p.TimeoutMS), p.Trace)
+	g.observeAsk(start, status)
+	g.gm.askSeconds.Observe(time.Since(start).Seconds())
+	switch {
+	case status == http.StatusOK:
+		writeJSON(w, status, result)
+	case status == http.StatusTooManyRequests:
+		g.writeShed(w, status, errMsg, retryAfter)
+	default:
+		writeJSON(w, status, errorJSON{Error: errMsg})
+	}
+}
+
+func (g *Gateway) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	g.gm.batchRequests.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		g.gm.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: "body too large or unreadable"})
+		return
+	}
+	p, err := DecodeBatchJSON(body)
+	if err != nil {
+		g.gm.badRequests.Inc()
+		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
+		return
+	}
+	timeout := g.timeoutOf(p.TimeoutMS)
+	out := BatchResult{Results: make([]BatchEntry, len(p.Questions))}
+	for i, q := range p.Questions {
+		qStart := time.Now()
+		status, result, errMsg, _ := g.serveOne(r, q, timeout, false)
+		g.observeAsk(qStart, status)
+		out.Results[i] = BatchEntry{Status: status, Result: result, Error: errMsg}
+	}
+	g.gm.batchSeconds.Observe(time.Since(start).Seconds())
+	writeJSON(w, http.StatusOK, out)
+}
+
+// observeAsk feeds one question's outcome into the edge SLO window.
+func (g *Gateway) observeAsk(start time.Time, status int) {
+	g.slo.Observe("edge_ask", time.Since(start).Seconds(), g.qid.Add(1), status != http.StatusOK)
+}
+
+// serveOne runs one question through the full edge machinery — drain check,
+// token bucket, admission, backend call — and returns (status, result,
+// errMsg, retryAfter). It is shared by /v1/ask and each batch entry, so a
+// batch observes the same shedding and deadlines a stream of single asks
+// would.
+func (g *Gateway) serveOne(r *http.Request, question string, timeout time.Duration, trace bool) (int, *AskResult, string, time.Duration) {
+	qStart := time.Now()
+	if g.draining.Load() {
+		g.gm.shedDraining.Inc()
+		return http.StatusServiceUnavailable, nil, "gateway is draining", 0
+	}
+	if ok, wait := g.buckets.Allow(clientKey(r)); !ok {
+		g.gm.shedRate.Inc()
+		return http.StatusTooManyRequests, nil, "client rate limit exceeded", wait
+	}
+	deadline := qStart.Add(timeout)
+	admitted, ticket, shed := g.adm.Reserve()
+	switch {
+	case shed:
+		g.gm.shedQueue.Inc()
+		// The queue is full: the soonest a slot could open is roughly one
+		// service time away; a one-second hint keeps well-behaved clients
+		// from hammering the full queue.
+		return http.StatusTooManyRequests, nil, "admission queue full", time.Second
+	case !admitted:
+		g.gm.queued.Inc()
+		ctx, cancel := context.WithDeadline(r.Context(), deadline)
+		err := g.adm.Wait(ctx, ticket)
+		cancel()
+		if err != nil {
+			g.gm.timeouts.Inc()
+			return http.StatusGatewayTimeout, nil, "deadline exceeded while queued for admission", 0
+		}
+	}
+	defer g.adm.Release()
+	g.gm.admitted.Inc()
+
+	req := live.AskRequest(question)
+	req.WantSpans = trace
+	remaining := time.Until(deadline)
+	if remaining < time.Millisecond {
+		g.gm.timeouts.Inc()
+		return http.StatusGatewayTimeout, nil, "deadline exceeded", 0
+	}
+	req.TimeoutMS = remaining.Milliseconds()
+	if req.TimeoutMS < 1 {
+		req.TimeoutMS = 1
+	}
+	// The client-side call timeout gets a little slack past the edge
+	// deadline, so the server-side deadline (propagated via TimeoutMS) fires
+	// first and the failure comes back as a structured response instead of
+	// an abandoned mux call.
+	resp, err := g.mux.Call(g.pickNode(), req, remaining+250*time.Millisecond)
+	if err != nil {
+		deadlinePassed := !time.Now().Before(deadline)
+		// "budget exhausted" from the cluster means the question's deadline
+		// budget — clamped to our TimeoutMS — ran out mid-pipeline: timeout
+		// semantics for the client even when the gateway clock has a few
+		// milliseconds left.
+		structuredTimeout := resp != nil && (strings.Contains(resp.Err, live.ErrDeadlineMsg) ||
+			strings.Contains(resp.Err, "budget exhausted"))
+		if structuredTimeout || deadlinePassed {
+			g.gm.timeouts.Inc()
+			return http.StatusGatewayTimeout, nil, "deadline exceeded: " + err.Error(), 0
+		}
+		g.gm.backendErrors.Inc()
+		return http.StatusBadGateway, nil, "cluster error: " + err.Error(), 0
+	}
+	res := &AskResult{
+		Answers:   ProjectAnswers(resp.Answers),
+		ServedBy:  resp.ServedBy,
+		NodeMS:    resp.ElapsedMS,
+		ElapsedMS: float64(time.Since(qStart).Microseconds()) / 1000,
+		CacheHit:  resp.CacheHit,
+		Coalesced: resp.Coalesced,
+		Forwarded: resp.Forwarded,
+		Spans:     len(resp.Spans),
+	}
+	return http.StatusOK, res, "", 0
+}

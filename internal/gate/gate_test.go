@@ -1,0 +1,549 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"distqa/internal/corpus"
+	"distqa/internal/fault"
+	"distqa/internal/index"
+	"distqa/internal/live"
+	"distqa/internal/qa"
+	"distqa/internal/shard"
+)
+
+// Shared fixtures: the tiny corpus text is shared in-process by every node
+// (the same economy internal/live's tests use); the full-replica engine is
+// the sequential oracle the equivalence assertions compare against.
+var (
+	gateColl   = corpus.Generate(corpus.Tiny())
+	gateOracle = qa.NewEngine(gateColl, index.BuildAll(gateColl))
+)
+
+func waitFor(t *testing.T, what string, timeout time.Duration, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// startShardedCluster mirrors internal/live's harness of the same name from
+// outside the package: n loopback nodes, K shards, R replicas under chained
+// declustering, each node's index scoped to its holdings. mut adjusts each
+// node's config before start.
+func startShardedCluster(t *testing.T, n, k, r int, mut func(i int, cfg *live.NodeConfig)) []*live.Node {
+	t.Helper()
+	kk, rr, err := shard.Normalize(k, r, n, len(gateColl.Subs))
+	if err != nil {
+		t.Fatalf("shard.Normalize(%d,%d,%d): %v", k, r, n, err)
+	}
+	nodes := make([]*live.Node, 0, n)
+	for i := 0; i < n; i++ {
+		subs := shard.HoldingSubs(i, n, kk, rr, len(gateColl.Subs))
+		engine := qa.NewEngine(gateColl, index.BuildSubset(gateColl, subs))
+		cfg := live.NodeConfig{
+			Addr:           "127.0.0.1:0",
+			Engine:         engine,
+			HeartbeatEvery: 50 * time.Millisecond,
+			RequestTimeout: 10 * time.Second,
+			Shard:          live.ShardConfig{K: kk, R: rr, NodeIndex: i, ClusterSize: n},
+		}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		node, err := live.StartNode(cfg)
+		if err != nil {
+			t.Fatalf("start sharded node %d: %v", i, err)
+		}
+		nodes = append(nodes, node)
+		t.Cleanup(node.Close)
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i != j {
+				a.AddPeer(b.Addr())
+			}
+		}
+	}
+	for _, nd := range nodes {
+		nd := nd
+		waitFor(t, "peers+shard map on "+nd.Addr(), 10*time.Second, func() bool {
+			st, err := live.QueryStatus(nd.Addr(), 2*time.Second)
+			return err == nil && len(st.Peers) >= n-1 &&
+				st.Shard != nil && st.Shard.Complete
+		})
+	}
+	return nodes
+}
+
+// startGateway fronts nodes with a gateway on a loopback listener.
+func startGateway(t *testing.T, nodes []*live.Node, mut func(cfg *Config)) *Gateway {
+	t.Helper()
+	addrs := make([]string, len(nodes))
+	for i, nd := range nodes {
+		addrs[i] = nd.Addr()
+	}
+	cfg := Config{Addr: "127.0.0.1:0", Nodes: addrs}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("gate.New: %v", err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatalf("gate.Start: %v", err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// postJSON posts body to the gateway and returns (status, response bytes).
+func postJSON(t *testing.T, url string, body any, header map[string]string) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp.StatusCode, out.Bytes()
+}
+
+// TestGatewayEquivalence: the acceptance invariant — answers served through
+// the HTTP front door over a sharded K=2/R=2 cluster are byte-identical to a
+// direct live.Ask, for /v1/ask and for every entry of /v1/ask/batch.
+func TestGatewayEquivalence(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 2, 2, nil)
+	g := startGateway(t, nodes, nil)
+
+	project := func(resp *live.Response) []byte {
+		b, err := json.Marshal(ProjectAnswers(resp.Answers))
+		if err != nil {
+			t.Fatalf("marshal direct answers: %v", err)
+		}
+		return b
+	}
+
+	var qs []string
+	for _, f := range gateColl.Facts[:3] {
+		qs = append(qs, f.Question)
+	}
+	for _, q := range qs {
+		direct, err := live.Ask(nodes[0].Addr(), q, 10*time.Second)
+		if err != nil {
+			t.Fatalf("direct ask %q: %v", q, err)
+		}
+		status, body := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q}, nil)
+		if status != http.StatusOK {
+			t.Fatalf("gateway ask %q: status %d: %s", q, status, body)
+		}
+		var res AskResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatalf("parse gateway response: %v", err)
+		}
+		got, err := json.Marshal(res.Answers)
+		if err != nil {
+			t.Fatalf("re-marshal gateway answers: %v", err)
+		}
+		if want := project(direct); !bytes.Equal(got, want) {
+			t.Fatalf("gateway answers for %q differ from direct ask:\ngateway: %s\ndirect:  %s", q, got, want)
+		}
+		if len(res.Answers) == 0 {
+			t.Fatalf("no answers for %q", q)
+		}
+	}
+
+	// Batch: each entry equals its direct twin.
+	status, body := postJSON(t, g.URL()+"/v1/ask/batch", BatchPayload{Questions: qs}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", status, body)
+	}
+	var batch BatchResult
+	if err := json.Unmarshal(body, &batch); err != nil {
+		t.Fatalf("parse batch response: %v", err)
+	}
+	if len(batch.Results) != len(qs) {
+		t.Fatalf("batch returned %d results, want %d", len(batch.Results), len(qs))
+	}
+	for i, q := range qs {
+		entry := batch.Results[i]
+		if entry.Status != http.StatusOK || entry.Result == nil {
+			t.Fatalf("batch entry %d: status %d error %q", i, entry.Status, entry.Error)
+		}
+		direct, err := live.Ask(nodes[1].Addr(), q, 10*time.Second)
+		if err != nil {
+			t.Fatalf("direct ask %q: %v", q, err)
+		}
+		got, _ := json.Marshal(entry.Result.Answers)
+		if want := project(direct); !bytes.Equal(got, want) {
+			t.Fatalf("batch entry %d answers differ from direct ask:\ngateway: %s\ndirect:  %s", i, got, want)
+		}
+	}
+}
+
+// TestGatewayDeadline504: an edge deadline shorter than the (injector-
+// delayed) service time must come back as 504, the deadline must propagate
+// into the cluster (the node observes TimeoutMS and its scatter budget is
+// clamped), and — the regression this test exists for — the gateway's mux
+// connection to the node must survive: subsequent asks over the same
+// transport return the oracle answer.
+func TestGatewayDeadline504(t *testing.T) {
+	// Every ShardPR scatter leg stalls 400ms before sending, so any ask that
+	// needs a remote shard cannot finish inside a 100ms edge deadline. The
+	// answer cache is disabled so every ask exercises the scatter path.
+	nodes := startShardedCluster(t, 3, 2, 2, func(i int, cfg *live.NodeConfig) {
+		cfg.Cache.Disabled = true
+		inj := fault.New(1)
+		inj.Add(fault.Rule{Op: fault.OpShardPR, Delay: 400 * time.Millisecond})
+		cfg.Fault = inj
+	})
+	g := startGateway(t, nodes, nil)
+	q := gateColl.Facts[0].Question
+
+	status, body := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q, TimeoutMS: 100}, nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("short-deadline ask: status %d (want 504): %s", status, body)
+	}
+
+	// The same gateway, the same mux conns: asks with a generous deadline
+	// must still serve the oracle answer (delayed, not broken).
+	seq := gateOracle.AnswerSequential(q)
+	for i := 0; i < 2; i++ {
+		status, body = postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q, TimeoutMS: 8000}, nil)
+		if status != http.StatusOK {
+			t.Fatalf("post-timeout ask %d: status %d: %s", i, status, body)
+		}
+		var res AskResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if len(res.Answers) == 0 || !strings.EqualFold(res.Answers[0].Text, seq.Answers[0].Text) {
+			t.Fatalf("post-timeout answer %+v differs from oracle %q — mux conn poisoned?", res.Answers, seq.Answers[0].Text)
+		}
+	}
+	st := g.Status()
+	if st.Timeouts < 1 {
+		t.Fatalf("gateway counted %d timeouts, want >= 1", st.Timeouts)
+	}
+}
+
+// TestGatewayDrain: the SIGTERM sequence. With a slow ask in flight, Drain
+// must flip /v1/healthz to 503 and refuse new asks *while the listener still
+// accepts* (readiness down before connections fail), let the in-flight ask
+// finish with the oracle answer, and only then close the listener.
+func TestGatewayDrain(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 2, 2, func(i int, cfg *live.NodeConfig) {
+		cfg.Cache.Disabled = true
+		inj := fault.New(1)
+		inj.Add(fault.Rule{Op: fault.OpShardPR, Delay: 500 * time.Millisecond})
+		cfg.Fault = inj
+	})
+	g := startGateway(t, nodes, nil)
+	q := gateColl.Facts[1].Question
+
+	healthz := func() int {
+		resp, err := http.Get(g.URL() + "/v1/healthz")
+		if err != nil {
+			return -1
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := healthz(); got != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", got)
+	}
+
+	// A slow ask in flight...
+	type askOut struct {
+		status int
+		body   []byte
+	}
+	done := make(chan askOut, 1)
+	go func() {
+		status, body := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q, TimeoutMS: 8000}, nil)
+		done <- askOut{status, body}
+	}()
+	waitFor(t, "ask in flight", 5*time.Second, func() bool { return g.Status().InFlight >= 1 })
+
+	// ...drain begins: readiness flips and new asks are refused while the
+	// in-flight ask still runs and the listener still answers.
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- g.Drain(ctx)
+	}()
+	waitFor(t, "readiness down", 5*time.Second, func() bool { return healthz() == http.StatusServiceUnavailable })
+	if g.Status().InFlight < 1 {
+		t.Fatal("in-flight ask finished before readiness was observed down; slow-ask setup broken")
+	}
+	if status, _ := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q}, nil); status != http.StatusServiceUnavailable {
+		t.Fatalf("new ask during drain: status %d, want 503", status)
+	}
+
+	// The in-flight ask completes with the oracle answer.
+	out := <-done
+	if out.status != http.StatusOK {
+		t.Fatalf("in-flight ask during drain: status %d: %s", out.status, out.body)
+	}
+	var res AskResult
+	if err := json.Unmarshal(out.body, &res); err != nil {
+		t.Fatalf("parse drained ask: %v", err)
+	}
+	seq := gateOracle.AnswerSequential(q)
+	if len(res.Answers) == 0 || !strings.EqualFold(res.Answers[0].Text, seq.Answers[0].Text) {
+		t.Fatalf("drained ask answers %+v differ from oracle %q", res.Answers, seq.Answers[0].Text)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Only now is the listener gone.
+	if conn, err := net.DialTimeout("tcp", g.Addr(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after drain completed")
+	}
+}
+
+// TestGatewayQueueShed: with MaxInflight=1 and MaxQueue=1, a third
+// concurrent ask must shed synchronously with 429 + Retry-After while the
+// first two (admitted + queued) complete fine — queue-depth shedding, not
+// blind rejection.
+func TestGatewayQueueShed(t *testing.T) {
+	nodes := startShardedCluster(t, 3, 2, 2, func(i int, cfg *live.NodeConfig) {
+		cfg.Cache.Disabled = true
+		inj := fault.New(1)
+		inj.Add(fault.Rule{Op: fault.OpShardPR, Delay: 400 * time.Millisecond})
+		cfg.Fault = inj
+	})
+	g := startGateway(t, nodes, func(cfg *Config) {
+		cfg.MaxInflight = 1
+		cfg.MaxQueue = 1
+	})
+	q := gateColl.Facts[2].Question
+
+	results := make(chan int, 2)
+	ask := func() {
+		status, _ := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q, TimeoutMS: 8000}, nil)
+		results <- status
+	}
+	go ask()
+	waitFor(t, "first ask admitted", 5*time.Second, func() bool { return g.Status().InFlight == 1 })
+	go ask()
+	waitFor(t, "second ask queued", 5*time.Second, func() bool { return g.Status().QueueDepth == 1 })
+
+	// Queue full: the third ask sheds immediately.
+	raw, _ := json.Marshal(AskPayload{Question: q})
+	resp, err := http.Post(g.URL()+"/v1/ask", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("shed ask: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third concurrent ask: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 carried Retry-After %q, want a positive hint", ra)
+	}
+	var e errorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.RetryAfterMS <= 0 {
+		t.Fatalf("429 body %+v (err %v), want retry_after_ms > 0", e, err)
+	}
+
+	for i := 0; i < 2; i++ {
+		if status := <-results; status != http.StatusOK {
+			t.Fatalf("admitted/queued ask finished with %d, want 200", status)
+		}
+	}
+	st := g.Status()
+	if st.ShedQueue < 1 {
+		t.Fatalf("shed_queue = %d, want >= 1", st.ShedQueue)
+	}
+	if st.QueuePeak < 1 || st.QueuePeak > st.QueueBound {
+		t.Fatalf("queue peak %d outside (0, bound %d]", st.QueuePeak, st.QueueBound)
+	}
+}
+
+// TestGatewayRateLimit: per-client token buckets keyed by API key — the
+// third rapid request from one key sheds with 429 while a different key
+// passes untouched.
+func TestGatewayRateLimit(t *testing.T) {
+	nodes := startShardedCluster(t, 2, 2, 1, nil)
+	g := startGateway(t, nodes, func(cfg *Config) {
+		cfg.RatePerClient = 0.5 // one token per 2s: no refill during the test
+		cfg.Burst = 2
+	})
+	q := gateColl.Facts[0].Question
+
+	alice := map[string]string{"X-API-Key": "alice"}
+	for i := 0; i < 2; i++ {
+		if status, body := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q}, alice); status != http.StatusOK {
+			t.Fatalf("ask %d within burst: status %d: %s", i, status, body)
+		}
+	}
+	status, body := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q}, alice)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("ask beyond burst: status %d (want 429): %s", status, body)
+	}
+	if status, _ := postJSON(t, g.URL()+"/v1/ask", AskPayload{Question: q}, map[string]string{"X-API-Key": "bob"}); status != http.StatusOK {
+		t.Fatalf("different API key should have its own bucket, got %d", status)
+	}
+	if st := g.Status(); st.ShedRate < 1 {
+		t.Fatalf("shed_rate = %d, want >= 1", st.ShedRate)
+	}
+}
+
+// expositionLine is PR 1's Prometheus text-format line shape (the same
+// regexp internal/live's TestMetricsExposition parses with).
+var expositionLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+// TestGateMetricsExposition: observability parity with the cluster nodes —
+// the gate_* registry serves parseable Prometheus text covering admission
+// outcomes, live gauges and per-route latency histograms, and /v1/statusz
+// carries the edge-ask SLO row.
+func TestGateMetricsExposition(t *testing.T) {
+	// No live backend needed: an unreachable node makes asks count as
+	// backend errors, which is itself signal for the exposition.
+	g, err := New(Config{Nodes: []string{"127.0.0.1:1"}})
+	if err != nil {
+		t.Fatalf("gate.New: %v", err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	if status, _ := postJSON(t, srv.URL+"/v1/ask", AskPayload{Question: "q?", TimeoutMS: 1000}, nil); status == http.StatusOK {
+		t.Fatal("ask against an unreachable backend cannot succeed")
+	}
+	resp, err := http.Post(srv.URL+"/v1/ask", "application/json", strings.NewReader("not json"))
+	if err != nil {
+		t.Fatalf("bad ask: %v", err)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	text := buf.String()
+
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := expositionLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		seen[m[1]+m[2]] = true
+	}
+	for _, want := range []string{
+		`gate_requests_total{route="ask"}`,
+		`gate_bad_requests_total`,
+		`gate_inflight`,
+		`gate_queue_depth`,
+		`gate_shed_total{reason="queue"}`,
+		`gate_shed_total{reason="rate"}`,
+		`gate_route_seconds_count{route="ask"}`,
+	} {
+		if !seen[want] {
+			t.Errorf("exposition is missing %s", want)
+		}
+	}
+	if !strings.Contains(text, `gate_route_seconds_bucket{le=`) {
+		t.Error("exposition has no latency histogram buckets")
+	}
+
+	// Statusz carries the SLO row for the edge objective.
+	sresp, err := http.Get(srv.URL + "/v1/statusz")
+	if err != nil {
+		t.Fatalf("GET /v1/statusz: %v", err)
+	}
+	defer sresp.Body.Close()
+	var st Statusz
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatalf("parse statusz: %v", err)
+	}
+	found := false
+	for _, row := range st.SLO {
+		if row.Op == "edge_ask" && row.Quantile == 0.99 {
+			found = true
+			if row.Total < 1 {
+				t.Errorf("edge_ask SLO window saw %d observations, want >= 1", row.Total)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("statusz has no edge_ask p99 SLO row: %+v", st.SLO)
+	}
+}
+
+// TestRunLoadSmoke: the open-loop harness against a single full-replica
+// node — a short sub-saturation run must achieve nonzero throughput with
+// ~zero shed.
+func TestRunLoadSmoke(t *testing.T) {
+	node, err := live.StartNode(live.NodeConfig{Addr: "127.0.0.1:0", Engine: gateOracle})
+	if err != nil {
+		t.Fatalf("start node: %v", err)
+	}
+	t.Cleanup(node.Close)
+	g := startGateway(t, []*live.Node{node}, nil)
+
+	var qs []string
+	for _, f := range gateColl.Facts[:4] {
+		qs = append(qs, f.Question)
+	}
+	res, err := RunLoad(LoadConfig{
+		BaseURL:   g.URL(),
+		Questions: qs,
+		Rate:      40,
+		Duration:  1 * time.Second,
+		Seed:      1,
+		TimeoutMS: 5000,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.OK == 0 || res.AchievedQPS <= 0 {
+		t.Fatalf("load run achieved nothing: %+v", res)
+	}
+	if res.ShedRate > 0.01 {
+		t.Fatalf("sub-threshold run shed %.1f%%, want ~0%%", res.ShedRate*100)
+	}
+	if res.P99Ms <= 0 || res.P50Ms > res.P99Ms {
+		t.Fatalf("nonsense latency quantiles: %+v", res)
+	}
+	if fmt.Sprintf("%s", res.Text()) == "" {
+		t.Fatal("empty text report")
+	}
+}

@@ -1,0 +1,210 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"distqa/internal/workload"
+)
+
+// Open-loop load harness (qabench -load): fires POST /v1/ask requests at a
+// gateway on a precomputed arrival schedule — Poisson or bursty, from
+// internal/workload — independent of completions, the way production traffic
+// arrives. Because arrivals do not wait for answers, offered and achieved
+// throughput diverge the moment the gateway saturates: the report's shed
+// rate and admitted-latency quantiles are the measurement, not a failure.
+
+// LoadConfig configures one open-loop run.
+type LoadConfig struct {
+	// BaseURL is the gateway ("http://host:port").
+	BaseURL string
+	// Questions are cycled through in order (pre-shuffle or heavy-tail-order
+	// them with workload.Set.Pick / HeavyTailedPick).
+	Questions []string
+	// Rate is the offered arrival rate (requests/second).
+	Rate float64
+	// Duration bounds the schedule (arrivals stop; stragglers are awaited).
+	Duration time.Duration
+	// Arrivals selects the process: "poisson" (default) or "burst".
+	Arrivals string
+	// Seed makes the schedule and question order deterministic.
+	Seed int64
+	// TimeoutMS is each request's edge deadline (0 = gateway default).
+	TimeoutMS int64
+	// APIKey is sent as X-API-Key when non-empty.
+	APIKey string
+}
+
+// LoadResult is one run's report.
+type LoadResult struct {
+	Name        string  `json:"name"`
+	Arrivals    string  `json:"arrivals"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"` // 200s per second of run
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`     // 429s
+	Timeouts    int     `json:"timeouts"` // 504s
+	Errors      int     `json:"errors"`   // everything else non-200
+	ShedRate    float64 `json:"shed_rate"`
+	// Latency quantiles of the 200s (admitted, completed requests), ms.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Queue evidence pulled from the gateway's statusz after the run: the
+	// admission queue's peak depth against its configured bound.
+	QueuePeak  int     `json:"queue_peak"`
+	QueueBound int     `json:"queue_bound"`
+	DurationS  float64 `json:"duration_s"`
+}
+
+// RunLoad executes one open-loop run against a live gateway.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if cfg.BaseURL == "" || len(cfg.Questions) == 0 {
+		return LoadResult{}, fmt.Errorf("gate: load config needs BaseURL and Questions")
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 10
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	n := int(cfg.Rate * cfg.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	var schedule []float64
+	arrivals := cfg.Arrivals
+	if arrivals == "" {
+		arrivals = "poisson"
+	}
+	switch arrivals {
+	case "poisson":
+		schedule = workload.PoissonArrivals(cfg.Seed, cfg.Rate, n, 0)
+	case "burst":
+		// 4x bursts for a quarter of each one-second cycle: same mean rate,
+		// much spikier queue.
+		schedule = workload.BurstArrivals(cfg.Seed, cfg.Rate, 4, 0.25, 1, n, 0)
+	default:
+		return LoadResult{}, fmt.Errorf("gate: unknown arrival process %q", arrivals)
+	}
+
+	// A dedicated transport with generous idle-conn reuse, plus a client-side
+	// concurrency cap: without them, an over-threshold schedule spawns
+	// thousands of concurrent first-time dials and the *generator* collapses
+	// (fd exhaustion) before the gateway's admission control is ever
+	// exercised. The cap bounds sockets, not arrivals — arrival instants stay
+	// open-loop; a goroutine that must wait for a slot is client queueing,
+	// which is why each latency clock starts after slot acquisition (we
+	// measure the gateway, not this process's socket budget).
+	const maxClientConcurrency = 512
+	tr := &http.Transport{
+		MaxIdleConns:        maxClientConcurrency,
+		MaxIdleConnsPerHost: maxClientConcurrency,
+		IdleConnTimeout:     30 * time.Second,
+	}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: 2 * time.Minute}
+	sem := make(chan struct{}, maxClientConcurrency)
+	type outcome struct {
+		status int
+		ms     float64
+	}
+	outcomes := make([]outcome, len(schedule))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, at := range schedule {
+		// Open loop: sleep until the arrival instant, then fire regardless of
+		// how many requests are still in flight.
+		if d := time.Duration(at*float64(time.Second)) - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			q := cfg.Questions[i%len(cfg.Questions)]
+			body, _ := json.Marshal(AskPayload{Question: q, TimeoutMS: cfg.TimeoutMS})
+			req, err := http.NewRequest(http.MethodPost, cfg.BaseURL+"/v1/ask", bytes.NewReader(body))
+			if err != nil {
+				outcomes[i] = outcome{status: -1}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if cfg.APIKey != "" {
+				req.Header.Set("X-API-Key", cfg.APIKey)
+			}
+			t0 := time.Now()
+			resp, err := client.Do(req)
+			if err != nil {
+				outcomes[i] = outcome{status: -1}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			outcomes[i] = outcome{status: resp.StatusCode,
+				ms: float64(time.Since(t0).Microseconds()) / 1000}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	res := LoadResult{
+		Arrivals:   arrivals,
+		OfferedQPS: float64(len(schedule)) / elapsed,
+		Sent:       len(schedule),
+		DurationS:  elapsed,
+	}
+	var okMs []float64
+	for _, o := range outcomes {
+		switch o.status {
+		case http.StatusOK:
+			res.OK++
+			okMs = append(okMs, o.ms)
+		case http.StatusTooManyRequests:
+			res.Shed++
+		case http.StatusGatewayTimeout:
+			res.Timeouts++
+		default:
+			res.Errors++
+		}
+	}
+	res.AchievedQPS = float64(res.OK) / elapsed
+	res.ShedRate = float64(res.Shed) / float64(res.Sent)
+	sort.Float64s(okMs)
+	res.P50Ms = quantile(okMs, 0.50)
+	res.P99Ms = quantile(okMs, 0.99)
+	if st, err := FetchStatus(cfg.BaseURL, 5*time.Second); err == nil {
+		res.QueuePeak = st.QueuePeak
+		res.QueueBound = st.QueueBound
+	}
+	return res, nil
+}
+
+// quantile reads q from an ascending sample set (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// Text renders the report for terminals (qabench -load output).
+func (r LoadResult) Text() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "open-loop load (%s arrivals, %.1fs)\n", r.Arrivals, r.DurationS)
+	fmt.Fprintf(&b, "  offered   %8.1f qps (%d sent)\n", r.OfferedQPS, r.Sent)
+	fmt.Fprintf(&b, "  achieved  %8.1f qps (%d ok)\n", r.AchievedQPS, r.OK)
+	fmt.Fprintf(&b, "  shed      %8d (%.1f%%)   timeouts %d   errors %d\n",
+		r.Shed, r.ShedRate*100, r.Timeouts, r.Errors)
+	fmt.Fprintf(&b, "  latency   p50 %.2fms  p99 %.2fms (admitted)\n", r.P50Ms, r.P99Ms)
+	fmt.Fprintf(&b, "  queue     peak %d / bound %d\n", r.QueuePeak, r.QueueBound)
+	return b.String()
+}

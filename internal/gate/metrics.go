@@ -1,0 +1,50 @@
+package gate
+
+import (
+	"distqa/internal/obs"
+)
+
+// gateMetrics caches the gateway's obs registry handles, mirroring
+// internal/live's nodeMetrics: handles are resolved once at startup so the
+// serving path never pays the registry's lookup lock.
+type gateMetrics struct {
+	// Per-route request counters and latency histograms.
+	askRequests   *obs.Counter
+	batchRequests *obs.Counter
+	askSeconds    *obs.Histogram
+	batchSeconds  *obs.Histogram
+	// Admission-control outcomes.
+	admitted      *obs.Counter
+	queued        *obs.Counter
+	shedQueue     *obs.Counter // queue full → 429
+	shedRate      *obs.Counter // token bucket empty → 429
+	shedDraining  *obs.Counter // drain in progress → 503
+	timeouts      *obs.Counter // edge deadline exceeded → 504
+	backendErrors *obs.Counter // cluster call failed → 502
+	badRequests   *obs.Counter // decode/validation failures → 400
+	// Live state.
+	inflight   *obs.Gauge
+	queueDepth *obs.Gauge
+	clientKeys *obs.Gauge
+}
+
+func newGateMetrics(reg *obs.Registry) *gateMetrics {
+	lat := obs.LatencyBuckets()
+	return &gateMetrics{
+		askRequests:   reg.Counter("gate_requests_total", obs.Labels{"route": "ask"}),
+		batchRequests: reg.Counter("gate_requests_total", obs.Labels{"route": "batch"}),
+		askSeconds:    reg.Histogram("gate_route_seconds", obs.Labels{"route": "ask"}, lat),
+		batchSeconds:  reg.Histogram("gate_route_seconds", obs.Labels{"route": "batch"}, lat),
+		admitted:      reg.Counter("gate_admitted_total", nil),
+		queued:        reg.Counter("gate_queued_total", nil),
+		shedQueue:     reg.Counter("gate_shed_total", obs.Labels{"reason": "queue"}),
+		shedRate:      reg.Counter("gate_shed_total", obs.Labels{"reason": "rate"}),
+		shedDraining:  reg.Counter("gate_shed_total", obs.Labels{"reason": "draining"}),
+		timeouts:      reg.Counter("gate_timeouts_total", nil),
+		backendErrors: reg.Counter("gate_backend_errors_total", nil),
+		badRequests:   reg.Counter("gate_bad_requests_total", nil),
+		inflight:      reg.Gauge("gate_inflight", nil),
+		queueDepth:    reg.Gauge("gate_queue_depth", nil),
+		clientKeys:    reg.Gauge("gate_client_keys", nil),
+	}
+}

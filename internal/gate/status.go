@@ -1,0 +1,90 @@
+package gate
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"distqa/internal/obs"
+)
+
+// Statusz is the gateway's operator status (GET /v1/statusz), rendered as a
+// row by `qactl -gate` and `qatop -gate`.
+type Statusz struct {
+	Addr          string   `json:"addr"`
+	Nodes         []string `json:"nodes"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Draining      bool     `json:"draining"`
+	// Admission state and lifetime outcomes.
+	InFlight    int   `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueBound  int   `json:"queue_bound"`
+	QueuePeak   int   `json:"queue_peak"`
+	Admitted    int64 `json:"admitted"`
+	Queued      int64 `json:"queued"`
+	ShedQueue   int64 `json:"shed_queue"`
+	ShedRate    int64 `json:"shed_rate"`
+	Timeouts    int64 `json:"timeouts"`
+	BackendErrs int64 `json:"backend_errors"`
+	BadRequests int64 `json:"bad_requests"`
+	ClientKeys  int   `json:"client_keys"`
+	// SLO is the gateway's evaluated edge objectives.
+	SLO []obs.SLOStatus `json:"slo,omitempty"`
+}
+
+// Status builds the gateway's current Statusz.
+func (g *Gateway) Status() Statusz {
+	addr := g.cfg.Addr
+	if g.ln != nil {
+		addr = g.ln.Addr().String()
+	}
+	return Statusz{
+		Addr:          addr,
+		Nodes:         g.cfg.Nodes,
+		UptimeSeconds: time.Since(g.started).Seconds(),
+		Draining:      g.draining.Load(),
+		InFlight:      g.adm.InFlight(),
+		MaxInflight:   g.adm.Cap(),
+		QueueDepth:    g.adm.QueueDepth(),
+		QueueBound:    g.adm.QueueBound(),
+		QueuePeak:     g.adm.QueuePeak(),
+		Admitted:      g.gm.admitted.Value(),
+		Queued:        g.gm.queued.Value(),
+		ShedQueue:     g.gm.shedQueue.Value(),
+		ShedRate:      g.gm.shedRate.Value(),
+		Timeouts:      g.gm.timeouts.Value(),
+		BackendErrs:   g.gm.backendErrors.Value(),
+		BadRequests:   g.gm.badRequests.Value(),
+		ClientKeys:    g.buckets.Keys(),
+		SLO:           g.slo.Status(),
+	}
+}
+
+func (g *Gateway) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Status())
+}
+
+// FetchStatus pulls a remote gateway's Statusz — the client side of
+// `qactl -gate` and `qatop -gate`. base is the gateway's base URL
+// ("http://host:port").
+func FetchStatus(base string, timeout time.Duration) (*Statusz, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(base + "/v1/statusz")
+	if err != nil {
+		return nil, fmt.Errorf("gate: fetch status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("gate: status endpoint returned %s", resp.Status)
+	}
+	var st Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("gate: parse status: %w", err)
+	}
+	return &st, nil
+}

@@ -160,8 +160,17 @@ func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 	// Per-question deadline budget: every remote call this question makes
 	// (forward, PR sub-tasks, AP sub-tasks), including retries and
 	// backoffs, shares this one allowance. When it runs out, remaining
-	// remote work degrades to local execution immediately.
+	// remote work degrades to local execution immediately. An edge deadline
+	// (Request.TimeoutMS, set by the gateway) clamps the budget further, so
+	// ShardPR scatter legs and PR/AP sub-tasks never outlive the client.
 	budget := start.Add(n.retryPolicy.Budget)
+	var edge time.Time
+	if req.TimeoutMS > 0 {
+		edge = start.Add(time.Duration(req.TimeoutMS) * time.Millisecond)
+		if edge.Before(budget) {
+			budget = edge
+		}
+	}
 	root := n.spans.StartSpan("ask", "", req.Span)
 	ctx := root.Context()
 	if req.Forwarded {
@@ -176,6 +185,16 @@ func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 		if target, ok := n.pickLighterPeer(); ok {
 			fwd := *req
 			fwd.Forwarded = true
+			if !edge.IsZero() {
+				// The forwarded request carries the budget *remaining* at
+				// forward time, so the serving node's clamp lands on the same
+				// wall-clock instant as ours.
+				remaining := time.Until(edge).Milliseconds()
+				if remaining < 1 {
+					remaining = 1
+				}
+				fwd.TimeoutMS = remaining
+			}
 			// The forwarding node always wants the remote tree back: it adopts
 			// the spans into its own ring (flight recorder, local qactl -slow)
 			// and handleAsk re-strips per the original client's WantSpans.
@@ -207,17 +226,41 @@ func (n *Node) askPipeline(req *Request, start time.Time) *Response {
 		}
 	}
 
-	// Admission: at most MaxConcurrent simultaneous questions.
+	// Admission: at most MaxConcurrent simultaneous questions. A question
+	// with an edge deadline waits for a slot only until the deadline — work
+	// the client has already abandoned must not occupy a slot.
 	n.mu.Lock()
 	n.queued++
 	n.mu.Unlock()
 	n.nm.queueDepth.Inc()
-	n.admit <- struct{}{}
+	admitted := true
+	if edge.IsZero() {
+		n.admit <- struct{}{}
+	} else {
+		wait := time.NewTimer(time.Until(edge))
+		select {
+		case n.admit <- struct{}{}:
+			wait.Stop()
+		case <-wait.C:
+			admitted = false
+		}
+	}
 	n.mu.Lock()
 	n.queued--
-	n.questions++
+	if admitted {
+		n.questions++
+	}
 	n.mu.Unlock()
 	n.nm.queueDepth.Dec()
+	if !admitted {
+		rs := root.End()
+		return &Response{
+			Err:       ErrDeadlineMsg,
+			ServedBy:  n.Addr(),
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+			Spans:     n.spans.ByQID(rs.QID),
+		}
+	}
 	n.nm.active.Inc()
 	defer func() {
 		n.mu.Lock()
@@ -488,6 +531,12 @@ func (n *Node) partitionAP(analysis nlp.QuestionAnalysis, accepted []qa.ScoredPa
 	wg.Wait()
 	return groups, workers
 }
+
+// ErrDeadlineMsg is the Response.Err a node returns when a question's edge
+// deadline (Request.TimeoutMS) expires before the question could be served —
+// still queued for admission when the budget ran out. Gateways map it to
+// 504 Gateway Timeout.
+const ErrDeadlineMsg = "edge deadline exceeded"
 
 // Ask sends a question to any node of a live cluster and returns the
 // response (the client side used by cmd/qactl and the examples).

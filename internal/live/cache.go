@@ -83,6 +83,16 @@ func prCacheKey(keywords []string, subs []int) string {
 	return b.String()
 }
 
+// prRefsCacheKey namespaces the serving-side PR partials ([]ParaRef, cached
+// by the shardPR/PR sub-task handlers) away from the coordinator-local
+// partials ([]qa.ScoredParagraph, cached by the local PR path). The two
+// share the cache but not a value type, and a node can play both roles for
+// the same (keywords, subs) — first serving a peer's sub-task, later
+// coordinating the same question itself — so the keys must not collide.
+func prRefsCacheKey(keywords []string, subs []int) string {
+	return "refs|" + prCacheKey(keywords, subs)
+}
+
 // cachedResponse synthesizes the response for an answer-cache hit (or a
 // coalesced follower). It still opens and closes an "ask" root span with a
 // cache marker child, so traces show cache-served questions explicitly, and

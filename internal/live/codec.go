@@ -135,6 +135,7 @@ func appendRequestWire(b *wire.Buffer, req *Request) error {
 	case codecReqAsk:
 		b.Bool(req.Forwarded)
 		b.Bool(req.WantSpans)
+		b.Int64(req.TimeoutMS)
 		b.String(req.Question)
 	case codecReqPR:
 		appendStrings(b, req.Keywords)
@@ -211,6 +212,7 @@ func decodeRequestWireInto(r *wire.Reader, req *Request) error {
 	case codecReqAsk:
 		req.Forwarded = r.Bool()
 		req.WantSpans = r.Bool()
+		req.TimeoutMS = r.Int64()
 		req.Question = r.String()
 	case codecReqPR:
 		req.Keywords = decodeStrings(r)

@@ -108,7 +108,7 @@ func loadReportsEqual(a, b *LoadReport) bool {
 func requestsEqual(a, b *Request) bool {
 	return a.Kind == b.Kind && a.Span == b.Span &&
 		a.Question == b.Question && a.Forwarded == b.Forwarded &&
-		a.WantSpans == b.WantSpans &&
+		a.WantSpans == b.WantSpans && a.TimeoutMS == b.TimeoutMS &&
 		reflect.DeepEqual(a.Keywords, b.Keywords) &&
 		intsEqual(a.Subs, b.Subs) &&
 		a.Shard == b.Shard && a.Epoch == b.Epoch &&
@@ -253,6 +253,7 @@ func codecTestRequests() map[string]*Request {
 			Span: obs.SpanContext{QID: 42, Span: 7}},
 		"ask-forwarded": {Kind: kindAsk, Question: "who?", Forwarded: true},
 		"ask-traced":    {Kind: kindAsk, Question: "why?", WantSpans: true},
+		"ask-deadline":  {Kind: kindAsk, Question: "when?", TimeoutMS: 1500},
 		"ask-empty":     {Kind: kindAsk},
 		"pr": {Kind: kindPRSubtask, Span: obs.SpanContext{QID: 1, Span: 2},
 			Keywords: []string{"capital", "france"}, Subs: []int{0, 2, 5}},

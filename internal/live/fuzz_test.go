@@ -35,6 +35,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Kind: kindAsk, Question: "what is the capital of France?"},
 		{Kind: kindAsk, Question: "who?", Forwarded: true,
 			Span: obs.SpanContext{QID: 42, Span: 7}},
+		{Kind: kindAsk, Question: "when?", TimeoutMS: 1500},
 		{Kind: kindPRSubtask, Keywords: []string{"capital", "france"}, Subs: []int{0, 2}},
 		{Kind: kindAPSubtask, Keywords: []string{"capital"}, AnswerType: 1,
 			ParaRefs: []ParaRef{{ID: 7, Matched: 2, Score: 3.5}}},

@@ -754,10 +754,12 @@ func (n *Node) handlePRSubtask(req *Request) *Response {
 	n.nm.prRecv.Inc()
 	span := n.spans.StartSpan("pr-subtask", obs.StagePR, req.Span)
 	analysis := nlp.QuestionAnalysis{Keywords: req.Keywords}
-	// PR partial cache, keyed like the local path: a repeated question fans
-	// the same (keywords, assignment) sub-task out to this node, and the
-	// refs are pure functions of the immutable replica.
-	key := prCacheKey(req.Keywords, req.Subs)
+	// PR partial cache: a repeated question fans the same (keywords,
+	// assignment) sub-task out to this node, and the refs are pure functions
+	// of the immutable replica. Keyed in the refs namespace — the local PR
+	// path caches []qa.ScoredParagraph under the bare key, and a node can
+	// play both roles for the same sub-task.
+	key := prRefsCacheKey(req.Keywords, req.Subs)
 	if v, ok := n.prCache.Get(key); ok {
 		n.nm.cachePRHits.Inc()
 		return &Response{ParaRefs: v.([]ParaRef), Spans: []obs.Span{span.End()}}

@@ -130,6 +130,15 @@ type Request struct {
 	// Forwarded marks a question already migrated once (no re-forwarding,
 	// preventing routing loops).
 	Forwarded bool
+	// TimeoutMS is the edge deadline, in milliseconds of budget remaining
+	// when the request was sent (0 = no edge deadline; the node's retry
+	// budget alone bounds remote work). A relative budget rather than an
+	// absolute wall-clock instant, so it survives clock skew between the
+	// gateway and the serving node. The ask pipeline clamps its per-question
+	// deadline budget to it — forwards, ShardPR scatter legs and PR/AP
+	// sub-tasks all inherit the clamped budget — and a question still queued
+	// for admission when the deadline passes is failed without running.
+	TimeoutMS int64
 	// WantSpans asks the serving node to ship the question's span tree back
 	// in Response.Spans. The tree exists on the server either way (flight
 	// recorder, SLO windows, `qactl -slow`); shipping it is tracing payload —

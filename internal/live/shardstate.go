@@ -333,7 +333,7 @@ func (n *Node) handleShardPR(req *Request) *Response {
 	}
 	span := n.spans.StartSpan("shardpr-subtask", obs.StagePR, req.Span)
 	analysis := nlp.QuestionAnalysis{Keywords: req.Keywords}
-	key := prCacheKey(req.Keywords, req.Subs)
+	key := prRefsCacheKey(req.Keywords, req.Subs)
 	epoch := n.currentEpoch()
 	if v, ok := n.prCache.Get(key); ok {
 		n.nm.cachePRHits.Inc()

@@ -113,7 +113,7 @@ func CheckComparisonRegression(baseline, current *Report, tolerance float64) []s
 // path, checked in CI against a freshly generated report. They are ratios
 // between benchmarks measured in the same run, so they hold across hardware;
 // each floor is set conservatively below the figures in the committed
-// BENCH_pr7.json to absorb CI noise.
+// BENCH_pr8.json to absorb CI noise.
 var floors = []struct {
 	comparison string
 	minSpeedup float64 // 0 = not checked
@@ -169,6 +169,12 @@ var floors = []struct {
 	// path, so unlike the twin comparison above this ratio survives
 	// multi-proc runners.
 	{comparison: "ask: selective vs sharded", minSpeedup: 1.3, minAllocs: 1.3},
+	// The front door's overhead bound (PR-8): a cache-hit ask through the
+	// full HTTP gateway — JSON decode, token bucket, admission, mux hop —
+	// must stay within 50x of the same cache hit over direct pooled RPC
+	// (committed figure ~0.1–0.3x; the floor catches an edge stack that
+	// serializes, double-dials, or leaks multi-ms sleeps into the hot path).
+	{comparison: "ask: gateway vs direct (cached)", minSpeedup: 0.02},
 }
 
 // SLORow is one latency objective over a benchmark's sampled per-op p99 —
@@ -190,6 +196,10 @@ func DefaultSLOs() []SLORow {
 		{Benchmark: "ask_cached", MaxP99: 250 * time.Millisecond},
 		{Benchmark: "rpc_pooled", MaxP99: 250 * time.Millisecond},
 		{Benchmark: "codec_wire_roundtrip", MaxP99: 50 * time.Millisecond},
+		// The edge twin of ask_cached: the same cache hit through the whole
+		// HTTP gateway stack. Generous for the same reason the others are —
+		// it trips on a lost cache or an accidental sleep, not machine speed.
+		{Benchmark: "gate_ask", MaxP99: 500 * time.Millisecond},
 	}
 }
 
@@ -214,6 +224,54 @@ func CheckSLOs(r *Report, rows []SLORow) []string {
 			violations = append(violations, fmt.Sprintf(
 				"slo: %s p99 %.2fms exceeds objective %.2fms (%d samples)",
 				row.Benchmark, b.P99Ms, maxMs, b.LatencySamples))
+		}
+	}
+	return violations
+}
+
+// CheckLoad validates the report's open-loop gateway load rows (PR-8). The
+// assertions are structural, not wall-clock: regimes were chosen relative to
+// the run's own measured capacity, so they hold on any machine. An "over"
+// row must actually shed (admission control engaged), keep the queue within
+// its configured bound (bounded, not unbounded, buffering), and keep the
+// admitted p99 under the bound computed from the measured service time —
+// the load-shedding contract: saturation degrades throughput, never the
+// latency of what is admitted. A "sub" row must shed ~nothing and achieve
+// real throughput. A report with no load rows is itself a violation, so the
+// harness cannot be silently unplugged.
+func CheckLoad(r *Report) []string {
+	if len(r.Load) == 0 {
+		return []string{"load: no gateway load rows in report"}
+	}
+	var violations []string
+	for _, l := range r.Load {
+		if l.OK == 0 || l.AchievedQPS <= 0 {
+			violations = append(violations, fmt.Sprintf(
+				"load %s: achieved nothing (%d ok of %d sent)", l.Name, l.OK, l.Sent))
+			continue
+		}
+		switch l.Regime {
+		case "sub":
+			if l.ShedRate > 0.01 {
+				violations = append(violations, fmt.Sprintf(
+					"load %s: sub-threshold run shed %.1f%% (want ~0%%)", l.Name, l.ShedRate*100))
+			}
+		case "over":
+			if l.Shed == 0 {
+				violations = append(violations, fmt.Sprintf(
+					"load %s: over-threshold run shed nothing — admission control never engaged", l.Name))
+			}
+			if l.QueuePeak > l.QueueBound {
+				violations = append(violations, fmt.Sprintf(
+					"load %s: queue peak %d exceeded its bound %d", l.Name, l.QueuePeak, l.QueueBound))
+			}
+			if l.P99BoundMs > 0 && l.P99Ms > l.P99BoundMs {
+				violations = append(violations, fmt.Sprintf(
+					"load %s: admitted p99 %.2fms exceeds computed bound %.2fms (service %.2fms)",
+					l.Name, l.P99Ms, l.P99BoundMs, l.ServiceMs))
+			}
+		default:
+			violations = append(violations, fmt.Sprintf("load %s: unknown regime %q", l.Name, l.Regime))
 		}
 	}
 	return violations

@@ -59,6 +59,41 @@ type Comparison struct {
 	AllocRatio float64 `json:"alloc_ratio"`
 }
 
+// LoadRow is one open-loop load run against the HTTP gateway (PR-8): the
+// admission-control acceptance evidence, gated structurally by CheckLoad
+// rather than by wall-clock diffs — the regimes are set relative to the
+// machine's measured capacity, so the assertions hold on any hardware.
+type LoadRow struct {
+	// Name labels the run; Regime is "sub" (offered rate well under
+	// capacity — shed must be ~0) or "over" (offered rate well over — shed
+	// must engage, the queue must stay within its bound, and admitted p99
+	// must stay under P99BoundMs).
+	Name     string `json:"name"`
+	Regime   string `json:"regime"`
+	Arrivals string `json:"arrivals"`
+	// Offered vs achieved throughput: equal until saturation, divergent after.
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Sent        int     `json:"sent"`
+	OK          int     `json:"ok"`
+	Shed        int     `json:"shed"`
+	Timeouts    int     `json:"timeouts"`
+	Errors      int     `json:"errors"`
+	ShedRate    float64 `json:"shed_rate"`
+	// Latency quantiles of admitted (200) requests, ms.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Queue evidence: peak admission-queue depth against its configured bound.
+	QueuePeak  int `json:"queue_peak"`
+	QueueBound int `json:"queue_bound"`
+	// ServiceMs is the serially measured per-ask service time the regimes
+	// were derived from; P99BoundMs is the admitted-latency bound computed
+	// from it (service · (1 + queue/servers) · slack), checked on "over" rows.
+	ServiceMs  float64 `json:"service_ms"`
+	P99BoundMs float64 `json:"p99_bound_ms,omitempty"`
+	DurationS  float64 `json:"duration_s"`
+}
+
 // Report is the full perf run output.
 type Report struct {
 	Schema      string       `json:"schema"`
@@ -69,6 +104,8 @@ type Report struct {
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Benchmarks  []Benchmark  `json:"benchmarks"`
 	Comparisons []Comparison `json:"comparisons"`
+	// Load holds the gateway load runs (omitted by pre-PR-8 baselines).
+	Load []LoadRow `json:"load,omitempty"`
 }
 
 // NewReport returns a Report stamped with the current environment.
@@ -225,6 +262,13 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintln(w, "  speedups:")
 		for _, c := range r.Comparisons {
 			fmt.Fprintf(w, "    %-32s %6.2fx  (allocs %5.1fx)\n", c.Name, c.Speedup, c.AllocRatio)
+		}
+	}
+	if len(r.Load) > 0 {
+		fmt.Fprintln(w, "  gateway load (open loop):")
+		for _, l := range r.Load {
+			fmt.Fprintf(w, "    %-14s %-4s offered %7.1f qps  achieved %7.1f  shed %5.1f%%  p99 %8.2fms  queue %d/%d\n",
+				l.Name, l.Regime, l.OfferedQPS, l.AchievedQPS, l.ShedRate*100, l.P99Ms, l.QueuePeak, l.QueueBound)
 		}
 	}
 }

@@ -63,14 +63,24 @@ func TestSuiteSmoke(t *testing.T) {
 		"ask_cold", "ask_cached",
 		"ask_full_replica", "ask_sharded",
 		"ask_sharded_scatter", "ask_sharded_selective",
+		"gate_ask",
 	}
 	for _, name := range want {
 		if _, ok := report.find(name); !ok {
 			t.Fatalf("suite report missing benchmark %q", name)
 		}
 	}
-	if len(report.Comparisons) != 10 {
-		t.Fatalf("comparisons = %d, want 10", len(report.Comparisons))
+	if len(report.Comparisons) != 11 {
+		t.Fatalf("comparisons = %d, want 11", len(report.Comparisons))
+	}
+	// The open-loop gateway rows must be present and structurally sound; the
+	// regimes are derived from the run's own calibrated capacity, so the
+	// CheckLoad gate is meaningful even on a smoke budget.
+	if len(report.Load) != 2 {
+		t.Fatalf("load rows = %d, want 2 (sub + over)", len(report.Load))
+	}
+	if v := CheckLoad(report); len(v) != 0 {
+		t.Fatalf("load gate violations on smoke run: %v", v)
 	}
 	for _, c := range report.Comparisons {
 		if c.Speedup <= 0 {

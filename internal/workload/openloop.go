@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Open-loop arrival processes (PR-8). The paper's Section 6.1 protocol is a
+// closed startup sequence: 8·N questions, then silence. A production front
+// door sees the opposite — requests arrive on their own clock, independent of
+// completions — so the load harness behind `qabench -load` generates
+// open-loop schedules: Poisson (memoryless, the M in M/G/k) and bursty
+// (an on/off modulated Poisson, the shape *Dispatching Odyssey* measures in
+// real cluster traces), paired with heavy-tailed service demand drawn from
+// the question-complexity profile.
+
+// PoissonArrivals returns n arrival times (seconds) starting at start with
+// exponentially distributed inter-arrival gaps of mean 1/rate — a Poisson
+// process of the given rate (arrivals per second). Deterministic for a seed.
+func PoissonArrivals(seed int64, rate float64, n int, start float64) []float64 {
+	if rate <= 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	at := start
+	for i := range out {
+		out[i] = at
+		at += rng.ExpFloat64() / rate
+	}
+	return out
+}
+
+// BurstArrivals returns n arrival times from a two-phase modulated Poisson
+// process with the same long-run average rate as PoissonArrivals(rate): time
+// alternates between an "on" phase lasting onFrac·period at burst·rate and an
+// "off" phase covering the rest of each period at a compensating low rate
+// (floored at a trickle so the off phase is quiet, not silent). burst ≤ 1 or
+// onFrac outside (0,1) degrades to plain Poisson. The result is the bursty,
+// autocorrelated shape real front-door traffic has: the mean matches, the
+// variance does not.
+func BurstArrivals(seed int64, rate, burst, onFrac, period float64, n int, start float64) []float64 {
+	if rate <= 0 || n <= 0 {
+		return nil
+	}
+	if burst <= 1 || onFrac <= 0 || onFrac >= 1 || period <= 0 {
+		return PoissonArrivals(seed, rate, n, start)
+	}
+	onRate := rate * burst
+	// Solve onFrac·onRate + (1-onFrac)·offRate = rate for the off phase.
+	offRate := (rate - onFrac*onRate) / (1 - onFrac)
+	if min := rate / 100; offRate < min {
+		offRate = min
+	}
+	// Lewis–Shedler thinning: candidates at the peak (on) rate, each accepted
+	// with probability r(t)/onRate for the phase it lands in. Drawing gaps at
+	// the current phase's rate instead would let one long off-phase gap leap
+	// whole on-phases — the process would degenerate to the trickle rate.
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	at := start
+	for len(out) < n {
+		at += rng.ExpFloat64() / onRate
+		r := offRate
+		if phase := math.Mod(at-start, period); phase < onFrac*period {
+			r = onRate
+		}
+		if rng.Float64()*onRate <= r {
+			out = append(out, at)
+		}
+	}
+	return out
+}
+
+// Burstiness is the index of dispersion of the inter-arrival gaps
+// (variance/mean²·… — concretely the squared coefficient of variation). A
+// Poisson process has CV² ≈ 1; an on/off burst process has CV² > 1. Used by
+// tests and the load report to label a schedule's shape.
+func Burstiness(arrivals []float64) float64 {
+	if len(arrivals) < 3 {
+		return 0
+	}
+	gaps := make([]float64, len(arrivals)-1)
+	var sum float64
+	for i := 1; i < len(arrivals); i++ {
+		gaps[i-1] = arrivals[i] - arrivals[i-1]
+		sum += gaps[i-1]
+	}
+	mean := sum / float64(len(gaps))
+	if mean <= 0 {
+		return 0
+	}
+	var varSum float64
+	for _, g := range gaps {
+		d := g - mean
+		varSum += d * d
+	}
+	return varSum / float64(len(gaps)) / (mean * mean)
+}
+
+// HeavyTailedPick returns n questions sampled (with replacement) with
+// probability proportional to (1+Accepted)^alpha — service demand tilted
+// toward the complex tail of the profile. alpha = 0 is uniform; alpha ≈ 2
+// makes the handful of 20+-paragraph questions dominate the work while most
+// arrivals stay cheap, the heavy-tailed demand distribution open-loop load
+// tests need (a closed picker re-weights toward cheap questions because they
+// finish faster; an open-loop one must encode the tail in the sample itself).
+// Call Profile first; deterministic for a seed.
+func (s Set) HeavyTailedPick(seed int64, n int, alpha float64) []Question {
+	if len(s.Questions) == 0 || n <= 0 {
+		return nil
+	}
+	// Cumulative weight table, then n binary searches.
+	cum := make([]float64, len(s.Questions))
+	total := 0.0
+	for i, q := range s.Questions {
+		total += math.Pow(1+float64(q.Accepted), alpha)
+		cum[i] = total
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Question, n)
+	for i := range out {
+		u := rng.Float64() * total
+		j := sort.SearchFloat64s(cum, u)
+		if j >= len(cum) {
+			j = len(cum) - 1
+		}
+		out[i] = s.Questions[j]
+	}
+	return out
+}

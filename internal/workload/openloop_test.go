@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoissonArrivalsMeanGap(t *testing.T) {
+	const rate, n = 50.0, 5000
+	at := PoissonArrivals(7, rate, n, 0)
+	if len(at) != n {
+		t.Fatalf("got %d arrivals, want %d", len(at), n)
+	}
+	for i := 1; i < n; i++ {
+		if at[i] < at[i-1] {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, at[i], at[i-1])
+		}
+	}
+	// Mean inter-arrival gap ≈ 1/rate within 10% over 5000 samples.
+	meanGap := (at[n-1] - at[0]) / float64(n-1)
+	if want := 1 / rate; math.Abs(meanGap-want)/want > 0.10 {
+		t.Fatalf("mean gap %v, want ≈ %v", meanGap, want)
+	}
+	// Deterministic for a seed; different for another.
+	again := PoissonArrivals(7, rate, n, 0)
+	for i := range at {
+		if at[i] != again[i] {
+			t.Fatalf("seeded schedule not deterministic at %d", i)
+		}
+	}
+	other := PoissonArrivals(8, rate, n, 0)
+	if at[1] == other[1] && at[2] == other[2] && at[3] == other[3] {
+		t.Fatal("different seeds produced the same schedule")
+	}
+	if PoissonArrivals(1, 0, 10, 0) != nil || PoissonArrivals(1, 10, 0, 0) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+}
+
+func TestBurstArrivalsShape(t *testing.T) {
+	const rate, n = 50.0, 5000
+	poisson := PoissonArrivals(3, rate, n, 0)
+	burst := BurstArrivals(3, rate, 4, 0.25, 1.0, n, 0)
+
+	// Same long-run average rate (within 15%)...
+	pMean := (poisson[n-1] - poisson[0]) / float64(n-1)
+	bMean := (burst[n-1] - burst[0]) / float64(n-1)
+	if math.Abs(bMean-pMean)/pMean > 0.15 {
+		t.Fatalf("burst mean gap %v far from poisson %v: rates should match", bMean, pMean)
+	}
+	// ...but visibly more dispersion: CV² ≈ 1 for Poisson, > 1.5 for bursts.
+	pB, bB := Burstiness(poisson), Burstiness(burst)
+	if pB < 0.8 || pB > 1.3 {
+		t.Fatalf("poisson burstiness %v, want ≈ 1", pB)
+	}
+	if bB < 1.5 {
+		t.Fatalf("burst burstiness %v, want > 1.5 (more dispersed than poisson)", bB)
+	}
+
+	// Degenerate burst parameters degrade to plain Poisson.
+	for _, got := range [][]float64{
+		BurstArrivals(3, rate, 1, 0.25, 1.0, n, 0), // burst ≤ 1
+		BurstArrivals(3, rate, 4, 0, 1.0, n, 0),    // onFrac ≤ 0
+		BurstArrivals(3, rate, 4, 1.0, 1.0, n, 0),  // onFrac ≥ 1
+		BurstArrivals(3, rate, 4, 0.25, 0, n, 0),   // period ≤ 0
+	} {
+		for i := range got {
+			if got[i] != poisson[i] {
+				t.Fatal("degenerate burst parameters must degrade to PoissonArrivals")
+			}
+		}
+	}
+}
+
+func TestBurstinessDegenerate(t *testing.T) {
+	if Burstiness(nil) != 0 || Burstiness([]float64{1, 2}) != 0 {
+		t.Fatal("short schedules have burstiness 0")
+	}
+	// A perfectly regular schedule has zero dispersion.
+	if got := Burstiness([]float64{0, 1, 2, 3, 4}); got != 0 {
+		t.Fatalf("regular schedule burstiness %v, want 0", got)
+	}
+}
+
+func TestHeavyTailedPick(t *testing.T) {
+	s := Set{Questions: []Question{
+		{ID: 0, Text: "cheap a", Accepted: 0},
+		{ID: 1, Text: "cheap b", Accepted: 1},
+		{ID: 2, Text: "complex", Accepted: 40},
+	}}
+	picks := s.HeavyTailedPick(11, 4000, 2)
+	if len(picks) != 4000 {
+		t.Fatalf("got %d picks, want 4000", len(picks))
+	}
+	counts := map[int]int{}
+	for _, q := range picks {
+		counts[q.ID]++
+	}
+	// Weight (1+40)² dwarfs (1+0)² and (1+1)²: the complex question must
+	// dominate the sample.
+	if counts[2] < counts[0]+counts[1] {
+		t.Fatalf("alpha=2 pick not tilted to the tail: %v", counts)
+	}
+	// alpha=0 is uniform-ish: every question shows up, none dominates 60%.
+	uni := map[int]int{}
+	for _, q := range s.HeavyTailedPick(11, 4000, 0) {
+		uni[q.ID]++
+	}
+	for id := 0; id < 3; id++ {
+		if uni[id] == 0 {
+			t.Fatalf("alpha=0 never picked question %d: %v", id, uni)
+		}
+		if uni[id] > 2400 {
+			t.Fatalf("alpha=0 pick is skewed: %v", uni)
+		}
+	}
+	// Deterministic for a seed.
+	again := s.HeavyTailedPick(11, 100, 2)
+	first := s.HeavyTailedPick(11, 100, 2)
+	for i := range again {
+		if again[i].ID != first[i].ID {
+			t.Fatal("seeded pick not deterministic")
+		}
+	}
+	if (Set{}).HeavyTailedPick(1, 10, 2) != nil {
+		t.Fatal("empty set must pick nil")
+	}
+}
