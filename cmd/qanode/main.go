@@ -53,6 +53,7 @@ func main() {
 	noRouting := flag.Bool("no-selective-routing", false, "pin scatter-gather to full fan-out: no term summaries are built, gossiped or consulted (used with -shards)")
 	summaryBytes := flag.Int("summary-filter-bytes", 0, "cap each gossiped shard summary's vocabulary filter to this many bytes (0 = default)")
 	summaryTerms := flag.Int("summary-top-terms", 0, "cap each gossiped shard summary's document-frequency sketch to this many terms (0 = default)")
+	compressedIndex := flag.Bool("compressed-index", true, "use the block-compressed postings core; snapshots load via mmap so indexes larger than RAM page in lazily (false selects the plain sorted-slice core)")
 	flag.Parse()
 
 	var cfg corpus.Config
@@ -112,13 +113,25 @@ func main() {
 	}
 
 	fmt.Printf("qanode: building %s collection replica...\n", *collection)
+	ixOpts := index.IndexOptions{Compressed: *compressedIndex}
 	if *cacheDir != "" {
-		engine, err := engineWithCache(cfg, *cacheDir, holdSubs, nodeCfg.Shard)
+		engine, err := engineWithCache(cfg, *cacheDir, holdSubs, nodeCfg.Shard, ixOpts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qanode: %v\n", err)
 			os.Exit(1)
 		}
 		nodeCfg.Engine = engine
+	} else if !*compressedIndex {
+		// No snapshot cache, non-default core: build the engine here so the
+		// node does not fall back to the default (compressed) build.
+		coll := corpus.Generate(cfg)
+		var set *index.Set
+		if holdSubs != nil {
+			set = index.BuildSubsetWith(coll, holdSubs, ixOpts)
+		} else {
+			set = index.BuildAllWith(coll, ixOpts)
+		}
+		nodeCfg.Engine = qa.NewEngine(coll, set)
 	}
 	node, err := live.StartNode(nodeCfg)
 	if err != nil {
@@ -165,27 +178,33 @@ func main() {
 // cacheDir when one matches the collection and writing one otherwise. A
 // sharded node (holdSubs non-nil) snapshots only its shard-scoped subset,
 // under a name keyed by the placement so a topology change rebuilds.
-func engineWithCache(cfg corpus.Config, cacheDir string, holdSubs []int, sc live.ShardConfig) (*qa.Engine, error) {
+// Compressed-core snapshots load via mmap, so posting blocks page in on
+// demand and stay evictable — an index bigger than RAM remains serviceable.
+// Pre-DQIX (gob) snapshots fail to load and are rebuilt in place.
+func engineWithCache(cfg corpus.Config, cacheDir string, holdSubs []int, sc live.ShardConfig, opts index.IndexOptions) (*qa.Engine, error) {
 	coll := corpus.Generate(cfg)
 	name := fmt.Sprintf("%s-%d.idx", cfg.Name, cfg.Seed)
 	if holdSubs != nil {
 		name = fmt.Sprintf("%s-%d-k%dr%dn%dof%d.idx", cfg.Name, cfg.Seed, sc.K, sc.R, sc.NodeIndex, sc.ClusterSize)
 	}
 	path := filepath.Join(cacheDir, name)
-	if f, err := os.Open(path); err == nil {
-		set, err := index.Load(f, coll)
-		f.Close()
+	if _, err := os.Stat(path); err == nil {
+		set, err := index.LoadMappedWith(path, coll, opts)
 		if err == nil {
-			fmt.Printf("qanode: loaded index snapshot %s\n", path)
+			how := "mmap"
+			if !opts.Compressed {
+				how = "decoded to plain core"
+			}
+			fmt.Printf("qanode: loaded index snapshot %s (%s)\n", path, how)
 			return qa.NewEngine(coll, set), nil
 		}
 		fmt.Printf("qanode: stale snapshot %s (%v); rebuilding\n", path, err)
 	}
 	var set *index.Set
 	if holdSubs != nil {
-		set = index.BuildSubset(coll, holdSubs)
+		set = index.BuildSubsetWith(coll, holdSubs, opts)
 	} else {
-		set = index.BuildAll(coll)
+		set = index.BuildAllWith(coll, opts)
 	}
 	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return nil, err

@@ -1,0 +1,311 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"distqa/internal/corpus"
+)
+
+// equivCorpus generates a corpus sized so document frequencies cross the
+// block boundary: multi-block lists, skip tables and the galloping
+// block-seek all get exercised, not just the single-block fast path.
+func equivCorpus(seed int64, docsPerSub int) *corpus.Collection {
+	cfg := corpus.Tiny()
+	cfg.Seed = seed
+	cfg.Name = fmt.Sprintf("comp-equiv-%d-%d", seed, docsPerSub)
+	cfg.DocsPerSub = docsPerSub
+	return corpus.Generate(cfg)
+}
+
+// vocabOf returns the sorted stems of an index (test-side vocabulary for
+// random keyword sampling).
+func vocabOf(ix *Index) []string {
+	var stems []string
+	ix.EachTerm(func(stem string, df int) { stems = append(stems, stem) })
+	sort.Strings(stems)
+	return stems
+}
+
+// randomKeywords samples a keyword set from vocab: mostly real stems, with
+// occasional nonsense terms, duplicates and empty strings mixed in — the
+// full input surface RetrieveParagraphs accepts.
+func randomKeywords(rng *rand.Rand, vocab []string) []string {
+	n := 1 + rng.Intn(4)
+	kws := make([]string, 0, n+2)
+	for i := 0; i < n; i++ {
+		kws = append(kws, vocab[rng.Intn(len(vocab))])
+	}
+	if rng.Intn(4) == 0 {
+		kws = append(kws, "zzz-no-such-stem")
+	}
+	if rng.Intn(4) == 0 {
+		kws = append(kws, kws[rng.Intn(len(kws))]) // duplicate
+	}
+	if rng.Intn(8) == 0 {
+		kws = append(kws, "")
+	}
+	rng.Shuffle(len(kws), func(i, j int) { kws[i], kws[j] = kws[j], kws[i] })
+	return kws
+}
+
+// requireIndexEquiv drives the same keyword sets through a plain and a
+// compressed index and requires bit-identical observables: retrieved
+// paragraphs, Stats, DocFreq, Terms and the EachTerm enumeration.
+func requireIndexEquiv(t *testing.T, plain, comp *Index, rng *rand.Rand, queries int) {
+	t.Helper()
+	if plain.Terms() != comp.Terms() {
+		t.Fatalf("terms differ: plain %d, compressed %d", plain.Terms(), comp.Terms())
+	}
+	pTerms := map[string]int{}
+	plain.EachTerm(func(stem string, df int) { pTerms[stem] = df })
+	comp.EachTerm(func(stem string, df int) {
+		if pTerms[stem] != df {
+			t.Fatalf("EachTerm df of %q: plain %d, compressed %d", stem, pTerms[stem], df)
+		}
+		delete(pTerms, stem)
+	})
+	if len(pTerms) != 0 {
+		t.Fatalf("EachTerm vocabulary differs: %d stems only in plain", len(pTerms))
+	}
+
+	vocab := vocabOf(plain)
+	for _, stem := range vocab {
+		if plain.DocFreq(stem) != comp.DocFreq(stem) {
+			t.Fatalf("DocFreq(%q): plain %d, compressed %d", stem, plain.DocFreq(stem), comp.DocFreq(stem))
+		}
+	}
+	if comp.DocFreq("zzz-no-such-stem") != 0 {
+		t.Fatal("compressed DocFreq of unknown stem != 0")
+	}
+
+	for q := 0; q < queries; q++ {
+		kws := randomKeywords(rng, vocab)
+		r1, s1 := plain.RetrieveParagraphs(kws)
+		r2, s2 := comp.RetrieveParagraphs(kws)
+		if s1 != s2 {
+			t.Fatalf("stats diverge for %v:\nplain:      %+v\ncompressed: %+v", kws, s1, s2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("retrieval diverges for %v: %d vs %d paragraphs", kws, len(r1), len(r2))
+		}
+		// Re-ask occasionally: the relaxation memo must not change anything
+		// observable on either core.
+		if q%5 == 0 {
+			r3, s3 := comp.RetrieveParagraphs(kws)
+			if s3 != s1 || !reflect.DeepEqual(r3, r1) {
+				t.Fatalf("compressed cache hit diverges for %v", kws)
+			}
+		}
+	}
+}
+
+// TestCompressedPlainEquivalenceProperty is the core property battery:
+// random corpora × random keyword sets, plain core as oracle. One corpus is
+// big enough that frequent terms span several blocks.
+func TestCompressedPlainEquivalenceProperty(t *testing.T) {
+	cases := []struct {
+		seed int64
+		docs int
+	}{
+		{11, 30},  // all single-block lists
+		{12, 300}, // multi-block lists with skip tables
+		{13, 160}, // straddles the boundary
+	}
+	if testing.Short() {
+		cases = cases[1:2]
+	}
+	for _, tc := range cases {
+		coll := equivCorpus(tc.seed, tc.docs)
+		rng := rand.New(rand.NewSource(tc.seed * 997))
+		for sub := 0; sub < len(coll.Subs); sub++ {
+			plain := BuildWith(coll, sub, IndexOptions{Compressed: false})
+			comp := BuildWith(coll, sub, IndexOptions{Compressed: true})
+			if !comp.Compressed() || plain.Compressed() {
+				t.Fatal("Compressed() does not report the selected core")
+			}
+			requireIndexEquiv(t, plain, comp, rng, 40)
+		}
+	}
+}
+
+// TestCompressedSmallerThanPlain pins the point of the format: the
+// compressed footprint must beat the plain one (the hard ≥2x product floor
+// lives in the perf gate over the benchmark corpus; here we require strict
+// improvement on every generated corpus).
+func TestCompressedSmallerThanPlain(t *testing.T) {
+	for _, docs := range []int{30, 300} {
+		coll := equivCorpus(21, docs)
+		plain := BuildAllWith(coll, IndexOptions{Compressed: false})
+		comp := BuildAllWith(coll, IndexOptions{Compressed: true})
+		if comp.IndexBytes() >= plain.IndexBytes() {
+			t.Fatalf("docs/sub=%d: compressed %d B not smaller than plain %d B",
+				docs, comp.IndexBytes(), plain.IndexBytes())
+		}
+	}
+}
+
+// TestSaveDeterministicAcrossCores: the container is canonical — saving a
+// plain-core set and a compressed-core set of the same collection must emit
+// byte-identical files (the on-disk format is always compressed; the core
+// choice is a load-time decision).
+func TestSaveDeterministicAcrossCores(t *testing.T) {
+	coll := equivCorpus(31, 160)
+	plain := BuildAllWith(coll, IndexOptions{Compressed: false})
+	comp := BuildAllWith(coll, IndexOptions{Compressed: true})
+	var b1, b2, b3 bytes.Buffer
+	if err := plain.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Save(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("plain-core and compressed-core saves differ")
+	}
+	if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+		t.Fatal("repeated saves differ")
+	}
+}
+
+// TestLoadBothCoresMatchFreshBuilds: loading a snapshot into either core is
+// equivalent to building that core from the collection — including the
+// IndexBytes figure, which is recomputed at load (the old format persisted
+// the build-time figure; this is the regression test for that drift).
+func TestLoadBothCoresMatchFreshBuilds(t *testing.T) {
+	coll := equivCorpus(41, 300)
+	built := BuildAll(coll)
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for _, compressed := range []bool{true, false} {
+		opts := IndexOptions{Compressed: compressed}
+		fresh := BuildAllWith(coll, opts)
+		loaded, err := LoadWith(bytes.NewReader(buf.Bytes()), coll, opts)
+		if err != nil {
+			t.Fatalf("load compressed=%v: %v", compressed, err)
+		}
+		for sub := 0; sub < fresh.Len(); sub++ {
+			f, l := fresh.Sub(sub), loaded.Sub(sub)
+			if l.Compressed() != compressed {
+				t.Fatalf("loaded core is not compressed=%v", compressed)
+			}
+			if f.IndexBytes() != l.IndexBytes() {
+				t.Fatalf("compressed=%v sub %d: loaded IndexBytes %d != fresh %d",
+					compressed, sub, l.IndexBytes(), f.IndexBytes())
+			}
+			requireIndexEquiv(t, f, l, rng, 10)
+		}
+		if fresh.IndexBytes() != loaded.IndexBytes() {
+			t.Fatalf("set IndexBytes drifts on load: %d != %d", loaded.IndexBytes(), fresh.IndexBytes())
+		}
+	}
+}
+
+// TestLoadMappedEquivalence: the mmap path must behave exactly like the
+// stream path, and Close must release the mapping without disturbing
+// anything queried before it.
+func TestLoadMappedEquivalence(t *testing.T) {
+	coll := equivCorpus(51, 300)
+	built := BuildSubset(coll, []int{0, 2})
+	path := filepath.Join(t.TempDir(), "snap.idx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mapped, err := LoadMapped(path, coll)
+	if err != nil {
+		t.Fatalf("LoadMapped: %v", err)
+	}
+	if got := mapped.Globals(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("mapped globals = %v", got)
+	}
+	rng := rand.New(rand.NewSource(51))
+	for _, sub := range []int{0, 2} {
+		requireIndexEquiv(t, built.Sub(sub), mapped.Sub(sub), rng, 15)
+		if built.Sub(sub).IndexBytes() != mapped.Sub(sub).IndexBytes() {
+			t.Fatalf("sub %d: mapped IndexBytes %d != built %d",
+				sub, mapped.Sub(sub).IndexBytes(), built.Sub(sub).IndexBytes())
+		}
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	// A built (non-mapped) set's Close is a no-op.
+	if err := built.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContainerRejectsCorruption walks a valid container flipping bytes and
+// truncating at sampled offsets: every mutation must either fail loading
+// with an error or load successfully — never panic, never read out of
+// bounds. (Mutations that only touch padding or redundant varint slack can
+// legitimately still load.)
+func TestContainerRejectsCorruption(t *testing.T) {
+	coll := equivCorpus(61, 160)
+	built := BuildSubset(coll, []int{1})
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	// Truncations.
+	for _, cut := range []int{0, 3, 4, 8, 15, 16, 17, len(img) / 2, len(img) - 1} {
+		if cut > len(img) {
+			continue
+		}
+		if _, err := Load(bytes.NewReader(img[:cut]), coll); err == nil && cut < len(img) {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Byte flips, sampled across the whole image.
+	step := len(img)/257 + 1
+	mut := make([]byte, len(img))
+	for off := 0; off < len(img); off += step {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			copy(mut, img)
+			mut[off] ^= flip
+			set, err := Load(bytes.NewReader(mut), coll)
+			if err != nil {
+				continue
+			}
+			// If it loaded, it must be queryable without panicking.
+			for _, ix := range set.Indexes {
+				ix.RetrieveParagraphs([]string{"a", "b"})
+			}
+		}
+	}
+}
+
+// TestLoadRejectsOldGobSnapshot: pre-format snapshots (gob, no DQIX magic)
+// must fail with an error so the node's stale-snapshot path rebuilds them.
+func TestLoadRejectsOldGobSnapshot(t *testing.T) {
+	// A gob stream starts with a type definition, never with "DQIX".
+	old := []byte{0x2c, 0xff, 0x81, 0x03, 0x01, 0x01, 0x08}
+	if _, err := Load(bytes.NewReader(old), testColl); err == nil {
+		t.Fatal("gob-era snapshot accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package index
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"distqa/internal/corpus"
+	"distqa/internal/wire"
+)
+
+// fuzzColl is the fixed small collection the header fuzzer validates
+// candidate containers against. It must match the collection used to
+// generate the committed seed containers in testdata/fuzz (see
+// TestFuzzSeedCorpusFresh, which regenerates and checks them).
+var (
+	fuzzCollOnce sync.Once
+	fuzzCollVal  *corpus.Collection
+)
+
+func fuzzCollection() *corpus.Collection {
+	fuzzCollOnce.Do(func() {
+		cfg := corpus.Tiny()
+		cfg.Name = "fuzz-idx"
+		cfg.Seed = 9001
+		cfg.SubCollections = 2
+		cfg.DocsPerSub = 20
+		cfg.Facts = 6
+		fuzzCollVal = corpus.Generate(cfg)
+	})
+	return fuzzCollVal
+}
+
+// fuzzContainer returns the canonical container image of the fuzz
+// collection — the well-formed ancestor the fuzzer mutates from.
+func fuzzContainer() []byte {
+	var buf bytes.Buffer
+	if err := BuildAll(fuzzCollection()).Save(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodePostingBlock: the block decoder must reject any hostile payload
+// with an error — no panics, no out-of-bounds reads, no accepted blocks that
+// fail re-encoding to the identical bytes (the encoding is canonical, so
+// decode followed by encode must be the identity on accepted inputs).
+func FuzzDecodePostingBlock(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add(wire.AppendPostingBlock(nil, []int32{0}), 1)
+	f.Add(wire.AppendPostingBlock(nil, []int32{3, 7, 9, 1000, 70000}), 5)
+	full := make([]int32, wire.PostingBlockSize)
+	for i := range full {
+		full[i] = int32(i * 17)
+	}
+	f.Add(wire.AppendPostingBlock(nil, full), wire.PostingBlockSize)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, 1)
+	f.Add([]byte{0x05, 0x00}, 2)
+
+	f.Fuzz(func(t *testing.T, block []byte, count int) {
+		docs, err := wire.DecodePostingBlock(nil, block, count)
+		if err != nil {
+			return
+		}
+		if len(docs) != count {
+			t.Fatalf("accepted %d docs for count %d", len(docs), count)
+		}
+		for i := 1; i < len(docs); i++ {
+			if docs[i] <= docs[i-1] {
+				t.Fatalf("accepted non-increasing docs at %d: %v", i, docs)
+			}
+		}
+		reenc := wire.AppendPostingBlock(nil, docs)
+		if !bytes.Equal(reenc, block) {
+			t.Fatalf("accepted non-canonical encoding: %x re-encodes to %x", block, reenc)
+		}
+	})
+}
+
+// FuzzDecodeIndexHeader: the container loader must never panic, whatever
+// bytes it is fed; when it does accept an image, the loaded set must be
+// fully queryable (the load-time verification pass is what lets query-time
+// decode treat errors as unreachable).
+func FuzzDecodeIndexHeader(f *testing.F) {
+	img := fuzzContainer()
+	f.Add([]byte{})
+	f.Add([]byte("DQIX"))
+	f.Add(img)
+	// A few structured mutants to steer the fuzzer past the magic check.
+	trunc := img[:len(img)/2]
+	f.Add(trunc)
+	flip := append([]byte(nil), img...)
+	flip[20] ^= 0xff
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := Load(bytes.NewReader(data), fuzzCollection())
+		if err != nil {
+			return
+		}
+		for _, ix := range set.Indexes {
+			ix.RetrieveParagraphs([]string{"a", "zzz"})
+			ix.EachTerm(func(stem string, df int) {
+				if df <= 0 {
+					t.Fatalf("accepted df %d for %q", df, stem)
+				}
+			})
+		}
+	})
+}

@@ -25,13 +25,30 @@ import (
 // restrictive keyword is dropped (until a single keyword remains).
 const MinDocs = 10
 
+// IndexOptions selects the posting-storage core. The compressed core
+// (default) stores each list as delta+varint blocks with a skip table
+// (postings.go); the plain core keeps sorted []int32 slices and serves as
+// the equivalence oracle for the compressed one. Everything observable —
+// retrieval output, DocFreq, relaxation, Stats — is bit-identical across
+// the two.
+type IndexOptions struct {
+	// Compressed selects the block-compressed postings core.
+	Compressed bool
+}
+
+// DefaultOptions returns the production configuration: compressed postings.
+func DefaultOptions() IndexOptions { return IndexOptions{Compressed: true} }
+
 // Index is the inverted index of one sub-collection.
 type Index struct {
 	coll *corpus.Collection
 	sub  int
 
-	// postings maps a stem to the sorted list of local doc offsets.
+	// Exactly one of the two postings stores is populated.
+	// postings maps a stem to the sorted list of local doc offsets (plain
+	// core); comp maps a stem to its compressed block list (compressed core).
 	postings map[string][]int32
+	comp     map[string]*compList
 	docs     []*corpus.Document
 
 	// paraStems caches, per paragraph (by global paragraph id), the distinct
@@ -44,8 +61,15 @@ type Index struct {
 	cache *relaxCache
 }
 
-// Build constructs the inverted index for sub-collection sub.
+// Build constructs the inverted index for sub-collection sub with the
+// default options (compressed postings).
 func Build(c *corpus.Collection, sub int) *Index {
+	return BuildWith(c, sub, DefaultOptions())
+}
+
+// BuildWith constructs the inverted index for sub-collection sub with an
+// explicit posting-core selection.
+func BuildWith(c *corpus.Collection, sub int, opts IndexOptions) *Index {
 	ix := &Index{
 		coll:      c,
 		sub:       sub,
@@ -71,29 +95,74 @@ func Build(c *corpus.Collection, sub int) *Index {
 			ix.paraStems[p.ID] = counts
 		}
 	}
-	for stem, list := range ix.postings {
-		ix.indexBytes += len(stem) + 4*len(list)
+	if opts.Compressed {
+		ix.comp = make(map[string]*compList, len(ix.postings))
+		for stem, list := range ix.postings {
+			ix.comp[stem] = compressPostings(list)
+		}
+		ix.postings = nil
 	}
+	ix.recomputeIndexBytes()
 	return ix
+}
+
+// recomputeIndexBytes derives indexBytes from the live postings structures.
+// Called at build time AND after snapshot load, so a reloaded index reports
+// the same memory figure a fresh build would (the figure is never persisted;
+// see persist.go).
+func (ix *Index) recomputeIndexBytes() {
+	total := 0
+	if ix.comp != nil {
+		for stem, cl := range ix.comp {
+			total += len(stem) + cl.sizeBytes()
+		}
+	} else {
+		for stem, list := range ix.postings {
+			total += len(stem) + 4*len(list)
+		}
+	}
+	ix.indexBytes = total
 }
 
 // Sub returns the sub-collection id this index covers.
 func (ix *Index) Sub() int { return ix.sub }
 
+// Compressed reports whether this index uses the compressed postings core.
+func (ix *Index) Compressed() bool { return ix.comp != nil }
+
 // Terms reports the number of distinct indexed stems.
-func (ix *Index) Terms() int { return len(ix.postings) }
+func (ix *Index) Terms() int {
+	if ix.comp != nil {
+		return len(ix.comp)
+	}
+	return len(ix.postings)
+}
 
 // IndexBytes reports the real size of the postings structures.
 func (ix *Index) IndexBytes() int { return ix.indexBytes }
 
 // DocFreq reports how many documents of this sub-collection contain stem.
-func (ix *Index) DocFreq(stem string) int { return len(ix.postings[stem]) }
+func (ix *Index) DocFreq(stem string) int {
+	if ix.comp != nil {
+		if cl := ix.comp[stem]; cl != nil {
+			return int(cl.df)
+		}
+		return 0
+	}
+	return len(ix.postings[stem])
+}
 
 // EachTerm calls f once per indexed stem with its document frequency, in
 // unspecified order. It is the vocabulary-enumeration seam the shard term
 // summaries (shard.BuildSummary) are built from; the postings themselves
 // stay private.
 func (ix *Index) EachTerm(f func(stem string, df int)) {
+	if ix.comp != nil {
+		for stem, cl := range ix.comp {
+			f(stem, int(cl.df))
+		}
+		return
+	}
 	for stem, list := range ix.postings {
 		f(stem, len(list))
 	}
@@ -230,6 +299,11 @@ type scratch struct {
 	lists  [][]int32
 	bufA   []int32
 	bufB   []int32
+	// Compressed-core working state: the per-query list selection and the
+	// block-decode cursor (whose buffer is the single pooled scratch that
+	// keeps steady-state block decode inside the alloc pin).
+	comps []*compList
+	cur   compCursor
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -238,6 +312,9 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 // The result may alias sc's buffers or a postings list; callers must copy
 // it before sc is reused.
 func (ix *Index) intersect(kws []string, sc *scratch) []int32 {
+	if ix.comp != nil {
+		return ix.intersectCompressed(kws, sc)
+	}
 	if len(kws) == 0 {
 		return nil
 	}
@@ -257,6 +334,49 @@ func (ix *Index) intersect(kws []string, sc *scratch) []int32 {
 	for _, list := range sc.lists[1:] {
 		a = intersectInto(a[:0], result, list)
 		result = a
+		a, b = b, a
+		if len(result) == 0 {
+			break
+		}
+	}
+	sc.bufA, sc.bufB = a, b
+	return result
+}
+
+// intersectCompressed is the compressed-core twin of intersect: it decodes
+// the shortest (lowest-df) list fully as the candidate seed, then runs each
+// longer list through a skip-seeking cursor that decompresses only the
+// blocks a surviving candidate can land in. The result is the same sorted
+// intersection the plain core produces — set intersection is independent of
+// operand order and representation — and may alias sc's buffers; callers
+// must copy it before sc is reused.
+func (ix *Index) intersectCompressed(kws []string, sc *scratch) []int32 {
+	if len(kws) == 0 {
+		return nil
+	}
+	sc.comps = sc.comps[:0]
+	for _, k := range kws {
+		cl := ix.comp[k]
+		if cl == nil || cl.df == 0 {
+			return nil
+		}
+		sc.comps = append(sc.comps, cl)
+	}
+	// Ascending document frequency: the running result can only shrink, so
+	// seeding with the rarest term bounds every later cursor walk. Insertion
+	// sort — keyword sets are a handful of terms, and sort.Slice would cost
+	// two allocations per query that the alloc pin forbids.
+	for i := 1; i < len(sc.comps); i++ {
+		for j := i; j > 0 && sc.comps[j].df < sc.comps[j-1].df; j-- {
+			sc.comps[j], sc.comps[j-1] = sc.comps[j-1], sc.comps[j]
+		}
+	}
+	a := sc.comps[0].decodeAll(sc.bufA[:0])
+	b := sc.bufB
+	result := a
+	for _, cl := range sc.comps[1:] {
+		b = intersectComp(b[:0], result, cl, &sc.cur)
+		result = b
 		a, b = b, a
 		if len(result) == 0 {
 			break
@@ -385,13 +505,34 @@ type Set struct {
 	// (where global id == position and no map is needed).
 	globals  []int
 	byGlobal map[int]*Index
+
+	// closer releases the mmap backing of a LoadMapped set; nil otherwise.
+	closer func() error
 }
 
-// BuildAll indexes every sub-collection of c.
+// Close releases any resources backing the set (the mmap of a LoadMapped
+// snapshot). The set must not be queried after Close; it is a no-op for
+// built and stream-loaded sets.
+func (s *Set) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c()
+}
+
+// BuildAll indexes every sub-collection of c with the default options.
 func BuildAll(c *corpus.Collection) *Set {
+	return BuildAllWith(c, DefaultOptions())
+}
+
+// BuildAllWith indexes every sub-collection of c with an explicit
+// posting-core selection.
+func BuildAllWith(c *corpus.Collection, opts IndexOptions) *Set {
 	s := &Set{Coll: c}
 	for i := range c.Subs {
-		s.Indexes = append(s.Indexes, Build(c, i))
+		s.Indexes = append(s.Indexes, BuildWith(c, i, opts))
 		s.globals = append(s.globals, i)
 	}
 	return s
@@ -401,9 +542,14 @@ func BuildAll(c *corpus.Collection) *Set {
 // strictly increasing). This is the shard-scoped build: a node holding
 // shards covering subs {1,3} indexes those two subs and nothing else.
 func BuildSubset(c *corpus.Collection, subs []int) *Set {
+	return BuildSubsetWith(c, subs, DefaultOptions())
+}
+
+// BuildSubsetWith is BuildSubset with an explicit posting-core selection.
+func BuildSubsetWith(c *corpus.Collection, subs []int, opts IndexOptions) *Set {
 	indexes := make([]*Index, 0, len(subs))
 	for _, sub := range subs {
-		indexes = append(indexes, Build(c, sub))
+		indexes = append(indexes, BuildWith(c, sub, opts))
 	}
 	return SetFrom(c, indexes)
 }
@@ -466,3 +612,13 @@ func (s *Set) Full() bool { return len(s.Indexes) == len(s.Coll.Subs) && s.byGlo
 
 // Len returns the number of sub-collections this set holds.
 func (s *Set) Len() int { return len(s.Indexes) }
+
+// IndexBytes reports the total real size of the postings structures across
+// every held sub-collection (the figure qactl -status surfaces per node).
+func (s *Set) IndexBytes() int {
+	total := 0
+	for _, ix := range s.Indexes {
+		total += ix.indexBytes
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package index
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without the unix mmap surface reads the whole file
+// into memory: identical semantics, no lazy paging.
+func mmapFile(f *os.File) ([]byte, func() error, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

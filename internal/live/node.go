@@ -724,6 +724,7 @@ func (n *Node) handleStatus() *Response {
 		Addr:       n.Addr(),
 		Collection: n.engine.Coll.Name,
 		Paragraphs: len(n.engine.Coll.Paragraphs()),
+		IndexBytes: n.engine.Set.IndexBytes(),
 		Questions:  questions,
 		Queued:     queued,
 		Peers:      n.freshPeers(),

@@ -169,6 +169,13 @@ var floors = []struct {
 	// path, so unlike the twin comparison above this ratio survives
 	// multi-proc runners.
 	{comparison: "ask: selective vs sharded", minSpeedup: 1.3, minAllocs: 1.3},
+	// The compressed postings core's speed bound (PR-10): block-at-a-time
+	// varint decode plus skip-seek intersection against the plain sorted-slice
+	// core, over the same keyword workload on the same multi-block corpus.
+	// The committed figure is ~1x (skip pruning pays back the decode cost);
+	// the 0.8x floor is the acceptance bound — the space win below must not
+	// cost more than 20% of retrieval throughput.
+	{comparison: "retrieve: compressed vs plain", minSpeedup: 0.8},
 	// The front door's overhead bound (PR-8): a cache-hit ask through the
 	// full HTTP gateway — JSON decode, token bucket, admission, mux hop —
 	// must stay within 50x of the same cache hit over direct pooled RPC
@@ -272,6 +279,45 @@ func CheckLoad(r *Report) []string {
 			}
 		default:
 			violations = append(violations, fmt.Sprintf("load %s: unknown regime %q", l.Name, l.Regime))
+		}
+	}
+	return violations
+}
+
+// sizeFloors are the deterministic footprint invariants (PR-10): each pair's
+// baseline row must be at least minRatio times larger than its candidate.
+// Byte counts are exact — no machine noise, no tolerance needed — so the
+// ratio is the acceptance figure itself: the compressed postings core must
+// hold the same postings in at most half the bytes of the plain core.
+var sizeFloors = []struct {
+	baseline  string
+	candidate string
+	minRatio  float64
+}{
+	{baseline: "index_bytes_plain", candidate: "index_bytes_compressed", minRatio: 2.0},
+}
+
+// CheckSizes validates the report's footprint rows against the size floors.
+// A missing row is itself a violation, so a renamed measurement cannot
+// silently disable the gate.
+func CheckSizes(r *Report) []string {
+	var violations []string
+	for _, f := range sizeFloors {
+		b, okB := r.findSize(f.baseline)
+		c, okC := r.findSize(f.candidate)
+		if !okB || !okC {
+			violations = append(violations, fmt.Sprintf(
+				"size rows %q/%q missing from report (have %d rows)", f.baseline, f.candidate, len(r.Sizes)))
+			continue
+		}
+		if c.Bytes <= 0 {
+			violations = append(violations, fmt.Sprintf("size %s: measured %d bytes", f.candidate, c.Bytes))
+			continue
+		}
+		if ratio := float64(b.Bytes) / float64(c.Bytes); ratio < f.minRatio {
+			violations = append(violations, fmt.Sprintf(
+				"%s/%s: compression ratio %.2fx below floor %.1fx (%d vs %d bytes)",
+				f.baseline, f.candidate, ratio, f.minRatio, b.Bytes, c.Bytes))
 		}
 	}
 	return violations

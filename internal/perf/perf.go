@@ -94,6 +94,16 @@ type LoadRow struct {
 	DurationS  float64 `json:"duration_s"`
 }
 
+// SizeRow is one measured in-memory footprint (PR-10): a deterministic byte
+// count, not a timing, so it is exactly reproducible and machine-independent.
+// The compression floor (CheckSizes) gates the ratio between paired rows.
+type SizeRow struct {
+	// Name identifies the measurement (stable across runs; diff key).
+	Name string `json:"name"`
+	// Bytes is the measured footprint.
+	Bytes int `json:"bytes"`
+}
+
 // Report is the full perf run output.
 type Report struct {
 	Schema      string       `json:"schema"`
@@ -106,6 +116,9 @@ type Report struct {
 	Comparisons []Comparison `json:"comparisons"`
 	// Load holds the gateway load runs (omitted by pre-PR-8 baselines).
 	Load []LoadRow `json:"load,omitempty"`
+	// Sizes holds deterministic footprint rows (omitted by pre-PR-10
+	// baselines, so older committed reports still parse).
+	Sizes []SizeRow `json:"sizes,omitempty"`
 }
 
 // NewReport returns a Report stamped with the current environment.
@@ -229,6 +242,20 @@ func (r *Report) Compare(name, baseline, candidate string) error {
 	return nil
 }
 
+// AddSize records one deterministic footprint measurement.
+func (r *Report) AddSize(name string, bytes int) {
+	r.Sizes = append(r.Sizes, SizeRow{Name: name, Bytes: bytes})
+}
+
+func (r *Report) findSize(name string) (SizeRow, bool) {
+	for _, s := range r.Sizes {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return SizeRow{}, false
+}
+
 func (r *Report) find(name string) (Benchmark, bool) {
 	for _, b := range r.Benchmarks {
 		if b.Name == name {
@@ -262,6 +289,12 @@ func (r *Report) WriteText(w io.Writer) {
 		fmt.Fprintln(w, "  speedups:")
 		for _, c := range r.Comparisons {
 			fmt.Fprintf(w, "    %-32s %6.2fx  (allocs %5.1fx)\n", c.Name, c.Speedup, c.AllocRatio)
+		}
+	}
+	if len(r.Sizes) > 0 {
+		fmt.Fprintln(w, "  index footprint:")
+		for _, s := range r.Sizes {
+			fmt.Fprintf(w, "    %-28s %12d bytes (%.1f KiB)\n", s.Name, s.Bytes, float64(s.Bytes)/1024)
 		}
 	}
 	if len(r.Load) > 0 {

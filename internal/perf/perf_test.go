@@ -56,6 +56,7 @@ func TestSuiteSmoke(t *testing.T) {
 	want := []string{
 		"rpc_oneshot", "rpc_pooled",
 		"retrieve_uncached", "retrieve_cached",
+		"retrieve_plain", "retrieve_compressed",
 		"pr_ps_sequential", "pr_ps_parallel",
 		"ask_sequential", "ask_parallel",
 		"codec_gob_roundtrip", "codec_wire_roundtrip",
@@ -70,8 +71,13 @@ func TestSuiteSmoke(t *testing.T) {
 			t.Fatalf("suite report missing benchmark %q", name)
 		}
 	}
-	if len(report.Comparisons) != 11 {
-		t.Fatalf("comparisons = %d, want 11", len(report.Comparisons))
+	if len(report.Comparisons) != 12 {
+		t.Fatalf("comparisons = %d, want 12", len(report.Comparisons))
+	}
+	// The compressed-core footprint rows are deterministic byte counts, so
+	// their ≥2x floor is meaningful even on a 20ms smoke budget.
+	if v := CheckSizes(report); len(v) != 0 {
+		t.Fatalf("size gate violations on smoke run: %v", v)
 	}
 	// The open-loop gateway rows must be present and structurally sound; the
 	// regimes are derived from the run's own calibrated capacity, so the
@@ -231,6 +237,29 @@ func TestCheckFloors(t *testing.T) {
 	}
 	if v := CheckFloors(uni); len(v) != 0 {
 		t.Fatalf("parallel floors applied on a single-proc report: %v", v)
+	}
+}
+
+// TestCheckSizes is the footprint-gate contract: a below-floor compression
+// ratio must trip it, a missing or degenerate row must trip it, and a report
+// meeting the floor must pass.
+func TestCheckSizes(t *testing.T) {
+	r := NewReport()
+	if v := CheckSizes(r); len(v) != 1 {
+		t.Fatalf("empty report yielded %v, want exactly the missing-rows violation", v)
+	}
+	r.AddSize("index_bytes_plain", 100000)
+	r.AddSize("index_bytes_compressed", 40000)
+	if v := CheckSizes(r); len(v) != 0 {
+		t.Fatalf("2.5x compression flagged: %v", v)
+	}
+	r.Sizes[1].Bytes = 60000 // 1.67x, below the 2x floor
+	if v := CheckSizes(r); len(v) != 1 {
+		t.Fatalf("below-floor ratio not caught: %v", v)
+	}
+	r.Sizes[1].Bytes = 0
+	if v := CheckSizes(r); len(v) != 1 {
+		t.Fatalf("degenerate zero-byte row not caught: %v", v)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"distqa/internal/nlp"
 	"distqa/internal/qa"
 	"distqa/internal/shard"
+	"distqa/internal/wire"
 )
 
 // SuiteConfig tunes the standard suite.
@@ -55,6 +57,7 @@ func (c *SuiteConfig) logf(format string, args ...any) {
 //
 //	rpc_oneshot / rpc_pooled            — connection-per-request vs pooled gob RPC
 //	retrieve_uncached / retrieve_cached — Boolean retrieval without/with relaxation memo
+//	retrieve_plain / retrieve_compressed — multi-block Boolean retrieval, plain sorted-slice vs compressed skip-indexed core (plus index_bytes_plain/index_bytes_compressed size rows)
 //	pr_ps_sequential / pr_ps_parallel   — retrieval+scoring stages, 1 vs N workers
 //	ask_sequential / ask_parallel       — full pipeline, 1 vs N workers
 //	codec_gob_roundtrip / codec_wire_roundtrip — RPC message encode+decode, gob vs binary wire codec
@@ -131,6 +134,63 @@ func RunSuite(cfg SuiteConfig) (*Report, error) {
 		cachedIx.RetrieveParagraphs(analyses[i%len(analyses)].Keywords)
 		i++
 	})
+
+	// --- Compressed postings core (PR-10): the plain sorted-slice core vs
+	// the block-compressed, skip-indexed core, over a collection deep enough
+	// that frequent stems span many 128-doc posting blocks (the suite corpus
+	// tops out at one block per list, where the two cores share almost every
+	// code path). Each query pairs one high-df stem — a multi-block list the
+	// intersection skip-seeks across — with two mid-df stems, the shape
+	// question analysis produces. Both relaxation memos are off so every op
+	// prices the decode + intersection, not a cache hit. The same two indexes
+	// also report their exact postings footprints as deterministic size rows;
+	// CheckSizes gates the ≥2x compression floor on that pair.
+	cfg.logf("building multi-block collection for the compressed-core benchmarks...\n")
+	deepCfg := cfg.Corpus
+	deepCfg.Name = cfg.Corpus.Name + "-deep"
+	if deepCfg.DocsPerSub < 300 {
+		deepCfg.DocsPerSub = 300
+	}
+	deepColl := corpus.Generate(deepCfg)
+	plainIx := index.BuildWith(deepColl, 0, index.IndexOptions{Compressed: false})
+	compIx := index.BuildWith(deepColl, 0, index.IndexOptions{Compressed: true})
+	plainIx.SetRelaxCacheCap(0)
+	compIx.SetRelaxCacheCap(0)
+	type dfTerm struct {
+		stem string
+		df   int
+	}
+	var terms []dfTerm
+	plainIx.EachTerm(func(stem string, df int) { terms = append(terms, dfTerm{stem, df}) })
+	sort.Slice(terms, func(a, b int) bool {
+		if terms[a].df != terms[b].df {
+			return terms[a].df > terms[b].df
+		}
+		return terms[a].stem < terms[b].stem
+	})
+	mid := len(terms) / 3
+	if len(terms) < mid+16 || terms[0].df <= wire.PostingBlockSize {
+		return nil, fmt.Errorf("perf: collection %q too shallow for a multi-block retrieval measurement (top df %d, %d stems)",
+			deepColl.Name, terms[0].df, len(terms))
+	}
+	kwSets := make([][]string, 8)
+	for q := range kwSets {
+		kwSets[q] = []string{terms[q%4].stem, terms[mid+2*q].stem, terms[mid+2*q+1].stem}
+	}
+	i = 0
+	cfg.logf("bench retrieve_plain...\n")
+	r.Run("retrieve_plain", cfg.Budget, func() {
+		plainIx.RetrieveParagraphs(kwSets[i%len(kwSets)])
+		i++
+	})
+	i = 0
+	cfg.logf("bench retrieve_compressed...\n")
+	r.Run("retrieve_compressed", cfg.Budget, func() {
+		compIx.RetrieveParagraphs(kwSets[i%len(kwSets)])
+		i++
+	})
+	r.AddSize("index_bytes_plain", plainIx.IndexBytes())
+	r.AddSize("index_bytes_compressed", compIx.IndexBytes())
 
 	// --- PR+PS stages and full pipeline: sequential vs parallel engine.
 	stage := func(e *qa.Engine) func() {
@@ -582,6 +642,9 @@ func RunSuite(cfg SuiteConfig) (*Report, error) {
 	for _, c := range []struct{ name, base, cand string }{
 		{"rpc: pooled vs one-shot", "rpc_oneshot", "rpc_pooled"},
 		{"retrieval: memo vs cold", "retrieve_uncached", "retrieve_cached"},
+		// The PR-10 acceptance ratio: block decode + skip-seek intersection
+		// against the plain sorted-slice core, same keywords, same corpus.
+		{"retrieve: compressed vs plain", "retrieve_plain", "retrieve_compressed"},
 		{"pr+ps: parallel vs sequential", "pr_ps_sequential", "pr_ps_parallel"},
 		{"ask: parallel vs sequential", "ask_sequential", "ask_parallel"},
 		{"codec: wire vs gob", "codec_gob_roundtrip", "codec_wire_roundtrip"},

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"distqa/internal/corpus"
+	"distqa/internal/index"
+	"distqa/internal/qa"
+)
+
+// TestCompressedClusterMatchesPlainOracle is the distributed half of the
+// compressed-core equivalence proof: random corpora × random question sets ×
+// K∈{1,2,4} sharded clusters, where the clusters run the (default)
+// compressed postings core and the oracle is a sequential engine on the
+// plain core. Answers, per-module cost accounting and Equation-9 cost
+// estimates must be byte-identical — reflect.DeepEqual over qa.Result and
+// exact equality over the cost prediction.
+func TestCompressedClusterMatchesPlainOracle(t *testing.T) {
+	seeds := []int64{401, 402}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := corpus.Tiny()
+		cfg.Seed = seed
+		cfg.Name = fmt.Sprintf("comp-equiv-%d", seed)
+		cfg.SubCollections = 3 + int(seed%2)
+		coll := corpus.Generate(cfg)
+
+		// Oracle: plain core, sequential.
+		plain := qa.NewEngine(coll, index.BuildAllWith(coll, index.IndexOptions{Compressed: false}))
+
+		// Question mix: real fact questions plus synthesized ones from random
+		// corpus words (random keyword sets after analysis).
+		questions := make([]string, 0, 10)
+		for _, f := range coll.Facts[:6] {
+			questions = append(questions, f.Question)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		paras := coll.Paragraphs()
+		for i := 0; i < 4; i++ {
+			p := paras[rng.Intn(len(paras))]
+			var words []string
+			for _, tok := range p.Tokens {
+				if tok.Stem != "" {
+					words = append(words, tok.Text)
+				}
+				if len(words) == 2+rng.Intn(3) {
+					break
+				}
+			}
+			questions = append(questions, "What is "+strings.Join(words, " ")+"?")
+		}
+
+		oracle := make([]qa.Result, len(questions))
+		for i, q := range questions {
+			oracle[i] = plain.AnswerSequential(q)
+		}
+
+		for _, k := range []int{1, 2, 4} {
+			cl, err := NewCluster(coll, k, 1, 3) // compressed core: the default build
+			if err != nil {
+				t.Fatalf("seed %d K=%d: %v", seed, k, err)
+			}
+			for i, q := range questions {
+				got, err := cl.Answer(q, 0, nil)
+				if err != nil {
+					t.Fatalf("seed %d K=%d: %v", seed, k, err)
+				}
+				if !reflect.DeepEqual(oracle[i], got) {
+					t.Fatalf("seed %d K=%d: compressed cluster diverges from plain oracle for %q:\nplain:      %+v\ncompressed: %+v",
+						seed, k, q, oracle[i], got)
+				}
+			}
+			// Equation-9 cost prediction: gathered-df folding over compressed
+			// shard indexes must reproduce the plain engine's estimate.
+			for _, q := range questions[:5] {
+				analysis, _ := plain.QuestionProcessing(q)
+				want := plain.EstimateCost(analysis)
+				got, err := cl.EstimateCost(q, 1, nil)
+				if err != nil {
+					t.Fatalf("seed %d K=%d: %v", seed, k, err)
+				}
+				if want != got {
+					t.Fatalf("seed %d K=%d: cost estimate diverges for %q:\nplain:      %+v\ncompressed: %+v",
+						seed, k, q, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSummaryIdenticalAcrossCores: the gossiped term summary — bloom bits,
+// df sketch and the Version checksum replicas agree on — must be
+// byte-identical whether built over the plain or the compressed core, for
+// every shard of every K. A divergence here would desynchronise selective
+// routing between nodes running different cores.
+func TestSummaryIdenticalAcrossCores(t *testing.T) {
+	cfg := corpus.Tiny()
+	cfg.Seed = 411
+	cfg.Name = "summary-cores"
+	coll := corpus.Generate(cfg)
+	plainSet := index.BuildAllWith(coll, index.IndexOptions{Compressed: false})
+	compSet := index.BuildAllWith(coll, index.IndexOptions{Compressed: true})
+
+	for _, k := range []int{1, 2, 4} {
+		kk, _, err := Normalize(k, 1, 1, len(coll.Subs))
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		for shard := 0; shard < kk; shard++ {
+			subs := SubsOf(shard, kk, len(coll.Subs))
+			s1, err := BuildSummary(plainSet, shard, subs, SummaryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := BuildSummary(compSet, shard, subs, SummaryOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1.Version != s2.Version {
+				t.Fatalf("K=%d shard %d: summary versions diverge across cores (%d vs %d)",
+					k, shard, s1.Version, s2.Version)
+			}
+			if !reflect.DeepEqual(s1, s2) {
+				t.Fatalf("K=%d shard %d: summaries diverge across cores", k, shard)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Posting-block primitives: the delta+varint encoding underneath the
+// compressed index core (internal/index). They live here, next to the other
+// varint machinery, so the index layer reuses one audited encoder/decoder
+// pair instead of growing its own — and so the decode seam is fuzzable in
+// isolation (FuzzDecodePostingBlock in internal/index feeds this directly).
+//
+// A posting list is split into blocks of at most PostingBlockSize documents.
+// Within a block, the first local doc id is encoded as a plain uvarint and
+// every later id as the uvarint gap to its predecessor (ids are strictly
+// increasing, so every gap is ≥ 1). The block carries no internal header:
+// the caller's skip table records, per block, the byte offset, the document
+// count and the last (maximum) doc id, which is exactly what a skip-seeking
+// intersection needs to decide whether a block can contain a candidate
+// without decompressing it.
+package wire
+
+import "encoding/binary"
+
+// PostingBlockSize is the maximum number of documents per posting block.
+// 128 keeps the per-block skip entry amortized below a tenth of a byte per
+// document while bounding the work wasted when an intersection decodes a
+// block for a single candidate.
+const PostingBlockSize = 128
+
+// MaxPostingDoc bounds a decoded local doc id. Local ids are int32 document
+// offsets within one sub-collection; anything above this is a corrupt block,
+// not a plausible document.
+const MaxPostingDoc = 1<<31 - 1
+
+// AppendPostingBlock appends the delta+varint encoding of docs (sorted,
+// strictly increasing, non-negative, at most PostingBlockSize long) to dst
+// and returns the extended slice. The caller guarantees the preconditions;
+// they hold by construction when blocks are cut from a sorted postings list.
+func AppendPostingBlock(dst []byte, docs []int32) []byte {
+	if len(docs) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(docs[0]))
+	for i := 1; i < len(docs); i++ {
+		dst = binary.AppendUvarint(dst, uint64(docs[i]-docs[i-1]))
+	}
+	return dst
+}
+
+// DecodePostingBlock decodes one posting block of exactly count documents
+// from block, appending the ids to dst. It validates everything a hostile
+// payload could break: every varint must be well-formed, ids must stay
+// strictly increasing and within MaxPostingDoc, the count must match, and
+// the block must be consumed exactly — trailing bytes are corruption, not
+// padding. On error the returned slice is dst unchanged; the function never
+// panics and never reads outside block.
+func DecodePostingBlock(dst []int32, block []byte, count int) ([]int32, error) {
+	if count <= 0 || count > PostingBlockSize {
+		return dst, ErrCorrupt
+	}
+	if cap(dst)-len(dst) < count {
+		// Grow once up front: the count is known, so the cold path costs a
+		// single allocation instead of a geometric append ladder (the alloc
+		// pin in internal/index budgets exactly this).
+		grown := make([]int32, len(dst), len(dst)+count)
+		copy(grown, dst)
+		dst = grown
+	}
+	mark := len(dst)
+	off := 0
+	prev := int64(-1)
+	for i := 0; i < count; i++ {
+		v, n := binary.Uvarint(block[off:])
+		if n <= 0 {
+			return dst[:mark], ErrTruncated
+		}
+		if n > 1 && block[off+n-1] == 0 {
+			// Non-minimal varint (a trailing zero continuation byte adds no
+			// value bits). Rejecting it keeps the encoding canonical: every
+			// accepted block re-encodes to the identical bytes, which is the
+			// bit-for-bit property the fuzz harness pins.
+			return dst[:mark], ErrCorrupt
+		}
+		off += n
+		if v > MaxPostingDoc {
+			// Neither a doc id nor a gap can exceed the doc-id ceiling;
+			// rejecting here also keeps the sum below free of overflow.
+			return dst[:mark], ErrCorrupt
+		}
+		var doc int64
+		if i == 0 {
+			doc = int64(v)
+		} else {
+			if v == 0 {
+				// A zero gap would mean a duplicated doc id.
+				return dst[:mark], ErrCorrupt
+			}
+			doc = prev + int64(v)
+		}
+		if doc > MaxPostingDoc {
+			return dst[:mark], ErrCorrupt
+		}
+		dst = append(dst, int32(doc))
+		prev = doc
+	}
+	if off != len(block) {
+		return dst[:mark], ErrCorrupt
+	}
+	return dst, nil
+}

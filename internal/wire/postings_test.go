@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sortedDocs turns arbitrary int32s into a valid posting block payload:
+// sorted, strictly increasing, non-negative, capped at PostingBlockSize.
+func sortedDocs(xs []int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, x := range xs {
+		if x < 0 {
+			x = -x
+		}
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+		if len(out) == PostingBlockSize {
+			break
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestPostingBlockRoundTripProperty(t *testing.T) {
+	f := func(xs []int32) bool {
+		docs := sortedDocs(xs)
+		if len(docs) == 0 {
+			return len(AppendPostingBlock(nil, docs)) == 0
+		}
+		enc := AppendPostingBlock(nil, docs)
+		dec, err := DecodePostingBlock(nil, enc, len(docs))
+		if err != nil {
+			return false
+		}
+		if len(dec) != len(docs) {
+			return false
+		}
+		for i := range docs {
+			if dec[i] != docs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostingBlockAppendsToDst(t *testing.T) {
+	docs := []int32{3, 7, 9, 1000, 70000}
+	enc := AppendPostingBlock(nil, docs)
+	prefix := []int32{-1, -2}
+	dec, err := DecodePostingBlock(prefix, enc, len(docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(prefix)+len(docs) || dec[0] != -1 || dec[2] != 3 {
+		t.Fatalf("decode did not append to dst: %v", dec)
+	}
+}
+
+func TestPostingBlockRejectsCorruption(t *testing.T) {
+	docs := make([]int32, PostingBlockSize)
+	for i := range docs {
+		docs[i] = int32(i * 3)
+	}
+	enc := AppendPostingBlock(nil, docs)
+
+	// Every truncation must fail cleanly: either a short varint or a count
+	// mismatch, never a panic or a wrong success.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodePostingBlock(nil, enc[:cut], len(docs)); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Trailing garbage is corruption, not padding.
+	if _, err := DecodePostingBlock(nil, append(append([]byte(nil), enc...), 0x5), len(docs)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	// Wrong counts.
+	for _, count := range []int{0, -1, len(docs) - 1, len(docs) + 1, PostingBlockSize + 1} {
+		if _, err := DecodePostingBlock(nil, enc, count); err == nil {
+			t.Fatalf("count %d accepted", count)
+		}
+	}
+	// A zero gap (duplicate doc id) after the first element.
+	dup := AppendPostingBlock(nil, []int32{5})
+	dup = append(dup, 0) // gap 0
+	if _, err := DecodePostingBlock(nil, dup, 2); err == nil {
+		t.Fatal("zero gap accepted")
+	}
+	// A gap pushing the running doc id past MaxPostingDoc.
+	over := AppendPostingBlock(nil, []int32{MaxPostingDoc})
+	over = AppendPostingBlock(over, []int32{1}) // gap 1 → MaxPostingDoc+1
+	if _, err := DecodePostingBlock(nil, over, 2); err == nil {
+		t.Fatal("doc id overflow accepted")
+	}
+	// A single varint beyond the ceiling.
+	big := make([]byte, 0, 10)
+	for i := 0; i < 9; i++ {
+		big = append(big, 0xff)
+	}
+	big = append(big, 0x01)
+	if _, err := DecodePostingBlock(nil, big, 1); err == nil {
+		t.Fatal("oversized varint accepted")
+	}
+	// On error the destination must come back unchanged.
+	prefix := []int32{42}
+	out, err := DecodePostingBlock(prefix, enc[:3], len(docs))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(out) != 1 || out[0] != 42 {
+		t.Fatalf("dst mutated on error: %v", out)
+	}
+}
+
+func TestPostingBlockRandomBytesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 64)
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(len(buf))
+		rng.Read(buf[:n])
+		count := rng.Intn(PostingBlockSize+4) - 1
+		DecodePostingBlock(nil, buf[:n], count) // must not panic; error is fine
+	}
+}
